@@ -1,0 +1,252 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (at reduced search budgets — run cmd/rubyexp -full for paper fidelity),
+// plus microbenchmarks and ablations of the cost model and samplers.
+//
+// Each experiment benchmark reports a headline metric from the regenerated
+// data alongside the wall time, so `go test -bench=.` doubles as a smoke
+// check that the paper's shapes still hold.
+package ruby
+
+import (
+	"math/rand"
+	"testing"
+
+	"ruby/internal/arch"
+	"ruby/internal/exp"
+	"ruby/internal/heuristic"
+	"ruby/internal/mapping"
+	"ruby/internal/mapspace"
+	"ruby/internal/nest"
+	"ruby/internal/search"
+	"ruby/internal/sim"
+	"ruby/internal/workloads"
+)
+
+func benchCfg(evals int64) exp.Config {
+	return exp.Config{
+		Opt:  search.Options{Seed: 1, Threads: 4, MaxEvaluations: evals},
+		Runs: 1,
+	}
+}
+
+func runExp(b *testing.B, name string, cfg exp.Config) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(name, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable1 regenerates the mapspace-size table (exact counting, no
+// search).
+func BenchmarkTable1(b *testing.B) { runExp(b, "table1", benchCfg(0)) }
+
+// BenchmarkFig7 regenerates one convergence subfigure (Fig. 7b: 100x100
+// matmul on 16 mismatched PEs, all four mapspaces).
+func BenchmarkFig7(b *testing.B) { runExp(b, "fig7b", benchCfg(3000)) }
+
+// BenchmarkFig8 regenerates the dimension sweep against padding (exhaustive
+// toy mapspaces; fully deterministic).
+func BenchmarkFig8(b *testing.B) { runExp(b, "fig8", benchCfg(0)) }
+
+// BenchmarkFig9 regenerates the AlexNet layer-2 study.
+func BenchmarkFig9(b *testing.B) { runExp(b, "fig9", benchCfg(5000)) }
+
+// BenchmarkFig10 regenerates the ResNet-50 per-layer comparison on the
+// Eyeriss-like baseline.
+func BenchmarkFig10(b *testing.B) { runExp(b, "fig10", benchCfg(1000)) }
+
+// BenchmarkFig11 regenerates the DeepBench comparison on the Eyeriss-like
+// baseline.
+func BenchmarkFig11(b *testing.B) { runExp(b, "fig11", benchCfg(1000)) }
+
+// BenchmarkFig12 regenerates the ResNet-50 comparison on both Simba-like
+// configurations.
+func BenchmarkFig12(b *testing.B) { runExp(b, "fig12", benchCfg(800)) }
+
+// BenchmarkFig13 regenerates the ResNet-50 area-EDP Pareto sweep.
+func BenchmarkFig13(b *testing.B) { runExp(b, "fig13a", benchCfg(250)) }
+
+// BenchmarkFig13DeepBench regenerates the DeepBench sweep.
+func BenchmarkFig13DeepBench(b *testing.B) { runExp(b, "fig13b", benchCfg(250)) }
+
+// BenchmarkFig14 regenerates the per-configuration improvement study.
+func BenchmarkFig14(b *testing.B) { runExp(b, "fig14a", benchCfg(250)) }
+
+// BenchmarkFig14DeepBench regenerates the DeepBench improvement study.
+func BenchmarkFig14DeepBench(b *testing.B) { runExp(b, "fig14b", benchCfg(250)) }
+
+// --- Microbenchmarks -------------------------------------------------------
+
+// BenchmarkEvaluateConv measures single-mapping evaluation throughput on a
+// 7-dimensional convolution — the inner loop of every search.
+func BenchmarkEvaluateConv(b *testing.B) {
+	layer := workloads.ResNet50()[3] // a 3x3 layer
+	a := arch.EyerissLike(14, 12, 128)
+	ev := nest.MustEvaluator(layer.Work, a)
+	sp := mapspace.New(layer.Work, a, mapspace.RubyS, mapspace.EyerissRowStationary(layer.Work))
+	rng := rand.New(rand.NewSource(1))
+	m := sp.Sample(rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Evaluate(m)
+	}
+}
+
+// BenchmarkSampleRubyS measures mapping-generation throughput for the
+// Ruby-S mapspace.
+func BenchmarkSampleRubyS(b *testing.B) {
+	layer := workloads.ResNet50()[3]
+	a := arch.EyerissLike(14, 12, 128)
+	sp := mapspace.New(layer.Work, a, mapspace.RubyS, mapspace.EyerissRowStationary(layer.Work))
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.Sample(rng)
+	}
+}
+
+// BenchmarkSamplePFM measures mapping generation for the perfect baseline.
+func BenchmarkSamplePFM(b *testing.B) {
+	layer := workloads.ResNet50()[3]
+	a := arch.EyerissLike(14, 12, 128)
+	sp := mapspace.New(layer.Work, a, mapspace.PFM, mapspace.EyerissRowStationary(layer.Work))
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.Sample(rng)
+	}
+}
+
+// BenchmarkChainCount4096 measures the Table I counting recursion at the
+// largest size.
+func BenchmarkChainCount4096(b *testing.B) {
+	a := arch.ToyLinear(9, 512)
+	w := workloads.Rank1(4096)
+	sp := mapspace.New(w, a, mapspace.Ruby, mapspace.Constraints{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.ChainCount("X")
+	}
+}
+
+// --- Ablations -------------------------------------------------------------
+
+// BenchmarkAblationMulticast quantifies the multicast network model: the
+// same search with and without multicast support. The reported metric is the
+// EDP ratio no-multicast / multicast (> 1 expected: multicast saves parent
+// reads).
+func BenchmarkAblationMulticast(b *testing.B) {
+	layer := workloads.ResNet50()[3]
+	run := func(mcast bool) float64 {
+		a := arch.EyerissLike(14, 12, 128)
+		a.Levels[1].Fanout.Multicast = mcast
+		ev := nest.MustEvaluator(layer.Work, a)
+		sp := mapspace.New(layer.Work, a, mapspace.RubyS, mapspace.EyerissRowStationary(layer.Work))
+		r := search.Random(sp, ev, search.Options{Seed: 1, Threads: 4, MaxEvaluations: 5000})
+		return r.BestCost.EDP
+	}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		ratio = run(false) / run(true)
+	}
+	b.ReportMetric(ratio, "edp_ratio_nomcast/mcast")
+}
+
+// BenchmarkAblationSpatialCap quantifies Ruby-S's fanout-cap pruning: the
+// Table I-style chain count with and without the cap of 9. The reported
+// metric is the expansion factor removing the cap causes.
+func BenchmarkAblationSpatialCap(b *testing.B) {
+	w := workloads.Rank1(1000)
+	capped := arch.ToyLinear(9, 512)
+	var expansion float64
+	for i := 0; i < b.N; i++ {
+		withCap := mapspace.New(w, capped, mapspace.RubyS, mapspace.Constraints{}).ChainCount("X")
+		// Ruby-T has no spatial relaxation to cap; compare against the full
+		// Ruby space as the uncapped upper bound.
+		unbounded := mapspace.New(w, capped, mapspace.Ruby, mapspace.Constraints{}).ChainCount("X")
+		expansion = float64(unbounded) / float64(withCap)
+	}
+	b.ReportMetric(expansion, "uncapped/capped")
+}
+
+// BenchmarkAblationMixtureSampler quantifies the imperfect-slot mixture
+// proposal: best EDP found on a misaligned pointwise layer with the
+// production sampler, reported as improvement over PFM at the same budget.
+func BenchmarkAblationMixtureSampler(b *testing.B) {
+	var layer workloads.Layer
+	for _, l := range workloads.ResNet50() {
+		if l.Name == "res4x_branch2c" {
+			layer = l
+		}
+	}
+	a := arch.EyerissLike(14, 12, 128)
+	ev := nest.MustEvaluator(layer.Work, a)
+	cons := mapspace.EyerissRowStationary(layer.Work)
+	var imp float64
+	for i := 0; i < b.N; i++ {
+		pfm := search.Random(mapspace.New(layer.Work, a, mapspace.PFM, cons), ev,
+			search.Options{Seed: 1, Threads: 4, MaxEvaluations: 8000})
+		rs := search.Random(mapspace.New(layer.Work, a, mapspace.RubyS, cons), ev,
+			search.Options{Seed: 1, Threads: 4, MaxEvaluations: 8000})
+		imp = 100 * (pfm.BestCost.EDP - rs.BestCost.EDP) / pfm.BestCost.EDP
+	}
+	b.ReportMetric(imp, "edp_improvement_%")
+}
+
+// BenchmarkSimulatorRun measures the execution-driven reference simulator on
+// a ~4000-step nest.
+func BenchmarkSimulatorRun(b *testing.B) {
+	w := workloads.Rank1(4000)
+	a := arch.ToyGLB(8, 4096)
+	s, err := sim.New(w, a, sim.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := mapping.Uniform(w, a, 1)
+	m.Factors["X"] = []int{4, 125, 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeuristicConstruct measures the one-shot constructive mapper on a
+// ResNet pointwise layer.
+func BenchmarkHeuristicConstruct(b *testing.B) {
+	layer := workloads.ResNet50()[14] // res4x_branch2c
+	a := arch.EyerissLike(14, 12, 128)
+	ev := nest.MustEvaluator(layer.Work, a)
+	cons := mapspace.EyerissRowStationary(layer.Work)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := heuristic.Construct(ev, mapspace.RubyS, cons); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGeneticSearch measures the GA on the toy problem.
+func BenchmarkGeneticSearch(b *testing.B) {
+	w := workloads.Rank1(100)
+	a := arch.ToyGLB(6, 512)
+	ev := nest.MustEvaluator(w, a)
+	sp := mapspace.New(w, a, mapspace.RubyS, mapspace.Constraints{FixedPerms: true})
+	for i := 0; i < b.N; i++ {
+		search.Genetic(sp, ev, search.GeneticOptions{Seed: int64(i), Population: 32, Generations: 10})
+	}
+}
+
+// BenchmarkAnnealSearch measures simulated annealing on the toy problem.
+func BenchmarkAnnealSearch(b *testing.B) {
+	w := workloads.Rank1(100)
+	a := arch.ToyGLB(6, 512)
+	ev := nest.MustEvaluator(w, a)
+	sp := mapspace.New(w, a, mapspace.RubyS, mapspace.Constraints{FixedPerms: true})
+	for i := 0; i < b.N; i++ {
+		search.Anneal(sp, ev, search.AnnealOptions{Seed: int64(i), Steps: 1000, Warmup: 50})
+	}
+}

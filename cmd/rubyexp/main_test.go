@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ruby/internal/exp"
+	"ruby/internal/plot"
+	"ruby/internal/stats"
+)
+
+func demoReport() *exp.Report {
+	tb := &stats.Table{Headers: []string{"a", "b"}}
+	tb.AddRow("x", 1.5)
+	return &exp.Report{
+		Name:   "demo",
+		Tables: []*stats.Table{tb},
+		Charts: []plot.Chart{{
+			Title: "demo chart", Kind: plot.Line,
+			Series: []plot.Series{{Name: "s", X: []float64{1, 2}, Y: []float64{3, 4}}},
+		}},
+	}
+}
+
+func TestWriteCSVs(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeCSVs(dir, "demo", demoReport()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "demo_0.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "a,b\n") {
+		t.Errorf("csv = %q", data)
+	}
+}
+
+func TestWriteSVGs(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeSVGs(dir, "demo", demoReport()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "demo_0.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") || !strings.Contains(string(data), "demo chart") {
+		t.Errorf("svg content wrong")
+	}
+	// Chartless reports write nothing and do not error.
+	if err := writeSVGs(dir, "empty", &exp.Report{Name: "empty"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "empty_0.svg")); !os.IsNotExist(err) {
+		t.Error("chartless report wrote an SVG")
+	}
+}

@@ -1,0 +1,37 @@
+// Command rubyserve exposes the mapper as a JSON-over-HTTP service.
+//
+//	rubyserve -addr :8731
+//
+//	curl localhost:8731/v1/suites
+//	curl -X POST localhost:8731/v1/search -d '{
+//	  "workload": {"name": "fc", "type": "matmul", "matmul": {"m": 1000, "n": 1, "k": 2048}},
+//	  "arch": {"name": "eyeriss", "levels": [
+//	    {"name": "DRAM"},
+//	    {"name": "GLB", "capacity_kib": 128, "keeps": ["input", "output"],
+//	     "fanout": {"x": 14, "y": 12, "multicast": true}},
+//	    {"name": "PE", "per_role_words": {"input": 12, "output": 16, "weight": 224}}]},
+//	  "mapspace": "ruby-s", "max_evaluations": 50000
+//	}'
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+
+	"ruby/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8731", "listen address")
+	flag.Parse()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           server.New(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("rubyserve listening on %s", *addr)
+	log.Fatal(srv.ListenAndServe())
+}

@@ -1,0 +1,202 @@
+// Command rubysuite searches a whole workload suite on one architecture and
+// prints the per-layer results and network totals, optionally for several
+// mapspaces side by side.
+//
+// Usage:
+//
+//	rubysuite -suite resnet50
+//	rubysuite -suite mobilenetv2 -mapspaces pfm,ruby-s -evals 20000
+//	rubysuite -suite deepbench -arch eyeriss:16x16:128
+//	rubysuite -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ruby/internal/arch"
+	"ruby/internal/config"
+	"ruby/internal/library"
+	"ruby/internal/mapspace"
+	"ruby/internal/search"
+	"ruby/internal/stats"
+	"ruby/internal/sweep"
+	"ruby/internal/workload"
+	"ruby/internal/workloads"
+)
+
+func main() {
+	var (
+		suite    = flag.String("suite", "resnet50", "workload suite (see -list)")
+		archStr  = flag.String("arch", "eyeriss:14x12:128", "eyeriss:COLSxROWS:GLBKiB | simba:PES:UNITSxWIDTH")
+		archFile = flag.String("arch-file", "", "JSON architecture file (overrides -arch)")
+		kinds    = flag.String("mapspaces", "pfm,ruby-s", "comma-separated mapspace kinds to compare")
+		evals    = flag.Int64("evals", 20000, "max sampled mappings per layer per mapspace")
+		threads  = flag.Int("threads", 0, "search threads")
+		seed     = flag.Int64("seed", 1, "RNG seed")
+		libDir   = flag.String("library", "", "mapping-library directory: reuse cached best mappings across runs")
+		list     = flag.Bool("list", false, "list suites and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		var names []string
+		for name, layers := range workloads.Suites() {
+			names = append(names, fmt.Sprintf("%-14s %2d unique layers, %d MACs",
+				name, len(layers), workloads.TotalMACs(layers)))
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	layers, ok := workloads.Suites()[*suite]
+	if !ok {
+		fatal(fmt.Errorf("unknown suite %q (try -list)", *suite))
+	}
+
+	var a *arch.Arch
+	var err error
+	if *archFile != "" {
+		a, err = config.LoadArch(*archFile)
+	} else {
+		a, err = parseArchSpec(*archStr)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	consFn := mapspace.EyerissRowStationary
+	if strings.HasPrefix(*archStr, "simba") {
+		consFn = mapspace.SimbaDataflow
+	}
+	if *suite == "mobilenetv2" {
+		// Depthwise layers need the channel dimension on both axes.
+		consFn = func(w *workload.Workload) mapspace.Constraints {
+			return mapspace.Constraints{
+				SpatialX: []string{"Q", "M", "N"},
+				SpatialY: []string{"R", "S", "C", "M", "K"},
+			}
+		}
+	}
+
+	var lib *library.Store
+	if *libDir != "" {
+		var err error
+		lib, err = library.Open(*libDir)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	opt := search.Options{Seed: *seed, Threads: *threads, MaxEvaluations: *evals}
+	var results []*sweep.SuiteResult
+	var names []string
+	for _, ks := range strings.Split(*kinds, ",") {
+		kind, err := parseKind(ks)
+		if err != nil {
+			fatal(err)
+		}
+		st := sweep.Strategy{Name: kind.String(), Kind: kind}
+		sr, err := sweep.RunSuiteCached(layers, a, st, consFn, opt, lib)
+		if err != nil {
+			fatal(err)
+		}
+		results = append(results, sr)
+		names = append(names, kind.String())
+	}
+
+	tb := &stats.Table{
+		Title:   fmt.Sprintf("%s on %s (EDP per layer)", *suite, a.Name),
+		Headers: append([]string{"layer", "repeat"}, names...),
+	}
+	if len(results) > 1 {
+		tb.Headers = append(tb.Headers, "last/first")
+	}
+	for i := range layers {
+		row := []any{layers[i].Name, layers[i].Repeat}
+		for _, sr := range results {
+			row = append(row, sr.Layers[i].Cost.EDP)
+		}
+		if len(results) > 1 {
+			row = append(row, results[len(results)-1].Layers[i].Cost.EDP/results[0].Layers[i].Cost.EDP)
+		}
+		tb.AddRow(row...)
+	}
+	totals := []any{"TOTAL (network)", ""}
+	for _, sr := range results {
+		totals = append(totals, sr.EDP)
+	}
+	if len(results) > 1 {
+		totals = append(totals, results[len(results)-1].EDP/results[0].EDP)
+	}
+	tb.AddRow(totals...)
+	tb.Render(os.Stdout)
+
+	if len(results) > 1 {
+		fmt.Printf("\nnetwork EDP: %s improves on %s by %.1f%%\n",
+			names[len(names)-1], names[0],
+			100*stats.Improvement(results[0].EDP, results[len(results)-1].EDP))
+	}
+}
+
+func parseArchSpec(s string) (*arch.Arch, error) {
+	parts := strings.Split(strings.ToLower(s), ":")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf("bad arch spec %q", s)
+	}
+	switch parts[0] {
+	case "eyeriss":
+		xy := strings.Split(parts[1], "x")
+		if len(xy) != 2 {
+			return nil, fmt.Errorf("bad arch spec %q", s)
+		}
+		cols, e1 := strconv.Atoi(xy[0])
+		rows, e2 := strconv.Atoi(xy[1])
+		glb, e3 := strconv.Atoi(parts[2])
+		if e1 != nil || e2 != nil || e3 != nil {
+			return nil, fmt.Errorf("bad arch spec %q", s)
+		}
+		return arch.EyerissLike(cols, rows, glb), nil
+	case "simba":
+		pes, e1 := strconv.Atoi(parts[1])
+		uv := strings.Split(parts[2], "x")
+		if len(uv) != 2 || e1 != nil {
+			return nil, fmt.Errorf("bad arch spec %q", s)
+		}
+		units, e2 := strconv.Atoi(uv[0])
+		width, e3 := strconv.Atoi(uv[1])
+		if e2 != nil || e3 != nil {
+			return nil, fmt.Errorf("bad arch spec %q", s)
+		}
+		return arch.SimbaLike(pes, units, width), nil
+	default:
+		return nil, fmt.Errorf("bad arch spec %q", s)
+	}
+}
+
+func parseKind(s string) (mapspace.Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "pfm", "perfect":
+		return mapspace.PFM, nil
+	case "ruby":
+		return mapspace.Ruby, nil
+	case "ruby-s", "rubys":
+		return mapspace.RubyS, nil
+	case "ruby-t", "rubyt":
+		return mapspace.RubyT, nil
+	default:
+		return 0, fmt.Errorf("unknown mapspace %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rubysuite: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+
+	"ruby/internal/mapspace"
+)
+
+func TestParseArchSpec(t *testing.T) {
+	a, err := parseArchSpec("eyeriss:14x12:128")
+	if err != nil || a.TotalLanes() != 168 {
+		t.Errorf("eyeriss parse: %v, %v", a, err)
+	}
+	s, err := parseArchSpec("simba:9:3x3")
+	if err != nil || s.TotalLanes() != 81 {
+		t.Errorf("simba parse: %v, %v", s, err)
+	}
+	for _, bad := range []string{"eyeriss:14x12", "foo:1:2", "eyeriss:ax12:128", "simba:9:33"} {
+		if _, err := parseArchSpec(bad); err == nil {
+			t.Errorf("parseArchSpec(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	if k, err := parseKind(" ruby-s "); err != nil || k != mapspace.RubyS {
+		t.Errorf("parseKind: %v, %v", k, err)
+	}
+	if _, err := parseKind("zigzag"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}

@@ -1,0 +1,64 @@
+// AlexNet layer 2 on the Eyeriss-like baseline: the paper's Fig. 9 study.
+// Compares a handcrafted strip-mined mapping (built explicitly through the
+// public API) against the best perfect-factorization and Ruby-S mappings
+// found by random search.
+//
+//	go run ./examples/alexnet [-evals N]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"ruby"
+)
+
+func main() {
+	evals := flag.Int64("evals", 60000, "sampled mappings per mapspace")
+	flag.Parse()
+
+	w := ruby.AlexNetConv2()
+	a := ruby.EyerissLike(14, 12, 128)
+	ev := ruby.MustEvaluator(w, a)
+
+	// The handcrafted strip-mined mapping: output rows across the 14 PE
+	// columns in strips of 14+13, filter rows and channel pairs down the 12
+	// PE rows, four filters resident per PE.
+	hand := ruby.UniformMapping(w, a, 1)
+	hand.Factors["M"] = []int{12, 2, 1, 1, 4}
+	hand.Factors["C"] = []int{1, 24, 2, 1, 1}
+	hand.Factors["P"] = []int{1, 27, 1, 1, 1}
+	hand.Factors["Q"] = []int{1, 2, 1, 14, 1} // ceil(27/14) = 2 strips
+	hand.Factors["R"] = []int{1, 1, 5, 1, 1}
+	hand.Factors["S"] = []int{1, 1, 1, 1, 5}
+	hand.Perms[1] = []string{"M", "C", "P", "Q", "N", "R", "S"}
+	handCost := ev.Evaluate(hand)
+	if !handCost.Valid {
+		panic("handcrafted mapping invalid: " + handCost.Reason)
+	}
+
+	report := func(name string, c ruby.Cost) {
+		fmt.Printf("%-24s util %5.1f%%  cycles %10.0f  energy %.3e pJ  EDP %.4g\n",
+			name, 100*c.Utilization, c.Cycles, c.EnergyPJ, c.EDP)
+	}
+	fmt.Printf("AlexNet conv2 (%s): %d MACs on %s\n\n", w.Name, w.MACs(), a.Name)
+	report("handcrafted strip-mined", handCost)
+
+	cons := ruby.EyerissRowStationary(w)
+	var best ruby.Cost
+	for _, kind := range []ruby.SpaceKind{ruby.PFM, ruby.RubyS} {
+		sp := ruby.NewSpace(w, a, kind, cons)
+		res := ruby.Search(sp, ev, ruby.SearchOptions{Seed: 1, MaxEvaluations: *evals})
+		if res.Best == nil {
+			panic("no valid mapping for " + kind.String())
+		}
+		report(kind.String()+" (search)", res.BestCost)
+		if kind == ruby.RubyS {
+			best = res.BestCost
+			fmt.Println("\nbest Ruby-S loop nest:")
+			fmt.Print(res.Best.Render(w, a))
+		}
+	}
+	fmt.Printf("\nRuby-S EDP vs handcrafted: %+.1f%%\n",
+		100*(best.EDP-handCost.EDP)/handCost.EDP)
+}

@@ -1,0 +1,55 @@
+// Architecture design-space exploration: a compact version of the paper's
+// Figs. 13-14. Sweeps Eyeriss-like PE arrays over a slice of ResNet-50,
+// comparing PFM, PFM+padding and Ruby-S, and reports which (area, EDP)
+// points form the Pareto frontier.
+//
+//	go run ./examples/archsweep [-evals N]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"ruby"
+)
+
+func main() {
+	evals := flag.Int64("evals", 4000, "sampled mappings per mapspace per layer")
+	flag.Parse()
+
+	// A representative ResNet-50 slice: one of each layer type.
+	var layers []ruby.SuiteLayer
+	seen := map[string]bool{}
+	for _, l := range ruby.ResNet50() {
+		if !seen[string(l.Type)] {
+			seen[string(l.Type)] = true
+			layers = append(layers, l)
+		}
+	}
+	fmt.Printf("sweeping %d configurations over %d layers\n\n", len(ruby.EyerissConfigs()), len(layers))
+
+	opt := ruby.SearchOptions{Seed: 1, MaxEvaluations: *evals}
+	points, err := ruby.Explore(layers, ruby.EyerissConfigs(), 128,
+		ruby.SweepStrategies(), ruby.EyerissRowStationary, opt)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("%-7s %9s %12s %12s %12s\n", "array", "area mm2", "PFM", "PFM+pad", "Ruby-S")
+	for _, dp := range points {
+		fmt.Printf("%-7s %9.2f %12.4g %12.4g %12.4g\n",
+			dp.Config, dp.AreaMM2, dp.EDP["PFM"], dp.EDP["PFM+pad"], dp.EDP["Ruby-S"])
+	}
+
+	// Which strategy owns the combined area-EDP frontier?
+	var all []ruby.ParetoPoint
+	for _, dp := range points {
+		for st, edp := range dp.EDP {
+			all = append(all, ruby.ParetoPoint{X: dp.AreaMM2, Y: edp, Label: dp.Config.String() + "/" + st})
+		}
+	}
+	fmt.Println("\ncombined Pareto frontier (area vs EDP):")
+	for _, p := range ruby.ParetoFrontier(all) {
+		fmt.Printf("  %-16s area %8.2f  EDP %.4g\n", p.Label, p.X, p.Y)
+	}
+}

@@ -1,0 +1,71 @@
+// DeepBench on the Eyeriss-like baseline: a per-layer Ruby-S versus PFM
+// comparison in the style of the paper's Fig. 11. Vision layers (whose
+// feature maps share the factor 7 with the 14x12 array) should land near
+// parity; speech, face and speaker-ID shapes should favor Ruby-S.
+//
+//	go run ./examples/deepbench [-evals N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+
+	"ruby"
+)
+
+func main() {
+	evals := flag.Int64("evals", 20000, "sampled mappings per mapspace per layer")
+	flag.Parse()
+
+	a := ruby.EyerissLike(14, 12, 128)
+	fmt.Printf("%-28s %-8s %8s %8s %9s\n", "layer", "domain", "PFM util", "RbS util", "EDP ratio")
+
+	var ratios []float64
+	for _, l := range ruby.DeepBench() {
+		ev := ruby.MustEvaluator(l.Work, a)
+		cons := ruby.EyerissRowStationary(l.Work)
+		costs := map[ruby.SpaceKind]ruby.Cost{}
+		for _, kind := range []ruby.SpaceKind{ruby.PFM, ruby.RubyS} {
+			sp := ruby.NewSpace(l.Work, a, kind, cons)
+			res := ruby.Search(sp, ev, ruby.SearchOptions{Seed: 1, MaxEvaluations: *evals})
+			if res.Best == nil {
+				panic(fmt.Sprintf("%s: no valid %v mapping", l.Name, kind))
+			}
+			costs[kind] = res.BestCost
+		}
+		ratio := costs[ruby.RubyS].EDP / costs[ruby.PFM].EDP
+		ratios = append(ratios, ratio)
+		fmt.Printf("%-28s %-8s %7.1f%% %7.1f%% %9.3f\n",
+			l.Name, l.Domain,
+			100*costs[ruby.PFM].Utilization, 100*costs[ruby.RubyS].Utilization, ratio)
+	}
+
+	gm := 1.0
+	for _, r := range ratios {
+		gm *= r
+	}
+	gm = math.Pow(gm, 1/float64(len(ratios)))
+	fmt.Printf("\nRuby-S EDP, normalized to PFM: geomean %.3f, best %.3f, worst %.3f\n",
+		gm, minOf(ratios), maxOf(ratios))
+}
+
+func minOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

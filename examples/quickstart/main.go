@@ -1,0 +1,44 @@
+// Quickstart: the paper's Section II-D walkthrough. Distribute 100 tensor
+// elements across 6 storage-less PEs behind a 1 KiB global buffer and watch
+// perfect factorization strand one PE while Ruby-S fills the array with a
+// remainder tile.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"ruby"
+)
+
+func main() {
+	w := ruby.MustVector1D("distribute100", 100)
+	a := ruby.ToyGLB(6, 512)
+	ev := ruby.MustEvaluator(w, a)
+
+	fmt.Println("workload:")
+	fmt.Println(w)
+	fmt.Println("architecture:", a)
+	fmt.Println()
+
+	for _, kind := range []ruby.SpaceKind{ruby.PFM, ruby.RubyS} {
+		sp := ruby.NewSpace(w, a, kind, ruby.Constraints{FixedPerms: true})
+		// The toy mapspaces are tiny: evaluate them exhaustively.
+		res := ruby.SearchExhaustive(sp, ev, 0)
+		if res.Best == nil {
+			panic("no valid mapping")
+		}
+		c := res.BestCost
+		fmt.Printf("=== %s (mapspace size %d, %d valid) ===\n",
+			kind, sp.TotalChainCount(), res.Valid)
+		fmt.Print(res.Best.Render(w, a))
+		fmt.Printf("cycles %.0f | utilization %.1f%% | EDP %.4g\n\n",
+			c.Cycles, 100*c.Utilization, c.EDP)
+	}
+
+	fmt.Println("The perfect-factorization optimum keeps 5 of 6 PEs busy for 20")
+	fmt.Println("cycles (factors of 100 capped at 6 stop at 5). Ruby-S dispatches")
+	fmt.Println("6 elements for 16 iterations and a remainder of 4 on the 17th —")
+	fmt.Println("the paper's Fig. 5 mapping — saving 3 cycles.")
+}

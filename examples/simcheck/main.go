@@ -1,0 +1,83 @@
+// Model validation walkthrough: load a custom architecture from a JSON
+// config, search a Ruby-S mapping for a small convolution, then execute the
+// winning loop nest on the execution-driven reference simulator and compare
+// against the analytical model — latency must match exactly, and the model's
+// tile-fill counts must bound the simulator's boundary-aware observations.
+//
+//	go run ./examples/simcheck
+package main
+
+import (
+	"fmt"
+
+	"ruby"
+)
+
+const archJSON = `{
+  "name": "custom-accel",
+  "levels": [
+    {"name": "DRAM"},
+    {"name": "SRAM", "capacity_kib": 8,
+     "fanout": {"x": 5, "y": 2, "multicast": true}},
+    {"name": "RF", "capacity_words": 48}
+  ]
+}`
+
+func main() {
+	w := ruby.MustConv2D(ruby.Conv2DParams{N: 1, M: 6, C: 4, P: 9, Q: 7, R: 3, S: 3})
+
+	a, err := parseArch()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("architecture:", a)
+	fmt.Println("workload:    ", w.Name)
+
+	ev := ruby.MustEvaluator(w, a)
+	sp := ruby.NewSpace(w, a, ruby.RubyS, ruby.Constraints{})
+	res := ruby.Search(sp, ev, ruby.SearchOptions{Seed: 1, MaxEvaluations: 20000})
+	if res.Best == nil {
+		panic("no valid mapping")
+	}
+	fmt.Println("\nbest Ruby-S mapping:")
+	fmt.Print(res.Best.Render(w, a))
+
+	sim, err := ruby.NewSimulator(w, a, ruby.SimOptions{})
+	if err != nil {
+		panic(err)
+	}
+	simRes, err := sim.Run(res.Best)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("\nlatency: model %.0f cycles, simulator %.0f cycles", res.BestCost.Cycles, simRes.Cycles)
+	if res.BestCost.Cycles == simRes.Cycles {
+		fmt.Println("  ✓ exact match")
+	} else {
+		fmt.Println("  ✗ MISMATCH")
+	}
+
+	links, err := ev.Links(res.Best)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("\ntile fills (tile-change events, all instances):")
+	fmt.Printf("  %-3s %-12s %10s %10s\n", "t", "level", "model", "simulated")
+	for _, ls := range links {
+		model := ls.Fills * ls.DelivMult
+		simulated := simRes.Fills[ls.Child][ls.Tensor]
+		mark := "=="
+		if simulated < model {
+			mark = "<= (boundary strips save work the model charges conservatively)"
+		}
+		fmt.Printf("  %-3s %-12s %10.0f %10.0f  %s\n",
+			ls.Tensor, a.Levels[ls.Child].Name, model, simulated, mark)
+	}
+}
+
+func parseArch() (*ruby.Arch, error) {
+	// In a real project this would be ruby.LoadArch("my-accel.json"); the
+	// example inlines the file for self-containment.
+	return ruby.ParseArch([]byte(archJSON))
+}

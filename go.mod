@@ -1,0 +1,3 @@
+module ruby
+
+go 1.22

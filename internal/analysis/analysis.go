@@ -1,0 +1,58 @@
+// Package analysis provides mapspace-quality diagnostics built on top of the
+// mapspace generators and the cost model: sampled-EDP distributions that
+// quantify the paper's Section III-A trade-off between mapspace expansion
+// and the density of high-quality mappings.
+package analysis
+
+import (
+	"math/rand"
+	"sort"
+
+	"ruby/internal/mapspace"
+	"ruby/internal/nest"
+)
+
+// Density summarizes the quality distribution of sampled mappings.
+type Density struct {
+	Samples int
+	Valid   int
+	// EDP quantiles over the valid samples (zero when none were valid).
+	P10, P50, P90 float64
+	// Best is the minimum sampled EDP.
+	Best float64
+}
+
+// ValidFraction returns Valid/Samples.
+func (d Density) ValidFraction() float64 {
+	if d.Samples == 0 {
+		return 0
+	}
+	return float64(d.Valid) / float64(d.Samples)
+}
+
+// MeasureDensity samples n mappings from the space and summarizes the EDP
+// distribution of the valid ones.
+func MeasureDensity(sp *mapspace.Space, ev *nest.Evaluator, n int, seed int64) Density {
+	rng := rand.New(rand.NewSource(seed))
+	d := Density{Samples: n}
+	var edps []float64
+	for i := 0; i < n; i++ {
+		c := ev.Evaluate(sp.Sample(rng))
+		if !c.Valid {
+			continue
+		}
+		d.Valid++
+		edps = append(edps, c.EDP)
+	}
+	if len(edps) == 0 {
+		return d
+	}
+	sort.Float64s(edps)
+	q := func(p float64) float64 {
+		idx := int(p * float64(len(edps)-1))
+		return edps[idx]
+	}
+	d.P10, d.P50, d.P90 = q(0.10), q(0.50), q(0.90)
+	d.Best = edps[0]
+	return d
+}

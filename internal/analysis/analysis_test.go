@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"testing"
+
+	"ruby/internal/arch"
+	"ruby/internal/mapspace"
+	"ruby/internal/nest"
+	"ruby/internal/workload"
+)
+
+func toySpace(kind mapspace.Kind) (*mapspace.Space, *nest.Evaluator) {
+	w := workload.MustVector1D("toy", 100)
+	a := arch.ToyGLB(6, 512)
+	return mapspace.New(w, a, kind, mapspace.Constraints{FixedPerms: true}),
+		nest.MustEvaluator(w, a)
+}
+
+func TestMeasureDensity(t *testing.T) {
+	sp, ev := toySpace(mapspace.RubyS)
+	d := MeasureDensity(sp, ev, 400, 1)
+	if d.Samples != 400 || d.Valid == 0 {
+		t.Fatalf("density = %+v", d)
+	}
+	if !(d.Best <= d.P10 && d.P10 <= d.P50 && d.P50 <= d.P90) {
+		t.Errorf("quantiles out of order: %+v", d)
+	}
+	if d.ValidFraction() <= 0 || d.ValidFraction() > 1 {
+		t.Errorf("valid fraction = %f", d.ValidFraction())
+	}
+	// The toy problem is fully valid-mappable; most samples should pass.
+	if d.ValidFraction() < 0.5 {
+		t.Errorf("valid fraction = %f, want >= 0.5 on the toy", d.ValidFraction())
+	}
+}
+
+func TestMeasureDensityExpansionStory(t *testing.T) {
+	// The Section III-A trade-off: the unconstrained Ruby mapspace's valid
+	// fraction collapses relative to Ruby-S on a realistic fanout.
+	w := workload.MustMatmul("mm", 100, 100, 100)
+	a := arch.ToyLinear(16, 512)
+	ev := nest.MustEvaluator(w, a)
+	rs := MeasureDensity(mapspace.New(w, a, mapspace.RubyS, mapspace.Constraints{}), ev, 1500, 2)
+	ruby := MeasureDensity(mapspace.New(w, a, mapspace.Ruby, mapspace.Constraints{}), ev, 1500, 2)
+	if ruby.ValidFraction() >= rs.ValidFraction() {
+		t.Errorf("Ruby valid fraction %f should trail Ruby-S %f",
+			ruby.ValidFraction(), rs.ValidFraction())
+	}
+}
+
+func TestMeasureDensityNoValid(t *testing.T) {
+	// A 1-word GLB cannot hold input and output tiles, so no sample is
+	// valid and the quantiles stay zero.
+	w := workload.MustVector1D("d", 7)
+	a := arch.ToyGLB(7, 1)
+	sp := mapspace.New(w, a, mapspace.Ruby, mapspace.Constraints{FixedPerms: true})
+	ev := nest.MustEvaluator(w, a)
+	d := MeasureDensity(sp, ev, 50, 1)
+	if d.Valid != 0 || d.Best != 0 || d.P50 != 0 {
+		t.Errorf("density without valid samples = %+v", d)
+	}
+	if d.ValidFraction() != 0 {
+		t.Errorf("valid fraction = %f", d.ValidFraction())
+	}
+	if MeasureDensity(sp, ev, 0, 1).ValidFraction() != 0 {
+		t.Error("zero-sample fraction should be 0")
+	}
+}

@@ -1,0 +1,231 @@
+// Package arch models user-defined tensor-accelerator architectures as the
+// linear memory hierarchies Timeloop-style mappers target: an off-chip DRAM,
+// a stack of on-chip storage levels, spatial fanouts between levels, and MAC
+// (optionally vector-MAC) datapaths at the bottom.
+package arch
+
+import (
+	"fmt"
+	"strings"
+
+	"ruby/internal/energy"
+	"ruby/internal/workload"
+)
+
+// Network describes the interconnect fanning out from a storage level to the
+// instances of the next-inner level (or to MAC lanes below the innermost
+// level). FanoutX and FanoutY are the two physical axes of the array; a
+// linear array has FanoutY = 1.
+type Network struct {
+	FanoutX int // >= 1
+	FanoutY int // >= 1
+	// Multicast reports whether the network can deliver one parent read to
+	// multiple children (Eyeriss-style multicast NoC). Without it, each
+	// child's copy costs a separate parent read.
+	Multicast bool
+	// HopEnergyPJ is the wire/router energy per word per hop (0 = not
+	// modeled). Words delivered across the network are charged
+	// HopEnergyPJ * MeanHops.
+	HopEnergyPJ float64
+}
+
+// MeanHops estimates the average X-Y routing distance from the network's
+// injection point to an instance: half the span along each axis.
+func (n Network) MeanHops() float64 {
+	x, y := n.FanoutX, n.FanoutY
+	if x < 1 {
+		x = 1
+	}
+	if y < 1 {
+		y = 1
+	}
+	return float64(x-1)/2 + float64(y-1)/2
+}
+
+// Total returns the total fanout FanoutX*FanoutY.
+func (n Network) Total() int {
+	x, y := n.FanoutX, n.FanoutY
+	if x < 1 {
+		x = 1
+	}
+	if y < 1 {
+		y = 1
+	}
+	return x * y
+}
+
+// Level is one storage level of the hierarchy, outermost (DRAM) first in
+// Arch.Levels.
+type Level struct {
+	Name string
+
+	// Capacity is the level's size in words; 0 means unbounded (DRAM).
+	// Ignored when PerRole is set.
+	Capacity int64
+
+	// PerRole, when non-nil, declares dedicated per-operand buffers (e.g.
+	// Eyeriss's ifmap/weight/psum scratchpads) with individual capacities in
+	// words. Tensors of roles absent from the map cannot be stored here.
+	PerRole map[workload.Role]int64
+
+	// Keeps restricts which operand roles may reside at this level; nil
+	// means all roles. (A role must also be present in PerRole when PerRole
+	// is set.) DRAM keeps everything regardless.
+	Keeps map[workload.Role]bool
+
+	// Fanout is the network to the next-inner level (or to the MAC lanes for
+	// the innermost level). The zero value means no spatial expansion.
+	Fanout Network
+
+	// BandwidthWords is the level's aggregate access bandwidth per instance
+	// in words per cycle (reads plus writes). 0 means unlimited — the
+	// paper's evaluation, like Timeloop's default exercises, is
+	// compute-bound. When set, the cost model stretches latency to
+	// max(compute, per-level traffic/bandwidth).
+	BandwidthWords float64
+
+	// StaticPJPerCycle is the level's leakage energy per instance per cycle
+	// in picojoules (0 = not modeled). Charged as cycles * instances *
+	// StaticPJPerCycle.
+	StaticPJPerCycle float64
+}
+
+// Keeps reports whether role tensors may be stored at level l (DRAM always
+// may; l0 denotes whether this is the outermost level).
+func (l *Level) KeepsRole(r workload.Role, isDRAM bool) bool {
+	if isDRAM {
+		return true
+	}
+	if l.PerRole != nil {
+		if _, ok := l.PerRole[r]; !ok {
+			return false
+		}
+	}
+	if l.Keeps == nil {
+		return true
+	}
+	return l.Keeps[r]
+}
+
+// RoleCapacity returns the capacity in words available to role r at level l,
+// and whether the budget is per-role (true) or shared (false). 0/shared with
+// Capacity 0 means unbounded.
+func (l *Level) RoleCapacity(r workload.Role) (words int64, dedicated bool) {
+	if l.PerRole != nil {
+		return l.PerRole[r], true
+	}
+	return l.Capacity, false
+}
+
+// TotalCapacity returns the level's total storage in words (summing per-role
+// buffers when present).
+func (l *Level) TotalCapacity() int64 {
+	if l.PerRole != nil {
+		var sum int64
+		for _, c := range l.PerRole {
+			sum += c
+		}
+		return sum
+	}
+	return l.Capacity
+}
+
+// Arch is a complete accelerator description.
+type Arch struct {
+	Name   string
+	Levels []Level // outermost (DRAM) first; at least 2 levels
+	Energy energy.Table
+}
+
+// Validate checks structural invariants.
+func (a *Arch) Validate() error {
+	if len(a.Levels) < 2 {
+		return fmt.Errorf("arch %q: %d levels, want >= 2 (DRAM + on-chip)", a.Name, len(a.Levels))
+	}
+	if a.Levels[0].Capacity != 0 || a.Levels[0].PerRole != nil {
+		return fmt.Errorf("arch %q: outermost level %q must be unbounded DRAM", a.Name, a.Levels[0].Name)
+	}
+	for i, l := range a.Levels {
+		if l.Name == "" {
+			return fmt.Errorf("arch %q: level %d has no name", a.Name, i)
+		}
+		if l.Fanout.FanoutX < 0 || l.Fanout.FanoutY < 0 {
+			return fmt.Errorf("arch %q: level %q has negative fanout", a.Name, l.Name)
+		}
+		if i > 0 && l.Capacity < 0 {
+			return fmt.Errorf("arch %q: level %q capacity %d < 0", a.Name, l.Name, l.Capacity)
+		}
+		for r, c := range l.PerRole {
+			if c < 1 {
+				return fmt.Errorf("arch %q: level %q role %v capacity %d < 1", a.Name, l.Name, r, c)
+			}
+		}
+	}
+	return nil
+}
+
+// Instances returns the number of physical instances of level i: the product
+// of all fanouts of outer levels.
+func (a *Arch) Instances(i int) int64 {
+	n := int64(1)
+	for j := 0; j < i; j++ {
+		n *= int64(a.Levels[j].Fanout.Total())
+	}
+	return n
+}
+
+// TotalLanes returns the total number of MAC lanes: the product of every
+// fanout in the hierarchy (including vector lanes below the innermost level).
+func (a *Arch) TotalLanes() int64 {
+	n := int64(1)
+	for i := range a.Levels {
+		n *= int64(a.Levels[i].Fanout.Total())
+	}
+	return n
+}
+
+// AccessEnergyPJ returns the per-word access energy of level i.
+func (a *Arch) AccessEnergyPJ(i int) float64 {
+	l := &a.Levels[i]
+	if i == 0 {
+		return a.Energy.Access(0)
+	}
+	cap := l.TotalCapacity()
+	if cap <= 0 {
+		return a.Energy.Access(0)
+	}
+	return a.Energy.Access(cap)
+}
+
+// AreaMM2 returns the accelerator's on-chip area estimate: all storage-level
+// instances plus MAC lanes.
+func (a *Arch) AreaMM2() float64 {
+	var area float64
+	for i := 1; i < len(a.Levels); i++ { // skip DRAM
+		area += float64(a.Instances(i)) * energy.SRAMAreaMM2(a.Levels[i].TotalCapacity())
+	}
+	lanes := float64(a.TotalLanes())
+	area += lanes * energy.MACAreaMM2
+	// PE overhead counted at the innermost storage level's instance count.
+	area += float64(a.Instances(len(a.Levels)-1)) * energy.PEOverheadAreaMM2
+	return area
+}
+
+// String renders the hierarchy compactly.
+func (a *Arch) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:", a.Name)
+	for i := range a.Levels {
+		l := &a.Levels[i]
+		fmt.Fprintf(&b, " %s", l.Name)
+		if cap := l.TotalCapacity(); cap > 0 {
+			fmt.Fprintf(&b, "[%dw]", cap)
+		}
+		if f := l.Fanout.Total(); f > 1 {
+			fmt.Fprintf(&b, " --%dx%d-->", l.Fanout.FanoutX, l.Fanout.FanoutY)
+		} else if i != len(a.Levels)-1 {
+			fmt.Fprintf(&b, " -->")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,198 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+
+	"ruby/internal/energy"
+	"ruby/internal/workload"
+)
+
+func TestEyerissLikeStructure(t *testing.T) {
+	a := EyerissLike(14, 12, 128)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.TotalLanes(); got != 168 {
+		t.Errorf("TotalLanes = %d, want 168", got)
+	}
+	if got := a.Instances(2); got != 168 {
+		t.Errorf("PE instances = %d, want 168", got)
+	}
+	if got := a.Instances(1); got != 1 {
+		t.Errorf("GLB instances = %d, want 1", got)
+	}
+	glb := &a.Levels[1]
+	if glb.Capacity != 65536 {
+		t.Errorf("GLB capacity = %d words, want 65536", glb.Capacity)
+	}
+	if glb.KeepsRole(workload.Weight, false) {
+		t.Error("GLB should bypass weights")
+	}
+	if !glb.KeepsRole(workload.Input, false) || !glb.KeepsRole(workload.Output, false) {
+		t.Error("GLB should keep activations and psums")
+	}
+	pe := &a.Levels[2]
+	if c, ded := pe.RoleCapacity(workload.Weight); !ded || c != 224 {
+		t.Errorf("PE weight spad = %d (dedicated %v), want 224 dedicated", c, ded)
+	}
+	if pe.TotalCapacity() != 12+16+224 {
+		t.Errorf("PE total capacity = %d", pe.TotalCapacity())
+	}
+}
+
+func TestSimbaLikeStructure(t *testing.T) {
+	a := SimbaLike(15, 4, 4)
+	if got := a.TotalLanes(); got != 15*16 {
+		t.Errorf("TotalLanes = %d, want 240", got)
+	}
+	if got := a.Levels[2].Fanout.Total(); got != 16 {
+		t.Errorf("vector lanes per PE = %d, want 16", got)
+	}
+	small := SimbaLike(9, 3, 3)
+	if got := small.TotalLanes(); got != 81 {
+		t.Errorf("TotalLanes = %d, want 81", got)
+	}
+}
+
+func TestToyPresets(t *testing.T) {
+	g := ToyGLB(6, 512)
+	if g.TotalLanes() != 6 {
+		t.Errorf("ToyGLB lanes = %d", g.TotalLanes())
+	}
+	l := ToyLinear(16, 512)
+	if l.TotalLanes() != 16 {
+		t.Errorf("ToyLinear lanes = %d", l.TotalLanes())
+	}
+	if l.Instances(1) != 16 {
+		t.Errorf("ToyLinear spad instances = %d", l.Instances(1))
+	}
+}
+
+func TestDRAMAlwaysKeeps(t *testing.T) {
+	a := EyerissLike(14, 12, 128)
+	for _, r := range workload.Roles {
+		if !a.Levels[0].KeepsRole(r, true) {
+			t.Errorf("DRAM must keep %v", r)
+		}
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		a    Arch
+	}{
+		{"one level", Arch{Name: "x", Levels: []Level{{Name: "DRAM"}}}},
+		{"bounded DRAM", Arch{Name: "x", Levels: []Level{{Name: "DRAM", Capacity: 10}, {Name: "L1", Capacity: 1}}}},
+		{"unnamed level", Arch{Name: "x", Levels: []Level{{Name: "DRAM"}, {Capacity: 4}}}},
+		{"negative capacity", Arch{Name: "x", Levels: []Level{{Name: "DRAM"}, {Name: "L1", Capacity: -1}}}},
+		{"zero role buffer", Arch{Name: "x", Levels: []Level{{Name: "DRAM"}, {Name: "L1", PerRole: map[workload.Role]int64{workload.Input: 0}}}}},
+	}
+	for _, c := range cases {
+		if err := c.a.Validate(); err == nil {
+			t.Errorf("Validate(%s) = nil, want error", c.name)
+		}
+	}
+}
+
+func TestAccessEnergyOrdering(t *testing.T) {
+	a := EyerissLike(14, 12, 128)
+	dram := a.AccessEnergyPJ(0)
+	glb := a.AccessEnergyPJ(1)
+	pe := a.AccessEnergyPJ(2)
+	if !(dram > glb && glb > pe) {
+		t.Errorf("energy ordering violated: DRAM %f, GLB %f, PE %f", dram, glb, pe)
+	}
+	if dram != energy.DRAMEnergyPJ {
+		t.Errorf("DRAM energy = %f", dram)
+	}
+	// GLB at the 128 KiB reference point should cost ~6x MAC.
+	if glb < 5.9*energy.MACEnergyPJ || glb > 6.1*energy.MACEnergyPJ {
+		t.Errorf("GLB energy = %f, want ~%f", glb, 6*energy.MACEnergyPJ)
+	}
+	// PE scratchpads hit the register-file floor.
+	if pe != energy.RegisterFileEnergyPJ {
+		t.Errorf("PE energy = %f, want RF floor %f", pe, energy.RegisterFileEnergyPJ)
+	}
+}
+
+func TestAreaGrowsWithArray(t *testing.T) {
+	small := EyerissLike(2, 7, 128).AreaMM2()
+	base := EyerissLike(14, 12, 128).AreaMM2()
+	big := EyerissLike(16, 16, 128).AreaMM2()
+	if !(small < base && base < big) {
+		t.Errorf("area ordering violated: %f, %f, %f", small, base, big)
+	}
+	if small <= 0 {
+		t.Errorf("area = %f, want > 0", small)
+	}
+}
+
+func TestNetworkTotal(t *testing.T) {
+	if (Network{}).Total() != 1 {
+		t.Error("zero network total != 1")
+	}
+	if (Network{FanoutX: 14, FanoutY: 12}).Total() != 168 {
+		t.Error("14x12 total != 168")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := EyerissLike(14, 12, 128).String()
+	for _, frag := range []string{"DRAM", "GLB", "PE", "14x12"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() missing %q: %s", frag, s)
+		}
+	}
+}
+
+func TestWords(t *testing.T) {
+	if Words(128) != 65536 {
+		t.Errorf("Words(128) = %d", Words(128))
+	}
+	if Words(1) != 512 {
+		t.Errorf("Words(1) = %d", Words(1))
+	}
+}
+
+func TestTPULike(t *testing.T) {
+	a := TPULike(16, 16, 96)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalLanes() != 256 {
+		t.Errorf("lanes = %d", a.TotalLanes())
+	}
+	if a.Levels[1].KeepsRole(workload.Weight, false) {
+		t.Error("unified buffer should bypass weights (weight FIFO)")
+	}
+	if c, ded := a.Levels[2].RoleCapacity(workload.Weight); !ded || c != 2 {
+		t.Errorf("cell weight regs = %d dedicated=%v", c, ded)
+	}
+}
+
+func TestEyerissV2Like(t *testing.T) {
+	a := EyerissV2Like(8, 3, 128)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalLanes() != 24 {
+		t.Errorf("lanes = %d", a.TotalLanes())
+	}
+	if len(a.Levels) != 4 {
+		t.Fatalf("levels = %d", len(a.Levels))
+	}
+	if a.Instances(2) != 8 || a.Instances(3) != 24 {
+		t.Errorf("instances = %d, %d", a.Instances(2), a.Instances(3))
+	}
+	// Deeper hierarchies still have monotone access energies.
+	for li := 1; li < len(a.Levels); li++ {
+		if a.AccessEnergyPJ(li) > a.AccessEnergyPJ(li-1) {
+			t.Errorf("energy not monotone at level %d", li)
+		}
+	}
+	if TPULike(8, 8, 64).AreaMM2() <= 0 {
+		t.Error("TPU area not positive")
+	}
+}

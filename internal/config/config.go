@@ -1,0 +1,258 @@
+// Package config loads architectures, workloads and mapspace constraints
+// from JSON files — the user-defined-architecture entry point that Timeloop
+// serves with YAML configs. Only the standard library is used.
+//
+// Example architecture:
+//
+//	{
+//	  "name": "my-accel",
+//	  "levels": [
+//	    {"name": "DRAM"},
+//	    {"name": "GLB", "capacity_kib": 128,
+//	     "keeps": ["input", "output"],
+//	     "fanout": {"x": 14, "y": 12, "multicast": true}},
+//	    {"name": "PE",
+//	     "per_role_words": {"input": 12, "output": 16, "weight": 224}}
+//	  ]
+//	}
+//
+// Example workload:
+//
+//	{"name": "conv3", "type": "conv2d",
+//	 "conv": {"n": 1, "m": 128, "c": 128, "p": 28, "q": 28, "r": 3, "s": 3}}
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"ruby/internal/arch"
+	"ruby/internal/energy"
+	"ruby/internal/mapspace"
+	"ruby/internal/workload"
+)
+
+// ArchFile is the JSON schema for an architecture.
+type ArchFile struct {
+	Name         string      `json:"name"`
+	MACEnergyPJ  float64     `json:"mac_energy_pj,omitempty"`
+	DRAMEnergyPJ float64     `json:"dram_energy_pj,omitempty"`
+	SRAMScale    float64     `json:"sram_scale,omitempty"`
+	Levels       []LevelFile `json:"levels"`
+}
+
+// LevelFile is the JSON schema for one storage level.
+type LevelFile struct {
+	Name string `json:"name"`
+	// CapacityKiB and CapacityWords are alternative shared-capacity
+	// spellings (words win when both are set).
+	CapacityKiB   int              `json:"capacity_kib,omitempty"`
+	CapacityWords int64            `json:"capacity_words,omitempty"`
+	PerRoleWords  map[string]int64 `json:"per_role_words,omitempty"`
+	Keeps         []string         `json:"keeps,omitempty"`
+	Fanout        *FanoutFile      `json:"fanout,omitempty"`
+
+	BandwidthWords   float64 `json:"bandwidth_words,omitempty"`
+	StaticPJPerCycle float64 `json:"static_pj_per_cycle,omitempty"`
+}
+
+// FanoutFile is the JSON schema for a level's spatial network.
+type FanoutFile struct {
+	X           int     `json:"x"`
+	Y           int     `json:"y,omitempty"`
+	Multicast   bool    `json:"multicast,omitempty"`
+	HopEnergyPJ float64 `json:"hop_energy_pj,omitempty"`
+}
+
+// ParseArch builds an architecture from JSON bytes.
+func ParseArch(data []byte) (*arch.Arch, error) {
+	var f ArchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("config: arch: %w", err)
+	}
+	if f.Name == "" {
+		return nil, fmt.Errorf("config: arch: missing name")
+	}
+	a := &arch.Arch{
+		Name: f.Name,
+		Energy: energy.Table{
+			MACPJ:     f.MACEnergyPJ,
+			DRAMPJ:    f.DRAMEnergyPJ,
+			SRAMScale: f.SRAMScale,
+		},
+	}
+	for i, lf := range f.Levels {
+		l := arch.Level{
+			Name:             lf.Name,
+			BandwidthWords:   lf.BandwidthWords,
+			StaticPJPerCycle: lf.StaticPJPerCycle,
+		}
+		l.Capacity = lf.CapacityWords
+		if l.Capacity == 0 && lf.CapacityKiB > 0 {
+			l.Capacity = arch.Words(lf.CapacityKiB)
+		}
+		if lf.PerRoleWords != nil {
+			l.PerRole = make(map[workload.Role]int64, len(lf.PerRoleWords))
+			for name, words := range lf.PerRoleWords {
+				r, err := workload.ParseRole(name)
+				if err != nil {
+					return nil, fmt.Errorf("config: arch level %d: %w", i, err)
+				}
+				l.PerRole[r] = words
+			}
+		}
+		if lf.Keeps != nil {
+			l.Keeps = make(map[workload.Role]bool, len(lf.Keeps))
+			for _, name := range lf.Keeps {
+				r, err := workload.ParseRole(name)
+				if err != nil {
+					return nil, fmt.Errorf("config: arch level %d: %w", i, err)
+				}
+				l.Keeps[r] = true
+			}
+		}
+		if lf.Fanout != nil {
+			l.Fanout = arch.Network{
+				FanoutX:     lf.Fanout.X,
+				FanoutY:     lf.Fanout.Y,
+				Multicast:   lf.Fanout.Multicast,
+				HopEnergyPJ: lf.Fanout.HopEnergyPJ,
+			}
+			if l.Fanout.FanoutX == 0 {
+				l.Fanout.FanoutX = 1
+			}
+			if l.Fanout.FanoutY == 0 {
+				l.Fanout.FanoutY = 1
+			}
+		}
+		a.Levels = append(a.Levels, l)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return a, nil
+}
+
+// LoadArch reads and parses an architecture file.
+func LoadArch(path string) (*arch.Arch, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return ParseArch(data)
+}
+
+// WorkloadFile is the JSON schema for a workload.
+type WorkloadFile struct {
+	Name string `json:"name"`
+	// Type is "conv2d", "matmul", "vector1d" or "einsum".
+	Type   string      `json:"type"`
+	Conv   *ConvFile   `json:"conv,omitempty"`
+	Matmul *MatmulFile `json:"matmul,omitempty"`
+	D      int         `json:"d,omitempty"` // vector1d size
+	// Einsum workloads give an extended-Einsum expression plus per-dimension
+	// bounds, e.g. {"expr": "O[n,m,p,q] += I[n,m,p+r,q+s] * W[m,r,s]",
+	// "bounds": {"N":1, "M":32, "P":14, "Q":14, "R":3, "S":3}}.
+	Einsum *EinsumFile `json:"einsum,omitempty"`
+}
+
+// EinsumFile is an extended-Einsum workload description.
+type EinsumFile struct {
+	Expr   string         `json:"expr"`
+	Bounds map[string]int `json:"bounds"`
+}
+
+// ConvFile mirrors workload.Conv2DParams in snake_case JSON.
+type ConvFile struct {
+	N, M, C, P, Q, R, S int
+	StrideH             int `json:"stride_h,omitempty"`
+	StrideW             int `json:"stride_w,omitempty"`
+	DilationH           int `json:"dilation_h,omitempty"`
+	DilationW           int `json:"dilation_w,omitempty"`
+}
+
+// MatmulFile is a GEMM shape.
+type MatmulFile struct {
+	M, N, K int
+}
+
+// ParseWorkload builds a workload from JSON bytes.
+func ParseWorkload(data []byte) (*workload.Workload, error) {
+	var f WorkloadFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("config: workload: %w", err)
+	}
+	switch f.Type {
+	case "conv2d":
+		if f.Conv == nil {
+			return nil, fmt.Errorf("config: workload %q: conv2d needs a conv block", f.Name)
+		}
+		return workload.Conv2D(workload.Conv2DParams{
+			Name: f.Name,
+			N:    f.Conv.N, M: f.Conv.M, C: f.Conv.C,
+			P: f.Conv.P, Q: f.Conv.Q, R: f.Conv.R, S: f.Conv.S,
+			StrideH: f.Conv.StrideH, StrideW: f.Conv.StrideW,
+			DilationH: f.Conv.DilationH, DilationW: f.Conv.DilationW,
+		})
+	case "matmul":
+		if f.Matmul == nil {
+			return nil, fmt.Errorf("config: workload %q: matmul needs a matmul block", f.Name)
+		}
+		return workload.Matmul(f.Name, f.Matmul.M, f.Matmul.N, f.Matmul.K)
+	case "vector1d":
+		return workload.Vector1D(f.Name, f.D)
+	case "einsum":
+		if f.Einsum == nil {
+			return nil, fmt.Errorf("config: workload %q: einsum needs an einsum block", f.Name)
+		}
+		bounds := make(map[string]int, len(f.Einsum.Bounds))
+		for d, b := range f.Einsum.Bounds {
+			bounds[strings.ToUpper(d)] = b
+		}
+		return workload.ParseEinsum(f.Name, f.Einsum.Expr, bounds)
+	default:
+		return nil, fmt.Errorf("config: workload %q: unknown type %q", f.Name, f.Type)
+	}
+}
+
+// LoadWorkload reads and parses a workload file.
+func LoadWorkload(path string) (*workload.Workload, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	return ParseWorkload(data)
+}
+
+// ConstraintsFile is the JSON schema for mapspace constraints.
+type ConstraintsFile struct {
+	SpatialX          []string `json:"spatial_x,omitempty"`
+	SpatialY          []string `json:"spatial_y,omitempty"`
+	FixedPerms        bool     `json:"fixed_perms,omitempty"`
+	MaxTemporalFactor int      `json:"max_temporal_factor,omitempty"`
+}
+
+// ParseConstraints builds constraints from JSON bytes.
+func ParseConstraints(data []byte) (mapspace.Constraints, error) {
+	var f ConstraintsFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return mapspace.Constraints{}, fmt.Errorf("config: constraints: %w", err)
+	}
+	return mapspace.Constraints{
+		SpatialX:          f.SpatialX,
+		SpatialY:          f.SpatialY,
+		FixedPerms:        f.FixedPerms,
+		MaxTemporalFactor: f.MaxTemporalFactor,
+	}, nil
+}
+
+// LoadConstraints reads and parses a constraints file.
+func LoadConstraints(path string) (mapspace.Constraints, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return mapspace.Constraints{}, fmt.Errorf("config: %w", err)
+	}
+	return ParseConstraints(data)
+}

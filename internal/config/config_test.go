@@ -1,0 +1,208 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ruby/internal/mapping"
+	"ruby/internal/nest"
+	"ruby/internal/workload"
+)
+
+const eyerissJSON = `{
+  "name": "eyeriss-from-file",
+  "levels": [
+    {"name": "DRAM"},
+    {"name": "GLB", "capacity_kib": 128,
+     "keeps": ["input", "output"],
+     "fanout": {"x": 14, "y": 12, "multicast": true}},
+    {"name": "PE",
+     "per_role_words": {"input": 12, "output": 16, "weight": 224}}
+  ]
+}`
+
+func TestParseArchEyeriss(t *testing.T) {
+	a, err := ParseArch([]byte(eyerissJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != "eyeriss-from-file" || len(a.Levels) != 3 {
+		t.Fatalf("arch = %+v", a)
+	}
+	if a.TotalLanes() != 168 {
+		t.Errorf("lanes = %d", a.TotalLanes())
+	}
+	if a.Levels[1].Capacity != 65536 {
+		t.Errorf("GLB capacity = %d", a.Levels[1].Capacity)
+	}
+	if a.Levels[1].KeepsRole(workload.Weight, false) {
+		t.Error("weights should bypass the GLB")
+	}
+	if c, ded := a.Levels[2].RoleCapacity(workload.Weight); !ded || c != 224 {
+		t.Errorf("PE weight spad = %d dedicated=%v", c, ded)
+	}
+	if !a.Levels[1].Fanout.Multicast {
+		t.Error("multicast lost")
+	}
+}
+
+func TestParseArchExtensions(t *testing.T) {
+	a, err := ParseArch([]byte(`{
+	  "name": "x", "mac_energy_pj": 1.0, "dram_energy_pj": 100,
+	  "levels": [
+	    {"name": "DRAM"},
+	    {"name": "L1", "capacity_words": 512, "bandwidth_words": 4,
+	     "static_pj_per_cycle": 0.5,
+	     "fanout": {"x": 8, "multicast": true, "hop_energy_pj": 0.2}}
+	  ]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Energy.MAC() != 1.0 || a.Energy.Access(0) != 100 {
+		t.Error("energy overrides lost")
+	}
+	l := a.Levels[1]
+	if l.Capacity != 512 || l.BandwidthWords != 4 || l.StaticPJPerCycle != 0.5 {
+		t.Errorf("level = %+v", l)
+	}
+	if l.Fanout.FanoutY != 1 {
+		t.Errorf("implicit Y fanout = %d, want 1", l.Fanout.FanoutY)
+	}
+	if l.Fanout.HopEnergyPJ != 0.2 {
+		t.Error("hop energy lost")
+	}
+}
+
+func TestParseArchRejections(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"levels": [{"name": "DRAM"}, {"name": "L1"}]}`,                                 // no name
+		`{"name": "x", "levels": [{"name": "DRAM"}]}`,                                    // one level
+		`{"name": "x", "levels": [{"name": "DRAM"}, {"name": "L1", "keeps": ["psum"]}]}`, // bad role
+		`{"name": "x", "levels": [{"name": "DRAM"}, {"per_role_words": {"input": 12}}]}`, // unnamed level
+		`{"name": "x", "levels": [{"name": "DRAM", "capacity_kib": 1}, {"name": "L1"}]}`, // bounded DRAM
+	}
+	for _, c := range cases {
+		if _, err := ParseArch([]byte(c)); err == nil {
+			t.Errorf("ParseArch(%s) succeeded", c)
+		}
+	}
+}
+
+func TestParseWorkloadKinds(t *testing.T) {
+	conv, err := ParseWorkload([]byte(`{
+	  "name": "l2", "type": "conv2d",
+	  "conv": {"n":1,"m":96,"c":48,"p":27,"q":27,"r":5,"s":5}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if conv.Bound("Q") != 27 || conv.MACs() != uint64(96*48*27*27*25) {
+		t.Error("conv parse wrong")
+	}
+	mm, err := ParseWorkload([]byte(`{"name": "g", "type": "matmul", "matmul": {"m": 4, "n": 5, "k": 6}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mm.MACs() != 120 {
+		t.Error("matmul parse wrong")
+	}
+	v, err := ParseWorkload([]byte(`{"name": "v", "type": "vector1d", "d": 100}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.MACs() != 100 {
+		t.Error("vector parse wrong")
+	}
+}
+
+func TestParseWorkloadRejections(t *testing.T) {
+	cases := []string{
+		`{"name": "x", "type": "conv2d"}`,
+		`{"name": "x", "type": "matmul"}`,
+		`{"name": "x", "type": "einsum"}`,
+		`{"name": "x", "type": "vector1d", "d": 0}`,
+		`nope`,
+	}
+	for _, c := range cases {
+		if _, err := ParseWorkload([]byte(c)); err == nil {
+			t.Errorf("ParseWorkload(%s) succeeded", c)
+		}
+	}
+}
+
+func TestParseConstraints(t *testing.T) {
+	cons, err := ParseConstraints([]byte(`{
+	  "spatial_x": ["Q", "M"], "spatial_y": ["R", "S", "C"],
+	  "fixed_perms": true, "max_temporal_factor": 64}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cons.SpatialX) != 2 || len(cons.SpatialY) != 3 || !cons.FixedPerms || cons.MaxTemporalFactor != 64 {
+		t.Errorf("constraints = %+v", cons)
+	}
+	if _, err := ParseConstraints([]byte(`[`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestLoadFromFiles(t *testing.T) {
+	dir := t.TempDir()
+	archPath := filepath.Join(dir, "arch.json")
+	wlPath := filepath.Join(dir, "wl.json")
+	if err := os.WriteFile(archPath, []byte(eyerissJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(wlPath, []byte(`{"name": "v", "type": "vector1d", "d": 100}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := LoadArch(archPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := LoadWorkload(wlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loaded pair must be directly usable by the cost model.
+	ev, err := nest.NewEvaluator(w, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := ev.Evaluate(mapping.Uniform(w, a, 0)); !c.Valid {
+		t.Errorf("uniform mapping invalid on loaded arch: %s", c.Reason)
+	}
+	if _, err := LoadArch(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := LoadWorkload(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing workload accepted")
+	}
+	if _, err := LoadConstraints(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing constraints accepted")
+	}
+}
+
+func TestParseWorkloadEinsum(t *testing.T) {
+	w, err := ParseWorkload([]byte(`{
+	  "name": "dw", "type": "einsum",
+	  "einsum": {
+	    "expr": "O[n,m,p,q] += I[n,m,p+r,q+s] * W[m,r,s]",
+	    "bounds": {"n": 1, "m": 32, "p": 14, "q": 14, "r": 3, "s": 3}
+	  }}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.MACs() != uint64(32*14*14*9) {
+		t.Errorf("einsum MACs = %d", w.MACs())
+	}
+	if !w.Tensor("I").Relevant("M") {
+		t.Error("depthwise projection lost")
+	}
+	if _, err := ParseWorkload([]byte(`{"name": "x", "type": "einsum"}`)); err == nil {
+		t.Error("einsum without block accepted")
+	}
+	if _, err := ParseWorkload([]byte(`{"name": "x", "type": "einsum", "einsum": {"expr": "bad", "bounds": {}}}`)); err == nil {
+		t.Error("bad expression accepted")
+	}
+}

@@ -1,0 +1,132 @@
+// Package energy is the Accelergy-like energy and area substrate: it maps
+// architectural components (SRAMs, register files, DRAM, MAC units) to
+// per-access energies and silicon areas.
+//
+// The paper estimates energy with Accelergy backed by CACTI (large memories)
+// and Aladdin tables (register files, address generators). Absolute joules
+// from those tools are process-specific; what the paper's conclusions rest on
+// are the well-known *relative* costs across the hierarchy (Eyeriss, ISSCC'16:
+// DRAM ≈ 200x MAC, global buffer ≈ 6x, register file ≈ 1x). This package
+// reproduces those ratios with a CACTI-like sqrt(capacity) scaling law for
+// on-chip SRAM so that architecture sweeps (Figs. 13-14) see energy grow with
+// buffer size.
+package energy
+
+import (
+	"fmt"
+	"math"
+)
+
+// WordBits is the datapath word width. The paper's architectures use 16-bit
+// integer arithmetic.
+const WordBits = 16
+
+// WordBytes is WordBits in bytes.
+const WordBytes = WordBits / 8
+
+// Reference constants, in picojoules per access of one word, calibrated to
+// the Eyeriss energy ratios at a 45nm-class node (MAC = 2.2 pJ, Horowitz).
+const (
+	// MACEnergyPJ is the energy of one 16-bit multiply-accumulate.
+	MACEnergyPJ = 2.2
+	// DRAMEnergyPJ is the energy of moving one word from/to DRAM
+	// (200x MAC, the Eyeriss ratio).
+	DRAMEnergyPJ = 200 * MACEnergyPJ
+	// RegisterFileEnergyPJ is the floor for small local scratchpads
+	// (1x MAC).
+	RegisterFileEnergyPJ = MACEnergyPJ
+
+	// sramReferenceBytes and sramReferenceEnergyPJ anchor the sqrt scaling:
+	// a 128 KiB global buffer costs 6x MAC per access.
+	sramReferenceBytes    = 128 * 1024
+	sramReferenceEnergyPJ = 6 * MACEnergyPJ
+)
+
+// SRAMEnergyPJ returns the per-word access energy of an on-chip SRAM of the
+// given capacity in words. It follows a CACTI-like E ∝ sqrt(capacity) law
+// anchored at the 128 KiB reference point, with a register-file floor so tiny
+// scratchpads do not become free.
+func SRAMEnergyPJ(capacityWords int64) float64 {
+	if capacityWords <= 0 {
+		return DRAMEnergyPJ
+	}
+	bytes := float64(capacityWords) * WordBytes
+	e := sramReferenceEnergyPJ * math.Sqrt(bytes/sramReferenceBytes)
+	if e < RegisterFileEnergyPJ {
+		return RegisterFileEnergyPJ
+	}
+	return e
+}
+
+// Area constants, in mm^2, at a 45nm-class node. Only relative magnitudes
+// matter for the Pareto studies.
+const (
+	// MACAreaMM2 is the area of one 16-bit MAC lane plus its control.
+	MACAreaMM2 = 0.004
+	// PEOverheadAreaMM2 is per-PE control/NoC overhead.
+	PEOverheadAreaMM2 = 0.002
+	// SRAMAreaMM2PerByte is on-chip SRAM density (~1.5 mm^2 per MB).
+	SRAMAreaMM2PerByte = 1.5e-6
+)
+
+// SRAMAreaMM2 returns the area of an SRAM of the given capacity in words.
+func SRAMAreaMM2(capacityWords int64) float64 {
+	if capacityWords <= 0 {
+		return 0 // off-chip
+	}
+	return float64(capacityWords) * WordBytes * SRAMAreaMM2PerByte
+}
+
+// Table is an energy estimator resolving component classes to pJ/access.
+// The zero value uses the package defaults; fields may be overridden to run
+// sensitivity studies.
+type Table struct {
+	MACPJ  float64 // 0 => MACEnergyPJ
+	DRAMPJ float64 // 0 => DRAMEnergyPJ
+	// SRAMScale multiplies SRAMEnergyPJ results (0 => 1.0).
+	SRAMScale float64
+}
+
+// MAC returns the per-operation MAC energy in pJ.
+func (t Table) MAC() float64 {
+	if t.MACPJ > 0 {
+		return t.MACPJ
+	}
+	return MACEnergyPJ
+}
+
+// Access returns the per-word access energy of a storage level with the given
+// capacity in words (0 = off-chip DRAM).
+func (t Table) Access(capacityWords int64) float64 {
+	if capacityWords <= 0 {
+		if t.DRAMPJ > 0 {
+			return t.DRAMPJ
+		}
+		return DRAMEnergyPJ
+	}
+	scale := t.SRAMScale
+	if scale == 0 {
+		scale = 1
+	}
+	return scale * SRAMEnergyPJ(capacityWords)
+}
+
+// EDP combines an energy (pJ) and a delay (cycles) into the paper's target
+// metric. Units are pJ-cycles; only ratios are ever compared.
+func EDP(energyPJ, cycles float64) float64 {
+	return energyPJ * cycles
+}
+
+// Format renders an energy in engineering units for reports.
+func Format(pj float64) string {
+	switch {
+	case pj >= 1e9:
+		return fmt.Sprintf("%.3f mJ", pj/1e9)
+	case pj >= 1e6:
+		return fmt.Sprintf("%.3f uJ", pj/1e6)
+	case pj >= 1e3:
+		return fmt.Sprintf("%.3f nJ", pj/1e3)
+	default:
+		return fmt.Sprintf("%.3f pJ", pj)
+	}
+}

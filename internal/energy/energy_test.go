@@ -1,0 +1,109 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReferenceRatios(t *testing.T) {
+	// The Eyeriss ratios this package is calibrated to.
+	if got := DRAMEnergyPJ / MACEnergyPJ; got != 200 {
+		t.Errorf("DRAM/MAC = %f, want 200", got)
+	}
+	glb := SRAMEnergyPJ(128 * 1024 / WordBytes)
+	if r := glb / MACEnergyPJ; math.Abs(r-6) > 0.01 {
+		t.Errorf("GLB(128KiB)/MAC = %f, want 6", r)
+	}
+	rf := SRAMEnergyPJ(224) // Eyeriss weight spad
+	if rf != RegisterFileEnergyPJ {
+		t.Errorf("RF floor = %f, want %f", rf, RegisterFileEnergyPJ)
+	}
+}
+
+func TestSRAMEnergyMonotone(t *testing.T) {
+	f := func(a, b uint16) bool {
+		ca, cb := int64(a)+1, int64(b)+1
+		if ca > cb {
+			ca, cb = cb, ca
+		}
+		return SRAMEnergyPJ(ca*64) <= SRAMEnergyPJ(cb*64)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSRAMEnergySqrtLaw(t *testing.T) {
+	e1 := SRAMEnergyPJ(Wordsish(128))
+	e4 := SRAMEnergyPJ(Wordsish(512))
+	if r := e4 / e1; math.Abs(r-2) > 0.01 {
+		t.Errorf("4x capacity should cost 2x energy, got %f", r)
+	}
+}
+
+// Wordsish converts KiB to words for tests.
+func Wordsish(kib int) int64 { return int64(kib) * 1024 / WordBytes }
+
+func TestSRAMEnergyUnboundedIsDRAM(t *testing.T) {
+	if SRAMEnergyPJ(0) != DRAMEnergyPJ {
+		t.Error("capacity 0 should price as DRAM")
+	}
+}
+
+func TestTableDefaults(t *testing.T) {
+	var tb Table
+	if tb.MAC() != MACEnergyPJ {
+		t.Errorf("default MAC = %f", tb.MAC())
+	}
+	if tb.Access(0) != DRAMEnergyPJ {
+		t.Errorf("default DRAM = %f", tb.Access(0))
+	}
+	if tb.Access(Wordsish(128)) != SRAMEnergyPJ(Wordsish(128)) {
+		t.Error("default SRAM mismatch")
+	}
+}
+
+func TestTableOverrides(t *testing.T) {
+	tb := Table{MACPJ: 1, DRAMPJ: 100, SRAMScale: 2}
+	if tb.MAC() != 1 {
+		t.Errorf("MAC override = %f", tb.MAC())
+	}
+	if tb.Access(0) != 100 {
+		t.Errorf("DRAM override = %f", tb.Access(0))
+	}
+	want := 2 * SRAMEnergyPJ(Wordsish(128))
+	if got := tb.Access(Wordsish(128)); math.Abs(got-want) > 1e-9 {
+		t.Errorf("SRAM scale = %f, want %f", got, want)
+	}
+}
+
+func TestEDP(t *testing.T) {
+	if EDP(10, 5) != 50 {
+		t.Error("EDP(10,5) != 50")
+	}
+}
+
+func TestAreaHelpers(t *testing.T) {
+	if SRAMAreaMM2(0) != 0 {
+		t.Error("DRAM area should be 0")
+	}
+	if SRAMAreaMM2(Wordsish(128)) <= SRAMAreaMM2(Wordsish(64)) {
+		t.Error("SRAM area should grow with capacity")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	cases := []struct {
+		pj   float64
+		want string
+	}{
+		{1, "pJ"}, {2e3, "nJ"}, {3e6, "uJ"}, {4e9, "mJ"},
+	}
+	for _, c := range cases {
+		if got := Format(c.pj); !strings.Contains(got, c.want) {
+			t.Errorf("Format(%f) = %q, want suffix %q", c.pj, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package exp reproduces every table and figure of the paper's evaluation:
+// the mapspace-quality convergence study (Fig. 7), the mapspace-size table
+// (Table I), the padding comparison (Fig. 8), the AlexNet handcrafted-mapping
+// study (Fig. 9), the per-layer ResNet-50 and DeepBench comparisons on
+// Eyeriss-like and Simba-like architectures (Figs. 10-12), and the
+// architectural design-space exploration (Figs. 13-14).
+//
+// Each runner returns both structured results and a rendered stats.Table with
+// the same rows/series the paper reports. Budgets are configurable so the
+// same code serves quick regression tests, testing.B benchmarks, and
+// full-fidelity CLI runs.
+package exp
+
+import (
+	"fmt"
+
+	"ruby/internal/search"
+)
+
+// Config tunes experiment fidelity.
+type Config struct {
+	// Opt is the base search configuration (seed, threads, budgets).
+	Opt search.Options
+	// Runs averages stochastic-search experiments over this many seeds
+	// (the paper uses 100 for Fig. 7). Minimum 1.
+	Runs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Runs < 1 {
+		c.Runs = 1
+	}
+	return c
+}
+
+// Quick returns a configuration sized for tests and benchmarks: small
+// evaluation budgets, few averaging runs, deterministic seeds.
+func Quick() Config {
+	return Config{
+		Opt:  search.Options{Seed: 1, Threads: 4, MaxEvaluations: 2500},
+		Runs: 2,
+	}
+}
+
+// Full returns the paper-fidelity configuration: termination after 3000
+// consecutive non-improving valid mappings across 24 threads, 10 averaging
+// runs (the paper's 100 is available via -runs).
+func Full() Config {
+	return Config{
+		Opt:  search.Options{Seed: 1, Threads: 24, ConsecutiveNoImprove: 3000, MaxEvaluations: 200_000},
+		Runs: 10,
+	}
+}
+
+// seeded derives a per-run option set.
+func (c Config) seeded(run int) search.Options {
+	o := c.Opt
+	o.Seed = c.Opt.Seed + int64(run)*1_000_003
+	return o
+}
+
+// Names lists the experiment identifiers accepted by Run (cmd/rubyexp).
+func Names() []string {
+	return []string{
+		"fig7a", "fig7b", "fig7c", "fig7d",
+		"table1", "fig8", "fig9",
+		"fig10", "fig11", "fig12",
+		"fig13a", "fig13b", "fig14a", "fig14b",
+	}
+}
+
+// Run executes one experiment by identifier and returns its report.
+func Run(name string, cfg Config) (*Report, error) {
+	switch name {
+	case "fig7a", "fig7b", "fig7c", "fig7d":
+		return Fig7(name[4], cfg)
+	case "table1":
+		return Table1(cfg)
+	case "fig8":
+		return Fig8(cfg)
+	case "fig9":
+		return Fig9(cfg)
+	case "fig10":
+		return Fig10(cfg)
+	case "fig11":
+		return Fig11(cfg)
+	case "fig12":
+		return Fig12(cfg)
+	case "fig13a":
+		return Fig13(SuiteResNet, cfg)
+	case "fig13b":
+		return Fig13(SuiteDeepBench, cfg)
+	case "fig14a":
+		return Fig14(SuiteResNet, cfg)
+	case "fig14b":
+		return Fig14(SuiteDeepBench, cfg)
+	default:
+		for _, ext := range ExtensionNames() {
+			if name == ext {
+				return RunExtension(name, cfg)
+			}
+		}
+		return nil, fmt.Errorf("exp: unknown experiment %q (want one of %v or %v)",
+			name, Names(), ExtensionNames())
+	}
+}
+
+// Suite selects a workload suite for the sweep experiments.
+type Suite string
+
+const (
+	SuiteResNet    Suite = "resnet50"
+	SuiteDeepBench Suite = "deepbench"
+)

@@ -1,0 +1,163 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestExtensionNamesRouted(t *testing.T) {
+	for _, n := range ExtensionNames() {
+		if n == "ablations" {
+			continue // run below
+		}
+	}
+	if _, err := RunExtension("ext-bogus", Quick()); err == nil {
+		t.Error("bogus extension accepted")
+	}
+	// Run routes extension names too.
+	cfg := Quick()
+	cfg.Opt.MaxEvaluations = 800
+	rep, err := Run("ablations", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.String()
+	for _, frag := range []string{"multicast", "fanout-cap", "mixture sampler"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("ablations report missing %q", frag)
+		}
+	}
+	if len(rep.Tables) != 3 {
+		t.Errorf("ablation tables = %d, want 3", len(rep.Tables))
+	}
+}
+
+func TestExtensionTransformer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension suite search is slow")
+	}
+	cfg := Quick()
+	cfg.Opt.MaxEvaluations = 1200
+	rep, err := RunExtension("ext-transformer", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables[0].Rows) != 6 {
+		t.Errorf("transformer rows = %d, want 6", len(rep.Tables[0].Rows))
+	}
+	if !strings.Contains(rep.String(), "geomean") {
+		t.Error("missing geomean note")
+	}
+}
+
+func TestExtensionMobileNet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension suite search is slow")
+	}
+	cfg := Quick()
+	cfg.Opt.MaxEvaluations = 1200
+	rep, err := RunExtension("ext-mobilenetv2", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables[0].Rows) < 25 {
+		t.Errorf("mobilenet rows = %d", len(rep.Tables[0].Rows))
+	}
+}
+
+func TestSweepExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps are slow")
+	}
+	cfg := Quick()
+	cfg.Opt.MaxEvaluations = 250
+	for _, name := range []string{"fig13a", "fig13b", "fig14a", "fig14b"} {
+		rep, err := Run(name, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(rep.Tables) == 0 || len(rep.Tables[0].Rows) != 10 {
+			t.Errorf("%s: rows = %d, want 10 configurations", name, len(rep.Tables[0].Rows))
+		}
+	}
+}
+
+func TestFig12Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite search is slow")
+	}
+	cfg := Quick()
+	cfg.Opt.MaxEvaluations = 700
+	rep, err := Fig12(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Main 15-PE table plus the 9-PE auxiliary table.
+	if len(rep.Tables) != 2 {
+		t.Fatalf("tables = %d", len(rep.Tables))
+	}
+	if !strings.Contains(rep.Tables[1].Title, "9 PE") {
+		t.Error("aux table not labeled")
+	}
+}
+
+func TestDensityStudyShape(t *testing.T) {
+	cfg := Quick()
+	cfg.Opt.MaxEvaluations = 1500
+	rep, err := DensityStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables[0].Rows) != 4 {
+		t.Fatalf("rows = %d, want one per mapspace kind", len(rep.Tables[0].Rows))
+	}
+	// Parse valid fractions: Ruby's must trail Ruby-S's (Section III-A).
+	var rubyValid, rubySValid float64
+	for _, row := range rep.Tables[0].Rows {
+		var v float64
+		fmt.Sscan(row[2], &v)
+		switch row[0] {
+		case "Ruby":
+			rubyValid = v
+		case "Ruby-S":
+			rubySValid = v
+		}
+	}
+	if rubyValid >= rubySValid {
+		t.Errorf("Ruby valid%% (%f) should trail Ruby-S (%f)", rubyValid, rubySValid)
+	}
+}
+
+func TestHeuristicStudyQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("study is slow")
+	}
+	cfg := Quick()
+	cfg.Opt.MaxEvaluations = 1500
+	rep, err := HeuristicStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables[0].Rows) < 10 {
+		t.Errorf("rows = %d", len(rep.Tables[0].Rows))
+	}
+}
+
+func TestFig7AllVariantsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("convergence study is slow")
+	}
+	cfg := Quick()
+	cfg.Opt.MaxEvaluations = 2000
+	cfg.Runs = 1
+	for _, v := range []string{"fig7a", "fig7c", "fig7d"} {
+		rep, err := Run(v, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if len(rep.Tables[0].Rows) != 4 {
+			t.Errorf("%s: rows = %d", v, len(rep.Tables[0].Rows))
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package exp
+
+import (
+	"fmt"
+
+	"ruby/internal/mapspace"
+	"ruby/internal/plot"
+	"ruby/internal/stats"
+	"ruby/internal/sweep"
+	"ruby/internal/workloads"
+)
+
+// suiteLayers resolves a Suite to its layer list. The DeepBench sweep uses
+// the paper's "subselection" — the non-vision layers plus two vision anchors
+// — to keep the DSE tractable, exactly as Fig. 13b/14b sweep a subset.
+func suiteLayers(s Suite, forSweep bool) ([]workloads.Layer, error) {
+	switch s {
+	case SuiteResNet:
+		return workloads.ResNet50(), nil
+	case SuiteDeepBench:
+		all := workloads.DeepBench()
+		if !forSweep {
+			return all, nil
+		}
+		var sub []workloads.Layer
+		vision := 0
+		for _, l := range all {
+			if l.Domain == "vision" {
+				vision++
+				if vision > 2 {
+					continue
+				}
+			}
+			// Skip the largest GEMMs in the sweep for tractability.
+			if l.Work.MACs() > 3_000_000_000 {
+				continue
+			}
+			sub = append(sub, l)
+		}
+		return sub, nil
+	default:
+		return nil, fmt.Errorf("exp: unknown suite %q", s)
+	}
+}
+
+// runSweep executes the Section IV-E design-space exploration for a suite:
+// Eyeriss-like arrays from 2x7 to 16x16, three strategies (PFM, PFM+padding,
+// Ruby-S), EDP per configuration.
+func runSweep(s Suite, cfg Config) ([]sweep.DesignPoint, error) {
+	cfg = cfg.withDefaults()
+	layers, err := suiteLayers(s, true)
+	if err != nil {
+		return nil, err
+	}
+	return sweep.Explore(layers, sweep.EyerissConfigs(), 128,
+		sweep.Strategies(), mapspace.EyerissRowStationary, cfg.Opt)
+}
+
+// Fig13 reproduces Fig. 13: the area-EDP trade-off across Eyeriss-like array
+// configurations, per strategy, with the Pareto frontier marked. The paper's
+// claim: Ruby-S mappings form the Pareto frontier for both ResNet-50 and
+// DeepBench.
+func Fig13(s Suite, cfg Config) (*Report, error) {
+	points, err := runSweep(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Name: fmt.Sprintf("Fig 13 (%s): area vs EDP across array configurations", s)}
+	tb := &stats.Table{
+		Title:   "EDP per strategy (absolute, pJ*cycles); * marks the combined Pareto frontier",
+		Headers: []string{"array", "area mm^2", "PFM", "PFM+pad", "Ruby-S", "pareto"},
+	}
+	// Combined frontier across all strategies.
+	var all []stats.Point
+	for _, dp := range points {
+		for st, edp := range dp.EDP {
+			all = append(all, stats.Point{X: dp.AreaMM2, Y: edp, Label: dp.Config.String() + "/" + st})
+		}
+	}
+	frontier := stats.ParetoFrontier(all)
+	onFrontier := map[string]bool{}
+	for _, p := range frontier {
+		onFrontier[p.Label] = true
+	}
+	rubyCount, total := 0, 0
+	for _, p := range frontier {
+		total++
+		if len(p.Label) > 7 && p.Label[len(p.Label)-6:] == "Ruby-S" {
+			rubyCount++
+		}
+	}
+	for _, dp := range points {
+		mark := ""
+		for st := range dp.EDP {
+			if onFrontier[dp.Config.String()+"/"+st] {
+				mark += st + "* "
+			}
+		}
+		tb.AddRow(dp.Config.String(), dp.AreaMM2,
+			dp.EDP["PFM"], dp.EDP["PFM+pad"], dp.EDP["Ruby-S"], mark)
+	}
+	rep.Tables = append(rep.Tables, tb)
+
+	chart := plot.Chart{
+		Title: rep.Name, XLabel: "area (mm^2)", YLabel: "EDP (pJ*cycles)",
+		Kind: plot.Scatter, LogY: true,
+	}
+	for _, st := range []string{"PFM", "PFM+pad", "Ruby-S"} {
+		var xs, ys []float64
+		for _, dp := range points {
+			xs = append(xs, dp.AreaMM2)
+			ys = append(ys, dp.EDP[st])
+		}
+		chart.Series = append(chart.Series, plot.Series{Name: st, X: xs, Y: ys})
+	}
+	rep.Charts = append(rep.Charts, chart)
+
+	rep.Notef("combined Pareto frontier: %d/%d points are Ruby-S", rubyCount, total)
+	return rep, nil
+}
+
+// Fig14 reproduces Fig. 14: per-configuration EDP improvement of Ruby-S over
+// PFM across the same sweep. The paper reports ResNet-50 improvements up to
+// 60% (50-55% on the frontier, 24% average) and DeepBench up to 55% (20%
+// average on the frontier).
+func Fig14(s Suite, cfg Config) (*Report, error) {
+	points, err := runSweep(s, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Name: fmt.Sprintf("Fig 14 (%s): Ruby-S EDP improvement per configuration", s)}
+	tb := &stats.Table{
+		Title:   "improvement over PFM (positive = Ruby-S better)",
+		Headers: []string{"array", "PEs", "vs PFM %", "vs PFM+pad %"},
+	}
+	var imps []float64
+	for _, dp := range points {
+		impP := 100 * stats.Improvement(dp.EDP["PFM"], dp.EDP["Ruby-S"])
+		impPad := 100 * stats.Improvement(dp.EDP["PFM+pad"], dp.EDP["Ruby-S"])
+		imps = append(imps, impP)
+		tb.AddRow(dp.Config.String(), dp.Config.PEs(), impP, impPad)
+	}
+	rep.Tables = append(rep.Tables, tb)
+
+	labels := make([]string, len(points))
+	for i, dp := range points {
+		labels[i] = dp.Config.String()
+	}
+	rep.Charts = append(rep.Charts, plot.Chart{
+		Title: rep.Name, XLabel: "array configuration", YLabel: "EDP improvement vs PFM (%)",
+		Kind: plot.Bars, Labels: labels,
+		Series: []plot.Series{{Name: "Ruby-S vs PFM", Y: imps}},
+	})
+
+	rep.Notef("improvement vs PFM: mean %.1f%%, max %.1f%%", stats.Mean(imps), stats.Max(imps))
+	return rep, nil
+}

@@ -1,0 +1,178 @@
+package exp
+
+import (
+	"fmt"
+
+	"ruby/internal/arch"
+	"ruby/internal/mapspace"
+	"ruby/internal/nest"
+	"ruby/internal/plot"
+	"ruby/internal/search"
+	"ruby/internal/stats"
+	"ruby/internal/workload"
+	"ruby/internal/workloads"
+)
+
+// fig7Checkpoints are the evaluation counts at which the convergence curves
+// are sampled (the paper plots best-EDP-so-far over the first 10,000
+// evaluated mappings).
+var fig7Checkpoints = []int64{100, 300, 1000, 3000, 10000}
+
+// fig7Scenario describes one subfigure of Fig. 7.
+type fig7Scenario struct {
+	name string
+	work *workload.Workload
+	pes  int
+	cons mapspace.Constraints
+}
+
+func fig7Scenarios(variant byte) (fig7Scenario, error) {
+	switch variant {
+	case 'a':
+		return fig7Scenario{"Fig 7a: matmul 100x100, 5 PEs (aligned)", workloads.Fig7Matmul(), 5, mapspace.Constraints{}}, nil
+	case 'b':
+		return fig7Scenario{"Fig 7b: matmul 100x100, 16 PEs (mismatched)", workloads.Fig7Matmul(), 16, mapspace.Constraints{}}, nil
+	case 'c':
+		return fig7Scenario{"Fig 7c: conv 3x3x64 over 28x28x64, 8 PEs (aligned), C/M spatial",
+			workloads.Fig7Conv(), 8, mapspace.Constraints{SpatialX: []string{"C", "M"}}}, nil
+	case 'd':
+		return fig7Scenario{"Fig 7d: conv 3x3x64 over 28x28x64, 15 PEs (misaligned), C/M spatial",
+			workloads.Fig7Conv(), 15, mapspace.Constraints{SpatialX: []string{"C", "M"}}}, nil
+	default:
+		return fig7Scenario{}, fmt.Errorf("exp: unknown Fig 7 variant %q", variant)
+	}
+}
+
+// Fig7Result carries the structured convergence data behind one subfigure.
+type Fig7Result struct {
+	Scenario string
+	// BestEDP[kind][checkpoint index] is the mean best-EDP-so-far after
+	// that many evaluated mappings, averaged over runs (0 when no valid
+	// mapping had been found by then in any run).
+	BestEDP map[mapspace.Kind][]float64
+	// FinalEDP[kind] is the mean best EDP at the full budget.
+	FinalEDP map[mapspace.Kind]float64
+	// ChainCount[kind] is the tiling-mapspace size.
+	ChainCount map[mapspace.Kind]uint64
+}
+
+// Fig7 reproduces one subfigure of Fig. 7: best-EDP-so-far versus the number
+// of evaluated mappings for the PFM, Ruby, Ruby-S and Ruby-T mapspaces on a
+// toy linear-array architecture (1 KiB scratchpad per PE), averaged over
+// cfg.Runs random-search runs.
+func Fig7(variant byte, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	sc, err := fig7Scenarios(variant)
+	if err != nil {
+		return nil, err
+	}
+	a := arch.ToyLinear(sc.pes, 512)
+	ev, err := nest.NewEvaluator(sc.work, a)
+	if err != nil {
+		return nil, err
+	}
+
+	budget := cfg.Opt.MaxEvaluations
+	if budget <= 0 || budget > 10000 {
+		budget = 10000
+	}
+	res := Fig7Result{
+		Scenario:   sc.name,
+		BestEDP:    make(map[mapspace.Kind][]float64),
+		FinalEDP:   make(map[mapspace.Kind]float64),
+		ChainCount: make(map[mapspace.Kind]uint64),
+	}
+	for _, kind := range mapspace.Kinds {
+		sp := mapspace.New(sc.work, a, kind, sc.cons)
+		res.ChainCount[kind] = sp.TotalChainCount()
+		sums := make([]float64, len(fig7Checkpoints))
+		counts := make([]int, len(fig7Checkpoints))
+		var finalSum float64
+		finals := 0
+		for run := 0; run < cfg.Runs; run++ {
+			opt := cfg.seeded(run)
+			opt.MaxEvaluations = budget
+			opt.ConsecutiveNoImprove = 0
+			opt.KeepTrace = true
+			r := search.Random(sp, ev, opt)
+			for ci, n := range fig7Checkpoints {
+				if n > budget {
+					continue
+				}
+				if edp, ok := r.BestEDPAt(n); ok {
+					sums[ci] += edp
+					counts[ci]++
+				}
+			}
+			if r.Best != nil {
+				finalSum += r.BestCost.EDP
+				finals++
+			}
+		}
+		curve := make([]float64, len(fig7Checkpoints))
+		for ci := range curve {
+			if counts[ci] > 0 {
+				curve[ci] = sums[ci] / float64(counts[ci])
+			}
+		}
+		res.BestEDP[kind] = curve
+		if finals > 0 {
+			res.FinalEDP[kind] = finalSum / float64(finals)
+		}
+	}
+
+	rep := &Report{Name: sc.name}
+	tb := &stats.Table{
+		Title:   "mean best EDP (pJ*cycles) after N evaluated mappings",
+		Headers: []string{"mapspace", "size"},
+	}
+	for _, n := range fig7Checkpoints {
+		if n <= budget {
+			tb.Headers = append(tb.Headers, fmt.Sprintf("N=%d", n))
+		}
+	}
+	for _, kind := range mapspace.Kinds {
+		row := []any{kind.String(), fmt.Sprintf("%d", res.ChainCount[kind])}
+		for ci, n := range fig7Checkpoints {
+			if n > budget {
+				continue
+			}
+			v := res.BestEDP[kind][ci]
+			if v == 0 {
+				row = append(row, "-")
+			} else {
+				row = append(row, v)
+			}
+		}
+		tb.AddRow(row...)
+	}
+	rep.Tables = append(rep.Tables, tb)
+
+	chart := plot.Chart{
+		Title: sc.name, XLabel: "evaluated mappings", YLabel: "best EDP (pJ*cycles)",
+		Kind: plot.Line, LogX: true, LogY: true,
+	}
+	for _, kind := range mapspace.Kinds {
+		var xs, ys []float64
+		for ci, n := range fig7Checkpoints {
+			if n > budget || res.BestEDP[kind][ci] == 0 {
+				continue
+			}
+			xs = append(xs, float64(n))
+			ys = append(ys, res.BestEDP[kind][ci])
+		}
+		if len(xs) > 0 {
+			chart.Series = append(chart.Series, plot.Series{Name: kind.String(), X: xs, Y: ys})
+		}
+	}
+	rep.Charts = append(rep.Charts, chart)
+
+	if pfm, ok := res.FinalEDP[mapspace.PFM]; ok && pfm > 0 {
+		for _, kind := range []mapspace.Kind{mapspace.RubyS, mapspace.RubyT, mapspace.Ruby} {
+			if v := res.FinalEDP[kind]; v > 0 {
+				rep.Notef("%s final EDP vs PFM: %+.1f%%", kind, -100*stats.Improvement(pfm, v))
+			}
+		}
+	}
+	return rep, nil
+}

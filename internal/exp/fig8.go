@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"fmt"
+
+	"ruby/internal/arch"
+	"ruby/internal/mapspace"
+	"ruby/internal/nest"
+	"ruby/internal/plot"
+	"ruby/internal/search"
+	"ruby/internal/stats"
+	"ruby/internal/workloads"
+)
+
+// Fig8Sizes are the swept dimension sizes. The paper highlights D=127 (a
+// prime: PFM cannot parallelize at all, padding to 128 costs one ineffectual
+// element) and D=113 (a prime where padding wastes ~12% of the work).
+var Fig8Sizes = []int{96, 100, 104, 108, 112, 113, 116, 120, 124, 127, 128}
+
+// Fig8 reproduces Fig. 8: allocating a single rank-1 tensor across 16 linear
+// PEs, comparing perfect factorization, perfect factorization with padding
+// (to the next multiple of 16, ineffectual work charged in full), and
+// Ruby-S. EDPs are reported normalized to Ruby-S (lower is better; 1.0 means
+// parity).
+//
+// The mapspaces are small enough to search exhaustively, so the results are
+// deterministic.
+func Fig8(cfg Config) (*Report, error) {
+	const pes = 16
+	a := arch.ToyLinear(pes, 512)
+
+	rep := &Report{Name: "Fig 8: dimension sweep on a 16-PE toy architecture (EDP normalized to Ruby-S)"}
+	tb := &stats.Table{
+		Title:   "normalized EDP (lower is better)",
+		Headers: []string{"D", "PFM", "PFM+pad", "Ruby-S", "Ruby-S util"},
+	}
+
+	bestEDP := func(d int, kind mapspace.Kind, pad bool) (nest.Cost, error) {
+		w := workloads.Rank1(d)
+		if pad {
+			var err error
+			w, err = mapspace.PadWorkload(w, map[string]int{"X": pes})
+			if err != nil {
+				return nest.Cost{}, err
+			}
+		}
+		ev, err := nest.NewEvaluator(w, a)
+		if err != nil {
+			return nest.Cost{}, err
+		}
+		sp := mapspace.New(w, a, kind, mapspace.Constraints{FixedPerms: true})
+		res := search.Exhaustive(sp, ev, 0)
+		if res.Best == nil {
+			return nest.Cost{}, fmt.Errorf("exp: fig8: no valid mapping for D=%d %v pad=%v", d, kind, pad)
+		}
+		return res.BestCost, nil
+	}
+
+	var xs, pfmR, padR []float64
+	for _, d := range Fig8Sizes {
+		pfm, err := bestEDP(d, mapspace.PFM, false)
+		if err != nil {
+			return nil, err
+		}
+		padded, err := bestEDP(d, mapspace.PFM, true)
+		if err != nil {
+			return nil, err
+		}
+		rubyS, err := bestEDP(d, mapspace.RubyS, false)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(d, pfm.EDP/rubyS.EDP, padded.EDP/rubyS.EDP, 1.0, rubyS.Utilization)
+		xs = append(xs, float64(d))
+		pfmR = append(pfmR, pfm.EDP/rubyS.EDP)
+		padR = append(padR, padded.EDP/rubyS.EDP)
+		if d == 127 && pfm.Cycles < 100 {
+			rep.Notef("D=127 PFM parallelized unexpectedly: cycles=%g", pfm.Cycles)
+		}
+	}
+	rep.Tables = append(rep.Tables, tb)
+	ones := make([]float64, len(xs))
+	for i := range ones {
+		ones[i] = 1
+	}
+	rep.Charts = append(rep.Charts, plot.Chart{
+		Title: "Fig 8: EDP normalized to Ruby-S", XLabel: "dimension size D", YLabel: "normalized EDP",
+		Kind: plot.Line, LogY: true,
+		Series: []plot.Series{
+			{Name: "PFM", X: xs, Y: pfmR},
+			{Name: "PFM+pad", X: xs, Y: padR},
+			{Name: "Ruby-S", X: xs, Y: ones},
+		},
+	})
+	rep.Notef("expected shape: PFM spikes at primes (127: no parallelism); padding competitive at 127 but ~20%% worse at 113")
+	return rep, nil
+}

@@ -1,0 +1,44 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"ruby/internal/plot"
+	"ruby/internal/stats"
+)
+
+// Report is an experiment's rendered output: one or more tables plus
+// free-form notes (e.g. the paper's headline numbers next to the measured
+// ones).
+type Report struct {
+	Name   string
+	Tables []*stats.Table
+	Notes  []string
+	// Charts are SVG-renderable figures mirroring the paper's plots
+	// (written by cmd/rubyexp -svg).
+	Charts []plot.Chart
+}
+
+// String renders the report as plain text.
+func (r *Report) String() string {
+	var b strings.Builder
+	b.WriteString("### ")
+	b.WriteString(r.Name)
+	b.WriteString("\n\n")
+	for _, t := range r.Tables {
+		t.Render(&b)
+		b.WriteString("\n")
+	}
+	for _, n := range r.Notes {
+		b.WriteString("note: ")
+		b.WriteString(n)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Notef appends a formatted note.
+func (r *Report) Notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}

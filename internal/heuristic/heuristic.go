@@ -1,0 +1,328 @@
+// Package heuristic is a deterministic one-shot constructive mapper in the
+// spirit of COSA: instead of searching, it builds a single mapping directly —
+// spatial factors first (saturating the array, using imperfect factors when
+// the mapspace kind permits them), then temporal factors grown greedily
+// against buffer capacities, with reuse-oriented loop orders. It demonstrates
+// that the Ruby mapspaces compose with constructive approaches as well as
+// with search, and provides fast warm starts for the searchers.
+package heuristic
+
+import (
+	"fmt"
+	"sort"
+
+	"ruby/internal/factor"
+	"ruby/internal/mapping"
+	"ruby/internal/mapspace"
+	"ruby/internal/nest"
+	"ruby/internal/workload"
+)
+
+// Construct builds a mapping for the evaluator's workload/architecture pair
+// under the given mapspace kind and constraints, and returns it with its
+// cost. The construction never fails for satisfiable problems: the
+// all-at-DRAM mapping is the fallback.
+func Construct(ev *nest.Evaluator, kind mapspace.Kind, cons mapspace.Constraints) (*mapping.Mapping, nest.Cost, error) {
+	w, a := ev.Work, ev.Arch
+	slots := ev.Slots
+
+	b := &builder{
+		ev: ev, kind: kind, cons: cons,
+		slots:    slots,
+		factors:  make(map[string][]int, len(w.Dims)),
+		residual: make(map[string]int, len(w.Dims)),
+	}
+	for _, d := range w.Dims {
+		fs := make([]int, len(slots))
+		for i := range fs {
+			fs[i] = 1
+		}
+		b.factors[d.Name] = fs
+		b.residual[d.Name] = d.Bound
+	}
+
+	// 1. Spatial saturation, innermost spatial slots first (vector lanes
+	// before the PE array): pack the fanout with the largest admissible
+	// factors of the dimensions each axis allows.
+	for si := len(slots) - 1; si >= 0; si-- {
+		if slots[si].Spatial() {
+			b.fillSpatial(si)
+		}
+	}
+
+	// 2. Temporal growth at each storage level, innermost first, maximizing
+	// buffer-resident reuse subject to capacity (checked by trial
+	// evaluation). Weight-relevant dimensions grow first at inner levels
+	// (filter reuse), input-relevant ones at outer on-chip levels.
+	for li := len(a.Levels) - 1; li >= 1; li-- {
+		b.growTemporal(li)
+	}
+
+	// 3. Whatever residual remains goes to DRAM's temporal slot.
+	for _, d := range w.Dims {
+		b.factors[d.Name][0] = b.residual[d.Name]
+		b.residual[d.Name] = 1
+	}
+
+	// 4. Loop orders: reuse-oriented perms, with a couple of alternatives
+	// evaluated and the best kept.
+	best, bestCost := b.pickPerms()
+	if !bestCost.Valid {
+		// Fallback: stream everything from DRAM.
+		m := mapping.Uniform(w, a, 0)
+		c := ev.Evaluate(m)
+		if !c.Valid {
+			return nil, c, fmt.Errorf("heuristic: no valid mapping exists (%s)", c.Reason)
+		}
+		return m, c, nil
+	}
+	return best, bestCost, nil
+}
+
+type builder struct {
+	ev       *nest.Evaluator
+	kind     mapspace.Kind
+	cons     mapspace.Constraints
+	slots    []mapping.Slot
+	factors  map[string][]int
+	residual map[string]int
+}
+
+// imperfectAt reports whether the kind permits remainders at the slot.
+func (b *builder) imperfectAt(s mapping.Slot) bool {
+	if s.Spatial() {
+		return b.kind == mapspace.Ruby || b.kind == mapspace.RubyS
+	}
+	return b.kind == mapspace.Ruby || b.kind == mapspace.RubyT
+}
+
+// allowed reports whether dim may take spatial factors on the slot's axis.
+func (b *builder) allowed(s mapping.Slot, dim string) bool {
+	var list []string
+	switch s.Kind {
+	case mapping.SpatialX:
+		list = b.cons.SpatialX
+	case mapping.SpatialY:
+		list = b.cons.SpatialY
+	default:
+		return true
+	}
+	if list == nil {
+		return true
+	}
+	for _, d := range list {
+		if d == dim {
+			return true
+		}
+	}
+	return false
+}
+
+// assign applies factor f to dim at slot si, updating the residual.
+func (b *builder) assign(si int, dim string, f int) {
+	if f <= 1 {
+		return
+	}
+	b.factors[dim][si] *= f
+	r := b.residual[dim]
+	if b.factors[dim][si] >= r {
+		b.residual[dim] = 1
+		return
+	}
+	if r%f == 0 {
+		b.residual[dim] = r / f
+	} else {
+		b.residual[dim] = factor.CeilDiv(r, f)
+	}
+}
+
+// fillSpatial packs one spatial slot: repeatedly give the allowed dimension
+// with the largest residual its best admissible factor until the fanout
+// budget is exhausted or no dimension can contribute.
+func (b *builder) fillSpatial(si int) {
+	s := b.slots[si]
+	budget := s.Fanout
+	imperfect := b.imperfectAt(s)
+	for budget > 1 {
+		bestDim, bestF := "", 1
+		for _, d := range b.ev.Work.DimNames() {
+			if !b.allowed(s, d) {
+				continue
+			}
+			r := b.residual[d]
+			if r <= 1 {
+				continue
+			}
+			var f int
+			if imperfect {
+				f = r
+				if f > budget {
+					f = budget
+				}
+			} else {
+				f = largestDivisorLE(r, budget)
+			}
+			if f > bestF {
+				bestDim, bestF = d, f
+			}
+		}
+		if bestDim == "" {
+			return
+		}
+		b.assign(si, bestDim, bestF)
+		budget /= bestF
+	}
+}
+
+// growTemporal grows the temporal factors of one storage level: for each
+// dimension in reuse priority order, adopt the largest admissible factor
+// that keeps the trial mapping capacity-valid.
+func (b *builder) growTemporal(li int) {
+	si := mapping.FirstSlotOfLevel(b.slots, li)
+	s := b.slots[si]
+	imperfect := b.imperfectAt(s)
+
+	for _, d := range b.priorityDims(li) {
+		r := b.residual[d]
+		if r <= 1 {
+			continue
+		}
+		var candidates []int
+		if imperfect {
+			for f := r; f >= 2; f-- {
+				candidates = append(candidates, f)
+			}
+			if len(candidates) > 24 {
+				// Thin out huge ranges: keep the extremes and divisors.
+				thin := candidates[:0]
+				for _, f := range candidates {
+					if f == r || f == 2 || r%f == 0 || f%8 == 0 {
+						thin = append(thin, f)
+					}
+				}
+				candidates = thin
+			}
+		} else {
+			divs := factor.Divisors(r)
+			for i := len(divs) - 1; i >= 0; i-- {
+				if divs[i] > 1 {
+					candidates = append(candidates, divs[i])
+				}
+			}
+		}
+		for _, f := range candidates {
+			old := b.factors[d][si]
+			oldR := b.residual[d]
+			b.assign(si, d, f)
+			if b.trialValid() {
+				break
+			}
+			b.factors[d][si] = old
+			b.residual[d] = oldR
+		}
+	}
+}
+
+// trialValid evaluates the current partial assignment with the residuals
+// parked at DRAM.
+func (b *builder) trialValid() bool {
+	m := b.snapshot(mapping.DefaultPerms(b.ev.Work, b.ev.Arch))
+	return b.ev.Evaluate(m).Valid
+}
+
+// snapshot materializes the current factor state as a mapping.
+func (b *builder) snapshot(perms [][]string) *mapping.Mapping {
+	m := &mapping.Mapping{Factors: make(map[string][]int, len(b.factors)), Perms: perms}
+	for d, fs := range b.factors {
+		out := append([]int(nil), fs...)
+		out[0] *= b.residual[d] // park the unassigned residual at DRAM
+		m.Factors[d] = out
+	}
+	return m
+}
+
+// priorityDims orders dimensions for temporal growth at a level: the
+// innermost on-chip level grows weight-relevant dimensions first (filter
+// reuse in the per-PE scratchpads), outer levels grow input-relevant ones
+// (activation reuse in shared buffers). Larger residuals break ties.
+func (b *builder) priorityDims(li int) []string {
+	w := b.ev.Work
+	var keyTensor *workload.Tensor
+	if li == len(b.ev.Arch.Levels)-1 {
+		keyTensor = w.TensorByRole(workload.Weight)
+	} else {
+		keyTensor = w.TensorByRole(workload.Input)
+	}
+	dims := append([]string(nil), w.DimNames()...)
+	sort.SliceStable(dims, func(i, j int) bool {
+		ri := keyTensor != nil && keyTensor.Relevant(dims[i])
+		rj := keyTensor != nil && keyTensor.Relevant(dims[j])
+		if ri != rj {
+			return ri
+		}
+		return b.residual[dims[i]] > b.residual[dims[j]]
+	})
+	return dims
+}
+
+// pickPerms evaluates a small set of reuse-oriented loop orders and keeps
+// the best.
+func (b *builder) pickPerms() (*mapping.Mapping, nest.Cost) {
+	w := b.ev.Work
+	out := w.Output()
+	weight := w.TensorByRole(workload.Weight)
+
+	// Order A: weight-irrelevant loops innermost at every on-chip level
+	// (weights stay resident while activations stream).
+	weightStationary := orderBy(w.DimNames(), func(d string) bool {
+		return weight != nil && weight.Relevant(d)
+	})
+	// Order B: output-relevant loops outermost, reductions innermost
+	// (partial sums accumulate in place).
+	outputStationary := orderBy(w.DimNames(), func(d string) bool {
+		return out.Relevant(d)
+	})
+
+	var best *mapping.Mapping
+	var bestCost nest.Cost
+	for _, perm := range [][]string{weightStationary, outputStationary, w.DimNames()} {
+		perms := make([][]string, len(b.ev.Arch.Levels))
+		for li := range perms {
+			perms[li] = perm
+		}
+		m := b.snapshot(perms)
+		c := b.ev.Evaluate(m)
+		if c.Valid && (best == nil || c.EDP < bestCost.EDP) {
+			best, bestCost = m, c
+		}
+	}
+	return best, bestCost
+}
+
+// orderBy returns dims with those satisfying pred first (outermost).
+func orderBy(dims []string, pred func(string) bool) []string {
+	out := make([]string, 0, len(dims))
+	for _, d := range dims {
+		if pred(d) {
+			out = append(out, d)
+		}
+	}
+	for _, d := range dims {
+		if !pred(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// largestDivisorLE returns the largest divisor of n not exceeding cap (at
+// least 1).
+func largestDivisorLE(n, cap int) int {
+	best := 1
+	for _, d := range factor.Divisors(n) {
+		if d <= cap && d > best {
+			best = d
+		}
+	}
+	return best
+}

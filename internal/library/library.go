@@ -1,0 +1,104 @@
+// Package library is a file-backed cache of best-known mappings keyed by
+// (workload, architecture, mapspace kind, constraints). Real mapper
+// deployments search once and reuse: a suite evaluation that already mapped
+// res4x_branch2c on the 14x12 baseline should not search it again.
+package library
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ruby/internal/arch"
+	"ruby/internal/mapping"
+	"ruby/internal/mapspace"
+	"ruby/internal/workload"
+)
+
+// Store is a directory of saved mappings, one JSON file per key.
+type Store struct {
+	dir string
+}
+
+// Open creates the directory if needed and returns the store.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("library: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the backing directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Key derives the cache key for a mapping problem. It hashes the workload's
+// full loop-nest rendering (dimensions, bounds, projections, strides), the
+// architecture's structural fields (capacities, per-operand buffers,
+// fanouts, multicast), the mapspace kind and the constraint set — everything
+// that affects which mappings exist and how they cost.
+func Key(w *workload.Workload, a *arch.Arch, kind mapspace.Kind, cons mapspace.Constraints) string {
+	h := sha256.New()
+	fmt.Fprintln(h, w.String())
+	for i := range a.Levels {
+		l := &a.Levels[i]
+		fmt.Fprintf(h, "level %q cap=%d perRole=%v keeps=%v fanout=%dx%d mcast=%v bw=%g static=%g hop=%g\n",
+			l.Name, l.Capacity, l.PerRole, l.Keeps,
+			l.Fanout.FanoutX, l.Fanout.FanoutY, l.Fanout.Multicast,
+			l.BandwidthWords, l.StaticPJPerCycle, l.Fanout.HopEnergyPJ)
+	}
+	fmt.Fprintf(h, "energy=%+v\n", a.Energy)
+	fmt.Fprintf(h, "kind=%d cons=%+v\n", kind, cons)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key+".json")
+}
+
+// Get loads and structurally validates the cached mapping for key, if any.
+// A cache file that no longer decodes against the problem (stale schema,
+// changed slot count) is treated as a miss.
+func (s *Store) Get(key string, w *workload.Workload, slots []mapping.Slot) (*mapping.Mapping, bool) {
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, false
+	}
+	m, err := mapping.Decode(data, w, slots)
+	if err != nil {
+		return nil, false
+	}
+	return m, true
+}
+
+// Put saves a mapping under key, atomically (write + rename).
+func (s *Store) Put(key string, m *mapping.Mapping) error {
+	data, err := m.Encode()
+	if err != nil {
+		return fmt.Errorf("library: %w", err)
+	}
+	tmp := s.path(key) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("library: %w", err)
+	}
+	if err := os.Rename(tmp, s.path(key)); err != nil {
+		return fmt.Errorf("library: %w", err)
+	}
+	return nil
+}
+
+// Len counts stored mappings.
+func (s *Store) Len() (int, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, fmt.Errorf("library: %w", err)
+	}
+	n := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) == ".json" {
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,86 @@
+package library
+
+import (
+	"testing"
+
+	"ruby/internal/arch"
+	"ruby/internal/mapping"
+	"ruby/internal/mapspace"
+	"ruby/internal/workload"
+)
+
+func TestStoreRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload.MustVector1D("d100", 100)
+	a := arch.ToyGLB(6, 512)
+	slots := mapping.Slots(a)
+	key := Key(w, a, mapspace.RubyS, mapspace.Constraints{})
+
+	if _, ok := s.Get(key, w, slots); ok {
+		t.Fatal("hit on empty store")
+	}
+	m := mapping.Uniform(w, a, 1)
+	m.Factors["X"] = []int{1, 17, 6}
+	if err := s.Put(key, m); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key, w, slots)
+	if !ok {
+		t.Fatal("miss after put")
+	}
+	if got.Key(w, slots) != m.Key(w, slots) {
+		t.Error("round trip changed the mapping")
+	}
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Errorf("Len = %d, %v", n, err)
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	w := workload.MustVector1D("d100", 100)
+	w2 := workload.MustVector1D("d100", 101)
+	a := arch.ToyGLB(6, 512)
+	a2 := arch.ToyGLB(7, 512)
+	a3 := arch.ToyGLB(6, 1024)
+	base := Key(w, a, mapspace.RubyS, mapspace.Constraints{})
+	diffs := []string{
+		Key(w2, a, mapspace.RubyS, mapspace.Constraints{}),
+		Key(w, a2, mapspace.RubyS, mapspace.Constraints{}),
+		Key(w, a3, mapspace.RubyS, mapspace.Constraints{}),
+		Key(w, a, mapspace.PFM, mapspace.Constraints{}),
+		Key(w, a, mapspace.RubyS, mapspace.Constraints{SpatialX: []string{"X"}}),
+	}
+	for i, d := range diffs {
+		if d == base {
+			t.Errorf("variant %d collides with base key", i)
+		}
+	}
+	// Stability: same inputs, same key.
+	if Key(w, a, mapspace.RubyS, mapspace.Constraints{}) != base {
+		t.Error("key not deterministic")
+	}
+}
+
+func TestGetRejectsStaleEntries(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := workload.MustVector1D("d100", 100)
+	a := arch.ToyGLB(6, 512)
+	m := mapping.Uniform(w, a, 1)
+	m.Factors["X"] = []int{1, 17, 6}
+	key := "stale"
+	if err := s.Put(key, m); err != nil {
+		t.Fatal(err)
+	}
+	// Same key looked up against a different architecture (different slot
+	// count): the cached file no longer decodes -> miss, not corruption.
+	deep := arch.EyerissV2Like(2, 2, 64)
+	if _, ok := s.Get(key, w, mapping.Slots(deep)); ok {
+		t.Error("stale entry accepted against mismatched slots")
+	}
+}

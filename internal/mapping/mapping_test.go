@@ -1,0 +1,318 @@
+package mapping
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ruby/internal/arch"
+	"ruby/internal/workload"
+)
+
+func toyArch() *arch.Arch         { return arch.ToyGLB(6, 512) }
+func toyWork() *workload.Workload { return workload.MustVector1D("toy", 100) }
+
+func TestSlotsEyeriss(t *testing.T) {
+	a := arch.EyerissLike(14, 12, 128)
+	slots := Slots(a)
+	// DRAM: T; GLB: T, SY(12), SX(14); PE: T. Five slots.
+	if len(slots) != 5 {
+		t.Fatalf("len(slots) = %d, want 5: %+v", len(slots), slots)
+	}
+	wantKinds := []SlotKind{Temporal, Temporal, SpatialY, SpatialX, Temporal}
+	wantLevels := []int{0, 1, 1, 1, 2}
+	for i, s := range slots {
+		if s.Kind != wantKinds[i] || s.Level != wantLevels[i] || s.Index != i {
+			t.Errorf("slot %d = %+v, want kind %v level %d", i, s, wantKinds[i], wantLevels[i])
+		}
+	}
+	if slots[2].Fanout != 12 || slots[3].Fanout != 14 {
+		t.Errorf("fanouts = %d, %d", slots[2].Fanout, slots[3].Fanout)
+	}
+	if !slots[3].Multicast {
+		t.Error("Eyeriss array slot should multicast")
+	}
+	if FirstSlotOfLevel(slots, 1) != 1 || FirstSlotOfLevel(slots, 2) != 4 {
+		t.Error("FirstSlotOfLevel wrong")
+	}
+}
+
+func TestSlotsToy(t *testing.T) {
+	slots := Slots(toyArch())
+	// DRAM: T; GLB: T, SX(6). Three slots (GLB fanout Y=1 omitted).
+	if len(slots) != 3 {
+		t.Fatalf("len(slots) = %d: %+v", len(slots), slots)
+	}
+	if slots[2].Kind != SpatialX || slots[2].Fanout != 6 {
+		t.Errorf("slot 2 = %+v", slots[2])
+	}
+}
+
+// paperToyMapping builds the highlighted Fig. 5 mapping: DRAM temporal 1, GLB
+// temporal 17, spatial 6 over 100 elements.
+func paperToyMapping(w *workload.Workload, a *arch.Arch) *Mapping {
+	m := Uniform(w, a, 1)
+	m.Factors["X"] = []int{1, 17, 6}
+	return m
+}
+
+func TestChainPaperToy(t *testing.T) {
+	w, a := toyWork(), toyArch()
+	m := paperToyMapping(w, a)
+	chains, err := m.Chains(w, Slots(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := chains["X"]
+	// Cum: slot 0 (DRAM T) covers min(100, 1*17*6)=100; slot 1 covers
+	// min(100, 17*6)=100; slot 2 covers 6.
+	if c.Cum[0] != 100 || c.Cum[1] != 100 || c.Cum[2] != 6 || c.Cum[3] != 1 {
+		t.Fatalf("Cum = %v", c.Cum)
+	}
+	if c.Trips(0) != 1 {
+		t.Errorf("DRAM trips = %d, want 1", c.Trips(0))
+	}
+	if c.Trips(1) != 17 {
+		t.Errorf("GLB temporal trips = %d, want 17", c.Trips(1))
+	}
+	if c.Trips(2) != 6 {
+		t.Errorf("spatial trips = %d, want 6", c.Trips(2))
+	}
+	// The last GLB iteration dispatches the remainder of 4 elements.
+	if c.Remainder(1) != 4 {
+		t.Errorf("GLB remainder = %d, want 4", c.Remainder(1))
+	}
+	if c.Perfect(1) {
+		t.Error("GLB slot should be imperfect")
+	}
+	if !c.Perfect(2) {
+		// 6 divides 6.
+		t.Error("spatial slot should be perfect within its full tiles")
+	}
+}
+
+func TestChainPerfectPFM(t *testing.T) {
+	w, a := toyWork(), toyArch()
+	m := Uniform(w, a, 1)
+	m.Factors["X"] = []int{1, 20, 5} // the PFM mapping of Fig. 4
+	chains, err := m.Chains(w, Slots(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := chains["X"]
+	if c.Trips(1) != 20 || c.Trips(2) != 5 {
+		t.Errorf("trips = %d, %d", c.Trips(1), c.Trips(2))
+	}
+	if !c.Perfect(1) || c.Remainder(1) != 5 {
+		t.Error("PFM chain should be perfect")
+	}
+}
+
+func TestChainsRejectIncomplete(t *testing.T) {
+	w, a := toyWork(), toyArch()
+	m := Uniform(w, a, 1)
+	m.Factors["X"] = []int{1, 10, 6} // covers only 60 < 100
+	if _, err := m.Chains(w, Slots(a)); err == nil {
+		t.Error("incomplete chain accepted")
+	}
+	m.Factors["X"] = []int{1, 17} // wrong arity
+	if _, err := m.Chains(w, Slots(a)); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	delete(m.Factors, "X")
+	if _, err := m.Chains(w, Slots(a)); err == nil {
+		t.Error("missing dim accepted")
+	}
+}
+
+func TestChainsRejectOvershootBeyondCanonical(t *testing.T) {
+	w, a := toyWork(), toyArch()
+	m := Uniform(w, a, 1)
+	// After spatial 6 the residual is 17; factor 20 > 17 is non-canonical.
+	m.Factors["X"] = []int{1, 20, 6}
+	if _, err := m.Chains(w, Slots(a)); err == nil {
+		t.Error("non-canonical overshoot accepted")
+	}
+}
+
+func TestUniformMapping(t *testing.T) {
+	w, a := toyWork(), toyArch()
+	m := Uniform(w, a, 0) // everything in DRAM temporal: the (100·1·1) mapping
+	chains, err := m.Chains(w, Slots(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chains["X"].Trips(0) != 100 {
+		t.Errorf("DRAM trips = %d", chains["X"].Trips(0))
+	}
+	if err := m.ValidatePerms(w, a); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidatePermsRejections(t *testing.T) {
+	w := workload.MustMatmul("mm", 4, 4, 4)
+	a := toyArch()
+	m := Uniform(w, a, 1)
+	m.Perms = m.Perms[:1]
+	if err := m.ValidatePerms(w, a); err == nil {
+		t.Error("short perms accepted")
+	}
+	m = Uniform(w, a, 1)
+	m.Perms[0] = []string{"M", "N", "N"}
+	if err := m.ValidatePerms(w, a); err == nil {
+		t.Error("duplicate perm accepted")
+	}
+	m = Uniform(w, a, 1)
+	m.Perms[1] = []string{"M", "N"}
+	if err := m.ValidatePerms(w, a); err == nil {
+		t.Error("incomplete perm accepted")
+	}
+}
+
+func TestKeptRoles(t *testing.T) {
+	a := arch.EyerissLike(14, 12, 128)
+	m := &Mapping{}
+	dram := m.KeptRoles(a, 0)
+	if len(dram) != 3 {
+		t.Errorf("DRAM kept = %v", dram)
+	}
+	glb := m.KeptRoles(a, 1)
+	if glb[workload.Weight] {
+		t.Error("GLB should bypass weights")
+	}
+	if !glb[workload.Input] || !glb[workload.Output] {
+		t.Error("GLB should keep I and O")
+	}
+	// Bypass override: drop inputs from the GLB too.
+	m.Keep = []map[workload.Role]bool{nil, {workload.Output: true}, nil}
+	glb = m.KeptRoles(a, 1)
+	if glb[workload.Input] || !glb[workload.Output] {
+		t.Errorf("override kept = %v", glb)
+	}
+	// Overrides can never add a role the architecture bypasses.
+	m.Keep[1][workload.Weight] = true
+	if m.KeptRoles(a, 1)[workload.Weight] {
+		t.Error("override added weight to GLB despite arch bypass")
+	}
+}
+
+func TestKeyDistinguishesMappings(t *testing.T) {
+	w, a := toyWork(), toyArch()
+	slots := Slots(a)
+	m1 := paperToyMapping(w, a)
+	m2 := Uniform(w, a, 1)
+	m2.Factors["X"] = []int{1, 20, 5}
+	if m1.Key(w, slots) == m2.Key(w, slots) {
+		t.Error("different factor chains share a key")
+	}
+	m3 := m1.Clone()
+	if m1.Key(w, slots) != m3.Key(w, slots) {
+		t.Error("clone key differs")
+	}
+}
+
+func TestKeyIgnoresInactivePermOrder(t *testing.T) {
+	w := workload.MustMatmul("mm", 6, 1, 1)
+	a := toyArch()
+	slots := Slots(a)
+	m1 := Uniform(w, a, 1)
+	m2 := m1.Clone()
+	// N and K have trips 1 everywhere; swapping them in a perm is a no-op.
+	m2.Perms[1] = []string{"K", "M", "N"}
+	if m1.Key(w, slots) != m2.Key(w, slots) {
+		t.Errorf("keys differ on inactive perm reorder:\n%s\n%s", m1.Key(w, slots), m2.Key(w, slots))
+	}
+	// But reordering two active loops must matter.
+	m3 := m1.Clone()
+	m3.Factors["M"] = []int{1, 2, 3}
+	m4 := m3.Clone()
+	m4.Factors["N"] = m4.Factors["N"] // keep
+	if m3.Key(w, slots) == "" {
+		t.Error("empty key")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	w, a := toyWork(), toyArch()
+	m := paperToyMapping(w, a)
+	m.Keep = []map[workload.Role]bool{nil, {workload.Input: true}, nil}
+	c := m.Clone()
+	c.Factors["X"][1] = 99
+	c.Perms[0][0] = "Z"
+	c.Keep[1][workload.Input] = false
+	if m.Factors["X"][1] != 17 || m.Perms[0][0] != "X" || !m.Keep[1][workload.Input] {
+		t.Error("Clone shares state with original")
+	}
+}
+
+func TestRender(t *testing.T) {
+	w, a := toyWork(), toyArch()
+	m := paperToyMapping(w, a)
+	s := m.Render(w, a)
+	for _, frag := range []string{"--- DRAM ---", "--- GLB ---", "for x in [0:17)", "(last: 4)", "parFor x in [0:6)", "mac()"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Render missing %q in:\n%s", frag, s)
+		}
+	}
+	bad := Uniform(w, a, 1)
+	bad.Factors["X"] = []int{1, 1, 1}
+	if !strings.Contains(bad.Render(w, a), "invalid") {
+		t.Error("Render of invalid mapping should say so")
+	}
+}
+
+func TestNewChainClipping(t *testing.T) {
+	c := NewChain(10, []int{2, 5, 1})
+	if c.Cum[0] != 10 || c.Cum[1] != 5 || c.Cum[2] != 1 {
+		t.Errorf("Cum = %v", c.Cum)
+	}
+	// Degenerate outer slot after clipping.
+	c = NewChain(10, []int{1, 10, 1})
+	if c.Trips(0) != 1 || c.Trips(1) != 10 {
+		t.Errorf("trips = %d, %d", c.Trips(0), c.Trips(1))
+	}
+}
+
+func TestChainInvariantsProperty(t *testing.T) {
+	// Property: for random canonical chains, Cum is non-increasing, trips
+	// are >= 1 and bounded by the factor, and remainders never exceed the
+	// subtile size.
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 500; trial++ {
+		bound := rng.Intn(400) + 1
+		k := rng.Intn(4) + 2
+		factors := make([]int, k)
+		r := bound
+		for i := k - 1; i >= 0; i-- {
+			if i == 0 {
+				factors[i] = r
+				break
+			}
+			f := 1 + rng.Intn(r)
+			factors[i] = f
+			r = (r + f - 1) / f
+		}
+		c := NewChain(bound, factors)
+		if c.Cum[0] != bound || c.Cum[k] != 1 {
+			t.Fatalf("chain ends wrong: %v (bound %d)", c.Cum, bound)
+		}
+		for i := 0; i < k; i++ {
+			if c.Cum[i+1] > c.Cum[i] {
+				t.Fatalf("Cum increases at %d: %v", i, c.Cum)
+			}
+			tr := c.Trips(i)
+			if tr < 1 || tr > factors[i] {
+				t.Fatalf("trips %d out of [1, %d] at slot %d (%v)", tr, factors[i], i, c.Cum)
+			}
+			rem := c.Remainder(i)
+			if rem < 1 || rem > c.Cum[i+1] {
+				t.Fatalf("remainder %d out of (0, %d] at slot %d", rem, c.Cum[i+1], i)
+			}
+			// Coverage identity: (trips-1)*sub + rem == Cum[i].
+			if (tr-1)*c.Cum[i+1]+rem != c.Cum[i] {
+				t.Fatalf("coverage identity broken at %d: %v", i, c.Cum)
+			}
+		}
+	}
+}

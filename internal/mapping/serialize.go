@@ -1,0 +1,81 @@
+package mapping
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"ruby/internal/workload"
+)
+
+// jsonMapping is the stable on-disk form of a Mapping. Roles serialize as
+// lower-case names so saved mappings stay readable and diffable.
+type jsonMapping struct {
+	Factors map[string][]int  `json:"factors"`
+	Perms   [][]string        `json:"perms"`
+	Keep    []map[string]bool `json:"keep,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m *Mapping) MarshalJSON() ([]byte, error) {
+	out := jsonMapping{Factors: m.Factors, Perms: m.Perms}
+	if m.Keep != nil {
+		out.Keep = make([]map[string]bool, len(m.Keep))
+		for i, k := range m.Keep {
+			if k == nil {
+				continue
+			}
+			out.Keep[i] = make(map[string]bool, len(k))
+			for r, v := range k {
+				out.Keep[i][strings.ToLower(r.String())] = v
+			}
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *Mapping) UnmarshalJSON(data []byte) error {
+	var in jsonMapping
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("mapping: decode: %w", err)
+	}
+	m.Factors = in.Factors
+	m.Perms = in.Perms
+	m.Keep = nil
+	if in.Keep != nil {
+		m.Keep = make([]map[workload.Role]bool, len(in.Keep))
+		for i, k := range in.Keep {
+			if k == nil {
+				continue
+			}
+			m.Keep[i] = make(map[workload.Role]bool, len(k))
+			for name, v := range k {
+				r, err := workload.ParseRole(name)
+				if err != nil {
+					return fmt.Errorf("mapping: keep[%d]: %w", i, err)
+				}
+				m.Keep[i][r] = v
+			}
+		}
+	}
+	return nil
+}
+
+// Encode renders the mapping as indented JSON.
+func (m *Mapping) Encode() ([]byte, error) {
+	return json.MarshalIndent(m, "", "  ")
+}
+
+// Decode parses a mapping previously produced by Encode and validates it
+// structurally against the workload and architecture slot count.
+func Decode(data []byte, w *workload.Workload, slots []Slot) (*Mapping, error) {
+	m := &Mapping{}
+	if err := json.Unmarshal(data, m); err != nil {
+		return nil, err
+	}
+	if _, err := m.Chains(w, slots); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,79 @@
+package mapping
+
+import (
+	"strings"
+	"testing"
+
+	"ruby/internal/workload"
+)
+
+func TestMappingJSONRoundTrip(t *testing.T) {
+	w, a := toyWork(), toyArch()
+	slots := Slots(a)
+	m := paperToyMapping(w, a)
+	m.Keep = []map[workload.Role]bool{nil, {workload.Input: true, workload.Output: false}, nil}
+
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"input"`) {
+		t.Errorf("roles should serialize as names:\n%s", data)
+	}
+	got, err := Decode(data, w, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key(w, slots) != m.Key(w, slots) {
+		t.Errorf("round trip changed the mapping:\n%s\nvs\n%s", got.Key(w, slots), m.Key(w, slots))
+	}
+	if !got.Keep[1][workload.Input] || got.Keep[1][workload.Output] {
+		t.Errorf("keep round trip wrong: %+v", got.Keep)
+	}
+}
+
+func TestMappingJSONNoKeep(t *testing.T) {
+	w, a := toyWork(), toyArch()
+	m := paperToyMapping(w, a)
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "keep") {
+		t.Error("empty keep should be omitted")
+	}
+	if _, err := Decode(data, w, Slots(a)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	w, a := toyWork(), toyArch()
+	slots := Slots(a)
+	cases := []string{
+		`{`,
+		`{"factors": {"X": [1, 2]}}`, // wrong arity
+		`{"factors": {"X": [1, 2, 6]}, "perms": [[],[],[]]}`, // incomplete chain
+		`{"factors": {"X": [1,17,6]}, "perms": [["X"],["X"],["X"]], "keep": [null, {"psum": true}, null]}`,
+	}
+	for _, c := range cases {
+		if _, err := Decode([]byte(c), w, slots); err == nil {
+			t.Errorf("Decode(%q) succeeded", c)
+		}
+	}
+}
+
+func TestParseRole(t *testing.T) {
+	for _, c := range []struct {
+		s    string
+		want workload.Role
+	}{{"input", workload.Input}, {"Weight", workload.Weight}, {"OUTPUT", workload.Output}} {
+		got, err := workload.ParseRole(c.s)
+		if err != nil || got != c.want {
+			t.Errorf("ParseRole(%q) = %v, %v", c.s, got, err)
+		}
+	}
+	if _, err := workload.ParseRole("psum"); err == nil {
+		t.Error("unknown role accepted")
+	}
+}

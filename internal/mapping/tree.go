@@ -1,0 +1,92 @@
+package mapping
+
+import (
+	"fmt"
+	"strings"
+
+	"ruby/internal/arch"
+	"ruby/internal/workload"
+)
+
+// RenderTree renders one dimension's tiling chain as the tree representation
+// of the paper's Figs. 4-6: each slot splits its tile into full subtiles and
+// (for imperfect factorization) a remainder branch. Identical sibling
+// subtrees are collapsed with a multiplicity prefix, so perfect chains stay
+// single-path while Ruby chains show their remainder branches explicitly.
+//
+//	X = 100
+//	`- DRAM for x1 -> tile 100
+//	   `- GLB for x17 -> tile 6
+//	      |- 16x parFor x6 -> tile 1
+//	      `- rem parFor x4 -> tile 1
+func (m *Mapping) RenderTree(w *workload.Workload, a *arch.Arch, dim string) string {
+	slots := Slots(a)
+	fs, ok := m.Factors[dim]
+	if !ok || len(fs) != len(slots) {
+		return fmt.Sprintf("<no chain for dimension %s>", dim)
+	}
+	ch := NewChain(w.Bound(dim), fs)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s = %d\n", dim, w.Bound(dim))
+	renderTreeNode(&b, a, slots, ch, w.Bound(dim), 0, "")
+	return b.String()
+}
+
+// renderTreeNode renders the subtree covering a chunk of the dimension
+// starting at slot si.
+func renderTreeNode(b *strings.Builder, a *arch.Arch, slots []Slot, ch Chain, chunk, si int, indent string) {
+	if si == len(slots) {
+		return
+	}
+	s := slots[si]
+	sub := ch.Cum[si+1]
+	kw := "for"
+	if s.Spatial() {
+		kw = "parFor"
+	}
+	level := a.Levels[s.Level].Name
+
+	if sub >= chunk {
+		// Degenerate slot (single trip): only descend if something inner
+		// still splits.
+		if ch.Cum[si] > 1 && trueAnywhereBelow(ch, chunk, si+1) {
+			renderTreeNode(b, a, slots, ch, chunk, si+1, indent)
+		}
+		return
+	}
+	full := chunk / sub
+	rem := chunk - full*sub
+	trips := full
+	if rem > 0 {
+		trips++
+	}
+	fmt.Fprintf(b, "%s`- %s %s x%d -> tile %d", indent, level, kw, trips, sub)
+	if rem > 0 {
+		fmt.Fprintf(b, " (last %d)", rem)
+	}
+	b.WriteByte('\n')
+
+	childIndent := indent + "   "
+	if trueAnywhereBelow(ch, sub, si+1) {
+		if rem > 0 {
+			fmt.Fprintf(b, "%s|- %dx full branch:\n", childIndent, full)
+			renderTreeNode(b, a, slots, ch, sub, si+1, childIndent+"|  ")
+			fmt.Fprintf(b, "%s`- rem branch (%d):\n", childIndent, rem)
+			renderTreeNode(b, a, slots, ch, rem, si+1, childIndent+"   ")
+		} else {
+			renderTreeNode(b, a, slots, ch, sub, si+1, childIndent)
+		}
+	}
+}
+
+// trueAnywhereBelow reports whether any slot at or below si splits a chunk
+// of the given size.
+func trueAnywhereBelow(ch Chain, chunk, si int) bool {
+	for i := si; i < len(ch.Cum)-1; i++ {
+		if ch.Cum[i+1] < chunk && ch.Cum[i+1] < ch.Cum[i] {
+			return true
+		}
+	}
+	return false
+}

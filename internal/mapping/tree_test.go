@@ -1,0 +1,67 @@
+package mapping
+
+import (
+	"strings"
+	"testing"
+
+	"ruby/internal/arch"
+	"ruby/internal/workload"
+)
+
+func TestRenderTreePaperExample(t *testing.T) {
+	w, a := toyWork(), toyArch()
+	m := paperToyMapping(w, a) // [1, 17, 6] over 100
+	out := m.RenderTree(w, a, "X")
+	for _, frag := range []string{
+		"X = 100",
+		"GLB for x17 -> tile 6 (last 4)",
+		"16x full branch",
+		"rem branch (4)",
+		"parFor",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("tree missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestRenderTreePerfectChainIsLinear(t *testing.T) {
+	w, a := toyWork(), toyArch()
+	m := Uniform(w, a, 1)
+	m.Factors["X"] = []int{1, 20, 5}
+	out := m.RenderTree(w, a, "X")
+	if strings.Contains(out, "rem") {
+		t.Errorf("perfect chain should have no remainder branches:\n%s", out)
+	}
+	if !strings.Contains(out, "for x20 -> tile 5") {
+		t.Errorf("tree missing main split:\n%s", out)
+	}
+}
+
+func TestRenderTreeUnknownDim(t *testing.T) {
+	w, a := toyWork(), toyArch()
+	m := paperToyMapping(w, a)
+	if out := m.RenderTree(w, a, "Z"); !strings.Contains(out, "no chain") {
+		t.Errorf("unknown dim: %s", out)
+	}
+}
+
+func TestRenderTreeDeepImperfect(t *testing.T) {
+	// Doubly imperfect chain: D=10, factors [2, 2, 3]: DRAM tiles 6 and 4,
+	// each split at the GLB.
+	w := workload.MustVector1D("d10", 10)
+	a := arch.ToyGLB(4, 512)
+	m := Uniform(w, a, 1)
+	m.Factors["X"] = []int{2, 2, 3}
+	out := m.RenderTree(w, a, "X")
+	if !strings.Contains(out, "(last 4)") {
+		t.Errorf("outer remainder missing:\n%s", out)
+	}
+	if !strings.Contains(out, "rem branch (4)") {
+		t.Errorf("remainder subtree missing:\n%s", out)
+	}
+	// The remainder branch of 4 itself splits 3+1 at the GLB slot.
+	if !strings.Contains(out, "(last 1)") {
+		t.Errorf("nested remainder missing:\n%s", out)
+	}
+}

@@ -1,0 +1,21 @@
+package mapspace
+
+import (
+	"math/big"
+)
+
+// TotalSizeUpperBound returns an upper bound on the full mapspace size
+// including loop orders: the tiling-chain count times the number of
+// per-level permutations. It is an upper bound because permutations of
+// single-trip loops are indistinguishable; the tiling count itself is exact.
+func (s *Space) TotalSizeUpperBound() *big.Int {
+	total := new(big.Int).SetUint64(s.TotalChainCount())
+	if s.Cons.FixedPerms {
+		return total
+	}
+	permsPerLevel := new(big.Int).MulRange(1, int64(len(s.Work.Dims))) // dims!
+	for li := 0; li < len(s.Arch.Levels); li++ {
+		total.Mul(total, permsPerLevel)
+	}
+	return total
+}

@@ -1,0 +1,30 @@
+package mapspace
+
+import (
+	"math/big"
+	"testing"
+
+	"ruby/internal/workload"
+)
+
+func TestTotalSizeUpperBound(t *testing.T) {
+	s := toySpace(PFM) // FixedPerms: bound == chain count
+	want := new(big.Int).SetUint64(s.TotalChainCount())
+	if got := s.TotalSizeUpperBound(); got.Cmp(want) != 0 {
+		t.Errorf("fixed perms bound = %v, want %v", got, want)
+	}
+	// With free perms on a 1-dim workload, 1! = 1 per level: unchanged.
+	free := New(s.Work, s.Arch, PFM, Constraints{})
+	if got := free.TotalSizeUpperBound(); got.Cmp(want) != 0 {
+		t.Errorf("1-dim perm bound = %v, want %v", got, want)
+	}
+	// A 3-dim workload multiplies by (3!)^levels.
+	mm := workload.MustMatmul("mm", 4, 4, 4)
+	sp := New(mm, s.Arch, PFM, Constraints{})
+	chains := new(big.Int).SetUint64(sp.TotalChainCount())
+	perms := big.NewInt(6 * 6) // 2 levels
+	want = new(big.Int).Mul(chains, perms)
+	if got := sp.TotalSizeUpperBound(); got.Cmp(want) != 0 {
+		t.Errorf("3-dim bound = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,80 @@
+package mapspace
+
+import (
+	"math/rand"
+	"testing"
+
+	"ruby/internal/arch"
+	"ruby/internal/nest"
+	"ruby/internal/workload"
+)
+
+func TestExploreBypassSamplesVariants(t *testing.T) {
+	w := workload.MustConv2D(workload.Conv2DParams{N: 1, M: 16, C: 16, P: 14, Q: 14, R: 3, S: 3})
+	a := arch.EyerissLike(14, 12, 128)
+	s := New(w, a, RubyS, Constraints{ExploreBypass: true})
+	ev := nest.MustEvaluator(w, a)
+	rng := rand.New(rand.NewSource(1))
+	bypassed, kept, valid := 0, 0, 0
+	for i := 0; i < 400; i++ {
+		m := s.Sample(rng)
+		if m.Keep != nil && m.Keep[1] != nil &&
+			(!m.Keep[1][workload.Input] || !m.Keep[1][workload.Output]) {
+			bypassed++
+		} else {
+			kept++
+		}
+		if c := ev.Evaluate(m); c.Valid {
+			valid++
+		}
+	}
+	if bypassed == 0 {
+		t.Error("bypass never sampled")
+	}
+	if kept == 0 {
+		t.Error("default residency never sampled")
+	}
+	if valid == 0 {
+		t.Error("no valid mapping among bypass-exploring samples")
+	}
+}
+
+func TestExploreBypassNeverAddsRoles(t *testing.T) {
+	// The GLB bypasses weights architecturally; exploration must not undo
+	// that.
+	w := workload.MustConv2D(workload.Conv2DParams{N: 1, M: 8, C: 8, P: 7, Q: 7, R: 3, S: 3})
+	a := arch.EyerissLike(14, 12, 128)
+	s := New(w, a, Ruby, Constraints{ExploreBypass: true})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		mm := s.Sample(rng)
+		kept := mm.KeptRoles(a, 1)
+		if kept[workload.Weight] {
+			t.Fatal("bypass exploration re-enabled weights at the GLB")
+		}
+	}
+}
+
+func TestExploreBypassOffByDefault(t *testing.T) {
+	w := workload.MustVector1D("d", 30)
+	a := arch.EyerissLike(14, 12, 128)
+	s := New(w, a, RubyS, Constraints{})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		if m := s.Sample(rng); m.Keep != nil {
+			t.Fatal("bypass sampled without ExploreBypass")
+		}
+	}
+}
+
+func TestExploreBypassTwoLevelArchNoop(t *testing.T) {
+	w := workload.MustVector1D("d", 30)
+	a := arch.ToyGLB(6, 512)
+	s := New(w, a, RubyS, Constraints{ExploreBypass: true})
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		if m := s.Sample(rng); m.Keep != nil {
+			t.Fatal("bypass sampled on a two-level hierarchy")
+		}
+	}
+}

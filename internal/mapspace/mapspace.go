@@ -1,0 +1,501 @@
+// Package mapspace implements mapspace generation — the paper's central
+// subject. A mapspace is the set of candidate mappings of one workload onto
+// one architecture. Four formulations are provided:
+//
+//   - PFM: Timeloop's perfect index factorization (eq. 1) — every tiling
+//     factor divides the residual dimension.
+//   - Ruby: imperfect factorization everywhere (eq. 5) — any factor up to
+//     the residual, with the final loop iteration handling a remainder tile.
+//   - RubyS: imperfect factorization only at spatial (parFor) slots, the
+//     paper's recommended trade-off between mapping quality and expansion.
+//   - RubyT: imperfect factorization only at temporal slots.
+//
+// A Space supports random sampling (for Timeloop-style random search),
+// exhaustive enumeration (for the toy studies), and exact counting of the
+// per-dimension tiling choices (Table I).
+package mapspace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ruby/internal/arch"
+	"ruby/internal/factor"
+	"ruby/internal/mapping"
+	"ruby/internal/workload"
+)
+
+// Kind selects the factorization discipline.
+type Kind uint8
+
+const (
+	// PFM is the perfect-factorization baseline mapspace.
+	PFM Kind = iota
+	// Ruby allows remainders at every slot.
+	Ruby
+	// RubyS allows remainders only at spatial slots.
+	RubyS
+	// RubyT allows remainders only at temporal slots.
+	RubyT
+)
+
+var kindNames = map[Kind]string{PFM: "PFM", Ruby: "Ruby", RubyS: "Ruby-S", RubyT: "Ruby-T"}
+
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Kinds lists all mapspace kinds in presentation order.
+var Kinds = []Kind{PFM, Ruby, RubyS, RubyT}
+
+// imperfectAt reports whether kind k relaxes divisibility at spatial slots.
+func (k Kind) imperfectSpatial() bool { return k == Ruby || k == RubyS }
+
+// imperfectTemporal reports whether kind k relaxes divisibility at temporal
+// slots.
+func (k Kind) imperfectTemporal() bool { return k == Ruby || k == RubyT }
+
+// Constraints restricts a mapspace the way Timeloop constraint files do.
+type Constraints struct {
+	// SpatialX and SpatialY list the dimensions allowed to take factors > 1
+	// on the corresponding array axis. nil allows every dimension.
+	SpatialX []string
+	SpatialY []string
+
+	// FixedPerms locks every level's temporal loop order to the workload's
+	// declaration order instead of sampling permutations. Used by the toy
+	// studies where loop order is immaterial.
+	FixedPerms bool
+
+	// MaxTemporalFactor caps any single temporal factor (0 = uncapped).
+	// Large caps keep random sampling inside plausible regions for huge
+	// dimensions; the paper's studies do not need it.
+	MaxTemporalFactor int
+
+	// RequireSpatialX and RequireSpatialY force the listed dimensions to
+	// take a spatial factor > 1 on the corresponding axis whenever the
+	// dimension's residual and the axis budget allow it — the moral
+	// equivalent of Timeloop constraint files pinning a dimension to an
+	// array axis (e.g. true row-stationary keeps filter rows on the PE
+	// rows). Enforced by the sampler; enumeration ignores it.
+	RequireSpatialX []string
+	RequireSpatialY []string
+
+	// ExploreBypass lets the sampler also search storage-bypass choices
+	// (ZigZag-style): each sampled mapping may skip storing a tensor at an
+	// intermediate level the architecture would otherwise allow. The paper
+	// fixes bypass per architecture (weights skip the Eyeriss GLB); this
+	// option explores it.
+	ExploreBypass bool
+}
+
+// required reports whether dim must take a spatial factor on the axis.
+func (c Constraints) required(kind mapping.SlotKind, dim string) bool {
+	var list []string
+	switch kind {
+	case mapping.SpatialX:
+		list = c.RequireSpatialX
+	case mapping.SpatialY:
+		list = c.RequireSpatialY
+	default:
+		return false
+	}
+	for _, d := range list {
+		if d == dim {
+			return true
+		}
+	}
+	return false
+}
+
+func (c Constraints) allowed(kind mapping.SlotKind, dim string) bool {
+	var list []string
+	switch kind {
+	case mapping.SpatialX:
+		list = c.SpatialX
+	case mapping.SpatialY:
+		list = c.SpatialY
+	default:
+		return true
+	}
+	if list == nil {
+		return true
+	}
+	for _, d := range list {
+		if d == dim {
+			return true
+		}
+	}
+	return false
+}
+
+// Space is a mapspace for one (workload, architecture, kind) triple.
+type Space struct {
+	Work *workload.Workload
+	Arch *arch.Arch
+	Kind Kind
+	Cons Constraints
+
+	slots []mapping.Slot
+}
+
+// New builds a Space.
+func New(w *workload.Workload, a *arch.Arch, kind Kind, cons Constraints) *Space {
+	return &Space{Work: w, Arch: a, Kind: kind, Cons: cons, slots: mapping.Slots(a)}
+}
+
+// Slots exposes the slot list the space maps over.
+func (s *Space) Slots() []mapping.Slot { return s.slots }
+
+// chainSlots returns, for dimension dim, the factor.ChainSlot list in
+// innermost-first order, encoding the kind's divisibility rules, fanout caps
+// and spatial-dimension constraints.
+func (s *Space) chainSlots(dim string) []factor.ChainSlot {
+	out := make([]factor.ChainSlot, len(s.slots))
+	for i, sl := range s.slots {
+		cs := factor.ChainSlot{Kind: factor.Perfect}
+		if sl.Spatial() {
+			if s.Kind.imperfectSpatial() {
+				cs.Kind = factor.Imperfect
+			}
+			cs.Max = sl.Fanout
+			if !s.Cons.allowed(sl.Kind, dim) {
+				cs.Max = 1
+			}
+		} else {
+			if s.Kind.imperfectTemporal() {
+				cs.Kind = factor.Imperfect
+			}
+			if s.Cons.MaxTemporalFactor > 0 && sl.Level != 0 {
+				cs.Max = s.Cons.MaxTemporalFactor
+			}
+		}
+		// Innermost-first ordering.
+		out[len(s.slots)-1-i] = cs
+	}
+	return out
+}
+
+// ChainCount returns the number of tiling-factor chains available to the
+// named dimension (permutations and bypass choices excluded). This is the
+// quantity tabulated per formulation in Table I.
+func (s *Space) ChainCount(dim string) uint64 {
+	return factor.CountChains(s.Work.Bound(dim), s.chainSlots(dim))
+}
+
+// TotalChainCount returns the product of ChainCount over all dimensions —
+// the size of the tiling mapspace.
+func (s *Space) TotalChainCount() uint64 {
+	total := uint64(1)
+	for _, d := range s.Work.Dims {
+		total *= s.ChainCount(d.Name)
+	}
+	return total
+}
+
+// Sample draws a random mapping. Factors are chosen slot-by-slot from each
+// dimension's admissible set (divisors for perfect slots, any value up to the
+// residual and fanout cap for imperfect slots); the outermost temporal slot
+// absorbs whatever residual remains, exactly as in the chain formulation.
+// Spatial factors additionally respect a shared per-slot fanout budget so
+// that most samples pass the evaluator's fanout check. Permutations are
+// uniform random unless FixedPerms is set.
+//
+// Sampled mappings are structurally valid but may still violate buffer
+// capacities; the caller's search loop filters those, mirroring Timeloop's
+// generate-then-filter design.
+func (s *Space) Sample(rng *rand.Rand) *mapping.Mapping {
+	m := &mapping.Mapping{Factors: make(map[string][]int, len(s.Work.Dims))}
+
+	// Shared fanout budgets per spatial slot.
+	budget := make([]int, len(s.slots))
+	for i, sl := range s.slots {
+		if sl.Spatial() {
+			budget[i] = sl.Fanout
+		}
+	}
+
+	// Visit dimensions in random order so no dimension monopolizes fanout —
+	// except dimensions with a required spatial allocation, which go first
+	// so the fanout budget cannot be starved before they draw.
+	dims := append([]string(nil), s.Work.DimNames()...)
+	rng.Shuffle(len(dims), func(i, j int) { dims[i], dims[j] = dims[j], dims[i] })
+	if len(s.Cons.RequireSpatialX)+len(s.Cons.RequireSpatialY) > 0 {
+		sortRequiredFirst(dims, s.Cons)
+	}
+
+	for _, d := range dims {
+		m.Factors[d] = s.sampleChain(rng, d, budget)
+	}
+
+	if s.Cons.FixedPerms {
+		m.Perms = mapping.DefaultPerms(s.Work, s.Arch)
+	} else {
+		m.Perms = make([][]string, len(s.Arch.Levels))
+		for li := range m.Perms {
+			p := append([]string(nil), s.Work.DimNames()...)
+			rng.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+			m.Perms[li] = p
+		}
+	}
+	if s.Cons.ExploreBypass {
+		s.sampleBypass(rng, m)
+	}
+	return m
+}
+
+// sampleBypass randomly drops tensors from intermediate storage levels
+// (never DRAM, never the innermost level — dropping the last on-chip home
+// of a tensor is almost never useful and would dominate the samples).
+func (s *Space) sampleBypass(rng *rand.Rand, m *mapping.Mapping) {
+	n := len(s.Arch.Levels)
+	if n <= 2 {
+		return
+	}
+	for li := 1; li < n-1; li++ {
+		l := &s.Arch.Levels[li]
+		var keep map[workload.Role]bool
+		for _, r := range workload.Roles {
+			if !l.KeepsRole(r, false) {
+				continue
+			}
+			if keep == nil {
+				keep = map[workload.Role]bool{}
+				for _, rr := range workload.Roles {
+					if l.KeepsRole(rr, false) {
+						keep[rr] = true
+					}
+				}
+			}
+			if rng.Intn(4) == 0 {
+				keep[r] = false
+			}
+		}
+		if keep == nil {
+			continue
+		}
+		if m.Keep == nil {
+			m.Keep = make([]map[workload.Role]bool, n)
+		}
+		m.Keep[li] = keep
+	}
+}
+
+// sampleChain draws one dimension's outermost-first factor chain, consuming
+// from the shared spatial budget slice.
+func (s *Space) sampleChain(rng *rand.Rand, d string, budget []int) []int {
+	fs := make([]int, len(s.slots))
+	r := s.Work.Bound(d)
+	// Innermost-first; slot 0 of s.slots is outermost.
+	for i := len(s.slots) - 1; i >= 0; i-- {
+		sl := s.slots[i]
+		if i == 0 {
+			// Outermost temporal slot absorbs the residual.
+			fs[i] = r
+			break
+		}
+		f := s.sampleFactor(rng, sl, d, r, budget[i], s.requiredOuter(d, i))
+		fs[i] = f
+		if sl.Spatial() && f > 1 {
+			budget[i] /= f
+		}
+		if r > 1 {
+			if sl.Spatial() && !s.Kind.imperfectSpatial() || !sl.Spatial() && !s.Kind.imperfectTemporal() {
+				r /= f
+			} else {
+				r = factor.CeilDiv(r, f)
+			}
+		}
+	}
+	return fs
+}
+
+// SampleChain draws a fresh factor chain for one dimension against a full
+// fanout budget. Used by local-search mutation operators; the joint fanout
+// across dimensions is re-checked by the evaluator.
+func (s *Space) SampleChain(rng *rand.Rand, d string) []int {
+	budget := make([]int, len(s.slots))
+	for i, sl := range s.slots {
+		if sl.Spatial() {
+			budget[i] = sl.Fanout
+		}
+	}
+	return s.sampleChain(rng, d, budget)
+}
+
+// SamplePerm draws a random loop order (or the canonical one under
+// FixedPerms).
+func (s *Space) SamplePerm(rng *rand.Rand) []string {
+	p := append([]string(nil), s.Work.DimNames()...)
+	if !s.Cons.FixedPerms {
+		rng.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	}
+	return p
+}
+
+// requiredOuter reports whether a spatial slot outer to position i requires
+// dim — inner slots must then leave residual for it.
+func (s *Space) requiredOuter(dim string, i int) bool {
+	if len(s.Cons.RequireSpatialX)+len(s.Cons.RequireSpatialY) == 0 {
+		return false
+	}
+	for j := 0; j < i; j++ {
+		sl := s.slots[j]
+		if sl.Spatial() && s.Cons.required(sl.Kind, dim) {
+			return true
+		}
+	}
+	return false
+}
+
+// sampleFactor draws one slot factor for residual r. reserve caps the draw
+// so the residual stays above 1 (an outer slot still needs a share).
+func (s *Space) sampleFactor(rng *rand.Rand, sl mapping.Slot, dim string, r, budget int, reserve bool) int {
+	if r == 1 {
+		return 1
+	}
+	max := r
+	if reserve {
+		max = r - 1 // any f < r leaves residual ceil(r/f) >= 2
+	}
+	imperfect := s.Kind.imperfectTemporal()
+	if sl.Spatial() {
+		imperfect = s.Kind.imperfectSpatial()
+		if !s.Cons.allowed(sl.Kind, dim) {
+			return 1
+		}
+		if budget < max {
+			max = budget
+		}
+	} else if s.Cons.MaxTemporalFactor > 0 && s.Cons.MaxTemporalFactor < max {
+		max = s.Cons.MaxTemporalFactor
+	}
+	if max < 1 {
+		max = 1
+	}
+	if sl.Spatial() && s.Cons.required(sl.Kind, dim) && max >= 2 {
+		// Forced spatial allocation: draw from [2, max] (smallest divisor
+		// >= 2 for perfect slots).
+		if imperfect {
+			return 2 + rng.Intn(max-1)
+		}
+		if f := smallestDivisorGE2LE(r, max, rng); f > 1 {
+			return f
+		}
+		return 1
+	}
+	if imperfect {
+		// Mixture proposal over the imperfect factor set [1, max]. Every
+		// value has nonzero probability (the mapspace's membership is
+		// unchanged), but density concentrates where high-quality mappings
+		// live: exact divisors (the PFM subset, so the superset property
+		// pays off in practice) and the resource-saturating factor max
+		// (Ruby-S's raison d'etre: filling the fanout despite remainders).
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			return max
+		case 3, 4, 5:
+			return cappedDivisor(rng, r, max)
+		default:
+			return 1 + rng.Intn(max)
+		}
+	}
+	return cappedDivisor(rng, r, max)
+}
+
+// sortRequiredFirst stably moves dimensions with required spatial
+// allocations to the front of the sampling order.
+func sortRequiredFirst(dims []string, cons Constraints) {
+	isReq := func(d string) bool {
+		return cons.required(mapping.SpatialX, d) || cons.required(mapping.SpatialY, d)
+	}
+	out := dims[:0:len(dims)]
+	var rest []string
+	for _, d := range dims {
+		if isReq(d) {
+			out = append(out, d)
+		} else {
+			rest = append(rest, d)
+		}
+	}
+	copy(dims[len(out):], rest)
+}
+
+// smallestDivisorGE2LE draws a random divisor of r in [2, max], or 1 when
+// none exists.
+func smallestDivisorGE2LE(r, max int, rng *rand.Rand) int {
+	var cands []int
+	for _, d := range factor.Divisors(r) {
+		if d >= 2 && d <= max {
+			cands = append(cands, d)
+		}
+	}
+	if len(cands) == 0 {
+		return 1
+	}
+	return cands[rng.Intn(len(cands))]
+}
+
+// cappedDivisor draws a uniform random divisor of r not exceeding max
+// (falling back to 1, which always divides).
+func cappedDivisor(rng *rand.Rand, r, max int) int {
+	divs := factor.Divisors(r)
+	hi := len(divs)
+	for hi > 0 && divs[hi-1] > max {
+		hi--
+	}
+	if hi == 0 {
+		return 1
+	}
+	return divs[rng.Intn(hi)]
+}
+
+// Enumerate yields every mapping in the tiling mapspace with canonical
+// (declaration-order) permutations, stopping early if yield returns false.
+// Feasible only for small workloads; the toy studies of Section III use it.
+func (s *Space) Enumerate(yield func(*mapping.Mapping) bool) {
+	dims := s.Work.DimNames()
+	perms := mapping.DefaultPerms(s.Work, s.Arch)
+
+	// Pre-collect per-dimension chains (as outermost-first factor slices).
+	chains := make([][][]int, len(dims))
+	for di, d := range dims {
+		slots := s.chainSlots(d)
+		factor.EnumerateChains(s.Work.Bound(d), slots, func(fs []int) bool {
+			// fs is innermost-first; store outermost-first.
+			rev := make([]int, len(fs))
+			for i, f := range fs {
+				rev[len(fs)-1-i] = f
+			}
+			chains[di] = append(chains[di], rev)
+			return true
+		})
+	}
+
+	idx := make([]int, len(dims))
+	for {
+		m := &mapping.Mapping{Factors: make(map[string][]int, len(dims)), Perms: perms}
+		for di, d := range dims {
+			m.Factors[d] = chains[di][idx[di]]
+		}
+		if !yield(m) {
+			return
+		}
+		// Odometer increment.
+		k := len(dims) - 1
+		for k >= 0 {
+			idx[k]++
+			if idx[k] < len(chains[k]) {
+				break
+			}
+			idx[k] = 0
+			k--
+		}
+		if k < 0 {
+			return
+		}
+	}
+}

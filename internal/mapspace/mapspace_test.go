@@ -1,0 +1,408 @@
+package mapspace
+
+import (
+	"math/rand"
+	"testing"
+
+	"ruby/internal/arch"
+	"ruby/internal/factor"
+	"ruby/internal/mapping"
+	"ruby/internal/nest"
+	"ruby/internal/workload"
+)
+
+func toySpace(kind Kind) *Space {
+	w := workload.MustVector1D("toy", 100)
+	a := arch.ToyGLB(6, 512)
+	return New(w, a, kind, Constraints{FixedPerms: true})
+}
+
+func TestKindString(t *testing.T) {
+	if PFM.String() != "PFM" || RubyS.String() != "Ruby-S" {
+		t.Error("kind names wrong")
+	}
+}
+
+func TestChainSlotKinds(t *testing.T) {
+	cases := []struct {
+		kind                Kind
+		spatialImp, tempImp bool
+	}{
+		{PFM, false, false},
+		{Ruby, true, true},
+		{RubyS, true, false},
+		{RubyT, false, true},
+	}
+	for _, c := range cases {
+		s := toySpace(c.kind)
+		// Slots for ToyGLB: T(DRAM), T(GLB), SX(GLB). chainSlots is
+		// innermost-first: [SX, T(GLB), T(DRAM)].
+		cs := s.chainSlots("X")
+		if len(cs) != 3 {
+			t.Fatalf("%v: %d chain slots", c.kind, len(cs))
+		}
+		if got := cs[0].Kind == factor.Imperfect; got != c.spatialImp {
+			t.Errorf("%v: spatial imperfect = %v, want %v", c.kind, got, c.spatialImp)
+		}
+		if got := cs[1].Kind == factor.Imperfect; got != c.tempImp {
+			t.Errorf("%v: temporal imperfect = %v, want %v", c.kind, got, c.tempImp)
+		}
+		if cs[0].Max != 6 {
+			t.Errorf("%v: spatial cap = %d, want 6", c.kind, cs[0].Max)
+		}
+	}
+}
+
+func TestChainCountOrdering(t *testing.T) {
+	// For the paper's toy problem the mapspaces nest: PFM ⊂ Ruby-S ⊂ Ruby
+	// and PFM ⊂ Ruby-T ⊂ Ruby.
+	pfm := toySpace(PFM).ChainCount("X")
+	rs := toySpace(RubyS).ChainCount("X")
+	rt := toySpace(RubyT).ChainCount("X")
+	ruby := toySpace(Ruby).ChainCount("X")
+	if !(pfm < rs && rs < ruby) {
+		t.Errorf("want PFM(%d) < Ruby-S(%d) < Ruby(%d)", pfm, rs, ruby)
+	}
+	if !(pfm < rt && rt < ruby) {
+		t.Errorf("want PFM(%d) < Ruby-T(%d) < Ruby(%d)", pfm, rt, ruby)
+	}
+	// Ruby-T blows up much faster than Ruby-S on a capped spatial slot
+	// (Table I's central observation).
+	if rs >= rt {
+		t.Errorf("Ruby-S (%d) should stay below Ruby-T (%d) with a fanout cap", rs, rt)
+	}
+}
+
+func TestTotalChainCount(t *testing.T) {
+	w := workload.MustMatmul("mm", 4, 4, 4)
+	a := arch.ToyGLB(6, 512)
+	s := New(w, a, PFM, Constraints{})
+	want := s.ChainCount("M") * s.ChainCount("N") * s.ChainCount("K")
+	if got := s.TotalChainCount(); got != want {
+		t.Errorf("TotalChainCount = %d, want %d", got, want)
+	}
+}
+
+func TestSampleStructurallyValid(t *testing.T) {
+	w := workload.MustMatmul("mm", 100, 100, 1)
+	a := arch.ToyGLB(16, 2048)
+	e := nest.MustEvaluator(w, a)
+	for _, kind := range Kinds {
+		s := New(w, a, kind, Constraints{})
+		rng := rand.New(rand.NewSource(1))
+		valid := 0
+		for i := 0; i < 500; i++ {
+			m := s.Sample(rng)
+			if _, err := m.Chains(w, s.Slots()); err != nil {
+				t.Fatalf("%v: sample %d structurally invalid: %v", kind, i, err)
+			}
+			if err := m.ValidatePerms(w, a); err != nil {
+				t.Fatalf("%v: sample %d perms invalid: %v", kind, i, err)
+			}
+			if c := e.Evaluate(m); c.Valid {
+				valid++
+			}
+		}
+		if valid < 100 {
+			t.Errorf("%v: only %d/500 samples valid", kind, valid)
+		}
+	}
+}
+
+func TestSamplePFMFactorsDivide(t *testing.T) {
+	w := workload.MustVector1D("toy", 100)
+	a := arch.ToyGLB(6, 512)
+	s := New(w, a, PFM, Constraints{FixedPerms: true})
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		m := s.Sample(rng)
+		prod := 1
+		for _, f := range m.Factors["X"] {
+			prod *= f
+		}
+		if prod != 100 {
+			t.Fatalf("PFM sample product = %d, want exactly 100 (factors %v)", prod, m.Factors["X"])
+		}
+	}
+}
+
+func TestSampleRubySSpatialCanExceedDivisors(t *testing.T) {
+	// On D=100 with 6 PEs, PFM can use at most 5 PEs spatially; Ruby-S
+	// should find spatial factor 6 within a few hundred samples.
+	s := toySpace(RubyS)
+	rng := rand.New(rand.NewSource(3))
+	found := false
+	for i := 0; i < 500 && !found; i++ {
+		m := s.Sample(rng)
+		if m.Factors["X"][2] == 6 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Ruby-S never sampled the spatial factor 6")
+	}
+	// And Ruby-S temporal slots stay divisor-constrained: with spatial 6 the
+	// residual is 17, so the GLB temporal factor must be 1 or 17.
+	for i := 0; i < 500; i++ {
+		m := s.Sample(rng)
+		if m.Factors["X"][2] == 6 {
+			if f := m.Factors["X"][1]; f != 1 && f != 17 {
+				t.Fatalf("Ruby-S temporal factor %d not a divisor of residual 17", f)
+			}
+		}
+	}
+}
+
+func TestSampleRespectsSpatialConstraint(t *testing.T) {
+	w := workload.MustMatmul("mm", 32, 32, 32)
+	a := arch.EyerissLike(14, 12, 128)
+	cons := Constraints{SpatialX: []string{"M"}, SpatialY: []string{"K"}}
+	s := New(w, a, RubyS, cons)
+	rng := rand.New(rand.NewSource(4))
+	slots := s.Slots()
+	var xIdx, yIdx int
+	for _, sl := range slots {
+		if sl.Kind == mapping.SpatialX {
+			xIdx = sl.Index
+		}
+		if sl.Kind == mapping.SpatialY {
+			yIdx = sl.Index
+		}
+	}
+	for i := 0; i < 300; i++ {
+		m := s.Sample(rng)
+		if m.Factors["N"][xIdx] != 1 || m.Factors["N"][yIdx] != 1 {
+			t.Fatal("N mapped spatially despite constraint")
+		}
+		if m.Factors["K"][xIdx] != 1 {
+			t.Fatal("K mapped on X despite constraint")
+		}
+		if m.Factors["M"][yIdx] != 1 {
+			t.Fatal("M mapped on Y despite constraint")
+		}
+	}
+}
+
+func TestSampleFanoutBudgetMostlyHolds(t *testing.T) {
+	// Joint spatial usage respects the budget at sampling time.
+	w := workload.MustMatmul("mm", 64, 64, 64)
+	a := arch.EyerissLike(14, 12, 1024)
+	s := New(w, a, RubyS, Constraints{})
+	rng := rand.New(rand.NewSource(5))
+	slots := s.Slots()
+	for i := 0; i < 300; i++ {
+		m := s.Sample(rng)
+		chains, err := m.Chains(w, slots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sl := range slots {
+			if !sl.Spatial() {
+				continue
+			}
+			used := 1
+			for _, d := range w.DimNames() {
+				used *= chains[d].Trips(sl.Index)
+			}
+			if used > sl.Fanout {
+				t.Fatalf("sample %d exceeds fanout at slot %d: %d > %d", i, sl.Index, used, sl.Fanout)
+			}
+		}
+	}
+}
+
+func TestEnumerateMatchesCount(t *testing.T) {
+	for _, kind := range Kinds {
+		s := toySpace(kind)
+		want := s.TotalChainCount()
+		var got uint64
+		s.Enumerate(func(m *mapping.Mapping) bool {
+			if _, err := m.Chains(s.Work, s.Slots()); err != nil {
+				t.Fatalf("%v: enumerated invalid mapping: %v", kind, err)
+			}
+			got++
+			return true
+		})
+		if got != want {
+			t.Errorf("%v: enumerated %d, counted %d", kind, got, want)
+		}
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	s := toySpace(Ruby)
+	n := 0
+	s.Enumerate(func(*mapping.Mapping) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Errorf("early stop after %d", n)
+	}
+}
+
+func TestEnumerateMultiDim(t *testing.T) {
+	w := workload.MustMatmul("mm", 4, 3, 2)
+	a := arch.ToyGLB(4, 512)
+	s := New(w, a, PFM, Constraints{})
+	want := s.TotalChainCount()
+	var got uint64
+	seen := map[string]bool{}
+	s.Enumerate(func(m *mapping.Mapping) bool {
+		k := m.Key(w, s.Slots())
+		if seen[k] {
+			t.Fatalf("duplicate mapping %s", k)
+		}
+		seen[k] = true
+		got++
+		return true
+	})
+	if got != want {
+		t.Errorf("enumerated %d, counted %d", got, want)
+	}
+}
+
+func TestPadDim(t *testing.T) {
+	cases := []struct{ bound, axis, want int }{
+		{127, 16, 128}, {128, 16, 128}, {113, 16, 128}, {5, 16, 16}, {100, 6, 102},
+	}
+	for _, c := range cases {
+		if got := PadDim(c.bound, c.axis); got != c.want {
+			t.Errorf("PadDim(%d,%d) = %d, want %d", c.bound, c.axis, got, c.want)
+		}
+	}
+}
+
+func TestPadWorkload(t *testing.T) {
+	w := workload.MustVector1D("toy", 127)
+	p, err := PadWorkload(w, map[string]int{"X": 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Bound("X") != 128 {
+		t.Errorf("padded bound = %d", p.Bound("X"))
+	}
+	if w.Bound("X") != 127 {
+		t.Error("original mutated")
+	}
+	// Ineffectual work is charged: more MACs than the real workload.
+	if p.MACs() <= w.MACs() {
+		t.Error("padded workload should cost more MACs")
+	}
+}
+
+func TestPaddedVariants(t *testing.T) {
+	w := workload.MustMatmul("mm", 100, 50, 64)
+	cons := Constraints{SpatialX: []string{"M"}, SpatialY: []string{"N"}}
+	vs := PaddedVariants(w, cons, 16, 12)
+	if len(vs) < 2 {
+		t.Fatalf("variants = %d, want >= 2", len(vs))
+	}
+	if vs[0] != w {
+		t.Error("original not first")
+	}
+	foundM := false
+	for _, v := range vs[1:] {
+		if v.Bound("M") == 112 {
+			foundM = true
+		}
+		if v.Bound("K") != 64 {
+			t.Error("non-spatial dim padded")
+		}
+	}
+	if !foundM {
+		t.Error("no variant padded M to 112")
+	}
+	// Already-aligned dims produce no variants.
+	aligned := workload.MustMatmul("mm2", 64, 48, 64)
+	if got := PaddedVariants(aligned, cons, 16, 12); len(got) != 1 {
+		t.Errorf("aligned workload variants = %d, want 1", len(got))
+	}
+}
+
+func TestSystolicConstraints(t *testing.T) {
+	mm := workload.MustMatmul("mm", 32, 32, 32)
+	cons := SystolicDataflow(mm)
+	if len(cons.SpatialY) != 1 || cons.SpatialY[0] != "K" {
+		t.Errorf("systolic GEMM Y = %v, want [K]", cons.SpatialY)
+	}
+	cv := workload.MustConv2D(workload.Conv2DParams{N: 1, M: 4, C: 4, P: 4, Q: 4, R: 3, S: 3})
+	ccons := SystolicDataflow(cv)
+	if ccons.SpatialX[0] != "M" {
+		t.Errorf("systolic conv X = %v", ccons.SpatialX)
+	}
+}
+
+func TestSystolicMappableOnTPULike(t *testing.T) {
+	w := workload.MustMatmul("mm", 100, 64, 100)
+	a := arch.TPULike(16, 16, 96)
+	ev := nest.MustEvaluator(w, a)
+	for _, kind := range []Kind{PFM, RubyS} {
+		sp := New(w, a, kind, SystolicDataflow(w))
+		rng := rand.New(rand.NewSource(6))
+		found := false
+		for i := 0; i < 4000 && !found; i++ {
+			if c := ev.Evaluate(sp.Sample(rng)); c.Valid {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%v: no valid mapping sampled on TPU-like", kind)
+		}
+	}
+}
+
+func TestRequireSpatialEnforced(t *testing.T) {
+	// AlexNet-conv2 shape on the Eyeriss baseline with strict row-stationary
+	// constraints: every sampled mapping must give Q a spatial X factor and
+	// R a spatial Y factor.
+	w := workload.MustConv2D(workload.Conv2DParams{N: 1, M: 96, C: 48, P: 27, Q: 27, R: 5, S: 5})
+	a := arch.EyerissLike(14, 12, 128)
+	cons := EyerissStrictRowStationary(w)
+	slots := mapping.Slots(a)
+	var yIdx, xIdx int
+	for _, sl := range slots {
+		if sl.Kind == mapping.SpatialY {
+			yIdx = sl.Index
+		}
+		if sl.Kind == mapping.SpatialX {
+			xIdx = sl.Index
+		}
+	}
+	for _, kind := range []Kind{PFM, RubyS} {
+		sp := New(w, a, kind, cons)
+		rng := rand.New(rand.NewSource(8))
+		for i := 0; i < 400; i++ {
+			m := sp.Sample(rng)
+			chains, err := m.Chains(w, slots)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if chains["Q"].Trips(xIdx) < 2 {
+				t.Fatalf("%v: sample %d left Q off the X axis (factors %v)", kind, i, m.Factors["Q"])
+			}
+			if chains["R"].Trips(yIdx) < 2 {
+				t.Fatalf("%v: sample %d left R off the Y axis (factors %v)", kind, i, m.Factors["R"])
+			}
+		}
+	}
+}
+
+func TestRequireSpatialBestEffortWhenImpossible(t *testing.T) {
+	// A dimension of bound 1 cannot take a spatial factor; the requirement
+	// degrades gracefully instead of dead-looping.
+	w := workload.MustConv2D(workload.Conv2DParams{N: 1, M: 4, C: 4, P: 4, Q: 1, R: 1, S: 1})
+	a := arch.EyerissLike(4, 4, 128)
+	cons := Constraints{
+		SpatialX: []string{"Q", "M"}, SpatialY: []string{"R", "C"},
+		RequireSpatialX: []string{"Q"}, RequireSpatialY: []string{"R"},
+	}
+	sp := New(w, a, RubyS, cons)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 100; i++ {
+		m := sp.Sample(rng)
+		if _, err := m.Chains(w, sp.Slots()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

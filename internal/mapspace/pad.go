@@ -1,0 +1,101 @@
+package mapspace
+
+import (
+	"fmt"
+
+	"ruby/internal/workload"
+)
+
+// PadDim returns bound rounded up to the nearest positive multiple of axis —
+// the padding strategy of Section III-B ("pads the tensor up to the nearest
+// number divisible by 16").
+func PadDim(bound, axis int) int {
+	if axis < 1 {
+		panic(fmt.Sprintf("mapspace: PadDim axis %d", axis))
+	}
+	return ((bound + axis - 1) / axis) * axis
+}
+
+// PadWorkload returns a copy of w with each dimension in axes padded up to
+// the nearest multiple of its axis value. The padded iteration space performs
+// ineffectual work on the zero-filled region — the model charges its MACs and
+// memory traffic in full, matching the paper's no-gating assumption.
+func PadWorkload(w *workload.Workload, axes map[string]int) (*workload.Workload, error) {
+	newBounds := make(map[string]int, len(axes))
+	for d, axis := range axes {
+		newBounds[d] = PadDim(w.Bound(d), axis)
+	}
+	p, err := w.Scale(newBounds)
+	if err != nil {
+		return nil, err
+	}
+	p.Name = w.Name + "/padded"
+	return p, nil
+}
+
+// PaddedVariants returns the candidate padded workloads the padding baseline
+// chooses among: padding the X-axis-eligible dimensions to multiples of
+// fanoutX, the Y-axis-eligible ones to multiples of fanoutY, and both. The
+// original workload is always included (padding is never forced), and
+// variants identical to the original are dropped. Dimensions already
+// divisible by their axis are left untouched.
+func PaddedVariants(w *workload.Workload, cons Constraints, fanoutX, fanoutY int) []*workload.Workload {
+	dimAxes := func(list []string, axis int) map[string]int {
+		out := make(map[string]int)
+		if axis <= 1 {
+			return out
+		}
+		dims := list
+		if dims == nil {
+			dims = w.DimNames()
+		}
+		for _, d := range dims {
+			if w.Bound(d)%axis != 0 {
+				out[d] = axis
+			}
+		}
+		return out
+	}
+	xPads := dimAxes(cons.SpatialX, fanoutX)
+	yPads := dimAxes(cons.SpatialY, fanoutY)
+
+	variants := []*workload.Workload{w}
+	add := func(axes map[string]int) {
+		if len(axes) == 0 {
+			return
+		}
+		p, err := PadWorkload(w, axes)
+		if err != nil {
+			return
+		}
+		for _, v := range variants {
+			if sameBounds(v, p) {
+				return
+			}
+		}
+		variants = append(variants, p)
+	}
+	add(xPads)
+	add(yPads)
+	both := make(map[string]int, len(xPads)+len(yPads))
+	for d, a := range xPads {
+		both[d] = a
+	}
+	for d, a := range yPads {
+		// A dim eligible on both axes pads to the larger one.
+		if b, ok := both[d]; !ok || a > b {
+			both[d] = a
+		}
+	}
+	add(both)
+	return variants
+}
+
+func sameBounds(a, b *workload.Workload) bool {
+	for _, d := range a.Dims {
+		if b.Bound(d.Name) != d.Bound {
+			return false
+		}
+	}
+	return true
+}

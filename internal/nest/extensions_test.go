@@ -1,0 +1,158 @@
+package nest
+
+import (
+	"math"
+	"testing"
+
+	"ruby/internal/arch"
+	"ruby/internal/mapping"
+	"ruby/internal/workload"
+)
+
+// TestBandwidthStretch: capping a level's bandwidth stretches latency to the
+// traffic time and records the bounding level.
+func TestBandwidthStretch(t *testing.T) {
+	w := workload.MustVector1D("toy", 100)
+	base := arch.ToyGLB(6, 512)
+	limited := arch.ToyGLB(6, 512)
+	limited.Levels[1].BandwidthWords = 1 // 1 word/cycle at the GLB
+
+	m := func(a *arch.Arch) *mapping.Mapping {
+		mm := mapping.Uniform(w, a, 1)
+		mm.Factors["X"] = []int{1, 17, 6}
+		return mm
+	}
+	free := MustEvaluator(w, base).Evaluate(m(base))
+	bound := MustEvaluator(w, limited).Evaluate(m(limited))
+	if !free.Valid || !bound.Valid {
+		t.Fatal("mapping invalid")
+	}
+	if free.Cycles != 17 || free.BandwidthBound != "" {
+		t.Errorf("unlimited: cycles %f bound %q", free.Cycles, free.BandwidthBound)
+	}
+	// GLB traffic: 300 reads + 200 writes = 500 words at 1 word/cycle.
+	if bound.Cycles != 500 {
+		t.Errorf("bandwidth-bound cycles = %f, want 500", bound.Cycles)
+	}
+	if bound.BandwidthBound != "GLB" {
+		t.Errorf("bounding level = %q", bound.BandwidthBound)
+	}
+	if bound.Utilization >= free.Utilization {
+		t.Error("stretched latency must lower utilization")
+	}
+}
+
+// TestBandwidthPerInstanceAggregation: bandwidth is per instance, so a
+// spatially replicated level aggregates.
+func TestBandwidthPerInstance(t *testing.T) {
+	w := workload.MustVector1D("toy", 100)
+	a := arch.ToyLinear(10, 512)
+	a.Levels[1].BandwidthWords = 1 // per-PE scratchpad port
+	e := MustEvaluator(w, a)
+	m := mapping.Uniform(w, a, 1)
+	m.Factors["X"] = []int{1, 10, 10} // 10 elements per PE, 10 PEs
+	c := e.Evaluate(m)
+	if !c.Valid {
+		t.Fatal(c.Reason)
+	}
+	// Each spad sees (10 in-writes + 10 MAC reads + 10+10+10 output) ~ 50
+	// words across 10 instances = 5 words/instance... aggregate 500 words
+	// over 10 instances at 1 w/c = 50 cycles > compute 10.
+	if c.Cycles <= 10 {
+		t.Errorf("cycles = %f, want bandwidth-stretched > 10", c.Cycles)
+	}
+}
+
+// TestStaticEnergy: leakage accrues with cycles and instances.
+func TestStaticEnergy(t *testing.T) {
+	w := workload.MustVector1D("toy", 100)
+	a := arch.ToyGLB(6, 512)
+	a.Levels[1].StaticPJPerCycle = 2
+	e := MustEvaluator(w, a)
+	m := mapping.Uniform(w, a, 1)
+	m.Factors["X"] = []int{1, 17, 6}
+	c := e.Evaluate(m)
+	if !c.Valid {
+		t.Fatal(c.Reason)
+	}
+	if want := 2.0 * 17; math.Abs(c.StaticEnergyPJ-want) > 1e-9 {
+		t.Errorf("static energy = %f, want %f", c.StaticEnergyPJ, want)
+	}
+	// And it is part of the total.
+	noLeak := arch.ToyGLB(6, 512)
+	base := MustEvaluator(w, noLeak).Evaluate(func() *mapping.Mapping {
+		mm := mapping.Uniform(w, noLeak, 1)
+		mm.Factors["X"] = []int{1, 17, 6}
+		return mm
+	}())
+	if math.Abs((c.EnergyPJ-base.EnergyPJ)-c.StaticEnergyPJ) > 1e-9 {
+		t.Error("static energy not added to total")
+	}
+	// Leakage makes slow mappings relatively worse: the serial mapping now
+	// pays 100 cycles of GLB leakage.
+	mSerial := mapping.Uniform(w, a, 0)
+	cs := e.Evaluate(mSerial)
+	if cs.StaticEnergyPJ <= c.StaticEnergyPJ {
+		t.Error("longer mapping should leak more")
+	}
+}
+
+// TestNoCHopEnergy: configuring wire energy charges delivered words by mean
+// hop distance, and larger arrays pay more per word.
+func TestNoCHopEnergy(t *testing.T) {
+	w := workload.MustVector1D("toy", 100)
+	mk := func(pes int) *arch.Arch {
+		a := arch.ToyGLB(pes, 2048)
+		a.Levels[1].Fanout.HopEnergyPJ = 0.1
+		return a
+	}
+	cost := func(pes, spatial int) Cost {
+		a := mk(pes)
+		e := MustEvaluator(w, a)
+		m := mapping.Uniform(w, a, 1)
+		m.Factors["X"] = []int{1, (100 + spatial - 1) / spatial, spatial}
+		c := e.Evaluate(m)
+		if !c.Valid {
+			t.Fatal(c.Reason)
+		}
+		return c
+	}
+	small := cost(4, 4)
+	big := cost(16, 16)
+	if small.NoCEnergyPJ <= 0 {
+		t.Fatal("NoC energy not charged")
+	}
+	// MeanHops(4x1)=1.5, MeanHops(16x1)=7.5; traffic is ~equal (100 words
+	// down, 100 up), so the 16-PE array pays ~5x the wire energy.
+	ratio := big.NoCEnergyPJ / small.NoCEnergyPJ
+	if ratio < 4.5 || ratio > 5.5 {
+		t.Errorf("NoC energy ratio = %f, want ~5", ratio)
+	}
+}
+
+func TestMeanHops(t *testing.T) {
+	if h := (arch.Network{FanoutX: 14, FanoutY: 12}).MeanHops(); h != 6.5+5.5 {
+		t.Errorf("MeanHops(14x12) = %f", h)
+	}
+	if h := (arch.Network{}).MeanHops(); h != 0 {
+		t.Errorf("MeanHops(zero) = %f", h)
+	}
+}
+
+// TestDefaultsUnchanged: with no extensions configured the paper-mode
+// results are bit-identical to the core model (guards against regressions
+// from the optional features).
+func TestDefaultsUnchanged(t *testing.T) {
+	w := workload.MustVector1D("toy", 100)
+	a := arch.ToyGLB(6, 512)
+	e := MustEvaluator(w, a)
+	m := mapping.Uniform(w, a, 1)
+	m.Factors["X"] = []int{1, 17, 6}
+	c := e.Evaluate(m)
+	if c.NoCEnergyPJ != 0 || c.StaticEnergyPJ != 0 || c.BandwidthBound != "" {
+		t.Errorf("extensions leaked into default config: %+v", c)
+	}
+	if c.Cycles != 17 {
+		t.Errorf("cycles = %f", c.Cycles)
+	}
+}

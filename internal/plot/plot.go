@@ -1,0 +1,314 @@
+// Package plot renders experiment results as standalone SVG figures using
+// only the standard library, so the harness can regenerate the paper's
+// figures as figures: Fig. 7's convergence curves, Fig. 8's sweep lines,
+// Figs. 10-12's per-layer bars, and Figs. 13-14's Pareto scatters.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Kind selects the mark type.
+type Kind uint8
+
+const (
+	// Line connects points in order (convergence curves, sweeps).
+	Line Kind = iota
+	// Scatter draws unconnected points (design-space exploration).
+	Scatter
+	// Bars draws grouped vertical bars over category labels.
+	Bars
+)
+
+// Series is one named data sequence.
+type Series struct {
+	Name string
+	X    []float64 // ignored by Bars (category index is used)
+	Y    []float64
+}
+
+// Chart is a renderable figure.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Kind   Kind
+	Series []Series
+	// Labels are the category names for Bars charts.
+	Labels []string
+	// LogX/LogY select logarithmic axes (all values must be positive).
+	LogX, LogY bool
+}
+
+// Canvas geometry.
+const (
+	width   = 760
+	height  = 460
+	marginL = 84
+	marginR = 24
+	marginT = 48
+	marginB = 64
+)
+
+// palette holds colorblind-safe series colors.
+var palette = []string{"#0072b2", "#d55e00", "#009e73", "#cc79a7", "#e69f00", "#56b4e9"}
+
+// SVG renders the chart. Charts with no drawable data render an empty frame
+// with the title, never an invalid document.
+func (c *Chart) SVG() (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="26" font-family="sans-serif" font-size="16" font-weight="bold">%s</text>`+"\n",
+		marginL, escape(c.Title))
+
+	xs, ys, err := c.extent()
+	if err != nil {
+		return "", err
+	}
+	if xs.valid() && ys.valid() {
+		c.drawAxes(&b, xs, ys)
+		switch c.Kind {
+		case Bars:
+			c.drawBars(&b, ys)
+		default:
+			c.drawXY(&b, xs, ys)
+		}
+		c.drawLegend(&b)
+	}
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+// scale maps data ranges to pixels.
+type scale struct {
+	lo, hi float64
+	log    bool
+}
+
+func (s scale) valid() bool { return !math.IsInf(s.lo, 0) && s.hi > s.lo }
+
+func (s scale) norm(v float64) float64 {
+	if s.log {
+		return (math.Log10(v) - math.Log10(s.lo)) / (math.Log10(s.hi) - math.Log10(s.lo))
+	}
+	return (v - s.lo) / (s.hi - s.lo)
+}
+
+func (c *Chart) px(xs scale, x float64) float64 {
+	return marginL + xs.norm(x)*(width-marginL-marginR)
+}
+
+func (c *Chart) py(ys scale, y float64) float64 {
+	return height - marginB - ys.norm(y)*(height-marginT-marginB)
+}
+
+// extent computes the axis ranges (with padding for linear axes).
+func (c *Chart) extent() (xs, ys scale, err error) {
+	xs = scale{lo: math.Inf(1), hi: math.Inf(-1), log: c.LogX}
+	ys = scale{lo: math.Inf(1), hi: math.Inf(-1), log: c.LogY}
+	for _, s := range c.Series {
+		for i, y := range s.Y {
+			x := float64(i)
+			if c.Kind != Bars && i < len(s.X) {
+				x = s.X[i]
+			}
+			if (c.LogX && x <= 0 && c.Kind != Bars) || (c.LogY && y <= 0) {
+				return xs, ys, fmt.Errorf("plot: log axis requires positive values (got x=%g y=%g)", x, y)
+			}
+			xs.lo, xs.hi = math.Min(xs.lo, x), math.Max(xs.hi, x)
+			ys.lo, ys.hi = math.Min(ys.lo, y), math.Max(ys.hi, y)
+		}
+	}
+	if !xs.valid() && !math.IsInf(xs.lo, 0) {
+		xs.hi = xs.lo + 1
+	}
+	if !ys.valid() && !math.IsInf(ys.lo, 0) {
+		ys.hi = ys.lo + 1
+	}
+	// Pad linear axes; bars always baseline at 0.
+	if !ys.log && ys.valid() {
+		if c.Kind == Bars && ys.lo > 0 {
+			ys.lo = 0
+		}
+		pad := (ys.hi - ys.lo) * 0.06
+		ys.hi += pad
+		if ys.lo != 0 {
+			ys.lo -= pad
+		}
+	}
+	return xs, ys, nil
+}
+
+// drawAxes renders the frame, ticks and labels.
+func (c *Chart) drawAxes(b *strings.Builder, xs, ys scale) {
+	fmt.Fprintf(b, `<rect x="%d" y="%d" width="%d" height="%d" fill="none" stroke="#444"/>`+"\n",
+		marginL, marginT, width-marginL-marginR, height-marginT-marginB)
+	// Y ticks.
+	for _, v := range ticks(ys) {
+		y := c.py(ys, v)
+		fmt.Fprintf(b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, y, width-marginR, y)
+		fmt.Fprintf(b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-6, y+4, formatTick(v))
+	}
+	// X ticks (categories for bars).
+	if c.Kind == Bars {
+		n := len(c.Labels)
+		for i, lab := range c.Labels {
+			x := marginL + (float64(i)+0.5)/float64(n)*(width-marginL-marginR)
+			fmt.Fprintf(b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="10" text-anchor="end" transform="rotate(-35 %.1f %d)">%s</text>`+"\n",
+				x, height-marginB+14, x, height-marginB+14, escape(lab))
+		}
+	} else {
+		for _, v := range ticks(xs) {
+			x := c.px(xs, v)
+			fmt.Fprintf(b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+				x, height-marginB+16, formatTick(v))
+		}
+	}
+	fmt.Fprintf(b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		(marginL+width-marginR)/2, height-14, escape(c.XLabel))
+	fmt.Fprintf(b, `<text x="18" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 18 %d)">%s</text>`+"\n",
+		(marginT+height-marginB)/2, (marginT+height-marginB)/2, escape(c.YLabel))
+}
+
+// drawXY renders lines or scatter points.
+func (c *Chart) drawXY(b *strings.Builder, xs, ys scale) {
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		if c.Kind == Line {
+			var pts []string
+			for i := range s.Y {
+				pts = append(pts, fmt.Sprintf("%.1f,%.1f", c.px(xs, s.X[i]), c.py(ys, s.Y[i])))
+			}
+			fmt.Fprintf(b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+				strings.Join(pts, " "), color)
+		}
+		for i := range s.Y {
+			fmt.Fprintf(b, `<circle cx="%.1f" cy="%.1f" r="3.5" fill="%s"/>`+"\n",
+				c.px(xs, s.X[i]), c.py(ys, s.Y[i]), color)
+		}
+	}
+}
+
+// drawBars renders grouped bars.
+func (c *Chart) drawBars(b *strings.Builder, ys scale) {
+	n := len(c.Labels)
+	if n == 0 {
+		return
+	}
+	groups := len(c.Series)
+	groupW := float64(width-marginL-marginR) / float64(n)
+	barW := groupW * 0.8 / float64(groups)
+	base := c.py(ys, math.Max(ys.lo, 0))
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		for i, y := range s.Y {
+			if i >= n {
+				break
+			}
+			x := marginL + float64(i)*groupW + groupW*0.1 + float64(si)*barW
+			top := c.py(ys, y)
+			h := base - top
+			if h < 0 {
+				top, h = base, -h
+			}
+			fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, top, barW, h, color)
+		}
+	}
+}
+
+// drawLegend lists the series names.
+func (c *Chart) drawLegend(b *strings.Builder) {
+	if len(c.Series) < 2 {
+		return
+	}
+	x := width - marginR - 150
+	y := marginT + 10
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		fmt.Fprintf(b, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n", x, y-10, color)
+		fmt.Fprintf(b, `<text x="%d" y="%d" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			x+18, y, escape(s.Name))
+		y += 18
+		_ = si
+	}
+}
+
+// ticks returns ~5 axis tick values.
+func ticks(s scale) []float64 {
+	if !s.valid() {
+		return nil
+	}
+	if s.log {
+		var out []float64
+		lo := math.Floor(math.Log10(s.lo))
+		hi := math.Ceil(math.Log10(s.hi))
+		for e := lo; e <= hi; e++ {
+			v := math.Pow(10, e)
+			if v >= s.lo*0.999 && v <= s.hi*1.001 {
+				out = append(out, v)
+			}
+		}
+		if len(out) >= 2 {
+			return out
+		}
+		// Degenerate log range: fall through to linear ticks.
+	}
+	span := nice((s.hi - s.lo) / 4)
+	if span <= 0 {
+		return []float64{s.lo, s.hi}
+	}
+	start := math.Ceil(s.lo/span) * span
+	var out []float64
+	for v := start; v <= s.hi+span*1e-9; v += span {
+		out = append(out, v)
+	}
+	return out
+}
+
+// nice rounds a span to 1/2/5 x 10^k.
+func nice(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	exp := math.Floor(math.Log10(v))
+	f := v / math.Pow(10, exp)
+	var nf float64
+	switch {
+	case f < 1.5:
+		nf = 1
+	case f < 3.5:
+		nf = 2
+	case f < 7.5:
+		nf = 5
+	default:
+		nf = 10
+	}
+	return nf * math.Pow(10, exp)
+}
+
+// formatTick renders a tick value compactly.
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e5 || av < 1e-3:
+		return fmt.Sprintf("%.0e", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", v), "0"), ".")
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,140 @@
+package plot
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func mustValidXML(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("invalid XML: %v\n%s", err, svg)
+		}
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	c := &Chart{
+		Title: "convergence", XLabel: "evaluations", YLabel: "EDP",
+		Kind: Line, LogY: true,
+		Series: []Series{
+			{Name: "PFM", X: []float64{100, 1000, 10000}, Y: []float64{1e13, 9e12, 8e12}},
+			{Name: "Ruby-S", X: []float64{100, 1000, 10000}, Y: []float64{1.4e13, 8.5e12, 8e12}},
+		},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustValidXML(t, svg)
+	for _, frag := range []string{"polyline", "convergence", "PFM", "Ruby-S", "evaluations"} {
+		if !strings.Contains(svg, frag) {
+			t.Errorf("SVG missing %q", frag)
+		}
+	}
+}
+
+func TestScatterChart(t *testing.T) {
+	c := &Chart{
+		Title: "pareto", Kind: Scatter,
+		Series: []Series{{Name: "Ruby-S", X: []float64{0.3, 1.3}, Y: []float64{4e19, 3e18}}},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustValidXML(t, svg)
+	if strings.Contains(svg, "polyline") {
+		t.Error("scatter should not connect points")
+	}
+	if !strings.Contains(svg, "circle") {
+		t.Error("scatter missing points")
+	}
+}
+
+func TestBarsChart(t *testing.T) {
+	c := &Chart{
+		Title: "per-layer", Kind: Bars,
+		Labels: []string{"conv1", "res2a", "fc"},
+		Series: []Series{
+			{Name: "Ruby-S/PFM", Y: []float64{0.9, 0.6, 0.5}},
+		},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustValidXML(t, svg)
+	if strings.Count(svg, "<rect") < 4 { // background + frame + 3 bars
+		t.Errorf("bars missing:\n%s", svg)
+	}
+	for _, lab := range c.Labels {
+		if !strings.Contains(svg, lab) {
+			t.Errorf("missing label %q", lab)
+		}
+	}
+}
+
+func TestLogAxisRejectsNonPositive(t *testing.T) {
+	c := &Chart{Kind: Line, LogY: true,
+		Series: []Series{{X: []float64{1}, Y: []float64{0}}}}
+	if _, err := c.SVG(); err == nil {
+		t.Error("log axis accepted zero")
+	}
+}
+
+func TestEmptyChartStillRenders(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustValidXML(t, svg)
+	if !strings.Contains(svg, "empty") {
+		t.Error("title missing")
+	}
+}
+
+func TestTicks(t *testing.T) {
+	ts := ticks(scale{lo: 0, hi: 10})
+	if len(ts) < 3 || ts[0] != 0 {
+		t.Errorf("linear ticks = %v", ts)
+	}
+	lt := ticks(scale{lo: 1, hi: 1e4, log: true})
+	if len(lt) != 5 || lt[0] != 1 || lt[4] != 1e4 {
+		t.Errorf("log ticks = %v", lt)
+	}
+}
+
+func TestNice(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0.9, 1}, {2.4, 2}, {4, 5}, {8, 10}, {23, 20}, {70, 50},
+	}
+	for _, c := range cases {
+		if got := nice(c.in); got != c.want {
+			t.Errorf("nice(%g) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{0: "0", 1e13: "1e+13", 128: "128", 0.893: "0.893", 1.5: "1.5"}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if escape(`a<b>&"c"`) != "a&lt;b&gt;&amp;&quot;c&quot;" {
+		t.Error("escape wrong")
+	}
+}

@@ -1,0 +1,111 @@
+package search
+
+import (
+	"math"
+	"math/rand"
+
+	"ruby/internal/mapping"
+	"ruby/internal/mapspace"
+	"ruby/internal/nest"
+)
+
+// AnnealOptions configures the simulated-annealing searcher.
+type AnnealOptions struct {
+	// Seed makes the run reproducible.
+	Seed int64
+	// Steps is the number of annealing moves (default 20,000).
+	Steps int
+	// StartTemp is the initial acceptance temperature as a fraction of the
+	// incumbent objective value (default 0.5): a move that worsens the
+	// objective by StartTemp x incumbent is accepted with probability 1/e
+	// at the start of the schedule.
+	StartTemp float64
+	// Warmup random samples seed the incumbent (default 200).
+	Warmup int
+	// Objective selects the minimized metric (default EDP).
+	Objective Objective
+}
+
+func (o AnnealOptions) withDefaults() AnnealOptions {
+	if o.Steps <= 0 {
+		o.Steps = 20000
+	}
+	if o.StartTemp <= 0 {
+		o.StartTemp = 0.5
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 200
+	}
+	return o
+}
+
+// Anneal runs simulated annealing over a mapspace: the proposal distribution
+// mutates one dimension's tiling chain or one level's loop order (the hill
+// climber's moves), and worsening moves are accepted with Boltzmann
+// probability under a geometrically cooled temperature. Annealing escapes
+// the local optima that trap greedy search in the large Ruby mapspaces.
+func Anneal(sp *mapspace.Space, ev *nest.Evaluator, opt AnnealOptions) *Result {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	res := &Result{}
+	dims := sp.Work.DimNames()
+
+	// Warmup: best random sample becomes the incumbent.
+	var cur *annealState
+	for i := 0; i < opt.Warmup; i++ {
+		res.Evaluated++
+		m := sp.Sample(rng)
+		c := ev.Evaluate(m)
+		if !c.Valid {
+			continue
+		}
+		res.Valid++
+		v := opt.Objective.Value(&c)
+		if res.Best == nil || v < opt.Objective.Value(&res.BestCost) {
+			res.Best, res.BestCost = m.Clone(), c
+			res.Trace = append(res.Trace, TracePoint{Evals: res.Evaluated, Value: v})
+		}
+		if cur == nil || v < cur.value {
+			cur = &annealState{m: m, value: v}
+		}
+	}
+	if cur == nil {
+		return res
+	}
+
+	t0 := opt.StartTemp * cur.value
+	cooling := math.Pow(1e-3, 1/float64(opt.Steps)) // t0 -> t0/1000 over the run
+	temp := t0
+	for step := 0; step < opt.Steps; step++ {
+		cand := cur.m.Clone()
+		if rng.Intn(4) == 0 {
+			li := rng.Intn(len(cand.Perms))
+			cand.Perms[li] = sp.SamplePerm(rng)
+		} else {
+			d := dims[rng.Intn(len(dims))]
+			cand.Factors[d] = sp.SampleChain(rng, d)
+		}
+		res.Evaluated++
+		c := ev.Evaluate(cand)
+		temp *= cooling
+		if !c.Valid {
+			continue
+		}
+		res.Valid++
+		v := opt.Objective.Value(&c)
+		if v < opt.Objective.Value(&res.BestCost) {
+			res.Best, res.BestCost = cand.Clone(), c
+			res.Trace = append(res.Trace, TracePoint{Evals: res.Evaluated, Value: v})
+		}
+		delta := v - cur.value
+		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+			cur = &annealState{m: cand, value: v}
+		}
+	}
+	return res
+}
+
+type annealState struct {
+	m     *mapping.Mapping
+	value float64
+}

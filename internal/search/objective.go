@@ -1,0 +1,47 @@
+package search
+
+import (
+	"fmt"
+
+	"ruby/internal/nest"
+)
+
+// Objective selects the metric a search minimizes. The paper's evaluation
+// optimizes EDP throughout ("EDP encapsulates the benefits and drawbacks of
+// improved PE utilization") but also reports latency-targeted results in
+// Section IV-D; Timeloop supports energy- and delay-only objectives as well.
+type Objective uint8
+
+const (
+	// ObjectiveEDP minimizes energy x delay (the paper's default).
+	ObjectiveEDP Objective = iota
+	// ObjectiveEnergy minimizes total energy.
+	ObjectiveEnergy
+	// ObjectiveDelay minimizes cycles (latency).
+	ObjectiveDelay
+)
+
+func (o Objective) String() string {
+	switch o {
+	case ObjectiveEDP:
+		return "EDP"
+	case ObjectiveEnergy:
+		return "energy"
+	case ObjectiveDelay:
+		return "delay"
+	default:
+		return fmt.Sprintf("Objective(%d)", uint8(o))
+	}
+}
+
+// Value extracts the objective's metric from a cost.
+func (o Objective) Value(c *nest.Cost) float64 {
+	switch o {
+	case ObjectiveEnergy:
+		return c.EnergyPJ
+	case ObjectiveDelay:
+		return c.Cycles
+	default:
+		return c.EDP
+	}
+}

@@ -1,0 +1,66 @@
+package search
+
+import (
+	"math/rand"
+	"sort"
+
+	"ruby/internal/mapping"
+	"ruby/internal/mapspace"
+	"ruby/internal/nest"
+)
+
+// ParetoEntry is one non-dominated mapping of an energy-delay frontier.
+type ParetoEntry struct {
+	Mapping *mapping.Mapping
+	Cost    nest.Cost
+}
+
+// ParetoFront samples the mapspace and maintains the energy-delay Pareto
+// archive: every returned mapping is non-dominated (no other sampled mapping
+// has both lower energy and lower delay). Single-objective EDP search picks
+// one point of this frontier; exposing the whole front supports co-design
+// studies where the energy/delay exchange rate is not fixed.
+//
+// Entries are sorted by cycles ascending (so energy descends along the
+// slice).
+func ParetoFront(sp *mapspace.Space, ev *nest.Evaluator, opt Options) []ParetoEntry {
+	opt = opt.withDefaults()
+	budget := opt.MaxEvaluations
+	if budget <= 0 {
+		budget = 20000
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	var front []ParetoEntry
+	for i := int64(0); i < budget; i++ {
+		m := sp.Sample(rng)
+		c := ev.Evaluate(m)
+		if !c.Valid {
+			continue
+		}
+		front = insertPareto(front, ParetoEntry{Mapping: m, Cost: c})
+	}
+	sort.Slice(front, func(i, j int) bool { return front[i].Cost.Cycles < front[j].Cost.Cycles })
+	return front
+}
+
+// insertPareto adds e unless dominated, evicting entries e dominates.
+func insertPareto(front []ParetoEntry, e ParetoEntry) []ParetoEntry {
+	out := front[:0]
+	for _, f := range front {
+		if dominates(f.Cost, e.Cost) ||
+			(f.Cost.EnergyPJ == e.Cost.EnergyPJ && f.Cost.Cycles == e.Cost.Cycles) {
+			return front // e is dominated or duplicates an archived point
+		}
+		if !dominates(e.Cost, f.Cost) {
+			out = append(out, f)
+		}
+	}
+	return append(out, e)
+}
+
+// dominates reports whether a is no worse than b in both energy and delay
+// and strictly better in at least one.
+func dominates(a, b nest.Cost) bool {
+	return a.EnergyPJ <= b.EnergyPJ && a.Cycles <= b.Cycles &&
+		(a.EnergyPJ < b.EnergyPJ || a.Cycles < b.Cycles)
+}

@@ -1,0 +1,69 @@
+package search
+
+import (
+	"testing"
+
+	"ruby/internal/arch"
+	"ruby/internal/mapspace"
+	"ruby/internal/nest"
+	"ruby/internal/workload"
+)
+
+func TestParetoFrontNonDominated(t *testing.T) {
+	w := workload.MustMatmul("mm", 48, 48, 48)
+	a := arch.EyerissLike(14, 12, 128)
+	sp := mapspace.New(w, a, mapspace.RubyS, mapspace.EyerissRowStationary(w))
+	ev := nest.MustEvaluator(w, a)
+	front := ParetoFront(sp, ev, Options{Seed: 1, MaxEvaluations: 6000})
+	if len(front) == 0 {
+		t.Fatal("empty frontier")
+	}
+	// Mutually non-dominated, sorted by cycles, energy descending.
+	for i := range front {
+		for j := range front {
+			if i != j && dominates(front[i].Cost, front[j].Cost) {
+				t.Fatalf("entry %d dominates entry %d", i, j)
+			}
+		}
+		if i > 0 {
+			if front[i].Cost.Cycles < front[i-1].Cost.Cycles {
+				t.Fatal("not sorted by cycles")
+			}
+			if front[i].Cost.EnergyPJ >= front[i-1].Cost.EnergyPJ {
+				t.Fatal("energy not strictly descending along the frontier")
+			}
+		}
+	}
+	// The frontier must bracket the single-objective optima found by a
+	// search of the same budget.
+	res := Random(sp, ev, Options{Seed: 1, Threads: 1, MaxEvaluations: 6000, Objective: ObjectiveDelay})
+	if res.Best != nil && front[0].Cost.Cycles > res.BestCost.Cycles {
+		t.Errorf("frontier min cycles %g worse than delay search %g",
+			front[0].Cost.Cycles, res.BestCost.Cycles)
+	}
+}
+
+func TestInsertPareto(t *testing.T) {
+	mk := func(e, c float64) ParetoEntry {
+		return ParetoEntry{Cost: nest.Cost{Valid: true, EnergyPJ: e, Cycles: c}}
+	}
+	var front []ParetoEntry
+	front = insertPareto(front, mk(10, 10))
+	front = insertPareto(front, mk(5, 20)) // trade-off: kept
+	if len(front) != 2 {
+		t.Fatalf("front = %d", len(front))
+	}
+	front = insertPareto(front, mk(20, 20)) // dominated by both
+	if len(front) != 2 {
+		t.Fatal("dominated entry inserted")
+	}
+	front = insertPareto(front, mk(4, 9)) // dominates both
+	if len(front) != 1 || front[0].Cost.EnergyPJ != 4 {
+		t.Fatalf("dominating entry did not evict: %d", len(front))
+	}
+	// Equal point is dominated (no strict improvement) and rejected.
+	front = insertPareto(front, mk(4, 9))
+	if len(front) != 1 {
+		t.Fatal("duplicate point inserted")
+	}
+}

@@ -1,0 +1,58 @@
+package search
+
+import (
+	"ruby/internal/mapspace"
+	"ruby/internal/nest"
+)
+
+// Portfolio runs the full searcher portfolio — random sampling, the genetic
+// algorithm, simulated annealing and greedy hill climbing — splitting an
+// evaluation budget across them and returning the overall best. Different
+// strategies win on different mapspace shapes (random on dense toy spaces,
+// population methods on the sparse Ruby expansions), so the portfolio is a
+// robust default when the shape is unknown.
+func Portfolio(sp *mapspace.Space, ev *nest.Evaluator, opt Options) *Result {
+	opt = opt.withDefaults()
+	budget := opt.MaxEvaluations
+	if budget <= 0 {
+		budget = 40000
+	}
+	share := budget / 4
+
+	results := make([]*Result, 0, 4)
+
+	randOpt := opt
+	randOpt.MaxEvaluations = share
+	randOpt.ConsecutiveNoImprove = 0
+	results = append(results, Random(sp, ev, randOpt))
+
+	pop := 64
+	gens := int(share)/pop - 1
+	if gens < 1 {
+		gens = 1
+	}
+	results = append(results, Genetic(sp, ev, GeneticOptions{
+		Seed: opt.Seed + 1, Population: pop, Generations: gens, Objective: opt.Objective,
+	}))
+
+	warm := int(share) / 10
+	results = append(results, Anneal(sp, ev, AnnealOptions{
+		Seed: opt.Seed + 2, Steps: int(share) - warm, Warmup: warm, Objective: opt.Objective,
+	}))
+
+	results = append(results, HillClimb(sp, ev, Options{
+		Seed: opt.Seed + 3, Objective: opt.Objective,
+	}, warm, int(share)-warm))
+
+	best := &Result{}
+	for _, r := range results {
+		best.Evaluated += r.Evaluated
+		best.Valid += r.Valid
+		if r.Best != nil && (best.Best == nil ||
+			opt.Objective.Value(&r.BestCost) < opt.Objective.Value(&best.BestCost)) {
+			best.Best = r.Best
+			best.BestCost = r.BestCost
+		}
+	}
+	return best
+}

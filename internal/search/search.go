@@ -1,0 +1,237 @@
+// Package search finds high-quality mappings within a mapspace. It provides
+// the paper's search procedure — Timeloop-style parallel random sampling with
+// a consecutive-non-improving-valid-mappings termination criterion — plus an
+// exhaustive searcher for the toy studies and a greedy hill-climber as an
+// orthogonal search strategy (the paper notes Ruby composes with improved
+// search techniques).
+package search
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ruby/internal/mapping"
+	"ruby/internal/mapspace"
+	"ruby/internal/nest"
+)
+
+// Options configures a random search.
+type Options struct {
+	// Seed makes the search reproducible. Worker i uses Seed + i.
+	Seed int64
+	// Threads is the number of parallel samplers (default min(24, NumCPU),
+	// 24 matching the paper's setup).
+	Threads int
+	// MaxEvaluations caps the total number of sampled mappings (0 = no cap).
+	MaxEvaluations int64
+	// ConsecutiveNoImprove terminates the search once this many valid
+	// mappings in a row fail to improve the best EDP (the paper uses 3000).
+	// 0 disables the criterion (then MaxEvaluations must be set).
+	ConsecutiveNoImprove int64
+	// KeepTrace records the improvement events for convergence plots
+	// (Fig. 7).
+	KeepTrace bool
+	// Objective selects the minimized metric (default EDP).
+	Objective Objective
+	// WarmStart optionally seeds the search with a known mapping (e.g. from
+	// the constructive heuristic mapper); it is evaluated before sampling
+	// begins and counts as the incumbent if valid.
+	WarmStart *mapping.Mapping
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threads <= 0 {
+		o.Threads = runtime.NumCPU()
+		if o.Threads > 24 {
+			o.Threads = 24
+		}
+	}
+	if o.ConsecutiveNoImprove <= 0 && o.MaxEvaluations <= 0 {
+		o.ConsecutiveNoImprove = 3000
+	}
+	return o
+}
+
+// TracePoint is one improvement event: after Evals evaluated mappings the
+// best objective value dropped to Value.
+type TracePoint struct {
+	Evals int64
+	Value float64
+}
+
+// Result summarizes a search.
+type Result struct {
+	Best      *mapping.Mapping // nil when no valid mapping was found
+	BestCost  nest.Cost
+	Evaluated int64
+	Valid     int64
+	Trace     []TracePoint
+}
+
+// BestEDPAt returns the best objective value seen within the first n
+// evaluations, interpolating the improvement trace. Returns ok=false when
+// nothing valid was found by then.
+func (r *Result) BestEDPAt(n int64) (float64, bool) {
+	best, ok := 0.0, false
+	for _, tp := range r.Trace {
+		if tp.Evals > n {
+			break
+		}
+		best, ok = tp.Value, true
+	}
+	return best, ok
+}
+
+// shared is the cross-worker search state.
+type shared struct {
+	mu        sync.Mutex
+	best      *mapping.Mapping
+	bestCost  nest.Cost
+	trace     []TracePoint
+	valid     int64
+	evaluated atomic.Int64
+	noImprove atomic.Int64
+	stop      atomic.Bool
+}
+
+// Random runs parallel random-sampling search and returns the best mapping
+// found. It mirrors Timeloop's Random-Sampling search: mapspace generation
+// proposes structurally valid mappings, the cost model filters invalid ones,
+// and the search stops after opt.ConsecutiveNoImprove consecutive valid
+// mappings without improvement (and/or opt.MaxEvaluations samples).
+func Random(sp *mapspace.Space, ev *nest.Evaluator, opt Options) *Result {
+	opt = opt.withDefaults()
+	st := &shared{}
+
+	if opt.WarmStart != nil {
+		if c := ev.Evaluate(opt.WarmStart); c.Valid {
+			st.best = opt.WarmStart.Clone()
+			st.bestCost = c
+			if opt.KeepTrace {
+				st.trace = append(st.trace, TracePoint{Evals: 0, Value: opt.Objective.Value(&c)})
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for t := 0; t < opt.Threads; t++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !st.stop.Load() {
+				n := st.evaluated.Add(1)
+				if opt.MaxEvaluations > 0 && n > opt.MaxEvaluations {
+					st.stop.Store(true)
+					return
+				}
+				m := sp.Sample(rng)
+				c := ev.Evaluate(m)
+				if !c.Valid {
+					continue
+				}
+				st.mu.Lock()
+				st.valid++
+				if st.best == nil || opt.Objective.Value(&c) < opt.Objective.Value(&st.bestCost) {
+					st.best = m
+					st.bestCost = c
+					st.noImprove.Store(0)
+					if opt.KeepTrace {
+						st.trace = append(st.trace, TracePoint{Evals: n, Value: opt.Objective.Value(&c)})
+					}
+					st.mu.Unlock()
+					continue
+				}
+				st.mu.Unlock()
+				if opt.ConsecutiveNoImprove > 0 &&
+					st.noImprove.Add(1) >= opt.ConsecutiveNoImprove {
+					st.stop.Store(true)
+					return
+				}
+			}
+		}(opt.Seed + int64(t))
+	}
+	wg.Wait()
+
+	res := &Result{Best: st.best, BestCost: st.bestCost, Valid: st.valid, Trace: st.trace}
+	res.Evaluated = st.evaluated.Load()
+	if opt.MaxEvaluations > 0 && res.Evaluated > opt.MaxEvaluations {
+		res.Evaluated = opt.MaxEvaluations
+	}
+	return res
+}
+
+// Exhaustive evaluates every mapping in the tiling mapspace (with canonical
+// loop orders), up to maxMappings (0 = all). Only feasible for toy problems.
+func Exhaustive(sp *mapspace.Space, ev *nest.Evaluator, maxMappings int64) *Result {
+	res := &Result{}
+	sp.Enumerate(func(m *mapping.Mapping) bool {
+		res.Evaluated++
+		c := ev.Evaluate(m)
+		if c.Valid {
+			res.Valid++
+			if res.Best == nil || c.EDP < res.BestCost.EDP {
+				res.Best = m.Clone()
+				res.BestCost = c
+				res.Trace = append(res.Trace, TracePoint{Evals: res.Evaluated, Value: c.EDP})
+			}
+		}
+		return maxMappings == 0 || res.Evaluated < maxMappings
+	})
+	return res
+}
+
+// HillClimb seeds a greedy local search with the best of warmup random
+// samples, then repeatedly mutates one dimension's tiling chain or one
+// level's loop order, accepting strict improvements, until patience
+// consecutive proposals fail. It demonstrates that Ruby-style mapspaces
+// compose with search strategies beyond random sampling.
+func HillClimb(sp *mapspace.Space, ev *nest.Evaluator, opt Options, warmup, patience int) *Result {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed))
+	res := &Result{}
+
+	for i := 0; i < warmup; i++ {
+		res.Evaluated++
+		m := sp.Sample(rng)
+		c := ev.Evaluate(m)
+		if c.Valid {
+			res.Valid++
+			if res.Best == nil || opt.Objective.Value(&c) < opt.Objective.Value(&res.BestCost) {
+				res.Best, res.BestCost = m, c
+				res.Trace = append(res.Trace, TracePoint{Evals: res.Evaluated, Value: opt.Objective.Value(&c)})
+			}
+		}
+	}
+	if res.Best == nil {
+		return res
+	}
+
+	dims := sp.Work.DimNames()
+	fails := 0
+	for fails < patience {
+		cand := res.Best.Clone()
+		if rng.Intn(4) == 0 {
+			li := rng.Intn(len(cand.Perms))
+			cand.Perms[li] = sp.SamplePerm(rng)
+		} else {
+			d := dims[rng.Intn(len(dims))]
+			cand.Factors[d] = sp.SampleChain(rng, d)
+		}
+		res.Evaluated++
+		c := ev.Evaluate(cand)
+		if c.Valid {
+			res.Valid++
+			if opt.Objective.Value(&c) < opt.Objective.Value(&res.BestCost) {
+				res.Best, res.BestCost = cand, c
+				res.Trace = append(res.Trace, TracePoint{Evals: res.Evaluated, Value: opt.Objective.Value(&c)})
+				fails = 0
+				continue
+			}
+		}
+		fails++
+	}
+	return res
+}

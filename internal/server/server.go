@@ -1,0 +1,247 @@
+// Package server exposes the mapper as a JSON-over-HTTP service, so
+// schedulers, notebooks and CI pipelines can request mappings without
+// linking Go code. All payloads reuse the config-file schemas.
+//
+// Endpoints:
+//
+//	GET  /v1/suites       -> {"suites": {"resnet50": 22, ...}}
+//	GET  /v1/experiments  -> {"experiments": [...], "extensions": [...]}
+//	POST /v1/evaluate     -> evaluate one explicit mapping
+//	POST /v1/search       -> random-search a mapspace
+//	POST /v1/construct    -> one-shot heuristic mapping
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"ruby/internal/config"
+	"ruby/internal/exp"
+	"ruby/internal/heuristic"
+	"ruby/internal/mapping"
+	"ruby/internal/mapspace"
+	"ruby/internal/nest"
+	"ruby/internal/search"
+	"ruby/internal/workloads"
+)
+
+// New returns the service's HTTP handler.
+func New() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/suites", handleSuites)
+	mux.HandleFunc("GET /v1/experiments", handleExperiments)
+	mux.HandleFunc("POST /v1/evaluate", handleEvaluate)
+	mux.HandleFunc("POST /v1/search", handleSearch)
+	mux.HandleFunc("POST /v1/construct", handleConstruct)
+	return mux
+}
+
+// problem is the error payload.
+type problem struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, problem{Error: err.Error()})
+}
+
+func handleSuites(w http.ResponseWriter, _ *http.Request) {
+	out := map[string]int{}
+	for name, layers := range workloads.Suites() {
+		out[name] = len(layers)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"suites": out})
+}
+
+func handleExperiments(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"experiments": exp.Names(),
+		"extensions":  exp.ExtensionNames(),
+	})
+}
+
+// problemSpec is the common workload+architecture request fragment.
+type problemSpec struct {
+	Workload    json.RawMessage `json:"workload"`
+	Arch        json.RawMessage `json:"arch"`
+	Constraints json.RawMessage `json:"constraints,omitempty"`
+	Mapspace    string          `json:"mapspace,omitempty"` // default ruby-s
+}
+
+// resolve parses the fragment into model objects.
+func (p *problemSpec) resolve() (*nest.Evaluator, *mapspace.Space, error) {
+	if len(p.Workload) == 0 || len(p.Arch) == 0 {
+		return nil, nil, fmt.Errorf("workload and arch are required")
+	}
+	w, err := config.ParseWorkload(p.Workload)
+	if err != nil {
+		return nil, nil, err
+	}
+	a, err := config.ParseArch(p.Arch)
+	if err != nil {
+		return nil, nil, err
+	}
+	ev, err := nest.NewEvaluator(w, a)
+	if err != nil {
+		return nil, nil, err
+	}
+	cons := mapspace.Constraints{}
+	if len(p.Constraints) > 0 {
+		cons, err = config.ParseConstraints(p.Constraints)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	kind, err := parseKind(p.Mapspace)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ev, mapspace.New(w, a, kind, cons), nil
+}
+
+func parseKind(s string) (mapspace.Kind, error) {
+	switch strings.ToLower(s) {
+	case "", "ruby-s", "rubys":
+		return mapspace.RubyS, nil
+	case "pfm", "perfect":
+		return mapspace.PFM, nil
+	case "ruby":
+		return mapspace.Ruby, nil
+	case "ruby-t", "rubyt":
+		return mapspace.RubyT, nil
+	default:
+		return 0, fmt.Errorf("unknown mapspace %q", s)
+	}
+}
+
+func parseObjective(s string) (search.Objective, error) {
+	switch strings.ToLower(s) {
+	case "", "edp":
+		return search.ObjectiveEDP, nil
+	case "energy":
+		return search.ObjectiveEnergy, nil
+	case "delay", "latency":
+		return search.ObjectiveDelay, nil
+	default:
+		return 0, fmt.Errorf("unknown objective %q", s)
+	}
+}
+
+// mappingResult is the common response fragment.
+type mappingResult struct {
+	Mapping  *mapping.Mapping `json:"mapping"`
+	Cost     nest.Cost        `json:"cost"`
+	LoopNest string           `json:"loop_nest"`
+}
+
+type evaluateRequest struct {
+	problemSpec
+	Mapping json.RawMessage `json:"mapping"`
+}
+
+func handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	var req evaluateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ev, sp, err := req.resolve()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Mapping) == 0 {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("mapping is required"))
+		return
+	}
+	m, err := mapping.Decode(req.Mapping, ev.Work, sp.Slots())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	c := ev.Evaluate(m)
+	writeJSON(w, http.StatusOK, mappingResult{Mapping: m, Cost: c, LoopNest: m.Render(ev.Work, ev.Arch)})
+}
+
+type searchRequest struct {
+	problemSpec
+	Seed           int64  `json:"seed,omitempty"`
+	Threads        int    `json:"threads,omitempty"`
+	MaxEvaluations int64  `json:"max_evaluations,omitempty"`
+	NoImprove      int64  `json:"no_improve,omitempty"`
+	Objective      string `json:"objective,omitempty"`
+}
+
+type searchResponse struct {
+	mappingResult
+	Evaluated int64 `json:"evaluated"`
+	Valid     int64 `json:"valid"`
+}
+
+func handleSearch(w http.ResponseWriter, r *http.Request) {
+	var req searchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ev, sp, err := req.resolve()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	obj, err := parseObjective(req.Objective)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	opt := search.Options{
+		Seed: req.Seed, Threads: req.Threads,
+		MaxEvaluations:       req.MaxEvaluations,
+		ConsecutiveNoImprove: req.NoImprove,
+		Objective:            obj,
+	}
+	if opt.MaxEvaluations <= 0 && opt.ConsecutiveNoImprove <= 0 {
+		// Bound server-side work by default.
+		opt.MaxEvaluations = 50000
+	}
+	res := search.Random(sp, ev, opt)
+	if res.Best == nil {
+		writeErr(w, http.StatusUnprocessableEntity,
+			fmt.Errorf("no valid mapping found after %d samples", res.Evaluated))
+		return
+	}
+	writeJSON(w, http.StatusOK, searchResponse{
+		mappingResult: mappingResult{
+			Mapping: res.Best, Cost: res.BestCost,
+			LoopNest: res.Best.Render(ev.Work, ev.Arch),
+		},
+		Evaluated: res.Evaluated, Valid: res.Valid,
+	})
+}
+
+func handleConstruct(w http.ResponseWriter, r *http.Request) {
+	var req problemSpec
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	ev, sp, err := req.resolve()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	m, c, err := heuristic.Construct(ev, sp.Kind, sp.Cons)
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, mappingResult{Mapping: m, Cost: c, LoopNest: m.Render(ev.Work, ev.Arch)})
+}

@@ -1,0 +1,255 @@
+// Package sim is an execution-driven reference simulator: it literally walks
+// the loop nest a mapping describes — remainder tiles, partial spatial
+// strips and all — tracking the tile resident in every buffer and counting
+// tile-change (fill) events and elapsed steps.
+//
+// Its purpose is differential validation of the analytical model in
+// internal/nest, in the spirit of Timeloop's validation against cycle
+// simulators: latency must match the model exactly; fill counts must match
+// exactly for perfect mappings and never exceed the model's (the model
+// conservatively charges full-size tiles and full spatial fanout at
+// remainder boundaries, the simulator observes the truth).
+//
+// The walk enumerates the full temporal iteration space, so it is only
+// feasible for small workloads; Options.MaxSteps guards against misuse.
+package sim
+
+import (
+	"fmt"
+
+	"ruby/internal/arch"
+	"ruby/internal/mapping"
+	"ruby/internal/workload"
+)
+
+// Options bounds a simulation.
+type Options struct {
+	// MaxSteps aborts simulations whose temporal iteration space exceeds
+	// this many leaf steps (default 2,000,000).
+	MaxSteps int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 2_000_000
+	}
+	return o
+}
+
+// Result is the simulation outcome.
+type Result struct {
+	// Cycles is the number of temporal leaf steps (spatial loops execute in
+	// parallel; remainder strips finish inside the full strips' time).
+	Cycles float64
+	// Fills[level][tensorName] counts tile-change events at that storage
+	// level, weighted by the instances active when the change occurs.
+	Fills []map[string]float64
+	// Steps is the raw leaf count (== Cycles; kept separate for clarity in
+	// tests).
+	Steps int64
+}
+
+// loop is one expanded loop of the nest: a (slot, dimension) pair with a
+// nominal subtile size.
+type loop struct {
+	slotIdx int
+	level   int
+	dim     string
+	spatial bool
+	sub     int // nominal inner tile size along dim (chain Cum[slot+1])
+	nominal int // nominal trip count (1-trip loops are dropped)
+}
+
+// Simulator prepares the loop nest for repeated runs.
+type Simulator struct {
+	work  *workload.Workload
+	arch  *arch.Arch
+	slots []mapping.Slot
+	opt   Options
+}
+
+// New builds a simulator.
+func New(w *workload.Workload, a *arch.Arch, opt Options) (*Simulator, error) {
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return &Simulator{work: w, arch: a, slots: mapping.Slots(a), opt: opt.withDefaults()}, nil
+}
+
+// trackedTensor is one (storage level, tensor) pair whose resident tile the
+// simulator watches.
+type trackedTensor struct {
+	level  int
+	tensor string
+	// relevantLoops indexes the temporal loops (into the loop list) whose
+	// indices identify the tile; any index change evicts the tile.
+	relevantLoops []int
+	// spatialAbove indexes the spatial loops above the level's boundary;
+	// the product of their active trips weights each fill event.
+	spatialAbove []int
+
+	lastKey []int
+	primed  bool
+	fills   float64
+}
+
+// Run simulates mapping m.
+func (s *Simulator) Run(m *mapping.Mapping) (*Result, error) {
+	chains, err := m.Chains(s.work, s.slots)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.ValidatePerms(s.work, s.arch); err != nil {
+		return nil, err
+	}
+
+	// Expand the loop nest, outermost-first. Temporal slots expand in
+	// permutation order; spatial slots in declaration order.
+	var loops []loop
+	var totalSteps int64 = 1
+	for _, sl := range s.slots {
+		dims := s.work.DimNames()
+		if sl.Kind == mapping.Temporal {
+			dims = m.Perms[sl.Level]
+		}
+		for _, d := range dims {
+			ch := chains[d]
+			tr := ch.Trips(sl.Index)
+			if tr == 1 {
+				continue
+			}
+			loops = append(loops, loop{
+				slotIdx: sl.Index, level: sl.Level, dim: d,
+				spatial: sl.Spatial(), sub: ch.Cum[sl.Index+1], nominal: tr,
+			})
+			if !sl.Spatial() {
+				totalSteps *= int64(tr)
+				if totalSteps > s.opt.MaxSteps {
+					return nil, fmt.Errorf("sim: iteration space exceeds %d steps", s.opt.MaxSteps)
+				}
+			}
+		}
+	}
+
+	// Track every (kept level, tensor) pair below DRAM, plus DRAM itself
+	// (whose fills count streaming re-reads of the workload's tensors).
+	kept := make([]map[workload.Role]bool, len(s.arch.Levels))
+	for li := range s.arch.Levels {
+		kept[li] = m.KeptRoles(s.arch, li)
+	}
+	var tracked []*trackedTensor
+	for li := range s.arch.Levels {
+		boundary := mapping.FirstSlotOfLevel(s.slots, li)
+		for ti := range s.work.Tensors {
+			t := &s.work.Tensors[ti]
+			if !kept[li][t.Role] {
+				continue
+			}
+			tt := &trackedTensor{level: li, tensor: t.Name}
+			for loopIdx, l := range loops {
+				if l.slotIdx >= boundary {
+					continue
+				}
+				if l.spatial {
+					tt.spatialAbove = append(tt.spatialAbove, loopIdx)
+				} else if t.Relevant(l.dim) {
+					tt.relevantLoops = append(tt.relevantLoops, loopIdx)
+				}
+			}
+			tracked = append(tracked, tt)
+		}
+	}
+
+	// The walk. chunk[d] is the current extent of dimension d at the
+	// current nesting depth; idx[i] is loop i's current index; active[i] is
+	// a spatial loop's current active trip count.
+	chunk := make(map[string]int, len(s.work.Dims))
+	for _, d := range s.work.Dims {
+		chunk[d.Name] = d.Bound
+	}
+	idx := make([]int, len(loops))
+	active := make([]int, len(loops))
+
+	res := &Result{Fills: make([]map[string]float64, len(s.arch.Levels))}
+	for li := range res.Fills {
+		res.Fills[li] = make(map[string]float64)
+	}
+
+	leaf := func() {
+		res.Steps++
+		for _, tt := range tracked {
+			changed := !tt.primed
+			if tt.primed {
+				for ki, li := range tt.relevantLoops {
+					if tt.lastKey[ki] != idx[li] {
+						changed = true
+						break
+					}
+				}
+			}
+			if !changed {
+				continue
+			}
+			if tt.lastKey == nil {
+				tt.lastKey = make([]int, len(tt.relevantLoops))
+			}
+			for ki, li := range tt.relevantLoops {
+				tt.lastKey[ki] = idx[li]
+			}
+			tt.primed = true
+			weight := 1.0
+			for _, li := range tt.spatialAbove {
+				weight *= float64(active[li])
+			}
+			tt.fills += weight
+		}
+	}
+
+	var rec func(li int)
+	rec = func(li int) {
+		if li == len(loops) {
+			leaf()
+			return
+		}
+		l := loops[li]
+		parent := chunk[l.dim]
+		if l.spatial {
+			// Parallel: elapsed time follows the largest strip; remember
+			// how many instances are active for fill weighting.
+			trips := ceilDiv(parent, l.sub)
+			active[li] = trips
+			sub := l.sub
+			if parent < sub {
+				sub = parent
+			}
+			chunk[l.dim] = sub
+			rec(li + 1)
+			chunk[l.dim] = parent
+			return
+		}
+		trips := ceilDiv(parent, l.sub)
+		for i := 0; i < trips; i++ {
+			c := l.sub
+			if rem := parent - i*l.sub; rem < c {
+				c = rem
+			}
+			idx[li] = i
+			chunk[l.dim] = c
+			rec(li + 1)
+		}
+		idx[li] = 0
+		chunk[l.dim] = parent
+	}
+	rec(0)
+
+	for _, tt := range tracked {
+		res.Fills[tt.level][tt.tensor] = tt.fills
+	}
+	res.Cycles = float64(res.Steps)
+	return res, nil
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,274 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"ruby/internal/arch"
+	"ruby/internal/mapping"
+	"ruby/internal/mapspace"
+	"ruby/internal/nest"
+	"ruby/internal/workload"
+)
+
+// smallArch is a three-level hierarchy small enough for exhaustive walks but
+// rich enough to exercise spatial fanout and intermediate buffering.
+func smallArch() *arch.Arch {
+	a := &arch.Arch{
+		Name: "sim-test",
+		Levels: []arch.Level{
+			{Name: "DRAM"},
+			{
+				Name: "GLB", Capacity: 4096,
+				Fanout: arch.Network{FanoutX: 3, FanoutY: 2, Multicast: true},
+			},
+			{Name: "PE", Capacity: 64},
+		},
+	}
+	if err := a.Validate(); err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func TestSimPaperToy(t *testing.T) {
+	w := workload.MustVector1D("toy", 100)
+	a := arch.ToyGLB(6, 512)
+	s, err := New(w, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mapping.Uniform(w, a, 1)
+	m.Factors["X"] = []int{1, 17, 6}
+	res, err := s.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 17 {
+		t.Errorf("sim cycles = %f, want 17", res.Cycles)
+	}
+	// The GLB tile of both tensors never changes (one fill each).
+	if res.Fills[1]["X"] != 1 || res.Fills[1]["Z"] != 1 {
+		t.Errorf("GLB fills = %v", res.Fills[1])
+	}
+}
+
+func TestSimStepGuard(t *testing.T) {
+	w := workload.MustVector1D("big", 1000)
+	a := arch.ToyGLB(2, 4096)
+	s, err := New(w, a, Options{MaxSteps: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mapping.Uniform(w, a, 0)
+	if _, err := s.Run(m); err == nil {
+		t.Error("step guard did not trip")
+	}
+}
+
+// TestSimCyclesMatchModel differentially validates latency: for hundreds of
+// random mappings from every mapspace kind, the literal walk and the
+// analytical recursion must agree exactly.
+func TestSimCyclesMatchModel(t *testing.T) {
+	workloadsUnderTest := []*workload.Workload{
+		workload.MustMatmul("mm", 6, 5, 4),
+		workload.MustConv2D(workload.Conv2DParams{N: 1, M: 4, C: 3, P: 6, Q: 5, R: 3, S: 2}),
+	}
+	a := smallArch()
+	rng := rand.New(rand.NewSource(21))
+	for _, w := range workloadsUnderTest {
+		ev := nest.MustEvaluator(w, a)
+		s, err := New(w, a, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, kind := range mapspace.Kinds {
+			sp := mapspace.New(w, a, kind, mapspace.Constraints{})
+			checked := 0
+			for i := 0; i < 400 && checked < 60; i++ {
+				m := sp.Sample(rng)
+				c := ev.Evaluate(m)
+				if !c.Valid {
+					continue
+				}
+				checked++
+				res, err := s.Run(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Cycles != c.Cycles {
+					t.Fatalf("%s/%v: sim cycles %g != model %g\nfactors: %v",
+						w.Name, kind, res.Cycles, c.Cycles, m.Factors)
+				}
+			}
+			if checked < 20 {
+				t.Fatalf("%s/%v: only %d valid samples", w.Name, kind, checked)
+			}
+		}
+	}
+}
+
+// TestSimFillsMatchModelPerfect: for perfect mappings the model's
+// fills x delivered-copies must equal the simulator's observed tile-change
+// counts exactly, at every kept level of every tensor.
+func TestSimFillsMatchModelPerfect(t *testing.T) {
+	w := workload.MustConv2D(workload.Conv2DParams{N: 1, M: 4, C: 3, P: 6, Q: 5, R: 3, S: 2})
+	a := smallArch()
+	ev := nest.MustEvaluator(w, a)
+	s, err := New(w, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := mapspace.New(w, a, mapspace.PFM, mapspace.Constraints{})
+	rng := rand.New(rand.NewSource(22))
+	checked := 0
+	for i := 0; i < 500 && checked < 80; i++ {
+		m := sp.Sample(rng)
+		c := ev.Evaluate(m)
+		if !c.Valid {
+			continue
+		}
+		checked++
+		res, err := s.Run(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		links, err := ev.Links(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ls := range links {
+			model := ls.Fills * ls.DelivMult
+			simFills := res.Fills[ls.Child][ls.Tensor]
+			if model != simFills {
+				t.Fatalf("tensor %s level %d: model fills %g != sim %g\nfactors %v perms %v",
+					ls.Tensor, ls.Child, model, simFills, m.Factors, m.Perms)
+			}
+		}
+	}
+	if checked < 30 {
+		t.Fatalf("only %d valid samples", checked)
+	}
+}
+
+// TestSimFillsBoundedByModelImperfect: for imperfect mappings the model's
+// full-fanout, full-trip accounting is a conservative upper bound on the
+// simulator's boundary-aware counts.
+func TestSimFillsBoundedByModelImperfect(t *testing.T) {
+	w := workload.MustMatmul("mm", 9, 7, 5)
+	a := smallArch()
+	ev := nest.MustEvaluator(w, a)
+	s, err := New(w, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := mapspace.New(w, a, mapspace.Ruby, mapspace.Constraints{})
+	rng := rand.New(rand.NewSource(23))
+	checked, strict := 0, 0
+	for i := 0; i < 800 && checked < 120; i++ {
+		m := sp.Sample(rng)
+		c := ev.Evaluate(m)
+		if !c.Valid {
+			continue
+		}
+		checked++
+		res, err := s.Run(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		links, err := ev.Links(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ls := range links {
+			model := ls.Fills * ls.DelivMult
+			simFills := res.Fills[ls.Child][ls.Tensor]
+			if simFills > model+1e-9 {
+				t.Fatalf("tensor %s level %d: sim fills %g exceed model %g\nfactors %v",
+					ls.Tensor, ls.Child, simFills, model, m.Factors)
+			}
+			if simFills < model {
+				strict++
+			}
+		}
+	}
+	if checked < 40 {
+		t.Fatalf("only %d valid samples", checked)
+	}
+	if strict == 0 {
+		t.Error("expected some mappings where boundary strips make the sim strictly cheaper")
+	}
+}
+
+// TestSimPartialStripWeighting pins the boundary-strip behavior with a
+// hand-computed case: D=27 across 14 PEs has strips of 14 and 13 instances.
+func TestSimPartialStripWeighting(t *testing.T) {
+	w := workload.MustVector1D("d27", 27)
+	a := arch.ToyGLB(14, 512)
+	s, err := New(w, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mapping.Uniform(w, a, 1)
+	m.Factors["X"] = []int{1, 2, 14}
+	res, err := s.Run(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 2 {
+		t.Errorf("cycles = %f, want 2", res.Cycles)
+	}
+	// X's PE-side tile changes twice... X is kept at the GLB only here, so
+	// check the GLB tile: never changes.
+	if res.Fills[1]["X"] != 1 {
+		t.Errorf("GLB fills = %v", res.Fills[1])
+	}
+}
+
+func TestSimRejectsInvalidMappings(t *testing.T) {
+	w := workload.MustVector1D("toy", 100)
+	a := arch.ToyGLB(6, 512)
+	s, err := New(w, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mapping.Uniform(w, a, 1)
+	m.Factors["X"] = []int{1, 4, 6} // incomplete chain
+	if _, err := s.Run(m); err == nil {
+		t.Error("invalid chain accepted")
+	}
+}
+
+// TestSimDeepHierarchy cross-checks the four-level Eyeriss-v2-like preset:
+// six-slot chains with remainders at several depths must still match the
+// model's latency exactly.
+func TestSimDeepHierarchy(t *testing.T) {
+	a := arch.EyerissV2Like(3, 2, 64)
+	w := workload.MustMatmul("mm", 10, 9, 8)
+	ev := nest.MustEvaluator(w, a)
+	s, err := New(w, a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(41))
+	sp := mapspace.New(w, a, mapspace.Ruby, mapspace.Constraints{})
+	checked := 0
+	for i := 0; i < 1500 && checked < 60; i++ {
+		m := sp.Sample(rng)
+		c := ev.Evaluate(m)
+		if !c.Valid {
+			continue
+		}
+		checked++
+		res, err := s.Run(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cycles != c.Cycles {
+			t.Fatalf("deep hierarchy: sim %g != model %g (factors %v)", res.Cycles, c.Cycles, m.Factors)
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("only %d valid samples", checked)
+	}
+}

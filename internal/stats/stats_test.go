@@ -1,0 +1,152 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeans(t *testing.T) {
+	xs := []float64{1, 2, 4, 8}
+	if Mean(xs) != 3.75 {
+		t.Errorf("Mean = %f", Mean(xs))
+	}
+	if g := GeoMean(xs); math.Abs(g-math.Sqrt(math.Sqrt(64))) > 1e-12 {
+		t.Errorf("GeoMean = %f", g)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(GeoMean(nil)) {
+		t.Error("empty input should be NaN")
+	}
+	if Min(xs) != 1 || Max(xs) != 8 {
+		t.Error("Min/Max wrong")
+	}
+}
+
+func TestGeoMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	GeoMean([]float64{1, 0})
+}
+
+func TestGeoMeanLeqMean(t *testing.T) {
+	f := func(a, b, c uint16) bool {
+		xs := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		return GeoMean(xs) <= Mean(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if Improvement(100, 80) != 0.2 {
+		t.Error("20% improvement expected")
+	}
+	if Improvement(100, 120) != -0.2 {
+		t.Error("-20% expected")
+	}
+	if Improvement(0, 5) != 0 {
+		t.Error("zero base guarded")
+	}
+}
+
+func TestParetoFrontier(t *testing.T) {
+	pts := []Point{
+		{1, 10, "a"}, {2, 5, "b"}, {3, 6, "c"}, {4, 2, "d"}, {5, 2, "e"}, {0.5, 20, "f"},
+	}
+	fr := ParetoFrontier(pts)
+	var labels []string
+	for _, p := range fr {
+		labels = append(labels, p.Label)
+	}
+	want := "f a b d"
+	if got := strings.Join(labels, " "); got != want {
+		t.Errorf("frontier = %q, want %q", got, want)
+	}
+	// Frontier points dominate every dropped point or are incomparable.
+	for _, p := range pts {
+		onFrontier := false
+		for _, f := range fr {
+			if f.Label == p.Label {
+				onFrontier = true
+			}
+		}
+		if !onFrontier {
+			dominated := false
+			for _, f := range fr {
+				if Dominates(f, p) {
+					dominated = true
+				}
+			}
+			if !dominated {
+				t.Errorf("dropped point %q is not dominated", p.Label)
+			}
+		}
+	}
+}
+
+func TestParetoFrontierProperties(t *testing.T) {
+	f := func(seed []uint8) bool {
+		if len(seed) < 4 {
+			return true
+		}
+		var pts []Point
+		for i := 0; i+1 < len(seed); i += 2 {
+			pts = append(pts, Point{X: float64(seed[i]), Y: float64(seed[i+1])})
+		}
+		fr := ParetoFrontier(pts)
+		if len(fr) == 0 || len(fr) > len(pts) {
+			return false
+		}
+		// X strictly... nondecreasing and Y strictly decreasing along the frontier.
+		for i := 1; i < len(fr); i++ {
+			if fr[i].X < fr[i-1].X || fr[i].Y >= fr[i-1].Y {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDominates(t *testing.T) {
+	a := Point{1, 1, ""}
+	b := Point{2, 2, ""}
+	if !Dominates(a, b) || Dominates(b, a) || Dominates(a, a) {
+		t.Error("Dominates wrong")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := &Table{Title: "demo", Headers: []string{"name", "edp"}}
+	tb.AddRow("layer1", 1234.5678)
+	tb.AddRow("l2", 7)
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+	for _, frag := range []string{"== demo ==", "name", "edp", "layer1", "1235", "l2"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("Render missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Headers: []string{"a", "b"}}
+	tb.AddRow("x,y", `q"z`)
+	var sb strings.Builder
+	tb.CSV(&sb)
+	out := sb.String()
+	if !strings.Contains(out, `"x,y"`) || !strings.Contains(out, `"q""z"`) {
+		t.Errorf("CSV quoting wrong:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("CSV header wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,245 @@
+// Package sweep runs mapping strategies over whole workload suites and
+// architecture configurations — the machinery behind the paper's per-layer
+// comparisons (Figs. 10-12) and the architectural design-space exploration
+// (Figs. 13-14).
+package sweep
+
+import (
+	"fmt"
+
+	"ruby/internal/arch"
+	"ruby/internal/library"
+	"ruby/internal/mapping"
+	"ruby/internal/mapspace"
+	"ruby/internal/nest"
+	"ruby/internal/search"
+	"ruby/internal/stats"
+	"ruby/internal/workload"
+	"ruby/internal/workloads"
+)
+
+// Strategy is one mapping approach compared in the paper: a mapspace kind,
+// optionally combined with the dimension-padding baseline of Section III-B.
+type Strategy struct {
+	Name string
+	Kind mapspace.Kind
+	Pad  bool // try padded workload variants and keep the best
+}
+
+// Strategies returns the three approaches compared in the architecture
+// sweeps: perfect factorization, perfect factorization with padding, and
+// Ruby-S.
+func Strategies() []Strategy {
+	return []Strategy{
+		{Name: "PFM", Kind: mapspace.PFM},
+		{Name: "PFM+pad", Kind: mapspace.PFM, Pad: true},
+		{Name: "Ruby-S", Kind: mapspace.RubyS},
+	}
+}
+
+// ConstraintFn derives per-workload mapspace constraints (dataflow styles
+// reference dimension names, which differ between convs and GEMMs).
+type ConstraintFn func(*workload.Workload) mapspace.Constraints
+
+// LayerResult is the outcome of searching one layer under one strategy.
+type LayerResult struct {
+	Layer    workloads.Layer
+	Cost     nest.Cost
+	Search   *search.Result
+	Workload *workload.Workload // the (possibly padded) variant that won
+}
+
+// SearchLayer searches the best mapping for one layer on one architecture
+// under one strategy. For padding strategies every padded variant is
+// searched and the lowest-EDP result wins (Section III-B's baseline). An
+// error is returned when no valid mapping exists at all.
+func SearchLayer(l workloads.Layer, a *arch.Arch, st Strategy, consFn ConstraintFn, opt search.Options) (LayerResult, error) {
+	variants := []*workload.Workload{l.Work}
+	if st.Pad {
+		fx, fy := arrayAxes(a)
+		variants = mapspace.PaddedVariants(l.Work, consFn(l.Work), fx, fy)
+	}
+	var best LayerResult
+	for _, w := range variants {
+		ev, err := nest.NewEvaluator(w, a)
+		if err != nil {
+			return LayerResult{}, fmt.Errorf("sweep: layer %s on %s: %w", l.Name, a.Name, err)
+		}
+		sp := mapspace.New(w, a, st.Kind, consFn(w))
+		res := search.Random(sp, ev, opt)
+		if res.Best == nil {
+			// Guaranteed fallback: the all-at-DRAM uniform mapping streams
+			// single elements through the hierarchy, so it satisfies every
+			// capacity and fanout bound and belongs to every mapspace kind
+			// (all factors divide trivially). It anchors tiny search
+			// budgets without biasing real ones.
+			m := mapping.Uniform(w, a, 0)
+			if c := ev.Evaluate(m); c.Valid {
+				res = &search.Result{Best: m, BestCost: c, Evaluated: res.Evaluated}
+			} else {
+				continue
+			}
+		}
+		if best.Search == nil || res.BestCost.EDP < best.Cost.EDP {
+			best = LayerResult{Layer: l, Cost: res.BestCost, Search: res, Workload: w}
+		}
+	}
+	if best.Search == nil {
+		return LayerResult{}, fmt.Errorf("sweep: no valid mapping for layer %s on %s under %s", l.Name, a.Name, st.Name)
+	}
+	return best, nil
+}
+
+// arrayAxes returns the dominant spatial fanout axes of the architecture
+// (the PE array dimensions padding aligns to).
+func arrayAxes(a *arch.Arch) (x, y int) {
+	x, y = 1, 1
+	for i := range a.Levels {
+		f := a.Levels[i].Fanout
+		if f.FanoutX*max(1, f.FanoutY) > x*y {
+			x, y = f.FanoutX, max(1, f.FanoutY)
+		}
+	}
+	return x, y
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// SuiteResult aggregates a suite under one strategy on one architecture.
+type SuiteResult struct {
+	Strategy Strategy
+	Arch     *arch.Arch
+	Layers   []LayerResult
+
+	// Repeat-weighted totals across the suite. EDP is TotalEnergy x
+	// TotalCycles (whole-network energy-delay product, as in Fig. 10's
+	// final column).
+	TotalEnergyPJ float64
+	TotalCycles   float64
+	EDP           float64
+}
+
+// RunSuite searches every layer of a suite and aggregates network totals.
+func RunSuite(layers []workloads.Layer, a *arch.Arch, st Strategy, consFn ConstraintFn, opt search.Options) (*SuiteResult, error) {
+	return RunSuiteCached(layers, a, st, consFn, opt, nil)
+}
+
+// RunSuiteCached is RunSuite backed by an optional mapping library: layers
+// whose (workload, architecture, mapspace, constraints) key is cached skip
+// the search entirely, and newly searched mappings are stored — the search
+// still runs when the cached mapping is somehow invalid. Padding strategies
+// bypass the cache (the winning workload variant is part of the result).
+func RunSuiteCached(layers []workloads.Layer, a *arch.Arch, st Strategy, consFn ConstraintFn,
+	opt search.Options, lib *library.Store) (*SuiteResult, error) {
+
+	out := &SuiteResult{Strategy: st, Arch: a}
+	for _, l := range layers {
+		lr, err := searchLayerCached(l, a, st, consFn, opt, lib)
+		if err != nil {
+			return nil, err
+		}
+		out.Layers = append(out.Layers, lr)
+		r := float64(l.Repeat)
+		out.TotalEnergyPJ += r * lr.Cost.EnergyPJ
+		out.TotalCycles += r * lr.Cost.Cycles
+	}
+	out.EDP = out.TotalEnergyPJ * out.TotalCycles
+	return out, nil
+}
+
+func searchLayerCached(l workloads.Layer, a *arch.Arch, st Strategy, consFn ConstraintFn,
+	opt search.Options, lib *library.Store) (LayerResult, error) {
+
+	if lib == nil || st.Pad {
+		return SearchLayer(l, a, st, consFn, opt)
+	}
+	cons := consFn(l.Work)
+	key := library.Key(l.Work, a, st.Kind, cons)
+	ev, err := nest.NewEvaluator(l.Work, a)
+	if err != nil {
+		return LayerResult{}, err
+	}
+	slots := mapping.Slots(a)
+	if m, ok := lib.Get(key, l.Work, slots); ok {
+		if c := ev.Evaluate(m); c.Valid {
+			return LayerResult{
+				Layer: l, Cost: c, Workload: l.Work,
+				Search: &search.Result{Best: m, BestCost: c, Evaluated: 1, Valid: 1},
+			}, nil
+		}
+	}
+	lr, err := SearchLayer(l, a, st, consFn, opt)
+	if err != nil {
+		return lr, err
+	}
+	if err := lib.Put(key, lr.Search.Best); err != nil {
+		return lr, err
+	}
+	return lr, nil
+}
+
+// ArrayConfig is one PE-array size in the design-space exploration.
+type ArrayConfig struct {
+	Cols, Rows int
+}
+
+func (c ArrayConfig) String() string { return fmt.Sprintf("%dx%d", c.Cols, c.Rows) }
+
+// PEs returns the array's PE count.
+func (c ArrayConfig) PEs() int { return c.Cols * c.Rows }
+
+// EyerissConfigs returns the sweep range of Section IV-E: Eyeriss-like PE
+// arrays from 2x7 to 16x16.
+func EyerissConfigs() []ArrayConfig {
+	return []ArrayConfig{
+		{2, 7}, {4, 6}, {7, 6}, {8, 8}, {10, 8}, {12, 10},
+		{14, 12}, {16, 12}, {14, 14}, {16, 16},
+	}
+}
+
+// DesignPoint is one architecture configuration's outcome across strategies.
+type DesignPoint struct {
+	Config  ArrayConfig
+	AreaMM2 float64
+	// EDP per strategy name.
+	EDP map[string]float64
+}
+
+// Explore sweeps the Eyeriss-like configurations over a suite for each
+// strategy, producing the data behind Figs. 13-14. glbKiB fixes the global
+// buffer size across configurations.
+func Explore(layers []workloads.Layer, configs []ArrayConfig, glbKiB int,
+	sts []Strategy, consFn ConstraintFn, opt search.Options) ([]DesignPoint, error) {
+
+	var out []DesignPoint
+	for _, cfg := range configs {
+		a := arch.EyerissLike(cfg.Cols, cfg.Rows, glbKiB)
+		dp := DesignPoint{Config: cfg, AreaMM2: a.AreaMM2(), EDP: make(map[string]float64, len(sts))}
+		for _, st := range sts {
+			sr, err := RunSuite(layers, a, st, consFn, opt)
+			if err != nil {
+				return nil, err
+			}
+			dp.EDP[st.Name] = sr.EDP
+		}
+		out = append(out, dp)
+	}
+	return out, nil
+}
+
+// Frontier extracts the area-EDP Pareto frontier of one strategy from sweep
+// results.
+func Frontier(points []DesignPoint, strategy string) []stats.Point {
+	var ps []stats.Point
+	for _, dp := range points {
+		if edp, ok := dp.EDP[strategy]; ok {
+			ps = append(ps, stats.Point{X: dp.AreaMM2, Y: edp, Label: dp.Config.String()})
+		}
+	}
+	return stats.ParetoFrontier(ps)
+}

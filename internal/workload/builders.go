@@ -1,0 +1,194 @@
+package workload
+
+import "fmt"
+
+// Conv2DParams specifies a 2-D convolution layer in the 7-loop form of the
+// paper's Fig. 1: N batches, M output channels, C input channels, P×Q output
+// feature map, R×S filter.
+type Conv2DParams struct {
+	Name string
+	N    int // batch
+	M    int // output channels
+	C    int // input channels
+	P    int // output height
+	Q    int // output width
+	R    int // filter height
+	S    int // filter width
+
+	StrideH, StrideW     int // default 1
+	DilationH, DilationW int // default 1
+}
+
+// InputH returns the input height implied by the parameters.
+func (p Conv2DParams) InputH() int {
+	sh, dh := defaults(p.StrideH), defaults(p.DilationH)
+	return sh*(p.P-1) + dh*(p.R-1) + 1
+}
+
+// InputW returns the input width implied by the parameters.
+func (p Conv2DParams) InputW() int {
+	sw, dw := defaults(p.StrideW), defaults(p.DilationW)
+	return sw*(p.Q-1) + dw*(p.S-1) + 1
+}
+
+func defaults(v int) int {
+	if v == 0 {
+		return 1
+	}
+	return v
+}
+
+// Conv2D builds the 7-dimensional convolution workload
+//
+//	O[n][m][p][q] += I[n][c][sh*p+dh*r][sw*q+dw*s] * W[m][c][r][s]
+func Conv2D(p Conv2DParams) (*Workload, error) {
+	for _, d := range []struct {
+		name string
+		v    int
+	}{{"N", p.N}, {"M", p.M}, {"C", p.C}, {"P", p.P}, {"Q", p.Q}, {"R", p.R}, {"S", p.S}} {
+		if d.v < 1 {
+			return nil, fmt.Errorf("workload: Conv2D %q: %s = %d < 1", p.Name, d.name, d.v)
+		}
+	}
+	sh, sw := defaults(p.StrideH), defaults(p.StrideW)
+	dh, dw := defaults(p.DilationH), defaults(p.DilationW)
+	dims := []Dim{
+		{"N", p.N}, {"M", p.M}, {"C", p.C},
+		{"P", p.P}, {"Q", p.Q}, {"R", p.R}, {"S", p.S},
+	}
+	tensors := []Tensor{
+		{
+			Name: "I", Role: Input,
+			Coords: []Coord{
+				{Terms: []CoordTerm{{"N", 1}}},
+				{Terms: []CoordTerm{{"C", 1}}},
+				{Terms: []CoordTerm{{"P", sh}, {"R", dh}}},
+				{Terms: []CoordTerm{{"Q", sw}, {"S", dw}}},
+			},
+		},
+		{
+			Name: "W", Role: Weight,
+			Coords: []Coord{
+				{Terms: []CoordTerm{{"M", 1}}},
+				{Terms: []CoordTerm{{"C", 1}}},
+				{Terms: []CoordTerm{{"R", 1}}},
+				{Terms: []CoordTerm{{"S", 1}}},
+			},
+		},
+		{
+			Name: "O", Role: Output,
+			Coords: []Coord{
+				{Terms: []CoordTerm{{"N", 1}}},
+				{Terms: []CoordTerm{{"M", 1}}},
+				{Terms: []CoordTerm{{"P", 1}}},
+				{Terms: []CoordTerm{{"Q", 1}}},
+			},
+		},
+	}
+	name := p.Name
+	if name == "" {
+		name = fmt.Sprintf("conv_n%d_m%d_c%d_p%d_q%d_r%d_s%d", p.N, p.M, p.C, p.P, p.Q, p.R, p.S)
+	}
+	return New(name, dims, tensors)
+}
+
+// MustConv2D is Conv2D, panicking on error.
+func MustConv2D(p Conv2DParams) *Workload {
+	w, err := Conv2D(p)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Conv2DFromInput builds a convolution from input-side geometry: input
+// height/width, filter size, stride and symmetric padding, inferring the
+// output feature-map dimensions with the standard floor formula. This is the
+// form layer tables (DeepBench, framework exports) usually come in.
+func Conv2DFromInput(name string, n, m, c, inH, inW, r, s, stride, pad int) (*Workload, error) {
+	if stride < 1 {
+		return nil, fmt.Errorf("workload: Conv2DFromInput %q: stride %d < 1", name, stride)
+	}
+	if pad < 0 {
+		return nil, fmt.Errorf("workload: Conv2DFromInput %q: pad %d < 0", name, pad)
+	}
+	p := (inH+2*pad-r)/stride + 1
+	q := (inW+2*pad-s)/stride + 1
+	if p < 1 || q < 1 {
+		return nil, fmt.Errorf("workload: Conv2DFromInput %q: filter %dx%d does not fit input %dx%d (pad %d)",
+			name, r, s, inH, inW, pad)
+	}
+	return Conv2D(Conv2DParams{
+		Name: name, N: n, M: m, C: c, P: p, Q: q, R: r, S: s,
+		StrideH: stride, StrideW: stride,
+	})
+}
+
+// Matmul builds the GEMM workload Z[m][n] += A[m][k] * B[k][n].
+func Matmul(name string, m, n, k int) (*Workload, error) {
+	if m < 1 || n < 1 || k < 1 {
+		return nil, fmt.Errorf("workload: Matmul %q: bounds (%d,%d,%d) must be >= 1", name, m, n, k)
+	}
+	if name == "" {
+		name = fmt.Sprintf("matmul_m%d_n%d_k%d", m, n, k)
+	}
+	dims := []Dim{{"M", m}, {"N", n}, {"K", k}}
+	tensors := []Tensor{
+		{Name: "A", Role: Input, Coords: []Coord{
+			{Terms: []CoordTerm{{"M", 1}}},
+			{Terms: []CoordTerm{{"K", 1}}},
+		}},
+		{Name: "B", Role: Weight, Coords: []Coord{
+			{Terms: []CoordTerm{{"K", 1}}},
+			{Terms: []CoordTerm{{"N", 1}}},
+		}},
+		{Name: "Z", Role: Output, Coords: []Coord{
+			{Terms: []CoordTerm{{"M", 1}}},
+			{Terms: []CoordTerm{{"N", 1}}},
+		}},
+	}
+	return New(name, dims, tensors)
+}
+
+// MustMatmul is Matmul, panicking on error.
+func MustMatmul(name string, m, n, k int) *Workload {
+	w, err := Matmul(name, m, n, k)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Vector1D builds the paper's Section II-D toy problem: distribute a
+// D-element tensor across processing elements, Z[x] += X[x]. One dimension,
+// one input, one output.
+func Vector1D(name string, d int) (*Workload, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("workload: Vector1D %q: D = %d < 1", name, d)
+	}
+	if name == "" {
+		name = fmt.Sprintf("vector1d_%d", d)
+	}
+	dims := []Dim{{"X", d}}
+	tensors := []Tensor{
+		{Name: "X", Role: Input, Coords: []Coord{{Terms: []CoordTerm{{"X", 1}}}}},
+		{Name: "Z", Role: Output, Coords: []Coord{{Terms: []CoordTerm{{"X", 1}}}}},
+	}
+	return New(name, dims, tensors)
+}
+
+// MustVector1D is Vector1D, panicking on error.
+func MustVector1D(name string, d int) *Workload {
+	w, err := Vector1D(name, d)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Dense builds a fully connected layer as a batch-1 GEMM: out channels M,
+// in channels C. It is the conv 1x1x1 degenerate expressed as Matmul so
+// dense layers share the GEMM dimension names.
+func Dense(name string, m, c int) (*Workload, error) {
+	return Matmul(name, m, 1, c)
+}

@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ParseEinsum builds a Workload from an extended-Einsum expression of the
+// form Timeloop's problem specs describe, e.g.
+//
+//	O[n,m,p,q] += I[n,c,2p+r,q+s] * W[m,c,r,s]
+//
+// The left-hand tensor is the output. Index variables are single
+// identifiers (case-insensitive; dimensions are named by their upper-case
+// form) and coordinates are sums of optionally scaled variables ("2p",
+// "2*p" and "p" are all valid terms). bounds supplies every dimension's
+// loop bound, keyed by upper-case name.
+//
+// Operand roles: the first right-hand tensor is the Input, subsequent ones
+// are Weights. This matches the paper's workloads (convolutions and GEMMs);
+// exotic multi-input Einsums share the weight buffers.
+func ParseEinsum(name, expr string, bounds map[string]int) (*Workload, error) {
+	lhs, rhs, ok := strings.Cut(expr, "+=")
+	if !ok {
+		return nil, fmt.Errorf("workload: einsum %q: missing '+='", expr)
+	}
+	out, err := parseTensorRef(lhs)
+	if err != nil {
+		return nil, fmt.Errorf("workload: einsum %q: %w", expr, err)
+	}
+	out.Role = Output
+
+	// A '*' inside a coordinate (e.g. "2*p") stays within brackets, so only
+	// split on top-level separators.
+	parts, err := splitTopLevel(rhs, '*')
+	if err != nil {
+		return nil, fmt.Errorf("workload: einsum %q: %w", expr, err)
+	}
+	var tensors []Tensor
+	for i, part := range parts {
+		t, err := parseTensorRef(part)
+		if err != nil {
+			return nil, fmt.Errorf("workload: einsum %q: %w", expr, err)
+		}
+		if i == 0 {
+			t.Role = Input
+		} else {
+			t.Role = Weight
+		}
+		tensors = append(tensors, t)
+	}
+	if len(tensors) == 0 {
+		return nil, fmt.Errorf("workload: einsum %q: no operands", expr)
+	}
+	tensors = append(tensors, out)
+
+	// Collect dimensions in first-appearance order.
+	var dims []Dim
+	seen := map[string]bool{}
+	for _, t := range tensors {
+		for _, c := range t.Coords {
+			for _, term := range c.Terms {
+				if seen[term.Dim] {
+					continue
+				}
+				seen[term.Dim] = true
+				b, ok := bounds[term.Dim]
+				if !ok {
+					return nil, fmt.Errorf("workload: einsum %q: no bound for dimension %s", expr, term.Dim)
+				}
+				dims = append(dims, Dim{Name: term.Dim, Bound: b})
+			}
+		}
+	}
+	for d := range bounds {
+		if !seen[d] {
+			return nil, fmt.Errorf("workload: einsum %q: bound for unused dimension %s", expr, d)
+		}
+	}
+	if name == "" {
+		name = strings.TrimSpace(expr)
+	}
+	return New(name, dims, tensors)
+}
+
+// MustParseEinsum is ParseEinsum, panicking on error.
+func MustParseEinsum(name, expr string, bounds map[string]int) *Workload {
+	w, err := ParseEinsum(name, expr, bounds)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// splitTopLevel splits s on sep occurrences outside square brackets.
+func splitTopLevel(s string, sep rune) ([]string, error) {
+	var parts []string
+	depth := 0
+	start := 0
+	for i, r := range s {
+		switch r {
+		case '[':
+			depth++
+		case ']':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("unbalanced ']' at %d", i)
+			}
+		case sep:
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("unbalanced '['")
+	}
+	parts = append(parts, s[start:])
+	return parts, nil
+}
+
+// parseTensorRef parses NAME[coord,coord,...] or NAME[coord][coord]...
+func parseTensorRef(s string) (Tensor, error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '[')
+	if open <= 0 || !strings.HasSuffix(s, "]") {
+		return Tensor{}, fmt.Errorf("bad tensor reference %q", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	if !isIdent(name) {
+		return Tensor{}, fmt.Errorf("bad tensor name %q", name)
+	}
+	body := s[open:len(s)]
+
+	// Normalize "][", then split on commas.
+	body = strings.TrimPrefix(body, "[")
+	body = strings.TrimSuffix(body, "]")
+	body = strings.ReplaceAll(body, "][", ",")
+	t := Tensor{Name: name}
+	for _, axis := range strings.Split(body, ",") {
+		c, err := parseCoord(axis)
+		if err != nil {
+			return Tensor{}, fmt.Errorf("tensor %s: %w", name, err)
+		}
+		t.Coords = append(t.Coords, c)
+	}
+	return t, nil
+}
+
+// parseCoord parses a sum of scaled index variables: "2p+r", "p + r", "q".
+func parseCoord(s string) (Coord, error) {
+	var c Coord
+	for _, termStr := range strings.Split(s, "+") {
+		term, err := parseTerm(termStr)
+		if err != nil {
+			return Coord{}, err
+		}
+		c.Terms = append(c.Terms, term)
+	}
+	if len(c.Terms) == 0 {
+		return Coord{}, fmt.Errorf("empty coordinate %q", s)
+	}
+	return c, nil
+}
+
+// parseTerm parses [INT]['*']VAR.
+func parseTerm(s string) (CoordTerm, error) {
+	s = strings.TrimSpace(strings.ReplaceAll(s, " ", ""))
+	s = strings.ReplaceAll(s, "*", "")
+	if s == "" {
+		return CoordTerm{}, fmt.Errorf("empty term")
+	}
+	i := 0
+	for i < len(s) && s[i] >= '0' && s[i] <= '9' {
+		i++
+	}
+	stride := 1
+	if i > 0 {
+		v, err := strconv.Atoi(s[:i])
+		if err != nil || v < 1 {
+			return CoordTerm{}, fmt.Errorf("bad stride in term %q", s)
+		}
+		stride = v
+	}
+	v := s[i:]
+	if !isIdent(v) {
+		return CoordTerm{}, fmt.Errorf("bad index variable %q in term %q", v, s)
+	}
+	return CoordTerm{Dim: strings.ToUpper(v), Stride: stride}, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+			return false
+		}
+	}
+	return unicode.IsLetter(rune(s[0]))
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestParseEinsumConv(t *testing.T) {
+	w, err := ParseEinsum("conv", "O[n,m,p,q] += I[n,c,2p+r,q+s] * W[m,c,r,s]",
+		map[string]int{"N": 1, "M": 8, "C": 4, "P": 6, "Q": 6, "R": 3, "S": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := MustConv2D(Conv2DParams{Name: "conv", N: 1, M: 8, C: 4, P: 6, Q: 6, R: 3, S: 3, StrideH: 2})
+	if w.MACs() != ref.MACs() {
+		t.Errorf("MACs = %d, want %d", w.MACs(), ref.MACs())
+	}
+	if got, want := w.Size(w.Tensor("I")), ref.Size(ref.Tensor("I")); got != want {
+		t.Errorf("input size = %d, want %d (strided halo)", got, want)
+	}
+	if w.Tensor("I").Role != Input || w.Tensor("W").Role != Weight || w.Tensor("O").Role != Output {
+		t.Error("roles wrong")
+	}
+	rd := w.ReductionDims()
+	if len(rd) != 3 {
+		t.Errorf("reduction dims = %v", rd)
+	}
+}
+
+func TestParseEinsumBracketAxes(t *testing.T) {
+	// Fig. 1 style separate bracket groups and explicit '*' strides.
+	w, err := ParseEinsum("", "Z[m][n] += A[m][k] * B[k][n]",
+		map[string]int{"M": 3, "N": 4, "K": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.MACs() != 60 {
+		t.Errorf("MACs = %d", w.MACs())
+	}
+	w2, err := ParseEinsum("strided", "O[p] += I[2*p+r] * W[r]",
+		map[string]int{"P": 5, "R": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w2.Size(w2.Tensor("I")); got != 11 { // 2*4 + 2 + 1
+		t.Errorf("strided input size = %d, want 11", got)
+	}
+}
+
+func TestParseEinsumDepthwise(t *testing.T) {
+	// Depthwise convolution: the input is indexed by the output-channel
+	// dimension — inexpressible with the Conv2D builder, natural as Einsum.
+	w, err := ParseEinsum("dw", "O[n,m,p,q] += I[n,m,p+r,q+s] * W[m,r,s]",
+		map[string]int{"N": 1, "M": 32, "P": 14, "Q": 14, "R": 3, "S": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.MACs() != uint64(32*14*14*9) {
+		t.Errorf("MACs = %d", w.MACs())
+	}
+	in := w.Tensor("I")
+	if !in.Relevant("M") {
+		t.Error("depthwise input must be indexed by M")
+	}
+	if len(w.ReductionDims()) != 2 { // R, S only
+		t.Errorf("reduction dims = %v", w.ReductionDims())
+	}
+}
+
+func TestParseEinsumSingleOperand(t *testing.T) {
+	w, err := ParseEinsum("copy", "Z[x] += X[x]", map[string]int{"X": 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.MACs() != 100 || w.Tensor("X").Role != Input {
+		t.Error("single-operand einsum wrong")
+	}
+}
+
+func TestParseEinsumCaseInsensitive(t *testing.T) {
+	w, err := ParseEinsum("", "Z[M,N] += A[M,K] * B[K,N]", map[string]int{"M": 2, "N": 2, "K": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Bound("M") != 2 {
+		t.Error("upper-case index vars should work")
+	}
+}
+
+func TestParseEinsumRejections(t *testing.T) {
+	bounds := map[string]int{"M": 2, "N": 2, "K": 2}
+	cases := []struct {
+		expr   string
+		bounds map[string]int
+	}{
+		{"Z[m,n] = A[m,k] * B[k,n]", bounds},                                          // no +=
+		{"Z[m,n] += A[m,k] * B[k,n]", map[string]int{"M": 2, "N": 2}},                 // missing bound
+		{"Z[m,n] += A[m,k] * B[k,n]", map[string]int{"M": 2, "N": 2, "K": 2, "J": 3}}, // unused bound
+		{"Z[m,n] += ", bounds},                 // no operands
+		{"Zm,n] += A[m,k] * B[k,n]", bounds},   // bad lhs
+		{"Z[m,n] += A[m,k * B[k,n]", bounds},   // unbalanced bracket
+		{"Z[m,n] += A[m,0k] * B[k,n]", bounds}, // bad term
+		{"Z[m,n] += A[m,-k] * B[k,n]", bounds}, // negative stride
+		{"Z[m,n] += A[m,] * B[k,n]", bounds},   // empty coord
+		{"[m,n] += A[m,k] * B[k,n]", bounds},   // missing name
+	}
+	for _, c := range cases {
+		if _, err := ParseEinsum("x", c.expr, c.bounds); err == nil {
+			t.Errorf("ParseEinsum(%q) succeeded", c.expr)
+		}
+	}
+}
+
+func TestMustParseEinsumPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	MustParseEinsum("x", "bogus", nil)
+}
+
+func TestSplitTopLevel(t *testing.T) {
+	parts, err := splitTopLevel("A[2*p+r] * B[r]", '*')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 2 {
+		t.Fatalf("parts = %v", parts)
+	}
+	if _, err := splitTopLevel("A[x", '*'); err == nil {
+		t.Error("unbalanced accepted")
+	}
+	if _, err := splitTopLevel("A]x[", '*'); err == nil {
+		t.Error("inverted brackets accepted")
+	}
+}

@@ -1,0 +1,54 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseEinsum asserts the parser never panics and that accepted
+// expressions yield structurally valid workloads. Run with
+// `go test -fuzz=FuzzParseEinsum ./internal/workload` to explore; the seed
+// corpus runs in every normal `go test`.
+func FuzzParseEinsum(f *testing.F) {
+	seeds := []string{
+		"O[n,m,p,q] += I[n,c,2p+r,q+s] * W[m,c,r,s]",
+		"Z[m][n] += A[m][k] * B[k][n]",
+		"Z[x] += X[x]",
+		"O[p] += I[2*p+r] * W[r]",
+		"Z[m,n] += A[m,k",
+		"Z[m,n] = A[m,k]",
+		"[] += []",
+		"Z[m,n] += A[0m] * B[n]",
+		"Z[m+n] += A[m] * B[n]",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, expr string) {
+		// Bound the dimension count implied by the expression so bounds can
+		// be supplied generically: give every plausible identifier bound 4.
+		bounds := map[string]int{}
+		for _, tok := range strings.FieldsFunc(expr, func(r rune) bool {
+			return !('a' <= r && r <= 'z' || 'A' <= r && r <= 'Z' || '0' <= r && r <= '9' || r == '_')
+		}) {
+			up := strings.ToUpper(tok)
+			if up != "" && up[0] >= 'A' && up[0] <= 'Z' {
+				bounds[up] = 4
+			}
+		}
+		w, err := ParseEinsum("fuzz", expr, bounds)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if verr := w.Validate(); verr != nil {
+			// ParseEinsum may accept an expression whose bounds map includes
+			// identifiers it treats as tensor names; those surface as unused
+			// bounds errors before this point, so a workload that parses
+			// must validate.
+			t.Fatalf("accepted workload fails validation: %v (expr %q)", verr, expr)
+		}
+		if w.MACs() == 0 {
+			t.Fatalf("accepted workload has zero MACs (expr %q)", expr)
+		}
+	})
+}

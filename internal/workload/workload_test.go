@@ -1,0 +1,264 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConv2DStructure(t *testing.T) {
+	w := MustConv2D(Conv2DParams{Name: "l", N: 1, M: 96, C: 48, P: 27, Q: 27, R: 5, S: 5})
+	if got := w.MACs(); got != uint64(96*48*27*27*5*5) {
+		t.Errorf("MACs = %d", got)
+	}
+	if len(w.Tensors) != 3 {
+		t.Fatalf("tensors = %d", len(w.Tensors))
+	}
+	if w.Output().Name != "O" {
+		t.Errorf("output = %q", w.Output().Name)
+	}
+	red := w.ReductionDims()
+	want := map[string]bool{"C": true, "R": true, "S": true}
+	if len(red) != 3 {
+		t.Fatalf("reduction dims = %v", red)
+	}
+	for _, d := range red {
+		if !want[d] {
+			t.Errorf("unexpected reduction dim %q", d)
+		}
+	}
+}
+
+func TestConv2DInputHalo(t *testing.T) {
+	w := MustConv2D(Conv2DParams{N: 1, M: 1, C: 64, P: 26, Q: 26, R: 3, S: 3})
+	in := w.Tensor("I")
+	// Full input: 26+3-1 = 28 on each spatial axis.
+	if got := w.Size(in); got != int64(64*28*28) {
+		t.Errorf("input size = %d, want %d", got, 64*28*28)
+	}
+	// A tile of 7 output columns with the full 3-wide filter touches 9 input
+	// columns.
+	vol := in.TileVolume(map[string]int{"Q": 7, "S": 3, "P": 1, "R": 1, "C": 1, "N": 1})
+	if vol != 9 {
+		t.Errorf("halo tile volume = %d, want 9", vol)
+	}
+}
+
+func TestConv2DStrided(t *testing.T) {
+	// ResNet-50 conv1: 7x7 stride 2 over 224x224 -> P=Q=112.
+	p := Conv2DParams{N: 1, M: 64, C: 3, P: 112, Q: 112, R: 7, S: 7, StrideH: 2, StrideW: 2}
+	if p.InputH() != 229 { // 2*111 + 6 + 1
+		t.Errorf("InputH = %d", p.InputH())
+	}
+	w := MustConv2D(p)
+	in := w.Tensor("I")
+	vol := in.TileVolume(map[string]int{"P": 4, "R": 7})
+	// 1 + 2*(4-1) + 1*(7-1) = 13 rows, 1 col, 1 chan.
+	if vol != 13 {
+		t.Errorf("strided halo volume = %d, want 13", vol)
+	}
+}
+
+func TestMatmul(t *testing.T) {
+	w := MustMatmul("mm", 100, 100, 100)
+	if w.MACs() != 1000000 {
+		t.Errorf("MACs = %d", w.MACs())
+	}
+	if got := w.Size(w.Tensor("A")); got != 10000 {
+		t.Errorf("A size = %d", got)
+	}
+	if rd := w.ReductionDims(); len(rd) != 1 || rd[0] != "K" {
+		t.Errorf("reduction dims = %v", rd)
+	}
+	if w.TensorByRole(Weight).Name != "B" {
+		t.Errorf("weight tensor = %q", w.TensorByRole(Weight).Name)
+	}
+}
+
+func TestVector1D(t *testing.T) {
+	w := MustVector1D("toy", 100)
+	if w.MACs() != 100 {
+		t.Errorf("MACs = %d", w.MACs())
+	}
+	if w.TotalFootprint() != 200 {
+		t.Errorf("footprint = %d", w.TotalFootprint())
+	}
+	if len(w.ReductionDims()) != 0 {
+		t.Errorf("reduction dims = %v", w.ReductionDims())
+	}
+}
+
+func TestDense(t *testing.T) {
+	w, err := Dense("fc", 1000, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.MACs() != 1000*2048 {
+		t.Errorf("MACs = %d", w.MACs())
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		dims    []Dim
+		tensors []Tensor
+	}{
+		{"no dims", nil, []Tensor{{Name: "Z", Role: Output, Coords: []Coord{{Terms: []CoordTerm{{"X", 1}}}}}}},
+		{"dup dim", []Dim{{"X", 2}, {"X", 3}}, []Tensor{{Name: "Z", Role: Output, Coords: []Coord{{Terms: []CoordTerm{{"X", 1}}}}}}},
+		{"zero bound", []Dim{{"X", 0}}, []Tensor{{Name: "Z", Role: Output, Coords: []Coord{{Terms: []CoordTerm{{"X", 1}}}}}}},
+		{"no tensors", []Dim{{"X", 2}}, nil},
+		{"no output", []Dim{{"X", 2}}, []Tensor{{Name: "A", Role: Input, Coords: []Coord{{Terms: []CoordTerm{{"X", 1}}}}}}},
+		{"two outputs", []Dim{{"X", 2}}, []Tensor{
+			{Name: "Z", Role: Output, Coords: []Coord{{Terms: []CoordTerm{{"X", 1}}}}},
+			{Name: "Y", Role: Output, Coords: []Coord{{Terms: []CoordTerm{{"X", 1}}}}},
+		}},
+		{"unknown dim", []Dim{{"X", 2}}, []Tensor{{Name: "Z", Role: Output, Coords: []Coord{{Terms: []CoordTerm{{"Y", 1}}}}}}},
+		{"zero stride", []Dim{{"X", 2}}, []Tensor{{Name: "Z", Role: Output, Coords: []Coord{{Terms: []CoordTerm{{"X", 0}}}}}}},
+		{"dup tensor", []Dim{{"X", 2}}, []Tensor{
+			{Name: "Z", Role: Input, Coords: []Coord{{Terms: []CoordTerm{{"X", 1}}}}},
+			{Name: "Z", Role: Output, Coords: []Coord{{Terms: []CoordTerm{{"X", 1}}}}},
+		}},
+		{"empty coord", []Dim{{"X", 2}}, []Tensor{{Name: "Z", Role: Output, Coords: []Coord{{}}}}},
+	}
+	for _, c := range cases {
+		if _, err := New(c.name, c.dims, c.tensors); err == nil {
+			t.Errorf("New(%s) succeeded, want error", c.name)
+		}
+	}
+}
+
+func TestBuilderRejections(t *testing.T) {
+	if _, err := Conv2D(Conv2DParams{N: 1, M: 0, C: 1, P: 1, Q: 1, R: 1, S: 1}); err == nil {
+		t.Error("Conv2D with M=0 succeeded")
+	}
+	if _, err := Matmul("", 0, 1, 1); err == nil {
+		t.Error("Matmul with M=0 succeeded")
+	}
+	if _, err := Vector1D("", 0); err == nil {
+		t.Error("Vector1D with D=0 succeeded")
+	}
+}
+
+func TestBoundPanicsOnUnknown(t *testing.T) {
+	w := MustVector1D("", 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bound(unknown) did not panic")
+		}
+	}()
+	w.Bound("nope")
+}
+
+func TestRelevance(t *testing.T) {
+	w := MustConv2D(Conv2DParams{N: 2, M: 4, C: 3, P: 8, Q: 8, R: 3, S: 3})
+	in := w.Tensor("I")
+	for _, d := range []string{"N", "C", "P", "Q", "R", "S"} {
+		if !in.Relevant(d) {
+			t.Errorf("I should be relevant to %s", d)
+		}
+	}
+	if in.Relevant("M") {
+		t.Error("I should not be relevant to M")
+	}
+	wt := w.Tensor("W")
+	if wt.Relevant("P") || wt.Relevant("Q") || wt.Relevant("N") {
+		t.Error("W relevance wrong")
+	}
+	rel := wt.RelevantDims()
+	if len(rel) != 4 {
+		t.Errorf("W relevant dims = %v", rel)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	w := MustMatmul("mm", 2, 3, 4)
+	s := w.String()
+	for _, frag := range []string{"for m in [0:2)", "for k in [0:4)", "Z[m][n] += A[m][k] * B[k][n]"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() missing %q in:\n%s", frag, s)
+		}
+	}
+	conv := MustConv2D(Conv2DParams{N: 1, M: 2, C: 3, P: 4, Q: 4, R: 3, S: 3, StrideH: 2, StrideW: 2})
+	cs := conv.String()
+	if !strings.Contains(cs, "I[n][c][2*p+r][2*q+s]") {
+		t.Errorf("conv String() missing strided input ref:\n%s", cs)
+	}
+}
+
+func TestScale(t *testing.T) {
+	w := MustMatmul("mm", 10, 10, 10)
+	s, err := w.Scale(map[string]int{"M": 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Bound("M") != 16 || s.Bound("N") != 10 {
+		t.Errorf("scaled bounds M=%d N=%d", s.Bound("M"), s.Bound("N"))
+	}
+	if w.Bound("M") != 10 {
+		t.Error("Scale mutated the original workload")
+	}
+	if _, err := w.Scale(map[string]int{"Q": 2}); err == nil {
+		t.Error("Scale with unknown dim succeeded")
+	}
+}
+
+func TestTileVolumeProperties(t *testing.T) {
+	w := MustConv2D(Conv2DParams{N: 1, M: 8, C: 8, P: 16, Q: 16, R: 3, S: 3})
+	in := w.Tensor("I")
+	// Property: tile volume is monotone in every dimension extent and the
+	// full-bounds volume equals Size.
+	f := func(p, q, r, s uint8) bool {
+		tp := int(p%16) + 1
+		tq := int(q%16) + 1
+		tr := int(r%3) + 1
+		ts := int(s%3) + 1
+		v1 := in.TileVolume(map[string]int{"P": tp, "Q": tq, "R": tr, "S": ts})
+		v2 := in.TileVolume(map[string]int{"P": tp + 1, "Q": tq, "R": tr, "S": ts})
+		return v2 >= v1 && v1 >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	full := map[string]int{"N": 1, "C": 8, "P": 16, "Q": 16, "R": 3, "S": 3}
+	if in.TileVolume(full) != w.Size(in) {
+		t.Error("full tile volume != Size")
+	}
+}
+
+func TestMissingTileDimsDefaultToOne(t *testing.T) {
+	w := MustMatmul("", 5, 6, 7)
+	a := w.Tensor("A")
+	if got := a.TileVolume(nil); got != 1 {
+		t.Errorf("TileVolume(nil) = %d, want 1", got)
+	}
+	if got := a.TileVolume(map[string]int{"M": 5}); got != 5 {
+		t.Errorf("TileVolume(M=5) = %d, want 5", got)
+	}
+}
+
+func TestConv2DFromInput(t *testing.T) {
+	// ResNet conv1: 224x224 input, 7x7 stride 2 pad 3 -> 112x112 output.
+	w, err := Conv2DFromInput("c1", 1, 64, 3, 224, 224, 7, 7, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Bound("P") != 112 || w.Bound("Q") != 112 {
+		t.Errorf("output = %dx%d, want 112x112", w.Bound("P"), w.Bound("Q"))
+	}
+	// VGG 3x3 stride 1 pad 1 preserves resolution.
+	w2, err := Conv2DFromInput("c2", 1, 64, 64, 56, 56, 3, 3, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Bound("P") != 56 {
+		t.Errorf("same-pad output = %d", w2.Bound("P"))
+	}
+	for _, bad := range []struct{ inH, r, stride, pad int }{
+		{4, 7, 1, 0}, {10, 3, 0, 0}, {10, 3, 1, -1},
+	} {
+		if _, err := Conv2DFromInput("x", 1, 1, 1, bad.inH, bad.inH, bad.r, bad.r, bad.stride, bad.pad); err == nil {
+			t.Errorf("Conv2DFromInput(%+v) succeeded", bad)
+		}
+	}
+}

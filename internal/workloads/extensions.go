@@ -1,0 +1,84 @@
+package workloads
+
+import (
+	"fmt"
+
+	"ruby/internal/workload"
+)
+
+// VGG16 returns the unique convolution and dense layers of VGG-16 with
+// repeat counts — an extension suite beyond the paper's evaluation. VGG's
+// power-of-two channel counts divide 16x16-style arrays perfectly but share
+// only small factors with the Eyeriss 14x12 grid (divisors of 512 capped at
+// 14 stop at 8), so perfect factorization strands almost half the columns
+// and Ruby-S wins large.
+func VGG16() []Layer {
+	layers := []Layer{
+		conv("vgg_conv1_1", Conv3x3, 1, 64, 3, 224, 3, 1),
+		conv("vgg_conv1_2", Conv3x3, 1, 64, 64, 224, 3, 1),
+		conv("vgg_conv2_1", Conv3x3, 1, 128, 64, 112, 3, 1),
+		conv("vgg_conv2_2", Conv3x3, 1, 128, 128, 112, 3, 1),
+		conv("vgg_conv3_1", Conv3x3, 1, 256, 128, 56, 3, 1),
+		conv("vgg_conv3_x", Conv3x3, 2, 256, 256, 56, 3, 1),
+		conv("vgg_conv4_1", Conv3x3, 1, 512, 256, 28, 3, 1),
+		conv("vgg_conv4_x", Conv3x3, 2, 512, 512, 28, 3, 1),
+		conv("vgg_conv5_x", Conv3x3, 3, 512, 512, 14, 3, 1),
+	}
+	for _, fc := range []struct {
+		name string
+		m, c int
+	}{
+		{"vgg_fc6", 4096, 25088},
+		{"vgg_fc7", 4096, 4096},
+		{"vgg_fc8", 1000, 4096},
+	} {
+		w, err := workload.Dense(fc.name, fc.m, fc.c)
+		if err != nil {
+			panic(err)
+		}
+		layers = append(layers, Layer{Name: fc.name, Type: DenseFC, Repeat: 1, Work: w})
+	}
+	return layers
+}
+
+// TransformerEncoder returns the GEMM workloads of one Transformer encoder
+// layer at the given sequence length and hidden size (BERT-base:
+// TransformerEncoder(384, 768, 12)). Sequence lengths are rarely multiples
+// of PE-array dimensions, making attention GEMMs a natural Ruby-S target.
+func TransformerEncoder(seq, hidden, heads int) []Layer {
+	if seq < 1 || hidden < 1 || heads < 1 || hidden%heads != 0 {
+		panic(fmt.Sprintf("workloads: bad transformer shape seq=%d hidden=%d heads=%d", seq, hidden, heads))
+	}
+	headDim := hidden / heads
+	gemm := func(name string, m, n, k, repeat int) Layer {
+		return Layer{
+			Name: name, Type: GEMM, Domain: "transformer", Repeat: repeat,
+			Work: workload.MustMatmul(name, m, n, k),
+		}
+	}
+	return []Layer{
+		// Q, K, V projections: [seq, hidden] x [hidden, hidden].
+		gemm(fmt.Sprintf("attn_qkv_s%d", seq), seq, hidden, hidden, 3),
+		// Attention scores per head: [seq, headDim] x [headDim, seq].
+		gemm(fmt.Sprintf("attn_scores_s%d", seq), seq, seq, headDim, heads),
+		// Attention context per head: [seq, seq] x [seq, headDim].
+		gemm(fmt.Sprintf("attn_context_s%d", seq), seq, headDim, seq, heads),
+		// Output projection.
+		gemm(fmt.Sprintf("attn_out_s%d", seq), seq, hidden, hidden, 1),
+		// Feed-forward up/down (4x expansion).
+		gemm(fmt.Sprintf("ffn_up_s%d", seq), seq, 4*hidden, hidden, 1),
+		gemm(fmt.Sprintf("ffn_down_s%d", seq), seq, hidden, 4*hidden, 1),
+	}
+}
+
+// Suites returns every built-in suite by name; the CLI and tests use it for
+// discovery.
+func Suites() map[string][]Layer {
+	return map[string][]Layer{
+		"resnet50":    ResNet50(),
+		"deepbench":   DeepBench(),
+		"vgg16":       VGG16(),
+		"transformer": TransformerEncoder(384, 768, 12),
+		"mobilenetv2": MobileNetV2(),
+	}
+}

@@ -1,0 +1,78 @@
+package workloads
+
+import "testing"
+
+func TestVGG16(t *testing.T) {
+	layers := VGG16()
+	var convs, fcs, weighted int
+	for _, l := range layers {
+		if err := l.Work.Validate(); err != nil {
+			t.Errorf("%s: %v", l.Name, err)
+		}
+		switch l.Type {
+		case Conv3x3:
+			convs++
+			weighted += l.Repeat
+		case DenseFC:
+			fcs++
+		}
+	}
+	if weighted != 13 {
+		t.Errorf("weighted conv layers = %d, want 13", weighted)
+	}
+	if fcs != 3 {
+		t.Errorf("fc layers = %d, want 3", fcs)
+	}
+	// VGG-16 performs ~15.5 GMACs at batch 1.
+	total := TotalMACs(layers)
+	if total < 15_000_000_000 || total > 16_000_000_000 {
+		t.Errorf("total MACs = %d, want ~15.5e9", total)
+	}
+}
+
+func TestTransformerEncoder(t *testing.T) {
+	layers := TransformerEncoder(384, 768, 12)
+	if len(layers) != 6 {
+		t.Fatalf("layers = %d", len(layers))
+	}
+	var scores Layer
+	for _, l := range layers {
+		if err := l.Work.Validate(); err != nil {
+			t.Errorf("%s: %v", l.Name, err)
+		}
+		if l.Name == "attn_scores_s384" {
+			scores = l
+		}
+	}
+	if scores.Work == nil {
+		t.Fatal("scores GEMM missing")
+	}
+	// Per-head scores: [384 x 64] x [64 x 384], repeated 12x.
+	if scores.Work.MACs() != 384*384*64 || scores.Repeat != 12 {
+		t.Errorf("scores = %d MACs x%d", scores.Work.MACs(), scores.Repeat)
+	}
+	// BERT-base encoder layer: ~1.8 GMACs per layer at seq 384... spot check
+	// the order of magnitude.
+	total := TotalMACs(layers)
+	if total < 1_000_000_000 || total > 4_000_000_000 {
+		t.Errorf("encoder MACs = %d, want O(2e9)", total)
+	}
+}
+
+func TestTransformerEncoderPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	TransformerEncoder(384, 768, 7) // 768 % 7 != 0
+}
+
+func TestSuites(t *testing.T) {
+	s := Suites()
+	for _, name := range []string{"resnet50", "deepbench", "vgg16", "transformer"} {
+		if len(s[name]) == 0 {
+			t.Errorf("suite %q empty", name)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package workloads
+
+import (
+	"fmt"
+
+	"ruby/internal/workload"
+)
+
+// Depthwise builds a depthwise convolution layer via the Einsum frontend:
+// each output channel convolves only its own input channel, so the input is
+// indexed by the output-channel dimension M and only R, S reduce.
+func Depthwise(name string, m, pq, rs, stride int) Layer {
+	expr := "O[n,m,p,q] += I[n,m,p+r,q+s] * W[m,r,s]"
+	if stride > 1 {
+		expr = fmt.Sprintf("O[n,m,p,q] += I[n,m,%dp+r,%dq+s] * W[m,r,s]", stride, stride)
+	}
+	w := workload.MustParseEinsum(name, expr, map[string]int{
+		"N": 1, "M": m, "P": pq, "Q": pq, "R": rs, "S": rs,
+	})
+	return Layer{Name: name, Type: ConvOther, Repeat: 1, Work: w}
+}
+
+// MobileNetV2 returns the unique layers of MobileNetV2 [Sandler et al. 2018]
+// — an extension suite whose expansion channel counts (96, 144, 192, 384,
+// 576, 960) carry factors of 3 and rarely align with power-of-two or 14x12
+// arrays, and whose depthwise layers have no channel reduction to
+// parallelize over. Both properties make it a natural imperfect-
+// factorization target beyond the paper's evaluation.
+func MobileNetV2() []Layer {
+	pw := func(name string, repeat, m, c, pq int) Layer {
+		l := conv(name, Pointwise, repeat, m, c, pq, 1, 1)
+		return l
+	}
+	dw := func(name string, repeat, m, pq, stride int) Layer {
+		l := Depthwise(name, m, pq, 3, stride)
+		l.Repeat = repeat
+		return l
+	}
+	layers := []Layer{
+		conv("mbv2_conv1", Conv3x3, 1, 32, 3, 112, 3, 2),
+
+		dw("mbv2_b1_dw", 1, 32, 112, 1),
+		pw("mbv2_b1_pj", 1, 16, 32, 112),
+
+		pw("mbv2_b2_ex", 1, 96, 16, 112),
+		dw("mbv2_b2_dw", 1, 96, 56, 2),
+		pw("mbv2_b2_pj", 1, 24, 96, 56),
+		pw("mbv2_b2r_ex", 1, 144, 24, 56),
+		dw("mbv2_b2r_dw", 1, 144, 56, 1),
+		pw("mbv2_b2r_pj", 1, 24, 144, 56),
+
+		dw("mbv2_b3_dw", 1, 144, 28, 2),
+		pw("mbv2_b3_pj", 1, 32, 144, 28),
+		pw("mbv2_b3r_ex", 2, 192, 32, 28),
+		dw("mbv2_b3r_dw", 2, 192, 28, 1),
+		pw("mbv2_b3r_pj", 2, 32, 192, 28),
+
+		dw("mbv2_b4_dw", 1, 192, 14, 2),
+		pw("mbv2_b4_pj", 1, 64, 192, 14),
+		pw("mbv2_b4r_ex", 3, 384, 64, 14),
+		dw("mbv2_b4r_dw", 3, 384, 14, 1),
+		pw("mbv2_b4r_pj", 3, 64, 384, 14),
+
+		pw("mbv2_b5_ex", 3, 576, 96, 14),
+		dw("mbv2_b5_dw", 2, 576, 14, 1),
+		pw("mbv2_b5_pj", 2, 96, 576, 14),
+
+		dw("mbv2_b6_dw", 1, 576, 7, 2),
+		pw("mbv2_b6_pj", 1, 160, 576, 7),
+		pw("mbv2_b6r_ex", 2, 960, 160, 7),
+		dw("mbv2_b6r_dw", 2, 960, 7, 1),
+		pw("mbv2_b6r_pj", 2, 160, 960, 7),
+
+		pw("mbv2_b7_pj", 1, 320, 960, 7),
+		pw("mbv2_head", 1, 1280, 320, 7),
+	}
+	fc, err := workload.Dense("mbv2_fc", 1000, 1280)
+	if err != nil {
+		panic(err)
+	}
+	return append(layers, Layer{Name: "mbv2_fc", Type: DenseFC, Repeat: 1, Work: fc})
+}

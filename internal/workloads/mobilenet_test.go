@@ -1,0 +1,83 @@
+package workloads
+
+import (
+	"testing"
+
+	"ruby/internal/arch"
+	"ruby/internal/mapspace"
+	"ruby/internal/nest"
+	"ruby/internal/search"
+)
+
+func TestDepthwiseLayer(t *testing.T) {
+	l := Depthwise("dw", 32, 14, 3, 1)
+	if l.Work.MACs() != uint64(32*14*14*9) {
+		t.Errorf("MACs = %d", l.Work.MACs())
+	}
+	in := l.Work.TensorByRole(0) // Input
+	if !in.Relevant("M") {
+		t.Error("depthwise input not indexed by M")
+	}
+	strided := Depthwise("dw2", 96, 56, 3, 2)
+	// Input extent: 2*(56-1) + (3-1) + 1 = 113 per axis.
+	if got := strided.Work.Size(strided.Work.Tensor("I")); got != int64(96*113*113) {
+		t.Errorf("strided depthwise input size = %d, want %d", got, 96*113*113)
+	}
+}
+
+func TestMobileNetV2Structure(t *testing.T) {
+	layers := MobileNetV2()
+	if len(layers) < 25 {
+		t.Fatalf("layers = %d", len(layers))
+	}
+	names := map[string]bool{}
+	var dws int
+	for _, l := range layers {
+		if names[l.Name] {
+			t.Errorf("duplicate layer %q", l.Name)
+		}
+		names[l.Name] = true
+		if err := l.Work.Validate(); err != nil {
+			t.Errorf("%s: %v", l.Name, err)
+		}
+		if l.Work.Tensor("I") != nil && l.Work.Tensor("I").Relevant("M") && l.Work.Tensor("I").Relevant("R") {
+			dws++
+		}
+	}
+	if dws < 8 {
+		t.Errorf("depthwise layers = %d, want >= 8", dws)
+	}
+	// MobileNetV2 performs ~0.3 GMACs at batch 1 (300M in the paper);
+	// our unique-layer x repeat coverage should land in [0.2e9, 0.5e9].
+	total := TotalMACs(layers)
+	if total < 200_000_000 || total > 500_000_000 {
+		t.Errorf("total MACs = %d, want ~0.3e9", total)
+	}
+}
+
+// TestMobileNetDepthwiseMappable: a depthwise layer must be mappable on the
+// Eyeriss-like baseline end to end, and Ruby-S must be able to parallelize
+// its channel dimension despite 576 sharing no convenient factors with 14.
+func TestMobileNetDepthwiseMappable(t *testing.T) {
+	l := Depthwise("dw576", 576, 14, 3, 1)
+	a := arch.EyerissLike(14, 12, 128)
+	ev := nest.MustEvaluator(l.Work, a)
+	cons := mapspace.Constraints{
+		SpatialX: []string{"Q", "M"},
+		SpatialY: []string{"R", "S", "M"},
+	}
+	for _, kind := range []mapspace.Kind{mapspace.PFM, mapspace.RubyS} {
+		sp := mapspace.New(l.Work, a, kind, cons)
+		res := search.Random(sp, ev, search.Options{Seed: 1, Threads: 4, MaxEvaluations: 15000})
+		if res.Best == nil {
+			t.Fatalf("%v: no valid mapping", kind)
+		}
+		t.Logf("%v: EDP %.3e util %.3f", kind, res.BestCost.EDP, res.BestCost.Utilization)
+	}
+}
+
+func TestSuitesIncludesMobileNet(t *testing.T) {
+	if len(Suites()["mobilenetv2"]) == 0 {
+		t.Error("mobilenetv2 missing from Suites")
+	}
+}

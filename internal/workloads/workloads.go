@@ -1,0 +1,172 @@
+// Package workloads defines the benchmark layers the paper evaluates:
+// ResNet-50 (Fig. 10, 12, 13a, 14a), AlexNet layer 2 (Fig. 9), a DeepBench
+// selection spanning vision, speech, face-recognition and speaker-ID tasks
+// (Fig. 11, 13b, 14b), and the Section III toy problems (Fig. 7, 8, Table I).
+package workloads
+
+import (
+	"fmt"
+
+	"ruby/internal/workload"
+)
+
+// LayerType classifies layers the way Fig. 10 groups them.
+type LayerType string
+
+const (
+	Conv7x7   LayerType = "conv7x7"
+	Conv3x3   LayerType = "conv3x3"
+	Pointwise LayerType = "pointwise"
+	DenseFC   LayerType = "dense"
+	ConvOther LayerType = "conv"
+	GEMM      LayerType = "gemm"
+)
+
+// Layer is one benchmark entry: a workload plus suite metadata.
+type Layer struct {
+	Name   string
+	Type   LayerType
+	Domain string // DeepBench domain ("vision", "speech", ...); empty for DNN suites
+	Repeat int    // occurrences in the full network (>= 1)
+	Work   *workload.Workload
+}
+
+func conv(name string, t LayerType, repeat, m, c, pq, rs, stride int) Layer {
+	return Layer{
+		Name: name, Type: t, Repeat: repeat,
+		Work: workload.MustConv2D(workload.Conv2DParams{
+			Name: name, N: 1, M: m, C: c, P: pq, Q: pq, R: rs, S: rs,
+			StrideH: stride, StrideW: stride,
+		}),
+	}
+}
+
+// ResNet50 returns the unique layers of ResNet-50 [He et al. 2015] with
+// repeat counts, batch size 1, as used throughout the paper's evaluation.
+// Bottleneck blocks contribute 1x1 reduce, 3x3, and 1x1 expand layers;
+// stage-entry blocks add strided projection shortcuts.
+func ResNet50() []Layer {
+	layers := []Layer{
+		conv("conv1", Conv7x7, 1, 64, 3, 112, 7, 2),
+
+		// Stage 2 (56x56).
+		conv("res2a_branch1", Pointwise, 1, 256, 64, 56, 1, 1),
+		conv("res2a_branch2a", Pointwise, 1, 64, 64, 56, 1, 1),
+		conv("res2x_branch2b", Conv3x3, 3, 64, 64, 56, 3, 1),
+		conv("res2x_branch2c", Pointwise, 3, 256, 64, 56, 1, 1),
+		conv("res2b_branch2a", Pointwise, 2, 64, 256, 56, 1, 1),
+
+		// Stage 3 (28x28).
+		conv("res3a_branch1", Pointwise, 1, 512, 256, 28, 1, 2),
+		conv("res3a_branch2a", Pointwise, 1, 128, 256, 28, 1, 2),
+		conv("res3x_branch2b", Conv3x3, 4, 128, 128, 28, 3, 1),
+		conv("res3x_branch2c", Pointwise, 4, 512, 128, 28, 1, 1),
+		conv("res3b_branch2a", Pointwise, 3, 128, 512, 28, 1, 1),
+
+		// Stage 4 (14x14).
+		conv("res4a_branch1", Pointwise, 1, 1024, 512, 14, 1, 2),
+		conv("res4a_branch2a", Pointwise, 1, 256, 512, 14, 1, 2),
+		conv("res4x_branch2b", Conv3x3, 6, 256, 256, 14, 3, 1),
+		conv("res4x_branch2c", Pointwise, 6, 1024, 256, 14, 1, 1),
+		conv("res4b_branch2a", Pointwise, 5, 256, 1024, 14, 1, 1),
+
+		// Stage 5 (7x7).
+		conv("res5a_branch1", Pointwise, 1, 2048, 1024, 7, 1, 2),
+		conv("res5a_branch2a", Pointwise, 1, 512, 1024, 7, 1, 2),
+		conv("res5x_branch2b", Conv3x3, 3, 512, 512, 7, 3, 1),
+		conv("res5x_branch2c", Pointwise, 3, 2048, 512, 7, 1, 1),
+		conv("res5b_branch2a", Pointwise, 2, 512, 2048, 7, 1, 1),
+	}
+	fc, err := workload.Dense("fc1000", 1000, 2048)
+	if err != nil {
+		panic(err)
+	}
+	layers = append(layers, Layer{Name: "fc1000", Type: DenseFC, Repeat: 1, Work: fc})
+	for i := range layers {
+		if layers[i].Repeat == 0 {
+			layers[i].Repeat = 1
+		}
+	}
+	return layers
+}
+
+// AlexNetConv2 returns layer 2 of AlexNet with the shapes quoted in Section
+// IV-B: per-group IFM 27x27x48, 5x5 filters, 96 output filters (grouped
+// convolution), pad 2 so the OFM is 27x27.
+func AlexNetConv2() *workload.Workload {
+	return workload.MustConv2D(workload.Conv2DParams{
+		Name: "alexnet_conv2", N: 1, M: 96, C: 48, P: 27, Q: 27, R: 5, S: 5,
+	})
+}
+
+// DeepBench returns the paper's DeepBench selection: convolution and GEMM
+// kernels from vision, speech recognition (DeepSpeech), face recognition and
+// speaker identification, per the Baidu DeepBench suite. The diversity of
+// tensor shapes — in particular the speech layers whose dimensions share no
+// factors with a 14x12 array — is the point of the suite.
+func DeepBench() []Layer {
+	mk := func(name, domain string, t LayerType, w *workload.Workload) Layer {
+		return Layer{Name: name, Domain: domain, Type: t, Repeat: 1, Work: w}
+	}
+	convP := func(name, domain string, m, c, p, q, r, s, sh, sw int) Layer {
+		return mk(name, domain, ConvOther, workload.MustConv2D(workload.Conv2DParams{
+			Name: name, N: 1, M: m, C: c, P: p, Q: q, R: r, S: s, StrideH: sh, StrideW: sw,
+		}))
+	}
+	gemm := func(name, domain string, m, n, k int) Layer {
+		return mk(name, domain, GEMM, workload.MustMatmul(name, m, n, k))
+	}
+	return []Layer{
+		// Vision: ImageNet-derived shapes whose feature maps carry the
+		// factor 7 that the 14x12 Eyeriss array was sized for.
+		convP("vision_conv1_7x7", "vision", 64, 3, 112, 112, 7, 7, 2, 2),
+		convP("vision_conv_3x3_56", "vision", 64, 64, 56, 56, 3, 3, 1, 1),
+		convP("vision_conv_3x3_28", "vision", 128, 128, 28, 28, 3, 3, 1, 1),
+		convP("vision_conv_3x3_14", "vision", 256, 256, 14, 14, 3, 3, 1, 1),
+		convP("vision_conv_3x3_7", "vision", 512, 512, 7, 7, 3, 3, 1, 1),
+
+		// Speech (DeepSpeech): layer 1 consumes a 341x79x32 spectrogram tile
+		// with 5x10 filters (the example the paper quotes); layer 0 consumes
+		// the raw 700x161 spectrogram with 5x20 filters, stride 2.
+		convP("speech_ds_conv0", "speech", 32, 1, 348, 71, 5, 20, 2, 2),
+		convP("speech_ds_conv1", "speech", 32, 32, 337, 70, 5, 10, 1, 1),
+
+		// Face recognition (DeepFace-style locally-unshared stand-ins):
+		// odd feature-map sizes (83, 41) misaligned with 14x12.
+		convP("face_conv_9x9", "face", 32, 16, 83, 83, 9, 9, 1, 1),
+		convP("face_conv_7x7", "face", 16, 32, 41, 41, 7, 7, 1, 1),
+
+		// Speech-to-text and speaker-ID GEMMs from DeepBench's server set.
+		gemm("speech_gemm_5124x700x2048", "speech", 5124, 700, 2048),
+		gemm("speech_gemm_35x700x2048", "speech", 35, 700, 2048),
+		gemm("speaker_gemm_3072x1500x1024", "speaker", 3072, 1500, 1024),
+		gemm("speaker_gemm_512x1500x2816", "speaker", 512, 1500, 2816),
+	}
+}
+
+// Fig7Matmul returns the Section III-A toy GEMM over two 100x100 tensors.
+func Fig7Matmul() *workload.Workload {
+	return workload.MustMatmul("fig7_matmul100", 100, 100, 100)
+}
+
+// Fig7Conv returns the Section III-A toy convolution: a 3x3x64 filter over a
+// 28x28x64 image (valid padding, so the OFM is 26x26), 64 filters.
+func Fig7Conv() *workload.Workload {
+	return workload.MustConv2D(workload.Conv2DParams{
+		Name: "fig7_conv", N: 1, M: 64, C: 64, P: 26, Q: 26, R: 3, S: 3,
+	})
+}
+
+// Rank1 returns the single-dimension tensor distribution of Table I / Fig. 8.
+func Rank1(d int) *workload.Workload {
+	return workload.MustVector1D(fmt.Sprintf("rank1_%d", d), d)
+}
+
+// TotalMACs sums a suite's MAC counts weighted by layer repeats.
+func TotalMACs(layers []Layer) uint64 {
+	var total uint64
+	for _, l := range layers {
+		total += l.Work.MACs() * uint64(l.Repeat)
+	}
+	return total
+}

@@ -1,0 +1,142 @@
+package workloads
+
+import (
+	"testing"
+
+	"ruby/internal/workload"
+)
+
+func TestResNet50Structure(t *testing.T) {
+	layers := ResNet50()
+	if len(layers) != 22 {
+		t.Errorf("unique layers = %d, want 22", len(layers))
+	}
+	names := map[string]bool{}
+	var blocks int
+	for _, l := range layers {
+		if names[l.Name] {
+			t.Errorf("duplicate layer %q", l.Name)
+		}
+		names[l.Name] = true
+		if l.Repeat < 1 {
+			t.Errorf("%s: repeat %d", l.Name, l.Repeat)
+		}
+		if err := l.Work.Validate(); err != nil {
+			t.Errorf("%s: %v", l.Name, err)
+		}
+		if l.Type == Conv3x3 {
+			blocks += l.Repeat
+		}
+	}
+	// ResNet-50 has 16 bottleneck blocks, each with one 3x3 layer.
+	if blocks != 16 {
+		t.Errorf("3x3 layers (weighted) = %d, want 16", blocks)
+	}
+}
+
+func TestResNet50MACs(t *testing.T) {
+	// ResNet-50 at batch 1 performs ~4.1 GMACs; the conv/fc layers here
+	// should land in [3.5e9, 4.5e9].
+	total := TotalMACs(ResNet50())
+	if total < 3_500_000_000 || total > 4_500_000_000 {
+		t.Errorf("total MACs = %d, want ~4.1e9", total)
+	}
+}
+
+func TestResNet50LayerShapes(t *testing.T) {
+	layers := ResNet50()
+	byName := map[string]Layer{}
+	for _, l := range layers {
+		byName[l.Name] = l
+	}
+	c1 := byName["conv1"].Work
+	if c1.Bound("M") != 64 || c1.Bound("P") != 112 || c1.Bound("R") != 7 {
+		t.Error("conv1 shape wrong")
+	}
+	b := byName["res4x_branch2b"]
+	if b.Work.Bound("C") != 256 || b.Work.Bound("P") != 14 || b.Repeat != 6 {
+		t.Error("res4 3x3 shape wrong")
+	}
+	fc := byName["fc1000"]
+	if fc.Type != DenseFC || fc.Work.MACs() != 1000*2048 {
+		t.Error("fc1000 wrong")
+	}
+}
+
+func TestAlexNetConv2(t *testing.T) {
+	w := AlexNetConv2()
+	if w.Bound("Q") != 27 || w.Bound("C") != 48 || w.Bound("M") != 96 || w.Bound("R") != 5 {
+		t.Error("AlexNet conv2 shape wrong")
+	}
+	// The paper's key property: Q=27 shares no factor with 14.
+	if 27%2 == 0 || 14%3 == 0 {
+		t.Error("expected misalignment between Q=27 and array width 14")
+	}
+}
+
+func TestDeepBenchSuite(t *testing.T) {
+	layers := DeepBench()
+	if len(layers) < 10 {
+		t.Errorf("suite size = %d, want >= 10", len(layers))
+	}
+	domains := map[string]int{}
+	for _, l := range layers {
+		domains[l.Domain]++
+		if err := l.Work.Validate(); err != nil {
+			t.Errorf("%s: %v", l.Name, err)
+		}
+	}
+	for _, d := range []string{"vision", "speech", "face", "speaker"} {
+		if domains[d] == 0 {
+			t.Errorf("domain %q missing", d)
+		}
+	}
+}
+
+func TestDeepBenchSpeechShape(t *testing.T) {
+	// The DeepSpeech layer the paper quotes: IFM 341x79x32, filter 5x10x32.
+	var ds Layer
+	for _, l := range DeepBench() {
+		if l.Name == "speech_ds_conv1" {
+			ds = l
+		}
+	}
+	if ds.Work == nil {
+		t.Fatal("speech_ds_conv1 missing")
+	}
+	if ds.Work.Bound("C") != 32 || ds.Work.Bound("R") != 5 || ds.Work.Bound("S") != 10 {
+		t.Error("filter shape wrong")
+	}
+	in := ds.Work.Tensor("I")
+	vol := in.TileVolume(map[string]int{
+		"P": ds.Work.Bound("P"), "Q": ds.Work.Bound("Q"),
+		"R": 5, "S": 10, "C": 32,
+	})
+	// IFM 341 x 79 x 32 = 862,048 words.
+	if vol != 341*79*32 {
+		t.Errorf("IFM volume = %d, want %d", vol, 341*79*32)
+	}
+}
+
+func TestToys(t *testing.T) {
+	mm := Fig7Matmul()
+	if mm.Bound("M") != 100 || mm.Bound("K") != 100 {
+		t.Error("Fig7Matmul shape wrong")
+	}
+	cv := Fig7Conv()
+	if cv.Bound("C") != 64 || cv.Bound("P") != 26 {
+		t.Error("Fig7Conv shape wrong")
+	}
+	r := Rank1(127)
+	if r.MACs() != 127 {
+		t.Error("Rank1 wrong")
+	}
+}
+
+func TestTotalMACsWeighting(t *testing.T) {
+	w := workload.MustVector1D("x", 10)
+	layers := []Layer{{Name: "a", Repeat: 3, Work: w}, {Name: "b", Repeat: 1, Work: w}}
+	if got := TotalMACs(layers); got != 40 {
+		t.Errorf("TotalMACs = %d, want 40", got)
+	}
+}

@@ -1,0 +1,325 @@
+// Package ruby is a from-scratch reproduction of "Ruby: Improving Hardware
+// Efficiency for Tensor Algebra Accelerators Through Imperfect Factorization"
+// (ISPASS 2022): a Timeloop-style mapping-exploration stack for tensor
+// accelerators whose mapspaces admit imperfect (remainder-bearing)
+// factorization.
+//
+// The package is a facade over the internal packages; typical use is
+//
+//	w := ruby.MustConv2D(ruby.Conv2DParams{N: 1, M: 64, C: 64, P: 56, Q: 56, R: 3, S: 3})
+//	a := ruby.EyerissLike(14, 12, 128)
+//	ev := ruby.MustEvaluator(w, a)
+//	sp := ruby.NewSpace(w, a, ruby.RubyS, ruby.EyerissRowStationary(w))
+//	res := ruby.Search(sp, ev, ruby.SearchOptions{Seed: 1})
+//	fmt.Println(res.BestCost.EDP, res.Best.Render(w, a))
+//
+// Mapspace kinds: PFM (perfect factorization, the Timeloop baseline), Ruby
+// (imperfect everywhere), RubyS (imperfect only at spatial levels — the
+// paper's recommended variant), and RubyT (imperfect only at temporal
+// levels). Experiment runners regenerating every table and figure of the
+// paper live behind RunExperiment.
+package ruby
+
+import (
+	"ruby/internal/arch"
+	"ruby/internal/config"
+	"ruby/internal/exp"
+	"ruby/internal/heuristic"
+	"ruby/internal/library"
+	"ruby/internal/mapping"
+	"ruby/internal/mapspace"
+	"ruby/internal/nest"
+	"ruby/internal/search"
+	"ruby/internal/sim"
+	"ruby/internal/stats"
+	"ruby/internal/sweep"
+	"ruby/internal/workload"
+	"ruby/internal/workloads"
+)
+
+// Workload modeling.
+type (
+	// Workload is a tensor operation: an iteration space plus operand
+	// tensors with projections.
+	Workload = workload.Workload
+	// Conv2DParams specifies a convolution layer in the paper's 7-loop form.
+	Conv2DParams = workload.Conv2DParams
+	// Tensor is one operand of a workload.
+	Tensor = workload.Tensor
+	// Dim is one loop of the iteration space.
+	Dim = workload.Dim
+	// Role classifies operands (Input, Weight, Output).
+	Role = workload.Role
+)
+
+// Operand roles.
+const (
+	Input  = workload.Input
+	Weight = workload.Weight
+	Output = workload.Output
+)
+
+// Workload builders.
+var (
+	Conv2D       = workload.Conv2D
+	MustConv2D   = workload.MustConv2D
+	Matmul       = workload.Matmul
+	MustMatmul   = workload.MustMatmul
+	Dense        = workload.Dense
+	Vector1D     = workload.Vector1D
+	MustVector1D = workload.MustVector1D
+	// Conv2DFromInput infers output dimensions from input geometry,
+	// filter, stride and padding.
+	Conv2DFromInput = workload.Conv2DFromInput
+	// ParseEinsum builds a workload from an extended-Einsum expression
+	// (enables depthwise convolutions and other exotic projections).
+	ParseEinsum     = workload.ParseEinsum
+	MustParseEinsum = workload.MustParseEinsum
+)
+
+// Architecture modeling.
+type (
+	// Arch is an accelerator description: DRAM, on-chip levels, fanouts.
+	Arch = arch.Arch
+	// Level is one storage level of an Arch.
+	Level = arch.Level
+	// Network is the spatial interconnect below a level.
+	Network = arch.Network
+)
+
+// Architecture presets from the paper.
+var (
+	// EyerissLike builds the baseline: EyerissLike(14, 12, 128).
+	EyerissLike = arch.EyerissLike
+	// SimbaLike builds the Simba-like PE cluster: SimbaLike(15, 4, 4).
+	SimbaLike = arch.SimbaLike
+	// ToyLinear builds the Section III linear-array toy architecture.
+	ToyLinear = arch.ToyLinear
+	// ToyGLB builds the Section II-D illustration architecture.
+	ToyGLB = arch.ToyGLB
+	// TPULike builds a TPU-v1-style systolic extension preset.
+	TPULike = arch.TPULike
+	// EyerissV2Like builds the hierarchical four-level extension preset.
+	EyerissV2Like = arch.EyerissV2Like
+)
+
+// Mappings and cost modeling.
+type (
+	// Mapping is one allocation of a workload onto an architecture.
+	Mapping = mapping.Mapping
+	// Cost is the evaluation result of a mapping (validity, cycles, energy,
+	// EDP, per-level access counts).
+	Cost = nest.Cost
+	// Evaluator is the analytical loop-nest cost model.
+	Evaluator = nest.Evaluator
+)
+
+var (
+	// NewEvaluator builds a cost model for one (workload, architecture)
+	// pair.
+	NewEvaluator = nest.NewEvaluator
+	// MustEvaluator is NewEvaluator, panicking on error.
+	MustEvaluator = nest.MustEvaluator
+	// UniformMapping places the whole iteration space at one level's
+	// temporal loops — the canonical starting mapping.
+	UniformMapping = mapping.Uniform
+	// NewSimulator builds the execution-driven reference simulator that
+	// validates the analytical model on small workloads.
+	NewSimulator = sim.New
+)
+
+// Simulation.
+type (
+	// Simulator literally executes a mapping's loop nest (small workloads
+	// only), counting cycles and tile-fill events.
+	Simulator = sim.Simulator
+	// SimOptions bounds a simulation.
+	SimOptions = sim.Options
+	// SimResult is a simulation outcome.
+	SimResult = sim.Result
+	// LinkStats is the model's per-tensor inter-level transfer record.
+	LinkStats = nest.LinkStats
+)
+
+// Mapspaces.
+type (
+	// Space is a mapspace: the candidate mappings of a workload on an
+	// architecture under one factorization discipline.
+	Space = mapspace.Space
+	// SpaceKind selects the factorization discipline.
+	SpaceKind = mapspace.Kind
+	// Constraints restricts a mapspace (dataflow-style spatial dimension
+	// allowlists, fixed loop orders).
+	Constraints = mapspace.Constraints
+)
+
+// Mapspace kinds.
+const (
+	PFM   = mapspace.PFM
+	Ruby  = mapspace.Ruby
+	RubyS = mapspace.RubyS
+	RubyT = mapspace.RubyT
+)
+
+var (
+	// NewSpace builds a mapspace.
+	NewSpace = mapspace.New
+	// EyerissRowStationary returns the row-stationary constraint preset of
+	// the Eyeriss-like baseline.
+	EyerissRowStationary = mapspace.EyerissRowStationary
+	// SimbaDataflow returns the Simba-like constraint preset.
+	SimbaDataflow = mapspace.SimbaDataflow
+	// SystolicDataflow returns the TPU-like constraint preset.
+	SystolicDataflow = mapspace.SystolicDataflow
+	// PadWorkload pads dimensions to array-size multiples (the Section
+	// III-B baseline strategy).
+	PadWorkload = mapspace.PadWorkload
+)
+
+// Search.
+type (
+	// SearchOptions configures the random-sampling search.
+	SearchOptions = search.Options
+	// SearchResult is a search outcome (best mapping, cost, trace).
+	SearchResult = search.Result
+	// GeneticOptions configures the genetic-algorithm searcher.
+	GeneticOptions = search.GeneticOptions
+	// Objective selects the minimized metric.
+	Objective = search.Objective
+	// AnnealOptions configures the simulated-annealing searcher.
+	AnnealOptions = search.AnnealOptions
+)
+
+// Search objectives.
+const (
+	// ObjectiveEDP minimizes energy x delay (the paper's default).
+	ObjectiveEDP = search.ObjectiveEDP
+	// ObjectiveEnergy minimizes total energy.
+	ObjectiveEnergy = search.ObjectiveEnergy
+	// ObjectiveDelay minimizes cycles (the paper's Section IV-D variant).
+	ObjectiveDelay = search.ObjectiveDelay
+)
+
+var (
+	// Search runs Timeloop-style parallel random-sampling search.
+	Search = search.Random
+	// SearchExhaustive evaluates an entire (small) mapspace.
+	SearchExhaustive = search.Exhaustive
+	// SearchHillClimb runs the greedy local-search extension.
+	SearchHillClimb = search.HillClimb
+	// SearchGenetic runs the GAMMA-style genetic-algorithm extension.
+	SearchGenetic = search.Genetic
+	// ConstructMapping builds one mapping deterministically with the
+	// COSA-style constructive heuristic (no search).
+	ConstructMapping = heuristic.Construct
+	// SearchAnneal runs the simulated-annealing extension.
+	SearchAnneal = search.Anneal
+	// SearchPortfolio splits a budget across all searchers and returns the
+	// overall best.
+	SearchPortfolio = search.Portfolio
+	// SearchParetoFront samples the mapspace and returns the energy-delay
+	// non-dominated mappings.
+	SearchParetoFront = search.ParetoFront
+)
+
+// Configuration files (JSON; see configs/ for examples).
+var (
+	// LoadArch reads an architecture description from a JSON file.
+	LoadArch = config.LoadArch
+	// ParseArch builds an architecture from JSON bytes.
+	ParseArch = config.ParseArch
+	// ParseWorkload builds a workload from JSON bytes.
+	ParseWorkload = config.ParseWorkload
+	// LoadWorkload reads a workload from a JSON file.
+	LoadWorkload = config.LoadWorkload
+	// LoadConstraints reads mapspace constraints from a JSON file.
+	LoadConstraints = config.LoadConstraints
+	// DecodeMapping parses a mapping saved by Mapping.Encode and validates
+	// it against a workload and slot list.
+	DecodeMapping = mapping.Decode
+	// ArchSlots derives the tiling slot list of an architecture.
+	ArchSlots = mapping.Slots
+	// OpenLibrary opens a file-backed cache of best-known mappings.
+	OpenLibrary = library.Open
+	// LibraryKey derives the cache key for a mapping problem.
+	LibraryKey = library.Key
+)
+
+// MappingLibrary is the file-backed cache of best-known mappings.
+type MappingLibrary = library.Store
+
+// Benchmark suites.
+type (
+	// SuiteLayer is one benchmark layer with metadata.
+	SuiteLayer = workloads.Layer
+)
+
+var (
+	// ResNet50 returns the unique ResNet-50 layers with repeat counts.
+	ResNet50 = workloads.ResNet50
+	// DeepBench returns the DeepBench selection.
+	DeepBench = workloads.DeepBench
+	// AlexNetConv2 returns layer 2 of AlexNet (the Fig. 9 study).
+	AlexNetConv2 = workloads.AlexNetConv2
+	// VGG16 returns the VGG-16 extension suite (a PFM-friendly control).
+	VGG16 = workloads.VGG16
+	// TransformerEncoder returns one encoder layer's GEMMs
+	// (TransformerEncoder(384, 768, 12) for BERT-base).
+	TransformerEncoder = workloads.TransformerEncoder
+	// MobileNetV2 returns the depthwise-heavy extension suite.
+	MobileNetV2 = workloads.MobileNetV2
+	// Suites returns every built-in workload suite by name.
+	Suites = workloads.Suites
+)
+
+// Design-space exploration.
+type (
+	// Strategy is one mapping approach in the DSE sweeps (mapspace kind,
+	// optionally with the padding baseline).
+	Strategy = sweep.Strategy
+	// ArrayConfig is one PE-array size in a sweep.
+	ArrayConfig = sweep.ArrayConfig
+	// DesignPoint is one swept configuration's per-strategy EDP.
+	DesignPoint = sweep.DesignPoint
+	// SuiteResult aggregates a suite search on one architecture.
+	SuiteResult = sweep.SuiteResult
+	// ParetoPoint is one point of an area-EDP frontier.
+	ParetoPoint = stats.Point
+)
+
+var (
+	// SweepStrategies returns the paper's three compared strategies.
+	SweepStrategies = sweep.Strategies
+	// EyerissConfigs returns the Section IV-E array sweep range.
+	EyerissConfigs = sweep.EyerissConfigs
+	// Explore sweeps array configurations over a suite (Figs. 13-14).
+	Explore = sweep.Explore
+	// Frontier extracts one strategy's area-EDP Pareto frontier.
+	Frontier = sweep.Frontier
+	// RunSuite searches a whole suite on one architecture.
+	RunSuite = sweep.RunSuite
+	// RunSuiteCached is RunSuite backed by a mapping library.
+	RunSuiteCached = sweep.RunSuiteCached
+	// SearchLayer searches one layer under one strategy.
+	SearchLayer = sweep.SearchLayer
+	// ParetoFrontier computes a generic minimize-both frontier.
+	ParetoFrontier = stats.ParetoFrontier
+)
+
+// Experiments.
+type (
+	// ExperimentConfig tunes experiment fidelity (budgets, averaging runs).
+	ExperimentConfig = exp.Config
+)
+
+var (
+	// RunExperiment regenerates one paper table/figure by identifier
+	// ("fig7a".."fig7d", "table1", "fig8".."fig12", "fig13a/b", "fig14a/b").
+	RunExperiment = exp.Run
+	// ExperimentNames lists the accepted identifiers.
+	ExperimentNames = exp.Names
+	// QuickConfig is a test/benchmark-scale experiment configuration.
+	QuickConfig = exp.Quick
+	// FullConfig is the paper-fidelity experiment configuration.
+	FullConfig = exp.Full
+)

@@ -1,0 +1,101 @@
+package ruby
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFacadeEndToEnd drives the README's library snippet through the public
+// API: build a workload and architecture, search a mapspace, render the
+// winning loop nest.
+func TestFacadeEndToEnd(t *testing.T) {
+	w := MustConv2D(Conv2DParams{N: 1, M: 64, C: 64, P: 56, Q: 56, R: 3, S: 3})
+	a := EyerissLike(14, 12, 128)
+	ev := MustEvaluator(w, a)
+	sp := NewSpace(w, a, RubyS, EyerissRowStationary(w))
+	res := Search(sp, ev, SearchOptions{Seed: 1, Threads: 4, MaxEvaluations: 8000})
+	if res.Best == nil {
+		t.Fatal("no valid mapping")
+	}
+	if !res.BestCost.Valid || res.BestCost.EDP <= 0 {
+		t.Fatalf("bad cost: %+v", res.BestCost)
+	}
+	nest := res.Best.Render(w, a)
+	for _, frag := range []string{"--- DRAM ---", "--- GLB ---", "--- PE ---", "mac()"} {
+		if !strings.Contains(nest, frag) {
+			t.Errorf("rendered nest missing %q:\n%s", frag, nest)
+		}
+	}
+}
+
+func TestFacadeToyStory(t *testing.T) {
+	w := MustVector1D("d100", 100)
+	a := ToyGLB(6, 512)
+	ev := MustEvaluator(w, a)
+
+	pfm := SearchExhaustive(NewSpace(w, a, PFM, Constraints{FixedPerms: true}), ev, 0)
+	rs := SearchExhaustive(NewSpace(w, a, RubyS, Constraints{FixedPerms: true}), ev, 0)
+	if pfm.BestCost.Cycles != 20 || rs.BestCost.Cycles != 17 {
+		t.Errorf("cycles = %f / %f, want 20 / 17", pfm.BestCost.Cycles, rs.BestCost.Cycles)
+	}
+}
+
+func TestFacadeSuites(t *testing.T) {
+	if len(ResNet50()) != 22 {
+		t.Error("ResNet50 layer count")
+	}
+	if len(DeepBench()) < 10 {
+		t.Error("DeepBench size")
+	}
+	if AlexNetConv2().Bound("Q") != 27 {
+		t.Error("AlexNet conv2 shape")
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	if len(ExperimentNames()) != 14 {
+		t.Errorf("experiments = %d, want 14 (every table and figure)", len(ExperimentNames()))
+	}
+	rep, err := RunExperiment("table1", QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.String(), "Table I") {
+		t.Error("table1 report wrong")
+	}
+}
+
+func TestFacadeSweepTypes(t *testing.T) {
+	if len(SweepStrategies()) != 3 {
+		t.Error("strategies")
+	}
+	if len(EyerissConfigs()) < 8 {
+		t.Error("configs")
+	}
+	pts := ParetoFrontier([]ParetoPoint{{X: 1, Y: 2}, {X: 2, Y: 1}, {X: 2, Y: 3}})
+	if len(pts) != 2 {
+		t.Errorf("frontier = %d points", len(pts))
+	}
+}
+
+func TestFacadePadding(t *testing.T) {
+	w := MustVector1D("d127", 127)
+	p, err := PadWorkload(w, map[string]int{"X": 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Bound("X") != 128 {
+		t.Errorf("padded = %d", p.Bound("X"))
+	}
+}
+
+func TestFacadeHillClimb(t *testing.T) {
+	w := MustMatmul("mm", 100, 100, 1)
+	a := ToyLinear(16, 2048)
+	ev := MustEvaluator(w, a)
+	sp := NewSpace(w, a, RubyS, Constraints{})
+	res := SearchHillClimb(sp, ev, SearchOptions{Seed: 1}, 100, 100)
+	if res.Best == nil {
+		t.Fatal("hill climb found nothing")
+	}
+}
