@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build test race bench fmt vet check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The engine and searchers are the concurrency-heavy packages; the full
+# tree under -race is the release gate.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x ./...
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+check: fmt vet build test race

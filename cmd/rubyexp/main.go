@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"ruby/internal/engine"
 	"ruby/internal/exp"
 )
 
@@ -32,6 +34,8 @@ func main() {
 		seed    = flag.Int64("seed", 0, "override base RNG seed")
 		csvDir  = flag.String("csv", "", "also write each experiment's tables as CSV files into this directory")
 		svgDir  = flag.String("svg", "", "also render each experiment's figures as SVG files into this directory")
+		timeout = flag.Duration("timeout", 0, "wall-time budget per experiment; on expiry searches stop and report best-so-far (0 = none)")
+		cacheN  = flag.Int("cache", 0, "evaluation memo-cache entries per evaluator (0 = disabled)")
 	)
 	flag.Parse()
 
@@ -51,6 +55,9 @@ func main() {
 	if *seed != 0 {
 		cfg.Opt.Seed = *seed
 	}
+	if *cacheN > 0 {
+		cfg.Engine = engine.Config{CacheEntries: *cacheN}
+	}
 
 	names := []string{*name}
 	switch *name {
@@ -61,11 +68,21 @@ func main() {
 	}
 	for _, n := range names {
 		start := time.Now()
-		rep, err := exp.Run(n, cfg)
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if *timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+		}
+		rep, err := exp.RunCtx(ctx, n, cfg)
 		if err != nil {
+			cancel()
 			fmt.Fprintf(os.Stderr, "rubyexp: %v\n", err)
 			os.Exit(1)
 		}
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "rubyexp: %s hit the %v timeout; results reflect only the search budget spent\n", n, *timeout)
+		}
+		cancel()
 		fmt.Println(strings.TrimRight(rep.String(), "\n"))
 		fmt.Printf("(%s in %v)\n\n", n, time.Since(start).Round(time.Millisecond))
 		if *csvDir != "" {

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,7 @@ import (
 	"ruby/internal/arch"
 	"ruby/internal/config"
 	"ruby/internal/energy"
+	"ruby/internal/engine"
 	"ruby/internal/heuristic"
 	"ruby/internal/library"
 	"ruby/internal/mapping"
@@ -47,6 +49,9 @@ func main() {
 		noImp    = flag.Int64("no-improve", 3000, "stop after this many consecutive non-improving valid mappings")
 		threads  = flag.Int("threads", 0, "search threads (default: CPUs, max 24)")
 		seed     = flag.Int64("seed", 1, "RNG seed")
+		timeout  = flag.Duration("timeout", 0, "wall-time budget for the search; on expiry the best mapping so far is printed (0 = none)")
+		cacheN   = flag.Int("cache", 0, "evaluation memo-cache entries (0 = disabled)")
+		metrics  = flag.Bool("metrics", false, "print evaluation-pipeline counters after the search")
 		list     = flag.Bool("list", false, "list named workloads and exit")
 		savePath = flag.String("save", "", "write the best mapping as JSON to this path")
 		libDir   = flag.String("library", "", "mapping-library directory: reuse cached best mappings, store new ones")
@@ -150,13 +155,21 @@ func main() {
 			MaxEvaluations: *evals, ConsecutiveNoImprove: *noImp,
 			Objective: obj,
 		}
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		counters := &engine.Counters{}
+		eng := engine.Config{CacheEntries: *cacheN, Metrics: counters}.New(ev)
 		switch *searcher {
 		case "random":
-			res = search.Random(sp, ev, opt)
+			res = search.RandomCtx(ctx, sp, eng, opt)
 		case "genetic":
 			res = search.Genetic(sp, ev, search.GeneticOptions{Seed: *seed, Objective: obj})
 		case "hillclimb":
-			res = search.HillClimb(sp, ev, opt, 1000, 2000)
+			res = search.HillClimbCtx(ctx, sp, eng, opt, 1000, 2000)
 		case "anneal":
 			steps := int(*evals)
 			if steps <= 0 {
@@ -164,7 +177,7 @@ func main() {
 			}
 			res = search.Anneal(sp, ev, search.AnnealOptions{Seed: *seed, Steps: steps, Objective: obj})
 		case "portfolio":
-			res = search.Portfolio(sp, ev, opt)
+			res = search.PortfolioCtx(ctx, sp, eng, opt)
 		case "heuristic":
 			m, c, err := heuristic.Construct(ev, k, cons)
 			if err != nil {
@@ -177,9 +190,17 @@ func main() {
 				fatal(err)
 			}
 			opt.WarmStart = m
-			res = search.Random(sp, ev, opt)
+			res = search.RandomCtx(ctx, sp, eng, opt)
 		default:
 			fatal(fmt.Errorf("unknown searcher %q", *searcher))
+		}
+		if ctx.Err() != nil {
+			fmt.Printf("search timed out after %s; reporting best mapping so far\n\n", *timeout)
+		}
+		if *metrics {
+			s := counters.Snapshot()
+			fmt.Printf("pipeline: %d evaluations (%.1f%% valid), %d cache hits (%.1f%%), %d improvements, %.2fs search time\n\n",
+				s.Evaluations, 100*s.ValidRate, s.CacheHits, 100*s.CacheHitRate, s.Improvements, s.SearchSeconds)
 		}
 	}
 	if res.Best == nil {

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"log"
 	"net/http"
@@ -27,9 +28,17 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8731", "listen address")
 	flag.Parse()
 
+	// Pipeline counters are served at /v1/metrics and, via expvar, at
+	// /debug/vars alongside the runtime's variables.
+	handler, counters := server.NewWithMetrics()
+	counters.Publish("ruby_engine")
+	mux := http.NewServeMux()
+	mux.Handle("/", handler)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           server.New(),
+		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	log.Printf("rubyserve listening on %s", *addr)

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,7 @@ import (
 
 	"ruby/internal/arch"
 	"ruby/internal/config"
+	"ruby/internal/engine"
 	"ruby/internal/library"
 	"ruby/internal/mapspace"
 	"ruby/internal/search"
@@ -39,6 +41,9 @@ func main() {
 		threads  = flag.Int("threads", 0, "search threads")
 		seed     = flag.Int64("seed", 1, "RNG seed")
 		libDir   = flag.String("library", "", "mapping-library directory: reuse cached best mappings across runs")
+		timeout  = flag.Duration("timeout", 0, "wall-time budget for the whole run; on expiry the run aborts (0 = none)")
+		parallel = flag.Int("parallel", 0, "layers searched concurrently (0 = auto, 1 = serial)")
+		cacheN   = flag.Int("cache", 0, "per-layer evaluation memo-cache entries (0 = disabled)")
 		list     = flag.Bool("list", false, "list suites and exit")
 	)
 	flag.Parse()
@@ -95,7 +100,18 @@ func main() {
 		}
 	}
 
-	opt := search.Options{Seed: *seed, Threads: *threads, MaxEvaluations: *evals}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	so := sweep.SuiteOptions{
+		Search:   search.Options{Seed: *seed, Threads: *threads, MaxEvaluations: *evals},
+		Engine:   engine.Config{CacheEntries: *cacheN},
+		Library:  lib,
+		Parallel: *parallel,
+	}
 	var results []*sweep.SuiteResult
 	var names []string
 	for _, ks := range strings.Split(*kinds, ",") {
@@ -104,7 +120,7 @@ func main() {
 			fatal(err)
 		}
 		st := sweep.Strategy{Name: kind.String(), Kind: kind}
-		sr, err := sweep.RunSuiteCached(layers, a, st, consFn, opt, lib)
+		sr, err := sweep.RunSuiteCtx(ctx, layers, a, st, consFn, so)
 		if err != nil {
 			fatal(err)
 		}

@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"sync"
+
+	"ruby/internal/nest"
+)
+
+// memoCache is a sharded, bounded, concurrency-safe map from canonical
+// mapping signatures to costs. Eviction is generational ("flip-flop"): each
+// shard keeps a current and a previous map; when the current map fills, it
+// becomes the previous one and a fresh map starts. Hits in the previous
+// generation are promoted. This bounds residency at ~2x the configured
+// capacity with O(1) operations and no per-entry bookkeeping — recently hot
+// keys survive rotation, cold ones age out wholesale.
+type memoCache struct {
+	shards [cacheShards]cacheShard
+}
+
+const cacheShards = 16
+
+type cacheShard struct {
+	mu        sync.Mutex
+	cur, prev map[string]nest.Cost
+	cap       int // max entries per generation in this shard
+}
+
+func newMemoCache(entries int) *memoCache {
+	perShard := entries / cacheShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &memoCache{}
+	for i := range c.shards {
+		c.shards[i].cap = perShard
+		c.shards[i].cur = make(map[string]nest.Cost)
+	}
+	return c
+}
+
+// shardOf hashes a key to its shard (FNV-1a, inlined to avoid allocation).
+func (c *memoCache) shardOf(key string) *cacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h%cacheShards]
+}
+
+func (c *memoCache) get(key string) (nest.Cost, bool) {
+	s := c.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.cur[key]; ok {
+		return v, true
+	}
+	if v, ok := s.prev[key]; ok {
+		s.insert(key, v) // promote so it survives the next rotation
+		return v, true
+	}
+	return nest.Cost{}, false
+}
+
+func (c *memoCache) put(key string, v nest.Cost) {
+	s := c.shardOf(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.insert(key, v)
+}
+
+// insert adds to the current generation, rotating when full. Callers hold
+// the shard lock.
+func (s *cacheShard) insert(key string, v nest.Cost) {
+	s.cur[key] = v
+	if len(s.cur) >= s.cap {
+		s.prev = s.cur
+		s.cur = make(map[string]nest.Cost, s.cap)
+	}
+}
+
+// len reports resident entries across both generations (for tests).
+func (c *memoCache) len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.cur) + len(s.prev)
+		s.mu.Unlock()
+	}
+	return n
+}

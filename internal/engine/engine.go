@@ -1,0 +1,158 @@
+// Package engine is the evaluation pipeline between the searchers and the
+// pure cost model. Every consumer that evaluates mappings in bulk — the
+// searchers, the suite sweeps, the experiment runners, the HTTP server —
+// routes through an Engine, which layers three production concerns on top of
+// nest.Evaluator without touching the model itself:
+//
+//   - cancellation: batch evaluation honors a context, so searches stop
+//     promptly on deadlines and client disconnects;
+//   - memoization: an optional concurrency-safe cache keyed by the canonical
+//     mapping signature (mapping.Key) stops random sampling in small or
+//     heavily constrained mapspaces from re-paying full model cost for
+//     duplicate samples;
+//   - instrumentation: a pluggable Metrics hook counts evaluations, validity,
+//     cache hits, improvement events and per-search wall time, with an
+//     atomic default implementation exportable via expvar/JSON.
+//
+// The Engine is safe for concurrent use; a zero Config yields a transparent
+// pass-through (no cache, no metrics) so Engine results are always
+// bit-identical to calling nest.Evaluator.Evaluate directly.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ruby/internal/mapping"
+	"ruby/internal/nest"
+)
+
+// CancelledReason marks a Cost slot that was skipped because the batch's
+// context was cancelled before the mapping was evaluated. It can never
+// collide with a real model verdict (model reasons never carry the
+// "engine:" prefix).
+const CancelledReason = "engine: evaluation cancelled"
+
+// Cancelled reports whether a cost is a cancellation placeholder rather than
+// a real model verdict.
+func Cancelled(c *nest.Cost) bool { return !c.Valid && c.Reason == CancelledReason }
+
+// Config tunes an Engine. The zero value is a transparent pass-through.
+type Config struct {
+	// CacheEntries bounds the evaluation cache (approximately; the
+	// generational eviction keeps at most ~2x this many entries resident).
+	// 0 disables caching entirely.
+	CacheEntries int
+	// Metrics receives evaluation and search events. nil disables
+	// instrumentation.
+	Metrics Metrics
+	// Workers bounds EvaluateBatch parallelism (default: NumCPU, capped at
+	// 24 to match the paper's search setup).
+	Workers int
+}
+
+// Engine evaluates mappings for one (workload, architecture) pair.
+type Engine struct {
+	ev      *nest.Evaluator
+	cache   *memoCache
+	metrics Metrics
+	workers int
+}
+
+// New builds an Engine from a Config. A nil-safe Metrics and a worker
+// default are filled in.
+func (c Config) New(ev *nest.Evaluator) *Engine {
+	e := &Engine{ev: ev, metrics: c.Metrics, workers: c.Workers}
+	if e.metrics == nil {
+		e.metrics = NopMetrics
+	}
+	if e.workers <= 0 {
+		e.workers = runtime.NumCPU()
+		if e.workers > 24 {
+			e.workers = 24
+		}
+	}
+	if c.CacheEntries > 0 {
+		e.cache = newMemoCache(c.CacheEntries)
+	}
+	return e
+}
+
+// New builds a pass-through Engine (no cache, no metrics) — the adapter the
+// legacy non-context search entry points use.
+func New(ev *nest.Evaluator) *Engine { return Config{}.New(ev) }
+
+// Evaluator exposes the wrapped pure cost model.
+func (e *Engine) Evaluator() *nest.Evaluator { return e.ev }
+
+// Metrics exposes the engine's metrics hook (never nil), so searchers can
+// record search-level events (improvements, wall time) alongside the
+// per-evaluation counters the Engine records itself.
+func (e *Engine) Metrics() Metrics { return e.metrics }
+
+// Evaluate runs one mapping through the cache and the model. Cached costs
+// are bit-identical to fresh ones: the model is deterministic, and the cache
+// key (mapping.Key) canonicalizes exactly the features the model reads.
+// The returned Cost shares its per-level slices with the cache; callers
+// treat costs as read-only (all existing consumers do).
+func (e *Engine) Evaluate(m *mapping.Mapping) nest.Cost {
+	if e.cache == nil {
+		c := e.ev.Evaluate(m)
+		e.metrics.Evaluation(c.Valid, false)
+		return c
+	}
+	key := m.Key(e.ev.Work, e.ev.Slots)
+	if c, ok := e.cache.get(key); ok {
+		e.metrics.Evaluation(c.Valid, true)
+		return c
+	}
+	c := e.ev.Evaluate(m)
+	e.cache.put(key, c)
+	e.metrics.Evaluation(c.Valid, false)
+	return c
+}
+
+// EvaluateBatch evaluates a slice of mappings in parallel, preserving order.
+// When ctx is cancelled mid-batch, the remaining slots are filled with
+// CancelledReason placeholders instead of being evaluated; callers detect
+// them with Cancelled. A nil ctx means no cancellation.
+func (e *Engine) EvaluateBatch(ctx context.Context, ms []*mapping.Mapping) []nest.Cost {
+	out := make([]nest.Cost, len(ms))
+	workers := e.workers
+	if workers > len(ms) {
+		workers = len(ms)
+	}
+	if workers <= 1 {
+		for i, m := range ms {
+			if ctx != nil && ctx.Err() != nil {
+				out[i] = nest.Cost{Valid: false, Reason: CancelledReason}
+				continue
+			}
+			out[i] = e.Evaluate(m)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for t := 0; t < workers; t++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ms) {
+					return
+				}
+				if ctx != nil && ctx.Err() != nil {
+					out[i] = nest.Cost{Valid: false, Reason: CancelledReason}
+					continue
+				}
+				out[i] = e.Evaluate(ms[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,100 @@
+package engine
+
+import (
+	"expvar"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics receives evaluation-pipeline events. Implementations must be safe
+// for concurrent use: every search worker calls Evaluation on the hot path.
+type Metrics interface {
+	// Evaluation is called once per Engine.Evaluate: valid is the model's
+	// verdict, cached reports whether the cost came from the memo cache.
+	Evaluation(valid, cached bool)
+	// Improvement is called when a search's incumbent best improves, with
+	// the evaluation ordinal and the new objective value.
+	Improvement(evals int64, value float64)
+	// SearchDone is called once per completed search with its wall time and
+	// final counters.
+	SearchDone(wall time.Duration, evaluated, valid int64)
+}
+
+// NopMetrics discards all events; it is the default hook.
+var NopMetrics Metrics = nopMetrics{}
+
+type nopMetrics struct{}
+
+func (nopMetrics) Evaluation(bool, bool)                  {}
+func (nopMetrics) Improvement(int64, float64)             {}
+func (nopMetrics) SearchDone(time.Duration, int64, int64) {}
+
+// Counters is the default Metrics implementation: lock-free atomic counters
+// cheap enough for the evaluation hot path, with a JSON-friendly Snapshot
+// and optional expvar export.
+type Counters struct {
+	evaluations  atomic.Int64
+	valid        atomic.Int64
+	cacheHits    atomic.Int64
+	improvements atomic.Int64
+	searches     atomic.Int64
+	wallNanos    atomic.Int64
+}
+
+func (c *Counters) Evaluation(valid, cached bool) {
+	c.evaluations.Add(1)
+	if valid {
+		c.valid.Add(1)
+	}
+	if cached {
+		c.cacheHits.Add(1)
+	}
+}
+
+func (c *Counters) Improvement(int64, float64) { c.improvements.Add(1) }
+
+func (c *Counters) SearchDone(wall time.Duration, _, _ int64) {
+	c.searches.Add(1)
+	c.wallNanos.Add(int64(wall))
+}
+
+// Snapshot is a point-in-time copy of the counters with derived rates.
+type Snapshot struct {
+	Evaluations   int64   `json:"evaluations"`
+	Valid         int64   `json:"valid"`
+	ValidRate     float64 `json:"valid_rate"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+	Improvements  int64   `json:"improvements"`
+	Searches      int64   `json:"searches"`
+	SearchSeconds float64 `json:"search_seconds"`
+}
+
+// Snapshot reads the counters. The reads are individually atomic (not a
+// consistent cut), which is fine for monitoring.
+func (c *Counters) Snapshot() Snapshot {
+	s := Snapshot{
+		Evaluations:   c.evaluations.Load(),
+		Valid:         c.valid.Load(),
+		CacheHits:     c.cacheHits.Load(),
+		Improvements:  c.improvements.Load(),
+		Searches:      c.searches.Load(),
+		SearchSeconds: float64(c.wallNanos.Load()) / 1e9,
+	}
+	if s.Evaluations > 0 {
+		s.ValidRate = float64(s.Valid) / float64(s.Evaluations)
+		s.CacheHitRate = float64(s.CacheHits) / float64(s.Evaluations)
+	}
+	return s
+}
+
+// Publish registers the counters under name in the process-wide expvar
+// registry (visible at /debug/vars when expvar's handler is mounted). It is
+// a no-op when the name is already taken, so repeated construction in tests
+// cannot panic.
+func (c *Counters) Publish(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return c.Snapshot() }))
+}

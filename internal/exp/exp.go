@@ -12,9 +12,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
+	"ruby/internal/engine"
+	"ruby/internal/nest"
 	"ruby/internal/search"
+	"ruby/internal/sweep"
 )
 
 // Config tunes experiment fidelity.
@@ -24,6 +28,10 @@ type Config struct {
 	// Runs averages stochastic-search experiments over this many seeds
 	// (the paper uses 100 for Fig. 7). Minimum 1.
 	Runs int
+	// Engine configures the evaluation pipeline (memo cache, metrics hook)
+	// each experiment builds per evaluator. The zero value is a transparent
+	// pass-through, so results for fixed seeds are unchanged by default.
+	Engine engine.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -59,6 +67,17 @@ func (c Config) seeded(run int) search.Options {
 	return o
 }
 
+// newEngine builds the evaluation pipeline an experiment routes ev through.
+func (c Config) newEngine(ev *nest.Evaluator) *engine.Engine {
+	return c.Engine.New(ev)
+}
+
+// suiteOptions bundles the experiment's search and engine configuration for
+// suite runs (Figs. 10-14).
+func (c Config) suiteOptions() sweep.SuiteOptions {
+	return sweep.SuiteOptions{Search: c.Opt, Engine: c.Engine}
+}
+
 // Names lists the experiment identifiers accepted by Run (cmd/rubyexp).
 func Names() []string {
 	return []string{
@@ -71,33 +90,40 @@ func Names() []string {
 
 // Run executes one experiment by identifier and returns its report.
 func Run(name string, cfg Config) (*Report, error) {
+	return RunCtx(context.Background(), name, cfg)
+}
+
+// RunCtx is Run under a context: cancellation aborts the in-flight searches
+// promptly and surfaces ctx's error (stochastic experiments may instead
+// return a best-effort report built from the evaluations finished so far).
+func RunCtx(ctx context.Context, name string, cfg Config) (*Report, error) {
 	switch name {
 	case "fig7a", "fig7b", "fig7c", "fig7d":
-		return Fig7(name[4], cfg)
+		return fig7(ctx, name[4], cfg)
 	case "table1":
 		return Table1(cfg)
 	case "fig8":
-		return Fig8(cfg)
+		return fig8(ctx, cfg)
 	case "fig9":
-		return Fig9(cfg)
+		return fig9(ctx, cfg)
 	case "fig10":
-		return Fig10(cfg)
+		return fig10(ctx, cfg)
 	case "fig11":
-		return Fig11(cfg)
+		return fig11(ctx, cfg)
 	case "fig12":
-		return Fig12(cfg)
+		return fig12(ctx, cfg)
 	case "fig13a":
-		return Fig13(SuiteResNet, cfg)
+		return fig13(ctx, SuiteResNet, cfg)
 	case "fig13b":
-		return Fig13(SuiteDeepBench, cfg)
+		return fig13(ctx, SuiteDeepBench, cfg)
 	case "fig14a":
-		return Fig14(SuiteResNet, cfg)
+		return fig14(ctx, SuiteResNet, cfg)
 	case "fig14b":
-		return Fig14(SuiteDeepBench, cfg)
+		return fig14(ctx, SuiteDeepBench, cfg)
 	default:
 		for _, ext := range ExtensionNames() {
 			if name == ext {
-				return RunExtension(name, cfg)
+				return runExtension(ctx, name, cfg)
 			}
 		}
 		return nil, fmt.Errorf("exp: unknown experiment %q (want one of %v or %v)",

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"ruby/internal/analysis"
@@ -23,22 +24,26 @@ func ExtensionNames() []string {
 
 // RunExtension executes one extension experiment.
 func RunExtension(name string, cfg Config) (*Report, error) {
+	return runExtension(context.Background(), name, cfg)
+}
+
+func runExtension(ctx context.Context, name string, cfg Config) (*Report, error) {
 	switch name {
 	case "ext-mobilenetv2":
-		return extensionSuite("MobileNetV2 (depthwise + expanded pointwise; channels with factor 3)",
+		return extensionSuite(ctx, "MobileNetV2 (depthwise + expanded pointwise; channels with factor 3)",
 			workloads.MobileNetV2(), extMobileNetConstraints, cfg)
 	case "ext-vgg16":
-		return extensionSuite("VGG-16 (power-of-two channels misaligned with 14x12)",
+		return extensionSuite(ctx, "VGG-16 (power-of-two channels misaligned with 14x12)",
 			workloads.VGG16(), mapspace.EyerissRowStationary, cfg)
 	case "ext-transformer":
-		return extensionSuite("Transformer encoder (BERT-base, seq 384)",
+		return extensionSuite(ctx, "Transformer encoder (BERT-base, seq 384)",
 			workloads.TransformerEncoder(384, 768, 12), mapspace.EyerissRowStationary, cfg)
 	case "ext-heuristic":
-		return HeuristicStudy(cfg)
+		return heuristicStudy(ctx, cfg)
 	case "ext-density":
 		return DensityStudy(cfg)
 	case "ablations":
-		return Ablations(cfg)
+		return ablations(ctx, cfg)
 	default:
 		return nil, fmt.Errorf("exp: unknown extension %q (want one of %v)", name, ExtensionNames())
 	}
@@ -54,7 +59,7 @@ func extMobileNetConstraints(w *workload.Workload) mapspace.Constraints {
 	}
 }
 
-func extensionSuite(title string, layers []workloads.Layer,
+func extensionSuite(ctx context.Context, title string, layers []workloads.Layer,
 	consFn func(*workload.Workload) mapspace.Constraints, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	a := arch.EyerissLike(14, 12, 128)
@@ -71,11 +76,15 @@ func extensionSuite(title string, layers []workloads.Layer,
 			return nil, err
 		}
 		cons := consFn(l.Work)
+		eng := cfg.newEngine(ev)
 		best := map[mapspace.Kind]nest.Cost{}
 		for _, kind := range []mapspace.Kind{mapspace.PFM, mapspace.RubyS} {
 			sp := mapspace.New(l.Work, a, kind, cons)
-			res := search.Random(sp, ev, cfg.Opt)
+			res := search.RandomCtx(ctx, sp, eng, cfg.Opt)
 			if res.Best == nil {
+				if ctx != nil && ctx.Err() != nil {
+					return nil, ctx.Err()
+				}
 				return nil, fmt.Errorf("exp: extension %s: no valid %v mapping", l.Name, kind)
 			}
 			best[kind] = res.BestCost
@@ -94,6 +103,10 @@ func extensionSuite(title string, layers []workloads.Layer,
 // search at paper budgets and against random search warm-started from the
 // constructed mapping, across the ResNet-50 pointwise layers.
 func HeuristicStudy(cfg Config) (*Report, error) {
+	return heuristicStudy(context.Background(), cfg)
+}
+
+func heuristicStudy(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	a := arch.EyerissLike(14, 12, 128)
 	rep := &Report{Name: "Extension: constructive heuristic vs search (Ruby-S, ResNet-50)"}
@@ -116,11 +129,15 @@ func HeuristicStudy(cfg Config) (*Report, error) {
 			return nil, err
 		}
 		sp := mapspace.New(l.Work, a, mapspace.RubyS, cons)
-		cold := search.Random(sp, ev, cfg.Opt)
+		eng := cfg.newEngine(ev)
+		cold := search.RandomCtx(ctx, sp, eng, cfg.Opt)
 		warmOpt := cfg.Opt
 		warmOpt.WarmStart = hm
-		warm := search.Random(sp, ev, warmOpt)
+		warm := search.RandomCtx(ctx, sp, eng, warmOpt)
 		if cold.Best == nil || warm.Best == nil {
+			if ctx != nil && ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			return nil, fmt.Errorf("exp: heuristic study: search failed on %s", l.Name)
 		}
 		ratio := hc.EDP / cold.BestCost.EDP
@@ -171,6 +188,10 @@ func DensityStudy(cfg Config) (*Report, error) {
 // sampler (measured as Ruby-S's improvement over PFM at a fixed budget on a
 // misaligned pointwise layer).
 func Ablations(cfg Config) (*Report, error) {
+	return ablations(context.Background(), cfg)
+}
+
+func ablations(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	rep := &Report{Name: "Ablations"}
 
@@ -189,8 +210,11 @@ func Ablations(cfg Config) (*Report, error) {
 			return 0, err
 		}
 		sp := mapspace.New(layer.Work, a, mapspace.RubyS, mapspace.EyerissRowStationary(layer.Work))
-		res := search.Random(sp, ev, cfg.Opt)
+		res := search.RandomCtx(ctx, sp, cfg.newEngine(ev), cfg.Opt)
 		if res.Best == nil {
+			if ctx != nil && ctx.Err() != nil {
+				return 0, ctx.Err()
+			}
 			return 0, fmt.Errorf("exp: ablations: no valid mapping")
 		}
 		return res.BestCost.EDP, nil
@@ -232,9 +256,13 @@ func Ablations(cfg Config) (*Report, error) {
 		return nil, err
 	}
 	cons := mapspace.EyerissRowStationary(layer.Work)
-	pfm := search.Random(mapspace.New(layer.Work, aEy, mapspace.PFM, cons), ev, cfg.Opt)
-	rs := search.Random(mapspace.New(layer.Work, aEy, mapspace.RubyS, cons), ev, cfg.Opt)
+	eng := cfg.newEngine(ev)
+	pfm := search.RandomCtx(ctx, mapspace.New(layer.Work, aEy, mapspace.PFM, cons), eng, cfg.Opt)
+	rs := search.RandomCtx(ctx, mapspace.New(layer.Work, aEy, mapspace.RubyS, cons), eng, cfg.Opt)
 	if pfm.Best == nil || rs.Best == nil {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, fmt.Errorf("exp: ablations: sampler study found no valid mapping")
 	}
 	t3 := &stats.Table{

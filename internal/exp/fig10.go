@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"ruby/internal/arch"
@@ -16,15 +17,16 @@ import (
 // layerComparison runs PFM and Ruby-S over a suite on one architecture and
 // renders the per-layer EDP/energy/cycle ratios (Ruby-S normalized to PFM),
 // plus the whole-network summary — the format of Figs. 10-12.
-func layerComparison(name string, layers []workloads.Layer, a *arch.Arch,
+func layerComparison(ctx context.Context, name string, layers []workloads.Layer, a *arch.Arch,
 	consFn sweep.ConstraintFn, cfg Config) (*Report, error) {
 
 	cfg = cfg.withDefaults()
-	pfm, err := sweep.RunSuite(layers, a, sweep.Strategy{Name: "PFM", Kind: mapspace.PFM}, consFn, cfg.Opt)
+	so := cfg.suiteOptions()
+	pfm, err := sweep.RunSuiteCtx(ctx, layers, a, sweep.Strategy{Name: "PFM", Kind: mapspace.PFM}, consFn, so)
 	if err != nil {
 		return nil, err
 	}
-	rubyS, err := sweep.RunSuite(layers, a, sweep.Strategy{Name: "Ruby-S", Kind: mapspace.RubyS}, consFn, cfg.Opt)
+	rubyS, err := sweep.RunSuiteCtx(ctx, layers, a, sweep.Strategy{Name: "Ruby-S", Kind: mapspace.RubyS}, consFn, so)
 	if err != nil {
 		return nil, err
 	}
@@ -81,7 +83,11 @@ func layerComparison(name string, layers []workloads.Layer, a *arch.Arch,
 // at 2% higher energy, driven by pointwise and dense layers whose dimensions
 // misalign with the 14x12 array.
 func Fig10(cfg Config) (*Report, error) {
-	return layerComparison(
+	return fig10(context.Background(), cfg)
+}
+
+func fig10(ctx context.Context, cfg Config) (*Report, error) {
+	return layerComparison(ctx,
 		"Fig 10: ResNet-50 on Eyeriss-like 14x12 (Ruby-S vs PFM)",
 		workloads.ResNet50(), arch.EyerissLike(14, 12, 128),
 		mapspace.EyerissRowStationary, cfg)
@@ -92,7 +98,11 @@ func Fig10(cfg Config) (*Report, error) {
 // vision layers (the factor 7 aligns with the 14x12 array) and up to 33%
 // lower EDP on speech/face/speaker workloads, averaging ~10%.
 func Fig11(cfg Config) (*Report, error) {
-	rep, err := layerComparison(
+	return fig11(context.Background(), cfg)
+}
+
+func fig11(ctx context.Context, cfg Config) (*Report, error) {
+	rep, err := layerComparison(ctx,
 		"Fig 11: DeepBench on Eyeriss-like 14x12 (Ruby-S vs PFM)",
 		workloads.DeepBench(), arch.EyerissLike(14, 12, 128),
 		mapspace.EyerissRowStationary, cfg)
@@ -104,14 +114,14 @@ func Fig11(cfg Config) (*Report, error) {
 	// Section IV-D also reports a latency-targeted run: "When targeting
 	// latency instead of EDP, Ruby-S generates mappings that reduce the
 	// latency 14% compared to PFMs."
-	if err := fig11Latency(rep, cfg); err != nil {
+	if err := fig11Latency(ctx, rep, cfg); err != nil {
 		return nil, err
 	}
 	return rep, nil
 }
 
 // fig11Latency appends the delay-objective comparison to the Fig. 11 report.
-func fig11Latency(rep *Report, cfg Config) error {
+func fig11Latency(ctx context.Context, rep *Report, cfg Config) error {
 	cfg = cfg.withDefaults()
 	a := arch.EyerissLike(14, 12, 128)
 	tb := &stats.Table{
@@ -125,13 +135,17 @@ func fig11Latency(rep *Report, cfg Config) error {
 			return err
 		}
 		cons := mapspace.EyerissRowStationary(l.Work)
+		eng := cfg.newEngine(ev)
 		cycles := map[mapspace.Kind]float64{}
 		for _, kind := range []mapspace.Kind{mapspace.PFM, mapspace.RubyS} {
 			opt := cfg.Opt
 			opt.Objective = search.ObjectiveDelay
 			sp := mapspace.New(l.Work, a, kind, cons)
-			res := search.Random(sp, ev, opt)
+			res := search.RandomCtx(ctx, sp, eng, opt)
 			if res.Best == nil {
+				if ctx != nil && ctx.Err() != nil {
+					return ctx.Err()
+				}
 				return fmt.Errorf("exp: fig11 latency: no valid %v mapping for %s", kind, l.Name)
 			}
 			cycles[kind] = res.BestCost.Cycles
@@ -152,14 +166,18 @@ func fig11Latency(rep *Report, cfg Config) error {
 // 10% net EDP improvement (up to 25% per layer) on the 15-PE configuration
 // and 45% on the 9-PE one.
 func Fig12(cfg Config) (*Report, error) {
-	rep, err := layerComparison(
+	return fig12(context.Background(), cfg)
+}
+
+func fig12(ctx context.Context, cfg Config) (*Report, error) {
+	rep, err := layerComparison(ctx,
 		"Fig 12: ResNet-50 on Simba-like 15 PE / 4x4-wide (Ruby-S vs PFM)",
 		workloads.ResNet50(), arch.SimbaLike(15, 4, 4),
 		mapspace.SimbaDataflow, cfg)
 	if err != nil {
 		return nil, err
 	}
-	small, err := layerComparison(
+	small, err := layerComparison(ctx,
 		"Fig 12 (aux): ResNet-50 on Simba-like 9 PE / 3x3-wide",
 		workloads.ResNet50(), arch.SimbaLike(9, 3, 3),
 		mapspace.SimbaDataflow, cfg)

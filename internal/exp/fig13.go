@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"ruby/internal/mapspace"
@@ -46,14 +47,14 @@ func suiteLayers(s Suite, forSweep bool) ([]workloads.Layer, error) {
 // runSweep executes the Section IV-E design-space exploration for a suite:
 // Eyeriss-like arrays from 2x7 to 16x16, three strategies (PFM, PFM+padding,
 // Ruby-S), EDP per configuration.
-func runSweep(s Suite, cfg Config) ([]sweep.DesignPoint, error) {
+func runSweep(ctx context.Context, s Suite, cfg Config) ([]sweep.DesignPoint, error) {
 	cfg = cfg.withDefaults()
 	layers, err := suiteLayers(s, true)
 	if err != nil {
 		return nil, err
 	}
-	return sweep.Explore(layers, sweep.EyerissConfigs(), 128,
-		sweep.Strategies(), mapspace.EyerissRowStationary, cfg.Opt)
+	return sweep.ExploreCtx(ctx, layers, sweep.EyerissConfigs(), 128,
+		sweep.Strategies(), mapspace.EyerissRowStationary, cfg.suiteOptions())
 }
 
 // Fig13 reproduces Fig. 13: the area-EDP trade-off across Eyeriss-like array
@@ -61,7 +62,11 @@ func runSweep(s Suite, cfg Config) ([]sweep.DesignPoint, error) {
 // claim: Ruby-S mappings form the Pareto frontier for both ResNet-50 and
 // DeepBench.
 func Fig13(s Suite, cfg Config) (*Report, error) {
-	points, err := runSweep(s, cfg)
+	return fig13(context.Background(), s, cfg)
+}
+
+func fig13(ctx context.Context, s Suite, cfg Config) (*Report, error) {
+	points, err := runSweep(ctx, s, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -124,7 +129,11 @@ func Fig13(s Suite, cfg Config) (*Report, error) {
 // 60% (50-55% on the frontier, 24% average) and DeepBench up to 55% (20%
 // average on the frontier).
 func Fig14(s Suite, cfg Config) (*Report, error) {
-	points, err := runSweep(s, cfg)
+	return fig14(context.Background(), s, cfg)
+}
+
+func fig14(ctx context.Context, s Suite, cfg Config) (*Report, error) {
+	points, err := runSweep(ctx, s, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"ruby/internal/arch"
@@ -61,6 +62,10 @@ type Fig7Result struct {
 // toy linear-array architecture (1 KiB scratchpad per PE), averaged over
 // cfg.Runs random-search runs.
 func Fig7(variant byte, cfg Config) (*Report, error) {
+	return fig7(context.Background(), variant, cfg)
+}
+
+func fig7(ctx context.Context, variant byte, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	sc, err := fig7Scenarios(variant)
 	if err != nil {
@@ -71,6 +76,7 @@ func Fig7(variant byte, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	eng := cfg.newEngine(ev)
 
 	budget := cfg.Opt.MaxEvaluations
 	if budget <= 0 || budget > 10000 {
@@ -94,7 +100,7 @@ func Fig7(variant byte, cfg Config) (*Report, error) {
 			opt.MaxEvaluations = budget
 			opt.ConsecutiveNoImprove = 0
 			opt.KeepTrace = true
-			r := search.Random(sp, ev, opt)
+			r := search.RandomCtx(ctx, sp, eng, opt)
 			for ci, n := range fig7Checkpoints {
 				if n > budget {
 					continue

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"ruby/internal/arch"
@@ -26,6 +27,10 @@ var Fig8Sizes = []int{96, 100, 104, 108, 112, 113, 116, 120, 124, 127, 128}
 // The mapspaces are small enough to search exhaustively, so the results are
 // deterministic.
 func Fig8(cfg Config) (*Report, error) {
+	return fig8(context.Background(), cfg)
+}
+
+func fig8(ctx context.Context, cfg Config) (*Report, error) {
 	const pes = 16
 	a := arch.ToyLinear(pes, 512)
 
@@ -49,8 +54,11 @@ func Fig8(cfg Config) (*Report, error) {
 			return nest.Cost{}, err
 		}
 		sp := mapspace.New(w, a, kind, mapspace.Constraints{FixedPerms: true})
-		res := search.Exhaustive(sp, ev, 0)
+		res := search.ExhaustiveCtx(ctx, sp, cfg.newEngine(ev), search.Options{}, 0)
 		if res.Best == nil {
+			if ctx != nil && ctx.Err() != nil {
+				return nest.Cost{}, ctx.Err()
+			}
 			return nest.Cost{}, fmt.Errorf("exp: fig8: no valid mapping for D=%d %v pad=%v", d, kind, pad)
 		}
 		return res.BestCost, nil

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"ruby/internal/arch"
@@ -43,6 +44,10 @@ func HandcraftedAlexNetConv2(a *arch.Arch) *mapping.Mapping {
 // Eyeriss-like architecture, comparing the handcrafted strip-mined mapping
 // against the best PFM and Ruby-S mappings found by random search.
 func Fig9(cfg Config) (*Report, error) {
+	return fig9(context.Background(), cfg)
+}
+
+func fig9(ctx context.Context, cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
 	a := arch.EyerissLike(14, 12, 128)
 	w := workloads.AlexNetConv2()
@@ -50,6 +55,7 @@ func Fig9(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	eng := cfg.newEngine(ev)
 
 	hand := ev.Evaluate(HandcraftedAlexNetConv2(a))
 	if !hand.Valid {
@@ -60,12 +66,15 @@ func Fig9(cfg Config) (*Report, error) {
 		var b nest.Cost
 		for run := 0; run < cfg.Runs; run++ {
 			sp := mapspace.New(w, a, kind, cons)
-			r := search.Random(sp, ev, cfg.seeded(run))
+			r := search.RandomCtx(ctx, sp, eng, cfg.seeded(run))
 			if r.Best != nil && (!b.Valid || r.BestCost.EDP < b.EDP) {
 				b = r.BestCost
 			}
 		}
 		if !b.Valid {
+			if ctx != nil && ctx.Err() != nil {
+				return b, ctx.Err()
+			}
 			return b, fmt.Errorf("exp: fig9: no valid %v mapping", kind)
 		}
 		return b, nil

@@ -13,7 +13,9 @@ package mapping
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"ruby/internal/arch"
 	"ruby/internal/factor"
@@ -112,6 +114,22 @@ type Mapping struct {
 	// nil, or a nil entry, means the architecture's default. Level 0 (DRAM)
 	// always keeps everything.
 	Keep []map[workload.Role]bool
+
+	// key memoizes the last Key result (the evaluation-cache hot path).
+	// Invariant: a mapping that has been keyed must not be mutated in
+	// place — Clone first, as every searcher does. Clone does not copy the
+	// memo.
+	key atomic.Pointer[keyMemo]
+}
+
+// keyMemo records a computed key together with the identity of the
+// (workload, slots) pair it was computed against, so a stale memo is never
+// served to a different evaluator.
+type keyMemo struct {
+	w      *workload.Workload
+	nslots int
+	slot0  *Slot
+	key    string
 }
 
 // Clone deep-copies the mapping.
@@ -264,28 +282,81 @@ func (m *Mapping) KeptRoles(a *arch.Arch, li int) map[workload.Role]bool {
 // deterministic test assertions). Dims are sorted; single-trip loops are
 // dropped from permutations.
 func (m *Mapping) Key(w *workload.Workload, slots []Slot) string {
-	var b strings.Builder
-	dims := w.SortedDimNames()
-	for _, d := range dims {
-		fmt.Fprintf(&b, "%s=", d)
-		for _, f := range m.Factors[d] {
-			fmt.Fprintf(&b, "%d.", f)
-		}
-		b.WriteByte(';')
+	var slot0 *Slot
+	if len(slots) > 0 {
+		slot0 = &slots[0]
 	}
-	chains := make(map[string]Chain, len(dims))
+	if km := m.key.Load(); km != nil && km.w == w && km.nslots == len(slots) && km.slot0 == slot0 {
+		return km.key
+	}
+	s := m.computeKey(w, slots)
+	m.key.Store(&keyMemo{w: w, nslots: len(slots), slot0: slot0, key: s})
+	return s
+}
+
+func (m *Mapping) computeKey(w *workload.Workload, slots []Slot) string {
+	// This is the hot path of the evaluation memo cache: built with append
+	// and strconv rather than fmt so that keying a mapping stays much cheaper
+	// than evaluating it.
+	dims := w.SortedDimNames()
+	// Cumulative tile sizes (Chain.Cum) for every dim, packed into one flat
+	// backing array with stride nf+1 to avoid a per-dim allocation.
+	nf := 0
 	for _, d := range dims {
-		chains[d] = NewChain(w.Bound(d), m.Factors[d])
+		if n := len(m.Factors[d]); n > nf {
+			nf = n
+		}
+	}
+	cum := make([]int, len(dims)*(nf+1))
+	buf := make([]byte, 0, 32*len(dims))
+	for i, d := range dims {
+		fs := m.Factors[d]
+		buf = append(buf, d...)
+		buf = append(buf, '=')
+		for _, f := range fs {
+			buf = strconv.AppendInt(buf, int64(f), 10)
+			buf = append(buf, '.')
+		}
+		buf = append(buf, ';')
+		row := cum[i*(nf+1):]
+		row[len(fs)] = 1
+		bound := w.Bound(d)
+		prod := 1
+		for j := len(fs) - 1; j >= 0; j-- {
+			if prod < bound {
+				prod *= fs[j]
+			}
+			if prod > bound {
+				prod = bound
+			}
+			row[j] = prod
+		}
 	}
 	for li, p := range m.Perms {
 		ti := FirstSlotOfLevel(slots, li)
-		var active []string
+		buf = append(buf, 'p')
+		buf = strconv.AppendInt(buf, int64(li), 10)
+		buf = append(buf, '=')
+		first := true
 		for _, d := range p {
-			if chains[d].Trips(ti) > 1 {
-				active = append(active, d)
+			active := false
+			for j := range dims {
+				if dims[j] == d {
+					row := cum[j*(nf+1):]
+					active = row[ti+1] < row[ti] // Trips(ti) > 1
+					break
+				}
 			}
+			if !active {
+				continue
+			}
+			if !first {
+				buf = append(buf, ',')
+			}
+			first = false
+			buf = append(buf, d...)
 		}
-		fmt.Fprintf(&b, "p%d=%s;", li, strings.Join(active, ","))
+		buf = append(buf, ';')
 	}
 	if m.Keep != nil {
 		for li, k := range m.Keep {
@@ -299,10 +370,14 @@ func (m *Mapping) Key(w *workload.Workload, slots []Slot) string {
 				}
 			}
 			sort.Strings(rs)
-			fmt.Fprintf(&b, "k%d=%s;", li, strings.Join(rs, ","))
+			buf = append(buf, 'k')
+			buf = strconv.AppendInt(buf, int64(li), 10)
+			buf = append(buf, '=')
+			buf = append(buf, strings.Join(rs, ",")...)
+			buf = append(buf, ';')
 		}
 	}
-	return b.String()
+	return string(buf)
 }
 
 // DefaultPerms returns a uniform permutation (declaration order) for every

@@ -1,6 +1,9 @@
 package search
 
 import (
+	"context"
+
+	"ruby/internal/engine"
 	"ruby/internal/mapspace"
 	"ruby/internal/nest"
 )
@@ -12,6 +15,14 @@ import (
 // population methods on the sparse Ruby expansions), so the portfolio is a
 // robust default when the shape is unknown.
 func Portfolio(sp *mapspace.Space, ev *nest.Evaluator, opt Options) *Result {
+	return PortfolioCtx(context.Background(), sp, engine.New(ev), opt)
+}
+
+// PortfolioCtx is Portfolio through the evaluation pipeline. Cancellation is
+// honored between and within the cancellable stages (random, hill climb);
+// the population stages (genetic, anneal) are skipped entirely once ctx is
+// done, so a cancelled portfolio still returns its best-so-far quickly.
+func PortfolioCtx(ctx context.Context, sp *mapspace.Space, eng *engine.Engine, opt Options) *Result {
 	opt = opt.withDefaults()
 	budget := opt.MaxEvaluations
 	if budget <= 0 {
@@ -24,23 +35,27 @@ func Portfolio(sp *mapspace.Space, ev *nest.Evaluator, opt Options) *Result {
 	randOpt := opt
 	randOpt.MaxEvaluations = share
 	randOpt.ConsecutiveNoImprove = 0
-	results = append(results, Random(sp, ev, randOpt))
+	results = append(results, RandomCtx(ctx, sp, eng, randOpt))
 
-	pop := 64
-	gens := int(share)/pop - 1
-	if gens < 1 {
-		gens = 1
+	if ctx == nil || ctx.Err() == nil {
+		pop := 64
+		gens := int(share)/pop - 1
+		if gens < 1 {
+			gens = 1
+		}
+		results = append(results, Genetic(sp, eng.Evaluator(), GeneticOptions{
+			Seed: opt.Seed + 1, Population: pop, Generations: gens, Objective: opt.Objective,
+		}))
 	}
-	results = append(results, Genetic(sp, ev, GeneticOptions{
-		Seed: opt.Seed + 1, Population: pop, Generations: gens, Objective: opt.Objective,
-	}))
 
 	warm := int(share) / 10
-	results = append(results, Anneal(sp, ev, AnnealOptions{
-		Seed: opt.Seed + 2, Steps: int(share) - warm, Warmup: warm, Objective: opt.Objective,
-	}))
+	if ctx == nil || ctx.Err() == nil {
+		results = append(results, Anneal(sp, eng.Evaluator(), AnnealOptions{
+			Seed: opt.Seed + 2, Steps: int(share) - warm, Warmup: warm, Objective: opt.Objective,
+		}))
+	}
 
-	results = append(results, HillClimb(sp, ev, Options{
+	results = append(results, HillClimbCtx(ctx, sp, eng, Options{
 		Seed: opt.Seed + 3, Objective: opt.Objective,
 	}, warm, int(share)-warm))
 

@@ -4,14 +4,23 @@
 // exhaustive searcher for the toy studies and a greedy hill-climber as an
 // orthogonal search strategy (the paper notes Ruby composes with improved
 // search techniques).
+//
+// Each searcher has two entry points: a legacy form taking a bare
+// nest.Evaluator (kept as a thin wrapper for existing callers) and a Ctx
+// form taking a context and an engine.Engine — the evaluation pipeline that
+// adds cancellation, memoization and metrics. Cancelling the context stops a
+// search promptly and returns the best result found so far.
 package search
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"ruby/internal/engine"
 	"ruby/internal/mapping"
 	"ruby/internal/mapspace"
 	"ruby/internal/nest"
@@ -102,17 +111,31 @@ type shared struct {
 // and the search stops after opt.ConsecutiveNoImprove consecutive valid
 // mappings without improvement (and/or opt.MaxEvaluations samples).
 func Random(sp *mapspace.Space, ev *nest.Evaluator, opt Options) *Result {
+	return RandomCtx(context.Background(), sp, engine.New(ev), opt)
+}
+
+// RandomCtx is Random through the evaluation pipeline: evaluations route
+// through eng (cache + metrics), and cancelling ctx stops the search
+// promptly, returning the best mapping found so far.
+func RandomCtx(ctx context.Context, sp *mapspace.Space, eng *engine.Engine, opt Options) *Result {
 	opt = opt.withDefaults()
 	st := &shared{}
+	met := eng.Metrics()
+	start := time.Now()
 
 	if opt.WarmStart != nil {
-		if c := ev.Evaluate(opt.WarmStart); c.Valid {
+		if c := eng.Evaluate(opt.WarmStart); c.Valid {
 			st.best = opt.WarmStart.Clone()
 			st.bestCost = c
 			if opt.KeepTrace {
 				st.trace = append(st.trace, TracePoint{Evals: 0, Value: opt.Objective.Value(&c)})
 			}
 		}
+	}
+
+	if ctx != nil {
+		stopWatch := context.AfterFunc(ctx, func() { st.stop.Store(true) })
+		defer stopWatch()
 	}
 
 	var wg sync.WaitGroup
@@ -122,13 +145,17 @@ func Random(sp *mapspace.Space, ev *nest.Evaluator, opt Options) *Result {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
 			for !st.stop.Load() {
+				// Take an evaluation ticket; give it back (exactly) when the
+				// budget is already spent, so Evaluated counts evaluations
+				// actually performed rather than clamping after the fact.
 				n := st.evaluated.Add(1)
 				if opt.MaxEvaluations > 0 && n > opt.MaxEvaluations {
+					st.evaluated.Add(-1)
 					st.stop.Store(true)
 					return
 				}
 				m := sp.Sample(rng)
-				c := ev.Evaluate(m)
+				c := eng.Evaluate(m)
 				if !c.Valid {
 					continue
 				}
@@ -142,6 +169,7 @@ func Random(sp *mapspace.Space, ev *nest.Evaluator, opt Options) *Result {
 						st.trace = append(st.trace, TracePoint{Evals: n, Value: opt.Objective.Value(&c)})
 					}
 					st.mu.Unlock()
+					met.Improvement(n, opt.Objective.Value(&c))
 					continue
 				}
 				st.mu.Unlock()
@@ -157,61 +185,124 @@ func Random(sp *mapspace.Space, ev *nest.Evaluator, opt Options) *Result {
 
 	res := &Result{Best: st.best, BestCost: st.bestCost, Valid: st.valid, Trace: st.trace}
 	res.Evaluated = st.evaluated.Load()
-	if opt.MaxEvaluations > 0 && res.Evaluated > opt.MaxEvaluations {
-		res.Evaluated = opt.MaxEvaluations
-	}
+	met.SearchDone(time.Since(start), res.Evaluated, res.Valid)
 	return res
 }
 
 // Exhaustive evaluates every mapping in the tiling mapspace (with canonical
 // loop orders), up to maxMappings (0 = all). Only feasible for toy problems.
 func Exhaustive(sp *mapspace.Space, ev *nest.Evaluator, maxMappings int64) *Result {
+	return ExhaustiveCtx(context.Background(), sp, engine.New(ev), Options{}, maxMappings)
+}
+
+// exhaustiveBatch is the number of enumerated mappings evaluated per
+// parallel batch. Large enough to amortize dispatch, small enough that
+// cancellation and the maxMappings cap stay responsive.
+const exhaustiveBatch = 256
+
+// ExhaustiveCtx enumerates the tiling mapspace in deterministic order,
+// evaluating batches in parallel through eng and minimizing opt.Objective
+// (Exhaustive previously hardcoded EDP, inconsistent with the other
+// searchers). Results are identical to a serial scan: batches preserve
+// enumeration order and the incumbent only changes on strict improvement.
+func ExhaustiveCtx(ctx context.Context, sp *mapspace.Space, eng *engine.Engine, opt Options, maxMappings int64) *Result {
 	res := &Result{}
-	sp.Enumerate(func(m *mapping.Mapping) bool {
-		res.Evaluated++
-		c := ev.Evaluate(m)
-		if c.Valid {
-			res.Valid++
-			if res.Best == nil || c.EDP < res.BestCost.EDP {
-				res.Best = m.Clone()
-				res.BestCost = c
-				res.Trace = append(res.Trace, TracePoint{Evals: res.Evaluated, Value: c.EDP})
+	met := eng.Metrics()
+	start := time.Now()
+
+	batch := make([]*mapping.Mapping, 0, exhaustiveBatch)
+	cancelled := false
+	flush := func() bool {
+		if len(batch) == 0 {
+			return true
+		}
+		costs := eng.EvaluateBatch(ctx, batch)
+		for i := range costs {
+			c := costs[i]
+			if engine.Cancelled(&c) {
+				cancelled = true
+				break
+			}
+			res.Evaluated++
+			if c.Valid {
+				res.Valid++
+				if res.Best == nil || opt.Objective.Value(&c) < opt.Objective.Value(&res.BestCost) {
+					res.Best = batch[i].Clone()
+					res.BestCost = c
+					res.Trace = append(res.Trace, TracePoint{Evals: res.Evaluated, Value: opt.Objective.Value(&c)})
+					met.Improvement(res.Evaluated, opt.Objective.Value(&c))
+				}
 			}
 		}
-		return maxMappings == 0 || res.Evaluated < maxMappings
+		batch = batch[:0]
+		return !cancelled
+	}
+
+	taken := int64(0)
+	sp.Enumerate(func(m *mapping.Mapping) bool {
+		batch = append(batch, m)
+		taken++
+		if maxMappings > 0 && taken >= maxMappings {
+			flush()
+			return false
+		}
+		if len(batch) >= exhaustiveBatch {
+			return flush()
+		}
+		return true
 	})
+	flush()
+	met.SearchDone(time.Since(start), res.Evaluated, res.Valid)
 	return res
 }
 
 // HillClimb seeds a greedy local search with the best of warmup random
 // samples, then repeatedly mutates one dimension's tiling chain or one
 // level's loop order, accepting strict improvements, until patience
-// consecutive proposals fail. It demonstrates that Ruby-style mapspaces
-// compose with search strategies beyond random sampling.
+// consecutive proposals fail (or opt.MaxEvaluations is exhausted).
+// It demonstrates that Ruby-style mapspaces compose with search strategies
+// beyond random sampling.
 func HillClimb(sp *mapspace.Space, ev *nest.Evaluator, opt Options, warmup, patience int) *Result {
+	return HillClimbCtx(context.Background(), sp, engine.New(ev), opt, warmup, patience)
+}
+
+// HillClimbCtx is HillClimb through the evaluation pipeline, honoring both
+// ctx cancellation and opt.MaxEvaluations (previously ignored): the climb
+// stops as soon as either budget is exhausted, returning the incumbent.
+func HillClimbCtx(ctx context.Context, sp *mapspace.Space, eng *engine.Engine, opt Options, warmup, patience int) *Result {
 	opt = opt.withDefaults()
 	rng := rand.New(rand.NewSource(opt.Seed))
 	res := &Result{}
+	met := eng.Metrics()
+	start := time.Now()
+	budgetLeft := func() bool {
+		if ctx != nil && ctx.Err() != nil {
+			return false
+		}
+		return opt.MaxEvaluations <= 0 || res.Evaluated < opt.MaxEvaluations
+	}
 
-	for i := 0; i < warmup; i++ {
+	for i := 0; i < warmup && budgetLeft(); i++ {
 		res.Evaluated++
 		m := sp.Sample(rng)
-		c := ev.Evaluate(m)
+		c := eng.Evaluate(m)
 		if c.Valid {
 			res.Valid++
 			if res.Best == nil || opt.Objective.Value(&c) < opt.Objective.Value(&res.BestCost) {
 				res.Best, res.BestCost = m, c
 				res.Trace = append(res.Trace, TracePoint{Evals: res.Evaluated, Value: opt.Objective.Value(&c)})
+				met.Improvement(res.Evaluated, opt.Objective.Value(&c))
 			}
 		}
 	}
 	if res.Best == nil {
+		met.SearchDone(time.Since(start), res.Evaluated, res.Valid)
 		return res
 	}
 
 	dims := sp.Work.DimNames()
 	fails := 0
-	for fails < patience {
+	for fails < patience && budgetLeft() {
 		cand := res.Best.Clone()
 		if rng.Intn(4) == 0 {
 			li := rng.Intn(len(cand.Perms))
@@ -221,17 +312,19 @@ func HillClimb(sp *mapspace.Space, ev *nest.Evaluator, opt Options, warmup, pati
 			cand.Factors[d] = sp.SampleChain(rng, d)
 		}
 		res.Evaluated++
-		c := ev.Evaluate(cand)
+		c := eng.Evaluate(cand)
 		if c.Valid {
 			res.Valid++
 			if opt.Objective.Value(&c) < opt.Objective.Value(&res.BestCost) {
 				res.Best, res.BestCost = cand, c
 				res.Trace = append(res.Trace, TracePoint{Evals: res.Evaluated, Value: opt.Objective.Value(&c)})
+				met.Improvement(res.Evaluated, opt.Objective.Value(&c))
 				fails = 0
 				continue
 			}
 		}
 		fails++
 	}
+	met.SearchDone(time.Since(start), res.Evaluated, res.Valid)
 	return res
 }

@@ -6,18 +6,27 @@
 //
 //	GET  /v1/suites       -> {"suites": {"resnet50": 22, ...}}
 //	GET  /v1/experiments  -> {"experiments": [...], "extensions": [...]}
+//	GET  /v1/metrics      -> evaluation-pipeline counters (see engine.Snapshot)
 //	POST /v1/evaluate     -> evaluate one explicit mapping
 //	POST /v1/search       -> random-search a mapspace
 //	POST /v1/construct    -> one-shot heuristic mapping
+//
+// Searches run through the evaluation engine: they honor the request
+// context (a client disconnect aborts the search promptly) plus an optional
+// per-request "timeout_ms", memoize duplicate samples, and report aggregate
+// counters at /v1/metrics.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"strings"
+	"time"
 
 	"ruby/internal/config"
+	"ruby/internal/engine"
 	"ruby/internal/exp"
 	"ruby/internal/heuristic"
 	"ruby/internal/mapping"
@@ -27,15 +36,42 @@ import (
 	"ruby/internal/workloads"
 )
 
+// searchCacheEntries bounds the per-request memo cache. Engines (and their
+// caches) are per-request — each request carries its own workload and
+// architecture, so there is nothing to share across requests — and the cache
+// pays off within a single search, where random sampling revisits mappings.
+const searchCacheEntries = 1 << 15
+
+// service carries the handlers' shared state: the engine configuration
+// template and the process-wide pipeline counters.
+type service struct {
+	counters *engine.Counters
+}
+
+// engineFor builds the per-request evaluation pipeline.
+func (s *service) engineFor(ev *nest.Evaluator) *engine.Engine {
+	return engine.Config{CacheEntries: searchCacheEntries, Metrics: s.counters}.New(ev)
+}
+
 // New returns the service's HTTP handler.
 func New() http.Handler {
+	h, _ := NewWithMetrics()
+	return h
+}
+
+// NewWithMetrics returns the handler plus the pipeline counters it reports
+// at /v1/metrics, so callers (cmd/rubyserve) can additionally export them
+// via expvar or logs.
+func NewWithMetrics() (http.Handler, *engine.Counters) {
+	s := &service{counters: &engine.Counters{}}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/suites", handleSuites)
 	mux.HandleFunc("GET /v1/experiments", handleExperiments)
-	mux.HandleFunc("POST /v1/evaluate", handleEvaluate)
-	mux.HandleFunc("POST /v1/search", handleSearch)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	mux.HandleFunc("POST /v1/search", s.handleSearch)
 	mux.HandleFunc("POST /v1/construct", handleConstruct)
-	return mux
+	return mux, s.counters
 }
 
 // problem is the error payload.
@@ -66,6 +102,10 @@ func handleExperiments(w http.ResponseWriter, _ *http.Request) {
 		"experiments": exp.Names(),
 		"extensions":  exp.ExtensionNames(),
 	})
+}
+
+func (s *service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.counters.Snapshot())
 }
 
 // problemSpec is the common workload+architecture request fragment.
@@ -147,7 +187,7 @@ type evaluateRequest struct {
 	Mapping json.RawMessage `json:"mapping"`
 }
 
-func handleEvaluate(w http.ResponseWriter, r *http.Request) {
+func (s *service) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	var req evaluateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -167,7 +207,7 @@ func handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	c := ev.Evaluate(m)
+	c := s.engineFor(ev).Evaluate(m)
 	writeJSON(w, http.StatusOK, mappingResult{Mapping: m, Cost: c, LoopNest: m.Render(ev.Work, ev.Arch)})
 }
 
@@ -178,15 +218,19 @@ type searchRequest struct {
 	MaxEvaluations int64  `json:"max_evaluations,omitempty"`
 	NoImprove      int64  `json:"no_improve,omitempty"`
 	Objective      string `json:"objective,omitempty"`
+	// TimeoutMS bounds the search's wall time; on expiry the best mapping
+	// found so far is returned (or 504 when none was found yet).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 type searchResponse struct {
 	mappingResult
 	Evaluated int64 `json:"evaluated"`
 	Valid     int64 `json:"valid"`
+	TimedOut  bool  `json:"timed_out,omitempty"`
 }
 
-func handleSearch(w http.ResponseWriter, r *http.Request) {
+func (s *service) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var req searchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -212,9 +256,23 @@ func handleSearch(w http.ResponseWriter, r *http.Request) {
 		// Bound server-side work by default.
 		opt.MaxEvaluations = 50000
 	}
-	res := search.Random(sp, ev, opt)
+
+	// The request context aborts the search when the client disconnects;
+	// timeout_ms additionally bounds wall time server-side.
+	ctx := r.Context()
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+
+	res := search.RandomCtx(ctx, sp, s.engineFor(ev), opt)
 	if res.Best == nil {
-		writeErr(w, http.StatusUnprocessableEntity,
+		status := http.StatusUnprocessableEntity
+		if ctx.Err() != nil {
+			status = http.StatusGatewayTimeout
+		}
+		writeErr(w, status,
 			fmt.Errorf("no valid mapping found after %d samples", res.Evaluated))
 		return
 	}
@@ -224,6 +282,7 @@ func handleSearch(w http.ResponseWriter, r *http.Request) {
 			LoopNest: res.Best.Render(ev.Work, ev.Arch),
 		},
 		Evaluated: res.Evaluated, Valid: res.Valid,
+		TimedOut: ctx.Err() != nil,
 	})
 }
 

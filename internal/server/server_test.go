@@ -1,11 +1,13 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 const toyArchJSON = `{
@@ -171,5 +173,72 @@ func TestSearchUnsatisfiable(t *testing.T) {
 	}`)
 	if rec.Code != http.StatusUnprocessableEntity {
 		t.Errorf("status %d, want 422 (%v)", rec.Code, out)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	h, counters := NewWithMetrics()
+	do(t, h, "POST", "/v1/search", `{
+	  "workload": `+toyWorkloadJSON+`,
+	  "arch": `+toyArchJSON+`,
+	  "seed": 1, "threads": 2, "max_evaluations": 2000
+	}`)
+	rec, out := do(t, h, "GET", "/v1/metrics", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if out["evaluations"].(float64) < 2000 {
+		t.Errorf("evaluations = %v, want >= 2000", out["evaluations"])
+	}
+	if out["searches"].(float64) != 1 {
+		t.Errorf("searches = %v, want 1", out["searches"])
+	}
+	if got := counters.Snapshot().Evaluations; float64(got) != out["evaluations"].(float64) {
+		t.Errorf("endpoint and counters disagree: %v vs %d", out["evaluations"], got)
+	}
+}
+
+func TestSearchTimeoutMS(t *testing.T) {
+	h := New()
+	// A huge no-improve budget would run for a long time; timeout_ms bounds
+	// it server-side and the best-so-far comes back flagged.
+	start := time.Now()
+	rec, out := do(t, h, "POST", "/v1/search", `{
+	  "workload": `+toyWorkloadJSON+`,
+	  "arch": `+toyArchJSON+`,
+	  "seed": 1, "threads": 2, "no_improve": 1000000000, "timeout_ms": 100
+	}`)
+	if wall := time.Since(start); wall > 10*time.Second {
+		t.Fatalf("timed-out search took %v", wall)
+	}
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, out)
+	}
+	if out["timed_out"] != true {
+		t.Errorf("timed_out = %v, want true", out["timed_out"])
+	}
+}
+
+func TestSearchClientDisconnect(t *testing.T) {
+	h := New()
+	body := `{
+	  "workload": ` + toyWorkloadJSON + `,
+	  "arch": ` + toyArchJSON + `,
+	  "seed": 1, "threads": 2, "no_improve": 1000000000
+	}`
+	ctx, cancel := context.WithCancel(context.Background())
+	req := httptest.NewRequest("POST", "/v1/search", strings.NewReader(body)).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	done := make(chan struct{})
+	go func() {
+		h.ServeHTTP(rec, req)
+		close(done)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel() // simulate the client going away
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handler did not return after client disconnect")
 	}
 }

@@ -2,12 +2,22 @@
 // architecture configurations — the machinery behind the paper's per-layer
 // comparisons (Figs. 10-12) and the architectural design-space exploration
 // (Figs. 13-14).
+//
+// Suite runs route through the evaluation engine (internal/engine): layer
+// searches honor context cancellation, share a metrics hook, optionally
+// memoize duplicate samples, and run in parallel across layers (each layer's
+// search result is independent and seeded deterministically, so parallel and
+// serial suite runs produce identical output).
 package sweep
 
 import (
+	"context"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"ruby/internal/arch"
+	"ruby/internal/engine"
 	"ruby/internal/library"
 	"ruby/internal/mapping"
 	"ruby/internal/mapspace"
@@ -41,6 +51,39 @@ func Strategies() []Strategy {
 // reference dimension names, which differ between convs and GEMMs).
 type ConstraintFn func(*workload.Workload) mapspace.Constraints
 
+// SuiteOptions bundles the knobs of a suite run beyond the per-layer search
+// options: the evaluation-engine configuration (cache, metrics), an optional
+// mapping library, and the number of layers searched concurrently.
+type SuiteOptions struct {
+	// Search configures each layer's random search.
+	Search search.Options
+	// Engine configures the evaluation pipeline built per workload variant.
+	Engine engine.Config
+	// Library optionally caches best-known mappings across runs.
+	Library *library.Store
+	// Parallel is the number of layers searched concurrently (0 = derive
+	// from NumCPU and Search.Threads so the machine is busy but not
+	// oversubscribed; 1 = serial).
+	Parallel int
+}
+
+func (so SuiteOptions) withDefaults() SuiteOptions {
+	if so.Parallel <= 0 {
+		threads := so.Search.Threads
+		if threads <= 0 {
+			threads = runtime.NumCPU()
+			if threads > 24 {
+				threads = 24
+			}
+		}
+		so.Parallel = runtime.NumCPU() / threads
+		if so.Parallel < 1 {
+			so.Parallel = 1
+		}
+	}
+	return so
+}
+
 // LayerResult is the outcome of searching one layer under one strategy.
 type LayerResult struct {
 	Layer    workloads.Layer
@@ -54,6 +97,15 @@ type LayerResult struct {
 // searched and the lowest-EDP result wins (Section III-B's baseline). An
 // error is returned when no valid mapping exists at all.
 func SearchLayer(l workloads.Layer, a *arch.Arch, st Strategy, consFn ConstraintFn, opt search.Options) (LayerResult, error) {
+	return SearchLayerCtx(context.Background(), l, a, st, consFn, opt, engine.Config{})
+}
+
+// SearchLayerCtx is SearchLayer through the evaluation pipeline: each
+// workload variant's search routes through an engine built from ecfg, and a
+// cancelled ctx aborts with its error.
+func SearchLayerCtx(ctx context.Context, l workloads.Layer, a *arch.Arch, st Strategy,
+	consFn ConstraintFn, opt search.Options, ecfg engine.Config) (LayerResult, error) {
+
 	variants := []*workload.Workload{l.Work}
 	if st.Pad {
 		fx, fy := arrayAxes(a)
@@ -61,12 +113,16 @@ func SearchLayer(l workloads.Layer, a *arch.Arch, st Strategy, consFn Constraint
 	}
 	var best LayerResult
 	for _, w := range variants {
+		if ctx != nil && ctx.Err() != nil {
+			return LayerResult{}, fmt.Errorf("sweep: layer %s on %s: %w", l.Name, a.Name, ctx.Err())
+		}
 		ev, err := nest.NewEvaluator(w, a)
 		if err != nil {
 			return LayerResult{}, fmt.Errorf("sweep: layer %s on %s: %w", l.Name, a.Name, err)
 		}
+		eng := ecfg.New(ev)
 		sp := mapspace.New(w, a, st.Kind, consFn(w))
-		res := search.Random(sp, ev, opt)
+		res := search.RandomCtx(ctx, sp, eng, opt)
 		if res.Best == nil {
 			// Guaranteed fallback: the all-at-DRAM uniform mapping streams
 			// single elements through the hierarchy, so it satisfies every
@@ -74,7 +130,7 @@ func SearchLayer(l workloads.Layer, a *arch.Arch, st Strategy, consFn Constraint
 			// (all factors divide trivially). It anchors tiny search
 			// budgets without biasing real ones.
 			m := mapping.Uniform(w, a, 0)
-			if c := ev.Evaluate(m); c.Valid {
+			if c := eng.Evaluate(m); c.Valid {
 				res = &search.Result{Best: m, BestCost: c, Evaluated: res.Evaluated}
 			} else {
 				continue
@@ -85,6 +141,9 @@ func SearchLayer(l workloads.Layer, a *arch.Arch, st Strategy, consFn Constraint
 		}
 	}
 	if best.Search == nil {
+		if ctx != nil && ctx.Err() != nil {
+			return LayerResult{}, fmt.Errorf("sweep: layer %s on %s: %w", l.Name, a.Name, ctx.Err())
+		}
 		return LayerResult{}, fmt.Errorf("sweep: no valid mapping for layer %s on %s under %s", l.Name, a.Name, st.Name)
 	}
 	return best, nil
@@ -126,7 +185,7 @@ type SuiteResult struct {
 
 // RunSuite searches every layer of a suite and aggregates network totals.
 func RunSuite(layers []workloads.Layer, a *arch.Arch, st Strategy, consFn ConstraintFn, opt search.Options) (*SuiteResult, error) {
-	return RunSuiteCached(layers, a, st, consFn, opt, nil)
+	return RunSuiteCtx(context.Background(), layers, a, st, consFn, SuiteOptions{Search: opt})
 }
 
 // RunSuiteCached is RunSuite backed by an optional mapping library: layers
@@ -136,27 +195,77 @@ func RunSuite(layers []workloads.Layer, a *arch.Arch, st Strategy, consFn Constr
 // bypass the cache (the winning workload variant is part of the result).
 func RunSuiteCached(layers []workloads.Layer, a *arch.Arch, st Strategy, consFn ConstraintFn,
 	opt search.Options, lib *library.Store) (*SuiteResult, error) {
+	return RunSuiteCtx(context.Background(), layers, a, st, consFn, SuiteOptions{Search: opt, Library: lib})
+}
 
+// RunSuiteCtx runs a suite with full pipeline control: layer searches run
+// so.Parallel at a time (deterministic — each layer's search is independent
+// and explicitly seeded, and aggregation preserves layer order), evaluations
+// route through engines built from so.Engine, and cancellation aborts the
+// whole run with ctx's error.
+func RunSuiteCtx(ctx context.Context, layers []workloads.Layer, a *arch.Arch, st Strategy,
+	consFn ConstraintFn, so SuiteOptions) (*SuiteResult, error) {
+
+	so = so.withDefaults()
 	out := &SuiteResult{Strategy: st, Arch: a}
-	for _, l := range layers {
-		lr, err := searchLayerCached(l, a, st, consFn, opt, lib)
-		if err != nil {
-			return nil, err
+	results := make([]LayerResult, len(layers))
+	errs := make([]error, len(layers))
+
+	workers := so.Parallel
+	if workers > len(layers) {
+		workers = len(layers)
+	}
+	if workers <= 1 {
+		for i, l := range layers {
+			results[i], errs[i] = searchLayerCached(ctx, l, a, st, consFn, so)
+			if errs[i] != nil {
+				return nil, errs[i]
+			}
 		}
-		out.Layers = append(out.Layers, lr)
+	} else {
+		var next int
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for t := 0; t < workers; t++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					mu.Lock()
+					i := next
+					next++
+					mu.Unlock()
+					if i >= len(layers) {
+						return
+					}
+					results[i], errs[i] = searchLayerCached(ctx, layers[i], a, st, consFn, so)
+				}
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for i, l := range layers {
+		out.Layers = append(out.Layers, results[i])
 		r := float64(l.Repeat)
-		out.TotalEnergyPJ += r * lr.Cost.EnergyPJ
-		out.TotalCycles += r * lr.Cost.Cycles
+		out.TotalEnergyPJ += r * results[i].Cost.EnergyPJ
+		out.TotalCycles += r * results[i].Cost.Cycles
 	}
 	out.EDP = out.TotalEnergyPJ * out.TotalCycles
 	return out, nil
 }
 
-func searchLayerCached(l workloads.Layer, a *arch.Arch, st Strategy, consFn ConstraintFn,
-	opt search.Options, lib *library.Store) (LayerResult, error) {
+func searchLayerCached(ctx context.Context, l workloads.Layer, a *arch.Arch, st Strategy,
+	consFn ConstraintFn, so SuiteOptions) (LayerResult, error) {
 
+	lib := so.Library
 	if lib == nil || st.Pad {
-		return SearchLayer(l, a, st, consFn, opt)
+		return SearchLayerCtx(ctx, l, a, st, consFn, so.Search, so.Engine)
 	}
 	cons := consFn(l.Work)
 	key := library.Key(l.Work, a, st.Kind, cons)
@@ -173,7 +282,7 @@ func searchLayerCached(l workloads.Layer, a *arch.Arch, st Strategy, consFn Cons
 			}, nil
 		}
 	}
-	lr, err := SearchLayer(l, a, st, consFn, opt)
+	lr, err := SearchLayerCtx(ctx, l, a, st, consFn, so.Search, so.Engine)
 	if err != nil {
 		return lr, err
 	}
@@ -215,13 +324,20 @@ type DesignPoint struct {
 // buffer size across configurations.
 func Explore(layers []workloads.Layer, configs []ArrayConfig, glbKiB int,
 	sts []Strategy, consFn ConstraintFn, opt search.Options) ([]DesignPoint, error) {
+	return ExploreCtx(context.Background(), layers, configs, glbKiB, sts, consFn, SuiteOptions{Search: opt})
+}
+
+// ExploreCtx is Explore with pipeline control (cancellation, engine config,
+// suite-level parallelism) applied to every configuration's suite runs.
+func ExploreCtx(ctx context.Context, layers []workloads.Layer, configs []ArrayConfig, glbKiB int,
+	sts []Strategy, consFn ConstraintFn, so SuiteOptions) ([]DesignPoint, error) {
 
 	var out []DesignPoint
 	for _, cfg := range configs {
 		a := arch.EyerissLike(cfg.Cols, cfg.Rows, glbKiB)
 		dp := DesignPoint{Config: cfg, AreaMM2: a.AreaMM2(), EDP: make(map[string]float64, len(sts))}
 		for _, st := range sts {
-			sr, err := RunSuite(layers, a, st, consFn, opt)
+			sr, err := RunSuiteCtx(ctx, layers, a, st, consFn, so)
 			if err != nil {
 				return nil, err
 			}

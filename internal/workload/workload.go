@@ -93,6 +93,7 @@ type Workload struct {
 
 	bounds map[string]int
 	byName map[string]*Tensor
+	sorted []string
 }
 
 // New constructs a Workload and validates it.
@@ -123,6 +124,8 @@ func (w *Workload) index() {
 	for i := range w.Tensors {
 		w.byName[w.Tensors[i].Name] = &w.Tensors[i]
 	}
+	w.sorted = w.DimNames()
+	sort.Strings(w.sorted)
 }
 
 // Validate checks structural invariants: unique positive-bound dims, tensors
@@ -363,8 +366,13 @@ func (w *Workload) Scale(newBounds map[string]int) (*Workload, error) {
 }
 
 // SortedDimNames returns dimension names sorted lexicographically; useful for
-// deterministic iteration in tests and hashing.
+// deterministic iteration in tests and hashing. The returned slice is shared
+// and must not be mutated — mapping keying sits on the hot path of the
+// evaluation cache and cannot afford a copy per call.
 func (w *Workload) SortedDimNames() []string {
+	if w.sorted != nil {
+		return w.sorted
+	}
 	names := w.DimNames()
 	sort.Strings(names)
 	return names

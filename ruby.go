@@ -23,6 +23,7 @@ package ruby
 import (
 	"ruby/internal/arch"
 	"ruby/internal/config"
+	"ruby/internal/engine"
 	"ruby/internal/exp"
 	"ruby/internal/heuristic"
 	"ruby/internal/library"
@@ -190,6 +191,39 @@ type (
 	AnnealOptions = search.AnnealOptions
 )
 
+// Evaluation engine: the pipeline behind every searcher, adding context
+// cancellation, a memo cache keyed by canonical mapping signatures, metrics
+// hooks, and parallel batch evaluation.
+type (
+	// Engine is the evaluation pipeline around an Evaluator.
+	Engine = engine.Engine
+	// EngineConfig configures an Engine (cache size, metrics hook, workers).
+	EngineConfig = engine.Config
+	// EngineMetrics receives pipeline events (evaluations, improvements,
+	// search completions).
+	EngineMetrics = engine.Metrics
+	// EngineCounters is the default atomic Metrics implementation with
+	// JSON/expvar export.
+	EngineCounters = engine.Counters
+	// EngineSnapshot is a point-in-time copy of EngineCounters.
+	EngineSnapshot = engine.Snapshot
+)
+
+var (
+	// NewEngine wraps an Evaluator in a pass-through pipeline (no cache,
+	// no metrics); use EngineConfig.New for a configured one.
+	NewEngine = engine.New
+	// SearchCtx is Search with cancellation and a configured pipeline.
+	SearchCtx = search.RandomCtx
+	// SearchExhaustiveCtx is SearchExhaustive with cancellation, parallel
+	// batch evaluation and a configurable objective.
+	SearchExhaustiveCtx = search.ExhaustiveCtx
+	// SearchHillClimbCtx is SearchHillClimb through the pipeline.
+	SearchHillClimbCtx = search.HillClimbCtx
+	// SearchPortfolioCtx is SearchPortfolio through the pipeline.
+	SearchPortfolioCtx = search.PortfolioCtx
+)
+
 // Search objectives.
 const (
 	// ObjectiveEDP minimizes energy x delay (the paper's default).
@@ -287,6 +321,10 @@ type (
 	ParetoPoint = stats.Point
 )
 
+// SuiteOptions bundles the knobs of a pipeline-driven suite run
+// (search options, engine config, library, layer-level parallelism).
+type SuiteOptions = sweep.SuiteOptions
+
 var (
 	// SweepStrategies returns the paper's three compared strategies.
 	SweepStrategies = sweep.Strategies
@@ -294,14 +332,21 @@ var (
 	EyerissConfigs = sweep.EyerissConfigs
 	// Explore sweeps array configurations over a suite (Figs. 13-14).
 	Explore = sweep.Explore
+	// ExploreCtx is Explore with cancellation and pipeline options.
+	ExploreCtx = sweep.ExploreCtx
 	// Frontier extracts one strategy's area-EDP Pareto frontier.
 	Frontier = sweep.Frontier
 	// RunSuite searches a whole suite on one architecture.
 	RunSuite = sweep.RunSuite
 	// RunSuiteCached is RunSuite backed by a mapping library.
 	RunSuiteCached = sweep.RunSuiteCached
+	// RunSuiteCtx is RunSuite with cancellation, engine configuration and
+	// parallel layer searches.
+	RunSuiteCtx = sweep.RunSuiteCtx
 	// SearchLayer searches one layer under one strategy.
 	SearchLayer = sweep.SearchLayer
+	// SearchLayerCtx is SearchLayer through the evaluation pipeline.
+	SearchLayerCtx = sweep.SearchLayerCtx
 	// ParetoFrontier computes a generic minimize-both frontier.
 	ParetoFrontier = stats.ParetoFrontier
 )
@@ -316,6 +361,8 @@ var (
 	// RunExperiment regenerates one paper table/figure by identifier
 	// ("fig7a".."fig7d", "table1", "fig8".."fig12", "fig13a/b", "fig14a/b").
 	RunExperiment = exp.Run
+	// RunExperimentCtx is RunExperiment with cancellation.
+	RunExperimentCtx = exp.RunCtx
 	// ExperimentNames lists the accepted identifiers.
 	ExperimentNames = exp.Names
 	// QuickConfig is a test/benchmark-scale experiment configuration.
