@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench fmt vet check
+.PHONY: all build test race bench bench-all fmt vet check
 
 all: check
 
@@ -15,7 +15,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Evaluation-kernel microbenchmarks (compiled plan vs legacy, engine cache,
+# sampler pipeline), persisted as BENCH_eval.json to track the perf
+# trajectory across PRs. `bench-all` runs the full suite once.
 bench:
+	$(GO) test -run xxx -bench 'BenchmarkEvaluate|BenchmarkEngine|BenchmarkSample' -benchtime 2s . \
+		| $(GO) run ./tools/benchjson -o BENCH_eval.json
+
+bench-all:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
 
 fmt:

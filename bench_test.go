@@ -41,42 +41,42 @@ func runExp(b *testing.B, name string, cfg exp.Config) {
 
 // BenchmarkTable1 regenerates the mapspace-size table (exact counting, no
 // search).
-func BenchmarkTable1(b *testing.B) { runExp(b, "table1", benchCfg(0)) }
+func BenchmarkTable1(b *testing.B) { b.ReportAllocs(); runExp(b, "table1", benchCfg(0)) }
 
 // BenchmarkFig7 regenerates one convergence subfigure (Fig. 7b: 100x100
 // matmul on 16 mismatched PEs, all four mapspaces).
-func BenchmarkFig7(b *testing.B) { runExp(b, "fig7b", benchCfg(3000)) }
+func BenchmarkFig7(b *testing.B) { b.ReportAllocs(); runExp(b, "fig7b", benchCfg(3000)) }
 
 // BenchmarkFig8 regenerates the dimension sweep against padding (exhaustive
 // toy mapspaces; fully deterministic).
-func BenchmarkFig8(b *testing.B) { runExp(b, "fig8", benchCfg(0)) }
+func BenchmarkFig8(b *testing.B) { b.ReportAllocs(); runExp(b, "fig8", benchCfg(0)) }
 
 // BenchmarkFig9 regenerates the AlexNet layer-2 study.
-func BenchmarkFig9(b *testing.B) { runExp(b, "fig9", benchCfg(5000)) }
+func BenchmarkFig9(b *testing.B) { b.ReportAllocs(); runExp(b, "fig9", benchCfg(5000)) }
 
 // BenchmarkFig10 regenerates the ResNet-50 per-layer comparison on the
 // Eyeriss-like baseline.
-func BenchmarkFig10(b *testing.B) { runExp(b, "fig10", benchCfg(1000)) }
+func BenchmarkFig10(b *testing.B) { b.ReportAllocs(); runExp(b, "fig10", benchCfg(1000)) }
 
 // BenchmarkFig11 regenerates the DeepBench comparison on the Eyeriss-like
 // baseline.
-func BenchmarkFig11(b *testing.B) { runExp(b, "fig11", benchCfg(1000)) }
+func BenchmarkFig11(b *testing.B) { b.ReportAllocs(); runExp(b, "fig11", benchCfg(1000)) }
 
 // BenchmarkFig12 regenerates the ResNet-50 comparison on both Simba-like
 // configurations.
-func BenchmarkFig12(b *testing.B) { runExp(b, "fig12", benchCfg(800)) }
+func BenchmarkFig12(b *testing.B) { b.ReportAllocs(); runExp(b, "fig12", benchCfg(800)) }
 
 // BenchmarkFig13 regenerates the ResNet-50 area-EDP Pareto sweep.
-func BenchmarkFig13(b *testing.B) { runExp(b, "fig13a", benchCfg(250)) }
+func BenchmarkFig13(b *testing.B) { b.ReportAllocs(); runExp(b, "fig13a", benchCfg(250)) }
 
 // BenchmarkFig13DeepBench regenerates the DeepBench sweep.
-func BenchmarkFig13DeepBench(b *testing.B) { runExp(b, "fig13b", benchCfg(250)) }
+func BenchmarkFig13DeepBench(b *testing.B) { b.ReportAllocs(); runExp(b, "fig13b", benchCfg(250)) }
 
 // BenchmarkFig14 regenerates the per-configuration improvement study.
-func BenchmarkFig14(b *testing.B) { runExp(b, "fig14a", benchCfg(250)) }
+func BenchmarkFig14(b *testing.B) { b.ReportAllocs(); runExp(b, "fig14a", benchCfg(250)) }
 
 // BenchmarkFig14DeepBench regenerates the DeepBench improvement study.
-func BenchmarkFig14DeepBench(b *testing.B) { runExp(b, "fig14b", benchCfg(250)) }
+func BenchmarkFig14DeepBench(b *testing.B) { b.ReportAllocs(); runExp(b, "fig14b", benchCfg(250)) }
 
 // --- Microbenchmarks -------------------------------------------------------
 
@@ -101,6 +101,7 @@ func engineBenchSetup() (*engine.Engine, *engine.Engine, []*mapping.Mapping) {
 // BenchmarkEngineUncached measures evaluation through a pass-through engine
 // — the baseline every Evaluate pays without memoization.
 func BenchmarkEngineUncached(b *testing.B) {
+	b.ReportAllocs()
 	eng, _, ms := engineBenchSetup()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -113,6 +114,7 @@ func BenchmarkEngineUncached(b *testing.B) {
 // over BenchmarkEngineUncached with bit-identical costs (the costs are
 // asserted identical in engine's tests; here we measure the speedup).
 func BenchmarkEngineCached(b *testing.B) {
+	b.ReportAllocs()
 	_, eng, ms := engineBenchSetup()
 	for _, m := range ms {
 		eng.Evaluate(m) // warm the cache
@@ -126,6 +128,7 @@ func BenchmarkEngineCached(b *testing.B) {
 // BenchmarkEvaluateConv measures single-mapping evaluation throughput on a
 // 7-dimensional convolution — the inner loop of every search.
 func BenchmarkEvaluateConv(b *testing.B) {
+	b.ReportAllocs()
 	layer := workloads.ResNet50()[3] // a 3x3 layer
 	a := arch.EyerissLike(14, 12, 128)
 	ev := nest.MustEvaluator(layer.Work, a)
@@ -138,9 +141,81 @@ func BenchmarkEvaluateConv(b *testing.B) {
 	}
 }
 
+// evalBenchSetup builds the compiled-vs-legacy fixture: the Eyeriss-like
+// ResNet-50 3x3 layer with a structurally valid sampled mapping (the
+// acceptance benchmark of the compiled-plan work).
+func evalBenchSetup(b *testing.B) (*nest.Evaluator, *mapping.Mapping) {
+	b.Helper()
+	layer := workloads.ResNet50()[3]
+	a := arch.EyerissLike(14, 12, 128)
+	ev := nest.MustEvaluator(layer.Work, a)
+	sp := mapspace.New(layer.Work, a, mapspace.RubyS, mapspace.EyerissRowStationary(layer.Work))
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		m := sp.Sample(rng)
+		if ev.Evaluate(m).Valid {
+			return ev, m
+		}
+	}
+	b.Fatal("no valid mapping sampled")
+	return nil, nil
+}
+
+// BenchmarkEvaluateLegacy measures the original string-keyed cost model —
+// the before side of the compiled-plan comparison.
+func BenchmarkEvaluateLegacy(b *testing.B) {
+	b.ReportAllocs()
+	ev, m := evalBenchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.EvaluateLegacy(m)
+	}
+}
+
+// BenchmarkEvaluateCompiled measures the compiled plan's allocation-free
+// kernel on a per-worker scratch — the steady-state inner loop of every
+// search. Acceptance: >= 2x lower ns/op and >= 10x lower allocs/op than
+// BenchmarkEvaluateLegacy.
+func BenchmarkEvaluateCompiled(b *testing.B) {
+	b.ReportAllocs()
+	ev, m := evalBenchSetup(b)
+	plan := ev.Plan()
+	scratch := plan.NewScratch()
+	dm, err := m.Dense(ev.Work, ev.Arch, ev.Slots)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan.EvaluateInto(dm, scratch)
+	}
+}
+
+// BenchmarkSampleEvaluatePipeline measures the full steady-state search
+// inner loop — in-place sampling, lowering, and compiled evaluation with a
+// reused mapping and scratch.
+func BenchmarkSampleEvaluatePipeline(b *testing.B) {
+	b.ReportAllocs()
+	layer := workloads.ResNet50()[3]
+	a := arch.EyerissLike(14, 12, 128)
+	ev := nest.MustEvaluator(layer.Work, a)
+	sp := mapspace.New(layer.Work, a, mapspace.RubyS, mapspace.EyerissRowStationary(layer.Work))
+	plan := ev.Plan()
+	scratch := plan.NewScratch()
+	smp := sp.NewSampler()
+	rng := rand.New(rand.NewSource(1))
+	m := &mapping.Mapping{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		smp.SampleInto(rng, m)
+		plan.EvaluateMappingInto(m, scratch)
+	}
+}
+
 // BenchmarkSampleRubyS measures mapping-generation throughput for the
 // Ruby-S mapspace.
 func BenchmarkSampleRubyS(b *testing.B) {
+	b.ReportAllocs()
 	layer := workloads.ResNet50()[3]
 	a := arch.EyerissLike(14, 12, 128)
 	sp := mapspace.New(layer.Work, a, mapspace.RubyS, mapspace.EyerissRowStationary(layer.Work))
@@ -153,6 +228,7 @@ func BenchmarkSampleRubyS(b *testing.B) {
 
 // BenchmarkSamplePFM measures mapping generation for the perfect baseline.
 func BenchmarkSamplePFM(b *testing.B) {
+	b.ReportAllocs()
 	layer := workloads.ResNet50()[3]
 	a := arch.EyerissLike(14, 12, 128)
 	sp := mapspace.New(layer.Work, a, mapspace.PFM, mapspace.EyerissRowStationary(layer.Work))
@@ -166,6 +242,7 @@ func BenchmarkSamplePFM(b *testing.B) {
 // BenchmarkChainCount4096 measures the Table I counting recursion at the
 // largest size.
 func BenchmarkChainCount4096(b *testing.B) {
+	b.ReportAllocs()
 	a := arch.ToyLinear(9, 512)
 	w := workloads.Rank1(4096)
 	sp := mapspace.New(w, a, mapspace.Ruby, mapspace.Constraints{})
@@ -182,6 +259,7 @@ func BenchmarkChainCount4096(b *testing.B) {
 // EDP ratio no-multicast / multicast (> 1 expected: multicast saves parent
 // reads).
 func BenchmarkAblationMulticast(b *testing.B) {
+	b.ReportAllocs()
 	layer := workloads.ResNet50()[3]
 	run := func(mcast bool) float64 {
 		a := arch.EyerissLike(14, 12, 128)
@@ -202,6 +280,7 @@ func BenchmarkAblationMulticast(b *testing.B) {
 // Table I-style chain count with and without the cap of 9. The reported
 // metric is the expansion factor removing the cap causes.
 func BenchmarkAblationSpatialCap(b *testing.B) {
+	b.ReportAllocs()
 	w := workloads.Rank1(1000)
 	capped := arch.ToyLinear(9, 512)
 	var expansion float64
@@ -219,6 +298,7 @@ func BenchmarkAblationSpatialCap(b *testing.B) {
 // proposal: best EDP found on a misaligned pointwise layer with the
 // production sampler, reported as improvement over PFM at the same budget.
 func BenchmarkAblationMixtureSampler(b *testing.B) {
+	b.ReportAllocs()
 	var layer workloads.Layer
 	for _, l := range workloads.ResNet50() {
 		if l.Name == "res4x_branch2c" {
@@ -242,6 +322,7 @@ func BenchmarkAblationMixtureSampler(b *testing.B) {
 // BenchmarkSimulatorRun measures the execution-driven reference simulator on
 // a ~4000-step nest.
 func BenchmarkSimulatorRun(b *testing.B) {
+	b.ReportAllocs()
 	w := workloads.Rank1(4000)
 	a := arch.ToyGLB(8, 4096)
 	s, err := sim.New(w, a, sim.Options{})
@@ -261,6 +342,7 @@ func BenchmarkSimulatorRun(b *testing.B) {
 // BenchmarkHeuristicConstruct measures the one-shot constructive mapper on a
 // ResNet pointwise layer.
 func BenchmarkHeuristicConstruct(b *testing.B) {
+	b.ReportAllocs()
 	layer := workloads.ResNet50()[14] // res4x_branch2c
 	a := arch.EyerissLike(14, 12, 128)
 	ev := nest.MustEvaluator(layer.Work, a)
@@ -275,6 +357,7 @@ func BenchmarkHeuristicConstruct(b *testing.B) {
 
 // BenchmarkGeneticSearch measures the GA on the toy problem.
 func BenchmarkGeneticSearch(b *testing.B) {
+	b.ReportAllocs()
 	w := workloads.Rank1(100)
 	a := arch.ToyGLB(6, 512)
 	ev := nest.MustEvaluator(w, a)
@@ -286,6 +369,7 @@ func BenchmarkGeneticSearch(b *testing.B) {
 
 // BenchmarkAnnealSearch measures simulated annealing on the toy problem.
 func BenchmarkAnnealSearch(b *testing.B) {
+	b.ReportAllocs()
 	w := workloads.Rank1(100)
 	a := arch.ToyGLB(6, 512)
 	ev := nest.MustEvaluator(w, a)

@@ -22,6 +22,7 @@ import (
 
 	"ruby/internal/engine"
 	"ruby/internal/exp"
+	"ruby/internal/profile"
 )
 
 func main() {
@@ -36,8 +37,17 @@ func main() {
 		svgDir  = flag.String("svg", "", "also render each experiment's figures as SVG files into this directory")
 		timeout = flag.Duration("timeout", 0, "wall-time budget per experiment; on expiry searches stop and report best-so-far (0 = none)")
 		cacheN  = flag.Int("cache", 0, "evaluation memo-cache entries per evaluator (0 = disabled)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profile.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rubyexp: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	cfg := exp.Quick()
 	if *full {

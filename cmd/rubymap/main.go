@@ -27,6 +27,7 @@ import (
 	"ruby/internal/mapping"
 	"ruby/internal/mapspace"
 	"ruby/internal/nest"
+	"ruby/internal/profile"
 	"ruby/internal/search"
 	"ruby/internal/sim"
 	"ruby/internal/workload"
@@ -59,6 +60,8 @@ func main() {
 		verbose  = flag.Bool("v", false, "print per-tensor inter-level traffic")
 		tree     = flag.Bool("tree", false, "print the factorization tree per tiled dimension (paper Figs. 4-6)")
 		simulate = flag.Bool("simulate", false, "cross-check the best mapping on the execution-driven simulator (small workloads)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -66,6 +69,12 @@ func main() {
 		listWorkloads()
 		return
 	}
+
+	stopProf, err0 := profile.Start(*cpuProf, *memProf)
+	if err0 != nil {
+		fatal(err0)
+	}
+	defer stopProf()
 
 	var w *workload.Workload
 	var err error

@@ -19,6 +19,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"ruby/internal/server"
@@ -35,6 +36,16 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/", handler)
 	mux.Handle("GET /debug/vars", expvar.Handler())
+
+	// Profiling endpoints (the custom mux bypasses net/http/pprof's
+	// DefaultServeMux registrations): /debug/pprof/ for the index,
+	// /debug/pprof/profile for CPU, /debug/pprof/heap for allocations —
+	// how hot-path regressions in the evaluation pipeline get diagnosed.
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 
 	srv := &http.Server{
 		Addr:              *addr,

@@ -114,6 +114,54 @@ func (e *Engine) Evaluate(m *mapping.Mapping) nest.Cost {
 	return c
 }
 
+// Worker is a per-goroutine evaluation handle: the engine's compiled plan
+// plus a private scratch. It keeps the hot path allocation-free — no pool
+// traffic, no locks — while sharing the engine's cache and metrics. A Worker
+// must not be used from more than one goroutine at a time.
+type Worker struct {
+	e       *Engine
+	scratch *nest.Scratch
+}
+
+// NewWorker builds an evaluation worker bound to the engine.
+func (e *Engine) NewWorker() *Worker {
+	return &Worker{e: e, scratch: e.ev.Plan().NewScratch()}
+}
+
+// Evaluate is Engine.Evaluate on the worker's scratch. The returned Cost is
+// stable (detached from the scratch).
+func (w *Worker) Evaluate(m *mapping.Mapping) nest.Cost {
+	c := w.EvaluateShared(m)
+	if w.e.cache == nil {
+		c = c.Clone()
+	}
+	return c
+}
+
+// EvaluateShared evaluates m without detaching the result: the returned
+// Cost's per-level slices alias either the worker's scratch or a cache
+// entry, and scratch-backed results are overwritten by the worker's next
+// evaluation. Callers that retain a cost across evaluations (e.g. a search's
+// running best) must Clone it. This is the zero-allocation steady-state path
+// for cache-less tight loops.
+func (w *Worker) EvaluateShared(m *mapping.Mapping) nest.Cost {
+	e := w.e
+	if e.cache == nil {
+		c := e.ev.Plan().EvaluateMappingInto(m, w.scratch)
+		e.metrics.Evaluation(c.Valid, false)
+		return c
+	}
+	key := m.Key(e.ev.Work, e.ev.Slots)
+	if c, ok := e.cache.get(key); ok {
+		e.metrics.Evaluation(c.Valid, true)
+		return c
+	}
+	c := e.ev.Plan().EvaluateMappingInto(m, w.scratch).Clone()
+	e.cache.put(key, c)
+	e.metrics.Evaluation(c.Valid, false)
+	return c
+}
+
 // EvaluateBatch evaluates a slice of mappings in parallel, preserving order.
 // When ctx is cancelled mid-batch, the remaining slots are filled with
 // CancelledReason placeholders instead of being evaluated; callers detect
@@ -140,6 +188,7 @@ func (e *Engine) EvaluateBatch(ctx context.Context, ms []*mapping.Mapping) []nes
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			wk := e.NewWorker()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(ms) {
@@ -149,7 +198,7 @@ func (e *Engine) EvaluateBatch(ctx context.Context, ms []*mapping.Mapping) []nes
 					out[i] = nest.Cost{Valid: false, Reason: CancelledReason}
 					continue
 				}
-				out[i] = e.Evaluate(ms[i])
+				out[i] = wk.Evaluate(ms[i])
 			}
 		}()
 	}

@@ -1,0 +1,238 @@
+package mapping
+
+import (
+	"fmt"
+
+	"ruby/internal/arch"
+	"ruby/internal/factor"
+	"ruby/internal/workload"
+)
+
+// Dense is the integer-indexed lowering of one mapping against a fixed
+// (workload, architecture, slot list): cumulative tile sizes per dimension,
+// per-level loop orders as dimension ids, and per-level bypass bitmasks.
+// It is produced once per mapping (memoized on the Mapping) and read by the
+// compiled evaluation plan (internal/nest.Plan) without any string lookups
+// or map traffic.
+//
+// Dimensions are identified by their index in the workload's declaration
+// order; roles by the bit 1<<role (see RoleBit).
+type Dense struct {
+	NDims  int
+	NSlots int
+
+	// Cum holds Chain.Cum for every dimension, flattened with stride
+	// NSlots+1: Cum[d*(NSlots+1)+i] is the tile extent of dimension d at
+	// slot i, and the final entry of each row is 1.
+	Cum []int
+
+	// Perm holds the per-level temporal loop orders as dimension ids,
+	// flattened with stride NDims (levels indexed as in the architecture).
+	Perm []int16
+
+	// KeepMask mirrors Mapping.Keep: one entry per override level (its
+	// length is len(Mapping.Keep), possibly zero). The sentinel -1 means
+	// "no override at this level"; otherwise bit RoleBit(r) is set iff the
+	// override keeps role r.
+	KeepMask []int8
+}
+
+// RoleBit returns the bit identifying role r in dense keep masks.
+func RoleBit(r workload.Role) uint8 { return 1 << uint8(r) }
+
+// CumAt returns the tile extent of dimension d at slot si.
+func (dn *Dense) CumAt(d, si int) int { return dn.Cum[d*(dn.NSlots+1)+si] }
+
+// TripsAt returns the loop trip count of dimension d at slot si, matching
+// Chain.Trips bit for bit.
+func (dn *Dense) TripsAt(d, si int) int {
+	base := d * (dn.NSlots + 1)
+	outer, inner := dn.Cum[base+si], dn.Cum[base+si+1]
+	if inner >= outer {
+		return 1
+	}
+	return (outer + inner - 1) / inner
+}
+
+// DenseError reports why a mapping could not be lowered. Stage is "chains"
+// or "perms", matching the prefixes the legacy nest.Evaluator puts on its
+// invalid-cost reasons, and Err carries the exact legacy message.
+type DenseError struct {
+	Stage string
+	Err   error
+}
+
+func (e *DenseError) Error() string { return e.Stage + ": " + e.Err.Error() }
+func (e *DenseError) Unwrap() error { return e.Err }
+
+// denseMemo records a lowered form together with the identity of the
+// (workload, arch, slots) triple it was computed against, so a stale dense
+// form is never served to a different evaluator.
+type denseMemo struct {
+	w      *workload.Workload
+	a      *arch.Arch
+	nslots int
+	d      *Dense
+}
+
+// Dense returns the mapping's lowered form for the given evaluator context,
+// computing and memoizing it on first use. The same mutation invariant as
+// Key applies: a mapping that has been lowered must not be mutated in place
+// except through Invalidate (which SampleInto-style reusers call).
+func (m *Mapping) Dense(w *workload.Workload, a *arch.Arch, slots []Slot) (*Dense, error) {
+	if dm := m.dense.Load(); dm != nil && dm.w == w && dm.a == a && dm.nslots == len(slots) {
+		return dm.d, nil
+	}
+	spare := m.spare
+	m.spare = nil
+	d, err := m.densify(w, a, slots, spare)
+	if err != nil {
+		m.spare = spare // keep the storage for a future successful lowering
+		return nil, err
+	}
+	m.dense.Store(&denseMemo{w: w, a: a, nslots: len(slots), d: d})
+	return d, nil
+}
+
+// Invalidate clears the memoized key and dense forms after an in-place
+// mutation. The dense storage is recycled into the next lowering so that
+// sampler loops reusing one Mapping stay allocation-free at steady state.
+// Invalidate-and-reuse is single-owner by design: it must not race with
+// concurrent readers of the same Mapping (every searcher that shares
+// mappings across goroutines clones them first).
+func (m *Mapping) Invalidate() {
+	if dm := m.dense.Load(); dm != nil {
+		m.spare = dm.d
+	}
+	m.dense.Store(nil)
+	m.key.Store(nil)
+}
+
+// densify lowers the mapping, validating exactly as the legacy evaluation
+// path does (Chains, then ValidatePerms) with identical error messages and
+// detection order. The recycle argument, when shape-compatible, provides
+// the backing storage.
+func (m *Mapping) densify(w *workload.Workload, a *arch.Arch, slots []Slot, recycle *Dense) (*Dense, error) {
+	nd, ns, nl := len(w.Dims), len(slots), len(a.Levels)
+	stride := ns + 1
+	d := recycle
+	if d == nil || d.NDims != nd || d.NSlots != ns || len(d.Perm) != nl*nd {
+		d = &Dense{
+			NDims:  nd,
+			NSlots: ns,
+			Cum:    make([]int, nd*stride),
+			Perm:   make([]int16, nl*nd),
+		}
+	}
+	d.KeepMask = d.KeepMask[:0]
+
+	chainsErr := func(err error) (*Dense, error) {
+		return nil, &DenseError{Stage: "chains", Err: err}
+	}
+	for di := range w.Dims {
+		dim := &w.Dims[di]
+		fs, ok := m.Factors[dim.Name]
+		if !ok {
+			return chainsErr(fmt.Errorf("mapping: no factors for dim %q", dim.Name))
+		}
+		if len(fs) != ns {
+			return chainsErr(fmt.Errorf("mapping: dim %q has %d factors for %d slots", dim.Name, len(fs), ns))
+		}
+		// Structural validity under ceiling semantics, replicating
+		// factor.ValidateChain over all-imperfect slots (innermost-first
+		// slot indices in the messages, as the legacy path reports them).
+		r := dim.Bound
+		for i := 0; i < ns; i++ {
+			f := fs[ns-1-i]
+			var ferr error
+			switch {
+			case f < 1:
+				ferr = fmt.Errorf("factor: slot %d factor %d < 1", i, f)
+			case r == 1 && f != 1:
+				ferr = fmt.Errorf("factor: slot %d factor %d after residual reached 1", i, f)
+			case r > 1 && f > r:
+				ferr = fmt.Errorf("factor: slot %d factor %d exceeds residual %d", i, f, r)
+			}
+			if ferr != nil {
+				return chainsErr(fmt.Errorf("mapping: dim %q: %w", dim.Name, ferr))
+			}
+			if r > 1 {
+				r = factor.CeilDiv(r, f)
+			}
+		}
+		if r != 1 {
+			return chainsErr(fmt.Errorf("mapping: dim %q: %w", dim.Name,
+				fmt.Errorf("factor: chain leaves residual %d over dimension %d", r, dim.Bound)))
+		}
+		// Cumulative tile sizes, exactly as NewChain computes them.
+		row := d.Cum[di*stride : di*stride+stride]
+		row[ns] = 1
+		prod := 1
+		for i := ns - 1; i >= 0; i-- {
+			if prod < dim.Bound {
+				prod *= fs[i]
+			}
+			if prod > dim.Bound {
+				prod = dim.Bound
+			}
+			row[i] = prod
+		}
+	}
+
+	permsErr := func(err error) (*Dense, error) {
+		return nil, &DenseError{Stage: "perms", Err: err}
+	}
+	if len(m.Perms) != nl {
+		return permsErr(fmt.Errorf("mapping: %d perms for %d levels", len(m.Perms), nl))
+	}
+	for li, perm := range m.Perms {
+		if len(perm) != nd {
+			return permsErr(fmt.Errorf("mapping: level %d perm has %d dims, want %d", li, len(perm), nd))
+		}
+		base := li * nd
+		for k, name := range perm {
+			id := int16(-1)
+			for dj := range w.Dims {
+				if w.Dims[dj].Name == name {
+					id = int16(dj)
+					break
+				}
+			}
+			d.Perm[base+k] = id
+		}
+		for dj := range w.Dims {
+			found := false
+			for k := 0; k < nd; k++ {
+				if d.Perm[base+k] == int16(dj) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return permsErr(fmt.Errorf("mapping: level %d perm missing dim %q", li, w.Dims[dj].Name))
+			}
+		}
+	}
+
+	if m.Keep != nil {
+		if cap(d.KeepMask) < len(m.Keep) {
+			d.KeepMask = make([]int8, len(m.Keep))
+		} else {
+			d.KeepMask = d.KeepMask[:len(m.Keep)]
+		}
+		for li, k := range m.Keep {
+			if k == nil {
+				d.KeepMask[li] = -1
+				continue
+			}
+			var mask int8
+			for _, r := range workload.Roles {
+				if k[r] {
+					mask |= int8(RoleBit(r))
+				}
+			}
+			d.KeepMask[li] = mask
+		}
+	}
+	return d, nil
+}

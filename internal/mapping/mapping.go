@@ -117,9 +117,16 @@ type Mapping struct {
 
 	// key memoizes the last Key result (the evaluation-cache hot path).
 	// Invariant: a mapping that has been keyed must not be mutated in
-	// place — Clone first, as every searcher does. Clone does not copy the
-	// memo.
+	// place — Clone first (as every searcher does) or call Invalidate
+	// after the mutation. Clone does not copy the memo.
 	key atomic.Pointer[keyMemo]
+
+	// dense memoizes the integer-indexed lowering read by the compiled
+	// evaluation plan, under the same mutation invariant as key. spare
+	// recycles the previous lowering's storage across Invalidate calls so
+	// sampler loops that reuse one Mapping stay allocation-free.
+	dense atomic.Pointer[denseMemo]
+	spare *Dense
 }
 
 // keyMemo records a computed key together with the identity of the

@@ -18,6 +18,7 @@ package mapspace
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"ruby/internal/arch"
 	"ruby/internal/factor"
@@ -132,19 +133,47 @@ func (c Constraints) allowed(kind mapping.SlotKind, dim string) bool {
 	return false
 }
 
-// Space is a mapspace for one (workload, architecture, kind) triple.
+// Space is a mapspace for one (workload, architecture, kind) triple. It is
+// safe for concurrent use; samplers that draw in a tight loop should each
+// hold a Sampler (NewSampler) for allocation-free in-place sampling.
 type Space struct {
 	Work *workload.Workload
 	Arch *arch.Arch
 	Kind Kind
 	Cons Constraints
 
-	slots []mapping.Slot
+	slots    []mapping.Slot
+	dimNames []string
+
+	// divCache memoizes factor.Divisors per dimension residual: random
+	// sampling hits the same few residuals millions of times.
+	divMu    sync.RWMutex
+	divCache map[int][]int
 }
 
 // New builds a Space.
 func New(w *workload.Workload, a *arch.Arch, kind Kind, cons Constraints) *Space {
-	return &Space{Work: w, Arch: a, Kind: kind, Cons: cons, slots: mapping.Slots(a)}
+	return &Space{
+		Work: w, Arch: a, Kind: kind, Cons: cons,
+		slots:    mapping.Slots(a),
+		dimNames: w.DimNames(),
+		divCache: make(map[int][]int),
+	}
+}
+
+// divisors returns the cached sorted divisor list of n.
+func (s *Space) divisors(n int) []int {
+	s.divMu.RLock()
+	divs, ok := s.divCache[n]
+	s.divMu.RUnlock()
+	if ok {
+		return divs
+	}
+	divs = factor.Divisors(n)
+	s.divMu.Lock()
+	s.divCache[n] = divs
+	s.divMu.Unlock()
+	return divs
 }
 
 // Slots exposes the slot list the space maps over.
@@ -208,35 +237,90 @@ func (s *Space) TotalChainCount() uint64 {
 // capacities; the caller's search loop filters those, mirroring Timeloop's
 // generate-then-filter design.
 func (s *Space) Sample(rng *rand.Rand) *mapping.Mapping {
-	m := &mapping.Mapping{Factors: make(map[string][]int, len(s.Work.Dims))}
+	m := &mapping.Mapping{}
+	s.sampleInto(rng, m, make([]int, len(s.slots)), append([]string(nil), s.dimNames...))
+	return m
+}
+
+// Sampler owns the per-goroutine scratch for repeated in-place sampling.
+// One Sampler per goroutine; the underlying Space stays shared.
+type Sampler struct {
+	sp     *Space
+	budget []int
+	dims   []string
+}
+
+// NewSampler builds a Sampler over the space.
+func (s *Space) NewSampler() *Sampler {
+	return &Sampler{
+		sp:     s,
+		budget: make([]int, len(s.slots)),
+		dims:   append([]string(nil), s.dimNames...),
+	}
+}
+
+// SampleInto redraws m in place, reusing its factor slices and perm storage,
+// and pre-lowers the result to its dense form so the evaluation pipeline
+// downstream stays allocation-free at steady state. The random draw sequence
+// is identical to Sample's: a seeded search produces the same mappings
+// whichever entry point it uses. The caller must own m exclusively (clone
+// before sharing across goroutines).
+func (sm *Sampler) SampleInto(rng *rand.Rand, m *mapping.Mapping) {
+	s := sm.sp
+	copy(sm.dims, s.dimNames)
+	s.sampleInto(rng, m, sm.budget, sm.dims)
+	m.Dense(s.Work, s.Arch, s.slots) // structurally valid by construction
+}
+
+// sampleInto is the sampling core behind Sample and Sampler.SampleInto.
+// budget and dims are caller-owned scratch; dims must hold the dimension
+// names in declaration order on entry.
+func (s *Space) sampleInto(rng *rand.Rand, m *mapping.Mapping, budget []int, dims []string) {
+	m.Invalidate()
+	if m.Factors == nil {
+		m.Factors = make(map[string][]int, len(s.Work.Dims))
+	}
+	m.Keep = nil
 
 	// Shared fanout budgets per spatial slot.
-	budget := make([]int, len(s.slots))
 	for i, sl := range s.slots {
 		if sl.Spatial() {
 			budget[i] = sl.Fanout
+		} else {
+			budget[i] = 0
 		}
 	}
 
 	// Visit dimensions in random order so no dimension monopolizes fanout —
 	// except dimensions with a required spatial allocation, which go first
 	// so the fanout budget cannot be starved before they draw.
-	dims := append([]string(nil), s.Work.DimNames()...)
 	rng.Shuffle(len(dims), func(i, j int) { dims[i], dims[j] = dims[j], dims[i] })
 	if len(s.Cons.RequireSpatialX)+len(s.Cons.RequireSpatialY) > 0 {
 		sortRequiredFirst(dims, s.Cons)
 	}
 
 	for _, d := range dims {
-		m.Factors[d] = s.sampleChain(rng, d, budget)
+		fs := m.Factors[d]
+		if len(fs) != len(s.slots) {
+			fs = make([]int, len(s.slots))
+		}
+		s.sampleChainInto(rng, d, budget, fs)
+		m.Factors[d] = fs
 	}
 
 	if s.Cons.FixedPerms {
 		m.Perms = mapping.DefaultPerms(s.Work, s.Arch)
 	} else {
-		m.Perms = make([][]string, len(s.Arch.Levels))
+		if len(m.Perms) != len(s.Arch.Levels) {
+			m.Perms = make([][]string, len(s.Arch.Levels))
+		}
 		for li := range m.Perms {
-			p := append([]string(nil), s.Work.DimNames()...)
+			p := m.Perms[li]
+			if len(p) != len(s.dimNames) {
+				p = append([]string(nil), s.dimNames...)
+			} else {
+				copy(p, s.dimNames)
+			}
 			rng.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
 			m.Perms[li] = p
 		}
@@ -244,7 +328,6 @@ func (s *Space) Sample(rng *rand.Rand) *mapping.Mapping {
 	if s.Cons.ExploreBypass {
 		s.sampleBypass(rng, m)
 	}
-	return m
 }
 
 // sampleBypass randomly drops tensors from intermediate storage levels
@@ -288,6 +371,13 @@ func (s *Space) sampleBypass(rng *rand.Rand, m *mapping.Mapping) {
 // from the shared spatial budget slice.
 func (s *Space) sampleChain(rng *rand.Rand, d string, budget []int) []int {
 	fs := make([]int, len(s.slots))
+	s.sampleChainInto(rng, d, budget, fs)
+	return fs
+}
+
+// sampleChainInto is sampleChain writing into caller-owned storage (len must
+// equal the slot count; every entry is overwritten).
+func (s *Space) sampleChainInto(rng *rand.Rand, d string, budget, fs []int) {
 	r := s.Work.Bound(d)
 	// Innermost-first; slot 0 of s.slots is outermost.
 	for i := len(s.slots) - 1; i >= 0; i-- {
@@ -310,7 +400,6 @@ func (s *Space) sampleChain(rng *rand.Rand, d string, budget []int) []int {
 			}
 		}
 	}
-	return fs
 }
 
 // SampleChain draws a fresh factor chain for one dimension against a full
@@ -382,7 +471,7 @@ func (s *Space) sampleFactor(rng *rand.Rand, sl mapping.Slot, dim string, r, bud
 		if imperfect {
 			return 2 + rng.Intn(max-1)
 		}
-		if f := smallestDivisorGE2LE(r, max, rng); f > 1 {
+		if f := s.divisorGE2LE(rng, r, max); f > 1 {
 			return f
 		}
 		return 1
@@ -398,51 +487,52 @@ func (s *Space) sampleFactor(rng *rand.Rand, sl mapping.Slot, dim string, r, bud
 		case 0, 1, 2:
 			return max
 		case 3, 4, 5:
-			return cappedDivisor(rng, r, max)
+			return s.cappedDivisor(rng, r, max)
 		default:
 			return 1 + rng.Intn(max)
 		}
 	}
-	return cappedDivisor(rng, r, max)
+	return s.cappedDivisor(rng, r, max)
 }
 
 // sortRequiredFirst stably moves dimensions with required spatial
-// allocations to the front of the sampling order.
+// allocations to the front of the sampling order, in place (the sampler
+// calls it once per sample; dimension counts are tiny).
 func sortRequiredFirst(dims []string, cons Constraints) {
 	isReq := func(d string) bool {
 		return cons.required(mapping.SpatialX, d) || cons.required(mapping.SpatialY, d)
 	}
-	out := dims[:0:len(dims)]
-	var rest []string
-	for _, d := range dims {
-		if isReq(d) {
-			out = append(out, d)
-		} else {
-			rest = append(rest, d)
+	k := 0
+	for i, d := range dims {
+		if !isReq(d) {
+			continue
 		}
+		copy(dims[k+1:i+1], dims[k:i])
+		dims[k] = d
+		k++
 	}
-	copy(dims[len(out):], rest)
 }
 
-// smallestDivisorGE2LE draws a random divisor of r in [2, max], or 1 when
-// none exists.
-func smallestDivisorGE2LE(r, max int, rng *rand.Rand) int {
-	var cands []int
-	for _, d := range factor.Divisors(r) {
-		if d >= 2 && d <= max {
-			cands = append(cands, d)
-		}
+// divisorGE2LE draws a random divisor of r in [2, max], or 1 when none
+// exists. The divisor list is sorted with 1 first, so the candidates are the
+// cached list's [1, hi) window; the rng draw count and selected values match
+// the pre-cache implementation exactly.
+func (s *Space) divisorGE2LE(rng *rand.Rand, r, max int) int {
+	divs := s.divisors(r)
+	hi := len(divs)
+	for hi > 0 && divs[hi-1] > max {
+		hi--
 	}
-	if len(cands) == 0 {
+	if hi <= 1 {
 		return 1
 	}
-	return cands[rng.Intn(len(cands))]
+	return divs[1+rng.Intn(hi-1)]
 }
 
 // cappedDivisor draws a uniform random divisor of r not exceeding max
 // (falling back to 1, which always divides).
-func cappedDivisor(rng *rand.Rand, r, max int) int {
-	divs := factor.Divisors(r)
+func (s *Space) cappedDivisor(rng *rand.Rand, r, max int) int {
+	divs := s.divisors(r)
 	hi := len(divs)
 	for hi > 0 && divs[hi-1] > max {
 		hi--

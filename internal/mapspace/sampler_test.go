@@ -1,0 +1,67 @@
+package mapspace
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ruby/internal/arch"
+	"ruby/internal/mapping"
+	"ruby/internal/workloads"
+)
+
+// TestSampleIntoMatchesSample pins the in-place sampler to the allocating
+// one: with the same seed, both entry points must consume the rng
+// identically and produce identical mapping sequences, so seeded searches
+// stay reproducible whichever path they use.
+func TestSampleIntoMatchesSample(t *testing.T) {
+	w := workloads.ResNet50()[3].Work
+	a := arch.EyerissLike(14, 12, 128)
+	for _, kind := range Kinds {
+		for _, bypass := range []bool{false, true} {
+			cons := EyerissRowStationary(w)
+			cons.ExploreBypass = bypass
+			sp := New(w, a, kind, cons)
+
+			rngA := rand.New(rand.NewSource(99))
+			rngB := rand.New(rand.NewSource(99))
+			smp := sp.NewSampler()
+			m := &mapping.Mapping{}
+			for i := 0; i < 200; i++ {
+				want := sp.Sample(rngA)
+				smp.SampleInto(rngB, m)
+				if !reflect.DeepEqual(m.Factors, want.Factors) {
+					t.Fatalf("kind %v bypass %v draw %d: factors diverge\n got %v\nwant %v",
+						kind, bypass, i, m.Factors, want.Factors)
+				}
+				if !reflect.DeepEqual(m.Perms, want.Perms) {
+					t.Fatalf("kind %v bypass %v draw %d: perms diverge", kind, bypass, i)
+				}
+				if !reflect.DeepEqual(m.Keep, want.Keep) {
+					t.Fatalf("kind %v bypass %v draw %d: keep diverges", kind, bypass, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSampleIntoPreLowers checks the sampler emits the dense form: after
+// SampleInto, the mapping's lowering is already memoized and valid.
+func TestSampleIntoPreLowers(t *testing.T) {
+	w := workloads.ResNet50()[1].Work
+	a := arch.SimbaLike(15, 4, 4)
+	sp := New(w, a, RubyS, SimbaDataflow(w))
+	smp := sp.NewSampler()
+	rng := rand.New(rand.NewSource(5))
+	m := &mapping.Mapping{}
+	for i := 0; i < 50; i++ {
+		smp.SampleInto(rng, m)
+		dm, err := m.Dense(w, a, sp.Slots())
+		if err != nil {
+			t.Fatalf("draw %d: sampled mapping failed to lower: %v", i, err)
+		}
+		if dm.NDims != len(w.Dims) || dm.NSlots != len(sp.Slots()) {
+			t.Fatalf("draw %d: dense shape %dx%d", i, dm.NDims, dm.NSlots)
+		}
+	}
+}

@@ -13,6 +13,7 @@ package nest
 
 import (
 	"fmt"
+	"sync"
 
 	"ruby/internal/arch"
 	"ruby/internal/mapping"
@@ -74,6 +75,9 @@ type Evaluator struct {
 	macs      float64
 	lanes     float64
 	firstSlot []int // per level, index of its temporal slot
+
+	plan    *Plan     // compiled integer-indexed evaluation program
+	scratch sync.Pool // of *Scratch, for the Evaluate adapter
 }
 
 // NewEvaluator builds an evaluator, validating the architecture.
@@ -103,8 +107,14 @@ func NewEvaluator(w *workload.Workload, a *arch.Arch) (*Evaluator, error) {
 	for li := range a.Levels {
 		e.firstSlot[li] = mapping.FirstSlotOfLevel(e.Slots, li)
 	}
+	e.plan = newPlan(w, a, e.Slots, e.firstSlot)
+	e.scratch.New = func() any { return e.plan.NewScratch() }
 	return e, nil
 }
+
+// Plan returns the evaluator's compiled evaluation program. Pair it with a
+// per-goroutine Scratch (Plan.NewScratch) for allocation-free evaluation.
+func (e *Evaluator) Plan() *Plan { return e.plan }
 
 // MustEvaluator is NewEvaluator, panicking on error.
 func MustEvaluator(w *workload.Workload, a *arch.Arch) *Evaluator {
@@ -119,8 +129,21 @@ func invalid(format string, args ...any) Cost {
 	return Cost{Valid: false, Reason: fmt.Sprintf(format, args...)}
 }
 
-// Evaluate computes the cost of mapping m.
+// Evaluate computes the cost of mapping m via the compiled plan. Callers
+// that evaluate in a tight loop should hold their own Scratch and call
+// Plan().EvaluateMappingInto directly; this adapter borrows one from a pool
+// and detaches the result, costing one small allocation per valid mapping.
 func (e *Evaluator) Evaluate(m *mapping.Mapping) Cost {
+	s := e.scratch.Get().(*Scratch)
+	c := e.plan.EvaluateMapping(m, s)
+	e.scratch.Put(s)
+	return c
+}
+
+// EvaluateLegacy computes the cost of mapping m through the original
+// string-keyed model. It is retained as the reference implementation for the
+// differential tests that pin the compiled plan to it bit for bit.
+func (e *Evaluator) EvaluateLegacy(m *mapping.Mapping) Cost {
 	chains, err := m.Chains(e.Work, e.Slots)
 	if err != nil {
 		return invalid("chains: %v", err)

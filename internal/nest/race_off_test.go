@@ -1,0 +1,5 @@
+//go:build !race
+
+package nest_test
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package nest_test
+
+// raceEnabled gates allocation-count assertions: the race detector changes
+// sync.Pool behavior and instrumented allocation counts.
+const raceEnabled = true

@@ -1,0 +1,50 @@
+// Package profile wires the -cpuprofile/-memprofile flags of the CLI tools
+// to runtime/pprof, so evaluation-pipeline hot paths can be inspected with
+// `go tool pprof` without an HTTP server.
+package profile
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (if non-empty) and returns a stop
+// function that finishes the CPU profile and, if memPath is non-empty,
+// writes a heap profile there. Either path may be empty; the stop function
+// is always safe to call (and to defer) exactly once.
+func Start(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("profile: %w", err)
+		}
+		cpuFile = f
+	}
+	stop := func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath == "" {
+			return
+		}
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "profile: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialize the steady-state live set
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "profile: %v\n", err)
+		}
+	}
+	return stop, nil
+}

@@ -144,6 +144,13 @@ func RandomCtx(ctx context.Context, sp *mapspace.Space, eng *engine.Engine, opt 
 		go func(seed int64) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed))
+			// Worker-owned evaluation state: one scratch, one sampler and one
+			// mapping reused across iterations, so the sample->evaluate loop
+			// is allocation-free at steady state. The shared best is a clone,
+			// never the reused mapping or a scratch-aliased cost.
+			wk := eng.NewWorker()
+			smp := sp.NewSampler()
+			m := &mapping.Mapping{}
 			for !st.stop.Load() {
 				// Take an evaluation ticket; give it back (exactly) when the
 				// budget is already spent, so Evaluated counts evaluations
@@ -154,16 +161,16 @@ func RandomCtx(ctx context.Context, sp *mapspace.Space, eng *engine.Engine, opt 
 					st.stop.Store(true)
 					return
 				}
-				m := sp.Sample(rng)
-				c := eng.Evaluate(m)
+				smp.SampleInto(rng, m)
+				c := wk.EvaluateShared(m)
 				if !c.Valid {
 					continue
 				}
 				st.mu.Lock()
 				st.valid++
 				if st.best == nil || opt.Objective.Value(&c) < opt.Objective.Value(&st.bestCost) {
-					st.best = m
-					st.bestCost = c
+					st.best = m.Clone()
+					st.bestCost = c.Clone()
 					st.noImprove.Store(0)
 					if opt.KeepTrace {
 						st.trace = append(st.trace, TracePoint{Evals: n, Value: opt.Objective.Value(&c)})
@@ -282,14 +289,17 @@ func HillClimbCtx(ctx context.Context, sp *mapspace.Space, eng *engine.Engine, o
 		return opt.MaxEvaluations <= 0 || res.Evaluated < opt.MaxEvaluations
 	}
 
+	wk := eng.NewWorker()
+	smp := sp.NewSampler()
+	m := &mapping.Mapping{}
 	for i := 0; i < warmup && budgetLeft(); i++ {
 		res.Evaluated++
-		m := sp.Sample(rng)
-		c := eng.Evaluate(m)
+		smp.SampleInto(rng, m)
+		c := wk.Evaluate(m)
 		if c.Valid {
 			res.Valid++
 			if res.Best == nil || opt.Objective.Value(&c) < opt.Objective.Value(&res.BestCost) {
-				res.Best, res.BestCost = m, c
+				res.Best, res.BestCost = m.Clone(), c
 				res.Trace = append(res.Trace, TracePoint{Evals: res.Evaluated, Value: opt.Objective.Value(&c)})
 				met.Improvement(res.Evaluated, opt.Objective.Value(&c))
 			}
@@ -312,7 +322,7 @@ func HillClimbCtx(ctx context.Context, sp *mapspace.Space, eng *engine.Engine, o
 			cand.Factors[d] = sp.SampleChain(rng, d)
 		}
 		res.Evaluated++
-		c := eng.Evaluate(cand)
+		c := wk.Evaluate(cand)
 		if c.Valid {
 			res.Valid++
 			if opt.Objective.Value(&c) < opt.Objective.Value(&res.BestCost) {
