@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-all fmt vet check
+.PHONY: all build test race bench bench-all fmt vet docs-check check
 
 all: check
 
@@ -32,4 +32,10 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-check: fmt vet build test race
+# Documentation hygiene: every relative markdown link must resolve, and the
+# source must be gofmt-clean and vet-clean (doc drift usually rides along
+# with code drift).
+docs-check: fmt vet
+	$(GO) run ./tools/linkcheck
+
+check: fmt vet build docs-check test race

@@ -9,6 +9,11 @@
 // Experiments: fig7a fig7b fig7c fig7d table1 fig8 fig9 fig10 fig11 fig12
 // fig13a fig13b fig14a fig14b; extensions: ext-mobilenetv2 ext-vgg16
 // ext-transformer ablations.
+//
+// Paper-fidelity suite experiments (fig10-fig14) take hours; with
+// -checkpoint DIR each completed per-layer search is persisted, and
+// re-running the same command after a crash or SIGINT resumes, skipping the
+// finished layers with bit-identical results.
 package main
 
 import (
@@ -16,13 +21,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"ruby/internal/engine"
 	"ruby/internal/exp"
 	"ruby/internal/profile"
+	"ruby/internal/sweep"
 )
 
 func main() {
@@ -35,6 +43,7 @@ func main() {
 		seed    = flag.Int64("seed", 0, "override base RNG seed")
 		csvDir  = flag.String("csv", "", "also write each experiment's tables as CSV files into this directory")
 		svgDir  = flag.String("svg", "", "also render each experiment's figures as SVG files into this directory")
+		cpDir   = flag.String("checkpoint", "", "directory for per-layer checkpoints of suite experiments (fig10-fig14); rerunning resumes, skipping completed searches")
 		timeout = flag.Duration("timeout", 0, "wall-time budget per experiment; on expiry searches stop and report best-so-far (0 = none)")
 		cacheN  = flag.Int("cache", 0, "evaluation memo-cache entries per evaluator (0 = disabled)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -76,20 +85,46 @@ func main() {
 	case "all-ext":
 		names = exp.ExtensionNames()
 	}
+	if *cpDir != "" {
+		if err := os.MkdirAll(*cpDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "rubyexp: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	// SIGINT/SIGTERM abort the run; with -checkpoint, finished per-layer
+	// searches of suite experiments are already on disk for the next run.
+	base, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	for _, n := range names {
 		start := time.Now()
-		ctx := context.Background()
+		ctx := base
 		cancel := context.CancelFunc(func() {})
 		if *timeout > 0 {
 			ctx, cancel = context.WithTimeout(ctx, *timeout)
 		}
+		if *cpDir != "" {
+			// One checkpoint file per experiment: layer keys already encode
+			// the arch, strategy and search budget, the file split just keeps
+			// them small and independently deletable.
+			cp, err := sweep.OpenSuiteCheckpoint(filepath.Join(*cpDir, n+".suite.json"))
+			if err != nil {
+				cancel()
+				fmt.Fprintf(os.Stderr, "rubyexp: %v\n", err)
+				os.Exit(1)
+			}
+			cfg.Checkpoint = cp
+		}
 		rep, err := exp.RunCtx(ctx, n, cfg)
 		if err != nil {
 			cancel()
+			if base.Err() != nil && *cpDir != "" {
+				fmt.Fprintf(os.Stderr, "rubyexp: interrupted during %s; rerun the same command to resume from %s\n", n, *cpDir)
+				os.Exit(1)
+			}
 			fmt.Fprintf(os.Stderr, "rubyexp: %v\n", err)
 			os.Exit(1)
 		}
-		if ctx.Err() != nil {
+		if ctx.Err() != nil && base.Err() == nil {
 			fmt.Fprintf(os.Stderr, "rubyexp: %s hit the %v timeout; results reflect only the search budget spent\n", n, *timeout)
 		}
 		cancel()

@@ -7,16 +7,25 @@
 //	rubymap -conv n=1,m=96,c=48,p=27,q=27,r=5,s=5 -arch eyeriss:14x12:128
 //	rubymap -matmul 5124x700x2048 -arch simba:15:4x4 -mapspace pfm
 //	rubymap -list
+//
+// Long searches are interruptible: with -checkpoint DIR the search state is
+// snapshotted periodically and on SIGINT/SIGTERM, and -resume continues a
+// killed run from its last snapshot with bit-identical final results (see
+// docs/ARCHITECTURE.md).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"ruby/internal/arch"
 	"ruby/internal/config"
@@ -44,9 +53,11 @@ func main() {
 		archFile = flag.String("arch-file", "", "JSON architecture file (overrides -arch)")
 		consFile = flag.String("constraints-file", "", "JSON constraints file (overrides the arch preset)")
 		kind     = flag.String("mapspace", "ruby-s", "pfm | ruby | ruby-s | ruby-t")
-		searcher = flag.String("search", "random", "random | genetic | anneal | hillclimb | portfolio | heuristic (one-shot) | warm (heuristic + random)")
+		searcher = flag.String("search", "random", "random | exhaustive | genetic | anneal | hillclimb | portfolio | heuristic (one-shot) | warm (heuristic + random)")
 		objFlag  = flag.String("objective", "edp", "edp | energy | delay")
-		evals    = flag.Int64("evals", 100000, "max sampled mappings (0 = rely on no-improve)")
+		evals    = flag.Int64("evals", 100000, "max sampled mappings (0 = rely on no-improve; also caps -search exhaustive)")
+		cpDir    = flag.String("checkpoint", "", "directory for crash-safe search snapshots (random|warm|hillclimb|exhaustive); SIGINT/SIGTERM write a final snapshot before exiting")
+		resume   = flag.Bool("resume", false, "continue from the snapshot in -checkpoint (fresh start when none exists)")
 		noImp    = flag.Int64("no-improve", 3000, "stop after this many consecutive non-improving valid mappings")
 		threads  = flag.Int("threads", 0, "search threads (default: CPUs, max 24)")
 		seed     = flag.Int64("seed", 1, "RNG seed")
@@ -170,41 +181,26 @@ func main() {
 			ctx, cancel = context.WithTimeout(ctx, *timeout)
 			defer cancel()
 		}
+		// SIGINT/SIGTERM cancel the search; checkpointable searchers drain
+		// their in-flight batch and write a final snapshot first.
+		ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+		defer stop()
 		counters := &engine.Counters{}
-		eng := engine.Config{CacheEntries: *cacheN, Metrics: counters}.New(ev)
-		switch *searcher {
-		case "random":
-			res = search.RandomCtx(ctx, sp, eng, opt)
-		case "genetic":
-			res = search.Genetic(sp, ev, search.GeneticOptions{Seed: *seed, Objective: obj})
-		case "hillclimb":
-			res = search.HillClimbCtx(ctx, sp, eng, opt, 1000, 2000)
-		case "anneal":
-			steps := int(*evals)
-			if steps <= 0 {
-				steps = 20000
-			}
-			res = search.Anneal(sp, ev, search.AnnealOptions{Seed: *seed, Steps: steps, Objective: obj})
-		case "portfolio":
-			res = search.PortfolioCtx(ctx, sp, eng, opt)
-		case "heuristic":
-			m, c, err := heuristic.Construct(ev, k, cons)
+		eng := engine.Config{CacheEntries: *cacheN, Metrics: counters, Workers: *threads}.New(ev)
+		if *cpDir != "" || *resume || *searcher == "exhaustive" {
+			res, err = runCheckpointable(ctx, *searcher, sp, eng, ev, k, cons, opt, *evals, *cpDir, *resume)
 			if err != nil {
 				fatal(err)
 			}
-			res = &search.Result{Best: m, BestCost: c, Evaluated: 1, Valid: 1}
-		case "warm":
-			m, _, err := heuristic.Construct(ev, k, cons)
-			if err != nil {
-				fatal(err)
-			}
-			opt.WarmStart = m
-			res = search.RandomCtx(ctx, sp, eng, opt)
-		default:
-			fatal(fmt.Errorf("unknown searcher %q", *searcher))
+		} else {
+			res = runOneShot(ctx, *searcher, sp, eng, ev, k, cons, opt, obj, *seed, *evals)
 		}
 		if ctx.Err() != nil {
-			fmt.Printf("search timed out after %s; reporting best mapping so far\n\n", *timeout)
+			if *timeout > 0 && errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				fmt.Printf("search timed out after %s; reporting best mapping so far\n\n", *timeout)
+			} else {
+				fmt.Printf("search interrupted; reporting best mapping so far\n\n")
+			}
 		}
 		if *metrics {
 			s := counters.Snapshot()
@@ -212,6 +208,112 @@ func main() {
 				s.Evaluations, 100*s.ValidRate, s.CacheHits, 100*s.CacheHitRate, s.Improvements, s.SearchSeconds)
 		}
 	}
+	reportAndExit(res, w, a, k, sp, ev, lib, libKey,
+		*savePath, *tree, *verbose, *simulate)
+}
+
+// runOneShot dispatches the non-checkpointable searchers (and the legacy
+// random/hillclimb parallel paths, kept so existing invocations reproduce
+// their historical draw sequences exactly).
+func runOneShot(ctx context.Context, searcher string, sp *mapspace.Space, eng *engine.Engine,
+	ev *nest.Evaluator, k mapspace.Kind, cons mapspace.Constraints,
+	opt search.Options, obj search.Objective, seed, evals int64) *search.Result {
+
+	switch searcher {
+	case "random":
+		return search.RandomCtx(ctx, sp, eng, opt)
+	case "genetic":
+		return search.Genetic(sp, ev, search.GeneticOptions{Seed: seed, Objective: obj})
+	case "hillclimb":
+		return search.HillClimbCtx(ctx, sp, eng, opt, 1000, 2000)
+	case "anneal":
+		steps := int(evals)
+		if steps <= 0 {
+			steps = 20000
+		}
+		return search.Anneal(sp, ev, search.AnnealOptions{Seed: seed, Steps: steps, Objective: obj})
+	case "portfolio":
+		return search.PortfolioCtx(ctx, sp, eng, opt)
+	case "heuristic":
+		m, c, err := heuristic.Construct(ev, k, cons)
+		if err != nil {
+			fatal(err)
+		}
+		return &search.Result{Best: m, BestCost: c, Evaluated: 1, Valid: 1}
+	case "warm":
+		m, _, err := heuristic.Construct(ev, k, cons)
+		if err != nil {
+			fatal(err)
+		}
+		opt.WarmStart = m
+		return search.RandomCtx(ctx, sp, eng, opt)
+	default:
+		fatal(fmt.Errorf("unknown searcher %q", searcher))
+		return nil
+	}
+}
+
+// runCheckpointable drives the resumable searchers under RunCheckpointed:
+// periodic snapshots into dir, a final snapshot on interruption, and exact
+// continuation with -resume. An interrupted run returns its best-so-far
+// result (nil error) after pointing at the snapshot.
+func runCheckpointable(ctx context.Context, searcher string, sp *mapspace.Space, eng *engine.Engine,
+	ev *nest.Evaluator, k mapspace.Kind, cons mapspace.Constraints,
+	opt search.Options, maxEnum int64, dir string, resume bool) (*search.Result, error) {
+
+	var sr search.Searcher
+	switch searcher {
+	case "random":
+		sr = search.NewRandom(sp, eng, opt)
+	case "warm":
+		m, _, err := heuristic.Construct(ev, k, cons)
+		if err != nil {
+			return nil, err
+		}
+		opt.WarmStart = m
+		sr = search.NewRandom(sp, eng, opt)
+	case "hillclimb":
+		sr = search.NewHillClimb(sp, eng, opt, 1000, 2000)
+	case "exhaustive":
+		sr = search.NewExhaustive(sp, eng, opt, maxEnum)
+	default:
+		return nil, fmt.Errorf("-checkpoint/-resume supports random|warm|hillclimb|exhaustive, not %q", searcher)
+	}
+	var cc search.CheckpointConfig
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		cc.Path = filepath.Join(dir, "rubymap.search.json")
+	}
+	if resume {
+		if cc.Path == "" {
+			return nil, fmt.Errorf("-resume requires -checkpoint DIR")
+		}
+		if ok, err := search.RestoreFromFile(sr, cc.Path); err != nil {
+			return nil, err
+		} else if ok {
+			fmt.Printf("resumed search from %s (%d evaluations done)\n\n", cc.Path, sr.Result().Evaluated)
+		}
+	}
+	res, err := search.RunCheckpointed(ctx, sr, cc)
+	if err != nil {
+		if ctx.Err() == nil {
+			return nil, err
+		}
+		if cc.Path != "" {
+			fmt.Printf("checkpoint written to %s (continue with -resume)\n", cc.Path)
+		}
+	}
+	return res, nil
+}
+
+// reportAndExit prints the winning mapping with its cost breakdown and the
+// requested extras, storing it in the library/save file first.
+func reportAndExit(res *search.Result, w *workload.Workload, a *arch.Arch, k mapspace.Kind,
+	sp *mapspace.Space, ev *nest.Evaluator, lib *library.Store, libKey string,
+	savePath string, tree, verbose, simulate bool) {
+
 	if res.Best == nil {
 		fatal(fmt.Errorf("no valid mapping found after %d samples", res.Evaluated))
 	}
@@ -220,15 +322,15 @@ func main() {
 			fatal(err)
 		}
 	}
-	if *savePath != "" {
+	if savePath != "" {
 		data, err := res.Best.Encode()
 		if err != nil {
 			fatal(err)
 		}
-		if err := os.WriteFile(*savePath, data, 0o644); err != nil {
+		if err := os.WriteFile(savePath, data, 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("saved best mapping to %s\n\n", *savePath)
+		fmt.Printf("saved best mapping to %s\n\n", savePath)
 	}
 
 	fmt.Printf("workload: %s (%d MACs)\n", w.Name, w.MACs())
@@ -249,7 +351,7 @@ func main() {
 	}
 	fmt.Printf("  MACs   %s\n", energy.Format(c.MACEnergyPJ))
 
-	if *tree {
+	if tree {
 		fmt.Println("\nfactorization trees:")
 		for _, d := range w.DimNames() {
 			if w.Bound(d) > 1 {
@@ -258,7 +360,7 @@ func main() {
 		}
 	}
 
-	if *verbose {
+	if verbose {
 		links, err := ev.Links(res.Best)
 		if err != nil {
 			fatal(err)
@@ -271,7 +373,7 @@ func main() {
 		}
 	}
 
-	if *simulate {
+	if simulate {
 		sm, err := sim.New(w, a, sim.Options{})
 		if err != nil {
 			fatal(err)

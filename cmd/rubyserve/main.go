@@ -1,6 +1,6 @@
 // Command rubyserve exposes the mapper as a JSON-over-HTTP service.
 //
-//	rubyserve -addr :8731
+//	rubyserve -addr :8731 -state /var/lib/ruby
 //
 //	curl localhost:8731/v1/suites
 //	curl -X POST localhost:8731/v1/search -d '{
@@ -12,14 +12,24 @@
 //	    {"name": "PE", "per_role_words": {"input": 12, "output": 16, "weight": 224}}]},
 //	  "mapspace": "ruby-s", "max_evaluations": 50000
 //	}'
+//
+// Asynchronous jobs (POST /v1/jobs) are fault tolerant when -state DIR is
+// set: job records and periodic search checkpoints live in DIR, so a restart
+// re-lists finished jobs and resumes interrupted ones with results identical
+// to an uninterrupted run. On SIGINT/SIGTERM the server stops accepting
+// work, drains running jobs to their checkpoints, and exits cleanly.
 package main
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"log"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ruby/internal/server"
@@ -27,14 +37,19 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8731", "listen address")
+	stateDir := flag.String("state", "", "directory for job records and search checkpoints; jobs survive restarts (empty = in-memory only)")
+	drainTO := flag.Duration("drain-timeout", 30*time.Second, "max time to drain running jobs on shutdown")
 	flag.Parse()
 
+	svc, err := server.NewService(server.Options{StateDir: *stateDir})
+	if err != nil {
+		log.Fatalf("rubyserve: %v", err)
+	}
 	// Pipeline counters are served at /v1/metrics and, via expvar, at
 	// /debug/vars alongside the runtime's variables.
-	handler, counters := server.NewWithMetrics()
-	counters.Publish("ruby_engine")
+	svc.Counters().Publish("ruby_engine")
 	mux := http.NewServeMux()
-	mux.Handle("/", handler)
+	mux.Handle("/", svc)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 
 	// Profiling endpoints (the custom mux bypasses net/http/pprof's
@@ -52,6 +67,31 @@ func main() {
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		log.Printf("rubyserve: shutting down (draining jobs, timeout %v)", *drainTO)
+		dctx, cancel := context.WithTimeout(context.Background(), *drainTO)
+		defer cancel()
+		// Stop accepting requests first, then park running jobs in their
+		// checkpoints so the next -state run resumes them.
+		if err := srv.Shutdown(dctx); err != nil {
+			log.Printf("rubyserve: http shutdown: %v", err)
+		}
+		if err := svc.Shutdown(dctx); err != nil {
+			log.Printf("rubyserve: job drain: %v", err)
+		}
+	}()
 	log.Printf("rubyserve listening on %s", *addr)
-	log.Fatal(srv.ListenAndServe())
+	if *stateDir != "" {
+		log.Printf("rubyserve: persisting jobs in %s", *stateDir)
+	}
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	<-drained
+	log.Printf("rubyserve: bye")
 }

@@ -8,6 +8,11 @@
 //	rubysuite -suite mobilenetv2 -mapspaces pfm,ruby-s -evals 20000
 //	rubysuite -suite deepbench -arch eyeriss:16x16:128
 //	rubysuite -list
+//
+// With -checkpoint DIR every finished layer is recorded on disk, keyed by
+// its full search configuration; re-running the same command (after a crash,
+// SIGINT, or timeout) skips completed layers and reproduces their results
+// bit for bit. Pass -resume for clarity — any run with -checkpoint resumes.
 package main
 
 import (
@@ -15,9 +20,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"ruby/internal/arch"
 	"ruby/internal/config"
@@ -41,6 +49,8 @@ func main() {
 		threads  = flag.Int("threads", 0, "search threads")
 		seed     = flag.Int64("seed", 1, "RNG seed")
 		libDir   = flag.String("library", "", "mapping-library directory: reuse cached best mappings across runs")
+		cpDir    = flag.String("checkpoint", "", "directory for per-layer suite checkpoints; interrupted runs resume here, skipping completed layers")
+		resume   = flag.Bool("resume", false, "alias for clarity: resuming is automatic whenever -checkpoint is set")
 		timeout  = flag.Duration("timeout", 0, "wall-time budget for the whole run; on expiry the run aborts (0 = none)")
 		parallel = flag.Int("parallel", 0, "layers searched concurrently (0 = auto, 1 = serial)")
 		cacheN   = flag.Int("cache", 0, "per-layer evaluation memo-cache entries (0 = disabled)")
@@ -100,17 +110,39 @@ func main() {
 		}
 	}
 
+	if *resume && *cpDir == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint DIR"))
+	}
+	var cp *sweep.SuiteCheckpoint
+	if *cpDir != "" {
+		if err := os.MkdirAll(*cpDir, 0o755); err != nil {
+			fatal(err)
+		}
+		cp, err = sweep.OpenSuiteCheckpoint(filepath.Join(*cpDir, "rubysuite.suite.json"))
+		if err != nil {
+			fatal(err)
+		}
+		if n := cp.Len(); n > 0 {
+			fmt.Printf("checkpoint %s holds %d completed layer searches; matching layers are skipped\n\n", cp.Path(), n)
+		}
+	}
+
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	// SIGINT/SIGTERM abort between layers; completed layers are already in
+	// the checkpoint, so the same command picks up where this run stopped.
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	so := sweep.SuiteOptions{
-		Search:   search.Options{Seed: *seed, Threads: *threads, MaxEvaluations: *evals},
-		Engine:   engine.Config{CacheEntries: *cacheN},
-		Library:  lib,
-		Parallel: *parallel,
+		Search:     search.Options{Seed: *seed, Threads: *threads, MaxEvaluations: *evals},
+		Engine:     engine.Config{CacheEntries: *cacheN},
+		Library:    lib,
+		Checkpoint: cp,
+		Parallel:   *parallel,
 	}
 	var results []*sweep.SuiteResult
 	var names []string
@@ -122,6 +154,11 @@ func main() {
 		st := sweep.Strategy{Name: kind.String(), Kind: kind}
 		sr, err := sweep.RunSuiteCtx(ctx, layers, a, st, consFn, so)
 		if err != nil {
+			if ctx.Err() != nil && cp != nil {
+				fmt.Fprintf(os.Stderr, "rubysuite: interrupted; %d layer searches checkpointed in %s — rerun the same command to continue\n",
+					cp.Len(), cp.Path())
+				os.Exit(1)
+			}
 			fatal(err)
 		}
 		results = append(results, sr)

@@ -1,7 +1,10 @@
 package ruby_test
 
 import (
+	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"ruby"
 )
@@ -85,6 +88,70 @@ func ExampleSimulator_Run() {
 	fmt.Printf("simulated %.0f cycles, model %.0f cycles\n", res.Cycles, model.Cycles)
 	// Output:
 	// simulated 17 cycles, model 17 cycles
+}
+
+// A memo-caching engine makes repeated evaluations of equivalent mappings
+// free, and its counters expose the pipeline's behavior.
+func ExampleEngineConfig() {
+	w := ruby.MustVector1D("d100", 100)
+	a := ruby.ToyGLB(6, 512)
+	ev := ruby.MustEvaluator(w, a)
+
+	counters := &ruby.EngineCounters{}
+	eng := ruby.EngineConfig{CacheEntries: 1024, Metrics: counters}.New(ev)
+
+	m := ruby.UniformMapping(w, a, 1)
+	m.Factors["X"] = []int{1, 17, 6}
+	first := eng.Evaluate(m)
+	second := eng.Evaluate(m) // same canonical key: served from the cache
+
+	s := counters.Snapshot()
+	fmt.Printf("cycles=%.0f (bit-identical: %v), evaluations=%d, cache hits=%d\n",
+		second.Cycles, first.EDP == second.EDP, s.Evaluations, s.CacheHits)
+	// Output:
+	// cycles=17 (bit-identical: true), evaluations=2, cache hits=1
+}
+
+// Long searches checkpoint and resume: a run killed at any point and
+// restored from its snapshot file finishes with bit-identical results.
+func ExampleRunCheckpointed() {
+	w := ruby.MustVector1D("d100", 100)
+	a := ruby.ToyGLB(6, 512)
+	ev := ruby.MustEvaluator(w, a)
+	sp := ruby.NewSpace(w, a, ruby.RubyS, ruby.Constraints{FixedPerms: true})
+	opt := ruby.SearchOptions{Seed: 11, MaxEvaluations: 3000}
+
+	dir, _ := os.MkdirTemp("", "ruby-example")
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "search.json")
+
+	// "First process": step a resumable searcher partway, snapshot, stop.
+	s1 := ruby.NewRandomSearcher(sp, ruby.NewEngine(ev), opt)
+	for i := 0; i < 3; i++ {
+		if _, err := s1.Step(context.Background()); err != nil {
+			panic(err)
+		}
+	}
+	st, err := s1.Snapshot()
+	if err != nil {
+		panic(err)
+	}
+	if err := ruby.SaveCheckpoint(path, "search", st); err != nil {
+		panic(err)
+	}
+
+	// "Second process": restore and run to completion.
+	s2 := ruby.NewRandomSearcher(sp, ruby.NewEngine(ev), opt)
+	if _, err := ruby.RestoreSearch(s2, path); err != nil {
+		panic(err)
+	}
+	res, err := ruby.RunCheckpointed(context.Background(), s2, ruby.CheckpointConfig{Path: path})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("best: %.0f cycles after %d evaluations\n", res.BestCost.Cycles, res.Evaluated)
+	// Output:
+	// best: 17 cycles after 3000 evaluations
 }
 
 // Mapping trees visualize imperfect factorization the way the paper's

@@ -1,0 +1,138 @@
+// Package checkpoint makes long-running searches survivable: it persists
+// search, suite and server-job state as crash-safe, versioned JSON snapshots
+// that a later process can restore bit-identically.
+//
+// The package provides three things:
+//
+//   - a snapshot file format — a versioned envelope with a schema tag and a
+//     kind discriminator, written atomically (temp file in the destination
+//     directory, fsync, rename), so a crash mid-write never corrupts an
+//     existing checkpoint;
+//   - a serializable random source (RNG, xoshiro256**) implementing
+//     math/rand.Source64, so a restored search replays the exact draw
+//     sequence the interrupted run would have produced;
+//   - the state payloads themselves: SearchState (one searcher's counters,
+//     incumbent and RNG), and SuiteState (per-layer progress of a whole
+//     suite run).
+//
+// Checkpointable searchers live in internal/search (Searcher, with
+// Snapshot/Restore); per-layer suite checkpoints in internal/sweep
+// (SuiteCheckpoint); job persistence in internal/server. The correctness
+// contract, pinned by internal/search's kill-and-resume tests, is strict: a
+// run interrupted at an arbitrary point and resumed from its checkpoint
+// produces a bit-identical final incumbent, cost and evaluation count to an
+// uninterrupted run.
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Schema tags every checkpoint file so unrelated JSON is never mistaken for
+// a snapshot.
+const Schema = "ruby/checkpoint"
+
+// Version is the current checkpoint format version. Load rejects files
+// written by a newer format instead of misreading them.
+const Version = 1
+
+// envelope is the on-disk frame around every checkpoint payload.
+type envelope struct {
+	Schema  string          `json:"schema"`
+	Version int             `json:"version"`
+	Kind    string          `json:"kind"`
+	SavedAt string          `json:"saved_at,omitempty"`
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Save atomically writes payload as a checkpoint of the given kind: the JSON
+// is written to a temporary file in path's directory, synced, and renamed
+// over path, so readers (and crash recovery) only ever observe either the
+// previous complete snapshot or the new one — never a torn write.
+func Save(path, kind string, payload any) error {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal %s payload: %w", kind, err)
+	}
+	env := envelope{
+		Schema:  Schema,
+		Version: Version,
+		Kind:    kind,
+		SavedAt: time.Now().UTC().Format(time.RFC3339),
+		Payload: raw,
+	}
+	data, err := json.MarshalIndent(&env, "", "  ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: marshal envelope: %w", err)
+	}
+	data = append(data, '\n')
+
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer os.Remove(tmpName) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: write %s: %w", tmpName, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: sync %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close %s: %w", tmpName, err)
+	}
+	if err := os.Chmod(tmpName, 0o644); err != nil {
+		return fmt.Errorf("checkpoint: chmod %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		return fmt.Errorf("checkpoint: rename into %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads a checkpoint of the given kind from path into payload. A
+// missing file surfaces as an error satisfying errors.Is(err,
+// fs.ErrNotExist); schema, version and kind mismatches are explicit errors
+// rather than silent misreads.
+func Load(path, kind string, payload any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return fmt.Errorf("checkpoint: parse %s: %w", path, err)
+	}
+	if env.Schema != Schema {
+		return fmt.Errorf("checkpoint: %s is not a checkpoint file (schema %q)", path, env.Schema)
+	}
+	if env.Version > Version {
+		return fmt.Errorf("checkpoint: %s uses format version %d, this build understands <= %d",
+			path, env.Version, Version)
+	}
+	if env.Kind != kind {
+		return fmt.Errorf("checkpoint: %s holds a %q snapshot, want %q", path, env.Kind, kind)
+	}
+	if err := json.Unmarshal(env.Payload, payload); err != nil {
+		return fmt.Errorf("checkpoint: decode %s payload of %s: %w", kind, path, err)
+	}
+	return nil
+}
+
+// Exists reports whether a file is present at path (regardless of whether it
+// is a valid checkpoint — Load still validates).
+func Exists(path string) bool {
+	_, err := os.Stat(path)
+	return err == nil
+}

@@ -1,0 +1,152 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "search.json")
+
+	in := SearchState{Algo: "random", Evaluated: 123, Valid: 45, NoImprove: 6, RNG: NewRNG(7)}
+	if err := Save(path, KindSearch, &in); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	var out SearchState
+	if err := Load(path, KindSearch, &out); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if out.Algo != in.Algo || out.Evaluated != in.Evaluated || out.Valid != in.Valid || out.NoImprove != in.NoImprove {
+		t.Errorf("round trip mismatch: got %+v, want %+v", out, in)
+	}
+	if out.RNG == nil || out.RNG.s != in.RNG.s {
+		t.Errorf("rng state mismatch: got %v, want %v", out.RNG, in.RNG)
+	}
+}
+
+func TestLoadMissingFileIsNotExist(t *testing.T) {
+	err := Load(filepath.Join(t.TempDir(), "absent.json"), KindSearch, &SearchState{})
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("want fs.ErrNotExist, got %v", err)
+	}
+}
+
+func TestLoadRejectsWrongKindSchemaVersion(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cp.json")
+	if err := Save(path, KindSuite, &SuiteState{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(path, KindSearch, &SearchState{}); err == nil || !strings.Contains(err.Error(), "suite") {
+		t.Errorf("kind mismatch not detected: %v", err)
+	}
+
+	if err := os.WriteFile(path, []byte(`{"schema":"other","version":1,"kind":"search","payload":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(path, KindSearch, &SearchState{}); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("schema mismatch not detected: %v", err)
+	}
+
+	if err := os.WriteFile(path, []byte(`{"schema":"ruby/checkpoint","version":99,"kind":"search","payload":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(path, KindSearch, &SearchState{}); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("future version not detected: %v", err)
+	}
+}
+
+func TestSaveReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cp.json")
+	for i := int64(0); i < 3; i++ {
+		if err := Save(path, KindSearch, &SearchState{Algo: "random", Evaluated: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var out SearchState
+	if err := Load(path, KindSearch, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Evaluated != 2 {
+		t.Errorf("latest snapshot lost: evaluated = %d, want 2", out.Evaluated)
+	}
+	// No temp files may survive a successful save.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".checkpoint-") {
+			t.Errorf("stale temp file left behind: %s", e.Name())
+		}
+	}
+}
+
+// The RNG must continue the exact sequence after a JSON round trip — the
+// property search resumption rests on.
+func TestRNGRoundTripContinuesSequence(t *testing.T) {
+	r := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		r.Uint64()
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := &RNG{}
+	if err := json.Unmarshal(data, restored); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if a, b := r.Uint64(), restored.Uint64(); a != b {
+			t.Fatalf("sequence diverged at draw %d: %d vs %d", i, a, b)
+		}
+	}
+}
+
+// rand.Rand over an RNG and over a restored clone must agree on the derived
+// draws the samplers actually use (Intn, Shuffle, Float64).
+func TestRNGDrivesRandRandDeterministically(t *testing.T) {
+	a := rand.New(NewRNG(7))
+	b := rand.New(NewRNG(7).Clone())
+	pa, pb := make([]int, 16), make([]int, 16)
+	for i := range pa {
+		pa[i], pb[i] = i, i
+	}
+	a.Shuffle(len(pa), func(i, j int) { pa[i], pa[j] = pa[j], pa[i] })
+	b.Shuffle(len(pb), func(i, j int) { pb[i], pb[j] = pb[j], pb[i] })
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("shuffle diverged at %d: %v vs %v", i, pa, pb)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Intn(1000), b.Intn(1000); x != y {
+			t.Fatalf("Intn diverged at %d: %d vs %d", i, x, y)
+		}
+		if x, y := a.Float64(), b.Float64(); x != y {
+			t.Fatalf("Float64 diverged at %d: %v vs %v", i, x, y)
+		}
+	}
+}
+
+func TestRNGRejectsBadState(t *testing.T) {
+	r := &RNG{}
+	if err := json.Unmarshal([]byte(`["0","0","0","0"]`), r); err == nil {
+		t.Error("all-zero state accepted")
+	}
+	if err := json.Unmarshal([]byte(`["1","2","3"]`), r); err == nil {
+		t.Error("short state accepted")
+	}
+	if err := json.Unmarshal([]byte(`["zz","2","3","4"]`), r); err == nil {
+		t.Error("non-hex state accepted")
+	}
+}

@@ -1,0 +1,94 @@
+package checkpoint
+
+import (
+	"encoding/json"
+
+	"ruby/internal/nest"
+)
+
+// KindSearch tags single-search snapshots (search.Searcher Snapshot/Restore).
+const KindSearch = "search"
+
+// KindSuite tags per-layer suite-progress snapshots (sweep.SuiteCheckpoint).
+const KindSuite = "suite"
+
+// KindJob tags server job records (internal/server persistence).
+const KindJob = "job"
+
+// TracePoint mirrors search.TracePoint (one incumbent-improvement event) in
+// serialized form; the search package converts in both directions. Keeping a
+// local copy avoids an import cycle — search depends on checkpoint for its
+// snapshot types.
+type TracePoint struct {
+	Evals int64   `json:"evals"`
+	Value float64 `json:"value"`
+}
+
+// SearchState is the complete serialized state of one resumable search: the
+// RNG, the counters that drive the termination criteria, and the incumbent.
+// Restoring it into a fresh searcher of the same algorithm over the same
+// (workload, architecture, mapspace, options) continues the run as if it had
+// never stopped.
+type SearchState struct {
+	// Algo names the searcher that wrote the snapshot ("random",
+	// "hillclimb", "exhaustive"); Restore rejects a mismatch.
+	Algo string `json:"algo"`
+	// Done marks a search that ran to completion (resuming it is a no-op).
+	Done bool `json:"done,omitempty"`
+	// RNG is the serialized draw state (nil for the deterministic
+	// enumeration of the exhaustive searcher).
+	RNG *RNG `json:"rng,omitempty"`
+
+	// Evaluated, Valid and NoImprove are the search counters at the
+	// snapshot point: total evaluations performed, how many were valid, and
+	// the consecutive-non-improving-valid run driving the paper's
+	// termination criterion.
+	Evaluated int64 `json:"evaluated"`
+	Valid     int64 `json:"valid"`
+	NoImprove int64 `json:"no_improve,omitempty"`
+
+	// Warmed records that warm-up work preceding the main loop has run (the
+	// random searcher's warm-start evaluation).
+	Warmed bool `json:"warmed,omitempty"`
+	// WarmupLeft is the hill-climber's remaining warm-up samples.
+	WarmupLeft int `json:"warmup_left,omitempty"`
+	// Fails is the hill-climber's consecutive-rejected-proposal count.
+	Fails int `json:"fails,omitempty"`
+
+	// Enumerated counts mappings taken from the exhaustive enumeration;
+	// EnumIndex/EnumDone are the enumerator's odometer position.
+	Enumerated int64 `json:"enumerated,omitempty"`
+	EnumIndex  []int `json:"enum_index,omitempty"`
+	EnumDone   bool  `json:"enum_done,omitempty"`
+
+	// Best is the incumbent mapping (mapping JSON; nil when nothing valid
+	// has been found) and BestCost its full evaluated cost.
+	Best     json.RawMessage `json:"best,omitempty"`
+	BestCost *nest.Cost      `json:"best_cost,omitempty"`
+	// Trace holds the improvement events recorded so far (only when the
+	// search keeps a trace).
+	Trace []TracePoint `json:"trace,omitempty"`
+}
+
+// LayerState is one completed layer inside a SuiteState: the winning mapping
+// and its cost, plus the search counters, so a resumed suite reproduces its
+// totals without re-searching.
+type LayerState struct {
+	Done      bool            `json:"done"`
+	Mapping   json.RawMessage `json:"mapping,omitempty"`
+	Cost      *nest.Cost      `json:"cost,omitempty"`
+	Evaluated int64           `json:"evaluated,omitempty"`
+	Valid     int64           `json:"valid,omitempty"`
+	// PadBounds records the dimension bounds of the winning padded workload
+	// variant when a padding strategy won with a variant different from the
+	// original layer (empty otherwise). The resuming run re-derives the
+	// variant from these bounds.
+	PadBounds map[string]int `json:"pad_bounds,omitempty"`
+}
+
+// SuiteState is the per-layer progress of a suite run (or of several: keys
+// include architecture, strategy and search budget, so one file can back a
+// whole experiment). Completed layers are skipped on resume.
+type SuiteState struct {
+	Layers map[string]*LayerState `json:"layers"`
+}

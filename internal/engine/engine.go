@@ -59,6 +59,9 @@ type Engine struct {
 	cache   *memoCache
 	metrics Metrics
 	workers int
+	// evalHook, when non-nil, replaces the raw model call — test-only
+	// injection for exercising the panic guard.
+	evalHook func(*mapping.Mapping) nest.Cost
 }
 
 // New builds an Engine from a Config. A nil-safe Metrics and a worker
@@ -96,10 +99,12 @@ func (e *Engine) Metrics() Metrics { return e.metrics }
 // are bit-identical to fresh ones: the model is deterministic, and the cache
 // key (mapping.Key) canonicalizes exactly the features the model reads.
 // The returned Cost shares its per-level slices with the cache; callers
-// treat costs as read-only (all existing consumers do).
+// treat costs as read-only (all existing consumers do). A panicking model
+// call is isolated, retried and — if it keeps panicking — degraded to an
+// invalid Cost with a PanicReason (see evalGuarded).
 func (e *Engine) Evaluate(m *mapping.Mapping) nest.Cost {
 	if e.cache == nil {
-		c := e.ev.Evaluate(m)
+		c := e.evalGuarded(m, nil)
 		e.metrics.Evaluation(c.Valid, false)
 		return c
 	}
@@ -108,7 +113,7 @@ func (e *Engine) Evaluate(m *mapping.Mapping) nest.Cost {
 		e.metrics.Evaluation(c.Valid, true)
 		return c
 	}
-	c := e.ev.Evaluate(m)
+	c := e.evalGuarded(m, nil)
 	e.cache.put(key, c)
 	e.metrics.Evaluation(c.Valid, false)
 	return c
@@ -147,7 +152,7 @@ func (w *Worker) Evaluate(m *mapping.Mapping) nest.Cost {
 func (w *Worker) EvaluateShared(m *mapping.Mapping) nest.Cost {
 	e := w.e
 	if e.cache == nil {
-		c := e.ev.Plan().EvaluateMappingInto(m, w.scratch)
+		c := e.evalGuarded(m, w)
 		e.metrics.Evaluation(c.Valid, false)
 		return c
 	}
@@ -156,7 +161,7 @@ func (w *Worker) EvaluateShared(m *mapping.Mapping) nest.Cost {
 		e.metrics.Evaluation(c.Valid, true)
 		return c
 	}
-	c := e.ev.Plan().EvaluateMappingInto(m, w.scratch).Clone()
+	c := e.evalGuarded(m, w).Clone()
 	e.cache.put(key, c)
 	e.metrics.Evaluation(c.Valid, false)
 	return c

@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ruby/internal/mapping"
+	"ruby/internal/nest"
+)
+
+// PanicReason prefixes the Reason of a Cost returned for a mapping whose
+// evaluation panicked repeatedly. Like CancelledReason it carries the
+// "engine:" prefix, which model verdicts never use, so callers can tell
+// pipeline failures from genuine invalid mappings.
+const PanicReason = "engine: evaluation panicked"
+
+// Panicked reports whether a cost is a panic-degradation placeholder rather
+// than a real model verdict.
+func Panicked(c *nest.Cost) bool { return !c.Valid && strings.HasPrefix(c.Reason, PanicReason) }
+
+// panicRetries is how many times a panicking evaluation is retried (with
+// exponential backoff) before the engine degrades it to an invalid Cost. A
+// deterministic model panic fails fast — three attempts and ~3ms of backoff —
+// while a transient one (e.g. a corrupted scratch from a previous panic)
+// gets a clean retry on a fresh scratch.
+const panicRetries = 2
+
+// tryEvaluate performs one model call with panic recovery. It must stay a
+// method (not a closure) so the deferred recover is open-coded and the happy
+// path stays allocation-free. A non-nil worker routes through the worker's
+// scratch; otherwise the shared evaluator path is used. The recovered panic
+// value, if any, is returned in pv.
+func (e *Engine) tryEvaluate(m *mapping.Mapping, w *Worker) (c nest.Cost, pv any) {
+	defer func() {
+		if r := recover(); r != nil {
+			pv = r
+		}
+	}()
+	if e.evalHook != nil {
+		return e.evalHook(m), nil
+	}
+	if w != nil {
+		return e.ev.Plan().EvaluateMappingInto(m, w.scratch), nil
+	}
+	return e.ev.Evaluate(m), nil
+}
+
+// evalGuarded is the panic-isolated model call behind Evaluate and the
+// Worker paths. A panicking evaluation is recorded in the metrics, the
+// worker's scratch (possibly left mid-write by the unwound evaluation) is
+// rebuilt, and the call is retried with exponential backoff; after
+// panicRetries failed retries the mapping degrades to an invalid Cost with a
+// PanicReason so one poisoned mapping cannot take down a whole search or a
+// server worker.
+func (e *Engine) evalGuarded(m *mapping.Mapping, w *Worker) nest.Cost {
+	for attempt := 0; ; attempt++ {
+		c, pv := e.tryEvaluate(m, w)
+		if pv == nil {
+			return c
+		}
+		e.metrics.Panic()
+		if w != nil {
+			w.scratch = e.ev.Plan().NewScratch()
+		}
+		if attempt >= panicRetries {
+			return nest.Cost{Valid: false, Reason: fmt.Sprintf("%s: %v", PanicReason, pv)}
+		}
+		time.Sleep(time.Millisecond << attempt)
+	}
+}

@@ -18,6 +18,9 @@ type Metrics interface {
 	// SearchDone is called once per completed search with its wall time and
 	// final counters.
 	SearchDone(wall time.Duration, evaluated, valid int64)
+	// Panic is called each time a model evaluation panics and is recovered
+	// by the engine's isolation guard (including each failed retry).
+	Panic()
 }
 
 // NopMetrics discards all events; it is the default hook.
@@ -28,6 +31,7 @@ type nopMetrics struct{}
 func (nopMetrics) Evaluation(bool, bool)                  {}
 func (nopMetrics) Improvement(int64, float64)             {}
 func (nopMetrics) SearchDone(time.Duration, int64, int64) {}
+func (nopMetrics) Panic()                                 {}
 
 // Counters is the default Metrics implementation: lock-free atomic counters
 // cheap enough for the evaluation hot path, with a JSON-friendly Snapshot
@@ -39,8 +43,10 @@ type Counters struct {
 	improvements atomic.Int64
 	searches     atomic.Int64
 	wallNanos    atomic.Int64
+	panics       atomic.Int64
 }
 
+// Evaluation implements Metrics.
 func (c *Counters) Evaluation(valid, cached bool) {
 	c.evaluations.Add(1)
 	if valid {
@@ -51,23 +57,29 @@ func (c *Counters) Evaluation(valid, cached bool) {
 	}
 }
 
+// Improvement implements Metrics.
 func (c *Counters) Improvement(int64, float64) { c.improvements.Add(1) }
 
+// SearchDone implements Metrics.
 func (c *Counters) SearchDone(wall time.Duration, _, _ int64) {
 	c.searches.Add(1)
 	c.wallNanos.Add(int64(wall))
 }
 
+// Panic implements Metrics.
+func (c *Counters) Panic() { c.panics.Add(1) }
+
 // Snapshot is a point-in-time copy of the counters with derived rates.
 type Snapshot struct {
-	Evaluations   int64   `json:"evaluations"`
-	Valid         int64   `json:"valid"`
-	ValidRate     float64 `json:"valid_rate"`
-	CacheHits     int64   `json:"cache_hits"`
-	CacheHitRate  float64 `json:"cache_hit_rate"`
-	Improvements  int64   `json:"improvements"`
-	Searches      int64   `json:"searches"`
-	SearchSeconds float64 `json:"search_seconds"`
+	Evaluations   int64   `json:"evaluations"`    // total Evaluate calls
+	Valid         int64   `json:"valid"`          // evaluations with a valid verdict
+	ValidRate     float64 `json:"valid_rate"`     // Valid / Evaluations
+	CacheHits     int64   `json:"cache_hits"`     // evaluations served from the memo cache
+	CacheHitRate  float64 `json:"cache_hit_rate"` // CacheHits / Evaluations
+	Improvements  int64   `json:"improvements"`   // incumbent-best improvements
+	Searches      int64   `json:"searches"`       // completed searches
+	SearchSeconds float64 `json:"search_seconds"` // summed search wall time
+	Panics        int64   `json:"panics"`         // recovered evaluation panics (incl. retries)
 }
 
 // Snapshot reads the counters. The reads are individually atomic (not a
@@ -80,6 +92,7 @@ func (c *Counters) Snapshot() Snapshot {
 		Improvements:  c.improvements.Load(),
 		Searches:      c.searches.Load(),
 		SearchSeconds: float64(c.wallNanos.Load()) / 1e9,
+		Panics:        c.panics.Load(),
 	}
 	if s.Evaluations > 0 {
 		s.ValidRate = float64(s.Valid) / float64(s.Evaluations)

@@ -32,6 +32,11 @@ type Config struct {
 	// each experiment builds per evaluator. The zero value is a transparent
 	// pass-through, so results for fixed seeds are unchanged by default.
 	Engine engine.Config
+	// Checkpoint optionally persists per-layer progress of the suite-based
+	// experiments (Figs. 10-14), so an interrupted rubyexp run resumes by
+	// skipping completed layers. Experiments that do not run suites ignore
+	// it.
+	Checkpoint *sweep.SuiteCheckpoint
 }
 
 func (c Config) withDefaults() Config {
@@ -75,7 +80,7 @@ func (c Config) newEngine(ev *nest.Evaluator) *engine.Engine {
 // suiteOptions bundles the experiment's search and engine configuration for
 // suite runs (Figs. 10-14).
 func (c Config) suiteOptions() sweep.SuiteOptions {
-	return sweep.SuiteOptions{Search: c.Opt, Engine: c.Engine}
+	return sweep.SuiteOptions{Search: c.Opt, Engine: c.Engine, Checkpoint: c.Checkpoint}
 }
 
 // Names lists the experiment identifiers accepted by Run (cmd/rubyexp).

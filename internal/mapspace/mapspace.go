@@ -42,6 +42,8 @@ const (
 
 var kindNames = map[Kind]string{PFM: "PFM", Ruby: "Ruby", RubyS: "Ruby-S", RubyT: "Ruby-T"}
 
+// String returns the paper's name for the kind ("PFM", "Ruby", "Ruby-S",
+// "Ruby-T").
 func (k Kind) String() string {
 	if n, ok := kindNames[k]; ok {
 		return n
@@ -137,10 +139,10 @@ func (c Constraints) allowed(kind mapping.SlotKind, dim string) bool {
 // safe for concurrent use; samplers that draw in a tight loop should each
 // hold a Sampler (NewSampler) for allocation-free in-place sampling.
 type Space struct {
-	Work *workload.Workload
-	Arch *arch.Arch
-	Kind Kind
-	Cons Constraints
+	Work *workload.Workload // the iteration space being tiled
+	Arch *arch.Arch         // the hierarchy providing the slots
+	Kind Kind               // the factorization discipline
+	Cons Constraints        // dataflow-style restrictions
 
 	slots    []mapping.Slot
 	dimNames []string
@@ -547,10 +549,31 @@ func (s *Space) cappedDivisor(rng *rand.Rand, r, max int) int {
 // (declaration-order) permutations, stopping early if yield returns false.
 // Feasible only for small workloads; the toy studies of Section III use it.
 func (s *Space) Enumerate(yield func(*mapping.Mapping) bool) {
-	dims := s.Work.DimNames()
-	perms := mapping.DefaultPerms(s.Work, s.Arch)
+	en := s.NewEnumerator()
+	for m := en.Next(); m != nil; m = en.Next() {
+		if !yield(m) {
+			return
+		}
+	}
+}
 
-	// Pre-collect per-dimension chains (as outermost-first factor slices).
+// Enumerator steps through the tiling mapspace one mapping at a time, in the
+// same deterministic order Enumerate visits. Unlike the callback form, its
+// position (an odometer over per-dimension chain indices) can be read with
+// Index and re-established with SetIndex — which is what lets the exhaustive
+// searcher checkpoint mid-scan and resume without re-enumerating the prefix.
+type Enumerator struct {
+	sp     *Space
+	dims   []string
+	perms  [][]string
+	chains [][][]int // per dimension, outermost-first factor slices
+	idx    []int
+	done   bool
+}
+
+// NewEnumerator builds an enumerator positioned at the first mapping.
+func (s *Space) NewEnumerator() *Enumerator {
+	dims := s.Work.DimNames()
 	chains := make([][][]int, len(dims))
 	for di, d := range dims {
 		slots := s.chainSlots(d)
@@ -564,28 +587,67 @@ func (s *Space) Enumerate(yield func(*mapping.Mapping) bool) {
 			return true
 		})
 	}
+	return &Enumerator{
+		sp:     s,
+		dims:   dims,
+		perms:  mapping.DefaultPerms(s.Work, s.Arch),
+		chains: chains,
+		idx:    make([]int, len(dims)),
+	}
+}
 
-	idx := make([]int, len(dims))
-	for {
-		m := &mapping.Mapping{Factors: make(map[string][]int, len(dims)), Perms: perms}
-		for di, d := range dims {
-			m.Factors[d] = chains[di][idx[di]]
+// Next returns the next mapping of the enumeration, or nil once exhausted.
+// Every returned mapping is freshly allocated (its factor slices alias the
+// enumerator's precomputed chains, which are never mutated), so callers may
+// retain and batch them.
+func (e *Enumerator) Next() *mapping.Mapping {
+	if e.done {
+		return nil
+	}
+	m := &mapping.Mapping{Factors: make(map[string][]int, len(e.dims)), Perms: e.perms}
+	for di, d := range e.dims {
+		m.Factors[d] = e.chains[di][e.idx[di]]
+	}
+	// Odometer increment.
+	k := len(e.dims) - 1
+	for k >= 0 {
+		e.idx[k]++
+		if e.idx[k] < len(e.chains[k]) {
+			break
 		}
-		if !yield(m) {
-			return
-		}
-		// Odometer increment.
-		k := len(dims) - 1
-		for k >= 0 {
-			idx[k]++
-			if idx[k] < len(chains[k]) {
-				break
-			}
-			idx[k] = 0
-			k--
-		}
-		if k < 0 {
-			return
+		e.idx[k] = 0
+		k--
+	}
+	if k < 0 {
+		e.done = true
+	}
+	return m
+}
+
+// Done reports whether the enumeration is exhausted.
+func (e *Enumerator) Done() bool { return e.done }
+
+// Index returns a copy of the enumerator's odometer position (the next
+// mapping to be produced). Together with Done it fully describes the scan
+// position for checkpointing.
+func (e *Enumerator) Index() []int {
+	return append([]int(nil), e.idx...)
+}
+
+// SetIndex repositions the enumerator at the given odometer state, as
+// previously returned by Index. It returns an error when the index does not
+// match the space's dimensions or chain counts (e.g. a checkpoint taken over
+// a different workload).
+func (e *Enumerator) SetIndex(idx []int, done bool) error {
+	if len(idx) != len(e.chains) {
+		return fmt.Errorf("mapspace: enumerator index has %d dims, space has %d", len(idx), len(e.chains))
+	}
+	for i, v := range idx {
+		if v < 0 || v >= len(e.chains[i]) {
+			return fmt.Errorf("mapspace: enumerator index[%d] = %d out of range [0, %d)", i, v, len(e.chains[i]))
 		}
 	}
+	copy(e.idx, idx)
+	e.done = done
+	return nil
 }

@@ -25,19 +25,19 @@ type Cost struct {
 	// Valid reports whether the mapping satisfies structural, fanout and
 	// capacity constraints. Invalid costs carry a Reason and no metrics.
 	Valid  bool
-	Reason string
+	Reason string // human-readable cause of the invalid verdict
 
 	Cycles      float64 // latency, in MAC-issue cycles
 	MACs        float64 // real compute operations (padded workloads include ineffectual ones)
 	Utilization float64 // MACs / (Cycles * total lanes)
-	EnergyPJ    float64
+	EnergyPJ    float64 // total energy, picojoules
 	EDP         float64 // EnergyPJ * Cycles
 
 	// Per-architecture-level aggregate word accesses and energy.
 	LevelReads    []float64
 	LevelWrites   []float64
 	LevelEnergyPJ []float64
-	MACEnergyPJ   float64
+	MACEnergyPJ   float64 // datapath energy (MACs x per-MAC cost)
 
 	// NoCEnergyPJ is the network hop energy (0 unless Network.HopEnergyPJ
 	// is configured).
@@ -65,9 +65,9 @@ func (c *Cost) Better(o *Cost) bool {
 // Evaluator evaluates mappings of one workload onto one architecture. It is
 // safe for concurrent use.
 type Evaluator struct {
-	Work  *workload.Workload
-	Arch  *arch.Arch
-	Slots []mapping.Slot
+	Work  *workload.Workload // the evaluated iteration space
+	Arch  *arch.Arch         // the target hierarchy
+	Slots []mapping.Slot     // the derived tiling slot list (mapping.Slots)
 
 	dims      []string
 	relevant  map[string]map[string]bool // tensor name -> dim -> indexes tensor
@@ -294,8 +294,8 @@ func (e *Evaluator) keptLevels(r workload.Role, kept []map[workload.Role]bool) [
 // LinkStats describes the modeled transfer behavior of one tensor across
 // one (parent, child) pair of consecutive kept levels.
 type LinkStats struct {
-	Tensor        string
-	Parent, Child int
+	Tensor        string // the operand's name
+	Parent, Child int    // level indexes of the link's endpoints
 	// Fills is the temporal tile-change event count per child subtree.
 	Fills float64
 	// ReadsMult and DelivMult are the spatial multipliers on parent-side

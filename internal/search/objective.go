@@ -21,6 +21,7 @@ const (
 	ObjectiveDelay
 )
 
+// String names the objective ("EDP", "energy", "delay").
 func (o Objective) String() string {
 	switch o {
 	case ObjectiveEDP:

@@ -1,0 +1,352 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ruby/internal/checkpoint"
+	"ruby/internal/engine"
+	"ruby/internal/search"
+)
+
+// Job statuses. A job is "running" from submission until it terminates;
+// "interrupted" marks jobs parked by a graceful shutdown (they resume on the
+// next startup); "done" and "failed" are terminal.
+const (
+	JobRunning     = "running"
+	JobInterrupted = "interrupted"
+	JobDone        = "done"
+	JobFailed      = "failed"
+)
+
+// Options configures a Service.
+type Options struct {
+	// StateDir persists job records and search checkpoints, so submitted
+	// jobs survive a server restart: finished jobs stay listable, and
+	// interrupted ones resume automatically. Empty keeps jobs in memory
+	// only.
+	StateDir string
+}
+
+// Service is the mapper service with lifecycle control: the http.Handler
+// plus the job manager behind the async /v1/jobs endpoints. Build it with
+// NewService; use New/NewWithMetrics when job persistence and graceful
+// shutdown are not needed.
+type Service struct {
+	handler http.Handler
+	svc     *service
+	jobs    *jobManager
+}
+
+// NewService builds the service. When opts.StateDir is set, persisted job
+// records are loaded back: finished jobs become listable again and
+// interrupted ones are restarted from their search checkpoints.
+func NewService(opts Options) (*Service, error) {
+	s := &service{counters: &engine.Counters{}}
+	jm, err := newJobManager(opts.StateDir, s)
+	if err != nil {
+		return nil, err
+	}
+	s.jobs = jm
+	srv := &Service{handler: s.mux(), svc: s, jobs: jm}
+	jm.resumeLoaded()
+	return srv, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
+
+// Counters exposes the pipeline counters reported at /v1/metrics.
+func (s *Service) Counters() *engine.Counters { return s.svc.counters }
+
+// Shutdown drains the job workers: running searches are cancelled, their
+// final checkpoints written, and their records marked interrupted, so a
+// subsequent NewService on the same state directory resumes them. It returns
+// ctx's error when the drain does not finish in time.
+func (s *Service) Shutdown(ctx context.Context) error { return s.jobs.shutdown(ctx) }
+
+// jobRecord is a job's persisted state (checkpoint kind "job").
+type jobRecord struct {
+	ID          string        `json:"id"`
+	Status      string        `json:"status"`
+	Request     searchRequest `json:"request"`
+	SubmittedAt time.Time     `json:"submitted_at"`
+	FinishedAt  *time.Time    `json:"finished_at,omitempty"`
+	// Result is set for done jobs; Error for failed ones.
+	Result *searchResponse `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// jobManager owns the async search jobs: submission, the worker goroutines,
+// persistence, restart recovery and the drain protocol.
+type jobManager struct {
+	dir string // "" = in-memory only
+	svc *service
+
+	mu     sync.Mutex
+	jobs   map[string]*jobRecord
+	nextID int
+
+	wg       sync.WaitGroup
+	baseCtx  context.Context
+	cancel   context.CancelFunc
+	draining bool
+}
+
+func newJobManager(dir string, svc *service) (*jobManager, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	jm := &jobManager{dir: dir, svc: svc, jobs: make(map[string]*jobRecord), baseCtx: ctx, cancel: cancel}
+	if dir == "" {
+		return jm, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: state dir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("server: state dir: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "job-") || !strings.HasSuffix(name, ".json") || strings.HasSuffix(name, ".search.json") {
+			continue
+		}
+		var rec jobRecord
+		if err := checkpoint.Load(filepath.Join(dir, name), checkpoint.KindJob, &rec); err != nil {
+			return nil, fmt.Errorf("server: job record %s: %w", name, err)
+		}
+		jm.jobs[rec.ID] = &rec
+		var n int
+		if _, err := fmt.Sscanf(rec.ID, "j%d", &n); err == nil && n >= jm.nextID {
+			jm.nextID = n + 1
+		}
+	}
+	return jm, nil
+}
+
+// resumeLoaded restarts the jobs a previous process left unfinished. Called
+// once after construction (not in newJobManager, so the handler wiring is
+// complete before workers run).
+func (jm *jobManager) resumeLoaded() {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	for _, rec := range jm.jobs {
+		if rec.Status == JobRunning || rec.Status == JobInterrupted {
+			rec.Status = JobRunning
+			jm.startLocked(rec)
+		}
+	}
+}
+
+func (jm *jobManager) recordPath(id string) string {
+	return filepath.Join(jm.dir, "job-"+id+".json")
+}
+
+func (jm *jobManager) searchPath(id string) string {
+	if jm.dir == "" {
+		return ""
+	}
+	return filepath.Join(jm.dir, "job-"+id+".search.json")
+}
+
+// persistLocked writes a record; jm.mu must be held.
+func (jm *jobManager) persistLocked(rec *jobRecord) error {
+	if jm.dir == "" {
+		return nil
+	}
+	return checkpoint.Save(jm.recordPath(rec.ID), checkpoint.KindJob, rec)
+}
+
+// submit registers and starts a new job.
+func (jm *jobManager) submit(req searchRequest) (*jobRecord, error) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	if jm.draining {
+		return nil, errors.New("server: shutting down")
+	}
+	rec := &jobRecord{
+		ID:          fmt.Sprintf("j%04d", jm.nextID),
+		Status:      JobRunning,
+		Request:     req,
+		SubmittedAt: time.Now().UTC(),
+	}
+	jm.nextID++
+	jm.jobs[rec.ID] = rec
+	if err := jm.persistLocked(rec); err != nil {
+		delete(jm.jobs, rec.ID)
+		return nil, err
+	}
+	jm.startLocked(rec)
+	return rec, nil
+}
+
+// startLocked launches the worker goroutine; jm.mu must be held.
+func (jm *jobManager) startLocked(rec *jobRecord) {
+	jm.wg.Add(1)
+	id := rec.ID
+	go func() {
+		defer jm.wg.Done()
+		jm.run(id)
+	}()
+}
+
+// run executes one job to completion (or interruption), updating and
+// persisting its record.
+func (jm *jobManager) run(id string) {
+	jm.mu.Lock()
+	rec := jm.jobs[id]
+	req := rec.Request
+	jm.mu.Unlock()
+
+	finish := func(status string, result *searchResponse, err error) {
+		now := time.Now().UTC()
+		jm.mu.Lock()
+		defer jm.mu.Unlock()
+		rec.Status = status
+		rec.Result = result
+		if err != nil {
+			rec.Error = err.Error()
+		}
+		if status == JobDone || status == JobFailed {
+			rec.FinishedAt = &now
+		}
+		_ = jm.persistLocked(rec)
+	}
+
+	ev, sp, err := req.resolve()
+	if err != nil {
+		finish(JobFailed, nil, err)
+		return
+	}
+	obj, err := parseObjective(req.Objective)
+	if err != nil {
+		finish(JobFailed, nil, err)
+		return
+	}
+	opt := search.Options{
+		Seed:                 req.Seed,
+		MaxEvaluations:       req.MaxEvaluations,
+		ConsecutiveNoImprove: req.NoImprove,
+		Objective:            obj,
+	}
+	if opt.MaxEvaluations <= 0 && opt.ConsecutiveNoImprove <= 0 {
+		opt.MaxEvaluations = 50000
+	}
+
+	sr := search.NewRandom(sp, jm.svc.engineFor(ev), opt)
+	if _, err := search.RestoreFromFile(sr, jm.searchPath(id)); err != nil {
+		finish(JobFailed, nil, err)
+		return
+	}
+	res, err := search.RunCheckpointed(jm.baseCtx, sr, search.CheckpointConfig{Path: jm.searchPath(id)})
+	if err != nil {
+		// Drain: park the job for the next process. Any other error on a
+		// non-draining run is a real failure.
+		if errors.Is(err, context.Canceled) && jm.baseCtx.Err() != nil {
+			finish(JobInterrupted, nil, nil)
+		} else {
+			finish(JobFailed, nil, err)
+		}
+		return
+	}
+	if res.Best == nil {
+		finish(JobFailed, nil, fmt.Errorf("no valid mapping found after %d samples", res.Evaluated))
+		return
+	}
+	finish(JobDone, &searchResponse{
+		mappingResult: mappingResult{
+			Mapping: res.Best, Cost: res.BestCost,
+			LoopNest: res.Best.Render(ev.Work, ev.Arch),
+		},
+		Evaluated: res.Evaluated, Valid: res.Valid,
+	}, nil)
+}
+
+// shutdown implements the drain protocol.
+func (jm *jobManager) shutdown(ctx context.Context) error {
+	jm.mu.Lock()
+	jm.draining = true
+	jm.mu.Unlock()
+	jm.cancel()
+	done := make(chan struct{})
+	go func() {
+		jm.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// list returns records sorted by ID.
+func (jm *jobManager) list() []*jobRecord {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	out := make([]*jobRecord, 0, len(jm.jobs))
+	for _, rec := range jm.jobs {
+		c := *rec
+		out = append(out, &c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// get returns a copy of one record.
+func (jm *jobManager) get(id string) (*jobRecord, bool) {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	rec, ok := jm.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	c := *rec
+	return &c, true
+}
+
+func (s *service) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req searchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	// Fail malformed problems fast, before accepting the job.
+	if _, _, err := req.resolve(); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, err := parseObjective(req.Objective); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	rec, err := s.jobs.submit(req)
+	if err != nil {
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"id": rec.ID, "status": rec.Status})
+}
+
+func (s *service) handleJobList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.list()})
+}
+
+func (s *service) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}

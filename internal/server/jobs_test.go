@@ -1,0 +1,184 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+)
+
+func jobBody(maxEvals int) string {
+	return `{
+	  "workload": ` + toyWorkloadJSON + `,
+	  "arch": ` + toyArchJSON + `,
+	  "mapspace": "ruby-s",
+	  "seed": 7, "max_evaluations": ` + strconv.Itoa(maxEvals) + `
+	}`
+}
+
+func waitJob(t *testing.T, h http.Handler, id string, want string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		rec, out := do(t, h, "GET", "/v1/jobs/"+id, "")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET job: status %d: %v", rec.Code, out)
+		}
+		if out["status"] == want {
+			return out
+		}
+		if s := out["status"]; s != JobRunning && s != want {
+			t.Fatalf("job reached %v, want %v: %v", s, want, out["error"])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not reach %q in time", id, want)
+	return nil
+}
+
+func TestJobLifecycle(t *testing.T) {
+	srv, err := NewService(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, out := do(t, srv, "POST", "/v1/jobs", jobBody(2000))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %v", rec.Code, out)
+	}
+	id := out["id"].(string)
+	done := waitJob(t, srv, id, JobDone)
+	res := done["result"].(map[string]any)
+	if res["evaluated"].(float64) != 2000 {
+		t.Errorf("evaluated = %v, want 2000", res["evaluated"])
+	}
+	cost := res["cost"].(map[string]any)
+	if cost["Valid"] != true {
+		t.Errorf("job result cost invalid: %v", cost)
+	}
+
+	rec, out = do(t, srv, "GET", "/v1/jobs", "")
+	if rec.Code != http.StatusOK || len(out["jobs"].([]any)) != 1 {
+		t.Errorf("list: status %d, jobs %v", rec.Code, out["jobs"])
+	}
+	if rec, _ := do(t, srv, "GET", "/v1/jobs/nope", ""); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown job: status %d", rec.Code)
+	}
+}
+
+func TestJobSubmitRejectsBadProblem(t *testing.T) {
+	srv, err := NewService(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := do(t, srv, "POST", "/v1/jobs", `{"workload": {"type": "vector1d"}}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad problem accepted: status %d", rec.Code)
+	}
+	if rec, out := do(t, srv, "GET", "/v1/jobs", ""); len(out["jobs"].([]any)) != 0 {
+		t.Errorf("rejected job was recorded (status %d): %v", rec.Code, out)
+	}
+}
+
+// Finished jobs must survive a restart: a fresh Service on the same state
+// directory lists them with their results.
+func TestJobsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	srv, err := NewService(Options{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, out := do(t, srv, "POST", "/v1/jobs", jobBody(1500))
+	id := out["id"].(string)
+	waitJob(t, srv, id, JobDone)
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, err := NewService(Options{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, out := do(t, srv2, "GET", "/v1/jobs/"+id, "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("restarted server lost job: status %d", rec.Code)
+	}
+	if out["status"] != JobDone {
+		t.Errorf("status %v after restart, want done", out["status"])
+	}
+	if out["result"] == nil {
+		t.Error("result lost across restart")
+	}
+	// New submissions must not collide with recovered IDs.
+	_, out2 := do(t, srv2, "POST", "/v1/jobs", jobBody(100))
+	if out2["id"] == id {
+		t.Errorf("job ID %v reused after restart", id)
+	}
+	waitJob(t, srv2, out2["id"].(string), JobDone)
+	if err := srv2.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A job interrupted by a graceful shutdown resumes on the next startup and
+// finishes with the same result as an uninterrupted run.
+func TestInterruptedJobResumesDeterministically(t *testing.T) {
+	// Reference: the same job run uninterrupted.
+	ref, err := NewService(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, out := do(t, ref, "POST", "/v1/jobs", jobBody(60000))
+	want := waitJob(t, ref, out["id"].(string), JobDone)["result"].(map[string]any)
+
+	dir := t.TempDir()
+	srv, err := NewService(Options{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, out = do(t, srv, "POST", "/v1/jobs", jobBody(60000))
+	id := out["id"].(string)
+	// Shut down almost immediately: the job is still running.
+	time.Sleep(10 * time.Millisecond)
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rec, out := do(t, srv, "GET", "/v1/jobs/"+id, "")
+	if rec.Code != http.StatusOK {
+		t.Fatal("job lost at shutdown")
+	}
+	if s := out["status"]; s != JobInterrupted && s != JobDone {
+		t.Fatalf("status %v after drain, want interrupted (or done if it won the race)", s)
+	}
+
+	srv2, err := NewService(Options{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitJob(t, srv2, id, JobDone)["result"].(map[string]any)
+	if got["evaluated"] != want["evaluated"] {
+		t.Errorf("resumed job evaluated %v, want %v", got["evaluated"], want["evaluated"])
+	}
+	gc, wc := got["cost"].(map[string]any), want["cost"].(map[string]any)
+	if gc["EDP"] != wc["EDP"] || gc["Cycles"] != wc["Cycles"] {
+		t.Errorf("resumed job cost (EDP %v, cycles %v), want (EDP %v, cycles %v)",
+			gc["EDP"], gc["Cycles"], wc["EDP"], wc["Cycles"])
+	}
+	if err := srv2.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShutdownRejectsNewJobs(t *testing.T) {
+	srv, err := NewService(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := do(t, srv, "POST", "/v1/jobs", jobBody(100))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("draining server accepted a job: status %d", rec.Code)
+	}
+}

@@ -8,13 +8,24 @@
 //	GET  /v1/experiments  -> {"experiments": [...], "extensions": [...]}
 //	GET  /v1/metrics      -> evaluation-pipeline counters (see engine.Snapshot)
 //	POST /v1/evaluate     -> evaluate one explicit mapping
-//	POST /v1/search       -> random-search a mapspace
+//	POST /v1/search       -> random-search a mapspace (synchronous)
 //	POST /v1/construct    -> one-shot heuristic mapping
+//	POST /v1/jobs         -> submit an asynchronous search job -> {"id": ...}
+//	GET  /v1/jobs         -> list jobs (survives restarts with a state dir)
+//	GET  /v1/jobs/{id}    -> one job's status and, when done, its result
 //
 // Searches run through the evaluation engine: they honor the request
 // context (a client disconnect aborts the search promptly) plus an optional
 // per-request "timeout_ms", memoize duplicate samples, and report aggregate
 // counters at /v1/metrics.
+//
+// Jobs are the fault-tolerant path: build the handler with NewService and a
+// state directory, and every job's record plus its periodic search
+// checkpoint is persisted there. After a restart, finished jobs remain
+// listable and unfinished ones resume from their checkpoints (the resumable
+// searchers replay the exact draw sequence, so the completed result is
+// identical to an uninterrupted run). Service.Shutdown drains workers and
+// parks running jobs as "interrupted".
 package server
 
 import (
@@ -43,9 +54,10 @@ import (
 const searchCacheEntries = 1 << 15
 
 // service carries the handlers' shared state: the engine configuration
-// template and the process-wide pipeline counters.
+// template, the process-wide pipeline counters, and the async job manager.
 type service struct {
 	counters *engine.Counters
+	jobs     *jobManager
 }
 
 // engineFor builds the per-request evaluation pipeline.
@@ -53,17 +65,8 @@ func (s *service) engineFor(ev *nest.Evaluator) *engine.Engine {
 	return engine.Config{CacheEntries: searchCacheEntries, Metrics: s.counters}.New(ev)
 }
 
-// New returns the service's HTTP handler.
-func New() http.Handler {
-	h, _ := NewWithMetrics()
-	return h
-}
-
-// NewWithMetrics returns the handler plus the pipeline counters it reports
-// at /v1/metrics, so callers (cmd/rubyserve) can additionally export them
-// via expvar or logs.
-func NewWithMetrics() (http.Handler, *engine.Counters) {
-	s := &service{counters: &engine.Counters{}}
+// mux wires the endpoint handlers.
+func (s *service) mux() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/suites", handleSuites)
 	mux.HandleFunc("GET /v1/experiments", handleExperiments)
@@ -71,7 +74,29 @@ func NewWithMetrics() (http.Handler, *engine.Counters) {
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	mux.HandleFunc("POST /v1/search", s.handleSearch)
 	mux.HandleFunc("POST /v1/construct", handleConstruct)
-	return mux, s.counters
+	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	return mux
+}
+
+// New returns the service's HTTP handler (in-memory jobs, no persistence).
+func New() http.Handler {
+	h, _ := NewWithMetrics()
+	return h
+}
+
+// NewWithMetrics returns the handler plus the pipeline counters it reports
+// at /v1/metrics, so callers (cmd/rubyserve) can additionally export them
+// via expvar or logs. Jobs are kept in memory; use NewService for
+// persistence and graceful shutdown.
+func NewWithMetrics() (http.Handler, *engine.Counters) {
+	srv, err := NewService(Options{})
+	if err != nil {
+		// Unreachable: only a state directory can fail to open.
+		panic(err)
+	}
+	return srv, srv.Counters()
 }
 
 // problem is the error payload.

@@ -1,0 +1,162 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"sync"
+
+	"ruby/internal/arch"
+	"ruby/internal/checkpoint"
+	"ruby/internal/mapping"
+	"ruby/internal/mapspace"
+	"ruby/internal/nest"
+	"ruby/internal/search"
+	"ruby/internal/workload"
+	"ruby/internal/workloads"
+)
+
+// SuiteCheckpoint persists per-layer suite progress to one crash-safe file,
+// so an interrupted suite run (or experiment spanning many suites) resumes
+// by skipping completed layers instead of re-searching them. Keys include
+// the architecture, strategy, search seed and budget, so one file safely
+// backs a whole experiment's worth of suite runs. It is safe for concurrent
+// use by the parallel layer workers of RunSuiteCtx.
+//
+// Restored layers are verified: the recorded mapping is decoded against the
+// (possibly padded, via the recorded bounds) workload variant and
+// re-evaluated, and a mismatch with the recorded cost falls back to a fresh
+// search rather than silently trusting a stale file.
+type SuiteCheckpoint struct {
+	path string
+	mu   sync.Mutex
+	st   checkpoint.SuiteState
+}
+
+// OpenSuiteCheckpoint loads the suite checkpoint at path, or starts a fresh
+// one when the file does not exist yet.
+func OpenSuiteCheckpoint(path string) (*SuiteCheckpoint, error) {
+	sc := &SuiteCheckpoint{path: path}
+	err := checkpoint.Load(path, checkpoint.KindSuite, &sc.st)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, err
+	}
+	if sc.st.Layers == nil {
+		sc.st.Layers = make(map[string]*checkpoint.LayerState)
+	}
+	return sc, nil
+}
+
+// Path returns the backing file.
+func (sc *SuiteCheckpoint) Path() string { return sc.path }
+
+// Len returns the number of completed layer entries.
+func (sc *SuiteCheckpoint) Len() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return len(sc.st.Layers)
+}
+
+// layerKey identifies one layer search: everything that changes its outcome
+// goes into the key, so resuming with a different budget, seed or strategy
+// re-searches instead of reusing stale results.
+func layerKey(a *arch.Arch, st Strategy, opt search.Options, l workloads.Layer) string {
+	return fmt.Sprintf("%s|%s|seed=%d|max=%d|noimp=%d|obj=%d|%s",
+		a.Name, st.Name, opt.Seed, opt.MaxEvaluations, opt.ConsecutiveNoImprove, opt.Objective, l.Name)
+}
+
+// resume returns the recorded result for one layer search if present and
+// verifiable.
+func (sc *SuiteCheckpoint) resume(l workloads.Layer, a *arch.Arch, st Strategy,
+	consFn ConstraintFn, opt search.Options) (LayerResult, bool) {
+
+	key := layerKey(a, st, opt, l)
+	sc.mu.Lock()
+	ls := sc.st.Layers[key]
+	sc.mu.Unlock()
+	if ls == nil || !ls.Done || len(ls.Mapping) == 0 || ls.Cost == nil {
+		return LayerResult{}, false
+	}
+
+	w := sc.findVariant(l, a, st, consFn, ls.PadBounds)
+	if w == nil {
+		return LayerResult{}, false
+	}
+	m, err := mapping.Decode(ls.Mapping, w, mapping.Slots(a))
+	if err != nil {
+		return LayerResult{}, false
+	}
+	ev, err := nest.NewEvaluator(w, a)
+	if err != nil {
+		return LayerResult{}, false
+	}
+	c := ev.Evaluate(m)
+	// The model is deterministic, so a checkpoint that matches the current
+	// code reproduces the cost bit-for-bit; anything else is stale.
+	if !c.Valid || c.EDP != ls.Cost.EDP || c.Cycles != ls.Cost.Cycles || c.EnergyPJ != ls.Cost.EnergyPJ {
+		return LayerResult{}, false
+	}
+	return LayerResult{
+		Layer: l, Cost: c, Workload: w,
+		Search: &search.Result{Best: m, BestCost: c, Evaluated: ls.Evaluated, Valid: ls.Valid},
+	}, true
+}
+
+// findVariant reconstructs the workload variant the recorded mapping was
+// searched on: the layer's own workload when no padded bounds were recorded,
+// otherwise the padded variant with exactly those bounds.
+func (sc *SuiteCheckpoint) findVariant(l workloads.Layer, a *arch.Arch, st Strategy,
+	consFn ConstraintFn, padBounds map[string]int) *workload.Workload {
+
+	if len(padBounds) == 0 {
+		return l.Work
+	}
+	if !st.Pad {
+		return nil
+	}
+	fx, fy := arrayAxes(a)
+	for _, w := range mapspace.PaddedVariants(l.Work, consFn(l.Work), fx, fy) {
+		if boundsEqual(w, padBounds) {
+			return w
+		}
+	}
+	return nil
+}
+
+func boundsEqual(w *workload.Workload, bounds map[string]int) bool {
+	dims := w.DimNames()
+	if len(dims) != len(bounds) {
+		return false
+	}
+	for _, d := range dims {
+		if w.Bound(d) != bounds[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// record stores one completed layer search and persists the file.
+func (sc *SuiteCheckpoint) record(l workloads.Layer, a *arch.Arch, st Strategy,
+	opt search.Options, lr LayerResult) error {
+
+	raw, err := lr.Search.Best.Encode()
+	if err != nil {
+		return fmt.Errorf("sweep: checkpoint layer %s: %w", l.Name, err)
+	}
+	cost := lr.Cost.Clone()
+	ls := &checkpoint.LayerState{
+		Done: true, Mapping: raw, Cost: &cost,
+		Evaluated: lr.Search.Evaluated, Valid: lr.Search.Valid,
+	}
+	if lr.Workload != l.Work {
+		ls.PadBounds = make(map[string]int)
+		for _, d := range lr.Workload.DimNames() {
+			ls.PadBounds[d] = lr.Workload.Bound(d)
+		}
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.st.Layers[layerKey(a, st, opt, l)] = ls
+	return checkpoint.Save(sc.path, checkpoint.KindSuite, &sc.st)
+}

@@ -1,0 +1,175 @@
+package sweep
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"ruby/internal/arch"
+	"ruby/internal/engine"
+	"ruby/internal/mapspace"
+)
+
+// A resumed suite run must skip every completed layer (zero fresh
+// evaluations) and reproduce the first run's totals bit for bit.
+func TestSuiteCheckpointResumeSkipsCompletedLayers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "suite.json")
+	a := arch.EyerissLike(14, 12, 128)
+	layers := smallSuite()
+	st := Strategies()[2] // Ruby-S
+
+	cp, err := OpenSuiteCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := RunSuiteCtx(context.Background(), layers, a, st, mapspace.EyerissRowStationary,
+		SuiteOptions{Search: quickOpt, Checkpoint: cp, Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Len() != len(layers) {
+		t.Fatalf("checkpoint holds %d layers, want %d", cp.Len(), len(layers))
+	}
+
+	// "Second process": reload the file, count evaluations.
+	cp2, err := OpenSuiteCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := &engine.Counters{}
+	second, err := RunSuiteCtx(context.Background(), layers, a, st, mapspace.EyerissRowStationary,
+		SuiteOptions{Search: quickOpt, Engine: engine.Config{Metrics: met}, Checkpoint: cp2, Parallel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evals := met.Snapshot().Evaluations; evals != 0 {
+		t.Errorf("resumed run performed %d fresh engine evaluations, want 0", evals)
+	}
+	if second.EDP != first.EDP || second.TotalCycles != first.TotalCycles || second.TotalEnergyPJ != first.TotalEnergyPJ {
+		t.Errorf("resumed totals (%g, %g, %g) differ from original (%g, %g, %g)",
+			second.EDP, second.TotalCycles, second.TotalEnergyPJ,
+			first.EDP, first.TotalCycles, first.TotalEnergyPJ)
+	}
+	for i := range first.Layers {
+		if second.Layers[i].Cost.EDP != first.Layers[i].Cost.EDP {
+			t.Errorf("layer %s EDP %g, want %g", layers[i].Name, second.Layers[i].Cost.EDP, first.Layers[i].Cost.EDP)
+		}
+		if second.Layers[i].Search.Evaluated != first.Layers[i].Search.Evaluated {
+			t.Errorf("layer %s evaluation count %d, want %d (counters must restore, not reset)",
+				layers[i].Name, second.Layers[i].Search.Evaluated, first.Layers[i].Search.Evaluated)
+		}
+	}
+}
+
+// An interrupted run (only some layers completed) resumes the rest and ends
+// with the same totals as an uninterrupted run.
+func TestSuiteCheckpointPartialResume(t *testing.T) {
+	a := arch.EyerissLike(14, 12, 128)
+	layers := smallSuite()
+	st := Strategies()[2]
+	// Serial search: the fresh layers of the resumed run must reproduce the
+	// uninterrupted run exactly, which the parallel random entry point does
+	// not guarantee across schedules.
+	opt := quickOpt
+	opt.Threads = 1
+
+	want, err := RunSuiteCtx(context.Background(), layers, a, st, mapspace.EyerissRowStationary,
+		SuiteOptions{Search: opt})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "suite.json")
+	cp, err := OpenSuiteCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "First process" dies after completing only the first layer.
+	if _, err := RunSuiteCtx(context.Background(), layers[:1], a, st, mapspace.EyerissRowStationary,
+		SuiteOptions{Search: opt, Checkpoint: cp}); err != nil {
+		t.Fatal(err)
+	}
+	cp2, err := OpenSuiteCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp2.Len() != 1 {
+		t.Fatalf("checkpoint holds %d layers, want 1", cp2.Len())
+	}
+	got, err := RunSuiteCtx(context.Background(), layers, a, st, mapspace.EyerissRowStationary,
+		SuiteOptions{Search: opt, Checkpoint: cp2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.EDP != want.EDP {
+		t.Errorf("resumed suite EDP %g, want %g", got.EDP, want.EDP)
+	}
+}
+
+// Padding strategies record the winning padded variant's bounds; the resumed
+// run reconstructs that exact variant.
+func TestSuiteCheckpointRoundTripsPaddedVariant(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "suite.json")
+	a := arch.EyerissLike(14, 12, 128)
+	layers := smallSuite()[:1] // 13x13 pointwise: padding to 14 is in play
+	st := Strategies()[1]      // PFM+pad
+
+	cp, err := OpenSuiteCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := RunSuiteCtx(context.Background(), layers, a, st, mapspace.EyerissRowStationary,
+		SuiteOptions{Search: quickOpt, Checkpoint: cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp2, err := OpenSuiteCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := RunSuiteCtx(context.Background(), layers, a, st, mapspace.EyerissRowStationary,
+		SuiteOptions{Search: quickOpt, Checkpoint: cp2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.EDP != first.EDP {
+		t.Errorf("padded resume EDP %g, want %g", second.EDP, first.EDP)
+	}
+	fw, sw := first.Layers[0].Workload, second.Layers[0].Workload
+	for _, d := range fw.DimNames() {
+		if fw.Bound(d) != sw.Bound(d) {
+			t.Errorf("dim %s bound %d, want %d (padded variant not reconstructed)", d, sw.Bound(d), fw.Bound(d))
+		}
+	}
+}
+
+// Different search configurations must not collide in one checkpoint file.
+func TestSuiteCheckpointKeyedByConfiguration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "suite.json")
+	a := arch.EyerissLike(14, 12, 128)
+	layers := smallSuite()[:1]
+	st := Strategies()[2]
+
+	cp, err := OpenSuiteCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunSuiteCtx(context.Background(), layers, a, st, mapspace.EyerissRowStationary,
+		SuiteOptions{Search: quickOpt, Checkpoint: cp}); err != nil {
+		t.Fatal(err)
+	}
+	// A different budget re-searches (fresh evaluations) instead of reusing.
+	other := quickOpt
+	other.MaxEvaluations = 1500
+	met := &engine.Counters{}
+	if _, err := RunSuiteCtx(context.Background(), layers, a, st, mapspace.EyerissRowStationary,
+		SuiteOptions{Search: other, Engine: engine.Config{Metrics: met}, Checkpoint: cp}); err != nil {
+		t.Fatal(err)
+	}
+	if met.Snapshot().Evaluations == 0 {
+		t.Error("changed search budget reused the old checkpoint entry")
+	}
+	if cp.Len() != 2 {
+		t.Errorf("checkpoint holds %d entries, want 2", cp.Len())
+	}
+}

@@ -61,6 +61,12 @@ type SuiteOptions struct {
 	Engine engine.Config
 	// Library optionally caches best-known mappings across runs.
 	Library *library.Store
+	// Checkpoint optionally persists per-layer progress, so interrupted
+	// suite runs resume by skipping verified completed layers. Unlike
+	// Library (a cross-run cache keyed only by the problem), checkpoint
+	// entries are keyed by the full search configuration, so they are exact
+	// resumption, not approximation.
+	Checkpoint *SuiteCheckpoint
 	// Parallel is the number of layers searched concurrently (0 = derive
 	// from NumCPU and Search.Threads so the machine is busy but not
 	// oversubscribed; 1 = serial).
@@ -263,6 +269,26 @@ func RunSuiteCtx(ctx context.Context, layers []workloads.Layer, a *arch.Arch, st
 func searchLayerCached(ctx context.Context, l workloads.Layer, a *arch.Arch, st Strategy,
 	consFn ConstraintFn, so SuiteOptions) (LayerResult, error) {
 
+	if so.Checkpoint != nil {
+		if lr, ok := so.Checkpoint.resume(l, a, st, consFn, so.Search); ok {
+			return lr, nil
+		}
+	}
+	lr, err := searchLayerLib(ctx, l, a, st, consFn, so)
+	if err != nil {
+		return lr, err
+	}
+	if so.Checkpoint != nil {
+		if err := so.Checkpoint.record(l, a, st, so.Search, lr); err != nil {
+			return lr, err
+		}
+	}
+	return lr, nil
+}
+
+func searchLayerLib(ctx context.Context, l workloads.Layer, a *arch.Arch, st Strategy,
+	consFn ConstraintFn, so SuiteOptions) (LayerResult, error) {
+
 	lib := so.Library
 	if lib == nil || st.Pad {
 		return SearchLayerCtx(ctx, l, a, st, consFn, so.Search, so.Engine)
@@ -297,6 +323,7 @@ type ArrayConfig struct {
 	Cols, Rows int
 }
 
+// String renders the configuration as "COLSxROWS".
 func (c ArrayConfig) String() string { return fmt.Sprintf("%dx%d", c.Cols, c.Rows) }
 
 // PEs returns the array's PE count.

@@ -22,6 +22,7 @@ package ruby
 
 import (
 	"ruby/internal/arch"
+	"ruby/internal/checkpoint"
 	"ruby/internal/config"
 	"ruby/internal/engine"
 	"ruby/internal/exp"
@@ -254,6 +255,49 @@ var (
 	// SearchParetoFront samples the mapspace and returns the energy-delay
 	// non-dominated mappings.
 	SearchParetoFront = search.ParetoFront
+)
+
+// Checkpointing: crash-safe search orchestration (see docs/ARCHITECTURE.md).
+// The resumable searchers expose Step/Snapshot/Restore; RunCheckpointed
+// drives one with periodic snapshots, and a killed run resumed from its file
+// finishes with bit-identical results.
+type (
+	// Searcher is a stepwise search whose full state snapshots and restores.
+	Searcher = search.Searcher
+	// CheckpointConfig sets the snapshot path and interval for
+	// RunCheckpointed.
+	CheckpointConfig = search.CheckpointConfig
+	// SearchState is the serialized state of one resumable search.
+	SearchState = checkpoint.SearchState
+	// CheckpointRNG is the serializable random generator resumable searches
+	// draw from (xoshiro256**, state round-trips through JSON exactly).
+	CheckpointRNG = checkpoint.RNG
+	// SuiteCheckpoint records completed per-layer suite searches, keyed by
+	// their full search configuration; resumed suite runs skip them.
+	SuiteCheckpoint = sweep.SuiteCheckpoint
+)
+
+var (
+	// NewRandomSearcher builds the resumable random-sampling searcher.
+	NewRandomSearcher = search.NewRandom
+	// NewHillClimbSearcher builds the resumable hill-climbing searcher.
+	NewHillClimbSearcher = search.NewHillClimb
+	// NewExhaustiveSearcher builds the resumable exhaustive scanner.
+	NewExhaustiveSearcher = search.NewExhaustive
+	// RunCheckpointed drives a Searcher to completion with periodic
+	// crash-safe snapshots and a final snapshot on interruption.
+	RunCheckpointed = search.RunCheckpointed
+	// RestoreSearch loads a snapshot file into a fresh Searcher; a missing
+	// file is a fresh start, not an error.
+	RestoreSearch = search.RestoreFromFile
+	// OpenSuiteCheckpoint opens (or creates) a suite checkpoint file; pass
+	// it via SuiteOptions.Checkpoint.
+	OpenSuiteCheckpoint = sweep.OpenSuiteCheckpoint
+	// SaveCheckpoint / LoadCheckpoint are the underlying atomic versioned
+	// snapshot codec (temp file + rename; schema-, version- and
+	// kind-checked).
+	SaveCheckpoint = checkpoint.Save
+	LoadCheckpoint = checkpoint.Load
 )
 
 // Configuration files (JSON; see configs/ for examples).

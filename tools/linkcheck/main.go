@@ -1,0 +1,117 @@
+// Command linkcheck verifies the repository's markdown cross-references:
+// every relative link and image target in the checked .md files must exist
+// on disk (anchors are stripped; external URLs are skipped). It exits
+// non-zero listing each broken link, so `make docs-check` fails when a file
+// rename orphans documentation.
+//
+// Usage:
+//
+//	go run ./tools/linkcheck [-root DIR] [files...]
+//
+// With no file arguments, every *.md under the root (skipping .git and
+// testdata) is checked.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links/images: [text](target) / ![alt](target).
+// Reference-style definitions ([id]: target) are rare here and not used for
+// file links, so inline form is the contract.
+var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)(?:\s+"[^"]*")?\)`)
+
+func main() {
+	root := flag.String("root", ".", "repository root for the default file walk")
+	flag.Parse()
+
+	files := flag.Args()
+	if len(files) == 0 {
+		var err error
+		files, err = markdownFiles(*root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	broken := 0
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "linkcheck: %v\n", err)
+			os.Exit(1)
+		}
+		for _, target := range extractTargets(string(data)) {
+			if !targetExists(f, target) {
+				fmt.Printf("%s: broken link: %s\n", f, target)
+				broken++
+			}
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+func markdownFiles(root string) ([]string, error) {
+	var files []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	return files, err
+}
+
+// extractTargets returns the link targets of doc, skipping fenced code
+// blocks (command examples legitimately contain bracketed text).
+func extractTargets(doc string) []string {
+	var targets []string
+	inFence := false
+	for _, line := range strings.Split(doc, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			targets = append(targets, m[1])
+		}
+	}
+	return targets
+}
+
+func targetExists(from, target string) bool {
+	if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+		return true // external; this tool is offline by design
+	}
+	// Strip an anchor; a bare anchor points into the current file.
+	if i := strings.IndexByte(target, '#'); i >= 0 {
+		target = target[:i]
+		if target == "" {
+			return true
+		}
+	}
+	_, err := os.Stat(filepath.Join(filepath.Dir(from), target))
+	return err == nil
+}
