@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-all fmt vet docs-check check
+.PHONY: all build test race bench bench-all fmt vet lint fuzz-smoke docs-check check
 
 all: check
 
@@ -32,10 +32,23 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# Project-invariant static analysis (determinism, hot-path allocation
+# freedom, context discipline, atomic counter access). See tools/README.md.
+lint:
+	$(GO) run ./tools/rubylint ./...
+
+# Short fuzz pass over every fuzz target; CI runs this as a smoke test.
+# Override FUZZTIME for longer local sessions.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzFactorChains -fuzztime $(FUZZTIME) ./internal/factor
+	$(GO) test -run xxx -fuzz FuzzCheckpointRoundTrip -fuzztime $(FUZZTIME) ./internal/checkpoint
+	$(GO) test -run xxx -fuzz FuzzConfigParse -fuzztime $(FUZZTIME) ./internal/config
+
 # Documentation hygiene: every relative markdown link must resolve, and the
 # source must be gofmt-clean and vet-clean (doc drift usually rides along
 # with code drift).
 docs-check: fmt vet
 	$(GO) run ./tools/linkcheck
 
-check: fmt vet build docs-check test race
+check: fmt vet build lint docs-check test race

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Atomics guards the engine's lock-free metrics (PR 1): every field of a
+// struct annotated //ruby:atomic must be accessed through sync/atomic —
+// either a method of an atomic value type (atomic.Int64.Add/Load/...) or a
+// sync/atomic package function taking the field's address. Any bare read,
+// write or copy of such a field is a data race on the evaluation hot path
+// that the race detector only catches when two goroutines actually collide.
+var Atomics = &Analyzer{
+	Name: "atomics",
+	Doc:  "fields of //ruby:atomic structs are accessed only via sync/atomic",
+	Run:  runAtomics,
+}
+
+func runAtomics(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			se, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			sel := p.Pkg.Info.Selections[se]
+			if sel == nil || sel.Kind() != types.FieldVal {
+				return true
+			}
+			named, ok := derefNamed(sel.Recv())
+			if !ok || !p.TypeHas(named.Obj(), "atomic") {
+				return true
+			}
+			if atomicAccess(p, se, stack) {
+				return true
+			}
+			p.Reportf(se.Pos(),
+				"field %s of //ruby:atomic struct %s accessed without sync/atomic; racy on the metrics hot path",
+				sel.Obj().Name(), named.Obj().Name())
+			return true
+		})
+	}
+}
+
+// atomicAccess reports whether the field selection is consumed by
+// sync/atomic: a method call on an atomic value type (c.n.Add(1)) or an
+// address passed to a sync/atomic function (atomic.AddInt64(&c.n, 1)).
+func atomicAccess(p *Pass, se *ast.SelectorExpr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.SelectorExpr:
+		// c.n.Add(...): the outer selector must resolve to a method of a
+		// sync/atomic type.
+		if obj := p.Pkg.Info.Selections[parent]; obj != nil {
+			if fn, ok := obj.Obj().(*types.Func); ok &&
+				fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" {
+				return true
+			}
+		}
+	case *ast.UnaryExpr:
+		// atomic.AddInt64(&c.n, 1): &field as an argument to sync/atomic.
+		if parent.Op != token.AND || len(stack) < 2 {
+			return false
+		}
+		if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok {
+			if pkgPath, _, ok := pkgCallName(p.Pkg.Info, call); ok && pkgPath == "sync/atomic" {
+				return true
+			}
+		}
+	}
+	return false
+}

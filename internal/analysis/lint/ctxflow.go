@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Ctxflow enforces the cancellation discipline established in PR 1: every
+// long-running pipeline threads one context from its caller, so timeouts and
+// shutdown reach every evaluation loop.
+//
+//   - context.Background() and context.TODO() may appear only in package
+//     main and in functions annotated //ruby:ctxroot (documented context
+//     roots: legacy one-shot wrappers, process-lifetime managers). Tests
+//     are outside the analysis set entirely.
+//   - In the orchestration packages (engine, search, sweep, server), an
+//     exported function that calls into a context-aware API must itself
+//     accept a context.Context — swallowing the parameter severs the
+//     cancellation chain for every caller above it.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "long-running exported APIs accept and forward context.Context; Background only at annotated roots",
+	Run:  runCtxflow,
+}
+
+// ctxPackages are the package names whose exported APIs must participate in
+// the cancellation chain.
+var ctxPackages = map[string]bool{
+	"engine": true, "search": true, "sweep": true, "server": true,
+}
+
+func runCtxflow(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, fn := range []string{"Background", "TODO"} {
+				if !isPkgCall(p.Pkg.Info, call, "context", fn) {
+					continue
+				}
+				if p.Pkg.Name == "main" {
+					continue
+				}
+				if decl := p.EnclosingFunc(call.Pos()); decl != nil && p.FuncHas(decl, "ctxroot") {
+					continue
+				}
+				p.Reportf(call.Pos(),
+					"context.%s outside main or a //ruby:ctxroot function; thread the caller's ctx instead",
+					fn)
+			}
+			return true
+		})
+	}
+
+	if !ctxPackages[p.Pkg.Name] {
+		return
+	}
+	for _, decl := range p.dirs.funcDecls {
+		if decl.Body == nil || !decl.Name.IsExported() || p.FuncHas(decl, "ctxroot") {
+			continue
+		}
+		fn, ok := p.Pkg.Info.Defs[decl.Name].(*types.Func)
+		if !ok {
+			continue
+		}
+		if hasContextParam(fn.Type().(*types.Signature)) {
+			continue
+		}
+		reported := false
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if reported {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(p.Pkg.Info, call)
+			if callee == nil {
+				return true
+			}
+			if sig, ok := callee.Type().(*types.Signature); ok && hasContextParam(sig) {
+				p.Reportf(decl.Name.Pos(),
+					"exported %s calls context-aware %s but takes no context.Context; accept and forward a ctx (or annotate //ruby:ctxroot)",
+					funcName(decl), callee.Name())
+				reported = true
+				return false
+			}
+			return true
+		})
+	}
+}

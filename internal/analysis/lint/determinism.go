@@ -1,0 +1,252 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism enforces the reproducibility contract behind seeded search and
+// bit-identical kill-and-resume (PR 3):
+//
+//   - no global math/rand draws outside tests — every random draw must come
+//     from an explicitly seeded source (checkpoint.RNG for resumable paths);
+//   - no wall-clock seeding of random sources, anywhere;
+//   - no wall-clock reads (time.Now/Since/Until) inside the checkpoint
+//     package, nor inside resumable Step/Snapshot/Restore paths of search
+//     packages (anything those methods reach intra-package);
+//   - no map-iteration order leaking into serialized output: a function
+//     that both ranges over a map collecting into a slice and serializes
+//     (encoding/json, checkpoint.Save) must sort.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid global rand, wall-clock reads on resume paths, and map-order-dependent serialization",
+	Run:  runDeterminism,
+}
+
+// globalRandDraws are the math/rand package-level functions backed by the
+// process-global, unseedable-for-reproducibility source.
+var globalRandDraws = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+}
+
+func runDeterminism(p *Pass) {
+	reachable := stepReachable(p)
+
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkgPath, name, ok := pkgCallName(p.Pkg.Info, call); ok {
+				if pkgPath == "math/rand" || pkgPath == "math/rand/v2" {
+					if globalRandDraws[name] {
+						p.Reportf(call.Pos(),
+							"global %s.%s draws from the process-wide source; use a seeded *rand.Rand (checkpoint.RNG on resumable paths)",
+							pkgPath, name)
+					}
+					if name == "New" || name == "NewSource" {
+						reportWallClockSeed(p, call)
+					}
+				}
+				if name == "NewRNG" && p.Pkg.Name != "checkpoint" {
+					reportWallClockSeed(p, call)
+				}
+			}
+			return true
+		})
+	}
+
+	// Wall-clock reads in forbidden scopes.
+	for _, decl := range p.dirs.funcDecls {
+		if decl.Body == nil {
+			continue
+		}
+		scope := ""
+		switch {
+		case p.Pkg.Name == "checkpoint":
+			scope = "checkpoint package"
+		case reachable[decl]:
+			scope = "resumable Step/Snapshot/Restore path"
+		}
+		if scope == "" {
+			continue
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, fn := range []string{"Now", "Since", "Until"} {
+				if isPkgCall(p.Pkg.Info, call, "time", fn) {
+					p.Reportf(call.Pos(),
+						"time.%s in %s (%s): wall-clock state breaks bit-identical resume",
+						fn, funcName(decl), scope)
+				}
+			}
+			return true
+		})
+	}
+
+	runMapRange(p)
+}
+
+// reportWallClockSeed flags random sources seeded from the wall clock.
+func reportWallClockSeed(p *Pass, call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isPkgCall(p.Pkg.Info, inner, "time", "Now") {
+				p.Reportf(inner.Pos(), "random source seeded from time.Now; seeds must be explicit and reproducible")
+			}
+			return true
+		})
+	}
+}
+
+// stepReachable computes, for search-like packages, the set of functions
+// reachable intra-package from any Step/Snapshot/Restore method — the paths
+// whose state must replay identically across kill-and-resume.
+func stepReachable(p *Pass) map[*ast.FuncDecl]bool {
+	if p.Pkg.Name != "search" {
+		return nil
+	}
+	calls := map[*ast.FuncDecl][]*ast.FuncDecl{}
+	for _, decl := range p.dirs.funcDecls {
+		if decl.Body == nil {
+			continue
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calleeFunc(p.Pkg.Info, call); fn != nil {
+				if callee, ok := p.dirs.funcByObj[fn]; ok {
+					calls[decl] = append(calls[decl], callee)
+				}
+			}
+			return true
+		})
+	}
+	reachable := map[*ast.FuncDecl]bool{}
+	var visit func(d *ast.FuncDecl)
+	visit = func(d *ast.FuncDecl) {
+		if reachable[d] {
+			return
+		}
+		reachable[d] = true
+		for _, callee := range calls[d] {
+			visit(callee)
+		}
+	}
+	for _, decl := range p.dirs.funcDecls {
+		if decl.Recv == nil {
+			continue
+		}
+		switch decl.Name.Name {
+		case "Step", "Snapshot", "Restore":
+			visit(decl)
+		}
+	}
+	return reachable
+}
+
+// runMapRange flags map iterations that collect into slices inside
+// serializing functions without a sort — the iteration order would leak
+// into checkpoint or API output and differ run to run.
+func runMapRange(p *Pass) {
+	for _, decl := range p.dirs.funcDecls {
+		if decl.Body == nil {
+			continue
+		}
+		serializes, sorts := false, false
+		var mapRanges []*ast.RangeStmt
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isSerializerCall(p.Pkg.Info, n) {
+					serializes = true
+				}
+				if pkgPath, _, ok := pkgCallName(p.Pkg.Info, n); ok && (pkgPath == "sort" || pkgPath == "slices") {
+					sorts = true
+				}
+				if fn := calleeFunc(p.Pkg.Info, n); fn != nil {
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+						if named, ok := derefNamed(sig.Recv().Type()); ok &&
+							named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "sort" {
+							sorts = true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if tv, ok := p.Pkg.Info.Types[n.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						mapRanges = append(mapRanges, n)
+					}
+				}
+			}
+			return true
+		})
+		if !serializes || sorts || len(mapRanges) == 0 {
+			continue
+		}
+		for _, rs := range mapRanges {
+			appends := false
+			ast.Inspect(rs.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok && isBuiltin(p.Pkg.Info, call, "append") {
+					appends = true
+				}
+				return true
+			})
+			if appends {
+				p.Reportf(rs.Pos(),
+					"map iteration collects into a slice in serializing function %s without sorting; iteration order would leak into output",
+					funcName(decl))
+			}
+		}
+	}
+}
+
+func isSerializerCall(info *types.Info, call *ast.CallExpr) bool {
+	if pkgPath, name, ok := pkgCallName(info, call); ok {
+		if pkgPath == "encoding/json" && (name == "Marshal" || name == "MarshalIndent") {
+			return true
+		}
+		if name == "Save" && pkgPathBase(pkgPath) == "checkpoint" {
+			return true
+		}
+	}
+	if fn := calleeFunc(info, call); fn != nil && fn.Name() == "Encode" {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if named, ok := derefNamed(sig.Recv().Type()); ok &&
+				named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "encoding/json" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return named, ok
+}
+
+func pkgPathBase(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

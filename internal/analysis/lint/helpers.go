@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// calleeFunc resolves the function or method a call expression invokes,
+// returning nil for builtins, function values and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgCall reports whether call invokes the named package-level function
+// (no receiver) of the package with the given import path.
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil &&
+		fn.Pkg() != nil && fn.Pkg().Path() == pkgPath &&
+		fn.Name() == name &&
+		fn.Type().(*types.Signature).Recv() == nil
+}
+
+// callsPackage reports whether call invokes any package-level function of
+// pkgPath, returning its name.
+func pkgCallName(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Type().(*types.Signature).Recv() != nil {
+		return "", "", false
+	}
+	return fn.Pkg().Path(), fn.Name(), true
+}
+
+// isBuiltin reports whether call invokes the named builtin (append, len...).
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = info.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// hasContextParam reports whether the signature takes a context.Context.
+func hasContextParam(sig *types.Signature) bool {
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// exprEqual reports whether two expressions are structurally identical
+// chains of identifiers, selectors and index expressions — enough to
+// recognize the self-append idiom `x = append(x, ...)` and
+// `s.buf[i] = append(s.buf[i], ...)`.
+func exprEqual(a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch ax := a.(type) {
+	case *ast.Ident:
+		bx, ok := b.(*ast.Ident)
+		return ok && ax.Name == bx.Name
+	case *ast.SelectorExpr:
+		bx, ok := b.(*ast.SelectorExpr)
+		return ok && ax.Sel.Name == bx.Sel.Name && exprEqual(ax.X, bx.X)
+	case *ast.IndexExpr:
+		bx, ok := b.(*ast.IndexExpr)
+		return ok && exprEqual(ax.X, bx.X) && exprEqual(ax.Index, bx.Index)
+	case *ast.StarExpr:
+		bx, ok := b.(*ast.StarExpr)
+		return ok && exprEqual(ax.X, bx.X)
+	}
+	return false
+}
+
+// funcName renders a declaration's name, including the receiver type for
+// methods, for diagnostics.
+func funcName(decl *ast.FuncDecl) string {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return decl.Name.Name
+	}
+	t := decl.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + decl.Name.Name
+	}
+	return decl.Name.Name
+}

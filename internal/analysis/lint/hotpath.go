@@ -1,0 +1,227 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Hotpath enforces steady-state allocation-freedom in functions annotated
+// //ruby:hotpath — the compiled evaluation kernel (nest.Plan.Evaluate*), the
+// mapping.Dense lowering and the in-place sampler, whose 0 allocs/op is
+// pinned by benchmarks (PR 2) and must not regress silently. Inside an
+// annotated function the analyzer forbids:
+//
+//   - calls into fmt, except fmt.Errorf (constructing an error is by
+//     convention the cold invalid-mapping branch);
+//   - append except the self-append recycling idiom `x = append(x, ...)`,
+//     whose backing storage is preallocated scratch;
+//   - closures that capture enclosing variables and escape (returned,
+//     stored into non-local memory, or launched as a goroutine);
+//   - boxing non-constant concrete values into interfaces (assignments,
+//     returns, call arguments). Arguments to fmt.Errorf, to the errors
+//     package and to //ruby:coldpath-annotated helpers are exempt: those
+//     calls only run on the error path.
+var Hotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "keep //ruby:hotpath functions allocation-free at steady state",
+	Run:  runHotpath,
+}
+
+func runHotpath(p *Pass) {
+	for _, decl := range p.dirs.funcDecls {
+		if decl.Body == nil || !p.FuncHas(decl, "hotpath") {
+			continue
+		}
+		checkHotFunc(p, decl)
+	}
+}
+
+func checkHotFunc(p *Pass, decl *ast.FuncDecl) {
+	name := funcName(decl)
+	info := p.Pkg.Info
+	inspectStack(decl.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if pkgPath, fn, ok := pkgCallName(info, n); ok && pkgPath == "fmt" && fn != "Errorf" {
+				p.Reportf(n.Pos(), "fmt.%s in //ruby:hotpath %s allocates; hot paths must not format", fn, name)
+			}
+			if isBuiltin(info, n, "append") && !isSelfAppend(n, stack) {
+				p.Reportf(n.Pos(),
+					"append in //ruby:hotpath %s does not write back to its own operand; growth escapes the recycled scratch",
+					name)
+			}
+			checkCallBoxing(p, decl, name, n)
+		case *ast.FuncLit:
+			checkClosure(p, decl, name, n, stack)
+		case *ast.AssignStmt:
+			checkAssignBoxing(p, name, n)
+		case *ast.ReturnStmt:
+			checkReturnBoxing(p, decl, name, n)
+		}
+		return true
+	})
+}
+
+// isSelfAppend recognizes `x = append(x, ...)` (and indexed/field variants):
+// the only append form that reuses preallocated backing storage instead of
+// growing a new escaping slice.
+func isSelfAppend(call *ast.CallExpr, stack []ast.Node) bool {
+	if len(call.Args) == 0 || len(stack) == 0 {
+		return false
+	}
+	assign, ok := stack[len(stack)-1].(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for i, rhs := range assign.Rhs {
+		if ast.Unparen(rhs) == call && i < len(assign.Lhs) {
+			return exprEqual(assign.Lhs[i], call.Args[0])
+		}
+	}
+	return false
+}
+
+// checkClosure flags func literals that both capture enclosing variables and
+// escape. A closure passed directly as a call argument is tolerated (the
+// sort.Slice / rng.Shuffle idiom — escape analysis keeps it on the stack
+// when the callee does not retain it).
+func checkClosure(p *Pass, decl *ast.FuncDecl, name string, lit *ast.FuncLit, stack []ast.Node) {
+	if len(stack) == 0 {
+		return
+	}
+	escapes := false
+	switch parent := stack[len(stack)-1].(type) {
+	case *ast.ReturnStmt:
+		escapes = true
+	case *ast.GoStmt:
+		escapes = true
+	case *ast.CompositeLit:
+		escapes = true
+	case *ast.AssignStmt:
+		for i, rhs := range parent.Rhs {
+			if ast.Unparen(rhs) != lit || i >= len(parent.Lhs) {
+				continue
+			}
+			if _, isIdent := ast.Unparen(parent.Lhs[i]).(*ast.Ident); !isIdent {
+				escapes = true // stored through a field, index or deref
+			}
+		}
+	}
+	if !escapes || !capturesOuter(p, decl, lit) {
+		return
+	}
+	p.Reportf(lit.Pos(),
+		"closure in //ruby:hotpath %s captures enclosing variables and escapes; each call allocates",
+		name)
+}
+
+// capturesOuter reports whether lit references a variable declared in decl
+// but outside lit.
+func capturesOuter(p *Pass, decl *ast.FuncDecl, lit *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.Pkg.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Pos() >= decl.Pos() && v.Pos() < lit.Pos() {
+			captured = true
+		}
+		return true
+	})
+	return captured
+}
+
+// boxes reports whether assigning expr to a target of type dst would box a
+// non-constant concrete value into an interface.
+func (p *Pass) boxes(expr ast.Expr, dst types.Type) bool {
+	if dst == nil || !types.IsInterface(dst) {
+		return false
+	}
+	tv, ok := p.Pkg.Info.Types[expr]
+	if !ok || tv.Type == nil || tv.Value != nil {
+		return false // untyped constants are materialized statically
+	}
+	if types.IsInterface(tv.Type) {
+		return false
+	}
+	basic, isBasic := tv.Type.Underlying().(*types.Basic)
+	if isBasic && basic.Kind() == types.UntypedNil {
+		return false
+	}
+	return true
+}
+
+func checkCallBoxing(p *Pass, decl *ast.FuncDecl, name string, call *ast.CallExpr) {
+	fn := calleeFunc(p.Pkg.Info, call)
+	if fn == nil {
+		return // builtin, conversion or function value
+	}
+	if fn.Pkg() != nil {
+		if path := fn.Pkg().Path(); path == "errors" || (path == "fmt" && fn.Name() == "Errorf") {
+			return // error construction: cold path by convention
+		}
+	}
+	if p.FuncObjHas(fn, "coldpath") {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if p.boxes(arg, pt) {
+			p.Reportf(arg.Pos(),
+				"argument to %s boxes a concrete value into an interface in //ruby:hotpath %s (allocates); keep interfaces off the hot path or mark the callee //ruby:coldpath",
+				fn.Name(), name)
+		}
+	}
+}
+
+func checkAssignBoxing(p *Pass, name string, assign *ast.AssignStmt) {
+	if len(assign.Lhs) != len(assign.Rhs) {
+		return
+	}
+	for i, lhs := range assign.Lhs {
+		tv, ok := p.Pkg.Info.Types[lhs]
+		if !ok {
+			continue
+		}
+		if p.boxes(assign.Rhs[i], tv.Type) {
+			p.Reportf(assign.Rhs[i].Pos(),
+				"assignment boxes a concrete value into an interface in //ruby:hotpath %s (allocates)", name)
+		}
+	}
+}
+
+func checkReturnBoxing(p *Pass, decl *ast.FuncDecl, name string, ret *ast.ReturnStmt) {
+	fn, ok := p.Pkg.Info.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	results := fn.Type().(*types.Signature).Results()
+	if len(ret.Results) != results.Len() {
+		return
+	}
+	for i, res := range ret.Results {
+		if p.boxes(res, results.At(i).Type()) {
+			p.Reportf(res.Pos(),
+				"return boxes a concrete value into an interface in //ruby:hotpath %s (allocates)", name)
+		}
+	}
+}

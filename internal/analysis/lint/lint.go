@@ -1,0 +1,388 @@
+// Package lint is the project-invariant static-analysis layer behind
+// tools/rubylint. It loads the repository's packages with go/parser and
+// go/types (stdlib only — no module dependencies) and runs analyzers that
+// mechanically enforce the guarantees earlier PRs established by hand:
+//
+//   - determinism: no global math/rand draws outside tests, no wall-clock
+//     reads on checkpoint/resume paths, no map-iteration order leaking into
+//     serialized output;
+//   - hotpath: functions annotated //ruby:hotpath stay allocation-free at
+//     steady state (no fmt, no growing appends, no escaping captures, no
+//     interface boxing);
+//   - ctxflow: long-running exported APIs accept and forward
+//     context.Context; context.Background only at annotated roots;
+//   - atomics: fields of //ruby:atomic structs are touched only through
+//     sync/atomic.
+//
+// Every finding can be waived in-source with
+//
+//	//ruby:allow <analyzer> -- <reason>
+//
+// so each exception stays visible and justified next to the code it covers.
+// See tools/README.md for the full annotation and waiver reference.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned in the source tree.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, Hotpath, Ctxflow, Atomics}
+}
+
+// ByName resolves a comma-separated analyzer list ("" = all).
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Pass carries one analyzer's view of one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	dirs  *directives
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos. Waiver filtering happens after the
+// analyzer returns, so analyzers never reason about suppression themselves.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// FuncHas reports whether decl carries the named //ruby: annotation.
+func (p *Pass) FuncHas(decl *ast.FuncDecl, name string) bool {
+	for _, d := range p.dirs.funcDirs[decl] {
+		if d == name {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncObjHas reports whether the declaration of fn (when it is declared in
+// this package) carries the named annotation. Used for call-site rules like
+// "calls to //ruby:coldpath functions are exempt from boxing checks".
+func (p *Pass) FuncObjHas(fn *types.Func, name string) bool {
+	decl, ok := p.dirs.funcByObj[fn]
+	if !ok {
+		return false
+	}
+	return p.FuncHas(decl, name)
+}
+
+// TypeHas reports whether the named type's declaration carries the
+// annotation.
+func (p *Pass) TypeHas(obj types.Object, name string) bool {
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return false
+	}
+	for _, d := range p.dirs.typeDirs[tn] {
+		if d == name {
+			return true
+		}
+	}
+	return false
+}
+
+// EnclosingFunc returns the innermost function declaration containing pos
+// (nil at package scope).
+func (p *Pass) EnclosingFunc(pos token.Pos) *ast.FuncDecl {
+	for _, fd := range p.dirs.funcDecls {
+		if fd.Pos() <= pos && pos <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+// Config tunes a Run.
+type Config struct {
+	// ReportUnusedWaivers adds a finding for every //ruby:allow directive
+	// that suppressed nothing. Only meaningful when running the full suite
+	// (a waiver for analyzer X looks unused when X is not run).
+	ReportUnusedWaivers bool
+}
+
+// Run executes the analyzers over the packages and returns the surviving
+// diagnostics sorted by position. Malformed //ruby: directives are reported
+// under the pseudo-analyzer "lint".
+func Run(pkgs []*Package, analyzers []*Analyzer, cfg Config) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		dirs := collectDirectives(pkg)
+		out = append(out, dirs.bad...)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg, dirs: dirs}
+			a.Run(pass)
+			for _, d := range pass.diags {
+				if dirs.waived(d) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+		if cfg.ReportUnusedWaivers {
+			for _, w := range dirs.allows {
+				if !w.used {
+					out = append(out, Diagnostic{
+						Pos:      pkg.Fset.Position(w.pos),
+						Analyzer: "lint",
+						Message: fmt.Sprintf("unused //ruby:allow %s waiver (nothing to suppress; delete it)",
+							w.analyzer),
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return out[i].Message < out[j].Message
+	})
+	return out
+}
+
+// funcAnnotations and typeAnnotations are the recognized //ruby: directives
+// (besides allow); anything else is reported as malformed.
+var funcAnnotations = map[string]bool{
+	"hotpath":  true, // steady-state allocation-free kernel; hotpath analyzer applies
+	"coldpath": true, // error/slow-path helper; hotpath boxing checks skip calls to it
+	"ctxroot":  true, // legitimate context root; ctxflow allows context.Background here
+}
+
+var typeAnnotations = map[string]bool{
+	"atomic": true, // struct fields accessed only via sync/atomic
+}
+
+// allowDirective is one parsed //ruby:allow waiver with its effective scope.
+type allowDirective struct {
+	pos      token.Pos
+	analyzer string
+	file     string
+	// Line scope: the directive's own line and the next line (covers both
+	// trailing comments and comment-above-statement placement).
+	lineLo, lineHi int
+	// Decl scope: when the waiver sits in a declaration's doc comment it
+	// covers the whole declaration.
+	declLo, declHi token.Pos
+	used           bool
+}
+
+type directives struct {
+	pkg       *Package
+	funcDirs  map[*ast.FuncDecl][]string
+	typeDirs  map[*types.TypeName][]string
+	funcByObj map[*types.Func]*ast.FuncDecl
+	funcDecls []*ast.FuncDecl
+	allows    []*allowDirective
+	bad       []Diagnostic
+}
+
+func (ds *directives) waived(d Diagnostic) bool {
+	for _, w := range ds.allows {
+		if w.analyzer != d.Analyzer {
+			continue
+		}
+		if w.file == d.Pos.Filename && w.lineLo <= d.Pos.Line && d.Pos.Line <= w.lineHi {
+			w.used = true
+			return true
+		}
+		if w.declLo.IsValid() {
+			pos := ds.pkg.Fset.Position(w.declLo)
+			end := ds.pkg.Fset.Position(w.declHi)
+			if pos.Filename == d.Pos.Filename && pos.Line <= d.Pos.Line && d.Pos.Line <= end.Line {
+				w.used = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func collectDirectives(pkg *Package) *directives {
+	ds := &directives{
+		pkg:       pkg,
+		funcDirs:  map[*ast.FuncDecl][]string{},
+		typeDirs:  map[*types.TypeName][]string{},
+		funcByObj: map[*types.Func]*ast.FuncDecl{},
+	}
+	knownAnalyzers := map[string]bool{"lint": true}
+	for _, a := range All() {
+		knownAnalyzers[a.Name] = true
+	}
+
+	for _, f := range pkg.Files {
+		// Doc-comment annotations and their waiver scopes.
+		docOwner := map[*ast.CommentGroup]ast.Decl{}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				ds.funcDecls = append(ds.funcDecls, d)
+				if fn, ok := pkg.Info.Defs[d.Name].(*types.Func); ok {
+					ds.funcByObj[fn] = d
+				}
+				if d.Doc != nil {
+					docOwner[d.Doc] = d
+				}
+			case *ast.GenDecl:
+				if d.Doc != nil {
+					docOwner[d.Doc] = d
+				}
+				for _, spec := range d.Specs {
+					if ts, ok := spec.(*ast.TypeSpec); ok && ts.Doc != nil {
+						docOwner[ts.Doc] = d
+					}
+				}
+			}
+		}
+
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//ruby:")
+				if !ok {
+					continue
+				}
+				name, rest, _ := strings.Cut(text, " ")
+				owner := docOwner[cg]
+				switch {
+				case name == "allow":
+					analyzer, reason, hasReason := strings.Cut(rest, "--")
+					analyzer = strings.TrimSpace(analyzer)
+					reason = strings.TrimSpace(reason)
+					if !knownAnalyzers[analyzer] {
+						ds.bad = append(ds.bad, badDirective(pkg, c,
+							"//ruby:allow names unknown analyzer %q", analyzer))
+						continue
+					}
+					if !hasReason || reason == "" {
+						ds.bad = append(ds.bad, badDirective(pkg, c,
+							"//ruby:allow %s needs a justification: `//ruby:allow %s -- <reason>`", analyzer, analyzer))
+						continue
+					}
+					w := &allowDirective{pos: c.Pos(), analyzer: analyzer}
+					p := pkg.Fset.Position(c.Pos())
+					w.file, w.lineLo, w.lineHi = p.Filename, p.Line, p.Line+1
+					if owner != nil {
+						w.declLo, w.declHi = owner.Pos(), owner.End()
+					}
+					ds.allows = append(ds.allows, w)
+
+				case funcAnnotations[name]:
+					fd, ok := owner.(*ast.FuncDecl)
+					if !ok {
+						ds.bad = append(ds.bad, badDirective(pkg, c,
+							"//ruby:%s must sit in a function's doc comment", name))
+						continue
+					}
+					ds.funcDirs[fd] = append(ds.funcDirs[fd], name)
+
+				case typeAnnotations[name]:
+					gd, ok := owner.(*ast.GenDecl)
+					if !ok || gd.Tok != token.TYPE {
+						ds.bad = append(ds.bad, badDirective(pkg, c,
+							"//ruby:%s must sit in a type declaration's doc comment", name))
+						continue
+					}
+					attached := false
+					for _, spec := range gd.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						if tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
+							ds.typeDirs[tn] = append(ds.typeDirs[tn], name)
+							attached = true
+						}
+					}
+					if !attached {
+						ds.bad = append(ds.bad, badDirective(pkg, c,
+							"//ruby:%s attached to no named type", name))
+					}
+
+				default:
+					ds.bad = append(ds.bad, badDirective(pkg, c, "unknown directive //ruby:%s", name))
+				}
+			}
+		}
+	}
+	return ds
+}
+
+func badDirective(pkg *Package, c *ast.Comment, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Pos:      pkg.Fset.Position(c.Pos()),
+		Analyzer: "lint",
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// inspectStack walks root calling fn with each node and the stack of its
+// ancestors (outermost first, not including n itself). Returning false stops
+// descent into n's children.
+func inspectStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		ok := fn(n, stack)
+		if ok {
+			// Inspect only descends (and later calls fn(nil)) when fn
+			// returned true, so push and pop stay symmetric.
+			stack = append(stack, n)
+		}
+		return ok
+	})
+}

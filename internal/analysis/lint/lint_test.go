@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// want is one expectation parsed from a fixture's `// want `...“ comment:
+// the diagnostic must land on the comment's line and match the regexp.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantPatternRE = regexp.MustCompile("`([^`]+)`")
+
+// parseWants extracts every `// want` expectation from the fixture package.
+func parseWants(t *testing.T, pkg *Package) []*want {
+	t.Helper()
+	var ws []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ms := wantPatternRE.FindAllStringSubmatch(rest, -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s: want comment without a backquoted pattern", pos)
+				}
+				for _, m := range ms {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, m[1], err)
+					}
+					ws = append(ws, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return ws
+}
+
+// runFixture loads one testdata package, runs the full suite (with unused
+// waivers reported, so stale fixture waivers fail the test too) and checks
+// the diagnostics against the `// want` comments exactly: every diagnostic
+// must be expected, every expectation must fire.
+func runFixture(t *testing.T, dir string) {
+	t.Helper()
+	pkg, err := LoadDir(filepath.Join("testdata", "src", dir))
+	if err != nil {
+		t.Fatalf("LoadDir(%s): %v", dir, err)
+	}
+	diags := Run([]*Package{pkg}, All(), Config{ReportUnusedWaivers: true})
+	wants := parseWants(t, pkg)
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", filepath.Base(w.file), w.line, w.re)
+		}
+	}
+}
+
+func TestDeterminismFixture(t *testing.T)          { runFixture(t, "determ") }
+func TestDeterminismResumableFixture(t *testing.T) { runFixture(t, "resumable") }
+func TestHotpathFixture(t *testing.T)              { runFixture(t, "hot") }
+func TestCtxflowFixture(t *testing.T)              { runFixture(t, "ctxen") }
+func TestAtomicsFixture(t *testing.T)              { runFixture(t, "atom") }
+
+// TestBrokenFixtureFails pins two properties on the deliberately-broken
+// fixture: rubylint does not pass it (nonzero findings), and directive
+// validation reports each malformed //ruby: form under the "lint"
+// pseudo-analyzer.
+func TestBrokenFixtureFails(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "src", "baddir"))
+	if err != nil {
+		t.Fatalf("LoadDir(baddir): %v", err)
+	}
+	diags := Run([]*Package{pkg}, All(), Config{ReportUnusedWaivers: true})
+	if len(diags) == 0 {
+		t.Fatal("deliberately-broken fixture produced no findings")
+	}
+	var all strings.Builder
+	for _, d := range diags {
+		all.WriteString(d.String())
+		all.WriteString("\n")
+	}
+	for _, sub := range []string{
+		"unknown directive //ruby:fastpath", // unrecognized annotation
+		"names unknown analyzer",            // //ruby:allow speed
+		"needs a justification",             // //ruby:allow without -- reason
+		"global math/rand.Intn",             // the violation a bad waiver fails to cover
+		"unused //ruby:allow hotpath",       // waiver with nothing to suppress
+	} {
+		if !strings.Contains(all.String(), sub) {
+			t.Errorf("no finding containing %q; got:\n%s", sub, all.String())
+		}
+	}
+}
+
+// TestRepoIsClean pins the acceptance criterion for the real tree: every
+// live finding is fixed or carries a justified //ruby:allow waiver, and no
+// waiver is stale.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module via go list")
+	}
+	pkgs, err := LoadRepo(filepath.Join("..", "..", ".."), "./...")
+	if err != nil {
+		t.Fatalf("LoadRepo: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("LoadRepo returned no packages")
+	}
+	for _, d := range Run(pkgs, All(), Config{ReportUnusedWaivers: true}) {
+		t.Errorf("%s", d)
+	}
+}
+
+func TestByName(t *testing.T) {
+	as, err := ByName("hotpath, determinism")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 || as[0].Name != "hotpath" || as[1].Name != "determinism" {
+		t.Fatalf("ByName returned %v", as)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("ByName accepted an unknown analyzer")
+	}
+	if all, _ := ByName(""); len(all) != len(All()) {
+		t.Fatal("ByName(\"\") should return the full suite")
+	}
+}

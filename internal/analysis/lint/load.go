@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis. Test files
+// are deliberately excluded: the invariants rubylint enforces (determinism,
+// allocation-freedom, context discipline) are production-path properties,
+// and tests legitimately use global rand, wall clocks and
+// context.Background.
+type Package struct {
+	PkgPath string
+	Name    string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// listedPackage is the subset of `go list -json` output the loader consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+}
+
+// LoadRepo loads the packages matching patterns (e.g. "./...") in the module
+// rooted at dir, parsing and type-checking each target package from source.
+// Imports — stdlib and in-repo alike — are resolved from compiler export
+// data produced by a single `go list -deps -export` invocation, so no
+// package is type-checked twice and the whole load rides the build cache.
+func LoadRepo(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,Name,GoFiles,Export,DepOnly,Standard"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decode go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && p.Name != "" {
+			cp := p
+			targets = append(targets, &cp)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := &exportImporter{
+		base: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			file, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("lint: no export data for %q", path)
+			}
+			return os.Open(file)
+		}),
+	}
+
+	var pkgs []*Package
+	for _, t := range targets {
+		pkg, err := checkFiles(fset, t.ImportPath, t.Dir, t.GoFiles, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir loads the single package in dir, resolving every import by
+// type-checking it from source (importer "source"). Slower than LoadRepo but
+// self-contained: the analyzer fixture tests use it on testdata packages
+// that `go list ./...` deliberately cannot see.
+func LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if n := e.Name(); strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			files = append(files, n)
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	sort.Strings(files)
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	return checkFiles(fset, dir, dir, files, imp)
+}
+
+func checkFiles(fset *token.FileSet, pkgPath, dir string, fileNames []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %w", pkgPath, err)
+	}
+	return &Package{
+		PkgPath: pkgPath,
+		Name:    tpkg.Name(),
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// exportImporter resolves "unsafe" specially and everything else through the
+// gc export-data importer.
+type exportImporter struct {
+	base types.Importer
+}
+
+func (im *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return im.base.Import(path)
+}

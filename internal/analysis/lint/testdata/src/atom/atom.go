@@ -1,0 +1,33 @@
+// Package atom exercises the atomics analyzer: fields of a //ruby:atomic
+// struct may only be touched through sync/atomic.
+package atom
+
+import "sync/atomic"
+
+// C is a lock-free counter block.
+//
+//ruby:atomic
+type C struct {
+	n    atomic.Int64
+	racy int64
+}
+
+// Add uses the value-type API; approved.
+func (c *C) Add() {
+	c.n.Add(1)
+}
+
+// AddLegacy passes the field's address to a sync/atomic function; approved.
+func (c *C) AddLegacy() {
+	atomic.AddInt64(&c.racy, 1)
+}
+
+// Race writes the field directly.
+func (c *C) Race() {
+	c.racy = 7 // want `field racy of //ruby:atomic struct C accessed without sync/atomic`
+}
+
+// Peek reads the field directly but carries a justified waiver.
+func (c *C) Peek() int64 {
+	return c.racy //ruby:allow atomics -- fixture: demonstrating a justified waiver
+}

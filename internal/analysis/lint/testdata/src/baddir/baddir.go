@@ -1,0 +1,25 @@
+// Package baddir holds deliberately malformed directives and an unwaived
+// violation; its test asserts the exact "lint" pseudo-analyzer findings and
+// that a broken tree produces a nonzero finding count.
+package baddir
+
+import "math/rand"
+
+//ruby:fastpath
+func Mystery() {}
+
+// NoReason carries a waiver missing its mandatory justification, so the
+// finding underneath stays live.
+func NoReason() int {
+	return rand.Intn(3) //ruby:allow determinism
+}
+
+// WrongName waives an analyzer that does not exist.
+func WrongName() int {
+	return rand.Intn(5) //ruby:allow speed -- no such analyzer
+}
+
+// Unused carries a waiver with nothing to suppress.
+func Unused() {
+	//ruby:allow hotpath -- fixture: nothing here to waive
+}

@@ -1,0 +1,35 @@
+// Package engine is a fixture exercising the ctxflow analyzer: exported
+// APIs in orchestration packages must accept and forward context.Context,
+// and context.Background may appear only at annotated roots. (The analyzer
+// keys on the package name "engine".)
+package engine
+
+import "context"
+
+// evaluate is the context-aware core the exported API must forward into.
+func evaluate(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Run swallows the context chain: it neither takes nor forwards a ctx.
+func Run() error { // want `exported Run calls context-aware evaluate but takes no context\.Context`
+	return evaluate(context.Background()) // want `context\.Background outside main or a //ruby:ctxroot function`
+}
+
+// RunDefault is a documented one-shot wrapper: an annotated context root.
+//
+//ruby:ctxroot
+func RunDefault() error {
+	return evaluate(context.Background())
+}
+
+// RunCtx forwards its caller's context; the approved shape.
+func RunCtx(ctx context.Context) error {
+	return evaluate(ctx)
+}
+
+// RunWaived keeps both violations under a justified waiver (the trailing
+// waiver's scope covers its own line and the next).
+func RunWaived() error { //ruby:allow ctxflow -- fixture: demonstrating a justified waiver
+	return evaluate(context.Background())
+}

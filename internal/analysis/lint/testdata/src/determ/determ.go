@@ -1,0 +1,49 @@
+// Package determ exercises the determinism analyzer: global rand draws,
+// wall-clock seeding, and map-order-dependent serialization.
+package determ
+
+import (
+	"encoding/json"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// GlobalDraw draws from the process-global source.
+func GlobalDraw() int {
+	return rand.Intn(10) // want `global math/rand\.Intn draws from the process-wide source`
+}
+
+// WaivedDraw shows a justified waiver suppressing the same finding.
+func WaivedDraw() int {
+	return rand.Intn(10) //ruby:allow determinism -- fixture: demonstrating a justified waiver
+}
+
+// WallSeed seeds a source from the wall clock.
+func WallSeed() rand.Source {
+	return rand.NewSource(time.Now().UnixNano()) // want `random source seeded from time\.Now`
+}
+
+// ExplicitSeed is the approved pattern: an explicit, reproducible seed.
+func ExplicitSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42))
+}
+
+// LeakOrder serializes a slice collected from map iteration without sorting.
+func LeakOrder(m map[string]int) ([]byte, error) {
+	var keys []string
+	for k := range m { // want `map iteration collects into a slice in serializing function LeakOrder without sorting`
+		keys = append(keys, k)
+	}
+	return json.Marshal(keys)
+}
+
+// SortedOrder sorts the collected keys before serializing; no finding.
+func SortedOrder(m map[string]int) ([]byte, error) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return json.Marshal(keys)
+}

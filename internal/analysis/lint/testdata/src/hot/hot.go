@@ -1,0 +1,76 @@
+// Package hot exercises the hotpath analyzer on //ruby:hotpath kernels:
+// fmt calls, escaping appends, escaping closures and interface boxing.
+package hot
+
+import "fmt"
+
+// Format allocates via fmt on the hot path.
+//
+//ruby:hotpath
+func Format(x int) {
+	fmt.Println(x) // want `fmt\.Println in //ruby:hotpath Format allocates` `argument to Println boxes a concrete value`
+}
+
+// Traced keeps the same violation under a justified waiver.
+//
+//ruby:hotpath
+func Traced(x int) {
+	fmt.Println(x) //ruby:allow hotpath -- fixture: demonstrating a justified waiver
+}
+
+// Plain is unannotated; fmt is fine off the hot path.
+func Plain(x int) {
+	fmt.Println(x)
+}
+
+// Grow appends into a slice other than its own operand, so the growth
+// escapes the recycled scratch.
+//
+//ruby:hotpath
+func Grow(dst, src []int) []int {
+	out := append(dst, src...) // want `append in //ruby:hotpath Grow does not write back to its own operand`
+	return out
+}
+
+// Recycle reuses its scratch in place: the approved self-append idiom.
+//
+//ruby:hotpath
+func Recycle(buf []int, v int) []int {
+	buf = append(buf, v)
+	return buf
+}
+
+// Capture returns a closure over its argument; each call allocates.
+//
+//ruby:hotpath
+func Capture(n int) func() int {
+	return func() int { return n } // want `closure in //ruby:hotpath Capture captures enclosing variables and escapes`
+}
+
+// Box boxes its concrete argument into an interface return.
+//
+//ruby:hotpath
+func Box(v int) any {
+	return v // want `return boxes a concrete value into an interface in //ruby:hotpath Box`
+}
+
+// fail is the cold invalid-input branch; boxing at its call sites is exempt.
+//
+//ruby:coldpath
+func fail(v any) error {
+	return fmt.Errorf("hot: bad value %v", v)
+}
+
+// Checked only boxes into exempt constructors (a //ruby:coldpath helper and
+// fmt.Errorf), so it is clean.
+//
+//ruby:hotpath
+func Checked(v int) error {
+	if v < 0 {
+		return fail(v)
+	}
+	if v > 1<<30 {
+		return fmt.Errorf("hot: value %d out of range", v)
+	}
+	return nil
+}

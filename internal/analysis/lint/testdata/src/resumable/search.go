@@ -1,0 +1,34 @@
+// Package search is a fixture exercising the resumable-path wall-clock
+// rule: anything reachable from a Step/Snapshot/Restore method must not
+// read the wall clock, because that state cannot replay bit-identically
+// across kill-and-resume. (The analyzer keys on the package name "search".)
+package search
+
+import "time"
+
+// S is a minimal checkpointable searcher.
+type S struct{ evals int }
+
+// Step advances the search one evaluation.
+func (s *S) Step() {
+	s.tick()
+}
+
+// tick is reachable from Step, so its wall-clock read is flagged.
+func (s *S) tick() {
+	_ = time.Now() // want `time\.Now in S\.tick \(resumable Step/Snapshot/Restore path\)`
+	s.evals++
+}
+
+// Snapshot captures the searcher state; its wall-clock read feeds a metric
+// only, so it carries a justified waiver.
+func (s *S) Snapshot() int {
+	_ = time.Since(time.Unix(0, 0)) //ruby:allow determinism -- fixture: wall time feeds logging only, never a snapshot
+	return s.evals
+}
+
+// Report is not reachable from Step/Snapshot/Restore; the wall clock is
+// fine outside resumable paths.
+func Report() time.Time {
+	return time.Now()
+}

@@ -62,6 +62,7 @@ func Save(path, kind string, payload any) error {
 		Schema:  Schema,
 		Version: Version,
 		Kind:    kind,
+		//ruby:allow determinism -- SavedAt is provenance metadata; Load never reads it
 		SavedAt: time.Now().UTC().Format(time.RFC3339),
 		Payload: raw,
 	}

@@ -1,0 +1,37 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzConfigParse feeds arbitrary bytes (seeded with the real configs/
+// files) to every JSON entry point. The parsers must never panic, and a nil
+// error must always come with a usable value — malformed input surfaces as
+// a descriptive error, not a crash or a nil deref later.
+func FuzzConfigParse(f *testing.F) {
+	seeds, _ := filepath.Glob(filepath.Join("..", "..", "configs", "*.json"))
+	for _, p := range seeds {
+		if data, err := os.ReadFile(p); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(`{"name":"a","levels":[{"name":"L"}]}`))
+	f.Add([]byte(`{"name":"w","type":"matmul","matmul":{"M":8,"N":8,"K":8}}`))
+	f.Add([]byte(`{"name":"v","type":"vector1d","d":16}`))
+	f.Add([]byte(`{"spatial_x":["K"],"fixed_perms":true}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if a, err := ParseArch(data); err == nil && a == nil {
+			t.Fatal("ParseArch returned nil arch with nil error")
+		}
+		if w, err := ParseWorkload(data); err == nil && w == nil {
+			t.Fatal("ParseWorkload returned nil workload with nil error")
+		}
+		if _, err := ParseConstraints(data); err != nil && len(data) > 0 && data[0] == '{' {
+			_ = err // malformed JSON inside an object is fine; just must not panic
+		}
+	})
+}

@@ -35,7 +35,10 @@ func (nopMetrics) Panic()                                 {}
 
 // Counters is the default Metrics implementation: lock-free atomic counters
 // cheap enough for the evaluation hot path, with a JSON-friendly Snapshot
-// and optional expvar export.
+// and optional expvar export. The atomics analyzer (tools/rubylint) rejects
+// any access to these fields that bypasses sync/atomic.
+//
+//ruby:atomic
 type Counters struct {
 	evaluations  atomic.Int64
 	valid        atomic.Int64

@@ -94,6 +94,8 @@ func Names() []string {
 }
 
 // Run executes one experiment by identifier and returns its report.
+//
+//ruby:ctxroot
 func Run(name string, cfg Config) (*Report, error) {
 	return RunCtx(context.Background(), name, cfg)
 }

@@ -23,6 +23,8 @@ func ExtensionNames() []string {
 }
 
 // RunExtension executes one extension experiment.
+//
+//ruby:ctxroot
 func RunExtension(name string, cfg Config) (*Report, error) {
 	return runExtension(context.Background(), name, cfg)
 }
@@ -102,6 +104,8 @@ func extensionSuite(ctx context.Context, title string, layers []workloads.Layer,
 // HeuristicStudy compares the one-shot constructive mapper against random
 // search at paper budgets and against random search warm-started from the
 // constructed mapping, across the ResNet-50 pointwise layers.
+//
+//ruby:ctxroot
 func HeuristicStudy(cfg Config) (*Report, error) {
 	return heuristicStudy(context.Background(), cfg)
 }
@@ -187,6 +191,8 @@ func DensityStudy(cfg Config) (*Report, error) {
 // network model, Ruby-S's fanout-cap pruning, and the imperfect-slot mixture
 // sampler (measured as Ruby-S's improvement over PFM at a fixed budget on a
 // misaligned pointwise layer).
+//
+//ruby:ctxroot
 func Ablations(cfg Config) (*Report, error) {
 	return ablations(context.Background(), cfg)
 }

@@ -82,6 +82,8 @@ func layerComparison(ctx context.Context, name string, layers []workloads.Layer,
 // The paper reports a 14% network EDP improvement from a 17% cycle reduction
 // at 2% higher energy, driven by pointwise and dense layers whose dimensions
 // misalign with the 14x12 array.
+//
+//ruby:ctxroot
 func Fig10(cfg Config) (*Report, error) {
 	return fig10(context.Background(), cfg)
 }
@@ -97,6 +99,8 @@ func fig10(ctx context.Context, cfg Config) (*Report, error) {
 // Eyeriss-like architecture. The paper reports parity on ImageNet-derived
 // vision layers (the factor 7 aligns with the 14x12 array) and up to 33%
 // lower EDP on speech/face/speaker workloads, averaging ~10%.
+//
+//ruby:ctxroot
 func Fig11(cfg Config) (*Report, error) {
 	return fig11(context.Background(), cfg)
 }
@@ -165,6 +169,8 @@ func fig11Latency(ctx context.Context, rep *Report, cfg Config) error {
 // paper's secondary 9-PE / three 3-wide configuration. The paper reports a
 // 10% net EDP improvement (up to 25% per layer) on the 15-PE configuration
 // and 45% on the 9-PE one.
+//
+//ruby:ctxroot
 func Fig12(cfg Config) (*Report, error) {
 	return fig12(context.Background(), cfg)
 }

@@ -61,6 +61,8 @@ func runSweep(ctx context.Context, s Suite, cfg Config) ([]sweep.DesignPoint, er
 // configurations, per strategy, with the Pareto frontier marked. The paper's
 // claim: Ruby-S mappings form the Pareto frontier for both ResNet-50 and
 // DeepBench.
+//
+//ruby:ctxroot
 func Fig13(s Suite, cfg Config) (*Report, error) {
 	return fig13(context.Background(), s, cfg)
 }
@@ -128,6 +130,8 @@ func fig13(ctx context.Context, s Suite, cfg Config) (*Report, error) {
 // PFM across the same sweep. The paper reports ResNet-50 improvements up to
 // 60% (50-55% on the frontier, 24% average) and DeepBench up to 55% (20%
 // average on the frontier).
+//
+//ruby:ctxroot
 func Fig14(s Suite, cfg Config) (*Report, error) {
 	return fig14(context.Background(), s, cfg)
 }

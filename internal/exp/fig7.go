@@ -61,6 +61,8 @@ type Fig7Result struct {
 // of evaluated mappings for the PFM, Ruby, Ruby-S and Ruby-T mapspaces on a
 // toy linear-array architecture (1 KiB scratchpad per PE), averaged over
 // cfg.Runs random-search runs.
+//
+//ruby:ctxroot
 func Fig7(variant byte, cfg Config) (*Report, error) {
 	return fig7(context.Background(), variant, cfg)
 }

@@ -26,6 +26,8 @@ var Fig8Sizes = []int{96, 100, 104, 108, 112, 113, 116, 120, 124, 127, 128}
 //
 // The mapspaces are small enough to search exhaustively, so the results are
 // deterministic.
+//
+//ruby:ctxroot
 func Fig8(cfg Config) (*Report, error) {
 	return fig8(context.Background(), cfg)
 }

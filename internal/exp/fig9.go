@@ -43,6 +43,8 @@ func HandcraftedAlexNetConv2(a *arch.Arch) *mapping.Mapping {
 // Fig9 reproduces the Fig. 9 study: layer 2 of AlexNet on the baseline
 // Eyeriss-like architecture, comparing the handcrafted strip-mined mapping
 // against the best PFM and Ruby-S mappings found by random search.
+//
+//ruby:ctxroot
 func Fig9(cfg Config) (*Report, error) {
 	return fig9(context.Background(), cfg)
 }

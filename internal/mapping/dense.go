@@ -41,10 +41,14 @@ type Dense struct {
 func RoleBit(r workload.Role) uint8 { return 1 << uint8(r) }
 
 // CumAt returns the tile extent of dimension d at slot si.
+//
+//ruby:hotpath
 func (dn *Dense) CumAt(d, si int) int { return dn.Cum[d*(dn.NSlots+1)+si] }
 
 // TripsAt returns the loop trip count of dimension d at slot si, matching
 // Chain.Trips bit for bit.
+//
+//ruby:hotpath
 func (dn *Dense) TripsAt(d, si int) int {
 	base := d * (dn.NSlots + 1)
 	outer, inner := dn.Cum[base+si], dn.Cum[base+si+1]
@@ -79,6 +83,8 @@ type denseMemo struct {
 // computing and memoizing it on first use. The same mutation invariant as
 // Key applies: a mapping that has been lowered must not be mutated in place
 // except through Invalidate (which SampleInto-style reusers call).
+//
+//ruby:hotpath
 func (m *Mapping) Dense(w *workload.Workload, a *arch.Arch, slots []Slot) (*Dense, error) {
 	if dm := m.dense.Load(); dm != nil && dm.w == w && dm.a == a && dm.nslots == len(slots) {
 		return dm.d, nil
@@ -112,6 +118,8 @@ func (m *Mapping) Invalidate() {
 // path does (Chains, then ValidatePerms) with identical error messages and
 // detection order. The recycle argument, when shape-compatible, provides
 // the backing storage.
+//
+//ruby:hotpath
 func (m *Mapping) densify(w *workload.Workload, a *arch.Arch, slots []Slot, recycle *Dense) (*Dense, error) {
 	nd, ns, nl := len(w.Dims), len(slots), len(a.Levels)
 	stride := ns + 1
@@ -127,7 +135,7 @@ func (m *Mapping) densify(w *workload.Workload, a *arch.Arch, slots []Slot, recy
 	d.KeepMask = d.KeepMask[:0]
 
 	chainsErr := func(err error) (*Dense, error) {
-		return nil, &DenseError{Stage: "chains", Err: err}
+		return nil, &DenseError{Stage: "chains", Err: err} //ruby:allow hotpath -- invalid-mapping exit; the steady state returns the memoized form
 	}
 	for di := range w.Dims {
 		dim := &w.Dims[di]
@@ -180,7 +188,7 @@ func (m *Mapping) densify(w *workload.Workload, a *arch.Arch, slots []Slot, recy
 	}
 
 	permsErr := func(err error) (*Dense, error) {
-		return nil, &DenseError{Stage: "perms", Err: err}
+		return nil, &DenseError{Stage: "perms", Err: err} //ruby:allow hotpath -- invalid-mapping exit; the steady state returns the memoized form
 	}
 	if len(m.Perms) != nl {
 		return permsErr(fmt.Errorf("mapping: %d perms for %d levels", len(m.Perms), nl))

@@ -267,6 +267,8 @@ func (s *Space) NewSampler() *Sampler {
 // is identical to Sample's: a seeded search produces the same mappings
 // whichever entry point it uses. The caller must own m exclusively (clone
 // before sharing across goroutines).
+//
+//ruby:hotpath
 func (sm *Sampler) SampleInto(rng *rand.Rand, m *mapping.Mapping) {
 	s := sm.sp
 	copy(sm.dims, s.dimNames)
@@ -277,6 +279,8 @@ func (sm *Sampler) SampleInto(rng *rand.Rand, m *mapping.Mapping) {
 // sampleInto is the sampling core behind Sample and Sampler.SampleInto.
 // budget and dims are caller-owned scratch; dims must hold the dimension
 // names in declaration order on entry.
+//
+//ruby:hotpath
 func (s *Space) sampleInto(rng *rand.Rand, m *mapping.Mapping, budget []int, dims []string) {
 	m.Invalidate()
 	if m.Factors == nil {
@@ -319,7 +323,7 @@ func (s *Space) sampleInto(rng *rand.Rand, m *mapping.Mapping, budget []int, dim
 		for li := range m.Perms {
 			p := m.Perms[li]
 			if len(p) != len(s.dimNames) {
-				p = append([]string(nil), s.dimNames...)
+				p = append([]string(nil), s.dimNames...) //ruby:allow hotpath -- first-sample initialization; steady state copies in place
 			} else {
 				copy(p, s.dimNames)
 			}
@@ -379,6 +383,8 @@ func (s *Space) sampleChain(rng *rand.Rand, d string, budget []int) []int {
 
 // sampleChainInto is sampleChain writing into caller-owned storage (len must
 // equal the slot count; every entry is overwritten).
+//
+//ruby:hotpath
 func (s *Space) sampleChainInto(rng *rand.Rand, d string, budget, fs []int) {
 	r := s.Work.Bound(d)
 	// Innermost-first; slot 0 of s.slots is outermost.
@@ -444,6 +450,8 @@ func (s *Space) requiredOuter(dim string, i int) bool {
 
 // sampleFactor draws one slot factor for residual r. reserve caps the draw
 // so the residual stays above 1 (an outer slot still needs a share).
+//
+//ruby:hotpath
 func (s *Space) sampleFactor(rng *rand.Rand, sl mapping.Slot, dim string, r, budget int, reserve bool) int {
 	if r == 1 {
 		return 1

@@ -125,6 +125,11 @@ func MustEvaluator(w *workload.Workload, a *arch.Arch) *Evaluator {
 	return e
 }
 
+// invalid builds an invalid-verdict Cost. Hot-path callers reach it only on
+// the rejected-mapping branch, so its formatting (and the boxing of its
+// arguments) never costs a steady-state allocation.
+//
+//ruby:coldpath
 func invalid(format string, args ...any) Cost {
 	return Cost{Valid: false, Reason: fmt.Sprintf(format, args...)}
 }

@@ -203,6 +203,8 @@ func (c Cost) Clone() Cost {
 // EvaluateMapping lowers m (memoized on the mapping) and evaluates it,
 // returning a Cost detached from the scratch. Valid results cost one small
 // allocation (the per-level slices); this is what Evaluator.Evaluate uses.
+//
+//ruby:hotpath
 func (p *Plan) EvaluateMapping(m *mapping.Mapping, s *Scratch) Cost {
 	return p.EvaluateMappingInto(m, s).Clone()
 }
@@ -210,6 +212,8 @@ func (p *Plan) EvaluateMapping(m *mapping.Mapping, s *Scratch) Cost {
 // EvaluateMappingInto is EvaluateMapping without the detaching copy: the
 // returned Cost's per-level slices alias s and are overwritten by the next
 // evaluation on the same scratch. Retain with Cost.Clone.
+//
+//ruby:hotpath
 func (p *Plan) EvaluateMappingInto(m *mapping.Mapping, s *Scratch) Cost {
 	dm, err := m.Dense(p.work, p.arch, p.slots)
 	if err != nil {
@@ -224,6 +228,8 @@ func (p *Plan) EvaluateMappingInto(m *mapping.Mapping, s *Scratch) Cost {
 
 // Evaluate evaluates a lowered mapping, returning a Cost detached from the
 // scratch (one small allocation for valid results).
+//
+//ruby:hotpath
 func (p *Plan) Evaluate(dm *mapping.Dense, s *Scratch) Cost {
 	return p.EvaluateInto(dm, s).Clone()
 }
@@ -233,6 +239,8 @@ func (p *Plan) Evaluate(dm *mapping.Dense, s *Scratch) Cost {
 // and LevelEnergyPJ slices alias s and are overwritten by the next call on
 // the same scratch; retain with Cost.Clone. Invalid verdicts allocate only
 // their Reason string.
+//
+//ruby:hotpath
 func (p *Plan) EvaluateInto(dm *mapping.Dense, s *Scratch) Cost {
 	if dm.NDims != p.nDims || dm.NSlots != p.nSlots {
 		panic("nest: dense mapping shape does not match plan")
@@ -390,6 +398,8 @@ func (p *Plan) EvaluateInto(dm *mapping.Dense, s *Scratch) Cost {
 // addLinkTraffic is the compiled stationarity walk for one (tensor, parent,
 // child) link — the integer-indexed twin of Evaluator.addLinkTraffic, with
 // identical multiplication order.
+//
+//ruby:hotpath
 func (p *Plan) addLinkTraffic(dm *mapping.Dense, s *Scratch, ti int, vol float64, parent, child int, noc *float64) {
 	t := &p.tensors[ti]
 	rel := t.rel
@@ -461,6 +471,8 @@ func (p *Plan) addLinkTraffic(dm *mapping.Dense, s *Scratch, ti int, vol float64
 }
 
 // broadcastBelow is the compiled twin of Evaluator.broadcastBelow.
+//
+//ruby:hotpath
 func (p *Plan) broadcastBelow(dm *mapping.Dense, ti, li int) float64 {
 	rel := p.tensors[ti].rel
 	share := 1.0
@@ -484,6 +496,8 @@ func (p *Plan) broadcastBelow(dm *mapping.Dense, ti, li int) float64 {
 // cyclesAlong is the compiled twin of Evaluator.cyclesAlong: the exact
 // remainder-aware latency recursion, memoized in the scratch's per-slot
 // lists instead of a freshly allocated map.
+//
+//ruby:hotpath
 func (p *Plan) cyclesAlong(dm *mapping.Dense, d int, s *Scratch) float64 {
 	row := dm.Cum[d*p.stride : d*p.stride+p.stride]
 	for si := 0; si < p.nSlots; si++ {
@@ -493,6 +507,9 @@ func (p *Plan) cyclesAlong(dm *mapping.Dense, d int, s *Scratch) float64 {
 	return p.cyclesRec(row, s, row[0], 0)
 }
 
+// cyclesRec is the memoized latency recursion behind cyclesAlong.
+//
+//ruby:hotpath
 func (p *Plan) cyclesRec(row []int, s *Scratch, chunk, si int) float64 {
 	if si == p.nSlots {
 		return 1

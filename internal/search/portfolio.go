@@ -14,6 +14,8 @@ import (
 // strategies win on different mapspace shapes (random on dense toy spaces,
 // population methods on the sparse Ruby expansions), so the portfolio is a
 // robust default when the shape is unknown.
+//
+//ruby:ctxroot
 func Portfolio(sp *mapspace.Space, ev *nest.Evaluator, opt Options) *Result {
 	return PortfolioCtx(context.Background(), sp, engine.New(ev), opt)
 }

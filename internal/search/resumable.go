@@ -239,7 +239,7 @@ func (s *RandomSearcher) finish(met engine.Metrics) bool {
 	if !s.done {
 		s.done = true
 	}
-	met.SearchDone(time.Since(s.start), s.res.Evaluated, s.res.Valid)
+	met.SearchDone(time.Since(s.start), s.res.Evaluated, s.res.Valid) //ruby:allow determinism -- wall time feeds Metrics.SearchDone only; never enters a snapshot
 	return true
 }
 
@@ -387,7 +387,7 @@ func (s *HillClimbSearcher) Step(ctx context.Context) (bool, error) {
 
 func (s *HillClimbSearcher) finish(met engine.Metrics) bool {
 	s.done = true
-	met.SearchDone(time.Since(s.start), s.res.Evaluated, s.res.Valid)
+	met.SearchDone(time.Since(s.start), s.res.Evaluated, s.res.Valid) //ruby:allow determinism -- wall time feeds Metrics.SearchDone only; never enters a snapshot
 	return true
 }
 
@@ -483,7 +483,7 @@ func (s *ExhaustiveSearcher) Step(ctx context.Context) (bool, error) {
 	}
 	if len(s.batch) == 0 {
 		s.done = true
-		met.SearchDone(time.Since(s.start), s.res.Evaluated, s.res.Valid)
+		met.SearchDone(time.Since(s.start), s.res.Evaluated, s.res.Valid) //ruby:allow determinism -- wall time feeds Metrics.SearchDone only; never enters a snapshot
 		return true, nil
 	}
 

@@ -110,6 +110,8 @@ type shared struct {
 // proposes structurally valid mappings, the cost model filters invalid ones,
 // and the search stops after opt.ConsecutiveNoImprove consecutive valid
 // mappings without improvement (and/or opt.MaxEvaluations samples).
+//
+//ruby:ctxroot
 func Random(sp *mapspace.Space, ev *nest.Evaluator, opt Options) *Result {
 	return RandomCtx(context.Background(), sp, engine.New(ev), opt)
 }
@@ -198,6 +200,8 @@ func RandomCtx(ctx context.Context, sp *mapspace.Space, eng *engine.Engine, opt 
 
 // Exhaustive evaluates every mapping in the tiling mapspace (with canonical
 // loop orders), up to maxMappings (0 = all). Only feasible for toy problems.
+//
+//ruby:ctxroot
 func Exhaustive(sp *mapspace.Space, ev *nest.Evaluator, maxMappings int64) *Result {
 	return ExhaustiveCtx(context.Background(), sp, engine.New(ev), Options{}, maxMappings)
 }
@@ -269,6 +273,8 @@ func ExhaustiveCtx(ctx context.Context, sp *mapspace.Space, eng *engine.Engine, 
 // consecutive proposals fail (or opt.MaxEvaluations is exhausted).
 // It demonstrates that Ruby-style mapspaces compose with search strategies
 // beyond random sampling.
+//
+//ruby:ctxroot
 func HillClimb(sp *mapspace.Space, ev *nest.Evaluator, opt Options, warmup, patience int) *Result {
 	return HillClimbCtx(context.Background(), sp, engine.New(ev), opt, warmup, patience)
 }

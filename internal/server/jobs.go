@@ -102,6 +102,7 @@ type jobManager struct {
 	draining bool
 }
 
+//ruby:ctxroot
 func newJobManager(dir string, svc *service) (*jobManager, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	jm := &jobManager{dir: dir, svc: svc, jobs: make(map[string]*jobRecord), baseCtx: ctx, cancel: cancel}

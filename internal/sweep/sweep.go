@@ -102,6 +102,8 @@ type LayerResult struct {
 // under one strategy. For padding strategies every padded variant is
 // searched and the lowest-EDP result wins (Section III-B's baseline). An
 // error is returned when no valid mapping exists at all.
+//
+//ruby:ctxroot
 func SearchLayer(l workloads.Layer, a *arch.Arch, st Strategy, consFn ConstraintFn, opt search.Options) (LayerResult, error) {
 	return SearchLayerCtx(context.Background(), l, a, st, consFn, opt, engine.Config{})
 }
@@ -190,6 +192,8 @@ type SuiteResult struct {
 }
 
 // RunSuite searches every layer of a suite and aggregates network totals.
+//
+//ruby:ctxroot
 func RunSuite(layers []workloads.Layer, a *arch.Arch, st Strategy, consFn ConstraintFn, opt search.Options) (*SuiteResult, error) {
 	return RunSuiteCtx(context.Background(), layers, a, st, consFn, SuiteOptions{Search: opt})
 }
@@ -199,6 +203,8 @@ func RunSuite(layers []workloads.Layer, a *arch.Arch, st Strategy, consFn Constr
 // the search entirely, and newly searched mappings are stored — the search
 // still runs when the cached mapping is somehow invalid. Padding strategies
 // bypass the cache (the winning workload variant is part of the result).
+//
+//ruby:ctxroot
 func RunSuiteCached(layers []workloads.Layer, a *arch.Arch, st Strategy, consFn ConstraintFn,
 	opt search.Options, lib *library.Store) (*SuiteResult, error) {
 	return RunSuiteCtx(context.Background(), layers, a, st, consFn, SuiteOptions{Search: opt, Library: lib})
@@ -349,6 +355,8 @@ type DesignPoint struct {
 // Explore sweeps the Eyeriss-like configurations over a suite for each
 // strategy, producing the data behind Figs. 13-14. glbKiB fixes the global
 // buffer size across configurations.
+//
+//ruby:ctxroot
 func Explore(layers []workloads.Layer, configs []ArrayConfig, glbKiB int,
 	sts []Strategy, consFn ConstraintFn, opt search.Options) ([]DesignPoint, error) {
 	return ExploreCtx(context.Background(), layers, configs, glbKiB, sts, consFn, SuiteOptions{Search: opt})

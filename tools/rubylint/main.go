@@ -1,0 +1,74 @@
+// Command rubylint runs the project's invariant analyzers (determinism,
+// hotpath, ctxflow, atomics — see internal/analysis/lint) over the module
+// and exits nonzero when any finding survives the in-source
+// //ruby:allow waivers. `make lint` (part of `make check`) runs it over
+// ./...; see tools/README.md for the analyzer and annotation reference.
+//
+// Usage:
+//
+//	go run ./tools/rubylint [-C dir] [-run name,name] [-json] [patterns...]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"ruby/internal/analysis/lint"
+)
+
+func main() {
+	chdir := flag.String("C", ".", "module directory to analyze")
+	run := flag.String("run", "", "comma-separated analyzer subset (default: all)")
+	asJSON := flag.Bool("json", false, "emit findings as JSON")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := lint.ByName(*run)
+	if err != nil {
+		fail(err)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.LoadRepo(*chdir, patterns...)
+	if err != nil {
+		fail(err)
+	}
+
+	// Unused waivers are only meaningful over the full suite: a waiver for
+	// an analyzer that is not running always looks unused.
+	cfg := lint.Config{ReportUnusedWaivers: *run == ""}
+	diags := lint.Run(pkgs, analyzers, cfg)
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(diags); err != nil {
+			fail(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "rubylint: %d finding(s) in %d package(s); fix or waive with `//ruby:allow <analyzer> -- <reason>`\n",
+			len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "rubylint:", err)
+	os.Exit(2)
+}
