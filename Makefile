@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-all fmt vet lint fuzz-smoke docs-check check
+.PHONY: all build test race race-obs bench bench-all fmt vet lint fuzz-smoke docs-check check
 
 all: check
 
@@ -14,6 +14,12 @@ test:
 # tree under -race is the release gate.
 race:
 	$(GO) test -race ./...
+
+# Fast race signal on the observability layer and the server that exercises
+# it concurrently (atomic histograms, span recorder, job gauges); CI runs
+# this as a dedicated early step.
+race-obs:
+	$(GO) test -race ./internal/obs/... ./internal/server/...
 
 # Evaluation-kernel microbenchmarks (compiled plan vs legacy, engine cache,
 # sampler pipeline), persisted as BENCH_eval.json to track the perf

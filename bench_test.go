@@ -8,6 +8,8 @@
 package ruby
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 
@@ -33,7 +35,7 @@ func benchCfg(evals int64) exp.Config {
 func runExp(b *testing.B, name string, cfg exp.Config) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		if _, err := exp.Run(name, cfg); err != nil {
+		if _, err := exp.Run(context.Background(), name, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -266,7 +268,7 @@ func BenchmarkAblationMulticast(b *testing.B) {
 		a.Levels[1].Fanout.Multicast = mcast
 		ev := nest.MustEvaluator(layer.Work, a)
 		sp := mapspace.New(layer.Work, a, mapspace.RubyS, mapspace.EyerissRowStationary(layer.Work))
-		r := search.Random(sp, ev, search.Options{Seed: 1, Threads: 4, MaxEvaluations: 5000})
+		r := search.Random(context.Background(), sp, engine.New(ev), search.Options{Seed: 1, Threads: 4, MaxEvaluations: 5000})
 		return r.BestCost.EDP
 	}
 	var ratio float64
@@ -310,9 +312,9 @@ func BenchmarkAblationMixtureSampler(b *testing.B) {
 	cons := mapspace.EyerissRowStationary(layer.Work)
 	var imp float64
 	for i := 0; i < b.N; i++ {
-		pfm := search.Random(mapspace.New(layer.Work, a, mapspace.PFM, cons), ev,
+		pfm := search.Random(context.Background(), mapspace.New(layer.Work, a, mapspace.PFM, cons), engine.New(ev),
 			search.Options{Seed: 1, Threads: 4, MaxEvaluations: 8000})
-		rs := search.Random(mapspace.New(layer.Work, a, mapspace.RubyS, cons), ev,
+		rs := search.Random(context.Background(), mapspace.New(layer.Work, a, mapspace.RubyS, cons), engine.New(ev),
 			search.Options{Seed: 1, Threads: 4, MaxEvaluations: 8000})
 		imp = 100 * (pfm.BestCost.EDP - rs.BestCost.EDP) / pfm.BestCost.EDP
 	}

@@ -114,7 +114,7 @@ func main() {
 			}
 			cfg.Checkpoint = cp
 		}
-		rep, err := exp.RunCtx(ctx, n, cfg)
+		rep, err := exp.Run(ctx, n, cfg)
 		if err != nil {
 			cancel()
 			if base.Err() != nil && *cpDir != "" {

@@ -12,6 +12,11 @@
 // snapshotted periodically and on SIGINT/SIGTERM, and -resume continues a
 // killed run from its last snapshot with bit-identical final results (see
 // docs/ARCHITECTURE.md).
+//
+// Observability: -trace FILE records the search's span tree (search ->
+// eval-batch, checkpoint events) and writes Chrome-trace JSON loadable in
+// chrome://tracing or Perfetto; -slow-eval/-slow-search emit structured
+// warnings for outliers; -metrics prints the pipeline counters.
 package main
 
 import (
@@ -36,6 +41,7 @@ import (
 	"ruby/internal/mapping"
 	"ruby/internal/mapspace"
 	"ruby/internal/nest"
+	"ruby/internal/obs"
 	"ruby/internal/profile"
 	"ruby/internal/search"
 	"ruby/internal/sim"
@@ -45,34 +51,37 @@ import (
 
 func main() {
 	var (
-		wlName   = flag.String("workload", "", "named layer from the built-in suites (see -list)")
-		convStr  = flag.String("conv", "", "ad-hoc convolution, e.g. n=1,m=64,c=64,p=56,q=56,r=3,s=3[,sh=1,sw=1]")
-		mmStr    = flag.String("matmul", "", "ad-hoc GEMM MxNxK, e.g. 1024x16x512")
-		wlFile   = flag.String("workload-file", "", "JSON workload file (see configs/)")
-		archStr  = flag.String("arch", "eyeriss:14x12:128", "eyeriss:COLSxROWS:GLBKiB | simba:PES:UNITSxWIDTH | toy:PES:SPADWORDS")
-		archFile = flag.String("arch-file", "", "JSON architecture file (overrides -arch)")
-		consFile = flag.String("constraints-file", "", "JSON constraints file (overrides the arch preset)")
-		kind     = flag.String("mapspace", "ruby-s", "pfm | ruby | ruby-s | ruby-t")
-		searcher = flag.String("search", "random", "random | exhaustive | genetic | anneal | hillclimb | portfolio | heuristic (one-shot) | warm (heuristic + random)")
-		objFlag  = flag.String("objective", "edp", "edp | energy | delay")
-		evals    = flag.Int64("evals", 100000, "max sampled mappings (0 = rely on no-improve; also caps -search exhaustive)")
-		cpDir    = flag.String("checkpoint", "", "directory for crash-safe search snapshots (random|warm|hillclimb|exhaustive); SIGINT/SIGTERM write a final snapshot before exiting")
-		resume   = flag.Bool("resume", false, "continue from the snapshot in -checkpoint (fresh start when none exists)")
-		noImp    = flag.Int64("no-improve", 3000, "stop after this many consecutive non-improving valid mappings")
-		threads  = flag.Int("threads", 0, "search threads (default: CPUs, max 24)")
-		seed     = flag.Int64("seed", 1, "RNG seed")
-		timeout  = flag.Duration("timeout", 0, "wall-time budget for the search; on expiry the best mapping so far is printed (0 = none)")
-		cacheN   = flag.Int("cache", 0, "evaluation memo-cache entries (0 = disabled)")
-		metrics  = flag.Bool("metrics", false, "print evaluation-pipeline counters after the search")
-		list     = flag.Bool("list", false, "list named workloads and exit")
-		savePath = flag.String("save", "", "write the best mapping as JSON to this path")
-		libDir   = flag.String("library", "", "mapping-library directory: reuse cached best mappings, store new ones")
-		loadPath = flag.String("load", "", "evaluate a saved mapping instead of searching")
-		verbose  = flag.Bool("v", false, "print per-tensor inter-level traffic")
-		tree     = flag.Bool("tree", false, "print the factorization tree per tiled dimension (paper Figs. 4-6)")
-		simulate = flag.Bool("simulate", false, "cross-check the best mapping on the execution-driven simulator (small workloads)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		wlName     = flag.String("workload", "", "named layer from the built-in suites (see -list)")
+		convStr    = flag.String("conv", "", "ad-hoc convolution, e.g. n=1,m=64,c=64,p=56,q=56,r=3,s=3[,sh=1,sw=1]")
+		mmStr      = flag.String("matmul", "", "ad-hoc GEMM MxNxK, e.g. 1024x16x512")
+		wlFile     = flag.String("workload-file", "", "JSON workload file (see configs/)")
+		archStr    = flag.String("arch", "eyeriss:14x12:128", "eyeriss:COLSxROWS:GLBKiB | simba:PES:UNITSxWIDTH | toy:PES:SPADWORDS")
+		archFile   = flag.String("arch-file", "", "JSON architecture file (overrides -arch)")
+		consFile   = flag.String("constraints-file", "", "JSON constraints file (overrides the arch preset)")
+		kind       = flag.String("mapspace", "ruby-s", "pfm | ruby | ruby-s | ruby-t")
+		searcher   = flag.String("search", "random", "random | exhaustive | genetic | anneal | hillclimb | portfolio | heuristic (one-shot) | warm (heuristic + random)")
+		objFlag    = flag.String("objective", "edp", "edp | energy | delay")
+		evals      = flag.Int64("evals", 100000, "max sampled mappings (0 = rely on no-improve; also caps -search exhaustive)")
+		cpDir      = flag.String("checkpoint", "", "directory for crash-safe search snapshots (random|warm|hillclimb|exhaustive); SIGINT/SIGTERM write a final snapshot before exiting")
+		resume     = flag.Bool("resume", false, "continue from the snapshot in -checkpoint (fresh start when none exists)")
+		noImp      = flag.Int64("no-improve", 3000, "stop after this many consecutive non-improving valid mappings")
+		threads    = flag.Int("threads", 0, "search threads (default: CPUs, max 24)")
+		seed       = flag.Int64("seed", 1, "RNG seed")
+		timeout    = flag.Duration("timeout", 0, "wall-time budget for the search; on expiry the best mapping so far is printed (0 = none)")
+		cacheN     = flag.Int("cache", 0, "evaluation memo-cache entries (0 = disabled)")
+		metrics    = flag.Bool("metrics", false, "print evaluation-pipeline counters after the search")
+		tracePath  = flag.String("trace", "", "write a Chrome-trace JSON span dump of the search to this file")
+		slowEval   = flag.Duration("slow-eval", 0, "log sampled evaluations slower than this (0 = off)")
+		slowSearch = flag.Duration("slow-search", 0, "log searches slower than this (0 = off)")
+		list       = flag.Bool("list", false, "list named workloads and exit")
+		savePath   = flag.String("save", "", "write the best mapping as JSON to this path")
+		libDir     = flag.String("library", "", "mapping-library directory: reuse cached best mappings, store new ones")
+		loadPath   = flag.String("load", "", "evaluate a saved mapping instead of searching")
+		verbose    = flag.Bool("v", false, "print per-tensor inter-level traffic")
+		tree       = flag.Bool("tree", false, "print the factorization tree per tiled dimension (paper Figs. 4-6)")
+		simulate   = flag.Bool("simulate", false, "cross-check the best mapping on the execution-driven simulator (small workloads)")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -185,8 +194,16 @@ func main() {
 		// their in-flight batch and write a final snapshot first.
 		ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		counters := &engine.Counters{}
-		eng := engine.Config{CacheEntries: *cacheN, Metrics: counters, Workers: *threads}.New(ev)
+		var rec *obs.Recorder
+		if *tracePath != "" {
+			rec = obs.NewRecorder(0)
+			ctx = obs.WithRecorder(ctx, rec)
+		}
+		ins := engine.NewInstruments()
+		if *slowEval > 0 || *slowSearch > 0 {
+			ins.Slow = &obs.SlowLog{EvalThreshold: *slowEval, SearchThreshold: *slowSearch}
+		}
+		eng := engine.Config{CacheEntries: *cacheN, Metrics: ins, Workers: *threads}.New(ev)
 		if *cpDir != "" || *resume || *searcher == "exhaustive" {
 			res, err = runCheckpointable(ctx, *searcher, sp, eng, ev, k, cons, opt, *evals, *cpDir, *resume)
 			if err != nil {
@@ -202,8 +219,14 @@ func main() {
 				fmt.Printf("search interrupted; reporting best mapping so far\n\n")
 			}
 		}
+		if rec != nil {
+			if err := writeTrace(*tracePath, rec); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("trace written to %s (%d spans)\n\n", *tracePath, len(rec.Spans()))
+		}
 		if *metrics {
-			s := counters.Snapshot()
+			s := ins.Counters.Snapshot()
 			fmt.Printf("pipeline: %d evaluations (%.1f%% valid), %d cache hits (%.1f%%), %d improvements, %.2fs search time\n\n",
 				s.Evaluations, 100*s.ValidRate, s.CacheHits, 100*s.CacheHitRate, s.Improvements, s.SearchSeconds)
 		}
@@ -221,11 +244,11 @@ func runOneShot(ctx context.Context, searcher string, sp *mapspace.Space, eng *e
 
 	switch searcher {
 	case "random":
-		return search.RandomCtx(ctx, sp, eng, opt)
+		return search.Random(ctx, sp, eng, opt)
 	case "genetic":
 		return search.Genetic(sp, ev, search.GeneticOptions{Seed: seed, Objective: obj})
 	case "hillclimb":
-		return search.HillClimbCtx(ctx, sp, eng, opt, 1000, 2000)
+		return search.HillClimb(ctx, sp, eng, opt)
 	case "anneal":
 		steps := int(evals)
 		if steps <= 0 {
@@ -233,7 +256,7 @@ func runOneShot(ctx context.Context, searcher string, sp *mapspace.Space, eng *e
 		}
 		return search.Anneal(sp, ev, search.AnnealOptions{Seed: seed, Steps: steps, Objective: obj})
 	case "portfolio":
-		return search.PortfolioCtx(ctx, sp, eng, opt)
+		return search.Portfolio(ctx, sp, eng, opt)
 	case "heuristic":
 		m, c, err := heuristic.Construct(ev, k, cons)
 		if err != nil {
@@ -246,7 +269,7 @@ func runOneShot(ctx context.Context, searcher string, sp *mapspace.Space, eng *e
 			fatal(err)
 		}
 		opt.WarmStart = m
-		return search.RandomCtx(ctx, sp, eng, opt)
+		return search.Random(ctx, sp, eng, opt)
 	default:
 		fatal(fmt.Errorf("unknown searcher %q", searcher))
 		return nil
@@ -273,7 +296,7 @@ func runCheckpointable(ctx context.Context, searcher string, sp *mapspace.Space,
 		opt.WarmStart = m
 		sr = search.NewRandom(sp, eng, opt)
 	case "hillclimb":
-		sr = search.NewHillClimb(sp, eng, opt, 1000, 2000)
+		sr = search.NewHillClimb(sp, eng, opt)
 	case "exhaustive":
 		sr = search.NewExhaustive(sp, eng, opt, maxEnum)
 	default:
@@ -290,7 +313,7 @@ func runCheckpointable(ctx context.Context, searcher string, sp *mapspace.Space,
 		if cc.Path == "" {
 			return nil, fmt.Errorf("-resume requires -checkpoint DIR")
 		}
-		if ok, err := search.RestoreFromFile(sr, cc.Path); err != nil {
+		if ok, err := search.RestoreFromFile(ctx, sr, cc.Path); err != nil {
 			return nil, err
 		} else if ok {
 			fmt.Printf("resumed search from %s (%d evaluations done)\n\n", cc.Path, sr.Result().Evaluated)
@@ -388,6 +411,19 @@ func reportAndExit(res *search.Result, w *workload.Workload, a *arch.Arch, k map
 		}
 		fmt.Printf("\nsimulator cross-check: %.0f cycles (%s)\n", sres.Cycles, match)
 	}
+}
+
+// writeTrace dumps the recorder's spans as Chrome-trace JSON.
+func writeTrace(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func listWorkloads() {

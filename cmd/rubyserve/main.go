@@ -18,6 +18,11 @@
 // re-lists finished jobs and resumes interrupted ones with results identical
 // to an uninterrupted run. On SIGINT/SIGTERM the server stops accepting
 // work, drains running jobs to their checkpoints, and exits cleanly.
+//
+// Observability: GET /v1/metrics serves the Prometheus text exposition to
+// clients sending Accept: text/plain (JSON counters otherwise, see
+// docs/API.md); -slow-eval/-slow-search emit structured warnings for
+// outlier operations.
 package main
 
 import (
@@ -39,9 +44,15 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8731", "listen address")
 	stateDir := flag.String("state", "", "directory for job records and search checkpoints; jobs survive restarts (empty = in-memory only)")
 	drainTO := flag.Duration("drain-timeout", 30*time.Second, "max time to drain running jobs on shutdown")
+	slowEval := flag.Duration("slow-eval", 0, "log sampled evaluations slower than this (0 = off)")
+	slowSearch := flag.Duration("slow-search", 0, "log searches slower than this (0 = off)")
 	flag.Parse()
 
-	svc, err := server.NewService(server.Options{StateDir: *stateDir})
+	svc, err := server.NewService(server.Options{
+		StateDir:   *stateDir,
+		SlowEval:   *slowEval,
+		SlowSearch: *slowSearch,
+	})
 	if err != nil {
 		log.Fatalf("rubyserve: %v", err)
 	}

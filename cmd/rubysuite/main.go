@@ -152,7 +152,7 @@ func main() {
 			fatal(err)
 		}
 		st := sweep.Strategy{Name: kind.String(), Kind: kind}
-		sr, err := sweep.RunSuiteCtx(ctx, layers, a, st, consFn, so)
+		sr, err := sweep.RunSuite(ctx, layers, a, st, consFn, so)
 		if err != nil {
 			if ctx.Err() != nil && cp != nil {
 				fmt.Fprintf(os.Stderr, "rubysuite: interrupted; %d layer searches checkpointed in %s — rerun the same command to continue\n",

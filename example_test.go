@@ -17,8 +17,8 @@ func ExampleSearchExhaustive() {
 	a := ruby.ToyGLB(6, 512)
 	ev := ruby.MustEvaluator(w, a)
 
-	pfm := ruby.SearchExhaustive(ruby.NewSpace(w, a, ruby.PFM, ruby.Constraints{FixedPerms: true}), ev, 0)
-	rs := ruby.SearchExhaustive(ruby.NewSpace(w, a, ruby.RubyS, ruby.Constraints{FixedPerms: true}), ev, 0)
+	pfm := ruby.SearchExhaustive(context.Background(), ruby.NewSpace(w, a, ruby.PFM, ruby.Constraints{FixedPerms: true}), ruby.NewEngine(ev), ruby.SearchOptions{}, 0)
+	rs := ruby.SearchExhaustive(context.Background(), ruby.NewSpace(w, a, ruby.RubyS, ruby.Constraints{FixedPerms: true}), ruby.NewEngine(ev), ruby.SearchOptions{}, 0)
 	fmt.Printf("PFM: %.0f cycles at %.0f%% utilization\n", pfm.BestCost.Cycles, 100*pfm.BestCost.Utilization)
 	fmt.Printf("Ruby-S: %.0f cycles at %.0f%% utilization\n", rs.BestCost.Cycles, 100*rs.BestCost.Utilization)
 	// Output:
@@ -142,7 +142,7 @@ func ExampleRunCheckpointed() {
 
 	// "Second process": restore and run to completion.
 	s2 := ruby.NewRandomSearcher(sp, ruby.NewEngine(ev), opt)
-	if _, err := ruby.RestoreSearch(s2, path); err != nil {
+	if _, err := ruby.RestoreSearch(context.Background(), s2, path); err != nil {
 		panic(err)
 	}
 	res, err := ruby.RunCheckpointed(context.Background(), s2, ruby.CheckpointConfig{Path: path})

@@ -7,6 +7,8 @@
 package main
 
 import (
+	"context"
+
 	"flag"
 	"fmt"
 
@@ -48,7 +50,7 @@ func main() {
 	var best ruby.Cost
 	for _, kind := range []ruby.SpaceKind{ruby.PFM, ruby.RubyS} {
 		sp := ruby.NewSpace(w, a, kind, cons)
-		res := ruby.Search(sp, ev, ruby.SearchOptions{Seed: 1, MaxEvaluations: *evals})
+		res := ruby.Search(context.Background(), sp, ruby.NewEngine(ev), ruby.SearchOptions{Seed: 1, MaxEvaluations: *evals})
 		if res.Best == nil {
 			panic("no valid mapping for " + kind.String())
 		}

@@ -7,6 +7,8 @@
 package main
 
 import (
+	"context"
+
 	"flag"
 	"fmt"
 
@@ -28,9 +30,9 @@ func main() {
 	}
 	fmt.Printf("sweeping %d configurations over %d layers\n\n", len(ruby.EyerissConfigs()), len(layers))
 
-	opt := ruby.SearchOptions{Seed: 1, MaxEvaluations: *evals}
-	points, err := ruby.Explore(layers, ruby.EyerissConfigs(), 128,
-		ruby.SweepStrategies(), ruby.EyerissRowStationary, opt)
+	so := ruby.SuiteOptions{Search: ruby.SearchOptions{Seed: 1, MaxEvaluations: *evals}}
+	points, err := ruby.Explore(context.Background(), layers, ruby.EyerissConfigs(), 128,
+		ruby.SweepStrategies(), ruby.EyerissRowStationary, so)
 	if err != nil {
 		panic(err)
 	}

@@ -7,6 +7,8 @@
 package main
 
 import (
+	"context"
+
 	"flag"
 	"fmt"
 	"math"
@@ -28,7 +30,7 @@ func main() {
 		costs := map[ruby.SpaceKind]ruby.Cost{}
 		for _, kind := range []ruby.SpaceKind{ruby.PFM, ruby.RubyS} {
 			sp := ruby.NewSpace(l.Work, a, kind, cons)
-			res := ruby.Search(sp, ev, ruby.SearchOptions{Seed: 1, MaxEvaluations: *evals})
+			res := ruby.Search(context.Background(), sp, ruby.NewEngine(ev), ruby.SearchOptions{Seed: 1, MaxEvaluations: *evals})
 			if res.Best == nil {
 				panic(fmt.Sprintf("%s: no valid %v mapping", l.Name, kind))
 			}

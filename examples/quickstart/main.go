@@ -7,6 +7,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 
 	"ruby"
@@ -25,7 +27,7 @@ func main() {
 	for _, kind := range []ruby.SpaceKind{ruby.PFM, ruby.RubyS} {
 		sp := ruby.NewSpace(w, a, kind, ruby.Constraints{FixedPerms: true})
 		// The toy mapspaces are tiny: evaluate them exhaustively.
-		res := ruby.SearchExhaustive(sp, ev, 0)
+		res := ruby.SearchExhaustive(context.Background(), sp, ruby.NewEngine(ev), ruby.SearchOptions{}, 0)
 		if res.Best == nil {
 			panic("no valid mapping")
 		}

@@ -8,6 +8,8 @@
 package main
 
 import (
+	"context"
+
 	"fmt"
 
 	"ruby"
@@ -35,7 +37,7 @@ func main() {
 
 	ev := ruby.MustEvaluator(w, a)
 	sp := ruby.NewSpace(w, a, ruby.RubyS, ruby.Constraints{})
-	res := ruby.Search(sp, ev, ruby.SearchOptions{Seed: 1, MaxEvaluations: 20000})
+	res := ruby.Search(context.Background(), sp, ruby.NewEngine(ev), ruby.SearchOptions{Seed: 1, MaxEvaluations: 20000})
 	if res.Best == nil {
 		panic("no valid mapping")
 	}

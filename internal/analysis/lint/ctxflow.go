@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // Ctxflow enforces the cancellation discipline established in PR 1: every
@@ -17,6 +18,10 @@ import (
 //     exported function that calls into a context-aware API must itself
 //     accept a context.Context — swallowing the parameter severs the
 //     cancellation chain for every caller above it.
+//   - The transitional *Ctx naming convention is retired: context-first
+//     functions use the canonical name (search.Random, sweep.RunSuite),
+//     so an exported function whose name ends in "Ctx" is rejected before
+//     the twin-API split can reappear.
 var Ctxflow = &Analyzer{
 	Name: "ctxflow",
 	Doc:  "long-running exported APIs accept and forward context.Context; Background only at annotated roots",
@@ -58,7 +63,15 @@ func runCtxflow(p *Pass) {
 		return
 	}
 	for _, decl := range p.dirs.funcDecls {
-		if decl.Body == nil || !decl.Name.IsExported() || p.FuncHas(decl, "ctxroot") {
+		if decl.Body == nil || !decl.Name.IsExported() {
+			continue
+		}
+		if name := decl.Name.Name; len(name) > 3 && strings.HasSuffix(name, "Ctx") {
+			p.Reportf(decl.Name.Pos(),
+				"exported %s reintroduces the retired *Ctx suffix; give the context-first function its canonical name (see docs/API.md)",
+				funcName(decl))
+		}
+		if p.FuncHas(decl, "ctxroot") {
 			continue
 		}
 		fn, ok := p.Pkg.Info.Defs[decl.Name].(*types.Func)

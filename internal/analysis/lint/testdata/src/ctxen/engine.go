@@ -23,8 +23,13 @@ func RunDefault() error {
 	return evaluate(context.Background())
 }
 
-// RunCtx forwards its caller's context; the approved shape.
-func RunCtx(ctx context.Context) error {
+// RunWithContext forwards its caller's context; the approved shape.
+func RunWithContext(ctx context.Context) error {
+	return evaluate(ctx)
+}
+
+// SolveCtx reintroduces the retired *Ctx twin-API naming convention.
+func SolveCtx(ctx context.Context) error { // want `exported SolveCtx reintroduces the retired \*Ctx suffix`
 	return evaluate(ctx)
 }
 

@@ -24,9 +24,11 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ruby/internal/mapping"
 	"ruby/internal/nest"
+	"ruby/internal/obs"
 )
 
 // CancelledReason marks a Cost slot that was skipped because the batch's
@@ -51,14 +53,26 @@ type Config struct {
 	// Workers bounds EvaluateBatch parallelism (default: NumCPU, capped at
 	// 24 to match the paper's search setup).
 	Workers int
+	// LatencySampleEvery reports every Nth uncached evaluation's model
+	// latency to Metrics.EvalLatency (counted per worker). 0 selects the
+	// default of 64 — two clock reads per 64 evaluations keep the timing
+	// overhead far below the hot path's noise floor — 1 times every
+	// evaluation, and a negative value disables latency sampling.
+	LatencySampleEvery int
 }
+
+// defaultLatencySampleEvery is the sampling period Config.LatencySampleEvery
+// zero selects.
+const defaultLatencySampleEvery = 64
 
 // Engine evaluates mappings for one (workload, architecture) pair.
 type Engine struct {
-	ev      *nest.Evaluator
-	cache   *memoCache
-	metrics Metrics
-	workers int
+	ev          *nest.Evaluator
+	cache       *memoCache
+	metrics     Metrics
+	workers     int
+	sampleEvery uint64 // 0 = latency sampling disabled
+	nEvals      atomic.Uint64
 	// evalHook, when non-nil, replaces the raw model call — test-only
 	// injection for exercising the panic guard.
 	evalHook func(*mapping.Mapping) nest.Cost
@@ -76,6 +90,12 @@ func (c Config) New(ev *nest.Evaluator) *Engine {
 		if e.workers > 24 {
 			e.workers = 24
 		}
+	}
+	switch {
+	case c.LatencySampleEvery == 0:
+		e.sampleEvery = defaultLatencySampleEvery
+	case c.LatencySampleEvery > 0:
+		e.sampleEvery = uint64(c.LatencySampleEvery)
 	}
 	if c.CacheEntries > 0 {
 		e.cache = newMemoCache(c.CacheEntries)
@@ -104,7 +124,7 @@ func (e *Engine) Metrics() Metrics { return e.metrics }
 // invalid Cost with a PanicReason (see evalGuarded).
 func (e *Engine) Evaluate(m *mapping.Mapping) nest.Cost {
 	if e.cache == nil {
-		c := e.evalGuarded(m, nil)
+		c := e.timedEval(m, nil, e.nEvals.Add(1))
 		e.metrics.Evaluation(c.Valid, false)
 		return c
 	}
@@ -113,9 +133,26 @@ func (e *Engine) Evaluate(m *mapping.Mapping) nest.Cost {
 		e.metrics.Evaluation(c.Valid, true)
 		return c
 	}
-	c := e.evalGuarded(m, nil)
+	c := e.timedEval(m, nil, e.nEvals.Add(1))
 	e.cache.put(key, c)
 	e.metrics.Evaluation(c.Valid, false)
+	return c
+}
+
+// timedEval runs one guarded model call, timing every sampleEvery-th call
+// and reporting it to Metrics.EvalLatency. n is the caller's running count
+// of uncached evaluations — per Worker on the search hot path, engine-wide
+// for Engine.Evaluate — so the sampling clock adds no shared state to
+// worker loops.
+//
+//ruby:hotpath
+func (e *Engine) timedEval(m *mapping.Mapping, w *Worker, n uint64) nest.Cost {
+	if e.sampleEvery == 0 || n%e.sampleEvery != 0 {
+		return e.evalGuarded(m, w)
+	}
+	start := time.Now()
+	c := e.evalGuarded(m, w)
+	e.metrics.EvalLatency(time.Since(start))
 	return c
 }
 
@@ -126,6 +163,7 @@ func (e *Engine) Evaluate(m *mapping.Mapping) nest.Cost {
 type Worker struct {
 	e       *Engine
 	scratch *nest.Scratch
+	n       uint64 // uncached evaluations; drives latency sampling
 }
 
 // NewWorker builds an evaluation worker bound to the engine.
@@ -152,7 +190,8 @@ func (w *Worker) Evaluate(m *mapping.Mapping) nest.Cost {
 func (w *Worker) EvaluateShared(m *mapping.Mapping) nest.Cost {
 	e := w.e
 	if e.cache == nil {
-		c := e.evalGuarded(m, w)
+		w.n++
+		c := e.timedEval(m, w, w.n)
 		e.metrics.Evaluation(c.Valid, false)
 		return c
 	}
@@ -161,7 +200,8 @@ func (w *Worker) EvaluateShared(m *mapping.Mapping) nest.Cost {
 		e.metrics.Evaluation(c.Valid, true)
 		return c
 	}
-	c := e.evalGuarded(m, w).Clone()
+	w.n++
+	c := e.timedEval(m, w, w.n).Clone()
 	e.cache.put(key, c)
 	e.metrics.Evaluation(c.Valid, false)
 	return c
@@ -171,7 +211,20 @@ func (w *Worker) EvaluateShared(m *mapping.Mapping) nest.Cost {
 // When ctx is cancelled mid-batch, the remaining slots are filled with
 // CancelledReason placeholders instead of being evaluated; callers detect
 // them with Cancelled. A nil ctx means no cancellation.
+//
+// Each call reports its wall time to Metrics.BatchLatency and, when ctx
+// carries an obs.Recorder, records one "eval-batch" trace span — per-batch
+// granularity keeps tracing off the per-evaluation hot path.
 func (e *Engine) EvaluateBatch(ctx context.Context, ms []*mapping.Mapping) []nest.Cost {
+	_, span := obs.StartSpan(ctx, "eval-batch")
+	start := time.Now()
+	out := e.evaluateBatch(ctx, ms)
+	e.metrics.BatchLatency(time.Since(start), len(ms))
+	span.End()
+	return out
+}
+
+func (e *Engine) evaluateBatch(ctx context.Context, ms []*mapping.Mapping) []nest.Cost {
 	out := make([]nest.Cost, len(ms))
 	workers := e.workers
 	if workers > len(ms) {

@@ -8,13 +8,27 @@ import (
 
 // Metrics receives evaluation-pipeline events. Implementations must be safe
 // for concurrent use: every search worker calls Evaluation on the hot path.
+// Counters implements the counting subset; Instruments adds the
+// distribution events (latency, best objective) on obs histograms.
 type Metrics interface {
 	// Evaluation is called once per Engine.Evaluate: valid is the model's
 	// verdict, cached reports whether the cost came from the memo cache.
 	Evaluation(valid, cached bool)
+	// EvalLatency reports the wall time of one model evaluation. The engine
+	// samples (Config.LatencySampleEvery), so it is called for a subset of
+	// the uncached evaluations; implementations must stay cheap and
+	// allocation-free — it runs on the search hot path.
+	EvalLatency(d time.Duration)
+	// BatchLatency reports the wall time of one EvaluateBatch call of n
+	// mappings (called once per batch, not per evaluation).
+	BatchLatency(d time.Duration, n int)
 	// Improvement is called when a search's incumbent best improves, with
 	// the evaluation ordinal and the new objective value.
 	Improvement(evals int64, value float64)
+	// BestObjective is called once per completed search that found a valid
+	// mapping, with the final best objective value (EDP under the default
+	// objective).
+	BestObjective(v float64)
 	// SearchDone is called once per completed search with its wall time and
 	// final counters.
 	SearchDone(wall time.Duration, evaluated, valid int64)
@@ -29,7 +43,10 @@ var NopMetrics Metrics = nopMetrics{}
 type nopMetrics struct{}
 
 func (nopMetrics) Evaluation(bool, bool)                  {}
+func (nopMetrics) EvalLatency(time.Duration)              {}
+func (nopMetrics) BatchLatency(time.Duration, int)        {}
 func (nopMetrics) Improvement(int64, float64)             {}
+func (nopMetrics) BestObjective(float64)                  {}
 func (nopMetrics) SearchDone(time.Duration, int64, int64) {}
 func (nopMetrics) Panic()                                 {}
 
@@ -60,8 +77,18 @@ func (c *Counters) Evaluation(valid, cached bool) {
 	}
 }
 
+// EvalLatency implements Metrics. Counters only counts; the latency
+// distribution lives in Instruments' histograms.
+func (c *Counters) EvalLatency(time.Duration) {}
+
+// BatchLatency implements Metrics (a no-op; see Instruments).
+func (c *Counters) BatchLatency(time.Duration, int) {}
+
 // Improvement implements Metrics.
 func (c *Counters) Improvement(int64, float64) { c.improvements.Add(1) }
+
+// BestObjective implements Metrics (a no-op; see Instruments).
+func (c *Counters) BestObjective(float64) {}
 
 // SearchDone implements Metrics.
 func (c *Counters) SearchDone(wall time.Duration, _, _ int64) {

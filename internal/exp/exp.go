@@ -94,16 +94,10 @@ func Names() []string {
 }
 
 // Run executes one experiment by identifier and returns its report.
-//
-//ruby:ctxroot
-func Run(name string, cfg Config) (*Report, error) {
-	return RunCtx(context.Background(), name, cfg)
-}
-
-// RunCtx is Run under a context: cancellation aborts the in-flight searches
-// promptly and surfaces ctx's error (stochastic experiments may instead
-// return a best-effort report built from the evaluations finished so far).
-func RunCtx(ctx context.Context, name string, cfg Config) (*Report, error) {
+// Cancellation aborts the in-flight searches promptly and surfaces ctx's
+// error (stochastic experiments may instead return a best-effort report
+// built from the evaluations finished so far).
+func Run(ctx context.Context, name string, cfg Config) (*Report, error) {
 	switch name {
 	case "fig7a", "fig7b", "fig7c", "fig7d":
 		return fig7(ctx, name[4], cfg)

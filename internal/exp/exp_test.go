@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -17,7 +18,7 @@ func TestNamesAllRunnable(t *testing.T) {
 			continue // sweeps tested separately (slow)
 		}
 	}
-	if _, err := Run("nope", Quick()); err == nil {
+	if _, err := Run(context.Background(), "nope", Quick()); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }

@@ -82,7 +82,7 @@ func extensionSuite(ctx context.Context, title string, layers []workloads.Layer,
 		best := map[mapspace.Kind]nest.Cost{}
 		for _, kind := range []mapspace.Kind{mapspace.PFM, mapspace.RubyS} {
 			sp := mapspace.New(l.Work, a, kind, cons)
-			res := search.RandomCtx(ctx, sp, eng, cfg.Opt)
+			res := search.Random(ctx, sp, eng, cfg.Opt)
 			if res.Best == nil {
 				if ctx != nil && ctx.Err() != nil {
 					return nil, ctx.Err()
@@ -134,10 +134,10 @@ func heuristicStudy(ctx context.Context, cfg Config) (*Report, error) {
 		}
 		sp := mapspace.New(l.Work, a, mapspace.RubyS, cons)
 		eng := cfg.newEngine(ev)
-		cold := search.RandomCtx(ctx, sp, eng, cfg.Opt)
+		cold := search.Random(ctx, sp, eng, cfg.Opt)
 		warmOpt := cfg.Opt
 		warmOpt.WarmStart = hm
-		warm := search.RandomCtx(ctx, sp, eng, warmOpt)
+		warm := search.Random(ctx, sp, eng, warmOpt)
 		if cold.Best == nil || warm.Best == nil {
 			if ctx != nil && ctx.Err() != nil {
 				return nil, ctx.Err()
@@ -216,7 +216,7 @@ func ablations(ctx context.Context, cfg Config) (*Report, error) {
 			return 0, err
 		}
 		sp := mapspace.New(layer.Work, a, mapspace.RubyS, mapspace.EyerissRowStationary(layer.Work))
-		res := search.RandomCtx(ctx, sp, cfg.newEngine(ev), cfg.Opt)
+		res := search.Random(ctx, sp, cfg.newEngine(ev), cfg.Opt)
 		if res.Best == nil {
 			if ctx != nil && ctx.Err() != nil {
 				return 0, ctx.Err()
@@ -263,8 +263,8 @@ func ablations(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	cons := mapspace.EyerissRowStationary(layer.Work)
 	eng := cfg.newEngine(ev)
-	pfm := search.RandomCtx(ctx, mapspace.New(layer.Work, aEy, mapspace.PFM, cons), eng, cfg.Opt)
-	rs := search.RandomCtx(ctx, mapspace.New(layer.Work, aEy, mapspace.RubyS, cons), eng, cfg.Opt)
+	pfm := search.Random(ctx, mapspace.New(layer.Work, aEy, mapspace.PFM, cons), eng, cfg.Opt)
+	rs := search.Random(ctx, mapspace.New(layer.Work, aEy, mapspace.RubyS, cons), eng, cfg.Opt)
 	if pfm.Best == nil || rs.Best == nil {
 		if ctx != nil && ctx.Err() != nil {
 			return nil, ctx.Err()

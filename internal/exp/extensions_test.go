@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -18,7 +19,7 @@ func TestExtensionNamesRouted(t *testing.T) {
 	// Run routes extension names too.
 	cfg := Quick()
 	cfg.Opt.MaxEvaluations = 800
-	rep, err := Run("ablations", cfg)
+	rep, err := Run(context.Background(), "ablations", cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestSweepExperimentsQuick(t *testing.T) {
 	cfg := Quick()
 	cfg.Opt.MaxEvaluations = 250
 	for _, name := range []string{"fig13a", "fig13b", "fig14a", "fig14b"} {
-		rep, err := Run(name, cfg)
+		rep, err := Run(context.Background(), name, cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -152,7 +153,7 @@ func TestFig7AllVariantsQuick(t *testing.T) {
 	cfg.Opt.MaxEvaluations = 2000
 	cfg.Runs = 1
 	for _, v := range []string{"fig7a", "fig7c", "fig7d"} {
-		rep, err := Run(v, cfg)
+		rep, err := Run(context.Background(), v, cfg)
 		if err != nil {
 			t.Fatalf("%s: %v", v, err)
 		}

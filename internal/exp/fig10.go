@@ -22,11 +22,11 @@ func layerComparison(ctx context.Context, name string, layers []workloads.Layer,
 
 	cfg = cfg.withDefaults()
 	so := cfg.suiteOptions()
-	pfm, err := sweep.RunSuiteCtx(ctx, layers, a, sweep.Strategy{Name: "PFM", Kind: mapspace.PFM}, consFn, so)
+	pfm, err := sweep.RunSuite(ctx, layers, a, sweep.Strategy{Name: "PFM", Kind: mapspace.PFM}, consFn, so)
 	if err != nil {
 		return nil, err
 	}
-	rubyS, err := sweep.RunSuiteCtx(ctx, layers, a, sweep.Strategy{Name: "Ruby-S", Kind: mapspace.RubyS}, consFn, so)
+	rubyS, err := sweep.RunSuite(ctx, layers, a, sweep.Strategy{Name: "Ruby-S", Kind: mapspace.RubyS}, consFn, so)
 	if err != nil {
 		return nil, err
 	}
@@ -145,7 +145,7 @@ func fig11Latency(ctx context.Context, rep *Report, cfg Config) error {
 			opt := cfg.Opt
 			opt.Objective = search.ObjectiveDelay
 			sp := mapspace.New(l.Work, a, kind, cons)
-			res := search.RandomCtx(ctx, sp, eng, opt)
+			res := search.Random(ctx, sp, eng, opt)
 			if res.Best == nil {
 				if ctx != nil && ctx.Err() != nil {
 					return ctx.Err()

@@ -53,7 +53,7 @@ func runSweep(ctx context.Context, s Suite, cfg Config) ([]sweep.DesignPoint, er
 	if err != nil {
 		return nil, err
 	}
-	return sweep.ExploreCtx(ctx, layers, sweep.EyerissConfigs(), 128,
+	return sweep.Explore(ctx, layers, sweep.EyerissConfigs(), 128,
 		sweep.Strategies(), mapspace.EyerissRowStationary, cfg.suiteOptions())
 }
 

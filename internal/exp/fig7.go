@@ -102,7 +102,7 @@ func fig7(ctx context.Context, variant byte, cfg Config) (*Report, error) {
 			opt.MaxEvaluations = budget
 			opt.ConsecutiveNoImprove = 0
 			opt.KeepTrace = true
-			r := search.RandomCtx(ctx, sp, eng, opt)
+			r := search.Random(ctx, sp, eng, opt)
 			for ci, n := range fig7Checkpoints {
 				if n > budget {
 					continue

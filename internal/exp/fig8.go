@@ -56,7 +56,7 @@ func fig8(ctx context.Context, cfg Config) (*Report, error) {
 			return nest.Cost{}, err
 		}
 		sp := mapspace.New(w, a, kind, mapspace.Constraints{FixedPerms: true})
-		res := search.ExhaustiveCtx(ctx, sp, cfg.newEngine(ev), search.Options{}, 0)
+		res := search.Exhaustive(ctx, sp, cfg.newEngine(ev), search.Options{}, 0)
 		if res.Best == nil {
 			if ctx != nil && ctx.Err() != nil {
 				return nest.Cost{}, ctx.Err()

@@ -68,7 +68,7 @@ func fig9(ctx context.Context, cfg Config) (*Report, error) {
 		var b nest.Cost
 		for run := 0; run < cfg.Runs; run++ {
 			sp := mapspace.New(w, a, kind, cons)
-			r := search.RandomCtx(ctx, sp, eng, cfg.seeded(run))
+			r := search.Random(ctx, sp, eng, cfg.seeded(run))
 			if r.Best != nil && (!b.Valid || r.BestCost.EDP < b.EDP) {
 				b = r.BestCost
 			}

@@ -1,9 +1,12 @@
 package heuristic
 
 import (
+	"context"
+
 	"testing"
 
 	"ruby/internal/arch"
+	"ruby/internal/engine"
 	"ruby/internal/mapspace"
 	"ruby/internal/nest"
 	"ruby/internal/search"
@@ -95,7 +98,7 @@ func TestConstructCompetitiveWithShortSearch(t *testing.T) {
 		t.Fatal(err)
 	}
 	sp := mapspace.New(l.Work, a, mapspace.RubyS, cons)
-	res := search.Random(sp, ev, search.Options{Seed: 1, Threads: 2, MaxEvaluations: 2000})
+	res := search.Random(context.Background(), sp, engine.New(ev), search.Options{Seed: 1, Threads: 2, MaxEvaluations: 2000})
 	if res.Best == nil {
 		t.Fatal("search found nothing")
 	}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket histogram safe for the evaluation hot path:
+// bounds are immutable after construction, counts are lock-free atomics, and
+// the running sum is a CAS loop on the float's bits. Observe performs no
+// allocation and takes no lock, so concurrent search workers can feed one
+// histogram without contention beyond the cache line.
+type Histogram struct {
+	name, help string
+	bounds     []float64 // strictly increasing upper bounds; +Inf is implicit
+	counts     []atomic.Int64
+	count      atomic.Int64
+	sumBits    atomic.Uint64
+}
+
+// NewHistogram builds a histogram named name (a Prometheus metric name) over
+// the given upper bucket bounds, which must be strictly increasing; an
+// implicit +Inf bucket catches the overflow. It panics on invalid bounds —
+// bucket layouts are compile-time decisions, not runtime inputs.
+func NewHistogram(name, help string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s bounds not strictly increasing at %d", name, i))
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{
+		name: name, help: help, bounds: b,
+		counts: make([]atomic.Int64, len(b)+1),
+	}
+}
+
+// Name returns the metric name.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records one value.
+//
+//ruby:hotpath
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+//
+//ruby:hotpath
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Counts are
+// per-bucket (not cumulative); the last entry is the +Inf overflow bucket.
+// Reads are individually atomic, not a consistent cut — fine for monitoring.
+type HistogramSnapshot struct {
+	Name   string    `json:"name"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Snapshot reads the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Name:   h.name,
+		Bounds: h.bounds, // immutable; shared
+		Counts: make([]int64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// LatencyBuckets returns the default latency bucket bounds in seconds:
+// exponential 1µs .. 10s in 1-2.5-5 steps, sized for both single model
+// evaluations (~1µs) and whole searches (seconds).
+func LatencyBuckets() []float64 {
+	var b []float64
+	for _, mag := range []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1} {
+		b = append(b, mag, 2.5*mag, 5*mag)
+	}
+	return append(b, 10)
+}
+
+// EDPBuckets returns the default objective-value bucket bounds: one decade
+// per bucket from 1e3 to 1e18, covering toy problems through full-network
+// energy-delay products.
+func EDPBuckets() []float64 {
+	var b []float64
+	for e := 3; e <= 18; e++ {
+		b = append(b, math.Pow(10, float64(e)))
+	}
+	return b
+}

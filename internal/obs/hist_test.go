@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketInvariants(t *testing.T) {
+	h := NewHistogram("test_seconds", "test", []float64{0.001, 0.01, 0.1, 1})
+	values := []float64{0.0005, 0.001, 0.002, 0.05, 0.5, 2, 100}
+	sum := 0.0
+	for _, v := range values {
+		h.Observe(v)
+		sum += v
+	}
+	s := h.Snapshot()
+
+	// Per-bucket counts sum to the total count.
+	total := int64(0)
+	for _, c := range s.Counts {
+		if c < 0 {
+			t.Fatalf("negative bucket count %d", c)
+		}
+		total += c
+	}
+	if total != s.Count {
+		t.Fatalf("bucket counts sum to %d, total count %d", total, s.Count)
+	}
+	if s.Count != int64(len(values)) {
+		t.Fatalf("count = %d, want %d", s.Count, len(values))
+	}
+	if math.Abs(s.Sum-sum) > 1e-12 {
+		t.Fatalf("sum = %g, want %g", s.Sum, sum)
+	}
+
+	// Placement: 0.001 is inclusive (le semantics), 0.002 overflows into the
+	// next bucket, 100 lands in +Inf.
+	want := []int64{2, 1, 1, 1, 2}
+	for i, c := range s.Counts {
+		if c != want[i] {
+			t.Fatalf("counts = %v, want %v", s.Counts, want)
+		}
+	}
+}
+
+func TestHistogramCumulativeMonotone(t *testing.T) {
+	h := NewHistogram("m", "m", LatencyBuckets())
+	for i := 0; i < 1000; i++ {
+		h.Observe(float64(i) * 1e-5)
+	}
+	s := h.Snapshot()
+	cum, prev := int64(0), int64(-1)
+	for _, c := range s.Counts {
+		cum += c
+		if cum < prev {
+			t.Fatalf("cumulative counts not monotone: %v", s.Counts)
+		}
+		prev = cum
+	}
+	if cum != s.Count {
+		t.Fatalf("cumulative %d != count %d", cum, s.Count)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram("c", "c", []float64{1, 2, 4})
+	var wg sync.WaitGroup
+	const workers, per = 8, 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(w % 5))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	total := int64(0)
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != s.Count {
+		t.Fatalf("bucket sum %d != count %d", total, s.Count)
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	h := NewHistogram("d", "d", []float64{0.5, 1.5})
+	h.ObserveDuration(time.Second)
+	s := h.Snapshot()
+	if s.Counts[1] != 1 {
+		t.Fatalf("1s should land in the (0.5, 1.5] bucket: %v", s.Counts)
+	}
+}
+
+func TestNewHistogramRejectsBadBounds(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v should panic", bounds)
+				}
+			}()
+			NewHistogram("bad", "bad", bounds)
+		}()
+	}
+}
+
+func TestDefaultBucketsAreValid(t *testing.T) {
+	for _, bounds := range [][]float64{LatencyBuckets(), EDPBuckets()} {
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				t.Fatalf("default bounds not increasing: %v", bounds)
+			}
+		}
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram("b", "b", LatencyBuckets())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(1e-4)
+	}
+}

@@ -1,0 +1,20 @@
+// Package obs is the observability layer of the mapper pipeline: hierarchical
+// trace spans carried through context.Context, allocation-conscious
+// fixed-bucket histograms, a Prometheus text-exposition registry, and
+// slow-event structured logging.
+//
+// The package deliberately depends on nothing but the standard library, so
+// every layer of the stack (engine, search, sweep, server, the CLIs) can use
+// it without import cycles. Design constraints, in order:
+//
+//   - The evaluation hot path must stay allocation-free. Histogram.Observe is
+//     a bucket walk plus three atomics (annotated //ruby:hotpath, so rubylint
+//     enforces the discipline), and spans are created at batch/search
+//     granularity, never per evaluation.
+//   - Tracing is opt-in via the context: when no Recorder was attached with
+//     WithRecorder, StartSpan returns a nil *Span whose End is a no-op, so
+//     instrumented code needs no conditionals and un-traced runs pay only a
+//     context lookup per span.
+//   - Exposition is pull-based: the Registry holds closures and histograms
+//     and renders Prometheus text format 0.0.4 on demand; nothing is pushed.
+package obs

@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// TextContentType is the Prometheus text exposition content type the
+// registry renders (version 0.0.4, the format every Prometheus server
+// scrapes).
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Sample is one labeled gauge value (a single label dimension, e.g.
+// status="running").
+type Sample struct {
+	LabelValue string
+	Value      float64
+}
+
+// metricEntry is one registered metric; exactly one of value, series or hist
+// is set.
+type metricEntry struct {
+	name, help, typ string
+	value           func() float64
+	label           string
+	series          func() []Sample
+	hist            *Histogram
+}
+
+// Registry renders registered metrics in Prometheus text format. Metrics are
+// pull-based: counters and gauges are closures read at exposition time,
+// histograms are read via Snapshot. Registration order is exposition order.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metricEntry
+	names   map[string]bool
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry { return &Registry{names: map[string]bool{}} }
+
+func (r *Registry) add(e metricEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names[e.name] {
+		panic(fmt.Sprintf("obs: metric %s registered twice", e.name))
+	}
+	r.names[e.name] = true
+	r.metrics = append(r.metrics, e)
+}
+
+// Counter registers a monotonically non-decreasing value.
+func (r *Registry) Counter(name, help string, fn func() float64) {
+	r.add(metricEntry{name: name, help: help, typ: "counter", value: fn})
+}
+
+// Gauge registers a point-in-time value.
+func (r *Registry) Gauge(name, help string, fn func() float64) {
+	r.add(metricEntry{name: name, help: help, typ: "gauge", value: fn})
+}
+
+// GaugeVec registers a family of gauges distinguished by one label. The
+// samples are sorted by label value at exposition time, so output is
+// deterministic regardless of the closure's iteration order.
+func (r *Registry) GaugeVec(name, help, label string, fn func() []Sample) {
+	r.add(metricEntry{name: name, help: help, typ: "gauge", label: label, series: fn})
+}
+
+// Histogram registers a histogram under its own name and help text.
+func (r *Registry) Histogram(h *Histogram) {
+	r.add(metricEntry{name: h.name, help: h.help, typ: "histogram", hist: h})
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteText renders every registered metric in Prometheus text format 0.0.4.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	metrics := make([]metricEntry, len(r.metrics))
+	copy(metrics, r.metrics)
+	r.mu.Unlock()
+
+	for _, m := range metrics {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, escapeHelp(m.help), m.name, m.typ); err != nil {
+			return err
+		}
+		switch {
+		case m.value != nil:
+			if _, err := fmt.Fprintf(w, "%s %s\n", m.name, formatFloat(m.value())); err != nil {
+				return err
+			}
+		case m.series != nil:
+			samples := m.series()
+			sort.Slice(samples, func(i, j int) bool { return samples[i].LabelValue < samples[j].LabelValue })
+			for _, s := range samples {
+				if _, err := fmt.Fprintf(w, "%s{%s=%q} %s\n", m.name, m.label, escapeLabel(s.LabelValue), formatFloat(s.Value)); err != nil {
+					return err
+				}
+			}
+		case m.hist != nil:
+			if err := writeHistogram(w, m.hist.Snapshot()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram: cumulative _bucket series up to
+// +Inf, then _sum and _count.
+func writeHistogram(w io.Writer, s HistogramSnapshot) error {
+	cum := int64(0)
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", s.Name, formatFloat(bound), cum); err != nil {
+			return err
+		}
+	}
+	cum += s.Counts[len(s.Counts)-1]
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", s.Name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", s.Name, formatFloat(s.Sum), s.Name, s.Count); err != nil {
+		return err
+	}
+	return nil
+}

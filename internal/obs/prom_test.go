@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ruby_evaluations_total", "Total evaluations.", func() float64 { return 42 })
+	r.Gauge("ruby_up", "Liveness.", func() float64 { return 1 })
+	r.GaugeVec("ruby_jobs", "Jobs by status.", "status", func() []Sample {
+		return []Sample{{LabelValue: "running", Value: 2}, {LabelValue: "done", Value: 3}}
+	})
+	h := NewHistogram("ruby_eval_latency_seconds", "Evaluation latency.", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(5)
+	r.Histogram(h)
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+
+	for _, want := range []string{
+		"# HELP ruby_evaluations_total Total evaluations.",
+		"# TYPE ruby_evaluations_total counter",
+		"ruby_evaluations_total 42",
+		"# TYPE ruby_up gauge",
+		"ruby_up 1",
+		`ruby_jobs{status="done"} 3`,
+		`ruby_jobs{status="running"} 2`,
+		"# TYPE ruby_eval_latency_seconds histogram",
+		`ruby_eval_latency_seconds_bucket{le="0.001"} 1`,
+		`ruby_eval_latency_seconds_bucket{le="0.01"} 2`,
+		`ruby_eval_latency_seconds_bucket{le="+Inf"} 3`,
+		"ruby_eval_latency_seconds_sum 5.0055",
+		"ruby_eval_latency_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Labeled samples must be sorted regardless of producer order.
+	if strings.Index(out, `status="done"`) > strings.Index(out, `status="running"`) {
+		t.Error("gauge vec samples not sorted by label value")
+	}
+}
+
+// TestWriteTextWellFormed line-checks the exposition: every non-comment line
+// is "name[{label}] value" with a parseable value, and every series is
+// preceded by its HELP/TYPE comments.
+func TestWriteTextWellFormed(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "with\nnewline and back\\slash", func() float64 { return 1 })
+	h := NewHistogram("lat", "lat", LatencyBuckets())
+	h.Observe(0.2)
+	r.Histogram(h)
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if strings.HasPrefix(line, "# ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 || (parts[1] != "HELP" && parts[1] != "TYPE") {
+				t.Errorf("malformed comment line %q", line)
+			}
+			if strings.ContainsAny(parts[3], "\n") {
+				t.Errorf("unescaped newline in %q", line)
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("malformed sample line %q", line)
+			continue
+		}
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			t.Errorf("unparseable value in %q: %v", line, err)
+		}
+	}
+}
+
+func TestRegistryRejectsDuplicates(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "x", func() float64 { return 0 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration should panic")
+		}
+	}()
+	r.Counter("x", "x", func() float64 { return 0 })
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"log/slog"
+	"time"
+)
+
+// SlowLog emits structured warnings for operations that cross a latency
+// threshold — the "why is the mapper slow" first responder. A nil *SlowLog
+// or a zero threshold disables the corresponding check, so instrumented code
+// calls it unconditionally. Threshold comparisons are branch-cheap; the
+// slog machinery only runs for genuinely slow events.
+type SlowLog struct {
+	// Logger receives the warnings (default slog.Default()).
+	Logger *slog.Logger
+	// EvalThreshold flags single model evaluations at or above this
+	// duration. Note the engine samples evaluation latency, so isolated
+	// slow evaluations between sample points are not seen.
+	EvalThreshold time.Duration
+	// SearchThreshold flags completed searches at or above this wall time.
+	SearchThreshold time.Duration
+}
+
+func (l *SlowLog) logger() *slog.Logger {
+	if l.Logger != nil {
+		return l.Logger
+	}
+	return slog.Default()
+}
+
+// Eval reports one sampled evaluation latency.
+func (l *SlowLog) Eval(d time.Duration) {
+	if l == nil || l.EvalThreshold <= 0 || d < l.EvalThreshold {
+		return
+	}
+	l.logger().Warn("slow evaluation",
+		slog.Duration("latency", d),
+		slog.Duration("threshold", l.EvalThreshold))
+}
+
+// Search reports one completed search's wall time and counters.
+func (l *SlowLog) Search(wall time.Duration, evaluated, valid int64) {
+	if l == nil || l.SearchThreshold <= 0 || wall < l.SearchThreshold {
+		return
+	}
+	l.logger().Warn("slow search",
+		slog.Duration("wall", wall),
+		slog.Duration("threshold", l.SearchThreshold),
+		slog.Int64("evaluated", evaluated),
+		slog.Int64("valid", valid))
+}

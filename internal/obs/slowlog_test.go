@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSlowLogThresholds(t *testing.T) {
+	var buf bytes.Buffer
+	l := &SlowLog{
+		Logger:          slog.New(slog.NewTextHandler(&buf, nil)),
+		EvalThreshold:   time.Millisecond,
+		SearchThreshold: time.Second,
+	}
+
+	l.Eval(500 * time.Microsecond) // below threshold
+	l.Search(500*time.Millisecond, 10, 5)
+	if buf.Len() != 0 {
+		t.Fatalf("fast events logged: %s", buf.String())
+	}
+
+	l.Eval(2 * time.Millisecond)
+	l.Search(3*time.Second, 100, 50)
+	out := buf.String()
+	if !strings.Contains(out, "slow evaluation") || !strings.Contains(out, "slow search") {
+		t.Fatalf("slow events missing: %s", out)
+	}
+	if !strings.Contains(out, "evaluated=100") {
+		t.Fatalf("search counters missing: %s", out)
+	}
+}
+
+func TestSlowLogDisabled(t *testing.T) {
+	var nilLog *SlowLog
+	nilLog.Eval(time.Hour) // nil receiver is a no-op
+	nilLog.Search(time.Hour, 1, 1)
+
+	var buf bytes.Buffer
+	zero := &SlowLog{Logger: slog.New(slog.NewTextHandler(&buf, nil))}
+	zero.Eval(time.Hour) // zero thresholds disable the checks
+	zero.Search(time.Hour, 1, 1)
+	if buf.Len() != 0 {
+		t.Fatalf("disabled slowlog produced output: %s", buf.String())
+	}
+}

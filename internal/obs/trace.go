@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// defaultRecorderCap bounds a Recorder built with capacity <= 0. A full
+// search produces a few spans per checkpoint interval plus one per
+// evaluation batch, so 4096 comfortably covers minutes of activity before
+// the ring starts dropping the oldest spans.
+const defaultRecorderCap = 4096
+
+// SpanRecord is one finished span. Parent is 0 for roots; Start is
+// microseconds since the Recorder was created, Dur the span's duration in
+// microseconds (clamped to >= 1 so zero-width spans stay visible in
+// flamegraph viewers).
+type SpanRecord struct {
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	Start  int64  `json:"start_us"`
+	Dur    int64  `json:"dur_us"`
+}
+
+// Recorder collects finished spans in a fixed-capacity ring buffer: when the
+// ring is full the oldest spans are overwritten (Dropped counts them), so a
+// long run's trace is bounded and always ends with the most recent activity.
+// A Recorder is safe for concurrent use.
+type Recorder struct {
+	ids   atomic.Uint64
+	epoch time.Time
+
+	mu      sync.Mutex
+	spans   []SpanRecord
+	next    int // overwrite cursor, meaningful once the ring is full
+	dropped int64
+}
+
+// NewRecorder builds a recorder holding up to capacity finished spans
+// (capacity <= 0 selects a default of 4096).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = defaultRecorderCap
+	}
+	return &Recorder{epoch: time.Now(), spans: make([]SpanRecord, 0, capacity)}
+}
+
+func (r *Recorder) add(rec SpanRecord) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.spans) < cap(r.spans) {
+		r.spans = append(r.spans, rec)
+		return
+	}
+	r.spans[r.next] = rec
+	r.next = (r.next + 1) % len(r.spans)
+	r.dropped++
+}
+
+// Spans returns a copy of the recorded spans sorted by start time (ties by
+// ID, which increases in span-start order).
+func (r *Recorder) Spans() []SpanRecord {
+	r.mu.Lock()
+	out := make([]SpanRecord, len(r.spans))
+	copy(out, r.spans)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Dropped reports how many spans were overwritten by newer ones.
+func (r *Recorder) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// traceEvent is one Chrome-trace-format "complete" event; the dump loads
+// directly into chrome://tracing, Perfetto and speedscope for flamegraph
+// views. The span tree (ID/Parent links) rides along in args.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args traceEventArgs `json:"args"`
+}
+
+type traceEventArgs struct {
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+}
+
+type traceDump struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+	Dropped     int64        `json:"droppedSpans,omitempty"`
+}
+
+// WriteJSON dumps the recorded spans as a Chrome-trace-format JSON object
+// ({"traceEvents": [...]}), sorted by start time, with parent links in each
+// event's args so the span tree can be reconstructed.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	spans := r.Spans()
+	dump := traceDump{TraceEvents: make([]traceEvent, len(spans)), Dropped: r.Dropped()}
+	for i, s := range spans {
+		dump.TraceEvents[i] = traceEvent{
+			Name: s.Name, Ph: "X", TS: s.Start, Dur: s.Dur, PID: 1, TID: 1,
+			Args: traceEventArgs{ID: s.ID, Parent: s.Parent},
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(dump)
+}
+
+// Span is one in-flight span. A nil *Span (returned by StartSpan when no
+// Recorder is attached to the context) is valid: End is a no-op.
+type Span struct {
+	rec    *Recorder
+	id     uint64
+	parent uint64
+	name   string
+	start  time.Time
+}
+
+// End finishes the span and commits it to the recorder.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	dur := time.Since(s.start).Microseconds()
+	if dur < 1 {
+		dur = 1
+	}
+	s.rec.add(SpanRecord{
+		ID: s.id, Parent: s.parent, Name: s.name,
+		Start: s.start.Sub(s.rec.epoch).Microseconds(), Dur: dur,
+	})
+}
+
+type ctxKey int
+
+const (
+	recorderKey ctxKey = iota
+	spanKey
+)
+
+// WithRecorder attaches a recorder to the context; spans started under the
+// returned context are committed to it.
+func WithRecorder(ctx context.Context, r *Recorder) context.Context {
+	if ctx == nil || r == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, recorderKey, r)
+}
+
+// RecorderFrom returns the context's recorder, or nil (nil ctx included).
+func RecorderFrom(ctx context.Context) *Recorder {
+	if ctx == nil {
+		return nil
+	}
+	r, _ := ctx.Value(recorderKey).(*Recorder)
+	return r
+}
+
+// StartSpan opens a span named name as a child of the context's current
+// span. When the context carries no Recorder (or is nil) it returns the
+// context unchanged and a nil span, so callers unconditionally defer
+// span.End(). The returned context carries the new span, parenting any
+// spans started beneath it.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	r := RecorderFrom(ctx)
+	if r == nil {
+		return ctx, nil
+	}
+	parent := uint64(0)
+	if ps, _ := ctx.Value(spanKey).(*Span); ps != nil {
+		parent = ps.id
+	}
+	s := &Span{rec: r, id: r.ids.Add(1), parent: parent, name: name, start: time.Now()}
+	return context.WithValue(ctx, spanKey, s), s
+}
+
+// Event records an instantaneous span (a point-in-time marker such as a
+// checkpoint save or resume) under the context's current span.
+func Event(ctx context.Context, name string) {
+	_, s := StartSpan(ctx, name)
+	s.End()
+}

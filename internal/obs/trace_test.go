@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+func TestStartSpanWithoutRecorderIsNoop(t *testing.T) {
+	ctx := context.Background()
+	ctx2, s := StartSpan(ctx, "root")
+	if s != nil {
+		t.Fatal("expected nil span without a recorder")
+	}
+	if ctx2 != ctx {
+		t.Fatal("context should pass through unchanged without a recorder")
+	}
+	s.End() // must not panic
+	Event(ctx, "marker")
+}
+
+func TestSpanTree(t *testing.T) {
+	rec := NewRecorder(16)
+	ctx := WithRecorder(context.Background(), rec)
+
+	ctx, root := StartSpan(ctx, "suite")
+	lctx, layer := StartSpan(ctx, "layer")
+	_, batch := StartSpan(lctx, "eval-batch")
+	batch.End()
+	Event(lctx, "checkpoint:save")
+	layer.End()
+	_, sib := StartSpan(ctx, "layer2")
+	sib.End()
+	root.End()
+
+	spans := rec.Spans()
+	if len(spans) != 5 {
+		t.Fatalf("got %d spans, want 5", len(spans))
+	}
+	byName := map[string]SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["suite"].Parent != 0 {
+		t.Errorf("suite should be a root, parent=%d", byName["suite"].Parent)
+	}
+	if byName["layer"].Parent != byName["suite"].ID {
+		t.Errorf("layer parent = %d, want suite id %d", byName["layer"].Parent, byName["suite"].ID)
+	}
+	if byName["eval-batch"].Parent != byName["layer"].ID {
+		t.Errorf("eval-batch parent = %d, want layer id %d", byName["eval-batch"].Parent, byName["layer"].ID)
+	}
+	if byName["checkpoint:save"].Parent != byName["layer"].ID {
+		t.Errorf("event parent = %d, want layer id %d", byName["checkpoint:save"].Parent, byName["layer"].ID)
+	}
+	if byName["layer2"].Parent != byName["suite"].ID {
+		t.Errorf("sibling parent = %d, want suite id %d", byName["layer2"].Parent, byName["suite"].ID)
+	}
+	for _, s := range spans {
+		if s.Dur < 1 {
+			t.Errorf("span %s has dur %d, want >= 1", s.Name, s.Dur)
+		}
+	}
+}
+
+func TestRecorderRingOverflow(t *testing.T) {
+	rec := NewRecorder(4)
+	ctx := WithRecorder(context.Background(), rec)
+	for i := 0; i < 10; i++ {
+		Event(ctx, "e")
+	}
+	spans := rec.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(spans))
+	}
+	if rec.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", rec.Dropped())
+	}
+	// The ring keeps the most recent spans: IDs 7..10.
+	for _, s := range spans {
+		if s.ID <= 6 {
+			t.Errorf("old span id %d survived; ring should keep the newest", s.ID)
+		}
+	}
+}
+
+func TestWriteJSONIsValidChromeTrace(t *testing.T) {
+	rec := NewRecorder(8)
+	ctx := WithRecorder(context.Background(), rec)
+	ctx, root := StartSpan(ctx, "search:random")
+	Event(ctx, "eval-batch")
+	root.End()
+
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Args struct {
+				ID     uint64 `json:"id"`
+				Parent uint64 `json:"parent"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("dump is not valid JSON: %v", err)
+	}
+	if len(dump.TraceEvents) != 2 {
+		t.Fatalf("got %d events, want 2", len(dump.TraceEvents))
+	}
+	for _, e := range dump.TraceEvents {
+		if e.Ph != "X" {
+			t.Errorf("event %s phase %q, want X", e.Name, e.Ph)
+		}
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	rec := NewRecorder(64)
+	root := WithRecorder(context.Background(), rec)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 100; i++ {
+				_, s := StartSpan(root, "worker")
+				s.End()
+			}
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if got := int64(len(rec.Spans())) + rec.Dropped(); got != 800 {
+		t.Fatalf("recorded+dropped = %d, want 800", got)
+	}
+}

@@ -1,9 +1,11 @@
 package search
 
 import (
+	"context"
 	"testing"
 
 	"ruby/internal/arch"
+	"ruby/internal/engine"
 	"ruby/internal/mapspace"
 	"ruby/internal/nest"
 	"ruby/internal/workload"
@@ -29,7 +31,7 @@ func TestAnnealCompetitiveWithRandom(t *testing.T) {
 	if ann.Best == nil {
 		t.Fatal("anneal found nothing")
 	}
-	rnd := Random(sp, ev, Options{Seed: 2, Threads: 1, MaxEvaluations: ann.Evaluated})
+	rnd := Random(context.Background(), sp, engine.New(ev), Options{Seed: 2, Threads: 1, MaxEvaluations: ann.Evaluated})
 	if rnd.Best != nil && ann.BestCost.EDP > 2*rnd.BestCost.EDP {
 		t.Errorf("anneal EDP %g far worse than random %g", ann.BestCost.EDP, rnd.BestCost.EDP)
 	}
@@ -65,7 +67,7 @@ func TestAnnealOptionDefaults(t *testing.T) {
 
 func TestPortfolio(t *testing.T) {
 	sp, ev := toy(mapspace.RubyS)
-	res := Portfolio(sp, ev, Options{Seed: 1, Threads: 2, MaxEvaluations: 4000})
+	res := Portfolio(context.Background(), sp, engine.New(ev), Options{Seed: 1, Threads: 2, MaxEvaluations: 4000})
 	if res.Best == nil {
 		t.Fatal("portfolio found nothing")
 	}
@@ -79,7 +81,7 @@ func TestPortfolio(t *testing.T) {
 
 func TestPortfolioObjective(t *testing.T) {
 	sp, ev := toy(mapspace.Ruby)
-	res := Portfolio(sp, ev, Options{Seed: 2, Threads: 1, MaxEvaluations: 2000, Objective: ObjectiveDelay})
+	res := Portfolio(context.Background(), sp, engine.New(ev), Options{Seed: 2, Threads: 1, MaxEvaluations: 2000, Objective: ObjectiveDelay})
 	if res.Best == nil || res.BestCost.Cycles > 17 {
 		t.Errorf("delay portfolio: %+v", res.BestCost)
 	}

@@ -16,15 +16,15 @@ import (
 // exactly (the old implementation overshot by up to Threads and clamped).
 func TestRandomExactAccounting(t *testing.T) {
 	sp, ev := toy(mapspace.RubyS)
-	res := Random(sp, ev, Options{Seed: 1, Threads: 8, MaxEvaluations: 777})
+	res := Random(context.Background(), sp, engine.New(ev), Options{Seed: 1, Threads: 8, MaxEvaluations: 777})
 	if res.Evaluated != 777 {
 		t.Errorf("Evaluated = %d, want exactly 777", res.Evaluated)
 	}
 }
 
-// TestRandomCtxCancelStopsPromptly cancels a search that would otherwise run
+// TestRandomCancelStopsPromptly cancels a search that would otherwise run
 // a huge budget and requires it to return quickly with its best-so-far.
-func TestRandomCtxCancelStopsPromptly(t *testing.T) {
+func TestRandomCancelStopsPromptly(t *testing.T) {
 	sp, ev := toy(mapspace.RubyS)
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
@@ -32,7 +32,7 @@ func TestRandomCtxCancelStopsPromptly(t *testing.T) {
 		cancel()
 	}()
 	start := time.Now()
-	res := RandomCtx(ctx, sp, engine.New(ev), Options{
+	res := Random(ctx, sp, engine.New(ev), Options{
 		Seed: 1, Threads: 4,
 		MaxEvaluations:       1 << 40,
 		ConsecutiveNoImprove: 1 << 40,
@@ -48,17 +48,17 @@ func TestRandomCtxCancelStopsPromptly(t *testing.T) {
 	}
 }
 
-// TestRandomCtxCancelledKeepsWarmStart: even with an already-cancelled
+// TestRandomCancelledKeepsWarmStart: even with an already-cancelled
 // context the warm-start incumbent is returned, never lost.
-func TestRandomCtxCancelledKeepsWarmStart(t *testing.T) {
+func TestRandomCancelledKeepsWarmStart(t *testing.T) {
 	sp, ev := toy(mapspace.RubyS)
-	seed := Random(sp, ev, Options{Seed: 1, Threads: 2, MaxEvaluations: 500})
+	seed := Random(context.Background(), sp, engine.New(ev), Options{Seed: 1, Threads: 2, MaxEvaluations: 500})
 	if seed.Best == nil {
 		t.Fatal("seeding search found nothing")
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	res := RandomCtx(ctx, sp, engine.New(ev), Options{
+	res := Random(ctx, sp, engine.New(ev), Options{
 		Seed: 2, Threads: 2, MaxEvaluations: 1 << 40, ConsecutiveNoImprove: 1 << 40,
 		WarmStart: seed.Best,
 	})
@@ -87,7 +87,7 @@ func TestExhaustiveHonorsObjective(t *testing.T) {
 		t.Fatal("no valid mapping in toy space")
 	}
 
-	res := ExhaustiveCtx(context.Background(), sp, engine.New(ev), Options{Objective: ObjectiveEnergy}, 0)
+	res := Exhaustive(context.Background(), sp, engine.New(ev), Options{Objective: ObjectiveEnergy}, 0)
 	if res.Best == nil {
 		t.Fatal("no valid mapping found")
 	}
@@ -101,8 +101,8 @@ func TestExhaustiveHonorsObjective(t *testing.T) {
 // indistinguishable from a serial scan (same best, cost, counters, trace).
 func TestExhaustiveParallelMatchesSerial(t *testing.T) {
 	sp, ev := toy(mapspace.RubyS)
-	serial := ExhaustiveCtx(context.Background(), sp, engine.Config{Workers: 1}.New(ev), Options{}, 0)
-	parallel := ExhaustiveCtx(context.Background(), sp, engine.Config{Workers: 8}.New(ev), Options{}, 0)
+	serial := Exhaustive(context.Background(), sp, engine.Config{Workers: 1}.New(ev), Options{}, 0)
+	parallel := Exhaustive(context.Background(), sp, engine.Config{Workers: 8}.New(ev), Options{}, 0)
 	if serial.Evaluated != parallel.Evaluated || serial.Valid != parallel.Valid {
 		t.Errorf("counters differ: serial %d/%d parallel %d/%d",
 			serial.Valid, serial.Evaluated, parallel.Valid, parallel.Evaluated)
@@ -120,13 +120,13 @@ func TestExhaustiveParallelMatchesSerial(t *testing.T) {
 	}
 }
 
-// TestExhaustiveCtxCancelled: a cancelled context stops enumeration; the
+// TestExhaustiveCancelled: a cancelled context stops enumeration; the
 // result reports only the evaluations that actually ran.
-func TestExhaustiveCtxCancelled(t *testing.T) {
+func TestExhaustiveCancelled(t *testing.T) {
 	sp, ev := toy(mapspace.Ruby)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	res := ExhaustiveCtx(ctx, sp, engine.New(ev), Options{}, 0)
+	res := Exhaustive(ctx, sp, engine.New(ev), Options{}, 0)
 	if res.Evaluated != 0 {
 		t.Errorf("pre-cancelled exhaustive evaluated %d mappings", res.Evaluated)
 	}
@@ -139,43 +139,43 @@ func TestExhaustiveCtxCancelled(t *testing.T) {
 // to ignore MaxEvaluations entirely.
 func TestHillClimbHonorsMaxEvaluations(t *testing.T) {
 	sp, ev := toy(mapspace.RubyS)
-	res := HillClimb(sp, ev, Options{Seed: 1, MaxEvaluations: 100}, 50, 1<<30)
+	res := HillClimb(context.Background(), sp, engine.New(ev), Options{Seed: 1, MaxEvaluations: 100, Warmup: 50, Patience: 1 << 30})
 	if res.Evaluated > 100 {
 		t.Errorf("Evaluated = %d, want <= 100", res.Evaluated)
 	}
 }
 
-// TestHillClimbCtxCancelled: cancellation stops both warmup and climb.
-func TestHillClimbCtxCancelled(t *testing.T) {
+// TestHillClimbCancelled: cancellation stops both warmup and climb.
+func TestHillClimbCancelled(t *testing.T) {
 	sp, ev := toy(mapspace.RubyS)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	res := HillClimbCtx(ctx, sp, engine.New(ev), Options{Seed: 1}, 1000, 1<<30)
+	res := HillClimb(ctx, sp, engine.New(ev), Options{Seed: 1, Warmup: 1000, Patience: 1 << 30})
 	if res.Evaluated != 0 {
 		t.Errorf("pre-cancelled hill climb evaluated %d mappings", res.Evaluated)
 	}
 }
 
-// TestPortfolioCtxCancelled: a cancelled portfolio returns promptly.
-func TestPortfolioCtxCancelled(t *testing.T) {
+// TestPortfolioCancelled: a cancelled portfolio returns promptly.
+func TestPortfolioCancelled(t *testing.T) {
 	sp, ev := toy(mapspace.RubyS)
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	start := time.Now()
-	PortfolioCtx(ctx, sp, engine.New(ev), Options{Seed: 1, MaxEvaluations: 1 << 20})
+	Portfolio(ctx, sp, engine.New(ev), Options{Seed: 1, MaxEvaluations: 1 << 20})
 	if wall := time.Since(start); wall > 5*time.Second {
 		t.Fatalf("cancelled portfolio took %v", wall)
 	}
 }
 
-// TestRandomCtxCachedEngineSameResult: enabling the memo cache must not
+// TestRandomCachedEngineSameResult: enabling the memo cache must not
 // change the search outcome for a fixed seed — evaluation is deterministic,
 // so cached and fresh costs are identical.
-func TestRandomCtxCachedEngineSameResult(t *testing.T) {
+func TestRandomCachedEngineSameResult(t *testing.T) {
 	sp, ev := toy(mapspace.RubyS)
 	opt := Options{Seed: 7, Threads: 1, MaxEvaluations: 2000}
-	plain := RandomCtx(context.Background(), sp, engine.New(ev), opt)
-	cached := RandomCtx(context.Background(), sp, engine.Config{CacheEntries: 1 << 12}.New(ev), opt)
+	plain := Random(context.Background(), sp, engine.New(ev), opt)
+	cached := Random(context.Background(), sp, engine.Config{CacheEntries: 1 << 12}.New(ev), opt)
 	if !reflect.DeepEqual(plain.BestCost, cached.BestCost) {
 		t.Errorf("best cost differs with cache: %+v vs %+v", plain.BestCost, cached.BestCost)
 	}

@@ -1,9 +1,11 @@
 package search
 
 import (
+	"context"
 	"testing"
 
 	"ruby/internal/arch"
+	"ruby/internal/engine"
 	"ruby/internal/mapspace"
 	"ruby/internal/nest"
 	"ruby/internal/workload"
@@ -33,7 +35,7 @@ func TestGeneticCompetitiveWithRandom(t *testing.T) {
 	if gen.Best == nil {
 		t.Fatal("genetic found nothing")
 	}
-	rnd := Random(sp, ev, Options{Seed: 2, Threads: 1, MaxEvaluations: gen.Evaluated})
+	rnd := Random(context.Background(), sp, engine.New(ev), Options{Seed: 2, Threads: 1, MaxEvaluations: gen.Evaluated})
 	if rnd.Best == nil {
 		t.Fatal("random found nothing")
 	}

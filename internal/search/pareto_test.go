@@ -1,9 +1,11 @@
 package search
 
 import (
+	"context"
 	"testing"
 
 	"ruby/internal/arch"
+	"ruby/internal/engine"
 	"ruby/internal/mapspace"
 	"ruby/internal/nest"
 	"ruby/internal/workload"
@@ -36,7 +38,7 @@ func TestParetoFrontNonDominated(t *testing.T) {
 	}
 	// The frontier must bracket the single-objective optima found by a
 	// search of the same budget.
-	res := Random(sp, ev, Options{Seed: 1, Threads: 1, MaxEvaluations: 6000, Objective: ObjectiveDelay})
+	res := Random(context.Background(), sp, engine.New(ev), Options{Seed: 1, Threads: 1, MaxEvaluations: 6000, Objective: ObjectiveDelay})
 	if res.Best != nil && front[0].Cost.Cycles > res.BestCost.Cycles {
 		t.Errorf("frontier min cycles %g worse than delay search %g",
 			front[0].Cost.Cycles, res.BestCost.Cycles)

@@ -5,7 +5,7 @@ import (
 
 	"ruby/internal/engine"
 	"ruby/internal/mapspace"
-	"ruby/internal/nest"
+	"ruby/internal/obs"
 )
 
 // Portfolio runs the full searcher portfolio — random sampling, the genetic
@@ -13,19 +13,14 @@ import (
 // evaluation budget across them and returning the overall best. Different
 // strategies win on different mapspace shapes (random on dense toy spaces,
 // population methods on the sparse Ruby expansions), so the portfolio is a
-// robust default when the shape is unknown.
-//
-//ruby:ctxroot
-func Portfolio(sp *mapspace.Space, ev *nest.Evaluator, opt Options) *Result {
-	return PortfolioCtx(context.Background(), sp, engine.New(ev), opt)
-}
-
-// PortfolioCtx is Portfolio through the evaluation pipeline. Cancellation is
-// honored between and within the cancellable stages (random, hill climb);
-// the population stages (genetic, anneal) are skipped entirely once ctx is
-// done, so a cancelled portfolio still returns its best-so-far quickly.
-func PortfolioCtx(ctx context.Context, sp *mapspace.Space, eng *engine.Engine, opt Options) *Result {
+// robust default when the shape is unknown. Cancellation is honored between
+// and within the cancellable stages (random, hill climb); the population
+// stages (genetic, anneal) are skipped entirely once ctx is done, so a
+// cancelled portfolio still returns its best-so-far quickly.
+func Portfolio(ctx context.Context, sp *mapspace.Space, eng *engine.Engine, opt Options) *Result {
 	opt = opt.withDefaults()
+	ctx, span := obs.StartSpan(ctx, "search:portfolio")
+	defer span.End()
 	budget := opt.MaxEvaluations
 	if budget <= 0 {
 		budget = 40000
@@ -37,7 +32,7 @@ func PortfolioCtx(ctx context.Context, sp *mapspace.Space, eng *engine.Engine, o
 	randOpt := opt
 	randOpt.MaxEvaluations = share
 	randOpt.ConsecutiveNoImprove = 0
-	results = append(results, RandomCtx(ctx, sp, eng, randOpt))
+	results = append(results, Random(ctx, sp, eng, randOpt))
 
 	if ctx == nil || ctx.Err() == nil {
 		pop := 64
@@ -57,9 +52,10 @@ func PortfolioCtx(ctx context.Context, sp *mapspace.Space, eng *engine.Engine, o
 		}))
 	}
 
-	results = append(results, HillClimbCtx(ctx, sp, eng, Options{
+	results = append(results, HillClimb(ctx, sp, eng, Options{
 		Seed: opt.Seed + 3, Objective: opt.Objective,
-	}, warm, int(share)-warm))
+		Warmup: warm, Patience: int(share) - warm,
+	}))
 
 	best := &Result{}
 	for _, r := range results {

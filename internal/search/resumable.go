@@ -13,10 +13,11 @@ import (
 	"ruby/internal/mapping"
 	"ruby/internal/mapspace"
 	"ruby/internal/nest"
+	"ruby/internal/obs"
 )
 
 // Searcher is a stepwise, checkpointable search. Unlike the one-shot entry
-// points (RandomCtx and friends), a Searcher advances in bounded Steps
+// points (Random and friends), a Searcher advances in bounded Steps
 // between which its complete state can be captured (Snapshot) and later
 // re-established in a fresh process (Restore). The determinism contract is
 // strict and pinned by TestKillAndResume*: a search interrupted after any
@@ -39,8 +40,8 @@ type Searcher interface {
 	Restore(*checkpoint.SearchState) error
 }
 
-// ctxErr normalizes the nil-context convention shared with the Ctx entry
-// points.
+// ctxErr normalizes the nil-context convention shared with the one-shot
+// entry points.
 func ctxErr(ctx context.Context) error {
 	if ctx == nil {
 		return nil
@@ -134,7 +135,7 @@ type RandomSearcher struct {
 
 // NewRandom builds a resumable random search. opt.Threads is ignored —
 // parallelism comes from the engine's batch workers (Config.Workers) — but
-// the option defaults (termination criterion) apply as in RandomCtx.
+// the option defaults (termination criterion) apply as in Random.
 func NewRandom(sp *mapspace.Space, eng *engine.Engine, opt Options) *RandomSearcher {
 	opt = opt.withDefaults()
 	s := &RandomSearcher{
@@ -239,6 +240,9 @@ func (s *RandomSearcher) finish(met engine.Metrics) bool {
 	if !s.done {
 		s.done = true
 	}
+	if s.res.Best != nil {
+		met.BestObjective(s.opt.Objective.Value(&s.res.BestCost))
+	}
 	met.SearchDone(time.Since(s.start), s.res.Evaluated, s.res.Valid) //ruby:allow determinism -- wall time feeds Metrics.SearchDone only; never enters a snapshot
 	return true
 }
@@ -285,9 +289,6 @@ type HillClimbSearcher struct {
 	eng *engine.Engine
 	opt Options
 
-	warmup   int
-	patience int
-
 	rng *checkpoint.RNG
 	rnd *rand.Rand
 	wk  *engine.Worker
@@ -301,17 +302,17 @@ type HillClimbSearcher struct {
 	start      time.Time
 }
 
-// NewHillClimb builds a resumable hill-climb search with the given warm-up
-// sample count and patience.
-func NewHillClimb(sp *mapspace.Space, eng *engine.Engine, opt Options, warmup, patience int) *HillClimbSearcher {
+// NewHillClimb builds a resumable hill-climb search. The warm-up sample
+// count and patience come from opt.Warmup and opt.Patience (zero selects
+// the defaults), exactly as in the one-shot HillClimb.
+func NewHillClimb(sp *mapspace.Space, eng *engine.Engine, opt Options) *HillClimbSearcher {
 	opt = opt.withDefaults()
 	s := &HillClimbSearcher{
 		sp: sp, eng: eng, opt: opt,
-		warmup: warmup, patience: patience,
 		rng: checkpoint.NewRNG(opt.Seed),
 		wk:  eng.NewWorker(), smp: sp.NewSampler(),
 		m:   &mapping.Mapping{},
-		res: &Result{}, warmupLeft: warmup, start: time.Now(),
+		res: &Result{}, warmupLeft: opt.Warmup, start: time.Now(),
 	}
 	s.rnd = rand.New(s.rng)
 	return s
@@ -320,7 +321,7 @@ func NewHillClimb(sp *mapspace.Space, eng *engine.Engine, opt Options, warmup, p
 // Result returns the result so far.
 func (s *HillClimbSearcher) Result() *Result { return s.res }
 
-// budgetLeft mirrors HillClimbCtx's budget check (context handled by Step).
+// budgetLeft mirrors HillClimb's budget check (context handled by Step).
 func (s *HillClimbSearcher) budgetLeft() bool {
 	return s.opt.MaxEvaluations <= 0 || s.res.Evaluated < s.opt.MaxEvaluations
 }
@@ -355,7 +356,7 @@ func (s *HillClimbSearcher) Step(ctx context.Context) (bool, error) {
 			return s.finish(met), nil
 		case s.res.Best == nil: // warm-up found nothing valid to climb from
 			return s.finish(met), nil
-		case s.fails < s.patience && s.budgetLeft():
+		case s.fails < s.opt.Patience && s.budgetLeft():
 			cand := s.res.Best.Clone()
 			if s.rnd.Intn(4) == 0 {
 				li := s.rnd.Intn(len(cand.Perms))
@@ -387,6 +388,9 @@ func (s *HillClimbSearcher) Step(ctx context.Context) (bool, error) {
 
 func (s *HillClimbSearcher) finish(met engine.Metrics) bool {
 	s.done = true
+	if s.res.Best != nil {
+		met.BestObjective(s.opt.Objective.Value(&s.res.BestCost))
+	}
 	met.SearchDone(time.Since(s.start), s.res.Evaluated, s.res.Valid) //ruby:allow determinism -- wall time feeds Metrics.SearchDone only; never enters a snapshot
 	return true
 }
@@ -423,7 +427,7 @@ func (s *HillClimbSearcher) Restore(st *checkpoint.SearchState) error {
 // ExhaustiveSearcher is the checkpointable form of the exhaustive scan: the
 // deterministic enumeration is evaluated in parallel batches while
 // incumbents are selected serially in enumeration order (exactly as
-// ExhaustiveCtx does), and the enumerator's odometer position is part of the
+// Exhaustive does), and the enumerator's odometer position is part of the
 // snapshot, so a resumed scan continues where it stopped without re-scanning
 // the prefix.
 type ExhaustiveSearcher struct {
@@ -483,6 +487,9 @@ func (s *ExhaustiveSearcher) Step(ctx context.Context) (bool, error) {
 	}
 	if len(s.batch) == 0 {
 		s.done = true
+		if s.res.Best != nil {
+			met.BestObjective(s.opt.Objective.Value(&s.res.BestCost))
+		}
 		met.SearchDone(time.Since(s.start), s.res.Evaluated, s.res.Valid) //ruby:allow determinism -- wall time feeds Metrics.SearchDone only; never enters a snapshot
 		return true, nil
 	}
@@ -568,20 +575,22 @@ func (cc CheckpointConfig) interval() time.Duration {
 // so resuming a finished search is a no-op. This is the entry point behind
 // the CLI tools' -checkpoint/-resume flags and the server's job runner.
 func RunCheckpointed(ctx context.Context, s Searcher, cc CheckpointConfig) (*Result, error) {
+	ctx, span := obs.StartSpan(ctx, "search:checkpointed")
+	defer span.End()
 	last := time.Now()
 	for {
 		done, err := s.Step(ctx)
 		if err != nil {
-			if serr := saveSnapshot(s, cc); serr != nil {
+			if serr := saveSnapshot(ctx, s, cc); serr != nil {
 				return s.Result(), errors.Join(err, serr)
 			}
 			return s.Result(), err
 		}
 		if done {
-			return s.Result(), saveSnapshot(s, cc)
+			return s.Result(), saveSnapshot(ctx, s, cc)
 		}
 		if cc.Path != "" && time.Since(last) >= cc.interval() {
-			if err := saveSnapshot(s, cc); err != nil {
+			if err := saveSnapshot(ctx, s, cc); err != nil {
 				return s.Result(), err
 			}
 			last = time.Now()
@@ -589,7 +598,7 @@ func RunCheckpointed(ctx context.Context, s Searcher, cc CheckpointConfig) (*Res
 	}
 }
 
-func saveSnapshot(s Searcher, cc CheckpointConfig) error {
+func saveSnapshot(ctx context.Context, s Searcher, cc CheckpointConfig) error {
 	if cc.Path == "" {
 		return nil
 	}
@@ -597,14 +606,16 @@ func saveSnapshot(s Searcher, cc CheckpointConfig) error {
 	if err != nil {
 		return err
 	}
+	obs.Event(ctx, "checkpoint:save")
 	return checkpoint.Save(cc.Path, checkpoint.KindSearch, st)
 }
 
 // RestoreFromFile loads the checkpoint at path into s. It returns
 // (false, nil) when no file exists — callers treat that as a fresh start —
 // and an error when the file exists but cannot be restored (wrong algorithm,
-// wrong workload, corrupt contents).
-func RestoreFromFile(s Searcher, path string) (bool, error) {
+// wrong workload, corrupt contents). A successful restore is recorded as a
+// "checkpoint:resume" trace event when ctx carries an obs.Recorder.
+func RestoreFromFile(ctx context.Context, s Searcher, path string) (bool, error) {
 	var st checkpoint.SearchState
 	err := checkpoint.Load(path, checkpoint.KindSearch, &st)
 	if errors.Is(err, fs.ErrNotExist) {
@@ -616,5 +627,6 @@ func RestoreFromFile(s Searcher, path string) (bool, error) {
 	if err := s.Restore(&st); err != nil {
 		return false, err
 	}
+	obs.Event(ctx, "checkpoint:resume")
 	return true, nil
 }

@@ -24,7 +24,7 @@ func searcherVariants() map[string]newSearcherFn {
 			return NewRandom(sp, eng, Options{Seed: 11, MaxEvaluations: 3000, KeepTrace: true})
 		},
 		"hillclimb": func(sp *mapspace.Space, eng *engine.Engine) Searcher {
-			return NewHillClimb(sp, eng, Options{Seed: 11, MaxEvaluations: 2000}, 200, 150)
+			return NewHillClimb(sp, eng, Options{Seed: 11, MaxEvaluations: 2000, Warmup: 200, Patience: 150})
 		},
 		"exhaustive": func(sp *mapspace.Space, eng *engine.Engine) Searcher {
 			return NewExhaustive(sp, eng, Options{}, 0)
@@ -186,7 +186,7 @@ func TestRunCheckpointedResumeFromFile(t *testing.T) {
 	// "Process two": restore from the file and finish under RunCheckpointed.
 	sp2, eng2 := toyEngine(mapspace.RubyS, 4)
 	s2 := NewRandom(sp2, eng2, Options{Seed: 3, MaxEvaluations: 2000})
-	resumed, err := RestoreFromFile(s2, path)
+	resumed, err := RestoreFromFile(context.Background(), s2, path)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +202,7 @@ func TestRunCheckpointedResumeFromFile(t *testing.T) {
 	// The final snapshot is marked done: restoring it is a finished search.
 	sp3, eng3 := toyEngine(mapspace.RubyS, 4)
 	s3 := NewRandom(sp3, eng3, Options{Seed: 3, MaxEvaluations: 2000})
-	if resumed, err = RestoreFromFile(s3, path); err != nil || !resumed {
+	if resumed, err = RestoreFromFile(context.Background(), s3, path); err != nil || !resumed {
 		t.Fatalf("final snapshot restore: resumed=%v err=%v", resumed, err)
 	}
 	done, err := s3.Step(context.Background())
@@ -215,7 +215,7 @@ func TestRunCheckpointedResumeFromFile(t *testing.T) {
 func TestRestoreFromFileMissingIsFreshStart(t *testing.T) {
 	sp, eng := toyEngine(mapspace.RubyS, 1)
 	s := NewRandom(sp, eng, Options{Seed: 1})
-	resumed, err := RestoreFromFile(s, filepath.Join(t.TempDir(), "absent.json"))
+	resumed, err := RestoreFromFile(context.Background(), s, filepath.Join(t.TempDir(), "absent.json"))
 	if err != nil || resumed {
 		t.Fatalf("missing file: resumed=%v err=%v", resumed, err)
 	}
@@ -227,7 +227,7 @@ func TestRestoreRejectsWrongAlgo(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := NewHillClimb(sp, eng, Options{Seed: 1}, 10, 10).Restore(st); err == nil {
+	if err := NewHillClimb(sp, eng, Options{Seed: 1, Warmup: 10, Patience: 10}).Restore(st); err == nil {
 		t.Error("hill-climb accepted a random snapshot")
 	}
 	if err := NewExhaustive(sp, eng, Options{}, 0).Restore(st); err == nil {
@@ -239,7 +239,7 @@ func TestRestoreRejectsWrongAlgo(t *testing.T) {
 // Exhaustive entry point (same enumeration order, same incumbent).
 func TestResumableExhaustiveMatchesOneShot(t *testing.T) {
 	sp, ev := toy(mapspace.RubyS)
-	want := Exhaustive(sp, ev, 0)
+	want := Exhaustive(context.Background(), sp, engine.New(ev), Options{}, 0)
 
 	sp2, eng2 := toyEngine(mapspace.RubyS, 4)
 	got := runToCompletion(t, NewExhaustive(sp2, eng2, Options{}, 0))

@@ -5,11 +5,12 @@
 // orthogonal search strategy (the paper notes Ruby composes with improved
 // search techniques).
 //
-// Each searcher has two entry points: a legacy form taking a bare
-// nest.Evaluator (kept as a thin wrapper for existing callers) and a Ctx
-// form taking a context and an engine.Engine — the evaluation pipeline that
-// adds cancellation, memoization and metrics. Cancelling the context stops a
-// search promptly and returns the best result found so far.
+// Every searcher has one context-first entry point taking the evaluation
+// pipeline (engine.Engine — cancellation, memoization, metrics): pass
+// engine.New(ev) for a transparent pass-through and a nil or Background
+// context when cancellation is not needed. Cancelling the context stops a
+// search promptly and returns the best result found so far. Searches record
+// trace spans when the context carries an obs.Recorder.
 package search
 
 import (
@@ -24,9 +25,11 @@ import (
 	"ruby/internal/mapping"
 	"ruby/internal/mapspace"
 	"ruby/internal/nest"
+	"ruby/internal/obs"
 )
 
-// Options configures a random search.
+// Options configures a search. The zero value is a usable default for every
+// searcher; unset fields assume the documented defaults.
 type Options struct {
 	// Seed makes the search reproducible. Worker i uses Seed + i.
 	Seed int64
@@ -48,7 +51,19 @@ type Options struct {
 	// the constructive heuristic mapper); it is evaluated before sampling
 	// begins and counts as the incumbent if valid.
 	WarmStart *mapping.Mapping
+	// Warmup is the number of random samples seeding HillClimb's greedy
+	// phase (0 = default 1000; other searchers ignore it).
+	Warmup int
+	// Patience is the number of consecutive failed HillClimb proposals
+	// before the climb stops (0 = default 2000; other searchers ignore it).
+	Patience int
 }
+
+// Default hill-climb knobs applied when Options leaves them zero.
+const (
+	defaultWarmup   = 1000
+	defaultPatience = 2000
+)
 
 func (o Options) withDefaults() Options {
 	if o.Threads <= 0 {
@@ -59,6 +74,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ConsecutiveNoImprove <= 0 && o.MaxEvaluations <= 0 {
 		o.ConsecutiveNoImprove = 3000
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = defaultWarmup
+	}
+	if o.Patience <= 0 {
+		o.Patience = defaultPatience
 	}
 	return o
 }
@@ -93,6 +114,15 @@ func (r *Result) BestEDPAt(n int64) (float64, bool) {
 	return best, ok
 }
 
+// finishSearch reports the search-level metrics every one-shot searcher
+// shares: the final best objective (when one exists) and the wall time.
+func finishSearch(met engine.Metrics, opt Options, res *Result, start time.Time) {
+	if res.Best != nil {
+		met.BestObjective(opt.Objective.Value(&res.BestCost))
+	}
+	met.SearchDone(time.Since(start), res.Evaluated, res.Valid)
+}
+
 // shared is the cross-worker search state.
 type shared struct {
 	mu        sync.Mutex
@@ -105,22 +135,17 @@ type shared struct {
 	stop      atomic.Bool
 }
 
-// Random runs parallel random-sampling search and returns the best mapping
-// found. It mirrors Timeloop's Random-Sampling search: mapspace generation
-// proposes structurally valid mappings, the cost model filters invalid ones,
-// and the search stops after opt.ConsecutiveNoImprove consecutive valid
-// mappings without improvement (and/or opt.MaxEvaluations samples).
-//
-//ruby:ctxroot
-func Random(sp *mapspace.Space, ev *nest.Evaluator, opt Options) *Result {
-	return RandomCtx(context.Background(), sp, engine.New(ev), opt)
-}
-
-// RandomCtx is Random through the evaluation pipeline: evaluations route
-// through eng (cache + metrics), and cancelling ctx stops the search
+// Random runs parallel random-sampling search through the evaluation
+// pipeline and returns the best mapping found. It mirrors Timeloop's
+// Random-Sampling search: mapspace generation proposes structurally valid
+// mappings, the cost model filters invalid ones, and the search stops after
+// opt.ConsecutiveNoImprove consecutive valid mappings without improvement
+// (and/or opt.MaxEvaluations samples). Cancelling ctx stops the search
 // promptly, returning the best mapping found so far.
-func RandomCtx(ctx context.Context, sp *mapspace.Space, eng *engine.Engine, opt Options) *Result {
+func Random(ctx context.Context, sp *mapspace.Space, eng *engine.Engine, opt Options) *Result {
 	opt = opt.withDefaults()
+	ctx, span := obs.StartSpan(ctx, "search:random")
+	defer span.End()
 	st := &shared{}
 	met := eng.Metrics()
 	start := time.Now()
@@ -145,6 +170,10 @@ func RandomCtx(ctx context.Context, sp *mapspace.Space, eng *engine.Engine, opt 
 		wg.Add(1)
 		go func(seed int64) {
 			defer wg.Done()
+			// One span per worker lifetime, not per evaluation: the
+			// sample->evaluate loop below stays allocation-free.
+			_, wspan := obs.StartSpan(ctx, "search:worker")
+			defer wspan.End()
 			rng := rand.New(rand.NewSource(seed))
 			// Worker-owned evaluation state: one scratch, one sampler and one
 			// mapping reused across iterations, so the sample->evaluate loop
@@ -194,16 +223,8 @@ func RandomCtx(ctx context.Context, sp *mapspace.Space, eng *engine.Engine, opt 
 
 	res := &Result{Best: st.best, BestCost: st.bestCost, Valid: st.valid, Trace: st.trace}
 	res.Evaluated = st.evaluated.Load()
-	met.SearchDone(time.Since(start), res.Evaluated, res.Valid)
+	finishSearch(met, opt, res, start)
 	return res
-}
-
-// Exhaustive evaluates every mapping in the tiling mapspace (with canonical
-// loop orders), up to maxMappings (0 = all). Only feasible for toy problems.
-//
-//ruby:ctxroot
-func Exhaustive(sp *mapspace.Space, ev *nest.Evaluator, maxMappings int64) *Result {
-	return ExhaustiveCtx(context.Background(), sp, engine.New(ev), Options{}, maxMappings)
 }
 
 // exhaustiveBatch is the number of enumerated mappings evaluated per
@@ -211,12 +232,15 @@ func Exhaustive(sp *mapspace.Space, ev *nest.Evaluator, maxMappings int64) *Resu
 // cancellation and the maxMappings cap stay responsive.
 const exhaustiveBatch = 256
 
-// ExhaustiveCtx enumerates the tiling mapspace in deterministic order,
-// evaluating batches in parallel through eng and minimizing opt.Objective
-// (Exhaustive previously hardcoded EDP, inconsistent with the other
-// searchers). Results are identical to a serial scan: batches preserve
+// Exhaustive enumerates the tiling mapspace in deterministic order (with
+// canonical loop orders), up to maxMappings (0 = all; only feasible for toy
+// problems), evaluating batches in parallel through eng and minimizing
+// opt.Objective. Results are identical to a serial scan: batches preserve
 // enumeration order and the incumbent only changes on strict improvement.
-func ExhaustiveCtx(ctx context.Context, sp *mapspace.Space, eng *engine.Engine, opt Options, maxMappings int64) *Result {
+// Cancelling ctx stops the scan, returning the best mapping found so far.
+func Exhaustive(ctx context.Context, sp *mapspace.Space, eng *engine.Engine, opt Options, maxMappings int64) *Result {
+	ctx, span := obs.StartSpan(ctx, "search:exhaustive")
+	defer span.End()
 	res := &Result{}
 	met := eng.Metrics()
 	start := time.Now()
@@ -263,27 +287,20 @@ func ExhaustiveCtx(ctx context.Context, sp *mapspace.Space, eng *engine.Engine, 
 		return true
 	})
 	flush()
-	met.SearchDone(time.Since(start), res.Evaluated, res.Valid)
+	finishSearch(met, opt, res, start)
 	return res
 }
 
-// HillClimb seeds a greedy local search with the best of warmup random
+// HillClimb seeds a greedy local search with the best of opt.Warmup random
 // samples, then repeatedly mutates one dimension's tiling chain or one
-// level's loop order, accepting strict improvements, until patience
-// consecutive proposals fail (or opt.MaxEvaluations is exhausted).
-// It demonstrates that Ruby-style mapspaces compose with search strategies
-// beyond random sampling.
-//
-//ruby:ctxroot
-func HillClimb(sp *mapspace.Space, ev *nest.Evaluator, opt Options, warmup, patience int) *Result {
-	return HillClimbCtx(context.Background(), sp, engine.New(ev), opt, warmup, patience)
-}
-
-// HillClimbCtx is HillClimb through the evaluation pipeline, honoring both
-// ctx cancellation and opt.MaxEvaluations (previously ignored): the climb
-// stops as soon as either budget is exhausted, returning the incumbent.
-func HillClimbCtx(ctx context.Context, sp *mapspace.Space, eng *engine.Engine, opt Options, warmup, patience int) *Result {
+// level's loop order, accepting strict improvements, until opt.Patience
+// consecutive proposals fail (or opt.MaxEvaluations is exhausted, or ctx is
+// cancelled). It demonstrates that Ruby-style mapspaces compose with search
+// strategies beyond random sampling.
+func HillClimb(ctx context.Context, sp *mapspace.Space, eng *engine.Engine, opt Options) *Result {
 	opt = opt.withDefaults()
+	_, span := obs.StartSpan(ctx, "search:hillclimb")
+	defer span.End()
 	rng := rand.New(rand.NewSource(opt.Seed))
 	res := &Result{}
 	met := eng.Metrics()
@@ -298,7 +315,7 @@ func HillClimbCtx(ctx context.Context, sp *mapspace.Space, eng *engine.Engine, o
 	wk := eng.NewWorker()
 	smp := sp.NewSampler()
 	m := &mapping.Mapping{}
-	for i := 0; i < warmup && budgetLeft(); i++ {
+	for i := 0; i < opt.Warmup && budgetLeft(); i++ {
 		res.Evaluated++
 		smp.SampleInto(rng, m)
 		c := wk.Evaluate(m)
@@ -312,13 +329,13 @@ func HillClimbCtx(ctx context.Context, sp *mapspace.Space, eng *engine.Engine, o
 		}
 	}
 	if res.Best == nil {
-		met.SearchDone(time.Since(start), res.Evaluated, res.Valid)
+		finishSearch(met, opt, res, start)
 		return res
 	}
 
 	dims := sp.Work.DimNames()
 	fails := 0
-	for fails < patience && budgetLeft() {
+	for fails < opt.Patience && budgetLeft() {
 		cand := res.Best.Clone()
 		if rng.Intn(4) == 0 {
 			li := rng.Intn(len(cand.Perms))
@@ -341,6 +358,6 @@ func HillClimbCtx(ctx context.Context, sp *mapspace.Space, eng *engine.Engine, o
 		}
 		fails++
 	}
-	met.SearchDone(time.Since(start), res.Evaluated, res.Valid)
+	finishSearch(met, opt, res, start)
 	return res
 }

@@ -1,9 +1,11 @@
 package search
 
 import (
+	"context"
 	"testing"
 
 	"ruby/internal/arch"
+	"ruby/internal/engine"
 	"ruby/internal/mapping"
 	"ruby/internal/mapspace"
 	"ruby/internal/nest"
@@ -19,7 +21,7 @@ func toy(kind mapspace.Kind) (*mapspace.Space, *nest.Evaluator) {
 
 func TestExhaustivePFMFindsOptimum(t *testing.T) {
 	sp, ev := toy(mapspace.PFM)
-	res := Exhaustive(sp, ev, 0)
+	res := Exhaustive(context.Background(), sp, engine.New(ev), Options{}, 0)
 	if res.Best == nil {
 		t.Fatal("no valid mapping")
 	}
@@ -36,8 +38,8 @@ func TestExhaustivePFMFindsOptimum(t *testing.T) {
 func TestExhaustiveRubySBeatsPFM(t *testing.T) {
 	pfmSp, ev := toy(mapspace.PFM)
 	rsSp, _ := toy(mapspace.RubyS)
-	pfm := Exhaustive(pfmSp, ev, 0)
-	rs := Exhaustive(rsSp, ev, 0)
+	pfm := Exhaustive(context.Background(), pfmSp, engine.New(ev), Options{}, 0)
+	rs := Exhaustive(context.Background(), rsSp, engine.New(ev), Options{}, 0)
 	if rs.BestCost.Cycles != 17 {
 		t.Errorf("best Ruby-S cycles = %f, want 17 (the Fig. 5 mapping)", rs.BestCost.Cycles)
 	}
@@ -48,7 +50,7 @@ func TestExhaustiveRubySBeatsPFM(t *testing.T) {
 
 func TestExhaustiveCap(t *testing.T) {
 	sp, ev := toy(mapspace.Ruby)
-	res := Exhaustive(sp, ev, 50)
+	res := Exhaustive(context.Background(), sp, engine.New(ev), Options{}, 50)
 	if res.Evaluated != 50 {
 		t.Errorf("evaluated %d, want 50", res.Evaluated)
 	}
@@ -56,7 +58,7 @@ func TestExhaustiveCap(t *testing.T) {
 
 func TestRandomConvergesOnToy(t *testing.T) {
 	sp, ev := toy(mapspace.RubyS)
-	res := Random(sp, ev, Options{Seed: 1, Threads: 4, MaxEvaluations: 4000, KeepTrace: true})
+	res := Random(context.Background(), sp, engine.New(ev), Options{Seed: 1, Threads: 4, MaxEvaluations: 4000, KeepTrace: true})
 	if res.Best == nil {
 		t.Fatal("no valid mapping found")
 	}
@@ -79,7 +81,7 @@ func TestRandomConvergesOnToy(t *testing.T) {
 
 func TestRandomTerminationByNoImprove(t *testing.T) {
 	sp, ev := toy(mapspace.PFM)
-	res := Random(sp, ev, Options{Seed: 2, Threads: 2, ConsecutiveNoImprove: 200})
+	res := Random(context.Background(), sp, engine.New(ev), Options{Seed: 2, Threads: 2, ConsecutiveNoImprove: 200})
 	if res.Best == nil {
 		t.Fatal("no valid mapping")
 	}
@@ -92,8 +94,8 @@ func TestRandomTerminationByNoImprove(t *testing.T) {
 
 func TestRandomDeterministicSingleThread(t *testing.T) {
 	sp, ev := toy(mapspace.Ruby)
-	a := Random(sp, ev, Options{Seed: 7, Threads: 1, MaxEvaluations: 500})
-	b := Random(sp, ev, Options{Seed: 7, Threads: 1, MaxEvaluations: 500})
+	a := Random(context.Background(), sp, engine.New(ev), Options{Seed: 7, Threads: 1, MaxEvaluations: 500})
+	b := Random(context.Background(), sp, engine.New(ev), Options{Seed: 7, Threads: 1, MaxEvaluations: 500})
 	if a.BestCost.EDP != b.BestCost.EDP || a.Valid != b.Valid {
 		t.Errorf("same seed diverged: %g/%d vs %g/%d",
 			a.BestCost.EDP, a.Valid, b.BestCost.EDP, b.Valid)
@@ -121,7 +123,7 @@ func TestHillClimbImprovesOrMatchesWarmup(t *testing.T) {
 	a := arch.ToyGLB(16, 2048)
 	sp := mapspace.New(w, a, mapspace.RubyS, mapspace.Constraints{})
 	ev := nest.MustEvaluator(w, a)
-	res := HillClimb(sp, ev, Options{Seed: 3}, 200, 300)
+	res := HillClimb(context.Background(), sp, engine.New(ev), Options{Seed: 3, Warmup: 200, Patience: 300})
 	if res.Best == nil {
 		t.Fatal("no valid mapping")
 	}
@@ -129,7 +131,7 @@ func TestHillClimbImprovesOrMatchesWarmup(t *testing.T) {
 	if len(res.Trace) > 0 && res.BestCost.EDP > res.Trace[0].Value {
 		t.Error("hill climb regressed")
 	}
-	random := Random(sp, ev, Options{Seed: 3, Threads: 1, MaxEvaluations: res.Evaluated})
+	random := Random(context.Background(), sp, engine.New(ev), Options{Seed: 3, Threads: 1, MaxEvaluations: res.Evaluated})
 	// Not strictly guaranteed, but with equal budgets local search should be
 	// within 2x of pure random (catches gross mutation bugs).
 	if random.Best != nil && res.BestCost.EDP > 2*random.BestCost.EDP {
@@ -144,7 +146,7 @@ func TestHillClimbNoValidWarmup(t *testing.T) {
 	a := arch.ToyGLB(7, 1)
 	sp := mapspace.New(w, a, mapspace.Ruby, mapspace.Constraints{FixedPerms: true})
 	ev := nest.MustEvaluator(w, a)
-	res := HillClimb(sp, ev, Options{Seed: 4}, 50, 10)
+	res := HillClimb(context.Background(), sp, engine.New(ev), Options{Seed: 4, Warmup: 50, Patience: 10})
 	if res.Best != nil {
 		// Capacity 1 word cannot hold an input and an output tile.
 		t.Errorf("unexpected valid mapping: %+v", res.BestCost)
@@ -179,14 +181,14 @@ func TestObjectiveDelayFindsFasterMapping(t *testing.T) {
 	// On the toy problem the minimum-delay Ruby-S mapping is the 17-cycle
 	// one regardless of energy.
 	sp, ev := toy(mapspace.RubyS)
-	res := Random(sp, ev, Options{Seed: 5, Threads: 2, MaxEvaluations: 4000, Objective: ObjectiveDelay})
+	res := Random(context.Background(), sp, engine.New(ev), Options{Seed: 5, Threads: 2, MaxEvaluations: 4000, Objective: ObjectiveDelay})
 	if res.Best == nil || res.BestCost.Cycles != 17 {
 		t.Fatalf("delay objective found %f cycles", res.BestCost.Cycles)
 	}
 	// Energy objective prefers mappings minimizing DRAM traffic; on this
 	// toy every valid mapping moves the same words, so it just must find
 	// something valid with minimal energy <= the delay-optimal one's.
-	resE := Random(sp, ev, Options{Seed: 5, Threads: 2, MaxEvaluations: 4000, Objective: ObjectiveEnergy})
+	resE := Random(context.Background(), sp, engine.New(ev), Options{Seed: 5, Threads: 2, MaxEvaluations: 4000, Objective: ObjectiveEnergy})
 	if resE.Best == nil {
 		t.Fatal("energy objective found nothing")
 	}
@@ -202,7 +204,7 @@ func TestWarmStart(t *testing.T) {
 	// budget... budget must be >= 1, so allow a few samples and verify the
 	// incumbent survives.
 	warm := mappingFor17(t)
-	res := Random(sp, ev, Options{Seed: 9, Threads: 1, MaxEvaluations: 10, WarmStart: warm, KeepTrace: true})
+	res := Random(context.Background(), sp, engine.New(ev), Options{Seed: 9, Threads: 1, MaxEvaluations: 10, WarmStart: warm, KeepTrace: true})
 	if res.Best == nil || res.BestCost.Cycles != 17 {
 		t.Fatalf("warm start lost: %+v", res.BestCost)
 	}

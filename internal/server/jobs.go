@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -15,6 +16,7 @@ import (
 
 	"ruby/internal/checkpoint"
 	"ruby/internal/engine"
+	"ruby/internal/obs"
 	"ruby/internal/search"
 )
 
@@ -35,6 +37,13 @@ type Options struct {
 	// interrupted ones resume automatically. Empty keeps jobs in memory
 	// only.
 	StateDir string
+	// SlowEval and SlowSearch, when positive, emit structured warning logs
+	// (log/slog) for sampled evaluations and completed searches slower than
+	// the threshold. Zero disables the respective log.
+	SlowEval   time.Duration
+	SlowSearch time.Duration
+	// Log receives the slow-event records (nil = slog.Default()).
+	Log *slog.Logger
 }
 
 // Service is the mapper service with lifecycle control: the http.Handler
@@ -51,12 +60,22 @@ type Service struct {
 // records are loaded back: finished jobs become listable again and
 // interrupted ones are restarted from their search checkpoints.
 func NewService(opts Options) (*Service, error) {
-	s := &service{counters: &engine.Counters{}}
+	ins := engine.NewInstruments()
+	if opts.SlowEval > 0 || opts.SlowSearch > 0 {
+		ins.Slow = &obs.SlowLog{
+			Logger:          opts.Log,
+			EvalThreshold:   opts.SlowEval,
+			SearchThreshold: opts.SlowSearch,
+		}
+	}
+	s := &service{ins: ins, reg: obs.NewRegistry()}
+	ins.Register(s.reg)
 	jm, err := newJobManager(opts.StateDir, s)
 	if err != nil {
 		return nil, err
 	}
 	s.jobs = jm
+	s.reg.GaugeVec("ruby_jobs", "Number of search jobs by status.", "status", jm.statusSamples)
 	srv := &Service{handler: s.mux(), svc: s, jobs: jm}
 	jm.resumeLoaded()
 	return srv, nil
@@ -66,7 +85,11 @@ func NewService(opts Options) (*Service, error) {
 func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
 // Counters exposes the pipeline counters reported at /v1/metrics.
-func (s *Service) Counters() *engine.Counters { return s.svc.counters }
+func (s *Service) Counters() *engine.Counters { return s.svc.ins.Counters }
+
+// Registry exposes the Prometheus-text metric registry behind /v1/metrics,
+// so embedders can add their own gauges to the same exposition.
+func (s *Service) Registry() *obs.Registry { return s.svc.reg }
 
 // Shutdown drains the job workers: running searches are cancelled, their
 // final checkpoints written, and their records marked interrupted, so a
@@ -244,7 +267,7 @@ func (jm *jobManager) run(id string) {
 	}
 
 	sr := search.NewRandom(sp, jm.svc.engineFor(ev), opt)
-	if _, err := search.RestoreFromFile(sr, jm.searchPath(id)); err != nil {
+	if _, err := search.RestoreFromFile(jm.baseCtx, sr, jm.searchPath(id)); err != nil {
 		finish(JobFailed, nil, err)
 		return
 	}
@@ -304,6 +327,22 @@ func (jm *jobManager) list() []*jobRecord {
 	return out
 }
 
+// statusSamples reports the job count per status for the metrics exposition.
+// All four statuses are always present, so scrape series stay continuous.
+func (jm *jobManager) statusSamples() []obs.Sample {
+	counts := map[string]int{JobRunning: 0, JobInterrupted: 0, JobDone: 0, JobFailed: 0}
+	jm.mu.Lock()
+	for _, rec := range jm.jobs {
+		counts[rec.Status]++
+	}
+	jm.mu.Unlock()
+	out := make([]obs.Sample, 0, len(counts))
+	for status, n := range counts {
+		out = append(out, obs.Sample{LabelValue: status, Value: float64(n)})
+	}
+	return out
+}
+
 // get returns a copy of one record.
 func (jm *jobManager) get(id string) (*jobRecord, bool) {
 	jm.mu.Lock()
@@ -319,21 +358,21 @@ func (jm *jobManager) get(id string) (*jobRecord, bool) {
 func (s *service) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	var req searchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, CodeInvalidRequest, err)
 		return
 	}
 	// Fail malformed problems fast, before accepting the job.
 	if _, _, err := req.resolve(); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, CodeInvalidRequest, err)
 		return
 	}
 	if _, err := parseObjective(req.Objective); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, CodeInvalidRequest, err)
 		return
 	}
 	rec, err := s.jobs.submit(req)
 	if err != nil {
-		writeErr(w, http.StatusServiceUnavailable, err)
+		writeErr(w, CodeUnavailable, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]string{"id": rec.ID, "status": rec.Status})
@@ -346,7 +385,7 @@ func (s *service) handleJobList(w http.ResponseWriter, _ *http.Request) {
 func (s *service) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	rec, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
+		writeErr(w, CodeNotFound, fmt.Errorf("unknown job %q", r.PathValue("id")))
 		return
 	}
 	writeJSON(w, http.StatusOK, rec)

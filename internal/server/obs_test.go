@@ -1,0 +1,152 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ruby/internal/obs"
+)
+
+// envelope extracts the uniform failure envelope from a decoded response and
+// fails the test if its shape deviates from {"error": {"code", "message"}}.
+func envelope(t *testing.T, out map[string]any) (code, message string) {
+	t.Helper()
+	e, ok := out["error"].(map[string]any)
+	if !ok {
+		t.Fatalf("missing error envelope in %v", out)
+	}
+	code, ok = e["code"].(string)
+	if !ok || code == "" {
+		t.Fatalf("envelope has no code: %v", e)
+	}
+	message, ok = e["message"].(string)
+	if !ok || message == "" {
+		t.Fatalf("envelope has no message: %v", e)
+	}
+	return code, message
+}
+
+// TestErrorEnvelopePerRoute drives every v1 route into a failure and checks
+// the envelope shape, the machine-readable code, and the HTTP status the
+// code pins (docs/API.md documents the mapping).
+func TestErrorEnvelopePerRoute(t *testing.T) {
+	h := New()
+	unsat := `{
+	  "workload": {"name": "d", "type": "vector1d", "d": 7},
+	  "arch": {"name": "tiny", "levels": [
+	    {"name": "DRAM"},
+	    {"name": "GLB", "capacity_words": 1, "fanout": {"x": 2}}
+	  ]},
+	  "max_evaluations": 300
+	}`
+	cases := []struct {
+		name, method, path, body string
+		wantStatus               int
+		wantCode                 string
+	}{
+		{"search bad JSON", "POST", "/v1/search", `{`, 400, CodeInvalidRequest},
+		{"search missing arch", "POST", "/v1/search", `{"workload": ` + toyWorkloadJSON + `}`, 400, CodeInvalidRequest},
+		{"search unknown mapspace", "POST", "/v1/search",
+			`{"workload": ` + toyWorkloadJSON + `, "arch": ` + toyArchJSON + `, "mapspace": "zigzag"}`, 400, CodeInvalidRequest},
+		{"search unsatisfiable", "POST", "/v1/search", unsat, 422, CodeNoValidMapping},
+		{"evaluate missing mapping", "POST", "/v1/evaluate",
+			`{"workload": ` + toyWorkloadJSON + `, "arch": ` + toyArchJSON + `}`, 400, CodeInvalidRequest},
+		{"construct missing workload", "POST", "/v1/construct", `{"arch": ` + toyArchJSON + `}`, 400, CodeInvalidRequest},
+		{"jobs bad JSON", "POST", "/v1/jobs", `{`, 400, CodeInvalidRequest},
+		{"job unknown id", "GET", "/v1/jobs/nope", "", 404, CodeNotFound},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rec, out := do(t, h, c.method, c.path, c.body)
+			if rec.Code != c.wantStatus {
+				t.Fatalf("status %d, want %d (%v)", rec.Code, c.wantStatus, out)
+			}
+			if code, _ := envelope(t, out); code != c.wantCode {
+				t.Errorf("code %q, want %q", code, c.wantCode)
+			}
+		})
+	}
+}
+
+// TestCodeStatusMap pins the documented code <-> status mapping.
+func TestCodeStatusMap(t *testing.T) {
+	want := map[string]int{
+		CodeInvalidRequest: http.StatusBadRequest,
+		CodeNotFound:       http.StatusNotFound,
+		CodeNoValidMapping: http.StatusUnprocessableEntity,
+		CodeSearchTimeout:  http.StatusGatewayTimeout,
+		CodeUnavailable:    http.StatusServiceUnavailable,
+		CodeInternal:       http.StatusInternalServerError,
+	}
+	for code, status := range want {
+		if got := codeStatus(code); got != status {
+			t.Errorf("codeStatus(%q) = %d, want %d", code, got, status)
+		}
+	}
+	if got := codeStatus("never-seen"); got != http.StatusInternalServerError {
+		t.Errorf("unknown code maps to %d, want 500", got)
+	}
+}
+
+// TestMetricsPrometheusNegotiation checks that /v1/metrics serves the
+// Prometheus text exposition when the client asks for text/plain, and the
+// legacy JSON snapshot otherwise.
+func TestMetricsPrometheusNegotiation(t *testing.T) {
+	h := New()
+	do(t, h, "POST", "/v1/search", `{
+	  "workload": `+toyWorkloadJSON+`,
+	  "arch": `+toyArchJSON+`,
+	  "seed": 1, "threads": 2, "max_evaluations": 2000
+	}`)
+
+	req := httptest.NewRequest("GET", "/v1/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != obs.TextContentType {
+		t.Errorf("Content-Type = %q, want %q", ct, obs.TextContentType)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE ruby_evaluations_total counter",
+		"ruby_evaluations_total",
+		"ruby_eval_latency_seconds_bucket",
+		`ruby_eval_latency_seconds_bucket{le="+Inf"}`,
+		"ruby_eval_latency_seconds_count",
+		`ruby_jobs{status="running"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("text exposition missing %q\n%s", want, body)
+		}
+	}
+
+	// Without the Accept header the JSON counter snapshot is unchanged.
+	rec2, out := do(t, h, "GET", "/v1/metrics", "")
+	if ct := rec2.Header().Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Errorf("JSON Content-Type = %q", ct)
+	}
+	if out["evaluations"].(float64) < 2000 {
+		t.Errorf("evaluations = %v, want >= 2000", out["evaluations"])
+	}
+}
+
+// TestJobsGaugeAllStatuses checks the ruby_jobs gauge always exports every
+// status label (zero-filled) so scrapes see a continuous series.
+func TestJobsGaugeAllStatuses(t *testing.T) {
+	h := New()
+	req := httptest.NewRequest("GET", "/v1/metrics", nil)
+	req.Header.Set("Accept", "text/plain")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	body := rec.Body.String()
+	for _, status := range []string{"running", "done", "failed", "interrupted"} {
+		if !strings.Contains(body, `ruby_jobs{status="`+status+`"}`) {
+			t.Errorf("ruby_jobs missing status %q\n%s", status, body)
+		}
+	}
+}

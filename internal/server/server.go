@@ -6,7 +6,8 @@
 //
 //	GET  /v1/suites       -> {"suites": {"resnet50": 22, ...}}
 //	GET  /v1/experiments  -> {"experiments": [...], "extensions": [...]}
-//	GET  /v1/metrics      -> evaluation-pipeline counters (see engine.Snapshot)
+//	GET  /v1/metrics      -> pipeline counters as JSON, or Prometheus text
+//	                         exposition when the request Accepts text/plain
 //	POST /v1/evaluate     -> evaluate one explicit mapping
 //	POST /v1/search       -> random-search a mapspace (synchronous)
 //	POST /v1/construct    -> one-shot heuristic mapping
@@ -26,6 +27,10 @@
 // searchers replay the exact draw sequence, so the completed result is
 // identical to an uninterrupted run). Service.Shutdown drains workers and
 // parks running jobs as "interrupted".
+//
+// Every failure response shares one envelope, {"error": {"code": "...",
+// "message": "..."}}, where the code fixes the HTTP status (see codeStatus);
+// docs/API.md documents the code table.
 package server
 
 import (
@@ -43,6 +48,7 @@ import (
 	"ruby/internal/mapping"
 	"ruby/internal/mapspace"
 	"ruby/internal/nest"
+	"ruby/internal/obs"
 	"ruby/internal/search"
 	"ruby/internal/workloads"
 )
@@ -54,15 +60,17 @@ import (
 const searchCacheEntries = 1 << 15
 
 // service carries the handlers' shared state: the engine configuration
-// template, the process-wide pipeline counters, and the async job manager.
+// template, the process-wide pipeline instruments and their exposition
+// registry, and the async job manager.
 type service struct {
-	counters *engine.Counters
-	jobs     *jobManager
+	ins  *engine.Instruments
+	reg  *obs.Registry
+	jobs *jobManager
 }
 
 // engineFor builds the per-request evaluation pipeline.
 func (s *service) engineFor(ev *nest.Evaluator) *engine.Engine {
-	return engine.Config{CacheEntries: searchCacheEntries, Metrics: s.counters}.New(ev)
+	return engine.Config{CacheEntries: searchCacheEntries, Metrics: s.ins}.New(ev)
 }
 
 // mux wires the endpoint handlers.
@@ -99,9 +107,54 @@ func NewWithMetrics() (http.Handler, *engine.Counters) {
 	return srv, srv.Counters()
 }
 
-// problem is the error payload.
+// Error codes of the uniform failure envelope. Each code pins its HTTP
+// status (codeStatus); clients are expected to switch on the code, not the
+// status line.
+const (
+	// CodeInvalidRequest (400): the request body, mapping or parameters
+	// cannot be parsed or are missing required fields.
+	CodeInvalidRequest = "invalid_request"
+	// CodeNotFound (404): the referenced resource (job ID) does not exist.
+	CodeNotFound = "not_found"
+	// CodeNoValidMapping (422): the problem was well-formed, but no valid
+	// mapping exists or was found within the search budget.
+	CodeNoValidMapping = "no_valid_mapping"
+	// CodeSearchTimeout (504): the search's time bound expired before any
+	// valid mapping was found.
+	CodeSearchTimeout = "search_timeout"
+	// CodeUnavailable (503): the service cannot accept work (shutting down).
+	CodeUnavailable = "unavailable"
+	// CodeInternal (500): unexpected server-side failure.
+	CodeInternal = "internal"
+)
+
+// codeStatus maps an error code to its HTTP status.
+func codeStatus(code string) int {
+	switch code {
+	case CodeInvalidRequest:
+		return http.StatusBadRequest
+	case CodeNotFound:
+		return http.StatusNotFound
+	case CodeNoValidMapping:
+		return http.StatusUnprocessableEntity
+	case CodeSearchTimeout:
+		return http.StatusGatewayTimeout
+	case CodeUnavailable:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// apiError is the body of the "error" envelope field.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// problem is the uniform failure payload of every /v1 endpoint.
 type problem struct {
-	Error string `json:"error"`
+	Error apiError `json:"error"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -110,8 +163,8 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, problem{Error: err.Error()})
+func writeErr(w http.ResponseWriter, code string, err error) {
+	writeJSON(w, codeStatus(code), problem{Error: apiError{Code: code, Message: err.Error()}})
 }
 
 func handleSuites(w http.ResponseWriter, _ *http.Request) {
@@ -129,8 +182,17 @@ func handleExperiments(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-func (s *service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.counters.Snapshot())
+// handleMetrics reports the pipeline metrics. The default is the legacy JSON
+// counter snapshot; a request whose Accept header names text/plain gets the
+// Prometheus text exposition (counters, latency/EDP histograms, job gauges)
+// instead, so the same endpoint serves both scripts and a Prometheus scraper.
+func (s *service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if strings.Contains(r.Header.Get("Accept"), "text/plain") {
+		w.Header().Set("Content-Type", obs.TextContentType)
+		_ = s.reg.WriteText(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.ins.Counters.Snapshot())
 }
 
 // problemSpec is the common workload+architecture request fragment.
@@ -215,21 +277,21 @@ type evaluateRequest struct {
 func (s *service) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	var req evaluateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, CodeInvalidRequest, err)
 		return
 	}
 	ev, sp, err := req.resolve()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, CodeInvalidRequest, err)
 		return
 	}
 	if len(req.Mapping) == 0 {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("mapping is required"))
+		writeErr(w, CodeInvalidRequest, fmt.Errorf("mapping is required"))
 		return
 	}
 	m, err := mapping.Decode(req.Mapping, ev.Work, sp.Slots())
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, CodeInvalidRequest, err)
 		return
 	}
 	c := s.engineFor(ev).Evaluate(m)
@@ -258,17 +320,17 @@ type searchResponse struct {
 func (s *service) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var req searchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, CodeInvalidRequest, err)
 		return
 	}
 	ev, sp, err := req.resolve()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, CodeInvalidRequest, err)
 		return
 	}
 	obj, err := parseObjective(req.Objective)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, CodeInvalidRequest, err)
 		return
 	}
 	opt := search.Options{
@@ -291,13 +353,13 @@ func (s *service) handleSearch(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	res := search.RandomCtx(ctx, sp, s.engineFor(ev), opt)
+	res := search.Random(ctx, sp, s.engineFor(ev), opt)
 	if res.Best == nil {
-		status := http.StatusUnprocessableEntity
+		code := CodeNoValidMapping
 		if ctx.Err() != nil {
-			status = http.StatusGatewayTimeout
+			code = CodeSearchTimeout
 		}
-		writeErr(w, status,
+		writeErr(w, code,
 			fmt.Errorf("no valid mapping found after %d samples", res.Evaluated))
 		return
 	}
@@ -314,17 +376,17 @@ func (s *service) handleSearch(w http.ResponseWriter, r *http.Request) {
 func handleConstruct(w http.ResponseWriter, r *http.Request) {
 	var req problemSpec
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, CodeInvalidRequest, err)
 		return
 	}
 	ev, sp, err := req.resolve()
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, CodeInvalidRequest, err)
 		return
 	}
 	m, c, err := heuristic.Construct(ev, sp.Kind, sp.Cons)
 	if err != nil {
-		writeErr(w, http.StatusUnprocessableEntity, err)
+		writeErr(w, CodeNoValidMapping, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, mappingResult{Mapping: m, Cost: c, LoopNest: m.Render(ev.Work, ev.Arch)})

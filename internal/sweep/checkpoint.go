@@ -21,7 +21,7 @@ import (
 // by skipping completed layers instead of re-searching them. Keys include
 // the architecture, strategy, search seed and budget, so one file safely
 // backs a whole experiment's worth of suite runs. It is safe for concurrent
-// use by the parallel layer workers of RunSuiteCtx.
+// use by the parallel layer workers of RunSuite.
 //
 // Restored layers are verified: the recorded mapping is decoded against the
 // (possibly padded, via the recorded bounds) workload variant and

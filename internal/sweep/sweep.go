@@ -7,7 +7,9 @@
 // searches honor context cancellation, share a metrics hook, optionally
 // memoize duplicate samples, and run in parallel across layers (each layer's
 // search result is independent and seeded deterministically, so parallel and
-// serial suite runs produce identical output).
+// serial suite runs produce identical output). When the context carries an
+// obs.Recorder, each suite and layer search records a trace span, so a suite
+// run's span tree reads suite → layer → search → eval-batch.
 package sweep
 
 import (
@@ -22,6 +24,7 @@ import (
 	"ruby/internal/mapping"
 	"ruby/internal/mapspace"
 	"ruby/internal/nest"
+	"ruby/internal/obs"
 	"ruby/internal/search"
 	"ruby/internal/stats"
 	"ruby/internal/workload"
@@ -101,17 +104,10 @@ type LayerResult struct {
 // SearchLayer searches the best mapping for one layer on one architecture
 // under one strategy. For padding strategies every padded variant is
 // searched and the lowest-EDP result wins (Section III-B's baseline). An
-// error is returned when no valid mapping exists at all.
-//
-//ruby:ctxroot
-func SearchLayer(l workloads.Layer, a *arch.Arch, st Strategy, consFn ConstraintFn, opt search.Options) (LayerResult, error) {
-	return SearchLayerCtx(context.Background(), l, a, st, consFn, opt, engine.Config{})
-}
-
-// SearchLayerCtx is SearchLayer through the evaluation pipeline: each
-// workload variant's search routes through an engine built from ecfg, and a
-// cancelled ctx aborts with its error.
-func SearchLayerCtx(ctx context.Context, l workloads.Layer, a *arch.Arch, st Strategy,
+// error is returned when no valid mapping exists at all. Each workload
+// variant's search routes through an engine built from ecfg, and a cancelled
+// ctx aborts with its error.
+func SearchLayer(ctx context.Context, l workloads.Layer, a *arch.Arch, st Strategy,
 	consFn ConstraintFn, opt search.Options, ecfg engine.Config) (LayerResult, error) {
 
 	variants := []*workload.Workload{l.Work}
@@ -130,7 +126,7 @@ func SearchLayerCtx(ctx context.Context, l workloads.Layer, a *arch.Arch, st Str
 		}
 		eng := ecfg.New(ev)
 		sp := mapspace.New(w, a, st.Kind, consFn(w))
-		res := search.RandomCtx(ctx, sp, eng, opt)
+		res := search.Random(ctx, sp, eng, opt)
 		if res.Best == nil {
 			// Guaranteed fallback: the all-at-DRAM uniform mapping streams
 			// single elements through the hierarchy, so it satisfies every
@@ -192,32 +188,15 @@ type SuiteResult struct {
 }
 
 // RunSuite searches every layer of a suite and aggregates network totals.
-//
-//ruby:ctxroot
-func RunSuite(layers []workloads.Layer, a *arch.Arch, st Strategy, consFn ConstraintFn, opt search.Options) (*SuiteResult, error) {
-	return RunSuiteCtx(context.Background(), layers, a, st, consFn, SuiteOptions{Search: opt})
-}
-
-// RunSuiteCached is RunSuite backed by an optional mapping library: layers
-// whose (workload, architecture, mapspace, constraints) key is cached skip
-// the search entirely, and newly searched mappings are stored — the search
-// still runs when the cached mapping is somehow invalid. Padding strategies
-// bypass the cache (the winning workload variant is part of the result).
-//
-//ruby:ctxroot
-func RunSuiteCached(layers []workloads.Layer, a *arch.Arch, st Strategy, consFn ConstraintFn,
-	opt search.Options, lib *library.Store) (*SuiteResult, error) {
-	return RunSuiteCtx(context.Background(), layers, a, st, consFn, SuiteOptions{Search: opt, Library: lib})
-}
-
-// RunSuiteCtx runs a suite with full pipeline control: layer searches run
-// so.Parallel at a time (deterministic — each layer's search is independent
-// and explicitly seeded, and aggregation preserves layer order), evaluations
-// route through engines built from so.Engine, and cancellation aborts the
-// whole run with ctx's error.
-func RunSuiteCtx(ctx context.Context, layers []workloads.Layer, a *arch.Arch, st Strategy,
+// Layer searches run so.Parallel at a time (deterministic — each layer's
+// search is independent and explicitly seeded, and aggregation preserves
+// layer order), evaluations route through engines built from so.Engine, and
+// cancellation aborts the whole run with ctx's error.
+func RunSuite(ctx context.Context, layers []workloads.Layer, a *arch.Arch, st Strategy,
 	consFn ConstraintFn, so SuiteOptions) (*SuiteResult, error) {
 
+	ctx, span := obs.StartSpan(ctx, "suite:"+st.Name)
+	defer span.End()
 	so = so.withDefaults()
 	out := &SuiteResult{Strategy: st, Arch: a}
 	results := make([]LayerResult, len(layers))
@@ -275,6 +254,8 @@ func RunSuiteCtx(ctx context.Context, layers []workloads.Layer, a *arch.Arch, st
 func searchLayerCached(ctx context.Context, l workloads.Layer, a *arch.Arch, st Strategy,
 	consFn ConstraintFn, so SuiteOptions) (LayerResult, error) {
 
+	ctx, span := obs.StartSpan(ctx, "layer:"+l.Name)
+	defer span.End()
 	if so.Checkpoint != nil {
 		if lr, ok := so.Checkpoint.resume(l, a, st, consFn, so.Search); ok {
 			return lr, nil
@@ -297,7 +278,7 @@ func searchLayerLib(ctx context.Context, l workloads.Layer, a *arch.Arch, st Str
 
 	lib := so.Library
 	if lib == nil || st.Pad {
-		return SearchLayerCtx(ctx, l, a, st, consFn, so.Search, so.Engine)
+		return SearchLayer(ctx, l, a, st, consFn, so.Search, so.Engine)
 	}
 	cons := consFn(l.Work)
 	key := library.Key(l.Work, a, st.Kind, cons)
@@ -314,7 +295,7 @@ func searchLayerLib(ctx context.Context, l workloads.Layer, a *arch.Arch, st Str
 			}, nil
 		}
 	}
-	lr, err := SearchLayerCtx(ctx, l, a, st, consFn, so.Search, so.Engine)
+	lr, err := SearchLayer(ctx, l, a, st, consFn, so.Search, so.Engine)
 	if err != nil {
 		return lr, err
 	}
@@ -354,17 +335,9 @@ type DesignPoint struct {
 
 // Explore sweeps the Eyeriss-like configurations over a suite for each
 // strategy, producing the data behind Figs. 13-14. glbKiB fixes the global
-// buffer size across configurations.
-//
-//ruby:ctxroot
-func Explore(layers []workloads.Layer, configs []ArrayConfig, glbKiB int,
-	sts []Strategy, consFn ConstraintFn, opt search.Options) ([]DesignPoint, error) {
-	return ExploreCtx(context.Background(), layers, configs, glbKiB, sts, consFn, SuiteOptions{Search: opt})
-}
-
-// ExploreCtx is Explore with pipeline control (cancellation, engine config,
-// suite-level parallelism) applied to every configuration's suite runs.
-func ExploreCtx(ctx context.Context, layers []workloads.Layer, configs []ArrayConfig, glbKiB int,
+// buffer size across configurations. Cancellation, engine configuration and
+// suite-level parallelism (so) apply to every configuration's suite runs.
+func Explore(ctx context.Context, layers []workloads.Layer, configs []ArrayConfig, glbKiB int,
 	sts []Strategy, consFn ConstraintFn, so SuiteOptions) ([]DesignPoint, error) {
 
 	var out []DesignPoint
@@ -372,7 +345,7 @@ func ExploreCtx(ctx context.Context, layers []workloads.Layer, configs []ArrayCo
 		a := arch.EyerissLike(cfg.Cols, cfg.Rows, glbKiB)
 		dp := DesignPoint{Config: cfg, AreaMM2: a.AreaMM2(), EDP: make(map[string]float64, len(sts))}
 		for _, st := range sts {
-			sr, err := RunSuiteCtx(ctx, layers, a, st, consFn, so)
+			sr, err := RunSuite(ctx, layers, a, st, consFn, so)
 			if err != nil {
 				return nil, err
 			}

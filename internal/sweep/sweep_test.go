@@ -1,9 +1,11 @@
 package sweep
 
 import (
+	"context"
 	"testing"
 
 	"ruby/internal/arch"
+	"ruby/internal/engine"
 	"ruby/internal/library"
 	"ruby/internal/mapspace"
 	"ruby/internal/search"
@@ -25,7 +27,7 @@ func smallSuite() []workloads.Layer {
 func TestSearchLayerFindsMapping(t *testing.T) {
 	a := arch.EyerissLike(14, 12, 128)
 	for _, st := range Strategies() {
-		lr, err := SearchLayer(smallSuite()[0], a, st, mapspace.EyerissRowStationary, quickOpt)
+		lr, err := SearchLayer(context.Background(), smallSuite()[0], a, st, mapspace.EyerissRowStationary, quickOpt, engine.Config{})
 		if err != nil {
 			t.Fatalf("%s: %v", st.Name, err)
 		}
@@ -44,11 +46,11 @@ func TestPaddingMayChangeWorkload(t *testing.T) {
 	// as plain PFM.
 	a := arch.EyerissLike(14, 12, 128)
 	l := smallSuite()[0]
-	pfm, err := SearchLayer(l, a, Strategy{Name: "PFM", Kind: mapspace.PFM}, mapspace.EyerissRowStationary, quickOpt)
+	pfm, err := SearchLayer(context.Background(), l, a, Strategy{Name: "PFM", Kind: mapspace.PFM}, mapspace.EyerissRowStationary, quickOpt, engine.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	pad, err := SearchLayer(l, a, Strategy{Name: "PFM+pad", Kind: mapspace.PFM, Pad: true}, mapspace.EyerissRowStationary, quickOpt)
+	pad, err := SearchLayer(context.Background(), l, a, Strategy{Name: "PFM+pad", Kind: mapspace.PFM, Pad: true}, mapspace.EyerissRowStationary, quickOpt, engine.Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +61,7 @@ func TestPaddingMayChangeWorkload(t *testing.T) {
 
 func TestRunSuiteAggregates(t *testing.T) {
 	a := arch.EyerissLike(14, 12, 128)
-	sr, err := RunSuite(smallSuite(), a, Strategy{Name: "Ruby-S", Kind: mapspace.RubyS}, mapspace.EyerissRowStationary, quickOpt)
+	sr, err := RunSuite(context.Background(), smallSuite(), a, Strategy{Name: "Ruby-S", Kind: mapspace.RubyS}, mapspace.EyerissRowStationary, SuiteOptions{Search: quickOpt})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +105,7 @@ func TestExploreAndFrontier(t *testing.T) {
 	}
 	layers := smallSuite()[:1]
 	cfgs := []ArrayConfig{{2, 7}, {14, 12}}
-	pts, err := Explore(layers, cfgs, 128, Strategies()[:1], mapspace.EyerissRowStationary, quickOpt)
+	pts, err := Explore(context.Background(), layers, cfgs, 128, Strategies()[:1], mapspace.EyerissRowStationary, SuiteOptions{Search: quickOpt})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +128,7 @@ func TestRunSuiteCached(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := Strategy{Name: "Ruby-S", Kind: mapspace.RubyS}
-	first, err := RunSuiteCached(smallSuite(), a, st, mapspace.EyerissRowStationary, quickOpt, lib)
+	first, err := RunSuite(context.Background(), smallSuite(), a, st, mapspace.EyerissRowStationary, SuiteOptions{Search: quickOpt, Library: lib})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +136,7 @@ func TestRunSuiteCached(t *testing.T) {
 		t.Fatalf("library entries = %d, want 2", n)
 	}
 	// Second run hits the cache: each layer costs exactly one evaluation.
-	second, err := RunSuiteCached(smallSuite(), a, st, mapspace.EyerissRowStationary, quickOpt, lib)
+	second, err := RunSuite(context.Background(), smallSuite(), a, st, mapspace.EyerissRowStationary, SuiteOptions{Search: quickOpt, Library: lib})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +150,7 @@ func TestRunSuiteCached(t *testing.T) {
 	}
 	// Padding strategies bypass the cache.
 	pad := Strategy{Name: "PFM+pad", Kind: mapspace.PFM, Pad: true}
-	if _, err := RunSuiteCached(smallSuite(), a, pad, mapspace.EyerissRowStationary, quickOpt, lib); err != nil {
+	if _, err := RunSuite(context.Background(), smallSuite(), a, pad, mapspace.EyerissRowStationary, SuiteOptions{Search: quickOpt, Library: lib}); err != nil {
 		t.Fatal(err)
 	}
 	if n, _ := lib.Len(); n != 2 {

@@ -1,9 +1,12 @@
 package workloads
 
 import (
+	"context"
+
 	"testing"
 
 	"ruby/internal/arch"
+	"ruby/internal/engine"
 	"ruby/internal/mapspace"
 	"ruby/internal/nest"
 	"ruby/internal/search"
@@ -68,7 +71,7 @@ func TestMobileNetDepthwiseMappable(t *testing.T) {
 	}
 	for _, kind := range []mapspace.Kind{mapspace.PFM, mapspace.RubyS} {
 		sp := mapspace.New(l.Work, a, kind, cons)
-		res := search.Random(sp, ev, search.Options{Seed: 1, Threads: 4, MaxEvaluations: 15000})
+		res := search.Random(context.Background(), sp, engine.New(ev), search.Options{Seed: 1, Threads: 4, MaxEvaluations: 15000})
 		if res.Best == nil {
 			t.Fatalf("%v: no valid mapping", kind)
 		}

@@ -10,8 +10,13 @@
 //	a := ruby.EyerissLike(14, 12, 128)
 //	ev := ruby.MustEvaluator(w, a)
 //	sp := ruby.NewSpace(w, a, ruby.RubyS, ruby.EyerissRowStationary(w))
-//	res := ruby.Search(sp, ev, ruby.SearchOptions{Seed: 1})
+//	res := ruby.Search(ctx, sp, ruby.NewEngine(ev), ruby.SearchOptions{Seed: 1})
 //	fmt.Println(res.BestCost.EDP, res.Best.Render(w, a))
+//
+// Every search entry point is context-first: pass context.Background() when
+// cancellation is not needed. The engine argument configures the evaluation
+// pipeline (cache, metrics, parallelism); NewEngine gives a transparent
+// pass-through.
 //
 // Mapspace kinds: PFM (perfect factorization, the Timeloop baseline), Ruby
 // (imperfect everywhere), RubyS (imperfect only at spatial levels — the
@@ -31,6 +36,7 @@ import (
 	"ruby/internal/mapping"
 	"ruby/internal/mapspace"
 	"ruby/internal/nest"
+	"ruby/internal/obs"
 	"ruby/internal/search"
 	"ruby/internal/sim"
 	"ruby/internal/stats"
@@ -214,15 +220,33 @@ var (
 	// NewEngine wraps an Evaluator in a pass-through pipeline (no cache,
 	// no metrics); use EngineConfig.New for a configured one.
 	NewEngine = engine.New
-	// SearchCtx is Search with cancellation and a configured pipeline.
-	SearchCtx = search.RandomCtx
-	// SearchExhaustiveCtx is SearchExhaustive with cancellation, parallel
-	// batch evaluation and a configurable objective.
-	SearchExhaustiveCtx = search.ExhaustiveCtx
-	// SearchHillClimbCtx is SearchHillClimb through the pipeline.
-	SearchHillClimbCtx = search.HillClimbCtx
-	// SearchPortfolioCtx is SearchPortfolio through the pipeline.
-	SearchPortfolioCtx = search.PortfolioCtx
+)
+
+// Observability: opt-in tracing and metrics (see docs/API.md).
+type (
+	// TraceRecorder collects hierarchical spans (suite -> layer -> search ->
+	// eval-batch) into a fixed-capacity ring buffer and writes Chrome-trace
+	// JSON.
+	TraceRecorder = obs.Recorder
+	// Instruments bundles the pipeline counters with latency/EDP histograms
+	// and slow-event logging; it implements EngineMetrics.
+	Instruments = engine.Instruments
+	// MetricsRegistry renders registered metrics in Prometheus text format.
+	MetricsRegistry = obs.Registry
+)
+
+var (
+	// NewTraceRecorder builds a span recorder (capacity <= 0 selects the
+	// default of 4096 spans).
+	NewTraceRecorder = obs.NewRecorder
+	// WithTraceRecorder attaches a recorder to a context; searches run under
+	// that context record spans into it.
+	WithTraceRecorder = obs.WithRecorder
+	// NewInstruments builds the histogram-backed Metrics implementation.
+	NewInstruments = engine.NewInstruments
+	// NewMetricsRegistry builds an empty metric registry; register an
+	// Instruments via its Register method.
+	NewMetricsRegistry = obs.NewRegistry
 )
 
 // Search objectives.
@@ -236,11 +260,14 @@ const (
 )
 
 var (
-	// Search runs Timeloop-style parallel random-sampling search.
+	// Search runs Timeloop-style parallel random-sampling search through the
+	// evaluation pipeline, honoring ctx cancellation.
 	Search = search.Random
-	// SearchExhaustive evaluates an entire (small) mapspace.
+	// SearchExhaustive evaluates an entire (small) mapspace with parallel
+	// batch evaluation and a configurable objective.
 	SearchExhaustive = search.Exhaustive
-	// SearchHillClimb runs the greedy local-search extension.
+	// SearchHillClimb runs the greedy local-search extension (warm-up and
+	// patience come from SearchOptions.Warmup/Patience).
 	SearchHillClimb = search.HillClimb
 	// SearchGenetic runs the GAMMA-style genetic-algorithm extension.
 	SearchGenetic = search.Genetic
@@ -374,23 +401,17 @@ var (
 	SweepStrategies = sweep.Strategies
 	// EyerissConfigs returns the Section IV-E array sweep range.
 	EyerissConfigs = sweep.EyerissConfigs
-	// Explore sweeps array configurations over a suite (Figs. 13-14).
+	// Explore sweeps array configurations over a suite (Figs. 13-14) with
+	// cancellation and pipeline options.
 	Explore = sweep.Explore
-	// ExploreCtx is Explore with cancellation and pipeline options.
-	ExploreCtx = sweep.ExploreCtx
 	// Frontier extracts one strategy's area-EDP Pareto frontier.
 	Frontier = sweep.Frontier
-	// RunSuite searches a whole suite on one architecture.
+	// RunSuite searches a whole suite on one architecture with parallel
+	// layer searches; a mapping library rides in SuiteOptions.Library.
 	RunSuite = sweep.RunSuite
-	// RunSuiteCached is RunSuite backed by a mapping library.
-	RunSuiteCached = sweep.RunSuiteCached
-	// RunSuiteCtx is RunSuite with cancellation, engine configuration and
-	// parallel layer searches.
-	RunSuiteCtx = sweep.RunSuiteCtx
-	// SearchLayer searches one layer under one strategy.
+	// SearchLayer searches one layer under one strategy through the
+	// evaluation pipeline.
 	SearchLayer = sweep.SearchLayer
-	// SearchLayerCtx is SearchLayer through the evaluation pipeline.
-	SearchLayerCtx = sweep.SearchLayerCtx
 	// ParetoFrontier computes a generic minimize-both frontier.
 	ParetoFrontier = stats.ParetoFrontier
 )
@@ -403,10 +424,9 @@ type (
 
 var (
 	// RunExperiment regenerates one paper table/figure by identifier
-	// ("fig7a".."fig7d", "table1", "fig8".."fig12", "fig13a/b", "fig14a/b").
+	// ("fig7a".."fig7d", "table1", "fig8".."fig12", "fig13a/b", "fig14a/b"),
+	// honoring ctx cancellation.
 	RunExperiment = exp.Run
-	// RunExperimentCtx is RunExperiment with cancellation.
-	RunExperimentCtx = exp.RunCtx
 	// ExperimentNames lists the accepted identifiers.
 	ExperimentNames = exp.Names
 	// QuickConfig is a test/benchmark-scale experiment configuration.

@@ -1,6 +1,8 @@
 package ruby
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 )
@@ -13,7 +15,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	a := EyerissLike(14, 12, 128)
 	ev := MustEvaluator(w, a)
 	sp := NewSpace(w, a, RubyS, EyerissRowStationary(w))
-	res := Search(sp, ev, SearchOptions{Seed: 1, Threads: 4, MaxEvaluations: 8000})
+	res := Search(context.Background(), sp, NewEngine(ev), SearchOptions{Seed: 1, Threads: 4, MaxEvaluations: 8000})
 	if res.Best == nil {
 		t.Fatal("no valid mapping")
 	}
@@ -33,8 +35,8 @@ func TestFacadeToyStory(t *testing.T) {
 	a := ToyGLB(6, 512)
 	ev := MustEvaluator(w, a)
 
-	pfm := SearchExhaustive(NewSpace(w, a, PFM, Constraints{FixedPerms: true}), ev, 0)
-	rs := SearchExhaustive(NewSpace(w, a, RubyS, Constraints{FixedPerms: true}), ev, 0)
+	pfm := SearchExhaustive(context.Background(), NewSpace(w, a, PFM, Constraints{FixedPerms: true}), NewEngine(ev), SearchOptions{}, 0)
+	rs := SearchExhaustive(context.Background(), NewSpace(w, a, RubyS, Constraints{FixedPerms: true}), NewEngine(ev), SearchOptions{}, 0)
 	if pfm.BestCost.Cycles != 20 || rs.BestCost.Cycles != 17 {
 		t.Errorf("cycles = %f / %f, want 20 / 17", pfm.BestCost.Cycles, rs.BestCost.Cycles)
 	}
@@ -56,7 +58,7 @@ func TestFacadeExperiments(t *testing.T) {
 	if len(ExperimentNames()) != 14 {
 		t.Errorf("experiments = %d, want 14 (every table and figure)", len(ExperimentNames()))
 	}
-	rep, err := RunExperiment("table1", QuickConfig())
+	rep, err := RunExperiment(context.Background(), "table1", QuickConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +96,7 @@ func TestFacadeHillClimb(t *testing.T) {
 	a := ToyLinear(16, 2048)
 	ev := MustEvaluator(w, a)
 	sp := NewSpace(w, a, RubyS, Constraints{})
-	res := SearchHillClimb(sp, ev, SearchOptions{Seed: 1}, 100, 100)
+	res := SearchHillClimb(context.Background(), sp, NewEngine(ev), SearchOptions{Seed: 1, Warmup: 100, Patience: 100})
 	if res.Best == nil {
 		t.Fatal("hill climb found nothing")
 	}
