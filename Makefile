@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-obs bench bench-all fmt vet lint fuzz-smoke docs-check check
+.PHONY: all build test race race-obs bench bench-all bench-gate fmt vet lint fuzz-smoke docs-check check
 
 all: check
 
@@ -22,11 +22,21 @@ race-obs:
 	$(GO) test -race ./internal/obs/... ./internal/server/...
 
 # Evaluation-kernel microbenchmarks (compiled plan vs legacy, engine cache,
-# sampler pipeline), persisted as BENCH_eval.json to track the perf
-# trajectory across PRs. `bench-all` runs the full suite once.
+# sampler pipeline, delta-evaluation neighbor steps), persisted as
+# BENCH_eval.json and appended as a dated record to BENCH_history.jsonl to
+# track the perf trajectory across PRs. `bench-all` runs the full suite once.
+BENCH_PATTERN = BenchmarkEvaluate|BenchmarkEngine|BenchmarkSample|BenchmarkNeighbor
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkEvaluate|BenchmarkEngine|BenchmarkSample' -benchtime 2s . \
-		| $(GO) run ./tools/benchjson -o BENCH_eval.json
+	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchtime 2s . \
+		| $(GO) run ./tools/benchjson -o BENCH_eval.json -history BENCH_history.jsonl
+
+# CI perf gate: rerun the microbenchmarks against the committed snapshot and
+# fail on a >20% BenchmarkEvaluateCompiled ns/op regression or any
+# allocation where the snapshot was allocation-free. Does not rewrite the
+# committed snapshot or history.
+bench-gate:
+	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchtime 2s . \
+		| $(GO) run ./tools/benchjson -o '' -baseline BENCH_eval.json -gate BenchmarkEvaluateCompiled
 
 bench-all:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...
@@ -50,6 +60,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzFactorChains -fuzztime $(FUZZTIME) ./internal/factor
 	$(GO) test -run xxx -fuzz FuzzCheckpointRoundTrip -fuzztime $(FUZZTIME) ./internal/checkpoint
 	$(GO) test -run xxx -fuzz FuzzConfigParse -fuzztime $(FUZZTIME) ./internal/config
+	$(GO) test -run xxx -fuzz FuzzMoveDelta -fuzztime $(FUZZTIME) ./internal/nest
 
 # Documentation hygiene: every relative markdown link must resolve, and the
 # source must be gofmt-clean and vet-clean (doc drift usually rides along

@@ -100,14 +100,34 @@ func engineBenchSetup() (*engine.Engine, *engine.Engine, []*mapping.Mapping) {
 	return uncached, cached, ms
 }
 
-// BenchmarkEngineUncached measures evaluation through a pass-through engine
-// — the baseline every Evaluate pays without memoization.
+// BenchmarkEngineUncached measures the zero-allocation uncached engine path
+// — a per-goroutine Worker's EvaluateShared over pre-lowered valid mappings,
+// the steady-state inner loop of every cache-less search worker. (The
+// convenience Engine.Evaluate entry detaches its result with Cost.Clone and
+// so allocates by design; invalid verdicts likewise allocate their Reason
+// string. Neither belongs in the hot loop this benchmark gates.)
 func BenchmarkEngineUncached(b *testing.B) {
 	b.ReportAllocs()
-	eng, _, ms := engineBenchSetup()
+	layer := workloads.ResNet50()[3]
+	a := arch.EyerissLike(14, 12, 128)
+	ev := nest.MustEvaluator(layer.Work, a)
+	sp := mapspace.New(layer.Work, a, mapspace.RubyS, mapspace.EyerissRowStationary(layer.Work))
+	eng := engine.New(ev)
+	wk := eng.NewWorker()
+	rng := rand.New(rand.NewSource(1))
+	valid := make([]*mapping.Mapping, 0, 64)
+	for i := 0; i < 200000 && len(valid) < cap(valid); i++ {
+		m := sp.Sample(rng)
+		if wk.EvaluateShared(m).Valid {
+			valid = append(valid, m)
+		}
+	}
+	if len(valid) == 0 {
+		b.Fatal("no valid mappings in the benchmark pool")
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		eng.Evaluate(ms[i%len(ms)])
+		wk.EvaluateShared(valid[i%len(valid)])
 	}
 }
 
@@ -214,31 +234,123 @@ func BenchmarkSampleEvaluatePipeline(b *testing.B) {
 	}
 }
 
-// BenchmarkSampleRubyS measures mapping-generation throughput for the
-// Ruby-S mapspace.
+// BenchmarkSampleRubyS measures steady-state mapping-generation throughput
+// for the Ruby-S mapspace: a worker-owned Sampler refilling one reused
+// mapping, allocation-free (the production search inner loop; the
+// allocating convenience Sample entry is what one-shot callers use).
 func BenchmarkSampleRubyS(b *testing.B) {
+	benchSampleInto(b, mapspace.RubyS)
+}
+
+// BenchmarkSamplePFM measures steady-state mapping generation for the
+// perfect baseline, allocation-free as above.
+func BenchmarkSamplePFM(b *testing.B) {
+	benchSampleInto(b, mapspace.PFM)
+}
+
+func benchSampleInto(b *testing.B, kind mapspace.Kind) {
+	b.Helper()
 	b.ReportAllocs()
 	layer := workloads.ResNet50()[3]
 	a := arch.EyerissLike(14, 12, 128)
-	sp := mapspace.New(layer.Work, a, mapspace.RubyS, mapspace.EyerissRowStationary(layer.Work))
+	sp := mapspace.New(layer.Work, a, kind, mapspace.EyerissRowStationary(layer.Work))
+	smp := sp.NewSampler()
 	rng := rand.New(rand.NewSource(1))
+	m := &mapping.Mapping{}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sp.Sample(rng)
+		smp.SampleInto(rng, m)
 	}
 }
 
-// BenchmarkSamplePFM measures mapping generation for the perfect baseline.
-func BenchmarkSamplePFM(b *testing.B) {
+// benchNeighborDelta measures one incremental local-search neighbor step at
+// steady state: apply a pre-drawn Move to the incumbent, score it with the
+// delta kernel, reject and undo. The pool holds only valid proposals —
+// invalid neighbors short-circuit in the validity checks and allocate their
+// diagnostic Reason string, so they are neither the steady-state cost nor
+// the allocation budget this family pins. Proposal drawing itself is
+// measured by the sampler benchmarks.
+func benchNeighborDelta(b *testing.B, pick func(mu *mapspace.Mutator, rng *rand.Rand) *mapspace.Move) {
+	b.Helper()
 	b.ReportAllocs()
 	layer := workloads.ResNet50()[3]
 	a := arch.EyerissLike(14, 12, 128)
-	sp := mapspace.New(layer.Work, a, mapspace.PFM, mapspace.EyerissRowStationary(layer.Work))
+	ev := nest.MustEvaluator(layer.Work, a)
+	sp := mapspace.New(layer.Work, a, mapspace.RubyS, mapspace.EyerissRowStationary(layer.Work))
 	rng := rand.New(rand.NewSource(1))
+	var m *mapping.Mapping
+	for i := 0; i < 10000 && m == nil; i++ {
+		if s := sp.Sample(rng); ev.Evaluate(s).Valid {
+			m = s
+		}
+	}
+	if m == nil {
+		b.Fatal("no valid mapping sampled")
+	}
+	plan := ev.Plan()
+	dm, err := m.Dense(sp.Work, sp.Arch, sp.Slots())
+	if err != nil {
+		b.Fatal(err)
+	}
+	de := plan.NewDeltaEval()
+	if c := de.Seed(dm); !c.Valid {
+		b.Fatalf("seed invalid: %s", c.Reason)
+	}
+	// A fixed pool of pre-drawn valid moves, replayed round-robin (each is
+	// applied, scored, rejected and undone in place). One mutator per move:
+	// a mutator's proposal storage is reused across its Propose calls.
+	moves := make([]*mapspace.Move, 16)
+	for i := range moves {
+		mu := sp.NewMutator()
+		for {
+			mv := pick(mu, rng)
+			mv.Apply(m)
+			c := plan.EvaluateDelta(de, mv.Delta())
+			de.Reject()
+			mv.Undo(m)
+			if c.Valid {
+				moves[i] = mv
+				break
+			}
+		}
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sp.Sample(rng)
+		mv := moves[i%len(moves)]
+		mv.Apply(m)
+		plan.EvaluateDelta(de, mv.Delta())
+		de.Reject()
+		mv.Undo(m)
 	}
+}
+
+// BenchmarkNeighborDelta is the headline neighbor re-evaluation: a
+// loop-order (perm) move at a uniformly random level — the canonical cheap
+// local-search neighbor, which the delta kernel re-scores by rebuilding only
+// the stationarity walks that descend past the changed level.
+func BenchmarkNeighborDelta(b *testing.B) {
+	benchNeighborDelta(b, func(mu *mapspace.Mutator, rng *rand.Rand) *mapspace.Move {
+		return mu.ProposePerm(rng, rng.Intn(len(mu.Space().Arch.Levels)))
+	})
+}
+
+// BenchmarkNeighborDeltaChain re-scores a tiling-chain resample — a
+// near-global perturbation (every stationarity walk multiplies the moved
+// dimension's trip counts), so it approaches full-evaluation cost and bounds
+// the delta kernel's worst case.
+func BenchmarkNeighborDeltaChain(b *testing.B) {
+	benchNeighborDelta(b, func(mu *mapspace.Mutator, rng *rand.Rand) *mapspace.Move {
+		return mu.ProposeChainID(rng, rng.Intn(mu.NumDims()))
+	})
+}
+
+// BenchmarkNeighborDeltaMixed replays Mutator.Propose's searcher
+// distribution (1/4 perm, 3/4 chain here), the cost a hill-climbing step
+// actually pays per proposal.
+func BenchmarkNeighborDeltaMixed(b *testing.B) {
+	benchNeighborDelta(b, func(mu *mapspace.Mutator, rng *rand.Rand) *mapspace.Move {
+		return mu.Propose(rng)
+	})
 }
 
 // BenchmarkChainCount4096 measures the Table I counting recursion at the

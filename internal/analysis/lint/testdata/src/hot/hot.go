@@ -40,6 +40,19 @@ func Recycle(buf []int, v int) []int {
 	return buf
 }
 
+// SampleChainInto is shaped like a sampler refill loop — draw one factor
+// per slot against a budget into a reused chain — but grows the chain by
+// appending to a resliced view instead of writing back through its own
+// operand, so the growth escapes the recycled scratch on every draw.
+//
+//ruby:hotpath
+func SampleChainInto(chain, budget []int, draw func(int) int) []int {
+	for i, b := range budget {
+		chain = append(chain[:i], draw(b)) // want `append in //ruby:hotpath SampleChainInto does not write back to its own operand`
+	}
+	return chain
+}
+
 // Capture returns a closure over its argument; each call allocates.
 //
 //ruby:hotpath

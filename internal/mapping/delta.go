@@ -1,0 +1,45 @@
+package mapping
+
+import "ruby/internal/workload"
+
+// DeltaKind enumerates the aspects of a mapping a single move can change.
+type DeltaKind uint8
+
+const (
+	// DeltaChain replaces one dimension's tiling-factor chain.
+	DeltaChain DeltaKind = iota
+	// DeltaPerm replaces one level's temporal loop order.
+	DeltaPerm
+	// DeltaKeep toggles one (level, role) storage-bypass bit.
+	DeltaKeep
+)
+
+func (k DeltaKind) String() string {
+	switch k {
+	case DeltaChain:
+		return "chain"
+	case DeltaPerm:
+		return "perm"
+	case DeltaKeep:
+		return "keep"
+	default:
+		return "DeltaKind(?)"
+	}
+}
+
+// Delta is the integer-id description of one move: which single aspect of a
+// mapping changed. It is what the incremental evaluation kernel
+// (nest.Plan.EvaluateDelta) consumes to decide which cached per-scope
+// contributions to recompute. Deltas are produced by mapspace.Move, which
+// owns the corresponding in-place edits of the Mapping and its lowered form.
+type Delta struct {
+	Kind DeltaKind
+	// Dim is the changed dimension's id (workload declaration order) for
+	// DeltaChain moves.
+	Dim int
+	// Level is the affected architecture level for DeltaPerm and DeltaKeep
+	// moves.
+	Level int
+	// Role is the toggled role for DeltaKeep moves.
+	Role workload.Role
+}

@@ -82,7 +82,8 @@ type denseMemo struct {
 // Dense returns the mapping's lowered form for the given evaluator context,
 // computing and memoizing it on first use. The same mutation invariant as
 // Key applies: a mapping that has been lowered must not be mutated in place
-// except through Invalidate (which SampleInto-style reusers call).
+// except through Invalidate (which SampleInto-style reusers call) or the
+// Set* patch methods below (which mapspace.Move uses).
 //
 //ruby:hotpath
 func (m *Mapping) Dense(w *workload.Workload, a *arch.Arch, slots []Slot) (*Dense, error) {
@@ -96,22 +97,112 @@ func (m *Mapping) Dense(w *workload.Workload, a *arch.Arch, slots []Slot) (*Dens
 		m.spare = spare // keep the storage for a future successful lowering
 		return nil, err
 	}
-	m.dense.Store(&denseMemo{w: w, a: a, nslots: len(slots), d: d})
+	memo := m.spareMemo
+	if memo == nil {
+		memo = &denseMemo{}
+	}
+	m.spareMemo = nil
+	memo.w, memo.a, memo.nslots, memo.d = w, a, len(slots), d
+	m.dense.Store(memo)
 	return d, nil
 }
 
+// UpdatableDense returns the memoized lowered form when it was computed
+// against exactly this evaluator context, and nil otherwise. Unlike Dense it
+// never lowers: it is the hook Move.Apply/Undo use to patch the dense form
+// in place (via SetChainRow/SetPermRowIDs/SetKeepMask) instead of invalidating
+// it wholesale. The single-owner mutation contract of Invalidate applies.
+//
+//ruby:hotpath
+func (m *Mapping) UpdatableDense(w *workload.Workload, a *arch.Arch, slots []Slot) *Dense {
+	if dm := m.dense.Load(); dm != nil && dm.w == w && dm.a == a && dm.nslots == len(slots) {
+		return dm.d
+	}
+	return nil
+}
+
+// ResetKey clears only the memoized canonical key, keeping the dense form.
+// Moves that patch the dense form in place call this so Key stays consistent
+// with the mutated mapping.
+func (m *Mapping) ResetKey() { m.key.Store(nil) }
+
 // Invalidate clears the memoized key and dense forms after an in-place
-// mutation. The dense storage is recycled into the next lowering so that
-// sampler loops reusing one Mapping stay allocation-free at steady state.
-// Invalidate-and-reuse is single-owner by design: it must not race with
-// concurrent readers of the same Mapping (every searcher that shares
-// mappings across goroutines clones them first).
+// mutation. The dense storage (and its memo record) is recycled into the
+// next lowering so that sampler loops reusing one Mapping stay
+// allocation-free at steady state. Invalidate-and-reuse is single-owner by
+// design: it must not race with concurrent readers of the same Mapping
+// (every searcher that shares mappings across goroutines clones them first).
 func (m *Mapping) Invalidate() {
 	if dm := m.dense.Load(); dm != nil {
 		m.spare = dm.d
+		m.spareMemo = dm
 	}
 	m.dense.Store(nil)
 	m.key.Store(nil)
+}
+
+// SetChainRow recomputes dimension di's cumulative-tile row in place for the
+// new outermost-first factor chain fs, exactly as densify lowers it. The
+// caller guarantees fs is a structurally valid chain over bound (Move
+// proposals are valid by construction).
+//
+//ruby:hotpath
+func (dn *Dense) SetChainRow(di, bound int, fs []int) {
+	stride := dn.NSlots + 1
+	row := dn.Cum[di*stride : di*stride+stride]
+	row[dn.NSlots] = 1
+	prod := 1
+	for i := dn.NSlots - 1; i >= 0; i-- {
+		if prod < bound {
+			prod *= fs[i]
+		}
+		if prod > bound {
+			prod = bound
+		}
+		row[i] = prod
+	}
+}
+
+// SetPermRowIDs relowers level li's temporal loop order in place from
+// workload dimension ids (declaration order), exactly as densify lowers the
+// equivalent name permutation. Movers keep id arrays in lockstep with their
+// name permutations so the hot patch path never compares strings.
+//
+//ruby:hotpath
+func (dn *Dense) SetPermRowIDs(li int, ids []int16) {
+	copy(dn.Perm[li*dn.NDims:], ids)
+}
+
+// SetKeepMask writes the bypass-override mask of level li, first growing the
+// override array to n entries (filled with the -1 "no override" sentinel) so
+// its length tracks len(Mapping.Keep) exactly as densify produces it.
+//
+//ruby:hotpath
+func (dn *Dense) SetKeepMask(li, n int, mask int8) {
+	if cap(dn.KeepMask) < n {
+		grown := make([]int8, n)
+		copy(grown, dn.KeepMask)
+		for i := len(dn.KeepMask); i < n; i++ {
+			grown[i] = -1
+		}
+		dn.KeepMask = grown
+	} else if len(dn.KeepMask) < n {
+		old := len(dn.KeepMask)
+		dn.KeepMask = dn.KeepMask[:n]
+		for i := old; i < n; i++ {
+			dn.KeepMask[i] = -1
+		}
+	}
+	dn.KeepMask[li] = mask
+}
+
+// TruncKeepMask shrinks the override array back to n entries — the exact
+// reversal of a SetKeepMask growth, used by Move.Undo when the move created
+// the override storage.
+func (dn *Dense) TruncKeepMask(n int) {
+	if n < len(dn.KeepMask) {
+		dn.KeepMask = dn.KeepMask[:n]
+	}
 }
 
 // densify lowers the mapping, validating exactly as the legacy evaluation
@@ -198,15 +289,20 @@ func (m *Mapping) densify(w *workload.Workload, a *arch.Arch, slots []Slot, recy
 			return permsErr(fmt.Errorf("mapping: level %d perm has %d dims, want %d", li, len(perm), nd))
 		}
 		base := li * nd
+		var seen uint64
 		for k, name := range perm {
-			id := int16(-1)
-			for dj := range w.Dims {
-				if w.Dims[dj].Name == name {
-					id = int16(dj)
-					break
-				}
-			}
+			id := w.DimID(name)
 			d.Perm[base+k] = id
+			if id >= 0 && id < 64 {
+				seen |= 1 << uint(id)
+			}
+		}
+		// Completeness check: one bitmask compare on the common path; the
+		// quadratic rescan runs only to locate the first missing dimension
+		// for the exact legacy error message (or when there are more
+		// dimensions than mask bits).
+		if nd < 64 && seen == (uint64(1)<<uint(nd))-1 || nd == 64 && seen == ^uint64(0) {
+			continue
 		}
 		for dj := range w.Dims {
 			found := false

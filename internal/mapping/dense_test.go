@@ -1,0 +1,112 @@
+package mapping
+
+import (
+	"reflect"
+	"testing"
+
+	"ruby/internal/arch"
+	"ruby/internal/workload"
+)
+
+// denseFixture is a three-dimension GEMM on the Eyeriss-like hierarchy
+// (5 slots, 3 levels), big enough that every patch method touches a
+// non-trivial row.
+func denseFixture() (*workload.Workload, *arch.Arch, []Slot, *Mapping) {
+	w := workload.MustMatmul("mm", 24, 12, 30)
+	a := arch.EyerissLike(14, 12, 128)
+	slots := Slots(a)
+	return w, a, slots, Uniform(w, a, 0)
+}
+
+// requireDensesEqual compares a patched-in-place lowering against a
+// from-scratch lowering of the same mapping state.
+func requireDensesEqual(t *testing.T, got, want *Dense) {
+	t.Helper()
+	if got.NDims != want.NDims || got.NSlots != want.NSlots {
+		t.Fatalf("shape (%d,%d), want (%d,%d)", got.NDims, got.NSlots, want.NDims, want.NSlots)
+	}
+	if !reflect.DeepEqual(got.Cum, want.Cum) {
+		t.Errorf("Cum = %v, want %v", got.Cum, want.Cum)
+	}
+	if !reflect.DeepEqual(got.Perm, want.Perm) {
+		t.Errorf("Perm = %v, want %v", got.Perm, want.Perm)
+	}
+	// Compare masks by value: patching may leave a non-nil zero-length
+	// slice where a fresh lowering produces nil.
+	if len(got.KeepMask) != len(want.KeepMask) {
+		t.Fatalf("KeepMask = %v, want %v", got.KeepMask, want.KeepMask)
+	}
+	for i := range got.KeepMask {
+		if got.KeepMask[i] != want.KeepMask[i] {
+			t.Errorf("KeepMask = %v, want %v", got.KeepMask, want.KeepMask)
+			break
+		}
+	}
+}
+
+// freshDense lowers a clone of m from scratch.
+func freshDense(t *testing.T, m *Mapping, w *workload.Workload, a *arch.Arch, slots []Slot) *Dense {
+	t.Helper()
+	dn, err := m.Clone().Dense(w, a, slots)
+	if err != nil {
+		t.Fatalf("fresh Dense: %v", err)
+	}
+	return dn
+}
+
+func TestSetChainRowMatchesDensify(t *testing.T) {
+	w, a, slots, m := denseFixture()
+	dn, err := m.Dense(w, a, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Retile M across DRAM temporal, GLB temporal and the PE temporal slot.
+	m.Factors["M"] = []int{2, 2, 1, 1, 6}
+	dn.SetChainRow(int(w.DimID("M")), w.Bound("M"), m.Factors["M"])
+	requireDensesEqual(t, dn, freshDense(t, m, w, a, slots))
+
+	// An imperfect chain (5*5 covers 24 with a remainder tile) lowers the
+	// same way: cumulative sizes clamp at the bound.
+	m.Factors["M"] = []int{5, 5, 1, 1, 1}
+	dn.SetChainRow(int(w.DimID("M")), w.Bound("M"), m.Factors["M"])
+	requireDensesEqual(t, dn, freshDense(t, m, w, a, slots))
+}
+
+func TestSetPermRowIDsMatchesDensify(t *testing.T) {
+	w, a, slots, m := denseFixture()
+	dn, err := m.Dense(w, a, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Perms[1] = []string{"K", "M", "N"}
+	dn.SetPermRowIDs(1, []int16{2, 0, 1})
+	requireDensesEqual(t, dn, freshDense(t, m, w, a, slots))
+}
+
+func TestSetKeepMaskMatchesDensify(t *testing.T) {
+	w, a, slots, m := denseFixture()
+	dn, err := m.Dense(w, a, slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dn.KeepMask) != 0 {
+		t.Fatalf("KeepMask = %v before any override", dn.KeepMask)
+	}
+
+	// Override the GLB to bypass weights; the mask array must grow to
+	// len(m.Keep) with -1 sentinels, exactly as densify produces it.
+	m.Keep = make([]map[workload.Role]bool, len(a.Levels))
+	m.Keep[1] = map[workload.Role]bool{
+		workload.Input:  true,
+		workload.Weight: false,
+		workload.Output: true,
+	}
+	mask := int8(RoleBit(workload.Input) | RoleBit(workload.Output))
+	dn.SetKeepMask(1, len(m.Keep), mask)
+	requireDensesEqual(t, dn, freshDense(t, m, w, a, slots))
+
+	// TruncKeepMask reverses the growth bit for bit.
+	m.Keep = nil
+	dn.TruncKeepMask(0)
+	requireDensesEqual(t, dn, freshDense(t, m, w, a, slots))
+}

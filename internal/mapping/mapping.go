@@ -122,11 +122,13 @@ type Mapping struct {
 	key atomic.Pointer[keyMemo]
 
 	// dense memoizes the integer-indexed lowering read by the compiled
-	// evaluation plan, under the same mutation invariant as key. spare
-	// recycles the previous lowering's storage across Invalidate calls so
-	// sampler loops that reuse one Mapping stay allocation-free.
-	dense atomic.Pointer[denseMemo]
-	spare *Dense
+	// evaluation plan, under the same mutation invariant as key. spare and
+	// spareMemo recycle the previous lowering's storage (and its memo
+	// record) across Invalidate calls so sampler loops that reuse one
+	// Mapping stay allocation-free.
+	dense     atomic.Pointer[denseMemo]
+	spare     *Dense
+	spareMemo *denseMemo
 }
 
 // keyMemo records a computed key together with the identity of the

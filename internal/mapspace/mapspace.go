@@ -178,6 +178,42 @@ func (s *Space) divisors(n int) []int {
 	return divs
 }
 
+// divCache is a per-goroutine, lock-free view of the space's divisor cache:
+// a flat residual-indexed table (residuals never exceed the largest dimension
+// bound). Samplers and mutators each own one, so the steady-state sampling
+// loop replaces two atomic lock operations per factor draw with one slice
+// load. Entries alias the shared cache's slices, which are immutable.
+type divCache struct {
+	byN [][]int
+}
+
+// newDivCache sizes a divisor cache for the space's dimension bounds.
+func (s *Space) newDivCache() *divCache {
+	max := 0
+	for _, d := range s.Work.Dims {
+		if d.Bound > max {
+			max = d.Bound
+		}
+	}
+	return &divCache{byN: make([][]int, max+1)}
+}
+
+// divisorsFor is divisors through the caller's private cache (nil falls back
+// to the shared locked cache).
+//
+//ruby:hotpath
+func (s *Space) divisorsFor(n int, dc *divCache) []int {
+	if dc != nil && n < len(dc.byN) {
+		if d := dc.byN[n]; d != nil {
+			return d
+		}
+		d := s.divisors(n)
+		dc.byN[n] = d
+		return d
+	}
+	return s.divisors(n)
+}
+
 // Slots exposes the slot list the space maps over.
 func (s *Space) Slots() []mapping.Slot { return s.slots }
 
@@ -240,7 +276,7 @@ func (s *Space) TotalChainCount() uint64 {
 // generate-then-filter design.
 func (s *Space) Sample(rng *rand.Rand) *mapping.Mapping {
 	m := &mapping.Mapping{}
-	s.sampleInto(rng, m, make([]int, len(s.slots)), append([]string(nil), s.dimNames...))
+	s.sampleInto(rng, m, make([]int, len(s.slots)), append([]string(nil), s.dimNames...), nil)
 	return m
 }
 
@@ -250,6 +286,7 @@ type Sampler struct {
 	sp     *Space
 	budget []int
 	dims   []string
+	dc     *divCache
 }
 
 // NewSampler builds a Sampler over the space.
@@ -258,6 +295,7 @@ func (s *Space) NewSampler() *Sampler {
 		sp:     s,
 		budget: make([]int, len(s.slots)),
 		dims:   append([]string(nil), s.dimNames...),
+		dc:     s.newDivCache(),
 	}
 }
 
@@ -272,7 +310,7 @@ func (s *Space) NewSampler() *Sampler {
 func (sm *Sampler) SampleInto(rng *rand.Rand, m *mapping.Mapping) {
 	s := sm.sp
 	copy(sm.dims, s.dimNames)
-	s.sampleInto(rng, m, sm.budget, sm.dims)
+	s.sampleInto(rng, m, sm.budget, sm.dims, sm.dc)
 	m.Dense(s.Work, s.Arch, s.slots) // structurally valid by construction
 }
 
@@ -281,7 +319,7 @@ func (sm *Sampler) SampleInto(rng *rand.Rand, m *mapping.Mapping) {
 // names in declaration order on entry.
 //
 //ruby:hotpath
-func (s *Space) sampleInto(rng *rand.Rand, m *mapping.Mapping, budget []int, dims []string) {
+func (s *Space) sampleInto(rng *rand.Rand, m *mapping.Mapping, budget []int, dims []string, dc *divCache) {
 	m.Invalidate()
 	if m.Factors == nil {
 		m.Factors = make(map[string][]int, len(s.Work.Dims))
@@ -309,9 +347,9 @@ func (s *Space) sampleInto(rng *rand.Rand, m *mapping.Mapping, budget []int, dim
 		fs := m.Factors[d]
 		if len(fs) != len(s.slots) {
 			fs = make([]int, len(s.slots))
+			m.Factors[d] = fs
 		}
-		s.sampleChainInto(rng, d, budget, fs)
-		m.Factors[d] = fs
+		s.sampleChainInto(rng, d, budget, fs, dc)
 	}
 
 	if s.Cons.FixedPerms {
@@ -377,7 +415,7 @@ func (s *Space) sampleBypass(rng *rand.Rand, m *mapping.Mapping) {
 // from the shared spatial budget slice.
 func (s *Space) sampleChain(rng *rand.Rand, d string, budget []int) []int {
 	fs := make([]int, len(s.slots))
-	s.sampleChainInto(rng, d, budget, fs)
+	s.sampleChainInto(rng, d, budget, fs, nil)
 	return fs
 }
 
@@ -385,8 +423,8 @@ func (s *Space) sampleChain(rng *rand.Rand, d string, budget []int) []int {
 // equal the slot count; every entry is overwritten).
 //
 //ruby:hotpath
-func (s *Space) sampleChainInto(rng *rand.Rand, d string, budget, fs []int) {
-	r := s.Work.Bound(d)
+func (s *Space) sampleChainInto(rng *rand.Rand, d string, budget, fs []int, dc *divCache) {
+	r := s.Work.Dims[s.Work.DimID(d)].Bound // d is one of the space's dim names
 	// Innermost-first; slot 0 of s.slots is outermost.
 	for i := len(s.slots) - 1; i >= 0; i-- {
 		sl := s.slots[i]
@@ -395,7 +433,7 @@ func (s *Space) sampleChainInto(rng *rand.Rand, d string, budget, fs []int) {
 			fs[i] = r
 			break
 		}
-		f := s.sampleFactor(rng, sl, d, r, budget[i], s.requiredOuter(d, i))
+		f := s.sampleFactor(rng, sl, d, r, budget[i], s.requiredOuter(d, i), dc)
 		fs[i] = f
 		if sl.Spatial() && f > 1 {
 			budget[i] /= f
@@ -452,7 +490,7 @@ func (s *Space) requiredOuter(dim string, i int) bool {
 // so the residual stays above 1 (an outer slot still needs a share).
 //
 //ruby:hotpath
-func (s *Space) sampleFactor(rng *rand.Rand, sl mapping.Slot, dim string, r, budget int, reserve bool) int {
+func (s *Space) sampleFactor(rng *rand.Rand, sl mapping.Slot, dim string, r, budget int, reserve bool, dc *divCache) int {
 	if r == 1 {
 		return 1
 	}
@@ -481,7 +519,7 @@ func (s *Space) sampleFactor(rng *rand.Rand, sl mapping.Slot, dim string, r, bud
 		if imperfect {
 			return 2 + rng.Intn(max-1)
 		}
-		if f := s.divisorGE2LE(rng, r, max); f > 1 {
+		if f := s.divisorGE2LE(rng, r, max, dc); f > 1 {
 			return f
 		}
 		return 1
@@ -497,12 +535,12 @@ func (s *Space) sampleFactor(rng *rand.Rand, sl mapping.Slot, dim string, r, bud
 		case 0, 1, 2:
 			return max
 		case 3, 4, 5:
-			return s.cappedDivisor(rng, r, max)
+			return s.cappedDivisor(rng, r, max, dc)
 		default:
 			return 1 + rng.Intn(max)
 		}
 	}
-	return s.cappedDivisor(rng, r, max)
+	return s.cappedDivisor(rng, r, max, dc)
 }
 
 // sortRequiredFirst stably moves dimensions with required spatial
@@ -527,8 +565,8 @@ func sortRequiredFirst(dims []string, cons Constraints) {
 // exists. The divisor list is sorted with 1 first, so the candidates are the
 // cached list's [1, hi) window; the rng draw count and selected values match
 // the pre-cache implementation exactly.
-func (s *Space) divisorGE2LE(rng *rand.Rand, r, max int) int {
-	divs := s.divisors(r)
+func (s *Space) divisorGE2LE(rng *rand.Rand, r, max int, dc *divCache) int {
+	divs := s.divisorsFor(r, dc)
 	hi := len(divs)
 	for hi > 0 && divs[hi-1] > max {
 		hi--
@@ -541,8 +579,8 @@ func (s *Space) divisorGE2LE(rng *rand.Rand, r, max int) int {
 
 // cappedDivisor draws a uniform random divisor of r not exceeding max
 // (falling back to 1, which always divides).
-func (s *Space) cappedDivisor(rng *rand.Rand, r, max int) int {
-	divs := s.divisors(r)
+func (s *Space) cappedDivisor(rng *rand.Rand, r, max int, dc *divCache) int {
+	divs := s.divisorsFor(r, dc)
 	hi := len(divs)
 	for hi > 0 && divs[hi-1] > max {
 		hi--

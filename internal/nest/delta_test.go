@@ -1,0 +1,260 @@
+package nest_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ruby/internal/arch"
+	"ruby/internal/mapping"
+	"ruby/internal/mapspace"
+	"ruby/internal/nest"
+	"ruby/internal/workload"
+	"ruby/internal/workloads"
+)
+
+// deltaCase is one (arch, workload, constraints) triple the incremental
+// evaluator's differential suite exercises. The workloads are chosen small
+// enough that every factorization kind yields valid seeds quickly.
+type deltaCase struct {
+	name string
+	a    *arch.Arch
+	w    *workload.Workload
+	cons func(*workload.Workload) mapspace.Constraints
+}
+
+func deltaCases() []deltaCase {
+	resnet := workloads.ResNet50()
+	toy := workload.MustMatmul("toy", 24, 36, 50)
+	return []deltaCase{
+		{
+			name: "eyeriss/resnet-pointwise",
+			a:    arch.EyerissLike(14, 12, 128),
+			w:    resnet[1].Work,
+			cons: mapspace.EyerissRowStationary,
+		},
+		{
+			name: "simba/resnet-pointwise",
+			a:    arch.SimbaLike(15, 4, 4),
+			w:    resnet[1].Work,
+			cons: mapspace.SimbaDataflow,
+		},
+		{
+			name: "toylinear/matmul",
+			a:    arch.ToyLinear(9, 512),
+			w:    toy,
+			cons: func(*workload.Workload) mapspace.Constraints {
+				return mapspace.Constraints{FixedPerms: true}
+			},
+		},
+	}
+}
+
+// bitsEqual reports exact bit equality of two floats (so +0 vs -0 and any
+// NaN payload difference count as mismatches, unlike ==).
+func bitsEqual(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+// costsBitIdentical compares every Cost field bit for bit.
+func costsBitIdentical(a, b nest.Cost) bool {
+	if a.Valid != b.Valid || a.Reason != b.Reason || a.BandwidthBound != b.BandwidthBound {
+		return false
+	}
+	if !bitsEqual(a.Cycles, b.Cycles) || !bitsEqual(a.MACs, b.MACs) ||
+		!bitsEqual(a.Utilization, b.Utilization) || !bitsEqual(a.EnergyPJ, b.EnergyPJ) ||
+		!bitsEqual(a.EDP, b.EDP) || !bitsEqual(a.MACEnergyPJ, b.MACEnergyPJ) ||
+		!bitsEqual(a.NoCEnergyPJ, b.NoCEnergyPJ) || !bitsEqual(a.StaticEnergyPJ, b.StaticEnergyPJ) {
+		return false
+	}
+	for _, pair := range [][2][]float64{
+		{a.LevelReads, b.LevelReads},
+		{a.LevelWrites, b.LevelWrites},
+		{a.LevelEnergyPJ, b.LevelEnergyPJ},
+	} {
+		if len(pair[0]) != len(pair[1]) {
+			return false
+		}
+		for i := range pair[0] {
+			if !bitsEqual(pair[0][i], pair[1][i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// seedValid samples until the space yields a valid mapping.
+func seedValid(t *testing.T, sp *mapspace.Space, ev *nest.Evaluator, rng *rand.Rand) *mapping.Mapping {
+	t.Helper()
+	for i := 0; i < 50000; i++ {
+		m := sp.Sample(rng)
+		if ev.Evaluate(m).Valid {
+			return m
+		}
+	}
+	t.Fatalf("no valid seed mapping found")
+	return nil
+}
+
+// TestDeltaMatchesFull is the differential property test pinning the
+// incremental evaluator to the full compiled kernel bit for bit: over long
+// random move sequences (chain resamples, loop-order swaps, bypass
+// toggles) on every bundled architecture family and factorization kind,
+// EvaluateDelta must equal a full EvaluateInto of the mutated mapping on
+// every Cost field — including invalid Reasons — exactly. Moves are
+// randomly committed or rejected; rejected moves are undone and the next
+// proposal implicitly re-verifies that the committed state was restored
+// exactly. Periodically the in-place-patched dense lowering and memoized
+// key are checked against a from-scratch lowering of a clone.
+func TestDeltaMatchesFull(t *testing.T) {
+	const steps = 1000
+	for _, tc := range deltaCases() {
+		for _, kind := range mapspace.Kinds {
+			t.Run(fmt.Sprintf("%s/%s", tc.name, kind), func(t *testing.T) {
+				ev := nest.MustEvaluator(tc.w, tc.a)
+				plan := ev.Plan()
+				cons := tc.cons(tc.w)
+				cons.ExploreBypass = true
+				sp := mapspace.New(tc.w, tc.a, kind, cons)
+				rng := rand.New(rand.NewSource(int64(17 + kind)))
+
+				m := seedValid(t, sp, ev, rng)
+				dm, err := m.Dense(sp.Work, sp.Arch, sp.Slots())
+				if err != nil {
+					t.Fatalf("lowering seed: %v", err)
+				}
+				de := plan.NewDeltaEval()
+				scratch := plan.NewScratch()
+				seed := de.Seed(dm)
+				if want := plan.EvaluateInto(dm, scratch); !costsBitIdentical(seed, want) {
+					t.Fatalf("seed cost differs from full evaluation:\ndelta %+v\nfull  %+v", seed, want)
+				}
+
+				mut := sp.NewMutator()
+				valid, committed := 0, 0
+				for i := 0; i < steps; i++ {
+					mv := mut.Propose(rng)
+					mv.Apply(m)
+					got := plan.EvaluateDelta(de, mv.Delta())
+					want := plan.EvaluateInto(dm, scratch)
+					if !costsBitIdentical(got, want) {
+						t.Fatalf("step %d (%v): delta and full evaluation diverge:\ndelta %+v\nfull  %+v",
+							i, mv.Delta(), got, want)
+					}
+					if got.Valid {
+						valid++
+					}
+					if i%97 == 0 {
+						checkDenseAgainstFresh(t, i, m, sp)
+					}
+					if got.Valid && rng.Intn(2) == 0 {
+						de.Commit()
+						committed++
+					} else {
+						de.Reject()
+						mv.Undo(m)
+						if i%89 == 0 {
+							checkDenseAgainstFresh(t, i, m, sp)
+						}
+					}
+				}
+				if valid == 0 {
+					t.Errorf("move sequence produced no valid candidates")
+				}
+				if committed == 0 {
+					t.Errorf("move sequence committed no moves")
+				}
+			})
+		}
+	}
+}
+
+// checkDenseAgainstFresh verifies that the move-patched dense lowering and
+// memoized key of m are exactly what a from-scratch lowering of an
+// identical mapping produces.
+func checkDenseAgainstFresh(t *testing.T, step int, m *mapping.Mapping, sp *mapspace.Space) {
+	t.Helper()
+	mc := m.Clone()
+	fresh, err := mc.Dense(sp.Work, sp.Arch, sp.Slots())
+	if err != nil {
+		t.Fatalf("step %d: clone failed to lower: %v", step, err)
+	}
+	dm, err := m.Dense(sp.Work, sp.Arch, sp.Slots())
+	if err != nil {
+		t.Fatalf("step %d: patched mapping failed to lower: %v", step, err)
+	}
+	if !reflect.DeepEqual(dm.Cum, fresh.Cum) || !reflect.DeepEqual(dm.Perm, fresh.Perm) ||
+		!reflect.DeepEqual(dm.KeepMask, fresh.KeepMask) {
+		t.Fatalf("step %d: patched dense diverges from fresh lowering:\npatched Cum=%v Perm=%v Keep=%v\nfresh   Cum=%v Perm=%v Keep=%v",
+			step, dm.Cum, dm.Perm, dm.KeepMask, fresh.Cum, fresh.Perm, fresh.KeepMask)
+	}
+	if mk, fk := m.Key(sp.Work, sp.Slots()), mc.Key(sp.Work, sp.Slots()); mk != fk {
+		t.Fatalf("step %d: patched key %q differs from fresh key %q", step, mk, fk)
+	}
+}
+
+// TestDeltaEvalProtocol pins the session-protocol guard rails: proposals
+// are strictly one at a time, invalid proposals cannot be committed, and
+// sessions must be seeded with a valid mapping.
+func TestDeltaEvalProtocol(t *testing.T) {
+	tc := deltaCases()[2]
+	ev := nest.MustEvaluator(tc.w, tc.a)
+	plan := ev.Plan()
+	sp := mapspace.New(tc.w, tc.a, mapspace.RubyS, tc.cons(tc.w))
+	rng := rand.New(rand.NewSource(5))
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+
+	de := plan.NewDeltaEval()
+	mustPanic("unseeded EvaluateDelta", func() {
+		plan.EvaluateDelta(de, mapping.Delta{Kind: mapping.DeltaChain})
+	})
+	mustPanic("Commit without proposal", func() { de.Commit() })
+	mustPanic("Reject without proposal", func() { de.Reject() })
+
+	m := seedValid(t, sp, ev, rng)
+	dm, err := m.Dense(sp.Work, sp.Arch, sp.Slots())
+	if err != nil {
+		t.Fatalf("lowering seed: %v", err)
+	}
+	if c := de.Seed(dm); !c.Valid {
+		t.Fatalf("seed invalid: %s", c.Reason)
+	}
+
+	mut := sp.NewMutator()
+	mv := mut.Propose(rng)
+	mv.Apply(m)
+	plan.EvaluateDelta(de, mv.Delta())
+	mustPanic("second open proposal", func() { plan.EvaluateDelta(de, mv.Delta()) })
+	de.Reject()
+	mv.Undo(m)
+
+	// Hunt for an invalid proposal and verify Commit refuses it.
+	for i := 0; i < 5000; i++ {
+		mv = mut.Propose(rng)
+		mv.Apply(m)
+		c := plan.EvaluateDelta(de, mv.Delta())
+		if !c.Valid {
+			mustPanic("Commit of invalid proposal", func() { de.Commit() })
+			de.Reject()
+			mv.Undo(m)
+			return
+		}
+		if rng.Intn(2) == 0 {
+			de.Commit()
+		} else {
+			de.Reject()
+			mv.Undo(m)
+		}
+	}
+	t.Log("no invalid proposal encountered; Commit-of-invalid guard not exercised")
+}

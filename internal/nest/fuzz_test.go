@@ -1,0 +1,100 @@
+package nest_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ruby/internal/arch"
+	"ruby/internal/mapspace"
+	"ruby/internal/nest"
+	"ruby/internal/workload"
+)
+
+// FuzzMoveDelta fuzzes the incremental-evaluation pipeline: a script byte
+// stream steers a sequence of Moves (tiling-chain resamples, loop-order
+// swaps, bypass toggles) over one mapping, and after every move the delta
+// kernel's verdict must be bit-identical to a full evaluation of the
+// mutated mapping. Each script byte encodes one step: bits 0-1 select the
+// move kind, bits 2-6 the target dimension/level, bit 7 whether a valid
+// proposal is committed or rejected.
+func FuzzMoveDelta(f *testing.F) {
+	f.Add(int64(1), []byte{0x00, 0x41, 0x86, 0xc2})
+	f.Add(int64(7), []byte{0x02, 0x82, 0x13, 0x90, 0x25})
+	f.Add(int64(42), []byte{0xff, 0x00, 0x7f, 0x80, 0x01, 0xfe})
+
+	w := workload.MustMatmul("fuzz", 24, 36, 50)
+	a := arch.ToyGLB(8, 4096)
+	ev := nest.MustEvaluator(w, a)
+	plan := ev.Plan()
+
+	// Togglable (level, role) bypass pairs for keep moves.
+	var bypassLvls []int
+	var bypassRoles []workload.Role
+	for li := 1; li < len(a.Levels)-1; li++ {
+		for _, r := range workload.Roles {
+			if a.Levels[li].KeepsRole(r, false) {
+				bypassLvls = append(bypassLvls, li)
+				bypassRoles = append(bypassRoles, r)
+			}
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, seed int64, script []byte) {
+		if len(script) == 0 || len(script) > 256 {
+			t.Skip("script outside the cheap envelope")
+		}
+		kind := mapspace.Kinds[int(uint64(seed)%uint64(len(mapspace.Kinds)))]
+		sp := mapspace.New(w, a, kind, mapspace.Constraints{ExploreBypass: true})
+		rng := rand.New(rand.NewSource(seed))
+
+		var m = sp.Sample(rng)
+		found := false
+		for i := 0; i < 2000; i++ {
+			if ev.Evaluate(m).Valid {
+				found = true
+				break
+			}
+			m = sp.Sample(rng)
+		}
+		if !found {
+			t.Skip("no valid seed mapping for this rng seed")
+		}
+		dm, err := m.Dense(sp.Work, sp.Arch, sp.Slots())
+		if err != nil {
+			t.Fatalf("lowering seed: %v", err)
+		}
+		de := plan.NewDeltaEval()
+		scratch := plan.NewScratch()
+		if c := de.Seed(dm); !c.Valid {
+			t.Fatalf("seed mapping evaluated invalid: %s", c.Reason)
+		}
+
+		mut := sp.NewMutator()
+		dims := sp.Work.DimNames()
+		for i, b := range script {
+			var mv *mapspace.Move
+			switch sel := b & 3; {
+			case sel == 1:
+				mv = mut.ProposePerm(rng, int(b>>2)%len(a.Levels))
+			case sel == 2 && len(bypassLvls) > 0:
+				k := int(b>>2) % len(bypassLvls)
+				mv = mut.ProposeKeep(bypassLvls[k], bypassRoles[k])
+			default:
+				mv = mut.ProposeChainID(rng, int(b>>2)%len(dims))
+			}
+			mv.Apply(m)
+			got := plan.EvaluateDelta(de, mv.Delta())
+			want := plan.EvaluateInto(dm, scratch)
+			if !costsBitIdentical(got, want) {
+				t.Fatalf("step %d (%v): delta and full evaluation diverge:\ndelta %+v\nfull  %+v",
+					i, mv.Delta(), got, want)
+			}
+			if got.Valid && b&0x80 != 0 {
+				de.Commit()
+			} else {
+				de.Reject()
+				mv.Undo(m)
+			}
+		}
+	})
+}

@@ -150,7 +150,8 @@ func newPlan(w *workload.Workload, a *arch.Arch, slots []mapping.Slot, firstSlot
 // A Scratch belongs to exactly one goroutine at a time; the Plan itself is
 // immutable and freely shared.
 type Scratch struct {
-	ext        []int     // per dim, tile extents at the current level
+	exts       []int     // [level*nDims+dim] tile extents at each level's first slot
+	trips      []int     // [slot*nDims+dim] loop trip counts (TripsAt table, slot-major)
 	vols       []int64   // [level*nTensors+tensor] tile volumes in words
 	kept       []uint8   // per level, effective kept-role mask
 	keptLevels []int     // reused kept-level chain buffer
@@ -168,7 +169,8 @@ type Scratch struct {
 // NewScratch allocates working memory sized for the plan.
 func (p *Plan) NewScratch() *Scratch {
 	s := &Scratch{
-		ext:        make([]int, p.nDims),
+		exts:       make([]int, p.nLevels*p.nDims),
+		trips:      make([]int, p.nDims*p.nSlots),
 		vols:       make([]int64, p.nLevels*p.nTensors),
 		kept:       make([]uint8, p.nLevels),
 		keptLevels: make([]int, 0, p.nLevels),
@@ -242,24 +244,44 @@ func (p *Plan) Evaluate(dm *mapping.Dense, s *Scratch) Cost {
 //
 //ruby:hotpath
 func (p *Plan) EvaluateInto(dm *mapping.Dense, s *Scratch) Cost {
+	return p.evalInto(dm, s, nil)
+}
+
+// evalInto is the full-evaluation core behind EvaluateInto and
+// DeltaEval.Seed. When de is non-nil it additionally records the per-scope
+// contributions (per-link traffic, per-tensor datapath terms, per-dimension
+// latency factors) that the delta kernel later recombines. Recording never
+// changes the arithmetic: every floating-point operation runs in the same
+// order on the same values either way, which is what keeps the compiled
+// path bit-identical to EvaluateLegacy and the delta path bit-identical to
+// the full one.
+//
+//ruby:hotpath
+func (p *Plan) evalInto(dm *mapping.Dense, s *Scratch, de *DeltaEval) Cost {
 	if dm.NDims != p.nDims || dm.NSlots != p.nSlots {
 		panic("nest: dense mapping shape does not match plan")
 	}
 
+	// Integer trip counts per (dim, slot): one ceiling division here replaces
+	// the repeated TripsAt divisions in every stationarity walk below (and is
+	// the table the delta kernel patches per move).
+	// Slot-major layout: each slot's dim row is contiguous, so the
+	// stationarity walks below read one cache line per slot.
+	for d := 0; d < p.nDims; d++ {
+		cbase := d * p.stride
+		for si := 0; si < p.nSlots; si++ {
+			outer, inner := dm.Cum[cbase+si], dm.Cum[cbase+si+1]
+			if inner >= outer {
+				s.trips[si*p.nDims+d] = 1
+			} else {
+				s.trips[si*p.nDims+d] = (outer + inner - 1) / inner
+			}
+		}
+	}
+
 	// Spatial fanout bounds.
-	for si := range p.slots {
-		sl := &p.slots[si]
-		if !sl.Spatial() {
-			continue
-		}
-		used := 1
-		for d := 0; d < p.nDims; d++ {
-			used *= dm.TripsAt(d, si)
-		}
-		if used > sl.Fanout {
-			return invalid("fanout: slot %d (%s level %d) uses %d of %d instances",
-				sl.Index, sl.Kind, sl.Level, used, sl.Fanout)
-		}
+	if c, bad := p.checkFanout(s); bad {
+		return c
 	}
 
 	// Effective kept roles per level (arch policy, masked by overrides).
@@ -274,8 +296,9 @@ func (p *Plan) EvaluateInto(dm *mapping.Dense, s *Scratch) Cost {
 	// Tile volumes per (level, tensor).
 	for li := 0; li < p.nLevels; li++ {
 		si := p.firstSlot[li]
+		ebase := li * p.nDims
 		for d := 0; d < p.nDims; d++ {
-			s.ext[d] = dm.CumAt(d, si)
+			s.exts[ebase+d] = dm.CumAt(d, si)
 		}
 		base := li * p.nTensors
 		for ti := range p.tensors {
@@ -283,7 +306,7 @@ func (p *Plan) EvaluateInto(dm *mapping.Dense, s *Scratch) Cost {
 			for _, coord := range p.tensors[ti].coords {
 				extent := 1
 				for _, tm := range coord {
-					extent += tm.stride * (s.ext[tm.dim] - 1)
+					extent += tm.stride * (s.exts[ebase+tm.dim] - 1)
 				}
 				vol *= int64(extent)
 			}
@@ -292,33 +315,14 @@ func (p *Plan) EvaluateInto(dm *mapping.Dense, s *Scratch) Cost {
 	}
 
 	// Storage residency and capacity.
-	for li := 1; li < p.nLevels; li++ {
-		var shared int64
-		for ti := range p.tensors {
-			role := p.tensors[ti].role
-			if s.kept[li]&mapping.RoleBit(role) == 0 {
-				continue
-			}
-			v := s.vols[li*p.nTensors+ti]
-			if p.dedicated[li] {
-				if v > p.roleCap[li][role] {
-					return invalid("capacity: level %s %v tile %d words exceeds dedicated %d",
-						p.arch.Levels[li].Name, role, v, p.roleCap[li][role])
-				}
-			} else {
-				shared += v
-			}
-		}
-		if !p.dedicated[li] && p.sharedCap[li] > 0 && shared > p.sharedCap[li] {
-			return invalid("capacity: level %s holds %d words, capacity %d",
-				p.arch.Levels[li].Name, shared, p.sharedCap[li])
-		}
+	if c, bad := p.checkCapacity(s); bad {
+		return c
 	}
 
 	for li := 0; li < p.nLevels; li++ {
 		s.reads[li], s.writes[li], s.energy[li] = 0, 0, 0
 	}
-	var noc, static float64
+	var noc float64
 
 	// Inter-level traffic per tensor along its chain of kept levels.
 	for ti := range p.tensors {
@@ -331,27 +335,103 @@ func (p *Plan) EvaluateInto(dm *mapping.Dense, s *Scratch) Cost {
 				kl = append(kl, li)
 			}
 		}
+		var lcs []linkC
+		if de != nil {
+			lcs = de.links[ti][:0]
+		}
 		for i := 1; i < len(kl); i++ {
 			parent, child := kl[i-1], kl[i]
-			p.addLinkTraffic(dm, s, ti, float64(s.vols[child*p.nTensors+ti]), parent, child, &noc)
+			lc := p.linkTraffic(dm, s, ti, float64(s.vols[child*p.nTensors+ti]), parent, child)
+			applyLink(s, &noc, &lc)
+			if de != nil {
+				lcs = append(lcs, lc)
+			}
+		}
+		if de != nil {
+			de.links[ti] = lcs
 		}
 		// Datapath-side accesses at the innermost kept level (see the
 		// legacy path for the multicast-sharing rationale).
-		inner := kl[len(kl)-1]
-		ops := p.macs / p.broadcastBelow(dm, ti, inner)
-		s.reads[inner] += ops
-		noc += ops * p.hop[inner][p.nLevels]
-		if t.role == workload.Output {
-			s.writes[inner] += ops
-			noc += ops * p.hop[inner][p.nLevels]
+		dp := p.dpTraffic(dm, s, ti, kl[len(kl)-1])
+		applyDP(s, &noc, &dp)
+		if de != nil {
+			de.dp[ti] = dp
 		}
 	}
 
-	// Latency: compute-bound cycles, stretched by bandwidth-limited levels.
+	// Latency: compute-bound cycles per dimension.
 	cycles := 1.0
 	for d := 0; d < p.nDims; d++ {
-		cycles *= p.cyclesAlong(dm, d, s)
+		v := p.cyclesAlong(dm, d, s)
+		if de != nil {
+			de.dimCycles[d] = v
+		}
+		cycles *= v
 	}
+	return p.finish(s, cycles, noc)
+}
+
+// checkFanout verifies every spatial slot's joint trip count against its
+// fanout, reading the scratch trips table. Reported in slot order with the
+// legacy message.
+//
+//ruby:hotpath
+func (p *Plan) checkFanout(s *Scratch) (Cost, bool) {
+	for si := range p.slots {
+		sl := &p.slots[si]
+		if !sl.Spatial() {
+			continue
+		}
+		used := 1
+		row := s.trips[si*p.nDims : si*p.nDims+p.nDims]
+		for d := 0; d < p.nDims; d++ {
+			used *= row[d]
+		}
+		if used > sl.Fanout {
+			return invalid("fanout: slot %d (%s level %d) uses %d of %d instances",
+				sl.Index, sl.Kind, sl.Level, used, sl.Fanout), true
+		}
+	}
+	return Cost{}, false
+}
+
+// checkCapacity verifies storage residency per level against dedicated or
+// shared capacities, in the legacy order with the legacy messages.
+//
+//ruby:hotpath
+func (p *Plan) checkCapacity(s *Scratch) (Cost, bool) {
+	for li := 1; li < p.nLevels; li++ {
+		var shared int64
+		for ti := range p.tensors {
+			role := p.tensors[ti].role
+			if s.kept[li]&mapping.RoleBit(role) == 0 {
+				continue
+			}
+			v := s.vols[li*p.nTensors+ti]
+			if p.dedicated[li] {
+				if v > p.roleCap[li][role] {
+					return invalid("capacity: level %s %v tile %d words exceeds dedicated %d",
+						p.arch.Levels[li].Name, role, v, p.roleCap[li][role]), true
+				}
+			} else {
+				shared += v
+			}
+		}
+		if !p.dedicated[li] && p.sharedCap[li] > 0 && shared > p.sharedCap[li] {
+			return invalid("capacity: level %s holds %d words, capacity %d",
+				p.arch.Levels[li].Name, shared, p.sharedCap[li]), true
+		}
+	}
+	return Cost{}, false
+}
+
+// finish turns accumulated per-level traffic plus the compute-bound cycle
+// count into a Cost: bandwidth stretch, utilization, and the energy sums.
+// Shared by the full and delta paths so their tail arithmetic is the same
+// code.
+//
+//ruby:hotpath
+func (p *Plan) finish(s *Scratch, cycles, noc float64) Cost {
 	bwBound := ""
 	for li := 0; li < p.nLevels; li++ {
 		bw := p.bandwidth[li]
@@ -367,6 +447,7 @@ func (p *Plan) EvaluateInto(dm *mapping.Dense, s *Scratch) Cost {
 	util := p.macs / (cycles * p.lanes)
 
 	// Energy: dynamic accesses + MACs + optional NoC hops and leakage.
+	var static float64
 	macE := p.macs * p.macEnergyPJ
 	energyTot := macE + noc
 	for li := 0; li < p.nLevels; li++ {
@@ -395,12 +476,59 @@ func (p *Plan) EvaluateInto(dm *mapping.Dense, s *Scratch) Cost {
 	}
 }
 
-// addLinkTraffic is the compiled stationarity walk for one (tensor, parent,
-// child) link — the integer-indexed twin of Evaluator.addLinkTraffic, with
-// identical multiplication order.
+// linkC is the cached contribution of one (tensor, parent, child) link: the
+// four per-level accumulator terms plus the NoC term, stored so the delta
+// kernel can replay them in the exact order the full kernel adds them.
+// Input-role links leave wp and rc zero; adding 0.0 to a non-negative
+// accumulator is bitwise inert, so one uniform apply order serves both
+// roles.
+type linkC struct {
+	parent, child int32
+	wp, rp        float64 // writes[parent], reads[parent]
+	rc, wc        float64 // reads[child], writes[child]
+	noc           float64
+}
+
+// applyLink accumulates one link contribution, in the exact legacy order.
 //
 //ruby:hotpath
-func (p *Plan) addLinkTraffic(dm *mapping.Dense, s *Scratch, ti int, vol float64, parent, child int, noc *float64) {
+func applyLink(s *Scratch, noc *float64, lc *linkC) {
+	s.writes[lc.parent] += lc.wp
+	s.reads[lc.parent] += lc.rp
+	s.reads[lc.child] += lc.rc
+	s.writes[lc.child] += lc.wc
+	*noc += lc.noc
+}
+
+// dpC is the cached datapath-side contribution of one tensor at its
+// innermost kept level. The NoC term is stored once and (for outputs)
+// applied twice, exactly as the full kernel adds it.
+type dpC struct {
+	inner  int32
+	out    bool
+	ops    float64
+	nocHop float64
+}
+
+// applyDP accumulates one datapath contribution, in the exact legacy order.
+//
+//ruby:hotpath
+func applyDP(s *Scratch, noc *float64, dp *dpC) {
+	s.reads[dp.inner] += dp.ops
+	*noc += dp.nocHop
+	if dp.out {
+		s.writes[dp.inner] += dp.ops
+		*noc += dp.nocHop
+	}
+}
+
+// linkTraffic is the compiled stationarity walk for one (tensor, parent,
+// child) link — the integer-indexed twin of Evaluator.addLinkTraffic, with
+// identical multiplication order, returning the contribution record instead
+// of accumulating it directly.
+//
+//ruby:hotpath
+func (p *Plan) linkTraffic(dm *mapping.Dense, s *Scratch, ti int, vol float64, parent, child int) linkC {
 	t := &p.tensors[ti]
 	rel := t.rel
 	inRun := true
@@ -412,11 +540,12 @@ func (p *Plan) addLinkTraffic(dm *mapping.Dense, s *Scratch, ti int, vol float64
 	boundary := p.firstSlot[child]
 	for si := boundary - 1; si >= 0; si-- {
 		sl := &p.slots[si]
+		row := s.trips[si*p.nDims : si*p.nDims+p.nDims]
 		if sl.Kind == mapping.Temporal {
 			base := sl.Level * p.nDims
 			for pi := p.nDims - 1; pi >= 0; pi-- {
 				d := int(dm.Perm[base+pi])
-				tr := float64(dm.TripsAt(d, si))
+				tr := float64(row[d])
 				if tr == 1 {
 					continue
 				}
@@ -433,7 +562,7 @@ func (p *Plan) addLinkTraffic(dm *mapping.Dense, s *Scratch, ti int, vol float64
 			continue
 		}
 		for d := 0; d < p.nDims; d++ {
-			tr := float64(dm.TripsAt(d, si))
+			tr := float64(row[d])
 			if tr == 1 {
 				continue
 			}
@@ -451,6 +580,7 @@ func (p *Plan) addLinkTraffic(dm *mapping.Dense, s *Scratch, ti int, vol float64
 	}
 
 	hop := p.hop[parent][child]
+	lc := linkC{parent: int32(parent), child: int32(child)}
 	if t.role == workload.Output {
 		transfers := fills * delivMult
 		writesUp := transfers * vol
@@ -458,22 +588,36 @@ func (p *Plan) addLinkTraffic(dm *mapping.Dense, s *Scratch, ti int, vol float64
 		if rmw < 0 {
 			rmw = 0
 		}
-		s.writes[parent] += writesUp
-		s.reads[parent] += rmw * vol
-		s.reads[child] += writesUp
-		s.writes[child] += rmw * vol
-		*noc += (writesUp + rmw*vol) * hop
-		return
+		rmwv := rmw * vol
+		lc.wp, lc.rp, lc.rc, lc.wc = writesUp, rmwv, writesUp, rmwv
+		lc.noc = (writesUp + rmwv) * hop
+		return lc
 	}
-	s.reads[parent] += fills * readsMult * vol
-	s.writes[child] += fills * delivMult * vol
-	*noc += fills * delivMult * vol * hop
+	lc.rp = fills * readsMult * vol
+	deliv := fills * delivMult * vol
+	lc.wc = deliv
+	lc.noc = deliv * hop
+	return lc
+}
+
+// dpTraffic computes one tensor's datapath-side contribution at its
+// innermost kept level.
+//
+//ruby:hotpath
+func (p *Plan) dpTraffic(dm *mapping.Dense, s *Scratch, ti, inner int) dpC {
+	ops := p.macs / p.broadcastBelow(dm, s, ti, inner)
+	return dpC{
+		inner:  int32(inner),
+		out:    p.tensors[ti].role == workload.Output,
+		ops:    ops,
+		nocHop: ops * p.hop[inner][p.nLevels],
+	}
 }
 
 // broadcastBelow is the compiled twin of Evaluator.broadcastBelow.
 //
 //ruby:hotpath
-func (p *Plan) broadcastBelow(dm *mapping.Dense, ti, li int) float64 {
+func (p *Plan) broadcastBelow(dm *mapping.Dense, s *Scratch, ti, li int) float64 {
 	rel := p.tensors[ti].rel
 	share := 1.0
 	for si := range p.slots {
@@ -485,7 +629,7 @@ func (p *Plan) broadcastBelow(dm *mapping.Dense, ti, li int) float64 {
 			if rel[d] {
 				continue
 			}
-			if tr := dm.TripsAt(d, sl.Index); tr > 1 {
+			if tr := s.trips[sl.Index*p.nDims+d]; tr > 1 {
 				share *= float64(tr)
 			}
 		}

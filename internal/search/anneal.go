@@ -44,11 +44,18 @@ func (o AnnealOptions) withDefaults() AnnealOptions {
 // climber's moves), and worsening moves are accepted with Boltzmann
 // probability under a geometrically cooled temperature. Annealing escapes
 // the local optima that trap greedy search in the large Ruby mapspaces.
+//
+// The annealing loop runs on the incremental pipeline: Moves mutate the
+// incumbent in place (rejections are undone exactly) and candidates are
+// scored by the bit-identical delta kernel, so trajectories and results
+// match the historical clone-and-reevaluate implementation draw for draw.
 func Anneal(sp *mapspace.Space, ev *nest.Evaluator, opt AnnealOptions) *Result {
 	opt = opt.withDefaults()
+	if sp.Work != ev.Work || sp.Arch != ev.Arch {
+		panic("search: mapspace and evaluator must share workload and architecture objects for incremental evaluation")
+	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	res := &Result{}
-	dims := sp.Work.DimNames()
 
 	// Warmup: best random sample becomes the incumbent.
 	var cur *annealState
@@ -73,33 +80,48 @@ func Anneal(sp *mapspace.Space, ev *nest.Evaluator, opt AnnealOptions) *Result {
 		return res
 	}
 
+	// The incumbent is mutated in place from here on; it is the loop's sole
+	// owner (res.Best is always a clone). Seed the delta session with its
+	// lowering — uncounted, since the incumbent was already evaluated above.
+	plan := ev.Plan()
+	mut := sp.NewMutator()
+	de := plan.NewDeltaEval()
+	dm, err := cur.m.Dense(sp.Work, sp.Arch, sp.Slots())
+	if err != nil {
+		return res // unreachable: the incumbent evaluated valid
+	}
+	de.Seed(dm)
+
 	t0 := opt.StartTemp * cur.value
 	cooling := math.Pow(1e-3, 1/float64(opt.Steps)) // t0 -> t0/1000 over the run
 	temp := t0
 	for step := 0; step < opt.Steps; step++ {
-		cand := cur.m.Clone()
-		if rng.Intn(4) == 0 {
-			li := rng.Intn(len(cand.Perms))
-			cand.Perms[li] = sp.SamplePerm(rng)
-		} else {
-			d := dims[rng.Intn(len(dims))]
-			cand.Factors[d] = sp.SampleChain(rng, d)
-		}
+		mv := mut.Propose(rng)
+		mv.Apply(cur.m)
 		res.Evaluated++
-		c := ev.Evaluate(cand)
+		c := plan.EvaluateDelta(de, mv.Delta())
 		temp *= cooling
 		if !c.Valid {
+			de.Reject()
+			mv.Undo(cur.m)
 			continue
 		}
 		res.Valid++
 		v := opt.Objective.Value(&c)
 		if v < opt.Objective.Value(&res.BestCost) {
-			res.Best, res.BestCost = cand.Clone(), c
+			// Any improvement on the global best also improves the incumbent
+			// (best <= incumbent), so the move below is always accepted and
+			// the clone captures the candidate state.
+			res.Best, res.BestCost = cur.m.Clone(), c.Clone()
 			res.Trace = append(res.Trace, TracePoint{Evals: res.Evaluated, Value: v})
 		}
 		delta := v - cur.value
 		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
-			cur = &annealState{m: cand, value: v}
+			de.Commit()
+			cur.value = v
+		} else {
+			de.Reject()
+			mv.Undo(cur.m)
 		}
 	}
 	return res

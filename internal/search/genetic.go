@@ -79,6 +79,7 @@ func Genetic(sp *mapspace.Space, ev *nest.Evaluator, opt GeneticOptions) *Result
 		return individual{m: m, edp: v}
 	}
 
+	mut := sp.NewMutator()
 	pop := make([]individual, opt.Population)
 	for i := range pop {
 		pop[i] = score(sp.Sample(rng))
@@ -99,7 +100,7 @@ func Genetic(sp *mapspace.Space, ev *nest.Evaluator, opt GeneticOptions) *Result
 		for len(next) < opt.Population {
 			pa, pb := tournament(), tournament()
 			child := crossover(rng, dims, pa.m, pb.m)
-			mutate(rng, sp, dims, child, opt.MutationRate)
+			mutate(rng, mut, child, opt.MutationRate)
 			next = append(next, score(child))
 		}
 		pop = next
@@ -124,16 +125,21 @@ func crossover(rng *rand.Rand, dims []string, a, b *mapping.Mapping) *mapping.Ma
 	return child
 }
 
-// mutate resamples chains and shuffles loop orders in place.
-func mutate(rng *rand.Rand, sp *mapspace.Space, dims []string, m *mapping.Mapping, rate float64) {
-	for _, d := range dims {
+// mutate resamples chains and shuffles loop orders in place through the
+// mutator's Move machinery (applied permanently, never undone — genetic
+// mutation is one-way). The rng draw sequence matches the historical
+// SampleChain/SamplePerm implementation exactly, so seeded runs reproduce
+// their trajectories; the Moves additionally reuse the mutator's scratch
+// instead of allocating fresh chains and permutations per mutation.
+func mutate(rng *rand.Rand, mut *mapspace.Mutator, m *mapping.Mapping, rate float64) {
+	for di := 0; di < mut.NumDims(); di++ {
 		if rng.Float64() < rate {
-			m.Factors[d] = sp.SampleChain(rng, d)
+			mut.ProposeChainID(rng, di).Apply(m)
 		}
 	}
 	for li := range m.Perms {
 		if rng.Float64() < rate/2 {
-			m.Perms[li] = sp.SamplePerm(rng)
+			mut.ProposePerm(rng, li).Apply(m)
 		}
 	}
 }

@@ -284,6 +284,13 @@ const hillClimbChunk = 64
 // samples seed a greedy local search that accepts strict improvements until
 // patience consecutive proposals fail. All draws come from one serializable
 // RNG, so interrupt/resume replays the exact proposal sequence.
+//
+// Like the one-shot HillClimb, the climb phase runs on the incremental
+// pipeline (Moves plus the bit-identical delta kernel). The delta session
+// is process-local state, not checkpoint state: it is re-seeded from the
+// restored incumbent with one uncounted full evaluation on the first climb
+// step after construction or Restore, so snapshots keep their historical
+// schema and interrupted runs stay bit-identical to uninterrupted ones.
 type HillClimbSearcher struct {
 	sp  *mapspace.Space
 	eng *engine.Engine
@@ -294,6 +301,11 @@ type HillClimbSearcher struct {
 	wk  *engine.Worker
 	smp *mapspace.Sampler
 	m   *mapping.Mapping
+
+	mut        *mapspace.Mutator
+	dw         *engine.Delta
+	cur        *mapping.Mapping // climb incumbent, mutated in place
+	climbReady bool             // cur cloned from Best and dw seeded
 
 	res        *Result
 	warmupLeft int
@@ -307,11 +319,13 @@ type HillClimbSearcher struct {
 // the defaults), exactly as in the one-shot HillClimb.
 func NewHillClimb(sp *mapspace.Space, eng *engine.Engine, opt Options) *HillClimbSearcher {
 	opt = opt.withDefaults()
+	requireSharedContext(sp, eng)
 	s := &HillClimbSearcher{
 		sp: sp, eng: eng, opt: opt,
 		rng: checkpoint.NewRNG(opt.Seed),
 		wk:  eng.NewWorker(), smp: sp.NewSampler(),
 		m:   &mapping.Mapping{},
+		mut: sp.NewMutator(), dw: eng.NewDelta(),
 		res: &Result{}, warmupLeft: opt.Warmup, start: time.Now(),
 	}
 	s.rnd = rand.New(s.rng)
@@ -357,27 +371,30 @@ func (s *HillClimbSearcher) Step(ctx context.Context) (bool, error) {
 		case s.res.Best == nil: // warm-up found nothing valid to climb from
 			return s.finish(met), nil
 		case s.fails < s.opt.Patience && s.budgetLeft():
-			cand := s.res.Best.Clone()
-			if s.rnd.Intn(4) == 0 {
-				li := s.rnd.Intn(len(cand.Perms))
-				cand.Perms[li] = s.sp.SamplePerm(s.rnd)
-			} else {
-				dims := s.sp.Work.DimNames()
-				d := dims[s.rnd.Intn(len(dims))]
-				cand.Factors[d] = s.sp.SampleChain(s.rnd, d)
+			if !s.climbReady {
+				// Lazy (re-)seeding of the delta session: uncounted, draw-free,
+				// so resumed and uninterrupted runs stay bit-identical.
+				s.cur = s.res.Best.Clone()
+				s.dw.Seed(s.cur)
+				s.climbReady = true
 			}
+			mv := s.mut.Propose(s.rnd)
+			mv.Apply(s.cur)
 			s.res.Evaluated++
-			c := s.wk.Evaluate(cand)
+			c := s.dw.Evaluate(mv.Delta())
 			if c.Valid {
 				s.res.Valid++
 				if s.opt.Objective.Value(&c) < s.opt.Objective.Value(&s.res.BestCost) {
-					s.res.Best, s.res.BestCost = cand, c.Clone()
+					s.dw.Commit()
+					s.res.Best, s.res.BestCost = s.cur.Clone(), c.Clone()
 					s.res.Trace = append(s.res.Trace, TracePoint{Evals: s.res.Evaluated, Value: s.opt.Objective.Value(&c)})
 					met.Improvement(s.res.Evaluated, s.opt.Objective.Value(&c))
 					s.fails = 0
 					continue
 				}
 			}
+			s.dw.Reject()
+			mv.Undo(s.cur)
 			s.fails++
 		default: // patience or budget exhausted
 			return s.finish(met), nil
@@ -421,6 +438,9 @@ func (s *HillClimbSearcher) Restore(st *checkpoint.SearchState) error {
 	s.res.Evaluated, s.res.Valid = st.Evaluated, st.Valid
 	s.warmupLeft, s.fails, s.done = st.WarmupLeft, st.Fails, st.Done
 	s.res.Trace = decodeTrace(st.Trace)
+	// The delta session is process-local: drop it and re-seed from the
+	// restored incumbent on the next climb step.
+	s.cur, s.climbReady = nil, false
 	return restoreBest(st, s.sp, s.res)
 }
 

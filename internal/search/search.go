@@ -292,11 +292,19 @@ func Exhaustive(ctx context.Context, sp *mapspace.Space, eng *engine.Engine, opt
 }
 
 // HillClimb seeds a greedy local search with the best of opt.Warmup random
-// samples, then repeatedly mutates one dimension's tiling chain or one
-// level's loop order, accepting strict improvements, until opt.Patience
+// samples, then repeatedly proposes a Move — resampling one dimension's
+// tiling chain, one level's loop order or (in bypass-exploring spaces) one
+// bypass bit — accepting strict improvements, until opt.Patience
 // consecutive proposals fail (or opt.MaxEvaluations is exhausted, or ctx is
 // cancelled). It demonstrates that Ruby-style mapspaces compose with search
 // strategies beyond random sampling.
+//
+// The climb phase runs on the incremental pipeline: moves mutate the
+// incumbent in place (rejections are undone exactly) and neighbors are
+// scored by the delta kernel, which recomputes only the scopes the move
+// touches and is bit-identical to a full evaluation — trajectories,
+// evaluation counts and results match the historical clone-and-reevaluate
+// implementation draw for draw.
 func HillClimb(ctx context.Context, sp *mapspace.Space, eng *engine.Engine, opt Options) *Result {
 	opt = opt.withDefaults()
 	_, span := obs.StartSpan(ctx, "search:hillclimb")
@@ -333,31 +341,46 @@ func HillClimb(ctx context.Context, sp *mapspace.Space, eng *engine.Engine, opt 
 		return res
 	}
 
-	dims := sp.Work.DimNames()
+	requireSharedContext(sp, eng)
+	mut := sp.NewMutator()
+	dw := eng.NewDelta()
+	cur := res.Best.Clone()
+	dw.Seed(cur) // uncounted: the incumbent was already evaluated in warmup
 	fails := 0
 	for fails < opt.Patience && budgetLeft() {
-		cand := res.Best.Clone()
-		if rng.Intn(4) == 0 {
-			li := rng.Intn(len(cand.Perms))
-			cand.Perms[li] = sp.SamplePerm(rng)
-		} else {
-			d := dims[rng.Intn(len(dims))]
-			cand.Factors[d] = sp.SampleChain(rng, d)
-		}
+		mv := mut.Propose(rng)
+		mv.Apply(cur)
 		res.Evaluated++
-		c := wk.Evaluate(cand)
+		c := dw.Evaluate(mv.Delta())
 		if c.Valid {
 			res.Valid++
 			if opt.Objective.Value(&c) < opt.Objective.Value(&res.BestCost) {
-				res.Best, res.BestCost = cand, c
+				dw.Commit()
+				res.Best, res.BestCost = cur.Clone(), c.Clone()
 				res.Trace = append(res.Trace, TracePoint{Evals: res.Evaluated, Value: opt.Objective.Value(&c)})
 				met.Improvement(res.Evaluated, opt.Objective.Value(&c))
 				fails = 0
 				continue
 			}
 		}
+		dw.Reject()
+		mv.Undo(cur)
 		fails++
 	}
 	finishSearch(met, opt, res, start)
 	return res
+}
+
+// requireSharedContext asserts that the mapspace and the engine's evaluator
+// were built over the same workload and architecture objects. The
+// incremental pipeline patches the mapping's memoized dense lowering in
+// place, and that memo is keyed by object identity: with distinct (even if
+// equivalent) objects the patches would silently miss the lowering the
+// delta kernel reads. Every production call site already shares the
+// objects; this turns a misuse into a fail-fast panic.
+func requireSharedContext(sp *mapspace.Space, eng *engine.Engine) {
+	ev := eng.Evaluator()
+	if sp.Work != ev.Work || sp.Arch != ev.Arch {
+		panic("search: mapspace and engine must share workload and architecture objects for incremental evaluation")
+	}
 }

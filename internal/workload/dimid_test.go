@@ -1,0 +1,53 @@
+package workload
+
+import "testing"
+
+func TestDimIDSingleByteNames(t *testing.T) {
+	// Every built-in workload family uses distinct single-byte dimension
+	// names, so the byte-table fast path must be active and agree with
+	// declaration order.
+	w := MustConv2D(Conv2DParams{N: 2, M: 4, C: 4, P: 5, Q: 5, R: 3, S: 3})
+	for i, d := range w.Dims {
+		if got := w.DimID(d.Name); got != int16(i) {
+			t.Errorf("DimID(%q) = %d, want %d", d.Name, got, i)
+		}
+	}
+	if got := w.DimID("Z"); got != -1 {
+		t.Errorf("DimID of unknown dim = %d, want -1", got)
+	}
+	if got := w.DimID("NK"); got != -1 {
+		t.Errorf("DimID of multi-byte name = %d, want -1", got)
+	}
+	if got := w.DimID(""); got != -1 {
+		t.Errorf("DimID of empty name = %d, want -1", got)
+	}
+}
+
+func TestDimIDLinearFallback(t *testing.T) {
+	// Multi-byte dimension names disable the byte table; DimID must fall
+	// back to a scan with identical results.
+	w := MustNew("wide",
+		[]Dim{{"row", 8}, {"col", 12}},
+		[]Tensor{
+			{Name: "A", Role: Input, Coords: []Coord{
+				{Terms: []CoordTerm{{"row", 1}}},
+				{Terms: []CoordTerm{{"col", 1}}},
+			}},
+			{Name: "B", Role: Output, Coords: []Coord{
+				{Terms: []CoordTerm{{"row", 1}}},
+				{Terms: []CoordTerm{{"col", 1}}},
+			}},
+		})
+	if w.byteID != nil {
+		t.Fatal("byte table built for multi-byte dim names")
+	}
+	if got := w.DimID("row"); got != 0 {
+		t.Errorf("DimID(row) = %d, want 0", got)
+	}
+	if got := w.DimID("col"); got != 1 {
+		t.Errorf("DimID(col) = %d, want 1", got)
+	}
+	if got := w.DimID("r"); got != -1 {
+		t.Errorf("DimID of prefix = %d, want -1", got)
+	}
+}

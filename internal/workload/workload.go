@@ -94,6 +94,7 @@ type Workload struct {
 	bounds map[string]int
 	byName map[string]*Tensor
 	sorted []string
+	byteID []int16 // first-byte dim-id table when all names are distinct single bytes
 }
 
 // New constructs a Workload and validates it.
@@ -126,6 +127,39 @@ func (w *Workload) index() {
 	}
 	w.sorted = w.DimNames()
 	sort.Strings(w.sorted)
+	w.byteID = make([]int16, 256)
+	for i := range w.byteID {
+		w.byteID[i] = -1
+	}
+	for di := range w.Dims {
+		name := w.Dims[di].Name
+		if len(name) != 1 || w.byteID[name[0]] >= 0 {
+			w.byteID = nil
+			break
+		}
+		w.byteID[name[0]] = int16(di)
+	}
+}
+
+// DimID returns the declaration-order index of the named dimension, or -1
+// when the name is unknown. Single-byte dimension names (every built-in
+// workload) resolve through a byte-indexed table instead of string
+// comparisons, keeping the dense-lowering hot path off the string hasher.
+//
+//ruby:hotpath
+func (w *Workload) DimID(name string) int16 {
+	if w.byteID != nil {
+		if len(name) != 1 {
+			return -1
+		}
+		return w.byteID[name[0]]
+	}
+	for di := range w.Dims {
+		if w.Dims[di].Name == name {
+			return int16(di)
+		}
+	}
+	return -1
 }
 
 // Validate checks structural invariants: unique positive-bound dims, tensors

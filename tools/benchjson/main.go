@@ -3,6 +3,12 @@
 // results and persists them for cross-PR perf comparisons:
 //
 //	go test -run xxx -bench Evaluate . | go run ./tools/benchjson -o BENCH_eval.json
+//
+// Beyond the snapshot file it can append a dated record to a JSONL history
+// (-history) and act as a CI regression gate (-baseline/-gate): with a gate
+// pattern, named benchmarks are compared against the baseline snapshot and
+// the run fails when ns/op regresses by more than -tolerance (default 20%)
+// or a benchmark that was allocation-free gains allocations.
 package main
 
 import (
@@ -13,6 +19,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // Entry is one benchmark result row.
@@ -27,8 +34,18 @@ type Entry struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 }
 
+// historyRecord is one dated run in the JSONL history file.
+type historyRecord struct {
+	Date    string  `json:"date"`
+	Entries []Entry `json:"entries"`
+}
+
 func main() {
-	out := flag.String("o", "BENCH_eval.json", "output JSON path")
+	out := flag.String("o", "BENCH_eval.json", "output JSON path (empty skips the snapshot)")
+	history := flag.String("history", "", "JSONL path to append a dated run record to")
+	baseline := flag.String("baseline", "", "baseline snapshot (JSON array of entries) to gate against")
+	gate := flag.String("gate", "", "comma-separated benchmark names that must not regress vs -baseline")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression for gated benchmarks")
 	flag.Parse()
 
 	var entries []Entry
@@ -42,23 +59,123 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		fatalf("benchjson: %v", err)
 	}
 	if len(entries) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines seen; not writing", *out)
-		os.Exit(1)
+		fatalf("benchjson: no benchmark lines seen")
 	}
-	data, err := json.MarshalIndent(entries, "", "  ")
+
+	if *out != "" {
+		data, err := json.MarshalIndent(entries, "", "  ")
+		if err != nil {
+			fatalf("benchjson: %v", err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatalf("benchjson: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d entries to %s\n", len(entries), *out)
+	}
+
+	if *history != "" {
+		if err := appendHistory(*history, entries); err != nil {
+			fatalf("benchjson: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: appended run record to %s\n", *history)
+	}
+
+	if *gate != "" {
+		if *baseline == "" {
+			fatalf("benchjson: -gate requires -baseline")
+		}
+		base, err := loadBaseline(*baseline)
+		if err != nil {
+			fatalf("benchjson: %v", err)
+		}
+		if failures := checkGate(entries, base, strings.Split(*gate, ","), *tolerance); len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintln(os.Stderr, "benchjson: GATE FAILED:", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: gate passed for %s\n", *gate)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+// appendHistory appends one dated JSONL record for this run.
+func appendHistory(path string, entries []Entry) error {
+	rec := historyRecord{Date: time.Now().UTC().Format(time.RFC3339), Entries: entries}
+	data, err := json.Marshal(rec)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		return err
 	}
-	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: wrote %d entries to %s\n", len(entries), *out)
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// loadBaseline reads a snapshot file written by -o and indexes it by name.
+func loadBaseline(path string) (map[string]Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	byName := make(map[string]Entry, len(entries))
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	return byName, nil
+}
+
+// checkGate compares each gated benchmark against the baseline. A gated name
+// missing from either side fails (a silently vanished benchmark must not
+// pass the gate). Timing regressions beyond tolerance fail; so does any
+// allocation count above a previously allocation-free baseline.
+func checkGate(entries []Entry, base map[string]Entry, names []string, tolerance float64) []string {
+	byName := make(map[string]Entry, len(entries))
+	for _, e := range entries {
+		byName[e.Name] = e
+	}
+	var failures []string
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		cur, ok := byName[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: not present in this run", name))
+			continue
+		}
+		b, ok := base[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: not present in baseline", name))
+			continue
+		}
+		if b.NsPerOp > 0 && cur.NsPerOp > b.NsPerOp*(1+tolerance) {
+			failures = append(failures, fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f ns/op (>%d%% regression)",
+				name, cur.NsPerOp, b.NsPerOp, int(tolerance*100)))
+		}
+		if b.AllocsPerOp == 0 && cur.AllocsPerOp > 0 {
+			failures = append(failures, fmt.Sprintf("%s: %v allocs/op vs allocation-free baseline",
+				name, cur.AllocsPerOp))
+		}
+	}
+	return failures
 }
 
 // parseLine parses one `go test -bench` result line, e.g.
