@@ -22,21 +22,24 @@ race-obs:
 	$(GO) test -race ./internal/obs/... ./internal/server/...
 
 # Evaluation-kernel microbenchmarks (compiled plan vs legacy, engine cache,
-# sampler pipeline, delta-evaluation neighbor steps), persisted as
-# BENCH_eval.json and appended as a dated record to BENCH_history.jsonl to
-# track the perf trajectory across PRs. `bench-all` runs the full suite once.
-BENCH_PATTERN = BenchmarkEvaluate|BenchmarkEngine|BenchmarkSample|BenchmarkNeighbor
+# sampler pipeline, delta-evaluation neighbor steps, cost attribution and
+# guided-mapper convergence), persisted as BENCH_eval.json and appended as a
+# dated record to BENCH_history.jsonl to track the perf trajectory across
+# PRs. `bench-all` runs the full suite once.
+BENCH_PATTERN = BenchmarkEvaluate|BenchmarkEngine|BenchmarkSample|BenchmarkNeighbor|BenchmarkAttribute|BenchmarkGuidedConverge
 bench:
 	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchtime 2s . \
 		| $(GO) run ./tools/benchjson -o BENCH_eval.json -history BENCH_history.jsonl
 
 # CI perf gate: rerun the microbenchmarks against the committed snapshot and
-# fail on a >20% BenchmarkEvaluateCompiled ns/op regression or any
-# allocation where the snapshot was allocation-free. Does not rewrite the
-# committed snapshot or history.
+# fail on a >20% ns/op regression of the gated kernels, any allocation where
+# the snapshot was allocation-free (the hot-path evaluate/sample/attribute
+# loops), or a >20% growth in the guided mapper's evals-to-convergence.
+# Does not rewrite the committed snapshot or history.
+BENCH_GATE = BenchmarkEvaluateCompiled,BenchmarkEvaluateConv,BenchmarkSampleEvaluatePipeline,BenchmarkAttribute,BenchmarkGuidedConverge:convergence_evals
 bench-gate:
 	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchtime 2s . \
-		| $(GO) run ./tools/benchjson -o '' -baseline BENCH_eval.json -gate BenchmarkEvaluateCompiled
+		| $(GO) run ./tools/benchjson -o '' -baseline BENCH_eval.json -gate '$(BENCH_GATE)'
 
 bench-all:
 	$(GO) test -run xxx -bench . -benchtime 1x ./...

@@ -22,6 +22,7 @@ import (
 	"ruby/internal/nest"
 	"ruby/internal/search"
 	"ruby/internal/sim"
+	"ruby/internal/workload"
 	"ruby/internal/workloads"
 )
 
@@ -491,4 +492,70 @@ func BenchmarkAnnealSearch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		search.Anneal(sp, ev, search.AnnealOptions{Seed: int64(i), Steps: 1000, Warmup: 50})
 	}
+}
+
+// BenchmarkAttribute measures one cost-attribution refill from a seeded
+// delta-evaluation session — the feedback signal the model-guided searcher
+// ranks its moves by. It replays the session's committed contribution
+// records into a preallocated Breakdown, so the gate holds it to zero
+// allocations alongside the evaluation kernels.
+func BenchmarkAttribute(b *testing.B) {
+	b.ReportAllocs()
+	layer := workloads.ResNet50()[3]
+	a := arch.EyerissLike(14, 12, 128)
+	ev := nest.MustEvaluator(layer.Work, a)
+	sp := mapspace.New(layer.Work, a, mapspace.RubyS, mapspace.EyerissRowStationary(layer.Work))
+	rng := rand.New(rand.NewSource(1))
+	var m *mapping.Mapping
+	for i := 0; i < 10000 && m == nil; i++ {
+		if s := sp.Sample(rng); ev.Evaluate(s).Valid {
+			m = s
+		}
+	}
+	if m == nil {
+		b.Fatal("no valid mapping sampled")
+	}
+	plan := ev.Plan()
+	dm, err := m.Dense(sp.Work, sp.Arch, sp.Slots())
+	if err != nil {
+		b.Fatal(err)
+	}
+	de := plan.NewDeltaEval()
+	if c := de.Seed(dm); !c.Valid {
+		b.Fatalf("seed invalid: %s", c.Reason)
+	}
+	bd := plan.NewBreakdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan.Attribute(de, bd)
+	}
+}
+
+// BenchmarkGuidedConverge runs the model-guided mapper end to end on a
+// pinned matmul/Eyeriss space and reports, besides wall time, how many
+// evaluations it needed to get within 1% of the best mapping it eventually
+// found. The count is deterministic for a fixed seed, so `make bench-gate`
+// treats a >20% growth in convergence_evals as a CI failure.
+func BenchmarkGuidedConverge(b *testing.B) {
+	b.ReportAllocs()
+	w := workload.MustMatmul("mm", 8, 12, 18)
+	a := arch.EyerissLike(14, 12, 128)
+	ev := nest.MustEvaluator(w, a)
+	sp := mapspace.New(w, a, mapspace.RubyS, mapspace.Constraints{FixedPerms: true})
+	var conv float64
+	for i := 0; i < b.N; i++ {
+		res := search.Guided(context.Background(), sp, engine.New(ev),
+			search.Options{Seed: 1, MaxEvaluations: 5000})
+		if res.Best == nil {
+			b.Fatal("guided found no valid mapping")
+		}
+		conv = float64(res.Evaluated)
+		for _, tp := range res.Trace {
+			if tp.Value <= res.BestCost.EDP*1.01 {
+				conv = float64(tp.Evals)
+				break
+			}
+		}
+	}
+	b.ReportMetric(conv, "convergence_evals")
 }

@@ -39,6 +39,7 @@ func main() {
 		full    = flag.Bool("full", false, "paper-fidelity budgets (slow)")
 		runs    = flag.Int("runs", 0, "override averaging runs")
 		evals   = flag.Int64("evals", 0, "override max evaluations per search")
+		algo    = flag.String("search", "", "override the search algorithm for suite experiments (random | guided | hillclimb | anneal | genetic | portfolio)")
 		threads = flag.Int("threads", 0, "override search threads")
 		seed    = flag.Int64("seed", 0, "override base RNG seed")
 		csvDir  = flag.String("csv", "", "also write each experiment's tables as CSV files into this directory")
@@ -67,6 +68,9 @@ func main() {
 	}
 	if *evals > 0 {
 		cfg.Opt.MaxEvaluations = *evals
+	}
+	if *algo != "" {
+		cfg.Opt.Algo = *algo
 	}
 	if *threads > 0 {
 		cfg.Opt.Threads = *threads

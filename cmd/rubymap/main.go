@@ -59,7 +59,7 @@ func main() {
 		archFile   = flag.String("arch-file", "", "JSON architecture file (overrides -arch)")
 		consFile   = flag.String("constraints-file", "", "JSON constraints file (overrides the arch preset)")
 		kind       = flag.String("mapspace", "ruby-s", "pfm | ruby | ruby-s | ruby-t")
-		searcher   = flag.String("search", "random", "random | exhaustive | genetic | anneal | hillclimb | portfolio | heuristic (one-shot) | warm (heuristic + random)")
+		searcher   = flag.String("search", "random", "random | guided | exhaustive | genetic | anneal | hillclimb | portfolio | heuristic (one-shot) | warm (heuristic + random)")
 		objFlag    = flag.String("objective", "edp", "edp | energy | delay")
 		evals      = flag.Int64("evals", 100000, "max sampled mappings (0 = rely on no-improve; also caps -search exhaustive)")
 		cpDir      = flag.String("checkpoint", "", "directory for crash-safe search snapshots (random|warm|hillclimb|exhaustive); SIGINT/SIGTERM write a final snapshot before exiting")
@@ -245,6 +245,8 @@ func runOneShot(ctx context.Context, searcher string, sp *mapspace.Space, eng *e
 	switch searcher {
 	case "random":
 		return search.Random(ctx, sp, eng, opt)
+	case "guided":
+		return search.Guided(ctx, sp, eng, opt)
 	case "genetic":
 		return search.Genetic(sp, ev, search.GeneticOptions{Seed: seed, Objective: obj})
 	case "hillclimb":
@@ -295,12 +297,14 @@ func runCheckpointable(ctx context.Context, searcher string, sp *mapspace.Space,
 		}
 		opt.WarmStart = m
 		sr = search.NewRandom(sp, eng, opt)
+	case "guided":
+		sr = search.NewGuided(sp, eng, opt)
 	case "hillclimb":
 		sr = search.NewHillClimb(sp, eng, opt)
 	case "exhaustive":
 		sr = search.NewExhaustive(sp, eng, opt, maxEnum)
 	default:
-		return nil, fmt.Errorf("-checkpoint/-resume supports random|warm|hillclimb|exhaustive, not %q", searcher)
+		return nil, fmt.Errorf("-checkpoint/-resume supports random|warm|guided|hillclimb|exhaustive, not %q", searcher)
 	}
 	var cc search.CheckpointConfig
 	if dir != "" {

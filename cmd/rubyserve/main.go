@@ -46,12 +46,14 @@ func main() {
 	drainTO := flag.Duration("drain-timeout", 30*time.Second, "max time to drain running jobs on shutdown")
 	slowEval := flag.Duration("slow-eval", 0, "log sampled evaluations slower than this (0 = off)")
 	slowSearch := flag.Duration("slow-search", 0, "log searches slower than this (0 = off)")
+	algo := flag.String("search", "", "default search algorithm for requests that do not name one (random | guided | hillclimb | anneal | genetic | portfolio | exhaustive)")
 	flag.Parse()
 
 	svc, err := server.NewService(server.Options{
-		StateDir:   *stateDir,
-		SlowEval:   *slowEval,
-		SlowSearch: *slowSearch,
+		StateDir:      *stateDir,
+		SlowEval:      *slowEval,
+		SlowSearch:    *slowSearch,
+		DefaultSearch: *algo,
 	})
 	if err != nil {
 		log.Fatalf("rubyserve: %v", err)

@@ -45,6 +45,7 @@ func main() {
 		archStr  = flag.String("arch", "eyeriss:14x12:128", "eyeriss:COLSxROWS:GLBKiB | simba:PES:UNITSxWIDTH")
 		archFile = flag.String("arch-file", "", "JSON architecture file (overrides -arch)")
 		kinds    = flag.String("mapspaces", "pfm,ruby-s", "comma-separated mapspace kinds to compare")
+		algo     = flag.String("search", "", "search algorithm per layer: random | guided | hillclimb | anneal | genetic | portfolio | exhaustive (default random)")
 		evals    = flag.Int64("evals", 20000, "max sampled mappings per layer per mapspace")
 		threads  = flag.Int("threads", 0, "search threads")
 		seed     = flag.Int64("seed", 1, "RNG seed")
@@ -138,7 +139,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	so := sweep.SuiteOptions{
-		Search:     search.Options{Seed: *seed, Threads: *threads, MaxEvaluations: *evals},
+		Search:     search.Options{Algo: *algo, Seed: *seed, Threads: *threads, MaxEvaluations: *evals},
 		Engine:     engine.Config{CacheEntries: *cacheN},
 		Library:    lib,
 		Checkpoint: cp,

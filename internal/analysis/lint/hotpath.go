@@ -18,9 +18,14 @@ import (
 //   - closures that capture enclosing variables and escape (returned,
 //     stored into non-local memory, or launched as a goroutine);
 //   - boxing non-constant concrete values into interfaces (assignments,
-//     returns, call arguments). Arguments to fmt.Errorf, to the errors
-//     package and to //ruby:coldpath-annotated helpers are exempt: those
-//     calls only run on the error path.
+//     returns, call arguments). Arguments to fmt.Errorf and to the errors
+//     package are exempt (constructing an error return is by convention
+//     once-per-failure). Calls to //ruby:coldpath helpers are NOT exempt:
+//     boxing happens in the caller's frame before the callee runs, so a
+//     cold callee never makes the allocation cold — the invalid-verdict
+//     path of the evaluation kernel proved exactly this (it dominates
+//     sampling pipelines). Cold helpers reached from a hot path must take
+//     concrete parameter types.
 var Hotpath = &Analyzer{
 	Name: "hotpath",
 	Doc:  "keep //ruby:hotpath functions allocation-free at steady state",
@@ -166,9 +171,6 @@ func checkCallBoxing(p *Pass, decl *ast.FuncDecl, name string, call *ast.CallExp
 			return // error construction: cold path by convention
 		}
 	}
-	if p.FuncObjHas(fn, "coldpath") {
-		return
-	}
 	sig, ok := fn.Type().(*types.Signature)
 	if !ok {
 		return
@@ -187,7 +189,7 @@ func checkCallBoxing(p *Pass, decl *ast.FuncDecl, name string, call *ast.CallExp
 		}
 		if p.boxes(arg, pt) {
 			p.Reportf(arg.Pos(),
-				"argument to %s boxes a concrete value into an interface in //ruby:hotpath %s (allocates); keep interfaces off the hot path or mark the callee //ruby:coldpath",
+				"argument to %s boxes a concrete value into an interface in //ruby:hotpath %s (allocates in the caller even when the callee is cold); give the helper concrete parameter types or intern the value at construction time",
 				fn.Name(), name)
 		}
 	}

@@ -105,8 +105,8 @@ func (p *Pass) FuncHas(decl *ast.FuncDecl, name string) bool {
 }
 
 // FuncObjHas reports whether the declaration of fn (when it is declared in
-// this package) carries the named annotation. Used for call-site rules like
-// "calls to //ruby:coldpath functions are exempt from boxing checks".
+// this package) carries the named annotation. Available for call-site rules
+// that depend on the callee's annotations.
 func (p *Pass) FuncObjHas(fn *types.Func, name string) bool {
 	decl, ok := p.dirs.funcByObj[fn]
 	if !ok {
@@ -197,7 +197,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer, cfg Config) []Diagnostic {
 // (besides allow); anything else is reported as malformed.
 var funcAnnotations = map[string]bool{
 	"hotpath":  true, // steady-state allocation-free kernel; hotpath analyzer applies
-	"coldpath": true, // error/slow-path helper; hotpath boxing checks skip calls to it
+	"coldpath": true, // documents an error/slow-path helper; must take concrete params when called from a hot path
 	"ctxroot":  true, // legitimate context root; ctxflow allows context.Background here
 }
 

@@ -67,23 +67,45 @@ func Box(v int) any {
 	return v // want `return boxes a concrete value into an interface in //ruby:hotpath Box`
 }
 
-// fail is the cold invalid-input branch; boxing at its call sites is exempt.
+// fail is a cold invalid-input branch with an interface parameter. The
+// //ruby:coldpath annotation no longer exempts callers: boxing happens in
+// the caller's frame before fail runs, so a hot caller still allocates.
 //
 //ruby:coldpath
 func fail(v any) error {
 	return fmt.Errorf("hot: bad value %v", v)
 }
 
-// Checked only boxes into exempt constructors (a //ruby:coldpath helper and
-// fmt.Errorf), so it is clean.
+// failTyped is the approved shape for a cold helper reached from a hot
+// path: concrete parameter types, so the call site never boxes.
+//
+//ruby:coldpath
+func failTyped(v int) error {
+	return fmt.Errorf("hot: bad value %d", v)
+}
+
+// Checked boxes into a //ruby:coldpath helper with an interface parameter;
+// the allocation is the caller's, so it is flagged. fmt.Errorf stays exempt
+// (error-return construction is once-per-failure by convention).
 //
 //ruby:hotpath
 func Checked(v int) error {
 	if v < 0 {
-		return fail(v)
+		return fail(v) // want `argument to fail boxes a concrete value into an interface in //ruby:hotpath Checked`
 	}
 	if v > 1<<30 {
 		return fmt.Errorf("hot: value %d out of range", v)
+	}
+	return nil
+}
+
+// CheckedTyped routes the cold branch through the concrete-typed helper,
+// so it is clean.
+//
+//ruby:hotpath
+func CheckedTyped(v int) error {
+	if v < 0 {
+		return failTyped(v)
 	}
 	return nil
 }

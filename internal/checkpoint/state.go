@@ -31,7 +31,7 @@ type TracePoint struct {
 // never stopped.
 type SearchState struct {
 	// Algo names the searcher that wrote the snapshot ("random",
-	// "hillclimb", "exhaustive"); Restore rejects a mismatch.
+	// "hillclimb", "exhaustive", "guided"); Restore rejects a mismatch.
 	Algo string `json:"algo"`
 	// Done marks a search that ran to completion (resuming it is a no-op).
 	Done bool `json:"done,omitempty"`
@@ -54,6 +54,16 @@ type SearchState struct {
 	WarmupLeft int `json:"warmup_left,omitempty"`
 	// Fails is the hill-climber's consecutive-rejected-proposal count.
 	Fails int `json:"fails,omitempty"`
+
+	// Phase, Restarts and SinceBest are the model-guided searcher's state:
+	// its current phase ("seed" or "sweep"), the perturbation restarts
+	// taken, and the restarts since the incumbent last improved.
+	Phase     string `json:"phase,omitempty"`
+	Restarts  int64  `json:"restarts,omitempty"`
+	SinceBest int64  `json:"since_best,omitempty"`
+	// Cur is the guided searcher's working mapping (mapping JSON); it
+	// diverges from Best after a perturbation restart.
+	Cur json.RawMessage `json:"cur,omitempty"`
 
 	// Enumerated counts mappings taken from the exhaustive enumeration;
 	// EnumIndex/EnumDone are the enumerator's odometer position.

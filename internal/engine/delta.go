@@ -54,6 +54,19 @@ func (d *Delta) Evaluate(dl mapping.Delta) nest.Cost {
 	return c
 }
 
+// NewBreakdown allocates a cost-attribution buffer sized for the engine's
+// plan, for use with Attribute.
+func (d *Delta) NewBreakdown() *nest.Breakdown {
+	return d.e.ev.Plan().NewBreakdown()
+}
+
+// Attribute fills b with the cost attribution of the session's committed
+// state (see nest.Plan.Attribute). Allocation-free; requires a valid seed
+// and no open proposal.
+//
+//ruby:hotpath
+func (d *Delta) Attribute(b *nest.Breakdown) { d.de.Attribute(b) }
+
 // Commit keeps the open proposal (the caller leaves the Move applied).
 //
 //ruby:hotpath

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"sort"
+	"sync"
 	"time"
 
 	"ruby/internal/obs"
@@ -26,6 +28,12 @@ type Instruments struct {
 	// Slow optionally warns about slow evaluations and searches; nil
 	// disables slow-event logging.
 	Slow *obs.SlowLog
+
+	// winsMu guards wins, the per-member portfolio win counts. A win is
+	// recorded once per completed portfolio search, so a mutex (not an
+	// atomic) is fine here.
+	winsMu sync.Mutex
+	wins   map[string]int64
 }
 
 // NewInstruments builds instruments with the default bucket layouts.
@@ -77,6 +85,53 @@ func (in *Instruments) SearchDone(wall time.Duration, evaluated, valid int64) {
 // Panic implements Metrics.
 func (in *Instruments) Panic() { in.Counters.Panic() }
 
+// GuidedMove implements GuidedMetrics.
+//
+//ruby:hotpath
+func (in *Instruments) GuidedMove() { in.Counters.GuidedMove() }
+
+// GuidedRestart implements GuidedMetrics.
+func (in *Instruments) GuidedRestart() { in.Counters.GuidedRestart() }
+
+// PortfolioWin implements PortfolioMetrics: member produced the incumbent
+// of one completed portfolio search.
+func (in *Instruments) PortfolioWin(member string) {
+	in.winsMu.Lock()
+	if in.wins == nil {
+		in.wins = make(map[string]int64)
+	}
+	in.wins[member]++
+	in.winsMu.Unlock()
+}
+
+// PortfolioWins returns a copy of the per-member win counts.
+func (in *Instruments) PortfolioWins() map[string]int64 {
+	in.winsMu.Lock()
+	defer in.winsMu.Unlock()
+	out := make(map[string]int64, len(in.wins))
+	for k, v := range in.wins {
+		out[k] = v
+	}
+	return out
+}
+
+// portfolioWinSamples renders the win counts as sorted label samples for
+// the ruby_portfolio_wins series.
+func (in *Instruments) portfolioWinSamples() []obs.Sample {
+	in.winsMu.Lock()
+	defer in.winsMu.Unlock()
+	names := make([]string, 0, len(in.wins))
+	for k := range in.wins {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	out := make([]obs.Sample, len(names))
+	for i, k := range names {
+		out[i] = obs.Sample{LabelValue: k, Value: float64(in.wins[k])}
+	}
+	return out
+}
+
 // Register adds every counter and histogram to reg under stable Prometheus
 // names (ruby_evaluations_total, ruby_valid_total, ...), so one call wires a
 // service's whole /v1/metrics exposition.
@@ -96,6 +151,12 @@ func (in *Instruments) Register(reg *obs.Registry) {
 		func() float64 { return c.Snapshot().SearchSeconds })
 	reg.Counter("ruby_eval_panics_total", "Recovered model-evaluation panics (incl. retries).",
 		func() float64 { return float64(c.Snapshot().Panics) })
+	reg.Counter("ruby_guided_moves", "Committed moves of the model-guided searcher.",
+		func() float64 { return float64(c.Snapshot().GuidedMoves) })
+	reg.Counter("ruby_guided_restarts", "Perturbation restarts of the model-guided searcher.",
+		func() float64 { return float64(c.Snapshot().GuidedRestarts) })
+	reg.GaugeVec("ruby_portfolio_wins", "Portfolio searches won, by member searcher.",
+		"searcher", in.portfolioWinSamples)
 	reg.Histogram(in.EvalHist)
 	reg.Histogram(in.BatchHist)
 	reg.Histogram(in.SearchHist)

@@ -37,6 +37,25 @@ type Metrics interface {
 	Panic()
 }
 
+// GuidedMetrics is the optional Metrics extension for the model-guided
+// searcher's counters. Implementations that also satisfy Metrics receive
+// one GuidedMove per committed greedy move and one GuidedRestart per
+// perturbation restart. search.Guided discovers it by type assertion on
+// Engine.Metrics(), so plain Metrics implementations keep working
+// unchanged.
+type GuidedMetrics interface {
+	GuidedMove()
+	GuidedRestart()
+}
+
+// PortfolioMetrics is the optional Metrics extension recording which member
+// searcher of a search.Portfolio produced the final incumbent. The member
+// is the searcher's stable name ("random", "genetic", "anneal",
+// "hillclimb", "guided").
+type PortfolioMetrics interface {
+	PortfolioWin(member string)
+}
+
 // NopMetrics discards all events; it is the default hook.
 var NopMetrics Metrics = nopMetrics{}
 
@@ -57,13 +76,15 @@ func (nopMetrics) Panic()                                 {}
 //
 //ruby:atomic
 type Counters struct {
-	evaluations  atomic.Int64
-	valid        atomic.Int64
-	cacheHits    atomic.Int64
-	improvements atomic.Int64
-	searches     atomic.Int64
-	wallNanos    atomic.Int64
-	panics       atomic.Int64
+	evaluations    atomic.Int64
+	valid          atomic.Int64
+	cacheHits      atomic.Int64
+	improvements   atomic.Int64
+	searches       atomic.Int64
+	wallNanos      atomic.Int64
+	panics         atomic.Int64
+	guidedMoves    atomic.Int64
+	guidedRestarts atomic.Int64
 }
 
 // Evaluation implements Metrics.
@@ -99,6 +120,14 @@ func (c *Counters) SearchDone(wall time.Duration, _, _ int64) {
 // Panic implements Metrics.
 func (c *Counters) Panic() { c.panics.Add(1) }
 
+// GuidedMove implements GuidedMetrics: one committed greedy move.
+//
+//ruby:hotpath
+func (c *Counters) GuidedMove() { c.guidedMoves.Add(1) }
+
+// GuidedRestart implements GuidedMetrics: one perturbation restart.
+func (c *Counters) GuidedRestart() { c.guidedRestarts.Add(1) }
+
 // Snapshot is a point-in-time copy of the counters with derived rates.
 type Snapshot struct {
 	Evaluations   int64   `json:"evaluations"`    // total Evaluate calls
@@ -110,19 +139,25 @@ type Snapshot struct {
 	Searches      int64   `json:"searches"`       // completed searches
 	SearchSeconds float64 `json:"search_seconds"` // summed search wall time
 	Panics        int64   `json:"panics"`         // recovered evaluation panics (incl. retries)
+	// GuidedMoves/GuidedRestarts count the model-guided searcher's
+	// committed moves and perturbation restarts (zero unless Guided ran).
+	GuidedMoves    int64 `json:"guided_moves"`
+	GuidedRestarts int64 `json:"guided_restarts"`
 }
 
 // Snapshot reads the counters. The reads are individually atomic (not a
 // consistent cut), which is fine for monitoring.
 func (c *Counters) Snapshot() Snapshot {
 	s := Snapshot{
-		Evaluations:   c.evaluations.Load(),
-		Valid:         c.valid.Load(),
-		CacheHits:     c.cacheHits.Load(),
-		Improvements:  c.improvements.Load(),
-		Searches:      c.searches.Load(),
-		SearchSeconds: float64(c.wallNanos.Load()) / 1e9,
-		Panics:        c.panics.Load(),
+		Evaluations:    c.evaluations.Load(),
+		Valid:          c.valid.Load(),
+		CacheHits:      c.cacheHits.Load(),
+		Improvements:   c.improvements.Load(),
+		Searches:       c.searches.Load(),
+		SearchSeconds:  float64(c.wallNanos.Load()) / 1e9,
+		Panics:         c.panics.Load(),
+		GuidedMoves:    c.guidedMoves.Load(),
+		GuidedRestarts: c.guidedRestarts.Load(),
 	}
 	if s.Evaluations > 0 {
 		s.ValidRate = float64(s.Valid) / float64(s.Evaluations)

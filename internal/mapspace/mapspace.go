@@ -253,6 +253,21 @@ func (s *Space) ChainCount(dim string) uint64 {
 	return factor.CountChains(s.Work.Bound(dim), s.chainSlots(dim))
 }
 
+// EnumerateChains yields every tiling chain available to the named dimension
+// (outermost-first, the Mapping.Factors layout), in the deterministic order
+// the Enumerator visits them. The slice passed to yield is reused across
+// calls; retain with a copy. Stopping early returns false from yield.
+func (s *Space) EnumerateChains(d string, yield func(fs []int) bool) {
+	rev := make([]int, len(s.slots))
+	factor.EnumerateChains(s.Work.Bound(d), s.chainSlots(d), func(fs []int) bool {
+		// fs is innermost-first; present outermost-first.
+		for i, f := range fs {
+			rev[len(fs)-1-i] = f
+		}
+		return yield(rev)
+	})
+}
+
 // TotalChainCount returns the product of ChainCount over all dimensions —
 // the size of the tiling mapspace.
 func (s *Space) TotalChainCount() uint64 {

@@ -290,6 +290,23 @@ func (mu *Mutator) ProposeChainID(rng *rand.Rand, di int) *Move {
 	return mv
 }
 
+// ProposeChainSet proposes replacing dimension di's tiling chain with the
+// given chain (outermost-first, len(Slots()) entries). Draw-free, so
+// systematic chain scans (the guided searcher's exact coordinate descent
+// over Space.EnumerateChains) consume no randomness. The chain's structural
+// validity is the caller's concern; the evaluator re-checks fanout and
+// capacity as usual.
+//
+//ruby:hotpath
+func (mu *Mutator) ProposeChainSet(di int, chain []int) *Move {
+	mv := &mu.mv
+	mv.applied = false
+	mv.delta = mapping.Delta{Kind: mapping.DeltaChain, Dim: di}
+	mv.dim = mu.sp.dimNames[di]
+	copy(mv.chain, chain)
+	return mv
+}
+
 // ProposePerm draws a fresh loop order for level li, with the same rng draws
 // as Space.SamplePerm (the canonical order under FixedPerms).
 //
@@ -320,4 +337,15 @@ func (mu *Mutator) ProposeKeep(li int, r workload.Role) *Move {
 	mv.applied = false
 	mv.delta = mapping.Delta{Kind: mapping.DeltaKeep, Level: li, Role: r}
 	return mv
+}
+
+// NumBypass returns the number of togglable (level, role) bypass pairs
+// (zero unless the space explores bypass), addressable by ProposeKeepAt.
+func (mu *Mutator) NumBypass() int { return len(mu.bypassLvls) }
+
+// ProposeKeepAt proposes toggling the k-th togglable bypass pair,
+// 0 <= k < NumBypass. Draw-free, so systematic neighborhood scans (the
+// guided searcher) can walk every pair without consuming randomness.
+func (mu *Mutator) ProposeKeepAt(k int) *Move {
+	return mu.ProposeKeep(mu.bypassLvls[k], mu.bypassRoles[k])
 }

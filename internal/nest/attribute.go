@@ -1,0 +1,157 @@
+package nest
+
+// Breakdown is the cost-attribution view of one evaluated mapping: where
+// the energy, traffic and latency of the current cost come from, resolved
+// to memory levels, tensors and loop dimensions. It is the feedback signal
+// the model-guided searcher steers by — "which dimension's tiling is
+// buying the most cost, and at which level" — computed from the kernel
+// state a DeltaEval session already holds, without re-evaluating anything.
+//
+// All slices are flat and integer-indexed exactly like the Plan's internal
+// tables: per-level slices by level index (0 is the outermost memory),
+// per-tensor slices by the workload's tensor declaration order, the
+// (level, tensor) matrices by level*NTensors+tensor, and per-dim slices by
+// the workload's dimension declaration order.
+type Breakdown struct {
+	NLevels, NTensors, NDims int
+
+	// LevelReads/LevelWrites are the per-level word counts; LevelEnergyPJ
+	// is the corresponding dynamic access energy. They equal the Cost
+	// fields of the same names up to floating-point regrouping (the
+	// contributions are summed per tensor first, then across tensors).
+	LevelReads, LevelWrites, LevelEnergyPJ []float64
+
+	// TensorReads/TensorWrites split the per-level traffic by tensor:
+	// entry [li*NTensors+ti] is the words tensor ti moves at level li.
+	TensorReads, TensorWrites []float64
+
+	// TensorAccessPJ is each tensor's dynamic access energy summed over
+	// levels; TensorNoCPJ is its network (hop) energy. TensorEnergyPJ is
+	// their sum — the total attributable to moving that tensor.
+	TensorAccessPJ, TensorNoCPJ, TensorEnergyPJ []float64
+
+	// DimCycles is each dimension's compute-latency factor; their product
+	// is the compute-bound cycle count before any bandwidth stretch.
+	DimCycles []float64
+
+	// DimEnergyPJ charges each dimension with the energy of every tensor
+	// it indexes (a tensor indexed by several dims is charged to each, so
+	// the column sums exceed the total — this is a ranking signal, not a
+	// partition).
+	DimEnergyPJ []float64
+
+	// MACEnergyPJ and NoCEnergyPJ are the mapping-wide compute and
+	// network energy totals.
+	MACEnergyPJ, NoCEnergyPJ float64
+}
+
+// NewBreakdown allocates a Breakdown sized for the plan. Allocate once per
+// searcher; Attribute then refills it without allocating.
+func (p *Plan) NewBreakdown() *Breakdown {
+	return &Breakdown{
+		NLevels:        p.nLevels,
+		NTensors:       p.nTensors,
+		NDims:          p.nDims,
+		LevelReads:     make([]float64, p.nLevels),
+		LevelWrites:    make([]float64, p.nLevels),
+		LevelEnergyPJ:  make([]float64, p.nLevels),
+		TensorReads:    make([]float64, p.nLevels*p.nTensors),
+		TensorWrites:   make([]float64, p.nLevels*p.nTensors),
+		TensorAccessPJ: make([]float64, p.nTensors),
+		TensorNoCPJ:    make([]float64, p.nTensors),
+		TensorEnergyPJ: make([]float64, p.nTensors),
+		DimCycles:      make([]float64, p.nDims),
+		DimEnergyPJ:    make([]float64, p.nDims),
+	}
+}
+
+// Attribute fills b from the session's committed contribution records —
+// the per-link traffic, per-tensor datapath terms and per-dimension
+// latency factors the last Seed/Commit left behind. It never re-walks the
+// mapping: the records are replayed and bucketed, so the level totals
+// reproduce the current Cost's up to floating-point regrouping. The
+// session must be seeded valid and have no open proposal.
+//
+//ruby:hotpath
+func (p *Plan) Attribute(de *DeltaEval, b *Breakdown) {
+	if de.p != p {
+		panic("nest: Attribute with a DeltaEval of a different Plan")
+	}
+	if !de.seeded {
+		panic("nest: Attribute before a valid Seed")
+	}
+	if de.pending {
+		panic("nest: Attribute with an open proposal (Commit or Reject first)")
+	}
+	for i := range b.TensorReads {
+		b.TensorReads[i], b.TensorWrites[i] = 0, 0
+	}
+	b.NoCEnergyPJ = 0
+
+	// Replay each tensor's link and datapath records into its own traffic
+	// buckets. The per-record arithmetic is the committed kernel state; no
+	// model math reruns here.
+	for ti := 0; ti < p.nTensors; ti++ {
+		var noc float64
+		lcs := de.links[ti]
+		for i := range lcs {
+			lc := &lcs[i]
+			b.TensorWrites[int(lc.parent)*p.nTensors+ti] += lc.wp
+			b.TensorReads[int(lc.parent)*p.nTensors+ti] += lc.rp
+			b.TensorReads[int(lc.child)*p.nTensors+ti] += lc.rc
+			b.TensorWrites[int(lc.child)*p.nTensors+ti] += lc.wc
+			noc += lc.noc
+		}
+		dp := &de.dp[ti]
+		b.TensorReads[int(dp.inner)*p.nTensors+ti] += dp.ops
+		noc += dp.nocHop
+		if dp.out {
+			b.TensorWrites[int(dp.inner)*p.nTensors+ti] += dp.ops
+			noc += dp.nocHop
+		}
+		b.TensorNoCPJ[ti] = noc
+		b.NoCEnergyPJ += noc
+	}
+
+	// Bucket the traffic into level totals, access energy and per-tensor
+	// energy shares.
+	for ti := 0; ti < p.nTensors; ti++ {
+		b.TensorAccessPJ[ti] = 0
+	}
+	for li := 0; li < p.nLevels; li++ {
+		var r, w float64
+		base := li * p.nTensors
+		for ti := 0; ti < p.nTensors; ti++ {
+			tr, tw := b.TensorReads[base+ti], b.TensorWrites[base+ti]
+			r += tr
+			w += tw
+			b.TensorAccessPJ[ti] += (tr + tw) * p.accessPJ[li]
+		}
+		b.LevelReads[li] = r
+		b.LevelWrites[li] = w
+		b.LevelEnergyPJ[li] = (r + w) * p.accessPJ[li]
+	}
+	for ti := 0; ti < p.nTensors; ti++ {
+		b.TensorEnergyPJ[ti] = b.TensorAccessPJ[ti] + b.TensorNoCPJ[ti]
+	}
+
+	// Latency factors and the per-dimension energy ranking.
+	for d := 0; d < p.nDims; d++ {
+		b.DimCycles[d] = de.dimCycles[d]
+		var e float64
+		for ti := 0; ti < p.nTensors; ti++ {
+			if p.tensors[ti].rel[d] {
+				e += b.TensorEnergyPJ[ti]
+			}
+		}
+		b.DimEnergyPJ[d] = e
+	}
+	b.MACEnergyPJ = p.macs * p.macEnergyPJ
+}
+
+// Attribute is the session-side spelling of Plan.Attribute.
+//
+//ruby:hotpath
+func (de *DeltaEval) Attribute(b *Breakdown) {
+	de.p.Attribute(de, b)
+}

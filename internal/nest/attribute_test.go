@@ -1,0 +1,154 @@
+package nest_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ruby/internal/mapspace"
+	"ruby/internal/nest"
+)
+
+// approxEqual tolerates floating-point regrouping: Attribute sums
+// contributions per tensor first, the kernel accumulates them in tensor
+// order, so the totals may differ in the last bits.
+func approxEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*scale
+}
+
+// TestAttributeMatchesCost pins the attribution view to the evaluated cost:
+// on every bundled architecture family, after the seed and again after a
+// sequence of committed moves, the per-level totals and NoC energy of
+// Plan.Attribute must reproduce the full evaluation's (up to regrouping),
+// the per-tensor matrices must sum to the level totals, and the latency
+// factors must multiply to a value no larger than the reported cycles
+// (bandwidth stretch only ever raises them).
+func TestAttributeMatchesCost(t *testing.T) {
+	for _, tc := range deltaCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			ev := nest.MustEvaluator(tc.w, tc.a)
+			plan := ev.Plan()
+			cons := tc.cons(tc.w)
+			cons.ExploreBypass = true
+			sp := mapspace.New(tc.w, tc.a, mapspace.RubyS, cons)
+			rng := rand.New(rand.NewSource(41))
+
+			m := seedValid(t, sp, ev, rng)
+			dm, err := m.Dense(sp.Work, sp.Arch, sp.Slots())
+			if err != nil {
+				t.Fatalf("lowering seed: %v", err)
+			}
+			de := plan.NewDeltaEval()
+			b := plan.NewBreakdown()
+			cost := de.Seed(dm).Clone()
+			checkBreakdown(t, de, b, cost)
+
+			// March the session through committed moves and re-check the
+			// attribution against a fresh full evaluation each time.
+			mut := sp.NewMutator()
+			scratch := plan.NewScratch()
+			committed := 0
+			for i := 0; i < 300 && committed < 40; i++ {
+				mv := mut.Propose(rng)
+				mv.Apply(m)
+				c := plan.EvaluateDelta(de, mv.Delta())
+				if c.Valid && rng.Intn(2) == 0 {
+					de.Commit()
+					committed++
+					full := plan.EvaluateInto(dm, scratch).Clone()
+					checkBreakdown(t, de, b, full)
+				} else {
+					de.Reject()
+					mv.Undo(m)
+				}
+			}
+			if committed == 0 {
+				t.Fatalf("no moves committed; breakdown only checked at the seed")
+			}
+		})
+	}
+}
+
+func checkBreakdown(t *testing.T, de *nest.DeltaEval, b *nest.Breakdown, cost nest.Cost) {
+	t.Helper()
+	de.Attribute(b)
+	for li := 0; li < b.NLevels; li++ {
+		if !approxEqual(b.LevelReads[li], cost.LevelReads[li]) ||
+			!approxEqual(b.LevelWrites[li], cost.LevelWrites[li]) ||
+			!approxEqual(b.LevelEnergyPJ[li], cost.LevelEnergyPJ[li]) {
+			t.Fatalf("level %d totals diverge: breakdown r=%v w=%v e=%v, cost r=%v w=%v e=%v",
+				li, b.LevelReads[li], b.LevelWrites[li], b.LevelEnergyPJ[li],
+				cost.LevelReads[li], cost.LevelWrites[li], cost.LevelEnergyPJ[li])
+		}
+		var r, w float64
+		for ti := 0; ti < b.NTensors; ti++ {
+			r += b.TensorReads[li*b.NTensors+ti]
+			w += b.TensorWrites[li*b.NTensors+ti]
+		}
+		if r != b.LevelReads[li] || w != b.LevelWrites[li] {
+			t.Fatalf("level %d tensor split does not sum to the level total", li)
+		}
+	}
+	if !approxEqual(b.NoCEnergyPJ, cost.NoCEnergyPJ) {
+		t.Fatalf("NoC energy diverges: breakdown %v, cost %v", b.NoCEnergyPJ, cost.NoCEnergyPJ)
+	}
+	if b.MACEnergyPJ != cost.MACEnergyPJ {
+		t.Fatalf("MAC energy diverges: breakdown %v, cost %v", b.MACEnergyPJ, cost.MACEnergyPJ)
+	}
+	var access, tensorTotal float64
+	for ti := 0; ti < b.NTensors; ti++ {
+		if b.TensorEnergyPJ[ti] != b.TensorAccessPJ[ti]+b.TensorNoCPJ[ti] {
+			t.Fatalf("tensor %d energy is not access+NoC", ti)
+		}
+		access += b.TensorAccessPJ[ti]
+		tensorTotal += b.TensorEnergyPJ[ti]
+	}
+	var levelSum float64
+	for li := 0; li < b.NLevels; li++ {
+		levelSum += b.LevelEnergyPJ[li]
+	}
+	if !approxEqual(access, levelSum) {
+		t.Fatalf("per-tensor access energy %v does not sum to level energy %v", access, levelSum)
+	}
+	compute := 1.0
+	for d := 0; d < b.NDims; d++ {
+		if b.DimCycles[d] < 1 || math.IsInf(b.DimCycles[d], 0) || math.IsNaN(b.DimCycles[d]) {
+			t.Fatalf("dim %d latency factor %v out of range", d, b.DimCycles[d])
+		}
+		if b.DimEnergyPJ[d] < 0 || b.DimEnergyPJ[d] > tensorTotal*(1+1e-12) {
+			t.Fatalf("dim %d energy ranking %v outside [0, %v]", d, b.DimEnergyPJ[d], tensorTotal)
+		}
+		compute *= b.DimCycles[d]
+	}
+	if compute > cost.Cycles*(1+1e-9) {
+		t.Fatalf("compute-bound cycles %v exceed reported cycles %v", compute, cost.Cycles)
+	}
+}
+
+// TestAttributeAllocationFree pins the hot-path contract: refilling a
+// preallocated Breakdown from a seeded session never allocates.
+func TestAttributeAllocationFree(t *testing.T) {
+	tc := deltaCases()[2]
+	ev := nest.MustEvaluator(tc.w, tc.a)
+	plan := ev.Plan()
+	sp := mapspace.New(tc.w, tc.a, mapspace.RubyS, tc.cons(tc.w))
+	rng := rand.New(rand.NewSource(7))
+	m := seedValid(t, sp, ev, rng)
+	dm, err := m.Dense(sp.Work, sp.Arch, sp.Slots())
+	if err != nil {
+		t.Fatalf("lowering seed: %v", err)
+	}
+	de := plan.NewDeltaEval()
+	if c := de.Seed(dm); !c.Valid {
+		t.Fatalf("seed invalid: %s", c.Reason)
+	}
+	b := plan.NewBreakdown()
+	if allocs := testing.AllocsPerRun(200, func() { de.Attribute(b) }); allocs != 0 {
+		t.Fatalf("Attribute allocates %v times per run; want 0", allocs)
+	}
+}

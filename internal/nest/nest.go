@@ -167,8 +167,8 @@ func (e *Evaluator) EvaluateLegacy(m *mapping.Mapping) Cost {
 			used *= chains[d].Trips(s.Index)
 		}
 		if used > s.Fanout {
-			return invalid("fanout: slot %d (%s level %d) uses %d of %d instances",
-				s.Index, s.Kind, s.Level, used, s.Fanout)
+			return invalid("fanout: slot %d (%s level %d) exceeds %d instances",
+				s.Index, s.Kind, s.Level, s.Fanout)
 		}
 	}
 
@@ -189,15 +189,15 @@ func (e *Evaluator) EvaluateLegacy(m *mapping.Mapping) Cost {
 			v := vols[li][ti]
 			if capWords, dedicated := l.RoleCapacity(t.Role); dedicated {
 				if v > capWords {
-					return invalid("capacity: level %s %v tile %d words exceeds dedicated %d",
-						l.Name, t.Role, v, capWords)
+					return invalid("capacity: level %s %v tile exceeds dedicated %d words",
+						l.Name, t.Role, capWords)
 				}
 			} else {
 				shared += v
 			}
 		}
 		if l.PerRole == nil && l.Capacity > 0 && shared > l.Capacity {
-			return invalid("capacity: level %s holds %d words, capacity %d", l.Name, shared, l.Capacity)
+			return invalid("capacity: level %s exceeds shared capacity %d words", l.Name, l.Capacity)
 		}
 	}
 

@@ -2,6 +2,7 @@ package nest
 
 import (
 	"errors"
+	"fmt"
 
 	"ruby/internal/arch"
 	"ruby/internal/mapping"
@@ -42,6 +43,15 @@ type Plan struct {
 
 	macs, lanes float64
 	macEnergyPJ float64 // per-MAC energy
+
+	// Interned invalid-verdict reasons, formatted once at compile time so
+	// the checks below return them without fmt or boxing. Every value that
+	// used to be interpolated per call (slot ids, level names, capacities)
+	// is a static architecture fact; the offending tile volume was dropped
+	// from the message to keep the string per-slot/per-level static.
+	fanoutReason    []string    // per spatial slot
+	dedicatedReason [][3]string // per level, per role (dedicated buffers)
+	sharedReason    []string    // per level (shared buffers)
 
 	// hop[parent][child] is the summed per-word wire energy of a
 	// parent->child transfer (child may be nLevels: the datapath below the
@@ -128,6 +138,30 @@ func newPlan(w *workload.Workload, a *arch.Arch, slots []mapping.Slot, firstSlot
 		p.staticPJ[li] = l.StaticPJPerCycle
 	}
 	p.macEnergyPJ = a.Energy.MAC()
+
+	p.fanoutReason = make([]string, p.nSlots)
+	for si := range slots {
+		if sl := &slots[si]; sl.Spatial() {
+			p.fanoutReason[si] = fmt.Sprintf("fanout: slot %d (%s level %d) exceeds %d instances",
+				sl.Index, sl.Kind, sl.Level, sl.Fanout)
+		}
+	}
+	p.dedicatedReason = make([][3]string, p.nLevels)
+	p.sharedReason = make([]string, p.nLevels)
+	for li := range a.Levels {
+		l := &a.Levels[li]
+		if p.dedicated[li] {
+			for _, r := range workload.Roles {
+				if cap, ded := l.RoleCapacity(r); ded {
+					p.dedicatedReason[li][r] = fmt.Sprintf("capacity: level %s %v tile exceeds dedicated %d words",
+						l.Name, r, cap)
+				}
+			}
+		} else if l.Capacity > 0 {
+			p.sharedReason[li] = fmt.Sprintf("capacity: level %s exceeds shared capacity %d words",
+				l.Name, l.Capacity)
+		}
+	}
 
 	p.hop = make([][]float64, p.nLevels+1)
 	for parent := 0; parent <= p.nLevels; parent++ {
@@ -219,13 +253,24 @@ func (p *Plan) EvaluateMapping(m *mapping.Mapping, s *Scratch) Cost {
 func (p *Plan) EvaluateMappingInto(m *mapping.Mapping, s *Scratch) Cost {
 	dm, err := m.Dense(p.work, p.arch, p.slots)
 	if err != nil {
-		var de *mapping.DenseError
-		if errors.As(err, &de) {
-			return invalid("%s: %v", de.Stage, de.Err)
-		}
-		return invalid("%v", err)
+		return invalidDense(err)
 	}
 	return p.EvaluateInto(dm, s)
+}
+
+// invalidDense formats the verdict for a mapping that failed dense
+// lowering. Lowering rejects abort the evaluation before the kernel runs
+// and never recur for a memoized mapping, so the formatting allocation is
+// off the steady-state path. The concrete error parameter keeps the
+// hot-path call site free of interface boxing.
+//
+//ruby:coldpath
+func invalidDense(err error) Cost {
+	var de *mapping.DenseError
+	if errors.As(err, &de) {
+		return Cost{Reason: de.Stage + ": " + de.Err.Error()}
+	}
+	return Cost{Reason: err.Error()}
 }
 
 // Evaluate evaluates a lowered mapping, returning a Cost detached from the
@@ -373,7 +418,8 @@ func (p *Plan) evalInto(dm *mapping.Dense, s *Scratch, de *DeltaEval) Cost {
 
 // checkFanout verifies every spatial slot's joint trip count against its
 // fanout, reading the scratch trips table. Reported in slot order with the
-// legacy message.
+// reason string interned at plan-compile time: invalid verdicts are hot in
+// sampling pipelines, so the rejection itself must not allocate.
 //
 //ruby:hotpath
 func (p *Plan) checkFanout(s *Scratch) (Cost, bool) {
@@ -388,15 +434,16 @@ func (p *Plan) checkFanout(s *Scratch) (Cost, bool) {
 			used *= row[d]
 		}
 		if used > sl.Fanout {
-			return invalid("fanout: slot %d (%s level %d) uses %d of %d instances",
-				sl.Index, sl.Kind, sl.Level, used, sl.Fanout), true
+			return Cost{Reason: p.fanoutReason[si]}, true
 		}
 	}
 	return Cost{}, false
 }
 
 // checkCapacity verifies storage residency per level against dedicated or
-// shared capacities, in the legacy order with the legacy messages.
+// shared capacities, in the legacy order. The reason strings are interned
+// at plan-compile time (see newPlan), so a capacity reject — the most
+// common verdict for random samples — is allocation-free.
 //
 //ruby:hotpath
 func (p *Plan) checkCapacity(s *Scratch) (Cost, bool) {
@@ -410,16 +457,14 @@ func (p *Plan) checkCapacity(s *Scratch) (Cost, bool) {
 			v := s.vols[li*p.nTensors+ti]
 			if p.dedicated[li] {
 				if v > p.roleCap[li][role] {
-					return invalid("capacity: level %s %v tile %d words exceeds dedicated %d",
-						p.arch.Levels[li].Name, role, v, p.roleCap[li][role]), true
+					return Cost{Reason: p.dedicatedReason[li][role]}, true
 				}
 			} else {
 				shared += v
 			}
 		}
 		if !p.dedicated[li] && p.sharedCap[li] > 0 && shared > p.sharedCap[li] {
-			return invalid("capacity: level %s holds %d words, capacity %d",
-				p.arch.Levels[li].Name, shared, p.sharedCap[li]), true
+			return Cost{Reason: p.sharedReason[li]}, true
 		}
 	}
 	return Cost{}, false

@@ -9,12 +9,16 @@ import (
 )
 
 // Portfolio runs the full searcher portfolio — random sampling, the genetic
-// algorithm, simulated annealing and greedy hill climbing — splitting an
-// evaluation budget across them and returning the overall best. Different
-// strategies win on different mapspace shapes (random on dense toy spaces,
-// population methods on the sparse Ruby expansions), so the portfolio is a
-// robust default when the shape is unknown. Cancellation is honored between
-// and within the cancellable stages (random, hill climb); the population
+// algorithm, simulated annealing, greedy hill climbing and the model-guided
+// mapper — splitting an evaluation budget across them and returning the
+// overall best. Different strategies win on different mapspace shapes
+// (random on dense toy spaces, population methods on the sparse Ruby
+// expansions, guided on anything with exploitable cost structure), so the
+// portfolio is a robust default when the shape is unknown. The member that
+// produced the incumbent is reported as an obs event
+// ("portfolio:winner:<member>") and through engine.PortfolioMetrics when the
+// engine's metrics sink implements it. Cancellation is honored between and
+// within the cancellable stages (random, hill climb, guided); the population
 // stages (genetic, anneal) are skipped entirely once ctx is done, so a
 // cancelled portfolio still returns its best-so-far quickly.
 func Portfolio(ctx context.Context, sp *mapspace.Space, eng *engine.Engine, opt Options) *Result {
@@ -25,14 +29,18 @@ func Portfolio(ctx context.Context, sp *mapspace.Space, eng *engine.Engine, opt 
 	if budget <= 0 {
 		budget = 40000
 	}
-	share := budget / 4
+	share := budget / 5
 
-	results := make([]*Result, 0, 4)
+	type member struct {
+		name string
+		res  *Result
+	}
+	members := make([]member, 0, 5)
 
 	randOpt := opt
 	randOpt.MaxEvaluations = share
 	randOpt.ConsecutiveNoImprove = 0
-	results = append(results, Random(ctx, sp, eng, randOpt))
+	members = append(members, member{"random", Random(ctx, sp, eng, randOpt)})
 
 	if ctx == nil || ctx.Err() == nil {
 		pop := 64
@@ -40,31 +48,45 @@ func Portfolio(ctx context.Context, sp *mapspace.Space, eng *engine.Engine, opt 
 		if gens < 1 {
 			gens = 1
 		}
-		results = append(results, Genetic(sp, eng.Evaluator(), GeneticOptions{
+		members = append(members, member{"genetic", Genetic(sp, eng.Evaluator(), GeneticOptions{
 			Seed: opt.Seed + 1, Population: pop, Generations: gens, Objective: opt.Objective,
-		}))
+		})})
 	}
 
 	warm := int(share) / 10
 	if ctx == nil || ctx.Err() == nil {
-		results = append(results, Anneal(sp, eng.Evaluator(), AnnealOptions{
+		members = append(members, member{"anneal", Anneal(sp, eng.Evaluator(), AnnealOptions{
 			Seed: opt.Seed + 2, Steps: int(share) - warm, Warmup: warm, Objective: opt.Objective,
-		}))
+		})})
 	}
 
-	results = append(results, HillClimb(ctx, sp, eng, Options{
+	members = append(members, member{"hillclimb", HillClimb(ctx, sp, eng, Options{
 		Seed: opt.Seed + 3, Objective: opt.Objective,
 		Warmup: warm, Patience: int(share) - warm,
-	}))
+	})})
+
+	members = append(members, member{"guided", Guided(ctx, sp, eng, Options{
+		Seed: opt.Seed + 4, Objective: opt.Objective,
+		MaxEvaluations: share, WarmStart: opt.WarmStart,
+	})})
 
 	best := &Result{}
-	for _, r := range results {
+	winner := ""
+	for _, mb := range members {
+		r := mb.res
 		best.Evaluated += r.Evaluated
 		best.Valid += r.Valid
 		if r.Best != nil && (best.Best == nil ||
 			opt.Objective.Value(&r.BestCost) < opt.Objective.Value(&best.BestCost)) {
 			best.Best = r.Best
 			best.BestCost = r.BestCost
+			winner = mb.name
+		}
+	}
+	if winner != "" {
+		obs.Event(ctx, "portfolio:winner:"+winner)
+		if pm, ok := eng.Metrics().(engine.PortfolioMetrics); ok {
+			pm.PortfolioWin(winner)
 		}
 	}
 	return best

@@ -29,6 +29,9 @@ func searcherVariants() map[string]newSearcherFn {
 		"exhaustive": func(sp *mapspace.Space, eng *engine.Engine) Searcher {
 			return NewExhaustive(sp, eng, Options{}, 0)
 		},
+		"guided": func(sp *mapspace.Space, eng *engine.Engine) Searcher {
+			return NewGuided(sp, eng, Options{Seed: 11, MaxEvaluations: 2000})
+		},
 	}
 }
 

@@ -31,6 +31,11 @@ import (
 // Options configures a search. The zero value is a usable default for every
 // searcher; unset fields assume the documented defaults.
 type Options struct {
+	// Algo selects the search algorithm for the call sites that dispatch by
+	// name (search.Run, sweep.SearchLayer, the /v1 server): one of
+	// Algorithms, with "" meaning random sampling. The direct entry points
+	// (Random, Guided, ...) ignore it.
+	Algo string
 	// Seed makes the search reproducible. Worker i uses Seed + i.
 	Seed int64
 	// Threads is the number of parallel samplers (default min(24, NumCPU),

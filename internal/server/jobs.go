@@ -42,6 +42,10 @@ type Options struct {
 	// the threshold. Zero disables the respective log.
 	SlowEval   time.Duration
 	SlowSearch time.Duration
+	// DefaultSearch is the algorithm used for requests that leave their
+	// "search" field empty (one of search.Algorithms; "" = random). Jobs
+	// additionally require a resumable algorithm.
+	DefaultSearch string
 	// Log receives the slow-event records (nil = slog.Default()).
 	Log *slog.Logger
 }
@@ -68,7 +72,7 @@ func NewService(opts Options) (*Service, error) {
 			SearchThreshold: opts.SlowSearch,
 		}
 	}
-	s := &service{ins: ins, reg: obs.NewRegistry()}
+	s := &service{ins: ins, reg: obs.NewRegistry(), defaultSearch: opts.DefaultSearch}
 	ins.Register(s.reg)
 	jm, err := newJobManager(opts.StateDir, s)
 	if err != nil {
@@ -190,7 +194,30 @@ func (jm *jobManager) persistLocked(rec *jobRecord) error {
 	return checkpoint.Save(jm.recordPath(rec.ID), checkpoint.KindJob, rec)
 }
 
-// submit registers and starts a new job.
+// resolveJobSearch applies the server's default algorithm and checks the
+// result is a checkpoint-resumable one: jobs must survive a restart
+// bit-identically, so the non-resumable searchers are rejected at
+// submission rather than failing the job later. The default is resolved
+// now so the persisted record names the algorithm its checkpoints were
+// written with.
+func (s *service) resolveJobSearch(name string) (string, error) {
+	if name == "" {
+		name = s.defaultSearch
+	}
+	if name == "" {
+		return "", nil
+	}
+	for _, a := range search.ResumableAlgorithms {
+		if name == a {
+			return name, nil
+		}
+	}
+	return "", fmt.Errorf("server: job search %q is not resumable (want one of %s)",
+		name, strings.Join(search.ResumableAlgorithms, "|"))
+}
+
+// submit registers and starts a new job; the request's algorithm has been
+// resolved and validated by the handler.
 func (jm *jobManager) submit(req searchRequest) (*jobRecord, error) {
 	jm.mu.Lock()
 	defer jm.mu.Unlock()
@@ -266,7 +293,11 @@ func (jm *jobManager) run(id string) {
 		opt.MaxEvaluations = 50000
 	}
 
-	sr := search.NewRandom(sp, jm.svc.engineFor(ev), opt)
+	sr, err := search.NewSearcherFor(req.Search, sp, jm.svc.engineFor(ev), opt, 0)
+	if err != nil {
+		finish(JobFailed, nil, err)
+		return
+	}
 	if _, err := search.RestoreFromFile(jm.baseCtx, sr, jm.searchPath(id)); err != nil {
 		finish(JobFailed, nil, err)
 		return
@@ -370,6 +401,12 @@ func (s *service) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, CodeInvalidRequest, err)
 		return
 	}
+	algo, err := s.resolveJobSearch(req.Search)
+	if err != nil {
+		writeErr(w, CodeInvalidRequest, err)
+		return
+	}
+	req.Search = algo
 	rec, err := s.jobs.submit(req)
 	if err != nil {
 		writeErr(w, CodeUnavailable, err)

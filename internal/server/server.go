@@ -66,6 +66,9 @@ type service struct {
 	ins  *engine.Instruments
 	reg  *obs.Registry
 	jobs *jobManager
+	// defaultSearch is the algorithm used when a request leaves its
+	// "search" field empty ("" = random sampling).
+	defaultSearch string
 }
 
 // engineFor builds the per-request evaluation pipeline.
@@ -300,6 +303,8 @@ func (s *service) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 
 type searchRequest struct {
 	problemSpec
+	// Search selects the algorithm (search.Algorithms; "" = random).
+	Search         string `json:"search,omitempty"`
 	Seed           int64  `json:"seed,omitempty"`
 	Threads        int    `json:"threads,omitempty"`
 	MaxEvaluations int64  `json:"max_evaluations,omitempty"`
@@ -353,7 +358,15 @@ func (s *service) handleSearch(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	res := search.Random(ctx, sp, s.engineFor(ev), opt)
+	algo := req.Search
+	if algo == "" {
+		algo = s.defaultSearch
+	}
+	res, err := search.Run(ctx, sp, s.engineFor(ev), algo, opt)
+	if err != nil {
+		writeErr(w, CodeInvalidRequest, err)
+		return
+	}
 	if res.Best == nil {
 		code := CodeNoValidMapping
 		if ctx.Err() != nil {

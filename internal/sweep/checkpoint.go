@@ -61,8 +61,14 @@ func (sc *SuiteCheckpoint) Len() int {
 // goes into the key, so resuming with a different budget, seed or strategy
 // re-searches instead of reusing stale results.
 func layerKey(a *arch.Arch, st Strategy, opt search.Options, l workloads.Layer) string {
-	return fmt.Sprintf("%s|%s|seed=%d|max=%d|noimp=%d|obj=%d|%s",
-		a.Name, st.Name, opt.Seed, opt.MaxEvaluations, opt.ConsecutiveNoImprove, opt.Objective, l.Name)
+	// The algorithm component appears only when one is selected, so suite
+	// checkpoints written before algorithm dispatch existed keep resuming.
+	algo := ""
+	if opt.Algo != "" {
+		algo = "|algo=" + opt.Algo
+	}
+	return fmt.Sprintf("%s|%s|seed=%d|max=%d|noimp=%d|obj=%d%s|%s",
+		a.Name, st.Name, opt.Seed, opt.MaxEvaluations, opt.ConsecutiveNoImprove, opt.Objective, algo, l.Name)
 }
 
 // resume returns the recorded result for one layer search if present and

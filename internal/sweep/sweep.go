@@ -102,11 +102,12 @@ type LayerResult struct {
 }
 
 // SearchLayer searches the best mapping for one layer on one architecture
-// under one strategy. For padding strategies every padded variant is
-// searched and the lowest-EDP result wins (Section III-B's baseline). An
-// error is returned when no valid mapping exists at all. Each workload
-// variant's search routes through an engine built from ecfg, and a cancelled
-// ctx aborts with its error.
+// under one strategy, using the algorithm opt.Algo selects (random sampling
+// by default). For padding strategies every padded variant is searched and
+// the lowest-EDP result wins (Section III-B's baseline). An error is
+// returned when no valid mapping exists at all. Each workload variant's
+// search routes through an engine built from ecfg, and a cancelled ctx
+// aborts with its error.
 func SearchLayer(ctx context.Context, l workloads.Layer, a *arch.Arch, st Strategy,
 	consFn ConstraintFn, opt search.Options, ecfg engine.Config) (LayerResult, error) {
 
@@ -126,7 +127,10 @@ func SearchLayer(ctx context.Context, l workloads.Layer, a *arch.Arch, st Strate
 		}
 		eng := ecfg.New(ev)
 		sp := mapspace.New(w, a, st.Kind, consFn(w))
-		res := search.Random(ctx, sp, eng, opt)
+		res, err := search.Run(ctx, sp, eng, opt.Algo, opt)
+		if err != nil {
+			return LayerResult{}, fmt.Errorf("sweep: layer %s on %s: %w", l.Name, a.Name, err)
+		}
 		if res.Best == nil {
 			// Guaranteed fallback: the all-at-DRAM uniform mapping streams
 			// single elements through the hierarchy, so it satisfies every

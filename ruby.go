@@ -269,6 +269,14 @@ var (
 	// SearchHillClimb runs the greedy local-search extension (warm-up and
 	// patience come from SearchOptions.Warmup/Patience).
 	SearchHillClimb = search.HillClimb
+	// SearchGuided runs the model-guided greedy mapper: cost-attribution
+	// ranked descent that converges in thousands of evaluations (see
+	// docs/MODEL.md).
+	SearchGuided = search.Guided
+	// SearchRun dispatches to a searcher by algorithm name ("random",
+	// "guided", "hillclimb", "anneal", "genetic", "portfolio",
+	// "exhaustive"; "" means random).
+	SearchRun = search.Run
 	// SearchGenetic runs the GAMMA-style genetic-algorithm extension.
 	SearchGenetic = search.Genetic
 	// ConstructMapping builds one mapping deterministically with the
@@ -309,6 +317,8 @@ var (
 	NewRandomSearcher = search.NewRandom
 	// NewHillClimbSearcher builds the resumable hill-climbing searcher.
 	NewHillClimbSearcher = search.NewHillClimb
+	// NewGuidedSearcher builds the resumable model-guided searcher.
+	NewGuidedSearcher = search.NewGuided
 	// NewExhaustiveSearcher builds the resumable exhaustive scanner.
 	NewExhaustiveSearcher = search.NewExhaustive
 	// RunCheckpointed drives a Searcher to completion with periodic

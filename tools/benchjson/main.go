@@ -8,7 +8,10 @@
 // (-history) and act as a CI regression gate (-baseline/-gate): with a gate
 // pattern, named benchmarks are compared against the baseline snapshot and
 // the run fails when ns/op regresses by more than -tolerance (default 20%)
-// or a benchmark that was allocation-free gains allocations.
+// or a benchmark that was allocation-free gains allocations. A gate spec of
+// the form Name:metric instead compares the named custom b.ReportMetric
+// value (e.g. BenchmarkGuidedConverge:convergence_evals) under the same
+// tolerance — how the guided mapper's evals-to-convergence is held flat.
 package main
 
 import (
@@ -32,6 +35,9 @@ type Entry struct {
 	// allocations.
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Extra holds custom b.ReportMetric values keyed by their unit string
+	// (e.g. "convergence_evals"); gate specs address them as Name:unit.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // historyRecord is one dated run in the JSONL history file.
@@ -143,18 +149,25 @@ func loadBaseline(path string) (map[string]Entry, error) {
 
 // checkGate compares each gated benchmark against the baseline. A gated name
 // missing from either side fails (a silently vanished benchmark must not
-// pass the gate). Timing regressions beyond tolerance fail; so does any
-// allocation count above a previously allocation-free baseline.
-func checkGate(entries []Entry, base map[string]Entry, names []string, tolerance float64) []string {
+// pass the gate). A plain name gates ns/op regressions beyond tolerance and
+// any allocation count above a previously allocation-free baseline; a
+// Name:metric spec gates the named custom metric under the same tolerance
+// instead, leaving wall time alone (the metric — e.g. the guided searcher's
+// convergence_evals — is deterministic where the timing is not).
+func checkGate(entries []Entry, base map[string]Entry, specs []string, tolerance float64) []string {
 	byName := make(map[string]Entry, len(entries))
 	for _, e := range entries {
 		byName[e.Name] = e
 	}
 	var failures []string
-	for _, name := range names {
-		name = strings.TrimSpace(name)
-		if name == "" {
+	for _, spec := range specs {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
 			continue
+		}
+		name, metric := spec, ""
+		if i := strings.IndexByte(spec, ':'); i >= 0 {
+			name, metric = spec[:i], spec[i+1:]
 		}
 		cur, ok := byName[name]
 		if !ok {
@@ -164,6 +177,20 @@ func checkGate(entries []Entry, base map[string]Entry, names []string, tolerance
 		b, ok := base[name]
 		if !ok {
 			failures = append(failures, fmt.Sprintf("%s: not present in baseline", name))
+			continue
+		}
+		if metric != "" {
+			curV, curOK := cur.Extra[metric]
+			baseV, baseOK := b.Extra[metric]
+			if !curOK || !baseOK {
+				failures = append(failures, fmt.Sprintf("%s: metric %s missing (run: %t, baseline: %t)",
+					name, metric, curOK, baseOK))
+				continue
+			}
+			if baseV > 0 && curV > baseV*(1+tolerance) {
+				failures = append(failures, fmt.Sprintf("%s: %.1f %s vs baseline %.1f (>%d%% regression)",
+					name, curV, metric, baseV, int(tolerance*100)))
+			}
 			continue
 		}
 		if b.NsPerOp > 0 && cur.NsPerOp > b.NsPerOp*(1+tolerance) {
@@ -211,6 +238,13 @@ func parseLine(line string) (Entry, bool) {
 			e.BytesPerOp = v
 		case "allocs/op":
 			e.AllocsPerOp = v
+		case "MB/s":
+			// Throughput scales with the machine; not a gateable metric.
+		default:
+			if e.Extra == nil {
+				e.Extra = make(map[string]float64)
+			}
+			e.Extra[fields[i+1]] = v
 		}
 	}
 	return e, ok
