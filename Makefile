@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-obs bench bench-all bench-gate fmt vet lint fuzz-smoke docs-check check
+.PHONY: all build test race race-obs race-dist bench bench-all bench-gate fmt vet lint fuzz-smoke docs-check check
 
 all: check
 
@@ -20,6 +20,12 @@ race:
 # this as a dedicated early step.
 race-obs:
 	$(GO) test -race ./internal/obs/... ./internal/server/...
+
+# Distributed-determinism gate: the multi-worker integration tests (3-worker
+# fleet vs single-node reference, deterministic mid-shard worker kill,
+# kill-then-resume from a persisted plan state) under the race detector.
+race-dist:
+	$(GO) test -race ./internal/dist/...
 
 # Evaluation-kernel microbenchmarks (compiled plan vs legacy, engine cache,
 # sampler pipeline, delta-evaluation neighbor steps, cost attribution and
@@ -71,4 +77,4 @@ fuzz-smoke:
 docs-check: fmt vet
 	$(GO) run ./tools/linkcheck
 
-check: fmt vet build lint docs-check test race
+check: fmt vet build lint docs-check test race-dist race

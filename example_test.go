@@ -170,3 +170,84 @@ func ExampleMapping_RenderTree() {
 	//    `- rem branch (4):
 	//       `- GLB parFor x4 -> tile 1
 }
+
+// Sharding one exhaustive search into a deterministic plan: each shard owns
+// a contiguous range of leading-dimension factor chains, and running the
+// shards in any order — locally or across a worker fleet — merges to the
+// same incumbent a single-node scan finds.
+func ExampleBuildShardPlan() {
+	w := ruby.MustVector1D("d100", 100)
+	a := ruby.ToyGLB(6, 512)
+	sp := ruby.NewSpace(w, a, ruby.RubyS, ruby.Constraints{FixedPerms: true})
+
+	plan, err := ruby.BuildShardPlan(sp, "exhaustive", 1, 3, 0)
+	if err != nil {
+		panic(err)
+	}
+	for _, sh := range plan.Shards {
+		fmt.Printf("shard %d: chains [%d, %d)\n", sh.Index, sh.Chain.Lo, sh.Chain.Hi)
+	}
+
+	spec := &ruby.DistSpec{
+		Workload: []byte(`{"name": "d100", "type": "vector1d", "d": 100}`),
+		Arch:     []byte(`{"name": "toy", "levels": [{"name": "DRAM"}, {"name": "GLB", "capacity_words": 512, "fanout": {"x": 6, "multicast": true}}]}`),
+		Search:   "exhaustive",
+	}
+	cons := `{"fixed_perms": true}`
+	spec.Constraints = []byte(cons)
+	merged, err := ruby.RunPlanLocal(context.Background(), spec, plan)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("merged: %d evaluated, winner from shard %d\n", merged.Evaluated, merged.BestShard)
+	// Output:
+	// shard 0: chains [0, 10)
+	// shard 1: chains [10, 20)
+	// shard 2: chains [20, 30)
+	// merged: 30 evaluated, winner from shard 2
+}
+
+// Resuming a coordinated run: the coordinator's state file keeps finished
+// shards' results, so a restored run re-queues only the unfinished work and
+// still merges to the identical outcome.
+func ExampleRestoreCoordinator() {
+	w := ruby.MustVector1D("d100", 100)
+	a := ruby.ToyGLB(6, 512)
+	sp := ruby.NewSpace(w, a, ruby.RubyS, ruby.Constraints{FixedPerms: true})
+	plan, err := ruby.BuildShardPlan(sp, "exhaustive", 1, 2, 0)
+	if err != nil {
+		panic(err)
+	}
+
+	dir, _ := os.MkdirTemp("", "ruby-example")
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "coord.json")
+
+	// "First process": shard 0 completes, then the run is interrupted.
+	c1 := ruby.NewCoordinator(plan, 0, nil)
+	c1.Lease("w1")
+	c1.Complete(0, "w1", ruby.ShardOutcome{Evaluated: 18, Valid: 12})
+	if err := c1.SaveState(path, nil); err != nil {
+		panic(err)
+	}
+
+	// "Second process": restore; only the unfinished shard is pending.
+	st, err := ruby.LoadCoordinatorState(path)
+	if err != nil {
+		panic(err)
+	}
+	c2, err := ruby.RestoreCoordinator(st, 0, nil)
+	if err != nil {
+		panic(err)
+	}
+	for _, sv := range c2.Shards() {
+		fmt.Printf("shard %d: %s\n", sv.Shard.Index, sv.Status)
+	}
+	sh, _, _ := c2.Lease("w2")
+	c2.Complete(sh.Index, "w2", ruby.ShardOutcome{Evaluated: 18, Valid: 11})
+	fmt.Printf("done=%v evaluated=%d\n", c2.Done(), c2.Merged().Evaluated)
+	// Output:
+	// shard 0: done
+	// shard 1: pending
+	// done=true evaluated=36
+}

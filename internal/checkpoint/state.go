@@ -15,6 +15,10 @@ const KindSuite = "suite"
 // KindJob tags server job records (internal/server persistence).
 const KindJob = "job"
 
+// KindShards tags distributed shard-plan state (internal/dist coordinator
+// persistence: the plan plus per-shard progress and held snapshots).
+const KindShards = "shards"
+
 // TracePoint mirrors search.TracePoint (one incumbent-improvement event) in
 // serialized form; the search package converts in both directions. Keeping a
 // local copy avoids an import cycle — search depends on checkpoint for its

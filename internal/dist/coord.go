@@ -1,0 +1,366 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"ruby/internal/obs"
+)
+
+// Shard statuses tracked by the Coordinator.
+const (
+	// ShardPending: not leased; ready to hand to the next worker.
+	ShardPending = "pending"
+	// ShardLeased: a worker holds the shard; the lease expires unless
+	// renewed by Heartbeat.
+	ShardLeased = "leased"
+	// ShardDone: a completion report was accepted; terminal.
+	ShardDone = "done"
+)
+
+// ShardResult is one shard's final report: the shard-local incumbent (nil
+// Mapping when the shard contains no valid mapping — a legitimate outcome
+// for sparse exhaustive shards) plus honest counters. Deterministic per
+// shard: any two complete executions of the same shard report equal values.
+type ShardResult struct {
+	// Mapping is the shard incumbent, in the mapping JSON encoding.
+	Mapping json.RawMessage `json:"mapping,omitempty"`
+	// Objective is the incumbent's objective value (meaningless when
+	// Mapping is empty).
+	Objective float64 `json:"objective,omitempty"`
+	Evaluated int64   `json:"evaluated"`
+	Valid     int64   `json:"valid"`
+}
+
+// shardState is the coordinator's view of one shard.
+type shardState struct {
+	shard    Shard
+	status   string
+	worker   string    // lease holder while leased
+	expires  time.Time // lease deadline while leased
+	requeues int
+	// checkpoint is the latest worker-side search snapshot payload the
+	// coordinator has collected; a re-queued shard resumes from it. Purely
+	// work-saving: the shard result is the same from any starting snapshot.
+	checkpoint json.RawMessage
+	result     *ShardResult
+}
+
+// Merged is the fleet-level outcome: the global incumbent selected across
+// shard results in shard-index order (strict improvement, so equal-valued
+// incumbents resolve to the lowest shard index — exactly the order a
+// single-node scan of the same plan encounters them) plus summed counters.
+type Merged struct {
+	// Best is the winning mapping's JSON encoding (nil when no shard found
+	// a valid mapping).
+	Best json.RawMessage `json:"best,omitempty"`
+	// BestObjective is Best's objective value.
+	BestObjective float64 `json:"best_objective,omitempty"`
+	// BestShard is the index of the shard that produced Best (-1 if none).
+	BestShard int   `json:"best_shard"`
+	Evaluated int64 `json:"evaluated"`
+	Valid     int64 `json:"valid"`
+}
+
+// Coordinator owns the authoritative shard table of one distributed search:
+// which shards are pending, leased (to whom, until when) or done, the
+// latest per-shard checkpoint, and the accepted results. All methods are
+// safe for concurrent use. The zero value is not usable; build with
+// NewCoordinator or RestoreCoordinator.
+//
+// Completion is idempotent and first-report-wins: a worker that dies after
+// committing its final evaluation but before (or while) reporting cannot
+// double-count — either its report was accepted (the re-queued run's
+// duplicate is dropped) or it was not (the re-queued run reports the
+// identical values). See TestCompleteIdempotentAfterRequeue.
+type Coordinator struct {
+	mu     sync.Mutex
+	plan   *Plan
+	shards []*shardState
+
+	leaseTTL time.Duration
+	now      func() time.Time // injected clock (tests freeze it)
+
+	// Monotonic event counters for the metrics exposition.
+	requeued     uint64
+	leaseExpired uint64
+	completed    uint64
+	evals        uint64
+}
+
+// DefaultLeaseTTL bounds how long a silent worker keeps a shard before the
+// coordinator re-queues it.
+const DefaultLeaseTTL = 30 * time.Second
+
+// NewCoordinator builds a coordinator over a plan. leaseTTL <= 0 selects
+// DefaultLeaseTTL; a nil now uses time.Now.
+func NewCoordinator(plan *Plan, leaseTTL time.Duration, now func() time.Time) *Coordinator {
+	if leaseTTL <= 0 {
+		leaseTTL = DefaultLeaseTTL
+	}
+	if now == nil {
+		now = time.Now
+	}
+	c := &Coordinator{plan: plan, leaseTTL: leaseTTL, now: now}
+	for i := range plan.Shards {
+		c.shards = append(c.shards, &shardState{shard: plan.Shards[i], status: ShardPending})
+	}
+	return c
+}
+
+// Plan returns the coordinated plan (not a copy; treat as read-only).
+func (c *Coordinator) Plan() *Plan { return c.plan }
+
+// Lease hands the lowest-indexed pending shard to worker, together with the
+// shard's held checkpoint (nil when it never ran). ok is false when nothing
+// is pending — the caller should keep polling ExpireLeases/Done, since a
+// leased shard may yet be re-queued.
+func (c *Coordinator) Lease(worker string) (sh Shard, checkpoint json.RawMessage, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, st := range c.shards {
+		if st.status != ShardPending {
+			continue
+		}
+		st.status = ShardLeased
+		st.worker = worker
+		st.expires = c.now().Add(c.leaseTTL)
+		return st.shard, st.checkpoint, true
+	}
+	return Shard{}, nil, false
+}
+
+// Heartbeat renews worker's lease on shard index. It reports whether the
+// lease is still held by worker — a false return tells a worker its shard
+// was re-queued (it should abandon the work).
+func (c *Coordinator) Heartbeat(index int, worker string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.state(index)
+	if st == nil || st.status != ShardLeased || st.worker != worker {
+		return false
+	}
+	st.expires = c.now().Add(c.leaseTTL)
+	return true
+}
+
+// SaveCheckpoint stores the latest worker-side snapshot for the shard, used
+// to seed a re-queued run. Stale holders are ignored (their snapshot could
+// precede the current holder's progress); completed shards no longer accept
+// snapshots.
+func (c *Coordinator) SaveCheckpoint(index int, worker string, payload json.RawMessage) {
+	if len(payload) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.state(index)
+	if st == nil || st.status != ShardLeased || st.worker != worker {
+		return
+	}
+	st.checkpoint = append(json.RawMessage(nil), payload...)
+}
+
+// Complete accepts a shard's final report. The first report wins: repeats —
+// from the same worker, or from the original holder of a re-queued shard
+// racing its replacement — are dropped, so evaluation totals count every
+// shard exactly once. Unlike Heartbeat, a stale holder's report is still
+// accepted when the shard is not yet done: the shard contract makes its
+// values identical to the ones the current holder would report.
+func (c *Coordinator) Complete(index int, worker string, res ShardResult) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.state(index)
+	if st == nil || st.status == ShardDone {
+		return false
+	}
+	st.status = ShardDone
+	st.worker = ""
+	st.expires = time.Time{}
+	st.checkpoint = nil
+	r := res
+	r.Mapping = compactJSON(res.Mapping)
+	st.result = &r
+	c.completed++
+	c.evals += uint64(res.Evaluated)
+	return true
+}
+
+// Fail releases worker's lease and re-queues the shard immediately (the
+// fleet calls it when a worker is observed dead, rather than waiting for
+// the lease to lapse). Reports whether a re-queue happened.
+func (c *Coordinator) Fail(index int, worker string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.state(index)
+	if st == nil || st.status != ShardLeased || st.worker != worker {
+		return false
+	}
+	st.status = ShardPending
+	st.worker = ""
+	st.expires = time.Time{}
+	st.requeues++
+	c.requeued++
+	return true
+}
+
+// ExpireLeases re-queues every leased shard whose lease deadline passed,
+// returning the number re-queued.
+func (c *Coordinator) ExpireLeases() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.now()
+	n := 0
+	for _, st := range c.shards {
+		if st.status == ShardLeased && now.After(st.expires) {
+			st.status = ShardPending
+			st.worker = ""
+			st.expires = time.Time{}
+			st.requeues++
+			c.requeued++
+			c.leaseExpired++
+			n++
+		}
+	}
+	return n
+}
+
+// Done reports whether every shard has completed.
+func (c *Coordinator) Done() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, st := range c.shards {
+		if st.status != ShardDone {
+			return false
+		}
+	}
+	return true
+}
+
+// Merged folds the accepted shard results into the global outcome. Call
+// after Done; with shards outstanding it merges the results so far.
+func (c *Coordinator) Merged() *Merged {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := &Merged{BestShard: -1}
+	for _, st := range c.shards {
+		if st.result == nil {
+			continue
+		}
+		r := st.result
+		m.Evaluated += r.Evaluated
+		m.Valid += r.Valid
+		if len(r.Mapping) == 0 {
+			continue
+		}
+		if m.Best == nil || r.Objective < m.BestObjective {
+			m.Best = r.Mapping
+			m.BestObjective = r.Objective
+			m.BestShard = st.shard.Index
+		}
+	}
+	return m
+}
+
+// Register exposes the coordinator's metrics on a registry: the
+// ruby_shards{status} gauge (all statuses always exported) and the
+// monotonic re-queue / lease-expiry / completion / evaluation counters.
+func (c *Coordinator) Register(reg *obs.Registry) {
+	reg.GaugeVec("ruby_shards", "Number of shards of the coordinated plan by status.", "status", c.statusSamples)
+	reg.Counter("ruby_shards_requeued_total", "Shards re-queued after worker loss (failure or lease expiry).", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(c.requeued)
+	})
+	reg.Counter("ruby_shards_lease_expired_total", "Shard leases that expired without heartbeat.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(c.leaseExpired)
+	})
+	reg.Counter("ruby_shards_completed_total", "Shard completion reports accepted (each shard counted once).", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(c.completed)
+	})
+	reg.Counter("ruby_shard_evals_total", "Evaluations accounted by accepted shard completions.", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(c.evals)
+	})
+}
+
+// statusSamples reports the shard count per status; every status is always
+// present so scrape series stay continuous.
+func (c *Coordinator) statusSamples() []obs.Sample {
+	counts := map[string]int{ShardPending: 0, ShardLeased: 0, ShardDone: 0}
+	c.mu.Lock()
+	for _, st := range c.shards {
+		counts[st.status]++
+	}
+	c.mu.Unlock()
+	statuses := []string{ShardDone, ShardLeased, ShardPending} // fixed order: no map iteration into the exposition
+	out := make([]obs.Sample, 0, len(statuses))
+	for _, s := range statuses {
+		out = append(out, obs.Sample{LabelValue: s, Value: float64(counts[s])})
+	}
+	return out
+}
+
+// compactJSON canonicalizes raw JSON to its compact form (and a private
+// copy). Mapping bytes arrive in transport-dependent formatting — HTTP
+// bodies are compact, state files re-indent embedded payloads — and merged
+// incumbents are compared byte-for-byte across runs, so the coordinator
+// keeps exactly one canonical encoding. Invalid input is copied verbatim.
+func compactJSON(raw json.RawMessage) json.RawMessage {
+	if len(raw) == 0 {
+		return nil
+	}
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		return append(json.RawMessage(nil), raw...)
+	}
+	return buf.Bytes()
+}
+
+// state returns the shard's state or nil for an unknown index; c.mu held.
+func (c *Coordinator) state(index int) *shardState {
+	if index < 0 || index >= len(c.shards) {
+		return nil
+	}
+	return c.shards[index]
+}
+
+// ShardView is a read-only snapshot of one shard's coordination state, as
+// served by the coordinator's /v1/shards endpoints.
+type ShardView struct {
+	Shard    Shard        `json:"shard"`
+	Status   string       `json:"status"`
+	Worker   string       `json:"worker,omitempty"`
+	Requeues int          `json:"requeues,omitempty"`
+	Result   *ShardResult `json:"result,omitempty"`
+}
+
+// Shards returns a snapshot of every shard's state, in index order.
+func (c *Coordinator) Shards() []ShardView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]ShardView, len(c.shards))
+	for i, st := range c.shards {
+		out[i] = ShardView{Shard: st.shard, Status: st.status, Worker: st.worker, Requeues: st.requeues, Result: st.result}
+	}
+	return out
+}
+
+// Shard returns one shard's view.
+func (c *Coordinator) Shard(index int) (ShardView, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.state(index)
+	if st == nil {
+		return ShardView{}, fmt.Errorf("dist: unknown shard %d", index)
+	}
+	return ShardView{Shard: st.shard, Status: st.status, Worker: st.worker, Requeues: st.requeues, Result: st.result}, nil
+}

@@ -1,0 +1,104 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"ruby/internal/checkpoint"
+)
+
+// ShardSnapshot is one shard's persisted coordination state. Leases do not
+// persist: a lease names a live worker conversation, so restoring a state
+// file re-queues anything that was leased (the shard contract makes the
+// re-run converge to the identical result).
+type ShardSnapshot struct {
+	Status     string          `json:"status"` // ShardPending or ShardDone
+	Requeues   int             `json:"requeues,omitempty"`
+	Checkpoint json.RawMessage `json:"checkpoint,omitempty"`
+	Result     *ShardResult    `json:"result,omitempty"`
+}
+
+// PlanState is the serializable whole of a coordination run (checkpoint
+// kind "shards"): the plan, the problem spec it runs over, and per-shard
+// progress. rubycoord -resume reloads it and continues with only the
+// unfinished shards.
+type PlanState struct {
+	Plan  *Plan           `json:"plan"`
+	Spec  *JobSpec        `json:"spec,omitempty"`
+	Shard []ShardSnapshot `json:"shards"`
+}
+
+// State snapshots the coordinator. Safe to call at any time; in-flight
+// leases appear as pending shards carrying their latest collected
+// checkpoint.
+func (c *Coordinator) State() *PlanState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := &PlanState{Plan: c.plan, Shard: make([]ShardSnapshot, len(c.shards))}
+	for i, sh := range c.shards {
+		snap := ShardSnapshot{Status: sh.status, Requeues: sh.requeues, Result: sh.result}
+		if snap.Status == ShardLeased {
+			snap.Status = ShardPending
+		}
+		if len(sh.checkpoint) > 0 {
+			snap.Checkpoint = append(json.RawMessage(nil), sh.checkpoint...)
+		}
+		st.Shard[i] = snap
+	}
+	return st
+}
+
+// RestoreCoordinator rebuilds a coordinator from a persisted state.
+// Finished shards keep their results; everything else starts pending with
+// its held checkpoint. leaseTTL and now follow NewCoordinator's defaults.
+func RestoreCoordinator(st *PlanState, leaseTTL time.Duration, now func() time.Time) (*Coordinator, error) {
+	if st.Plan == nil {
+		return nil, fmt.Errorf("dist: plan state lacks a plan")
+	}
+	if len(st.Shard) != len(st.Plan.Shards) {
+		return nil, fmt.Errorf("dist: plan state has %d shard snapshots for %d shards", len(st.Shard), len(st.Plan.Shards))
+	}
+	c := NewCoordinator(st.Plan, leaseTTL, now)
+	for i, snap := range st.Shard {
+		sh := c.shards[i]
+		switch snap.Status {
+		case ShardDone:
+			if snap.Result == nil {
+				return nil, fmt.Errorf("dist: shard %d is done without a result", i)
+			}
+			sh.status = ShardDone
+			r := *snap.Result
+			r.Mapping = compactJSON(r.Mapping) // state files re-indent raw JSON
+			sh.result = &r
+			c.completed++
+			c.evals += uint64(snap.Result.Evaluated)
+		case ShardPending, ShardLeased, "":
+			sh.status = ShardPending
+		default:
+			return nil, fmt.Errorf("dist: shard %d has unknown status %q", i, snap.Status)
+		}
+		sh.requeues = snap.Requeues
+		if len(snap.Checkpoint) > 0 {
+			sh.checkpoint = append(json.RawMessage(nil), snap.Checkpoint...)
+		}
+	}
+	return c, nil
+}
+
+// SaveState persists the coordinator's state atomically (checkpoint kind
+// "shards"), embedding the problem spec so a resume needs only the file.
+func (c *Coordinator) SaveState(path string, spec *JobSpec) error {
+	st := c.State()
+	st.Spec = spec
+	return checkpoint.Save(path, checkpoint.KindShards, st)
+}
+
+// LoadState reads a persisted coordination state.
+func LoadState(path string) (*PlanState, error) {
+	var st PlanState
+	if err := checkpoint.Load(path, checkpoint.KindShards, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}

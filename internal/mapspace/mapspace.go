@@ -618,11 +618,59 @@ func (s *Space) Enumerate(yield func(*mapping.Mapping) bool) {
 	}
 }
 
+// ChainRange is a half-open interval [Lo, Hi) of leading-dimension chain
+// indices. Restricting an Enumerator to a ChainRange carves the enumeration
+// into a contiguous shard: the ranges produced by Space.ShardLeading
+// partition the full scan, so their union visits every mapping exactly once.
+type ChainRange struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// Empty reports whether the range selects no chains. The zero ChainRange is
+// empty, which callers use as "no restriction".
+func (r ChainRange) Empty() bool { return r.Hi <= r.Lo }
+
+// LeadingDim returns the name of the enumeration's leading (most
+// significant) dimension — the one a ChainRange restricts.
+func (s *Space) LeadingDim() string { return s.Work.Dims[0].Name }
+
+// ShardLeading splits the leading dimension's chain count into at most n
+// balanced contiguous ranges (sizes differ by at most one, larger shards
+// first). Fewer than n ranges are returned when the dimension has fewer
+// chains than requested shards; n < 1 is treated as 1. The result is a
+// partition of [0, ChainCount(LeadingDim())).
+func (s *Space) ShardLeading(n int) []ChainRange {
+	if n < 1 {
+		n = 1
+	}
+	total := int(s.ChainCount(s.LeadingDim()))
+	if total < 1 {
+		total = 1
+	}
+	if n > total {
+		n = total
+	}
+	out := make([]ChainRange, 0, n)
+	lo := 0
+	for i := 0; i < n; i++ {
+		size := total / n
+		if i < total%n {
+			size++
+		}
+		out = append(out, ChainRange{Lo: lo, Hi: lo + size})
+		lo += size
+	}
+	return out
+}
+
 // Enumerator steps through the tiling mapspace one mapping at a time, in the
 // same deterministic order Enumerate visits. Unlike the callback form, its
 // position (an odometer over per-dimension chain indices) can be read with
 // Index and re-established with SetIndex — which is what lets the exhaustive
 // searcher checkpoint mid-scan and resume without re-enumerating the prefix.
+// RestrictLeading confines the scan to a leading-dimension chain range for
+// sharded (distributed) enumeration.
 type Enumerator struct {
 	sp     *Space
 	dims   []string
@@ -630,6 +678,10 @@ type Enumerator struct {
 	chains [][][]int // per dimension, outermost-first factor slices
 	idx    []int
 	done   bool
+
+	// Leading-dimension restriction: the odometer's dim-0 digit runs over
+	// [lo0, hi0) instead of [0, len(chains[0])).
+	lo0, hi0 int
 }
 
 // NewEnumerator builds an enumerator positioned at the first mapping.
@@ -648,13 +700,35 @@ func (s *Space) NewEnumerator() *Enumerator {
 			return true
 		})
 	}
-	return &Enumerator{
+	e := &Enumerator{
 		sp:     s,
 		dims:   dims,
 		perms:  mapping.DefaultPerms(s.Work, s.Arch),
 		chains: chains,
 		idx:    make([]int, len(dims)),
 	}
+	e.hi0 = len(chains[0])
+	return e
+}
+
+// RestrictLeading confines the enumeration to leading-dimension chain
+// indices [lo, hi) and repositions the enumerator at the range's first
+// mapping. The restricted scans produced by Space.ShardLeading's ranges
+// visit, between them, exactly the mappings of the unrestricted scan, each
+// once, preserving order within each shard. Restrict before stepping: any
+// progress (Next calls or SetIndex) is discarded.
+func (e *Enumerator) RestrictLeading(lo, hi int) error {
+	n := len(e.chains[0])
+	if lo < 0 || hi > n || lo >= hi {
+		return fmt.Errorf("mapspace: leading chain range [%d, %d) invalid for %d chains", lo, hi, n)
+	}
+	e.lo0, e.hi0 = lo, hi
+	for i := range e.idx {
+		e.idx[i] = 0
+	}
+	e.idx[0] = lo
+	e.done = false
+	return nil
 }
 
 // Next returns the next mapping of the enumeration, or nil once exhausted.
@@ -669,14 +743,19 @@ func (e *Enumerator) Next() *mapping.Mapping {
 	for di, d := range e.dims {
 		m.Factors[d] = e.chains[di][e.idx[di]]
 	}
-	// Odometer increment.
+	// Odometer increment. The leading digit runs over the (possibly
+	// restricted) window [lo0, hi0).
 	k := len(e.dims) - 1
 	for k >= 0 {
+		lim, reset := len(e.chains[k]), 0
+		if k == 0 {
+			lim, reset = e.hi0, e.lo0
+		}
 		e.idx[k]++
-		if e.idx[k] < len(e.chains[k]) {
+		if e.idx[k] < lim {
 			break
 		}
-		e.idx[k] = 0
+		e.idx[k] = reset
 		k--
 	}
 	if k < 0 {
@@ -704,8 +783,12 @@ func (e *Enumerator) SetIndex(idx []int, done bool) error {
 		return fmt.Errorf("mapspace: enumerator index has %d dims, space has %d", len(idx), len(e.chains))
 	}
 	for i, v := range idx {
-		if v < 0 || v >= len(e.chains[i]) {
-			return fmt.Errorf("mapspace: enumerator index[%d] = %d out of range [0, %d)", i, v, len(e.chains[i]))
+		lo, hi := 0, len(e.chains[i])
+		if i == 0 {
+			lo, hi = e.lo0, e.hi0
+		}
+		if v < lo || v >= hi {
+			return fmt.Errorf("mapspace: enumerator index[%d] = %d out of range [%d, %d)", i, v, lo, hi)
 		}
 	}
 	copy(e.idx, idx)

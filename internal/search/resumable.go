@@ -459,21 +459,28 @@ type ExhaustiveSearcher struct {
 	en    *mapspace.Enumerator
 	batch []*mapping.Mapping
 
-	res   *Result
-	taken int64
-	done  bool
-	start time.Time
+	res         *Result
+	taken       int64
+	done        bool
+	start       time.Time
+	restrictErr error // deferred opt.Shard failure, surfaced by Step
 }
 
 // NewExhaustive builds a resumable exhaustive search over up to maxMappings
-// enumerated mappings (0 = the whole tiling mapspace).
+// enumerated mappings (0 = the whole tiling mapspace). A non-empty opt.Shard
+// confines the scan to that leading-dimension chain range; an out-of-range
+// shard is reported by the first Step call.
 func NewExhaustive(sp *mapspace.Space, eng *engine.Engine, opt Options, maxMappings int64) *ExhaustiveSearcher {
-	return &ExhaustiveSearcher{
+	s := &ExhaustiveSearcher{
 		sp: sp, eng: eng, opt: opt, maxMappings: maxMappings,
 		en:    sp.NewEnumerator(),
 		batch: make([]*mapping.Mapping, 0, exhaustiveBatch),
 		res:   &Result{}, start: time.Now(),
 	}
+	if !opt.Shard.Empty() {
+		s.restrictErr = s.en.RestrictLeading(opt.Shard.Lo, opt.Shard.Hi)
+	}
+	return s
 }
 
 // Result returns the result so far.
@@ -483,6 +490,9 @@ func (s *ExhaustiveSearcher) Result() *Result { return s.res }
 // back (the enumerator rewinds), so the snapshot position always matches the
 // committed counters.
 func (s *ExhaustiveSearcher) Step(ctx context.Context) (bool, error) {
+	if s.restrictErr != nil {
+		return false, s.restrictErr
+	}
 	if s.done {
 		return true, nil
 	}
@@ -560,6 +570,9 @@ func (s *ExhaustiveSearcher) Snapshot() (*checkpoint.SearchState, error) {
 func (s *ExhaustiveSearcher) Restore(st *checkpoint.SearchState) error {
 	if st.Algo != "exhaustive" {
 		return fmt.Errorf("search: cannot restore %q snapshot into an exhaustive searcher", st.Algo)
+	}
+	if s.restrictErr != nil {
+		return s.restrictErr
 	}
 	if err := s.en.SetIndex(st.EnumIndex, st.EnumDone); err != nil {
 		return err

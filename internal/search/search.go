@@ -62,6 +62,14 @@ type Options struct {
 	// Patience is the number of consecutive failed HillClimb proposals
 	// before the climb stops (0 = default 2000; other searchers ignore it).
 	Patience int
+	// Shard restricts an exhaustive scan to a contiguous range of
+	// leading-dimension chain indices (the zero value means the whole
+	// space). The distributed coordinator carves the enumeration into
+	// disjoint shards with mapspace.Space.ShardLeading and runs one
+	// exhaustive searcher per range; the union of the shard scans visits
+	// exactly the unrestricted enumeration. Stochastic searchers
+	// ignore the field — their shard identity is the Seed (RNG substream).
+	Shard mapspace.ChainRange
 }
 
 // Default hill-climb knobs applied when Options leaves them zero.

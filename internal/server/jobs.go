@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io/fs"
 	"log/slog"
 	"net/http"
 	"os"
@@ -16,6 +17,7 @@ import (
 
 	"ruby/internal/checkpoint"
 	"ruby/internal/engine"
+	"ruby/internal/mapspace"
 	"ruby/internal/obs"
 	"ruby/internal/search"
 )
@@ -289,20 +291,41 @@ func (jm *jobManager) run(id string) {
 		ConsecutiveNoImprove: req.NoImprove,
 		Objective:            obj,
 	}
-	if opt.MaxEvaluations <= 0 && opt.ConsecutiveNoImprove <= 0 {
+	if req.Shard != nil {
+		// A shard job is exact: the coordinator owns the budget split, so
+		// no server-side default cap may truncate the shard's work (an
+		// uncapped exhaustive shard must scan its whole range).
+		opt.Shard = mapspace.ChainRange{Lo: req.Shard.ChainLo, Hi: req.Shard.ChainHi}
+	} else if opt.MaxEvaluations <= 0 && opt.ConsecutiveNoImprove <= 0 {
 		opt.MaxEvaluations = 50000
 	}
 
+	ctx := jm.baseCtx
 	sr, err := search.NewSearcherFor(req.Search, sp, jm.svc.engineFor(ev), opt, 0)
 	if err != nil {
 		finish(JobFailed, nil, err)
 		return
 	}
-	if _, err := search.RestoreFromFile(jm.baseCtx, sr, jm.searchPath(id)); err != nil {
+	restored, err := search.RestoreFromFile(ctx, sr, jm.searchPath(id))
+	if err != nil {
 		finish(JobFailed, nil, err)
 		return
 	}
-	res, err := search.RunCheckpointed(jm.baseCtx, sr, search.CheckpointConfig{Path: jm.searchPath(id)})
+	if !restored && len(req.Resume) > 0 {
+		// Coordinator-held snapshot: a re-queued shard continues where the
+		// lost worker last checkpointed (work-saving only — the shard
+		// result is identical from any starting snapshot).
+		var st checkpoint.SearchState
+		if err := json.Unmarshal(req.Resume, &st); err != nil {
+			finish(JobFailed, nil, fmt.Errorf("server: resume snapshot: %w", err))
+			return
+		}
+		if err := sr.Restore(&st); err != nil {
+			finish(JobFailed, nil, err)
+			return
+		}
+	}
+	res, err := search.RunCheckpointed(ctx, sr, search.CheckpointConfig{Path: jm.searchPath(id)})
 	if err != nil {
 		// Drain: park the job for the next process. Any other error on a
 		// non-draining run is a real failure.
@@ -314,6 +337,13 @@ func (jm *jobManager) run(id string) {
 		return
 	}
 	if res.Best == nil {
+		if req.Shard != nil {
+			// An exhausted shard with no valid mapping is a result, not a
+			// failure: the coordinator merges the honest counters and a
+			// null mapping.
+			finish(JobDone, &searchResponse{Evaluated: res.Evaluated, Valid: res.Valid}, nil)
+			return
+		}
 		finish(JobFailed, nil, fmt.Errorf("no valid mapping found after %d samples", res.Evaluated))
 		return
 	}
@@ -324,6 +354,13 @@ func (jm *jobManager) run(id string) {
 		},
 		Evaluated: res.Evaluated, Valid: res.Valid,
 	}, nil)
+}
+
+// isDraining reports whether a graceful shutdown has begun.
+func (jm *jobManager) isDraining() bool {
+	jm.mu.Lock()
+	defer jm.mu.Unlock()
+	return jm.draining
 }
 
 // shutdown implements the drain protocol.
@@ -426,4 +463,33 @@ func (s *service) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, rec)
+}
+
+// handleJobCheckpoint serves a job's latest persisted search snapshot (the
+// checkpoint SearchState payload). The distributed coordinator polls it so
+// a re-queued shard can resume from the lost worker's last progress. 404
+// when the job is unknown, the server runs without a state directory, or
+// the job has not checkpointed yet.
+func (s *service) handleJobCheckpoint(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.jobs.get(id); !ok {
+		writeErr(w, CodeNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	path := s.jobs.searchPath(id)
+	if path == "" {
+		writeErr(w, CodeNotFound, fmt.Errorf("job %s has no checkpoint (no state directory)", id))
+		return
+	}
+	var st checkpoint.SearchState
+	err := checkpoint.Load(path, checkpoint.KindSearch, &st)
+	if errors.Is(err, fs.ErrNotExist) {
+		writeErr(w, CodeNotFound, fmt.Errorf("job %s has not checkpointed yet", id))
+		return
+	}
+	if err != nil {
+		writeErr(w, CodeInternal, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, &st)
 }

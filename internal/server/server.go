@@ -14,6 +14,15 @@
 //	POST /v1/jobs         -> submit an asynchronous search job -> {"id": ...}
 //	GET  /v1/jobs         -> list jobs (survives restarts with a state dir)
 //	GET  /v1/jobs/{id}    -> one job's status and, when done, its result
+//	GET  /v1/jobs/{id}/checkpoint -> the job's latest search snapshot (404
+//	                         until the first checkpoint is written)
+//	GET  /v1/healthz      -> liveness: 200 "ok", or 503 "draining" during
+//	                         graceful shutdown
+//
+// Job requests may additionally carry "shard" and "resume" fields, which
+// mark the job as one shard of a coordinated distributed search (see
+// internal/dist and docs/DISTRIBUTED.md); CoordinatorHandler serves the
+// matching coordinator-side status API for cmd/rubycoord.
 //
 // Searches run through the evaluation engine: they honor the request
 // context (a client disconnect aborts the search promptly) plus an optional
@@ -88,7 +97,20 @@ func (s *service) mux() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/checkpoint", s.handleJobCheckpoint)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	return mux
+}
+
+// handleHealthz is the liveness probe the distributed coordinator (and any
+// load balancer) polls: 200 while the server accepts work, 503 once a
+// graceful shutdown has begun and new jobs would be rejected.
+func (s *service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.jobs.isDraining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
 // New returns the service's HTTP handler (in-memory jobs, no persistence).
@@ -301,6 +323,17 @@ func (s *service) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, mappingResult{Mapping: m, Cost: c, LoopNest: m.Render(ev.Work, ev.Arch)})
 }
 
+// shardSpec assigns a distributed-coordination shard to an async job (the
+// "shard" field; docs/DISTRIBUTED.md). chain_lo == chain_hi means no
+// enumeration restriction — the shard's identity is then the seed (RNG
+// substream); otherwise the exhaustive scan is confined to leading-dimension
+// chain indices [chain_lo, chain_hi).
+type shardSpec struct {
+	Index   int `json:"index"`
+	ChainLo int `json:"chain_lo"`
+	ChainHi int `json:"chain_hi"`
+}
+
 type searchRequest struct {
 	problemSpec
 	// Search selects the algorithm (search.Algorithms; "" = random).
@@ -313,6 +346,17 @@ type searchRequest struct {
 	// TimeoutMS bounds the search's wall time; on expiry the best mapping
 	// found so far is returned (or 504 when none was found yet).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Shard marks the request as one shard of a coordinated distributed
+	// search. Jobs only: the synchronous /v1/search rejects it. A shard
+	// job is exact — no default evaluation cap is applied, and a shard
+	// whose range holds no valid mapping completes "done" with a null
+	// mapping instead of failing.
+	Shard *shardSpec `json:"shard,omitempty"`
+	// Resume seeds the job from a caller-held search snapshot (the
+	// checkpoint SearchState payload), used by the coordinator when
+	// re-queuing a shard whose original worker died. A local checkpoint
+	// file in the state directory takes precedence. Jobs only.
+	Resume json.RawMessage `json:"resume,omitempty"`
 }
 
 type searchResponse struct {
@@ -326,6 +370,10 @@ func (s *service) handleSearch(w http.ResponseWriter, r *http.Request) {
 	var req searchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, CodeInvalidRequest, err)
+		return
+	}
+	if req.Shard != nil || len(req.Resume) > 0 {
+		writeErr(w, CodeInvalidRequest, fmt.Errorf("shard and resume are job-only fields (POST /v1/jobs)"))
 		return
 	}
 	ev, sp, err := req.resolve()

@@ -1,0 +1,55 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"ruby/internal/dist"
+	"ruby/internal/obs"
+)
+
+// CoordinatorHandler serves the coordinator-side status API that rubycoord
+// exposes while a distributed run is in flight. It is read-only — the
+// coordinator's state machine is driven by the fleet loop, not by HTTP —
+// and shares the /v1 error envelope with the worker API:
+//
+//	GET /v1/shards         -> {"shards": [...]} (full shard table)
+//	GET /v1/shards/{index} -> one shard's status, owner and result
+//	GET /v1/metrics        -> Prometheus text exposition of reg
+//	GET /v1/healthz        -> {"status": "ok"}
+//
+// Pass the registry the coordinator (and fleet) registered into; nil serves
+// an empty exposition.
+func CoordinatorHandler(c *dist.Coordinator, reg *obs.Registry) http.Handler {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/shards", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"shards": c.Shards()})
+	})
+	mux.HandleFunc("GET /v1/shards/{index}", func(w http.ResponseWriter, r *http.Request) {
+		idx, err := strconv.Atoi(r.PathValue("index"))
+		if err != nil {
+			writeErr(w, CodeInvalidRequest, fmt.Errorf("shard index %q is not a number", r.PathValue("index")))
+			return
+		}
+		sv, err := c.Shard(idx)
+		if err != nil {
+			writeErr(w, CodeNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, sv)
+	})
+	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		// Coordinator metrics are registry-only — always the Prometheus text
+		// exposition (there are no legacy JSON counters on this side).
+		w.Header().Set("Content-Type", obs.TextContentType)
+		_ = reg.WriteText(w)
+	})
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}

@@ -1,0 +1,220 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ruby/internal/dist"
+	"ruby/internal/obs"
+)
+
+const mmWorkloadJSON = `{"name": "mm", "type": "matmul", "matmul": {"m": 12, "n": 6, "k": 4}}`
+
+// shardJobBody builds an exhaustive shard job over the leading-chain range
+// [lo, hi).
+func shardJobBody(index, lo, hi int) string {
+	return `{
+	  "workload": ` + mmWorkloadJSON + `,
+	  "arch": ` + toyArchJSON + `,
+	  "mapspace": "ruby-s",
+	  "search": "exhaustive",
+	  "shard": {"index": ` + strconv.Itoa(index) + `, "chain_lo": ` + strconv.Itoa(lo) + `, "chain_hi": ` + strconv.Itoa(hi) + `}
+	}`
+}
+
+func TestSyncSearchRejectsShardFields(t *testing.T) {
+	h := New()
+	rec, out := do(t, h, "POST", "/v1/search", shardJobBody(0, 0, 1))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("sync shard search: status %d, want 400: %v", rec.Code, out)
+	}
+	rec, _ = do(t, h, "POST", "/v1/search", `{
+	  "workload": `+mmWorkloadJSON+`, "arch": `+toyArchJSON+`, "resume": {"algo": "random"}
+	}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("sync resume search: status %d, want 400", rec.Code)
+	}
+}
+
+func TestHealthzReportsDrain(t *testing.T) {
+	srv, err := NewService(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, out := do(t, srv, "GET", "/v1/healthz", "")
+	if rec.Code != http.StatusOK || out["status"] != "ok" {
+		t.Fatalf("healthz: status %d, body %v", rec.Code, out)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rec, out = do(t, srv, "GET", "/v1/healthz", "")
+	if rec.Code != http.StatusServiceUnavailable || out["status"] != "draining" {
+		t.Errorf("healthz during drain: status %d, body %v", rec.Code, out)
+	}
+}
+
+// TestShardJobFlow runs one exhaustive shard job end to end: submit with a
+// shard assignment, wait for completion, read the final checkpoint back.
+func TestShardJobFlow(t *testing.T) {
+	srv, err := NewService(Options{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, out := do(t, srv, "POST", "/v1/jobs", shardJobBody(0, 0, 2))
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %v", rec.Code, out)
+	}
+	id := out["id"].(string)
+	done := waitJob(t, srv, id, JobDone)
+	res := done["result"].(map[string]any)
+	if res["evaluated"].(float64) <= 0 {
+		t.Errorf("shard evaluated nothing: %v", res)
+	}
+
+	rec, out = do(t, srv, "GET", "/v1/jobs/"+id+"/checkpoint", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("checkpoint: status %d: %v", rec.Code, out)
+	}
+	if out["algo"] != "exhaustive" || out["done"] != true {
+		t.Errorf("final checkpoint = algo %v done %v", out["algo"], out["done"])
+	}
+
+	if rec, _ := do(t, srv, "GET", "/v1/jobs/nope/checkpoint", ""); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown job checkpoint: status %d, want 404", rec.Code)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A shard whose range holds no valid mapping completes done with a null
+// mapping: the coordinator needs the honest counters, not a failure.
+func TestShardJobNoMappingIsDone(t *testing.T) {
+	srv, err := NewService(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 1-word GLB cannot hold any tile: every mapping in the shard is
+	// invalid.
+	body := `{
+	  "workload": ` + mmWorkloadJSON + `,
+	  "arch": {"name": "tiny", "levels": [{"name": "DRAM"}, {"name": "GLB", "capacity_words": 1}]},
+	  "search": "exhaustive",
+	  "shard": {"index": 0, "chain_lo": 0, "chain_hi": 1}
+	}`
+	rec, out := do(t, srv, "POST", "/v1/jobs", body)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %v", rec.Code, out)
+	}
+	done := waitJob(t, srv, out["id"].(string), JobDone)
+	res := done["result"].(map[string]any)
+	if res["mapping"] != nil {
+		t.Errorf("empty shard returned a mapping: %v", res["mapping"])
+	}
+	if res["evaluated"].(float64) <= 0 {
+		t.Errorf("empty shard reported no evaluations: %v", res)
+	}
+}
+
+// Jobs without a state directory have no checkpoints: the endpoint 404s
+// rather than inventing a snapshot.
+func TestJobCheckpointWithoutStateDir(t *testing.T) {
+	srv, err := NewService(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, out := do(t, srv, "POST", "/v1/jobs", shardJobBody(0, 0, 1))
+	id := out["id"].(string)
+	waitJob(t, srv, id, JobDone)
+	rec, _ := do(t, srv, "GET", "/v1/jobs/"+id+"/checkpoint", "")
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("in-memory job checkpoint: status %d, want 404", rec.Code)
+	}
+}
+
+func TestCoordinatorHandler(t *testing.T) {
+	_, sp, err := (&dist.JobSpec{
+		Workload: []byte(mmWorkloadJSON),
+		Arch:     []byte(toyArchJSON),
+	}).Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := dist.BuildPlan(sp, "exhaustive", 1, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	c := dist.NewCoordinator(plan, 0, nil)
+	c.Register(reg)
+	h := CoordinatorHandler(c, reg)
+
+	rec, out := do(t, h, "GET", "/v1/shards", "")
+	if rec.Code != http.StatusOK || len(out["shards"].([]any)) != 2 {
+		t.Fatalf("shards: status %d, body %v", rec.Code, out)
+	}
+	rec, out = do(t, h, "GET", "/v1/shards/1", "")
+	if rec.Code != http.StatusOK || out["status"] != dist.ShardPending {
+		t.Errorf("shard 1: status %d, body %v", rec.Code, out)
+	}
+	if rec, _ := do(t, h, "GET", "/v1/shards/99", ""); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown shard: status %d", rec.Code)
+	}
+	if rec, _ := do(t, h, "GET", "/v1/shards/x", ""); rec.Code != http.StatusBadRequest {
+		t.Errorf("non-numeric shard: status %d", rec.Code)
+	}
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, httptest.NewRequest("GET", "/v1/metrics", nil))
+	if rec2.Code != http.StatusOK || !strings.Contains(rec2.Body.String(), "ruby_shards") {
+		t.Errorf("metrics exposition missing ruby_shards:\n%s", rec2.Body)
+	}
+	rec, out = do(t, h, "GET", "/v1/healthz", "")
+	if rec.Code != http.StatusOK || out["status"] != "ok" {
+		t.Errorf("healthz: status %d, body %v", rec.Code, out)
+	}
+}
+
+// TestJobResumeFromPayload submits a job seeded with a caller-held snapshot:
+// the completed result must equal the uninterrupted run (the distributed
+// re-queue path in miniature).
+func TestJobResumeFromPayload(t *testing.T) {
+	srv, err := NewService(Options{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full run for reference.
+	_, out := do(t, srv, "POST", "/v1/jobs", shardJobBody(0, 0, 2))
+	ref := waitJob(t, srv, out["id"].(string), JobDone)["result"].(map[string]any)
+
+	// Interrupted half: run the first chain only, grab its final snapshot…
+	_, out = do(t, srv, "POST", "/v1/jobs", shardJobBody(0, 0, 2))
+	id := out["id"].(string)
+	waitJob(t, srv, id, JobDone)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/jobs/"+id+"/checkpoint", nil))
+	snapshot := rec.Body.String()
+
+	// …and resume a fresh job from it. A done snapshot resumes to an
+	// immediate identical completion.
+	body := strings.Replace(shardJobBody(0, 0, 2), `"shard"`, `"resume": `+snapshot+`, "shard"`, 1)
+	_, out = do(t, srv, "POST", "/v1/jobs", body)
+	resumed := waitJob(t, srv, out["id"].(string), JobDone)["result"].(map[string]any)
+
+	if resumed["evaluated"] != ref["evaluated"] || resumed["valid"] != ref["valid"] {
+		t.Errorf("resumed counters %v/%v, want %v/%v",
+			resumed["evaluated"], resumed["valid"], ref["evaluated"], ref["valid"])
+	}
+	refCost := ref["cost"].(map[string]any)
+	resCost := resumed["cost"].(map[string]any)
+	if refCost["EDP"] != resCost["EDP"] {
+		t.Errorf("resumed EDP %v, want %v", resCost["EDP"], refCost["EDP"])
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"ruby/internal/arch"
 	"ruby/internal/checkpoint"
 	"ruby/internal/config"
+	"ruby/internal/dist"
 	"ruby/internal/engine"
 	"ruby/internal/exp"
 	"ruby/internal/heuristic"
@@ -335,6 +336,51 @@ var (
 	// kind-checked).
 	SaveCheckpoint = checkpoint.Save
 	LoadCheckpoint = checkpoint.Load
+)
+
+// Distributed search: one search partitioned into disjoint shards and
+// coordinated across a fleet of rubyserve workers (cmd/rubycoord drives
+// this; see docs/DISTRIBUTED.md). The merged result is bit-identical to a
+// single-node execution of the same plan — RunPlanLocal is that reference —
+// regardless of worker count, scheduling or worker loss.
+type (
+	// DistSpec is the problem and base search configuration shipped to
+	// every worker (raw /v1 JSON fragments).
+	DistSpec = dist.JobSpec
+	// ShardPlan is a deterministic partition of one search into shards.
+	ShardPlan = dist.Plan
+	// Shard is one unit of distributable work within a plan.
+	Shard = dist.Shard
+	// ChainRange is a half-open range of leading-dimension factor chains
+	// (how exhaustive plans restrict each shard's enumeration).
+	ChainRange = mapspace.ChainRange
+	// Coordinator tracks shard leases, checkpoints and results, and merges
+	// per-shard incumbents in shard-index order.
+	Coordinator = dist.Coordinator
+	// Fleet drives a Coordinator against rubyserve workers over /v1/jobs.
+	Fleet = dist.Fleet
+	// ShardOutcome is one shard's final report (incumbent plus counters).
+	ShardOutcome = dist.ShardResult
+	// DistMerged is the fleet-level merged outcome.
+	DistMerged = dist.Merged
+)
+
+var (
+	// BuildShardPlan partitions a search over a space into shards: by
+	// leading factor-chain prefix for exhaustive scans, by RNG substream
+	// (with a split evaluation budget) for the stochastic searchers.
+	BuildShardPlan = dist.BuildPlan
+	// NewCoordinator builds a coordinator over a plan.
+	NewCoordinator = dist.NewCoordinator
+	// RestoreCoordinator rebuilds a coordinator from persisted plan state;
+	// finished shards keep their results, everything else re-queues.
+	RestoreCoordinator = dist.RestoreCoordinator
+	// LoadCoordinatorState reads a persisted coordination state file
+	// (checkpoint kind "shards").
+	LoadCoordinatorState = dist.LoadState
+	// RunPlanLocal executes a plan's shards sequentially in-process — the
+	// single-node reference a distributed run must reproduce bit-for-bit.
+	RunPlanLocal = dist.RunLocal
 )
 
 // Configuration files (JSON; see configs/ for examples).
