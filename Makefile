@@ -70,6 +70,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzCheckpointRoundTrip -fuzztime $(FUZZTIME) ./internal/checkpoint
 	$(GO) test -run xxx -fuzz FuzzConfigParse -fuzztime $(FUZZTIME) ./internal/config
 	$(GO) test -run xxx -fuzz FuzzMoveDelta -fuzztime $(FUZZTIME) ./internal/nest
+	$(GO) test -run xxx -fuzz FuzzAllowDirective -fuzztime $(FUZZTIME) ./internal/analysis/lint
 
 # Documentation hygiene: every relative markdown link must resolve, and the
 # source must be gofmt-clean and vet-clean (doc drift usually rides along

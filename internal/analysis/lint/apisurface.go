@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"path/filepath"
+)
+
+// APISurface pins the exported API of the canonical packages to the
+// checked-in docs/api_surface.txt golden. A symbol added, removed or
+// re-typed without regenerating the golden (rubylint -fix-surface) is a
+// finding — so breaking the v1 surface is always a deliberate, reviewed
+// diff, never a side effect.
+var APISurface = &Analyzer{
+	Name: "apisurface",
+	Doc: "the exported API of ruby and internal/{search,sweep,engine,nest," +
+		"mapspace,dist} matches the docs/api_surface.txt golden; regenerate " +
+		"deliberately with rubylint -fix-surface",
+	Run: runAPISurface,
+}
+
+func runAPISurface(p *Pass) {
+	pkg := p.Pkg
+	goldenPath := filepath.Join(pkg.Root, filepath.FromSlash(surfaceGoldenRel))
+	golden, err := readSurface(goldenPath)
+	if err != nil {
+		p.Reportf(pkg.Files[0].Package, "cannot read %s: %v", surfaceGoldenRel, err)
+		return
+	}
+	key := surfaceSectionKey(pkg, golden)
+	if key == "" {
+		return
+	}
+	section := golden[key]
+	if section == nil {
+		p.Reportf(pkg.Files[0].Package,
+			"package %s has no section in %s (run: go run ./tools/rubylint -fix-surface ./...)",
+			key, surfaceGoldenRel)
+		return
+	}
+	entries := packageSurface(pkg)
+	have := map[string]bool{}
+	for _, e := range entries {
+		have[e.line] = true
+		if !section[e.line] {
+			pos := e.pos
+			if !pos.IsValid() {
+				pos = pkg.Files[0].Package
+			}
+			p.Reportf(pos,
+				"exported API changed: %q is not in %s (deliberate? regenerate with rubylint -fix-surface)",
+				e.line, surfaceGoldenRel)
+		}
+	}
+	for line := range section {
+		if !have[line] {
+			p.Reportf(pkg.Files[0].Package,
+				"exported API changed: %s still lists %q, which no longer exists "+
+					"(deliberate? regenerate with rubylint -fix-surface)",
+				surfaceGoldenRel, line)
+		}
+	}
+}

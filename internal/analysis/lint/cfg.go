@@ -1,0 +1,366 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the small dataflow engine behind the flow-sensitive analyzers
+// (lockflow). It builds a per-function control-flow graph over the AST —
+// stdlib only, no x/tools — and runs a forward must-analysis to a fixpoint:
+// a fact holds at a point only when it holds on every path reaching it
+// (meet = set intersection), which is exactly the "mutex held on every
+// access path" question.
+//
+// Blocks hold flat lists of ast.Nodes: compound statements are decomposed
+// by the builder (an if contributes its init and cond to the current block
+// and branches to then/else blocks), so transfer functions never see nested
+// control flow. Function literals are deliberately left inside their nodes;
+// analyzers treat them as separate functions.
+
+// cfgBlock is one straight-line run of AST nodes with its successor edges.
+type cfgBlock struct {
+	nodes []ast.Node
+	succs []*cfgBlock
+}
+
+// cfgFunc is the control-flow graph of one function body.
+type cfgFunc struct {
+	entry  *cfgBlock
+	blocks []*cfgBlock
+}
+
+type loopTargets struct {
+	brk, cont *cfgBlock
+}
+
+type cfgBuilder struct {
+	blocks []*cfgBlock
+	// Innermost-last stacks of break/continue targets; switch and select
+	// push a break target with a nil cont.
+	loops []loopTargets
+	// Labeled loop/switch targets for `break L` / `continue L`.
+	labeled map[string]loopTargets
+	// Label to attach to the next loop/switch the builder enters.
+	pendingLabel string
+	// Next case clause's block while building a switch (fallthrough target).
+	fallthroughTo *cfgBlock
+}
+
+// buildCFG decomposes body into basic blocks. Goto is out of scope (the tree
+// has none): a goto terminates its block with no successors, leaving the
+// target conservatively unreached (unreached blocks are skipped by
+// mustWalk, so no finding is ever produced from them).
+func buildCFG(body *ast.BlockStmt) *cfgFunc {
+	b := &cfgBuilder{labeled: map[string]loopTargets{}}
+	entry := b.newBlock()
+	end := b.stmtList(entry, body.List)
+	_ = end
+	return &cfgFunc{entry: entry, blocks: b.blocks}
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{}
+	b.blocks = append(b.blocks, blk)
+	return blk
+}
+
+func link(from, to *cfgBlock) {
+	if from == nil || to == nil {
+		return
+	}
+	from.succs = append(from.succs, to)
+}
+
+// stmtList builds each statement in order; a nil current block means the
+// remaining statements are unreachable (after return/break/...) and are not
+// built — acceptable for a no-false-positives must-analysis.
+func (b *cfgBuilder) stmtList(cur *cfgBlock, stmts []ast.Stmt) *cfgBlock {
+	for _, s := range stmts {
+		if cur == nil {
+			return nil
+		}
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+// stmt builds one statement starting at cur and returns the block control
+// falls through to (nil when s never falls through).
+func (b *cfgBuilder) stmt(cur *cfgBlock, s ast.Stmt) *cfgBlock {
+	// Any label not consumed by the statement kinds below (loops, switches)
+	// is dropped; takeLabel consumes it.
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmtList(cur, s.List)
+
+	case *ast.LabeledStmt:
+		b.pendingLabel = s.Label.Name
+		out := b.stmt(cur, s.Stmt)
+		b.pendingLabel = ""
+		return out
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		cur.nodes = append(cur.nodes, s.Cond)
+		join := b.newBlock()
+		then := b.newBlock()
+		link(cur, then)
+		link(b.stmtList(then, s.Body.List), join)
+		if s.Else != nil {
+			els := b.newBlock()
+			link(cur, els)
+			link(b.stmt(els, s.Else), join)
+		} else {
+			link(cur, join)
+		}
+		return join
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		head := b.newBlock()
+		link(cur, head)
+		if s.Cond != nil {
+			head.nodes = append(head.nodes, s.Cond)
+		}
+		exit := b.newBlock()
+		if s.Cond != nil {
+			link(head, exit)
+		}
+		cont := head
+		if s.Post != nil {
+			post := b.newBlock()
+			post.nodes = append(post.nodes, s.Post)
+			link(post, head)
+			cont = post
+		}
+		b.pushLoop(loopTargets{brk: exit, cont: cont})
+		body := b.newBlock()
+		link(head, body)
+		link(b.stmtList(body, s.Body.List), cont)
+		b.popLoop()
+		return exit
+
+	case *ast.RangeStmt:
+		// The range expression (and key/value targets) evaluate on the way
+		// in; keep the whole statement visible to checkers in the head.
+		head := b.newBlock()
+		head.nodes = append(head.nodes, rangeHeader{s})
+		link(cur, head)
+		exit := b.newBlock()
+		link(head, exit)
+		b.pushLoop(loopTargets{brk: exit, cont: head})
+		body := b.newBlock()
+		link(head, body)
+		link(b.stmtList(body, s.Body.List), head)
+		b.popLoop()
+		return exit
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		if s.Tag != nil {
+			cur.nodes = append(cur.nodes, s.Tag)
+		}
+		return b.switchClauses(cur, s.Body.List, false)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur.nodes = append(cur.nodes, s.Init)
+		}
+		cur.nodes = append(cur.nodes, s.Assign)
+		return b.switchClauses(cur, s.Body.List, false)
+
+	case *ast.SelectStmt:
+		return b.switchClauses(cur, s.Body.List, true)
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			link(cur, b.branchTarget(s.Label, true))
+		case token.CONTINUE:
+			link(cur, b.branchTarget(s.Label, false))
+		case token.FALLTHROUGH:
+			link(cur, b.fallthroughTo)
+		case token.GOTO:
+			// Unsupported: terminate; the target stays unreached.
+		}
+		return nil
+
+	case *ast.ReturnStmt:
+		cur.nodes = append(cur.nodes, s)
+		return nil
+
+	default:
+		// Flat statements: assignments, expression and send statements,
+		// inc/dec, declarations, defer, go, empty. Appended whole; any
+		// control flow they contain lives inside function literals, which
+		// analyzers handle as separate functions.
+		cur.nodes = append(cur.nodes, s)
+		return cur
+	}
+}
+
+// rangeHeader wraps a RangeStmt when it appears as a block node, marking
+// that only its header (range expression, key/value binding) executes there
+// — the body was decomposed into its own blocks.
+type rangeHeader struct {
+	stmt *ast.RangeStmt
+}
+
+func (r rangeHeader) Pos() token.Pos { return r.stmt.Pos() }
+func (r rangeHeader) End() token.Pos { return r.stmt.X.End() }
+
+// switchClauses builds the clause blocks of a switch/type-switch/select.
+// Each clause is a successor of cur; a missing default adds a direct edge to
+// the exit. comm true appends each select clause's communication statement
+// to its block (the blocking op checkers must see it).
+func (b *cfgBuilder) switchClauses(cur *cfgBlock, clauses []ast.Stmt, comm bool) *cfgBlock {
+	exit := b.newBlock()
+	b.pushLoop(loopTargets{brk: exit})
+	hasDefault := false
+	// Pre-create clause blocks so fallthrough can reach the next clause.
+	blks := make([]*cfgBlock, len(clauses))
+	for i := range clauses {
+		blks[i] = b.newBlock()
+		link(cur, blks[i])
+	}
+	for i, clause := range clauses {
+		var bodyStmts []ast.Stmt
+		blk := blks[i]
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				blk.nodes = append(blk.nodes, e)
+			}
+			bodyStmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else if comm {
+				blk.nodes = append(blk.nodes, c.Comm)
+			}
+			bodyStmts = c.Body
+		}
+		savedFT := b.fallthroughTo
+		if i+1 < len(clauses) {
+			b.fallthroughTo = blks[i+1]
+		} else {
+			b.fallthroughTo = exit
+		}
+		link(b.stmtList(blk, bodyStmts), exit)
+		b.fallthroughTo = savedFT
+	}
+	b.popLoop()
+	if !hasDefault {
+		link(cur, exit)
+	}
+	return exit
+}
+
+func (b *cfgBuilder) pushLoop(t loopTargets) {
+	b.loops = append(b.loops, t)
+	if b.pendingLabel != "" {
+		b.labeled[b.pendingLabel] = t
+		b.pendingLabel = ""
+	}
+}
+
+func (b *cfgBuilder) popLoop() { b.loops = b.loops[:len(b.loops)-1] }
+
+func (b *cfgBuilder) branchTarget(label *ast.Ident, brk bool) *cfgBlock {
+	if label != nil {
+		t := b.labeled[label.Name]
+		if brk {
+			return t.brk
+		}
+		return t.cont
+	}
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		t := b.loops[i]
+		if brk {
+			return t.brk
+		}
+		if t.cont != nil { // switches push break-only frames
+			return t.cont
+		}
+	}
+	return nil
+}
+
+// factSet is a must-set of string facts ("c.mu is held").
+type factSet map[string]bool
+
+func copyFacts(f factSet) factSet {
+	out := make(factSet, len(f))
+	for k := range f {
+		out[k] = true
+	}
+	return out
+}
+
+// intersect removes from dst every fact absent from src, reporting whether
+// dst changed.
+func intersect(dst, src factSet) bool {
+	changed := false
+	for k := range dst {
+		if !src[k] {
+			delete(dst, k)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// mustFlow runs the forward must-analysis to a fixpoint and returns each
+// reachable block's entry facts. Unreached blocks are absent from the
+// result. transfer mutates facts in place for one node.
+func mustFlow(f *cfgFunc, entry factSet, transfer func(n ast.Node, facts factSet)) map[*cfgBlock]factSet {
+	in := map[*cfgBlock]factSet{f.entry: copyFacts(entry)}
+	work := []*cfgBlock{f.entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		out := copyFacts(in[blk])
+		for _, n := range blk.nodes {
+			transfer(n, out)
+		}
+		for _, succ := range blk.succs {
+			have, seen := in[succ]
+			if !seen {
+				in[succ] = copyFacts(out)
+				work = append(work, succ)
+			} else if intersect(have, out) {
+				work = append(work, succ)
+			}
+		}
+	}
+	return in
+}
+
+// mustWalk replays each reachable block from its fixpoint entry facts,
+// calling check before transfer on every node, so check sees the facts that
+// hold immediately before the node executes.
+func mustWalk(f *cfgFunc, in map[*cfgBlock]factSet,
+	transfer func(n ast.Node, facts factSet),
+	check func(n ast.Node, facts factSet)) {
+	for _, blk := range f.blocks {
+		entry, reached := in[blk]
+		if !reached {
+			continue
+		}
+		cur := copyFacts(entry)
+		for _, n := range blk.nodes {
+			check(n, cur)
+			transfer(n, cur)
+		}
+	}
+}

@@ -206,7 +206,7 @@ func runMapRange(p *Pass) {
 				return true
 			})
 			if appends {
-				p.Reportf(rs.Pos(),
+				p.ReportFix(rs.Pos(), mapRangeFix(p, rs),
 					"map iteration collects into a slice in serializing function %s without sorting; iteration order would leak into output",
 					funcName(decl))
 			}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Directive is one parsed //ruby: source annotation, produced by
+// ParseDirective. Which fields are populated depends on Name:
+//
+//	allow        Analyzer, Reason
+//	detached     Reason
+//	guards       Args (guarded sibling field names)
+//	locked       Args (mutex field names of the receiver held on entry)
+//	hotpath, coldpath, ctxroot, atomic, serialstable — no arguments
+type Directive struct {
+	Name     string
+	Analyzer string
+	Reason   string
+	Args     []string
+}
+
+// Directive argument shapes. Marker directives take no arguments; list
+// directives take a comma-separated identifier list; allow and detached
+// carry free-form justifications.
+var markerDirectives = map[string]bool{
+	"hotpath": true, "coldpath": true, "ctxroot": true,
+	"atomic": true, "serialstable": true,
+}
+
+var listDirectives = map[string]bool{
+	"guards": true, "locked": true,
+}
+
+// ParseDirective parses one comment's text (with the leading "//"). ok is
+// false when the comment is not a //ruby: directive at all. A non-nil error
+// describes a malformed directive; the caller reports it as a finding. The
+// parser is total: no input panics (see FuzzAllowDirective).
+func ParseDirective(comment string) (d Directive, ok bool, err error) {
+	text, isDirective := strings.CutPrefix(comment, "//ruby:")
+	if !isDirective {
+		return Directive{}, false, nil
+	}
+	name, rest, _ := strings.Cut(text, " ")
+	d = Directive{Name: name}
+	switch {
+	case name == "":
+		return d, true, fmt.Errorf("empty //ruby: directive")
+
+	case name == "allow":
+		analyzer, reason, hasReason := strings.Cut(rest, "--")
+		d.Analyzer = strings.TrimSpace(analyzer)
+		d.Reason = strings.TrimSpace(reason)
+		if d.Analyzer == "" || strings.ContainsAny(d.Analyzer, " \t") {
+			return d, true, fmt.Errorf("//ruby:allow wants exactly one analyzer name: `//ruby:allow <analyzer> -- <reason>`")
+		}
+		if !hasReason || d.Reason == "" {
+			return d, true, fmt.Errorf("//ruby:allow %s needs a justification: `//ruby:allow %s -- <reason>`", d.Analyzer, d.Analyzer)
+		}
+		return d, true, nil
+
+	case name == "detached":
+		d.Reason = strings.TrimSpace(rest)
+		if d.Reason == "" {
+			return d, true, fmt.Errorf("//ruby:detached needs a justification: `//ruby:detached <reason>`")
+		}
+		return d, true, nil
+
+	case listDirectives[name]:
+		for _, f := range strings.Split(rest, ",") {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				continue
+			}
+			if !isIdent(f) {
+				return d, true, fmt.Errorf("//ruby:%s lists %q, which is not a field identifier", name, f)
+			}
+			d.Args = append(d.Args, f)
+		}
+		if len(d.Args) == 0 {
+			return d, true, fmt.Errorf("//ruby:%s needs a comma-separated field list: `//ruby:%s a,b`", name, name)
+		}
+		return d, true, nil
+
+	case markerDirectives[name]:
+		return d, true, nil
+
+	default:
+		return d, true, fmt.Errorf("unknown directive //ruby:%s", name)
+	}
+}
+
+// isIdent reports whether s is a plausible Go identifier (ASCII letters,
+// digits and underscores, not starting with a digit — annotation arguments
+// name struct fields, which in this codebase are ASCII).
+func isIdent(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '_' || 'a' <= c && c <= 'z' || 'A' <= c && c <= 'Z':
+		case '0' <= c && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return len(s) > 0
+}

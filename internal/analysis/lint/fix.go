@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Edit is one textual splice: replace bytes [Start, End) of File with Text.
+// Offsets are byte offsets into the file as loaded (token.Position.Offset).
+// An insertion has Start == End.
+type Edit struct {
+	File  string
+	Start int
+	End   int
+	Text  string
+}
+
+// Fix is one machine-applicable resolution for a diagnostic: a short
+// description plus the edits that implement it. Edits within one Fix must
+// not overlap.
+type Fix struct {
+	Message string
+	Edits   []Edit
+}
+
+// ApplyFixes applies every fix attached to diags to the files on disk,
+// returning the files rewritten. Edits are applied per file in ascending
+// offset order; when two fixes' edits overlap, the later one is skipped
+// (re-running rubylint -fix converges). Returns the list of changed files in
+// sorted order.
+func ApplyFixes(diags []Diagnostic) ([]string, error) {
+	byFile := map[string][]Edit{}
+	for _, d := range diags {
+		for _, f := range d.Fixes {
+			for _, e := range f.Edits {
+				byFile[e.File] = append(byFile[e.File], e)
+			}
+		}
+	}
+	var changed []string
+	for file, edits := range byFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return changed, fmt.Errorf("lint: apply fixes: %w", err)
+		}
+		sort.SliceStable(edits, func(i, j int) bool {
+			if edits[i].Start != edits[j].Start {
+				return edits[i].Start < edits[j].Start
+			}
+			return edits[i].End < edits[j].End
+		})
+		var out []byte
+		prev := 0
+		skippedAll := true
+		for _, e := range edits {
+			if e.Start < prev || e.End < e.Start || e.End > len(src) {
+				continue // overlaps an already-applied edit or is out of range
+			}
+			out = append(out, src[prev:e.Start]...)
+			out = append(out, e.Text...)
+			prev = e.End
+			skippedAll = false
+		}
+		if skippedAll {
+			continue
+		}
+		out = append(out, src[prev:]...)
+		if err := os.WriteFile(file, out, 0o644); err != nil {
+			return changed, fmt.Errorf("lint: apply fixes: %w", err)
+		}
+		changed = append(changed, file)
+	}
+	sort.Strings(changed)
+	return changed, nil
+}

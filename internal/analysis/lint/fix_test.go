@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestApplyFixes pins the acceptance criterion for rubylint -fix: on the
+// fixable fixture (one uncancellable goroutine, one unsorted map range in a
+// serializing function), applying every suggested fix yields a tree that
+// still compiles and re-lints with zero findings.
+func TestApplyFixes(t *testing.T) {
+	src := filepath.Join("testdata", "src", "fixable")
+	dir := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir(fixable copy): %v", err)
+	}
+	diags := Run([]*Package{pkg}, All(), Config{ReportUnusedWaivers: true})
+	withFix := 0
+	for _, d := range diags {
+		if len(d.Fixes) > 0 {
+			withFix++
+		}
+	}
+	if withFix < 2 {
+		t.Fatalf("expected >=2 diagnostics carrying fixes (detached scaffold, sorted map range); got %d of %d", withFix, len(diags))
+	}
+
+	changed, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if len(changed) == 0 {
+		t.Fatal("ApplyFixes changed no files")
+	}
+
+	fixed, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("fixed tree does not compile: %v", err)
+	}
+	for _, d := range Run([]*Package{fixed}, All(), Config{ReportUnusedWaivers: true}) {
+		t.Errorf("finding survives -fix: %s", d)
+	}
+}

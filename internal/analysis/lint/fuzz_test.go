@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAllowDirective fuzzes the //ruby: directive parser. Invariants:
+// parsing never panics; a comment without the //ruby: prefix is never a
+// directive; a well-formed result (ok && err == nil) always satisfies the
+// shape contract its Name promises — allow carries a single-token analyzer
+// and a nonempty reason, detached a nonempty reason, list directives at
+// least one identifier argument, markers nothing at all.
+func FuzzAllowDirective(f *testing.F) {
+	for _, seed := range []string{
+		"//ruby:allow determinism -- replay buffers are sorted downstream",
+		"//ruby:allow determinism--no space around separator",
+		"//ruby:allow determinism",
+		"//ruby:allow  -- reason with empty analyzer",
+		"//ruby:allow two words -- reason",
+		"//ruby:detached metrics flush, bounded by process exit",
+		"//ruby:detached",
+		"//ruby:guards a,b,c",
+		"//ruby:guards ,",
+		"//ruby:guards 0bad",
+		"//ruby:locked mu",
+		"//ruby:serialstable",
+		"//ruby:hotpath trailing junk",
+		"//ruby:",
+		"//ruby:fastpath",
+		"// plain comment",
+		"//ruby:allow lint -- \x00\xff binary reason",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, comment string) {
+		d, ok, err := ParseDirective(comment)
+		if !strings.HasPrefix(comment, "//ruby:") {
+			if ok || err != nil {
+				t.Fatalf("non-directive %q parsed as directive (ok=%v err=%v)", comment, ok, err)
+			}
+			return
+		}
+		if !ok {
+			t.Fatalf("//ruby: comment %q returned ok=false", comment)
+		}
+		if err != nil {
+			return // malformed is fine; reaching here without panicking is the point
+		}
+		switch {
+		case d.Name == "allow":
+			if d.Analyzer == "" || strings.ContainsAny(d.Analyzer, " \t") || d.Reason == "" {
+				t.Fatalf("well-formed allow %q has analyzer=%q reason=%q", comment, d.Analyzer, d.Reason)
+			}
+		case d.Name == "detached":
+			if d.Reason == "" {
+				t.Fatalf("well-formed detached %q has empty reason", comment)
+			}
+		case listDirectives[d.Name]:
+			if len(d.Args) == 0 {
+				t.Fatalf("well-formed //ruby:%s %q has no args", d.Name, comment)
+			}
+			for _, a := range d.Args {
+				if !isIdent(a) {
+					t.Fatalf("well-formed //ruby:%s %q kept non-identifier arg %q", d.Name, comment, a)
+				}
+			}
+		case markerDirectives[d.Name]:
+			if d.Analyzer != "" || d.Reason != "" || len(d.Args) != 0 {
+				t.Fatalf("marker //ruby:%s %q carries payload %+v", d.Name, comment, d)
+			}
+		default:
+			t.Fatalf("err==nil for unknown directive name %q (comment %q)", d.Name, comment)
+		}
+	})
+}

@@ -1,0 +1,114 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Goroutines enforces goroutine lifecycle discipline in the orchestration
+// packages: every `go` statement must be cancellable — its closure observes
+// a context or a channel receive/select — or carry an explicit
+// //ruby:detached waiver. This is what keeps fleet/worker goroutines from
+// leaking past a shutdown.
+var Goroutines = &Analyzer{
+	Name: "goroutines",
+	Doc: "every go statement in the orchestration packages (engine, search, " +
+		"sweep, server, dist) observes a ctx/done channel or is waived " +
+		"//ruby:detached <reason>",
+	Run: runGoroutines,
+}
+
+// goroutinePackages are the package names the analyzer applies to (names,
+// not import paths, so testdata fixture packages opt in by name).
+var goroutinePackages = map[string]bool{
+	"engine": true, "search": true, "sweep": true, "server": true, "dist": true,
+}
+
+func runGoroutines(p *Pass) {
+	if !goroutinePackages[p.Pkg.Name] {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goCancellable(p, g) || p.Detached(g.Pos()) {
+				return true
+			}
+			p.ReportFix(g.Pos(), detachedFix(p, g.Pos()),
+				"go statement is not cancellable: it observes no context or done channel "+
+					"(thread ctx through, or waive with //ruby:detached <reason>)")
+			return true
+		})
+	}
+}
+
+// goCancellable reports whether the spawned work can observe shutdown: a
+// function literal that references a context.Context value or performs a
+// channel receive/select, or a call that receives a context argument or
+// whose callee declares a context parameter.
+func goCancellable(p *Pass, g *ast.GoStmt) bool {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		if observesShutdown(p, lit.Body) {
+			return true
+		}
+	}
+	return callHasCtx(p, g.Call)
+}
+
+// callHasCtx reports whether the call passes a context.Context argument or
+// its resolved callee takes one.
+func callHasCtx(p *Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		if tv, ok := p.Pkg.Info.Types[arg]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	if fn := calleeFunc(p.Pkg.Info, call); fn != nil {
+		if sig, ok := fn.Type().(*types.Signature); ok && hasContextParam(sig) {
+			return true
+		}
+	}
+	return false
+}
+
+// observesShutdown reports whether body references a context.Context value
+// or contains a channel receive, channel range or select statement.
+func observesShutdown(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := p.Pkg.Info.Types[n.X]; ok && isChanType(tv.Type) {
+				found = true
+			}
+		case *ast.Ident:
+			if obj := p.Pkg.Info.Uses[n]; obj != nil && isContextType(obj.Type()) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isChanType reports whether t is (or names) a channel type.
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

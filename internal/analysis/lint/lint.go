@@ -12,13 +12,23 @@
 //   - ctxflow: long-running exported APIs accept and forward
 //     context.Context; context.Background only at annotated roots;
 //   - atomics: fields of //ruby:atomic structs are touched only through
-//     sync/atomic.
+//     sync/atomic;
+//   - lockflow: fields listed in a mutex's //ruby:guards annotation are
+//     accessed only while that mutex is held (per-function CFG dataflow),
+//     and no annotated lock is held across blocking calls;
+//   - goroutines: every go statement in the orchestration packages observes
+//     a ctx/done channel or is waived //ruby:detached;
+//   - serialstable: types annotated //ruby:serialstable (checkpoint and
+//     coordination state) have only deterministically-encodable fields;
+//   - apisurface: the exported API of the canonical packages matches the
+//     docs/api_surface.txt golden, so breaking changes are deliberate.
 //
 // Every finding can be waived in-source with
 //
 //	//ruby:allow <analyzer> -- <reason>
 //
 // so each exception stays visible and justified next to the code it covers.
+// Some findings carry machine-applicable suggested fixes (rubylint -fix).
 // See tools/README.md for the full annotation and waiver reference.
 package lint
 
@@ -31,11 +41,14 @@ import (
 	"strings"
 )
 
-// Diagnostic is one finding, positioned in the source tree.
+// Diagnostic is one finding, positioned in the source tree. Fixes, when
+// present, are machine-applicable textual edits that resolve the finding
+// (applied by rubylint -fix).
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Fixes    []Fix `json:",omitempty"`
 }
 
 func (d Diagnostic) String() string {
@@ -51,7 +64,10 @@ type Analyzer struct {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, Hotpath, Ctxflow, Atomics}
+	return []*Analyzer{
+		Determinism, Hotpath, Ctxflow, Atomics,
+		Lockflow, Goroutines, Serialstable, APISurface,
+	}
 }
 
 // ByName resolves a comma-separated analyzer list ("" = all).
@@ -94,6 +110,16 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportFix records a finding that carries machine-applicable fixes.
+func (p *Pass) ReportFix(pos token.Pos, fixes []Fix, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+		Fixes:    fixes,
+	})
+}
+
 // FuncHas reports whether decl carries the named //ruby: annotation.
 func (p *Pass) FuncHas(decl *ast.FuncDecl, name string) bool {
 	for _, d := range p.dirs.funcDirs[decl] {
@@ -130,6 +156,46 @@ func (p *Pass) TypeHas(obj types.Object, name string) bool {
 	return false
 }
 
+// AnnotatedTypes returns the type names carrying the annotation, in source
+// order.
+func (p *Pass) AnnotatedTypes(name string) []*types.TypeName {
+	var out []*types.TypeName
+	for tn, dirs := range p.dirs.typeDirs {
+		for _, d := range dirs {
+			if d == name {
+				out = append(out, tn)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// GuardsOf returns the //ruby:guards specifications attached to mutex fields
+// of the named struct type (nil when it has none).
+func (p *Pass) GuardsOf(tn *types.TypeName) []GuardSpec {
+	return p.dirs.guards[tn]
+}
+
+// LockedFields returns the mutex field names a //ruby:locked annotation
+// declares held on entry to decl.
+func (p *Pass) LockedFields(decl *ast.FuncDecl) []string {
+	return p.dirs.locked[decl]
+}
+
+// Detached reports whether a //ruby:detached waiver covers the line of pos,
+// marking it used.
+func (p *Pass) Detached(pos token.Pos) bool {
+	position := p.Pkg.Fset.Position(pos)
+	for _, d := range p.dirs.detached {
+		if d.file == position.Filename && d.lineLo <= position.Line && position.Line <= d.lineHi {
+			d.used = true
+			return true
+		}
+	}
+	return false
+}
+
 // EnclosingFunc returns the innermost function declaration containing pos
 // (nil at package scope).
 func (p *Pass) EnclosingFunc(pos token.Pos) *ast.FuncDecl {
@@ -141,17 +207,27 @@ func (p *Pass) EnclosingFunc(pos token.Pos) *ast.FuncDecl {
 	return nil
 }
 
+// GuardSpec is one //ruby:guards annotation: the mutex field and the sibling
+// fields it protects.
+type GuardSpec struct {
+	Mutex  string          // mutex field name
+	RW     bool            // sync.RWMutex (vs plain Mutex)
+	Fields map[string]bool // guarded sibling field names
+}
+
 // Config tunes a Run.
 type Config struct {
-	// ReportUnusedWaivers adds a finding for every //ruby:allow directive
-	// that suppressed nothing. Only meaningful when running the full suite
-	// (a waiver for analyzer X looks unused when X is not run).
+	// ReportUnusedWaivers adds a finding for every //ruby:allow or
+	// //ruby:detached directive that suppressed nothing. Only meaningful
+	// when running the full suite (a waiver for analyzer X looks unused when
+	// X is not run).
 	ReportUnusedWaivers bool
 }
 
 // Run executes the analyzers over the packages and returns the surviving
-// diagnostics sorted by position. Malformed //ruby: directives are reported
-// under the pseudo-analyzer "lint".
+// diagnostics in deterministic (file, line, analyzer, message) order, so CI
+// diffs and fixture tests are stable across map-iteration order. Malformed
+// //ruby: directives are reported under the pseudo-analyzer "lint".
 func Run(pkgs []*Package, analyzers []*Analyzer, cfg Config) []Diagnostic {
 	var out []Diagnostic
 	for _, pkg := range pkgs {
@@ -178,6 +254,15 @@ func Run(pkgs []*Package, analyzers []*Analyzer, cfg Config) []Diagnostic {
 					})
 				}
 			}
+			for _, d := range dirs.detached {
+				if !d.used {
+					out = append(out, Diagnostic{
+						Pos:      pkg.Fset.Position(d.pos),
+						Analyzer: "lint",
+						Message:  "unused //ruby:detached waiver (no go statement here needs it; delete it)",
+					})
+				}
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -188,21 +273,12 @@ func Run(pkgs []*Package, analyzers []*Analyzer, cfg Config) []Diagnostic {
 		if a.Line != b.Line {
 			return a.Line < b.Line
 		}
+		if out[i].Analyzer != out[j].Analyzer {
+			return out[i].Analyzer < out[j].Analyzer
+		}
 		return out[i].Message < out[j].Message
 	})
 	return out
-}
-
-// funcAnnotations and typeAnnotations are the recognized //ruby: directives
-// (besides allow); anything else is reported as malformed.
-var funcAnnotations = map[string]bool{
-	"hotpath":  true, // steady-state allocation-free kernel; hotpath analyzer applies
-	"coldpath": true, // documents an error/slow-path helper; must take concrete params when called from a hot path
-	"ctxroot":  true, // legitimate context root; ctxflow allows context.Background here
-}
-
-var typeAnnotations = map[string]bool{
-	"atomic": true, // struct fields accessed only via sync/atomic
 }
 
 // allowDirective is one parsed //ruby:allow waiver with its effective scope.
@@ -219,13 +295,25 @@ type allowDirective struct {
 	used           bool
 }
 
+// detachedDirective is one //ruby:detached waiver: it covers go statements
+// on its own line and the next.
+type detachedDirective struct {
+	pos            token.Pos
+	file           string
+	lineLo, lineHi int
+	used           bool
+}
+
 type directives struct {
 	pkg       *Package
 	funcDirs  map[*ast.FuncDecl][]string
 	typeDirs  map[*types.TypeName][]string
 	funcByObj map[*types.Func]*ast.FuncDecl
 	funcDecls []*ast.FuncDecl
+	guards    map[*types.TypeName][]GuardSpec
+	locked    map[*ast.FuncDecl][]string
 	allows    []*allowDirective
+	detached  []*detachedDirective
 	bad       []Diagnostic
 }
 
@@ -250,12 +338,21 @@ func (ds *directives) waived(d Diagnostic) bool {
 	return false
 }
 
+// fieldOwner locates a struct field a comment group annotates: the field and
+// the type declaration it belongs to.
+type fieldOwner struct {
+	field *ast.Field
+	spec  *ast.TypeSpec
+}
+
 func collectDirectives(pkg *Package) *directives {
 	ds := &directives{
 		pkg:       pkg,
 		funcDirs:  map[*ast.FuncDecl][]string{},
 		typeDirs:  map[*types.TypeName][]string{},
 		funcByObj: map[*types.Func]*ast.FuncDecl{},
+		guards:    map[*types.TypeName][]GuardSpec{},
+		locked:    map[*ast.FuncDecl][]string{},
 	}
 	knownAnalyzers := map[string]bool{"lint": true}
 	for _, a := range All() {
@@ -265,6 +362,7 @@ func collectDirectives(pkg *Package) *directives {
 	for _, f := range pkg.Files {
 		// Doc-comment annotations and their waiver scopes.
 		docOwner := map[*ast.CommentGroup]ast.Decl{}
+		fieldOwners := map[*ast.CommentGroup]fieldOwner{}
 		for _, decl := range f.Decls {
 			switch d := decl.(type) {
 			case *ast.FuncDecl:
@@ -280,8 +378,24 @@ func collectDirectives(pkg *Package) *directives {
 					docOwner[d.Doc] = d
 				}
 				for _, spec := range d.Specs {
-					if ts, ok := spec.(*ast.TypeSpec); ok && ts.Doc != nil {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					if ts.Doc != nil {
 						docOwner[ts.Doc] = d
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok || st.Fields == nil {
+						continue
+					}
+					for _, fld := range st.Fields.List {
+						if fld.Doc != nil {
+							fieldOwners[fld.Doc] = fieldOwner{field: fld, spec: ts}
+						}
+						if fld.Comment != nil {
+							fieldOwners[fld.Comment] = fieldOwner{field: fld, spec: ts}
+						}
 					}
 				}
 			}
@@ -289,28 +403,23 @@ func collectDirectives(pkg *Package) *directives {
 
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text, ok := strings.CutPrefix(c.Text, "//ruby:")
-				if !ok {
+				dir, isDirective, err := ParseDirective(c.Text)
+				if !isDirective {
 					continue
 				}
-				name, rest, _ := strings.Cut(text, " ")
+				if err != nil {
+					ds.bad = append(ds.bad, badDirective(pkg, c, "%v", err))
+					continue
+				}
 				owner := docOwner[cg]
-				switch {
-				case name == "allow":
-					analyzer, reason, hasReason := strings.Cut(rest, "--")
-					analyzer = strings.TrimSpace(analyzer)
-					reason = strings.TrimSpace(reason)
-					if !knownAnalyzers[analyzer] {
+				switch dir.Name {
+				case "allow":
+					if !knownAnalyzers[dir.Analyzer] {
 						ds.bad = append(ds.bad, badDirective(pkg, c,
-							"//ruby:allow names unknown analyzer %q", analyzer))
+							"//ruby:allow names unknown analyzer %q", dir.Analyzer))
 						continue
 					}
-					if !hasReason || reason == "" {
-						ds.bad = append(ds.bad, badDirective(pkg, c,
-							"//ruby:allow %s needs a justification: `//ruby:allow %s -- <reason>`", analyzer, analyzer))
-						continue
-					}
-					w := &allowDirective{pos: c.Pos(), analyzer: analyzer}
+					w := &allowDirective{pos: c.Pos(), analyzer: dir.Analyzer}
 					p := pkg.Fset.Position(c.Pos())
 					w.file, w.lineLo, w.lineHi = p.Filename, p.Line, p.Line+1
 					if owner != nil {
@@ -318,20 +427,44 @@ func collectDirectives(pkg *Package) *directives {
 					}
 					ds.allows = append(ds.allows, w)
 
-				case funcAnnotations[name]:
+				case "detached":
+					p := pkg.Fset.Position(c.Pos())
+					ds.detached = append(ds.detached, &detachedDirective{
+						pos: c.Pos(), file: p.Filename, lineLo: p.Line, lineHi: p.Line + 1,
+					})
+
+				case "guards":
+					fo, ok := fieldOwners[cg]
+					if !ok {
+						ds.bad = append(ds.bad, badDirective(pkg, c,
+							"//ruby:guards must sit on a struct's mutex field"))
+						continue
+					}
+					ds.addGuards(c, fo, dir.Args)
+
+				case "locked":
 					fd, ok := owner.(*ast.FuncDecl)
 					if !ok {
 						ds.bad = append(ds.bad, badDirective(pkg, c,
-							"//ruby:%s must sit in a function's doc comment", name))
+							"//ruby:locked must sit in a method's doc comment"))
 						continue
 					}
-					ds.funcDirs[fd] = append(ds.funcDirs[fd], name)
+					ds.locked[fd] = append(ds.locked[fd], dir.Args...)
 
-				case typeAnnotations[name]:
+				case "hotpath", "coldpath", "ctxroot":
+					fd, ok := owner.(*ast.FuncDecl)
+					if !ok {
+						ds.bad = append(ds.bad, badDirective(pkg, c,
+							"//ruby:%s must sit in a function's doc comment", dir.Name))
+						continue
+					}
+					ds.funcDirs[fd] = append(ds.funcDirs[fd], dir.Name)
+
+				case "atomic", "serialstable":
 					gd, ok := owner.(*ast.GenDecl)
 					if !ok || gd.Tok != token.TYPE {
 						ds.bad = append(ds.bad, badDirective(pkg, c,
-							"//ruby:%s must sit in a type declaration's doc comment", name))
+							"//ruby:%s must sit in a type declaration's doc comment", dir.Name))
 						continue
 					}
 					attached := false
@@ -341,22 +474,84 @@ func collectDirectives(pkg *Package) *directives {
 							continue
 						}
 						if tn, ok := pkg.Info.Defs[ts.Name].(*types.TypeName); ok {
-							ds.typeDirs[tn] = append(ds.typeDirs[tn], name)
+							ds.typeDirs[tn] = append(ds.typeDirs[tn], dir.Name)
 							attached = true
 						}
 					}
 					if !attached {
 						ds.bad = append(ds.bad, badDirective(pkg, c,
-							"//ruby:%s attached to no named type", name))
+							"//ruby:%s attached to no named type", dir.Name))
 					}
-
-				default:
-					ds.bad = append(ds.bad, badDirective(pkg, c, "unknown directive //ruby:%s", name))
 				}
 			}
 		}
 	}
 	return ds
+}
+
+// addGuards validates and records one //ruby:guards annotation: the field
+// must be a sync.Mutex or sync.RWMutex, and every listed name must be a
+// sibling field of the same struct.
+func (ds *directives) addGuards(c *ast.Comment, fo fieldOwner, fields []string) {
+	pkg := ds.pkg
+	if len(fo.field.Names) != 1 {
+		ds.bad = append(ds.bad, badDirective(pkg, c, "//ruby:guards must sit on a single named mutex field"))
+		return
+	}
+	obj, ok := pkg.Info.Defs[fo.field.Names[0]].(*types.Var)
+	if !ok {
+		return
+	}
+	rw, isMutex := mutexKind(obj.Type())
+	if !isMutex {
+		ds.bad = append(ds.bad, badDirective(pkg, c,
+			"//ruby:guards on field %s, which is not a sync.Mutex or sync.RWMutex", obj.Name()))
+		return
+	}
+	tn, ok := pkg.Info.Defs[fo.spec.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	siblings := map[string]bool{}
+	for i := 0; i < st.NumFields(); i++ {
+		siblings[st.Field(i).Name()] = true
+	}
+	spec := GuardSpec{Mutex: obj.Name(), RW: rw, Fields: map[string]bool{}}
+	for _, f := range fields {
+		if !siblings[f] {
+			ds.bad = append(ds.bad, badDirective(pkg, c,
+				"//ruby:guards lists %q, which is not a field of %s", f, tn.Name()))
+			continue
+		}
+		spec.Fields[f] = true
+	}
+	if len(spec.Fields) > 0 {
+		ds.guards[tn] = append(ds.guards[tn], spec)
+	}
+}
+
+// mutexKind reports whether t is sync.Mutex or sync.RWMutex (rw true for the
+// latter).
+func mutexKind(t types.Type) (rw, ok bool) {
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return false, false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false, false
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return false, true
+	case "RWMutex":
+		return true, true
+	}
+	return false, false
 }
 
 func badDirective(pkg *Package, c *ast.Comment, format string, args ...any) Diagnostic {

@@ -3,12 +3,16 @@ package lint
 import (
 	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 )
 
 // want is one expectation parsed from a fixture's `// want `...“ comment:
-// the diagnostic must land on the comment's line and match the regexp.
+// the diagnostic must land on the comment's line (shifted by an optional
+// `// want+N` / `// want-N` offset, for findings that land on lines that
+// cannot carry a second comment, like //ruby: directives) and match the
+// regexp.
 type want struct {
 	file string
 	line int
@@ -18,6 +22,8 @@ type want struct {
 
 var wantPatternRE = regexp.MustCompile("`([^`]+)`")
 
+var wantOffsetRE = regexp.MustCompile(`^// want([+-]\d+)? `)
+
 // parseWants extracts every `// want` expectation from the fixture package.
 func parseWants(t *testing.T, pkg *Package) []*want {
 	t.Helper()
@@ -25,11 +31,17 @@ func parseWants(t *testing.T, pkg *Package) []*want {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				rest, ok := strings.CutPrefix(c.Text, "// want ")
-				if !ok {
+				m := wantOffsetRE.FindStringSubmatch(c.Text)
+				if m == nil {
 					continue
 				}
+				offset := 0
+				if m[1] != "" {
+					offset, _ = strconv.Atoi(m[1])
+				}
+				rest := c.Text[len(m[0]):]
 				pos := pkg.Fset.Position(c.Pos())
+				pos.Line += offset
 				ms := wantPatternRE.FindAllStringSubmatch(rest, -1)
 				if len(ms) == 0 {
 					t.Fatalf("%s: want comment without a backquoted pattern", pos)
@@ -83,6 +95,10 @@ func TestDeterminismResumableFixture(t *testing.T) { runFixture(t, "resumable") 
 func TestHotpathFixture(t *testing.T)              { runFixture(t, "hot") }
 func TestCtxflowFixture(t *testing.T)              { runFixture(t, "ctxen") }
 func TestAtomicsFixture(t *testing.T)              { runFixture(t, "atom") }
+func TestLockflowFixture(t *testing.T)             { runFixture(t, "lockflow") }
+func TestGoroutinesFixture(t *testing.T)           { runFixture(t, "goro") }
+func TestSerialstableFixture(t *testing.T)         { runFixture(t, "serial") }
+func TestAPISurfaceFixture(t *testing.T)           { runFixture(t, "apisurf") }
 
 // TestBrokenFixtureFails pins two properties on the deliberately-broken
 // fixture: rubylint does not pass it (nonzero findings), and directive
@@ -115,9 +131,10 @@ func TestBrokenFixtureFails(t *testing.T) {
 	}
 }
 
-// TestRepoIsClean pins the acceptance criterion for the real tree: every
-// live finding is fixed or carries a justified //ruby:allow waiver, and no
-// waiver is stale.
+// TestRepoIsClean pins the acceptance criterion for the real tree: under
+// the full eight-analyzer suite (including the dataflow-based lockflow and
+// goroutines checks and the apisurface golden) every live finding is fixed
+// or carries a justified //ruby:allow waiver, and no waiver is stale.
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads the whole module via go list")

@@ -25,10 +25,14 @@ import (
 type Package struct {
 	PkgPath string
 	Name    string
-	Fset    *token.FileSet
-	Files   []*ast.File
-	Types   *types.Package
-	Info    *types.Info
+	// Root is the directory the load was anchored at (the module root for
+	// LoadRepo, the package directory for LoadDir). Analyzers that consult
+	// on-disk goldens (apisurface) resolve them against Root.
+	Root  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
 }
 
 func newInfo() *types.Info {
@@ -61,6 +65,7 @@ func LoadRepo(dir string, patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	patterns = ResolvePatterns(dir, patterns)
 	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,Name,GoFiles,Export,DepOnly,Standard"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -102,12 +107,17 @@ func LoadRepo(dir string, patterns ...string) ([]*Package, error) {
 		}),
 	}
 
+	root, err := filepath.Abs(dir)
+	if err != nil {
+		root = dir
+	}
 	var pkgs []*Package
 	for _, t := range targets {
 		pkg, err := checkFiles(fset, t.ImportPath, t.Dir, t.GoFiles, imp)
 		if err != nil {
 			return nil, err
 		}
+		pkg.Root = root
 		pkgs = append(pkgs, pkg)
 	}
 	return pkgs, nil
@@ -134,7 +144,12 @@ func LoadDir(dir string) (*Package, error) {
 	sort.Strings(files)
 	fset := token.NewFileSet()
 	imp := importer.ForCompiler(fset, "source", nil)
-	return checkFiles(fset, dir, dir, files, imp)
+	pkg, err := checkFiles(fset, dir, dir, files, imp)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Root = dir
+	return pkg, nil
 }
 
 func checkFiles(fset *token.FileSet, pkgPath, dir string, fileNames []string, imp types.Importer) (*Package, error) {

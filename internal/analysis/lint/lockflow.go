@@ -1,0 +1,409 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Lockflow enforces //ruby:guards mutex discipline with the CFG must-held
+// analysis: every access to a guarded field must happen with the guarding
+// mutex held on all paths, and an annotated mutex must not be held across a
+// blocking operation (channel send/receive, select, time.Sleep, net/http
+// calls).
+var Lockflow = &Analyzer{
+	Name: "lockflow",
+	Doc: "fields listed in a //ruby:guards annotation are accessed only while " +
+		"the guarding mutex is held on every path, and no annotated mutex is " +
+		"held across a blocking call",
+	Run: runLockflow,
+}
+
+// guardedField ties a struct field object to the guard spec protecting it.
+type guardedField struct {
+	owner *types.TypeName
+	spec  GuardSpec
+}
+
+type lockflowCtx struct {
+	pass *Pass
+	// guarded maps each protected field object to its guard.
+	guarded map[*types.Var]guardedField
+	// mutexes holds the annotated mutex field objects; locks of these are
+	// the ones the blocking-call check watches.
+	mutexes map[*types.Var]bool
+	// fresh holds local variables initialized from composite literals in
+	// the function under analysis: not yet shared, so guard checks skip
+	// accesses rooted at them (constructor idiom).
+	fresh map[*types.Var]bool
+	// annotated records, per analyzed function, which held keys belong to
+	// annotated mutexes.
+	annotated factSet
+	// queue of function literals to analyze with their entry facts.
+	queue []pendingLit
+}
+
+type pendingLit struct {
+	lit   *ast.FuncLit
+	entry factSet
+	name  string
+}
+
+func runLockflow(p *Pass) {
+	ctx := &lockflowCtx{
+		pass:    p,
+		guarded: map[*types.Var]guardedField{},
+		mutexes: map[*types.Var]bool{},
+	}
+	for tn, specs := range p.dirs.guards {
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		fieldByName := map[string]*types.Var{}
+		for i := 0; i < st.NumFields(); i++ {
+			fieldByName[st.Field(i).Name()] = st.Field(i)
+		}
+		for _, spec := range specs {
+			if mu := fieldByName[spec.Mutex]; mu != nil {
+				ctx.mutexes[mu] = true
+			}
+			for f := range spec.Fields {
+				if fv := fieldByName[f]; fv != nil {
+					ctx.guarded[fv] = guardedField{owner: tn, spec: spec}
+				}
+			}
+		}
+	}
+	if len(ctx.guarded) == 0 {
+		return
+	}
+
+	for _, decl := range p.dirs.funcDecls {
+		if decl.Body == nil {
+			continue
+		}
+		ctx.fresh = freshLocals(p.Pkg.Info, decl.Body)
+		entry := ctx.entryFacts(decl)
+		ctx.analyzeBody(decl.Body, entry, funcName(decl))
+	}
+}
+
+// entryFacts seeds the held set for a method that documents
+// caller-holds-lock: either an explicit //ruby:locked mu annotation or the
+// "...Locked" name-suffix convention. Keys are receiver-qualified
+// ("c.mu").
+func (ctx *lockflowCtx) entryFacts(decl *ast.FuncDecl) factSet {
+	entry := factSet{}
+	ctx.annotated = factSet{}
+	if decl.Recv == nil || len(decl.Recv.List) == 0 || len(decl.Recv.List[0].Names) == 0 {
+		return entry
+	}
+	recv := decl.Recv.List[0].Names[0].Name
+	add := func(mutex string) {
+		key := recv + "." + mutex
+		entry[key] = true
+		ctx.annotated[key] = true
+	}
+	for _, mu := range ctx.pass.dirs.locked[decl] {
+		add(mu)
+	}
+	if strings.HasSuffix(decl.Name.Name, "Locked") {
+		if tn := recvTypeName(ctx.pass.Pkg.Info, decl); tn != nil {
+			for _, spec := range ctx.pass.dirs.guards[tn] {
+				add(spec.Mutex)
+			}
+		}
+	}
+	return entry
+}
+
+// analyzeBody runs the must-held analysis over one function body and checks
+// every node; function literals encountered synchronously inherit the held
+// set at their use site, go-statement literals start empty.
+func (ctx *lockflowCtx) analyzeBody(body *ast.BlockStmt, entry factSet, name string) {
+	cfg := buildCFG(body)
+	facts := mustFlow(cfg, entry, ctx.transfer)
+	mustWalk(cfg, facts, ctx.transfer, func(n ast.Node, held factSet) {
+		ctx.check(n, held, name)
+	})
+	for len(ctx.queue) > 0 {
+		next := ctx.queue[0]
+		ctx.queue = ctx.queue[1:]
+		ctx.analyzeBody(next.lit.Body, next.entry, next.name)
+	}
+}
+
+// transfer updates the held set for one flat CFG node: X.Lock()/X.RLock()
+// adds X's key, X.Unlock()/X.RUnlock() removes it. defer'd unlocks run at
+// return and function literals run elsewhere, so both subtrees are skipped.
+func (ctx *lockflowCtx) transfer(n ast.Node, held factSet) {
+	inspectFlat(n, func(sub ast.Node) bool {
+		switch sub := sub.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			recv, name, ok := ctx.mutexCall(sub)
+			if !ok {
+				return true
+			}
+			key, keyOK := exprKey(recv)
+			if !keyOK {
+				return true
+			}
+			switch name {
+			case "Lock", "RLock":
+				held[key] = true
+				if ctx.isAnnotatedMutex(recv) {
+					ctx.annotated[key] = true
+				}
+			case "Unlock", "RUnlock":
+				delete(held, key)
+			}
+		}
+		return true
+	})
+}
+
+// check reports guarded-field accesses without the mutex held and blocking
+// operations while an annotated mutex is held.
+func (ctx *lockflowCtx) check(n ast.Node, held factSet, fn string) {
+	p := ctx.pass
+	inspectFlat(n, func(sub ast.Node) bool {
+		switch sub := sub.(type) {
+		case *ast.DeferStmt:
+			return false
+		case *ast.GoStmt:
+			// The call's arguments evaluate synchronously; its function
+			// literal runs concurrently with nothing held.
+			if lit, ok := sub.Call.Fun.(*ast.FuncLit); ok {
+				ctx.queue = append(ctx.queue, pendingLit{lit: lit, entry: factSet{}, name: fn + " goroutine"})
+			}
+			for _, arg := range sub.Call.Args {
+				ctx.check(arg, held, fn)
+			}
+			return false
+		case *ast.FuncLit:
+			// A literal used synchronously (sort.Slice callback etc.)
+			// inherits the current held set.
+			ctx.queue = append(ctx.queue, pendingLit{lit: sub, entry: copyFacts(held), name: fn + " closure"})
+			return false
+		case *ast.SelectorExpr:
+			ctx.checkFieldAccess(sub, held, fn)
+		case *ast.SendStmt:
+			ctx.checkBlocking(sub.Pos(), held, fn, "channel send")
+		case *ast.UnaryExpr:
+			if sub.Op.String() == "<-" {
+				ctx.checkBlocking(sub.Pos(), held, fn, "channel receive")
+			}
+		case *ast.CallExpr:
+			if isPkgCall(p.Pkg.Info, sub, "time", "Sleep") {
+				ctx.checkBlocking(sub.Pos(), held, fn, "time.Sleep")
+			} else if path, name, ok := pkgCallName(p.Pkg.Info, sub); ok && path == "net/http" {
+				ctx.checkBlocking(sub.Pos(), held, fn, "net/http."+name)
+			} else if f := calleeFunc(p.Pkg.Info, sub); f != nil && f.Pkg() != nil && f.Pkg().Path() == "net/http" {
+				ctx.checkBlocking(sub.Pos(), held, fn, "net/http call")
+			}
+		}
+		return true
+	})
+}
+
+func (ctx *lockflowCtx) checkFieldAccess(se *ast.SelectorExpr, held factSet, fn string) {
+	p := ctx.pass
+	sel, ok := p.Pkg.Info.Selections[se]
+	if !ok || sel.Kind() != types.FieldVal {
+		return
+	}
+	fv, ok := sel.Obj().(*types.Var)
+	if !ok {
+		return
+	}
+	g, guarded := ctx.guarded[fv]
+	if !guarded {
+		return
+	}
+	if root := rootIdent(se.X); root != nil {
+		if v, ok := p.Pkg.Info.Uses[root].(*types.Var); ok && ctx.fresh[v] {
+			return
+		}
+	}
+	base, ok := exprKey(se.X)
+	if !ok {
+		return
+	}
+	key := base + "." + g.spec.Mutex
+	if held[key] {
+		return
+	}
+	p.Reportf(se.Sel.Pos(),
+		"%s.%s is guarded by %s.%s (//ruby:guards) but %s accesses it without holding %s",
+		g.owner.Name(), fv.Name(), g.owner.Name(), g.spec.Mutex, fn, key)
+}
+
+func (ctx *lockflowCtx) checkBlocking(pos token.Pos, held factSet, fn, what string) {
+	for key := range held {
+		if ctx.annotated[key] {
+			ctx.pass.Reportf(pos,
+				"%s performs a blocking %s while holding %s (//ruby:guards mutex); release it first",
+				fn, what, key)
+			return
+		}
+	}
+}
+
+// mutexCall recognizes X.Lock / X.Unlock / X.RLock / X.RUnlock on
+// sync.Mutex/RWMutex, returning the receiver expression and method name.
+func (ctx *lockflowCtx) mutexCall(call *ast.CallExpr) (recv ast.Expr, name string, ok bool) {
+	se, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	switch se.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil, "", false
+	}
+	fn, isFn := ctx.pass.Pkg.Info.Uses[se.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	return se.X, se.Sel.Name, true
+}
+
+// isAnnotatedMutex reports whether expr denotes a mutex field carrying a
+// //ruby:guards annotation.
+func (ctx *lockflowCtx) isAnnotatedMutex(expr ast.Expr) bool {
+	se, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ctx.pass.Pkg.Info.Selections[se]
+	if !ok || sel.Kind() != types.FieldVal {
+		return false
+	}
+	fv, ok := sel.Obj().(*types.Var)
+	return ok && ctx.mutexes[fv]
+}
+
+// exprKey renders a stable textual key for a lock-target expression:
+// identifier/selector/index chains only. Index expressions are supported
+// for constant or identifier indices; anything else is unsupported (ok
+// false), which makes both lock tracking and guard checks skip the
+// expression — conservative in the no-false-positives direction.
+func exprKey(e ast.Expr) (string, bool) {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name, true
+	case *ast.SelectorExpr:
+		base, ok := exprKey(x.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + x.Sel.Name, true
+	case *ast.IndexExpr:
+		base, ok := exprKey(x.X)
+		if !ok {
+			return "", false
+		}
+		switch idx := ast.Unparen(x.Index).(type) {
+		case *ast.Ident:
+			return base + "[" + idx.Name + "]", true
+		case *ast.BasicLit:
+			return base + "[" + idx.Value + "]", true
+		}
+		return "", false
+	case *ast.StarExpr:
+		return exprKey(x.X)
+	case *ast.UnaryExpr:
+		if x.Op.String() == "&" {
+			return exprKey(x.X)
+		}
+	}
+	return "", false
+}
+
+// rootIdent returns the base identifier of a selector/index/deref chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// freshLocals collects variables bound directly to composite literals
+// (`c := &T{...}`): until published, their fields cannot race, so the
+// constructor idiom needs no locking.
+func freshLocals(info *types.Info, body *ast.BlockStmt) map[*types.Var]bool {
+	fresh := map[*types.Var]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok.String() != ":=" || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			rhs := ast.Unparen(as.Rhs[i])
+			if ue, ok := rhs.(*ast.UnaryExpr); ok && ue.Op.String() == "&" {
+				rhs = ast.Unparen(ue.X)
+			}
+			if _, ok := rhs.(*ast.CompositeLit); !ok {
+				continue
+			}
+			if v, ok := info.Defs[id].(*types.Var); ok {
+				fresh[v] = true
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// recvTypeName resolves a method declaration's receiver base type.
+func recvTypeName(info *types.Info, decl *ast.FuncDecl) *types.TypeName {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return nil
+	}
+	t := decl.Recv.List[0].Type
+	if st, ok := t.(*ast.StarExpr); ok {
+		t = st.X
+	}
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := info.Uses[id] // a receiver's type ident is a use, not a def
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	tn, _ := obj.(*types.TypeName)
+	return tn
+}
+
+// inspectFlat walks one flat CFG node with ast.Inspect, transparently
+// unwrapping the rangeHeader pseudo-node to its range expression.
+func inspectFlat(n ast.Node, fn func(ast.Node) bool) {
+	if rh, ok := n.(rangeHeader); ok {
+		n = rh.stmt.X
+	}
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, fn)
+}

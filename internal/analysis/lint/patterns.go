@@ -1,0 +1,35 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// ResolvePatterns rewrites package patterns so that relative directory paths
+// resolve against dir (the rubylint -C directory) instead of the invoker's
+// working directory. `go list` treats a bare "internal/dist" as an import
+// path, so `rubylint -C /repo internal/dist` used to fail even though the
+// directory exists under /repo; prefixing "./" turns it back into a
+// filesystem pattern rooted at cmd.Dir. Patterns that are already rooted
+// ("./x", "../x", absolute) or that do not name a directory under dir
+// (import paths like "ruby/internal/dist") pass through unchanged.
+func ResolvePatterns(dir string, patterns []string) []string {
+	out := make([]string, len(patterns))
+	for i, p := range patterns {
+		out[i] = p
+		if p == "" || strings.HasPrefix(p, "./") || strings.HasPrefix(p, "../") ||
+			filepath.IsAbs(p) || strings.HasPrefix(p, "-") {
+			continue
+		}
+		probe := strings.TrimSuffix(p, "...")
+		probe = strings.TrimSuffix(probe, "/")
+		if probe == "" {
+			continue
+		}
+		if st, err := os.Stat(filepath.Join(dir, probe)); err == nil && st.IsDir() {
+			out[i] = "./" + p
+		}
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package lint
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestResolvePatterns pins the -C regression: a bare relative directory
+// pattern must resolve against the -C directory, while import paths, already
+// rooted patterns, flags, and "..." wildcards keep their meaning.
+func TestResolvePatterns(t *testing.T) {
+	root := filepath.Join("..", "..", "..")
+	got := ResolvePatterns(root, []string{
+		"internal/dist",         // bare relative dir -> rooted
+		"internal/analysis/...", // wildcard under a real dir -> rooted
+		"./...",                 // already rooted
+		"../elsewhere",          // already rooted (parent-relative)
+		"ruby/internal/nest",    // import path, not a dir under root
+		"-json",                 // flag-like, untouched
+		"",                      // empty, untouched
+		"no/such/dir",           // nonexistent, untouched
+	})
+	want := []string{
+		"./internal/dist",
+		"./internal/analysis/...",
+		"./...",
+		"../elsewhere",
+		"ruby/internal/nest",
+		"-json",
+		"",
+		"no/such/dir",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ResolvePatterns:\n got %q\nwant %q", got, want)
+	}
+}
+
+// TestLoadRepoRelativePatterns drives the same regression end to end:
+// loading with a bare relative pattern from a different working directory
+// must find the package.
+func TestLoadRepoRelativePatterns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads packages via go list")
+	}
+	pkgs, err := LoadRepo(filepath.Join("..", "..", ".."), "internal/dist")
+	if err != nil {
+		t.Fatalf("LoadRepo(-C root, internal/dist): %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].PkgPath != "ruby/internal/dist" {
+		names := make([]string, len(pkgs))
+		for i, p := range pkgs {
+			names[i] = p.PkgPath
+		}
+		t.Fatalf("expected exactly ruby/internal/dist, got %v", names)
+	}
+}

@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// Serialstable protects the bit-identical kill-and-resume contract: every
+// type annotated //ruby:serialstable (checkpoint payloads, the distributed
+// plan state, persisted job records) must consist only of fields that
+// encoding/json serializes deterministically and completely. Types that
+// implement json.Marshaler own their encoding and exempt their subtree.
+var Serialstable = &Analyzer{
+	Name: "serialstable",
+	Doc: "types annotated //ruby:serialstable contain only deterministically-" +
+		"encodable fields: no func/chan/interface fields, no maps with " +
+		"non-sortable keys, no unexported state silently dropped by encoding/json",
+	Run: runSerialstable,
+}
+
+func runSerialstable(p *Pass) {
+	for _, tn := range p.AnnotatedTypes("serialstable") {
+		w := &serialWalker{pass: p, visited: map[types.Type]bool{}}
+		w.check(tn.Type(), tn.Name(), tn.Pos())
+	}
+}
+
+type serialWalker struct {
+	pass    *Pass
+	visited map[types.Type]bool
+}
+
+// check validates t, reporting at the most local position available: the
+// field declaration when it lives in the package under analysis, else the
+// annotated root (fallback), with path naming the offending field chain.
+func (w *serialWalker) check(t types.Type, path string, fallback token.Pos) {
+	if w.visited[t] {
+		return
+	}
+	w.visited[t] = true
+	if hasJSONMarshaler(t) {
+		return
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch u.Kind() {
+		case types.Complex64, types.Complex128, types.UnsafePointer, types.Uintptr:
+			w.pass.Reportf(fallback, "%s has type %s, which encoding/json cannot serialize", path, u)
+		}
+	case *types.Pointer:
+		w.check(u.Elem(), path, fallback)
+	case *types.Slice:
+		w.check(u.Elem(), path+"[]", fallback)
+	case *types.Array:
+		w.check(u.Elem(), path+"[]", fallback)
+	case *types.Map:
+		if !sortableJSONKey(u.Key()) {
+			w.pass.Reportf(fallback,
+				"%s is a map with key type %s: encoding/json only sorts string and integer keys, "+
+					"so its output is nondeterministic (add a MarshalJSON with sorted keys)",
+				path, u.Key())
+			return
+		}
+		w.check(u.Elem(), path+"[]", fallback)
+	case *types.Chan:
+		w.pass.Reportf(fallback, "%s is a channel: encoding/json cannot serialize it", path)
+	case *types.Signature:
+		w.pass.Reportf(fallback, "%s is a func value: encoding/json cannot serialize it", path)
+	case *types.Interface:
+		w.pass.Reportf(fallback,
+			"%s is an interface: its dynamic type is not stable across encode/decode", path)
+	case *types.Struct:
+		w.checkStruct(u, path, fallback)
+	}
+}
+
+func (w *serialWalker) checkStruct(st *types.Struct, path string, fallback token.Pos) {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		tag := reflect.StructTag(st.Tag(i)).Get("json")
+		if tag == "-" {
+			continue // explicitly excluded from serialization
+		}
+		pos := fallback
+		if f.Pkg() == w.pass.Pkg.Types && f.Pos().IsValid() {
+			pos = f.Pos()
+		}
+		fieldPath := path + "." + f.Name()
+		if !f.Exported() && !f.Embedded() {
+			w.pass.Reportf(pos,
+				"%s is unexported: encoding/json silently drops it, so it will not survive "+
+					"a checkpoint round-trip (export it, tag it `json:\"-\"`, or add a MarshalJSON)",
+				fieldPath)
+			continue
+		}
+		// Embedded fields (exported or not) have their exported fields
+		// promoted into the JSON object; recurse without flagging the
+		// embedding itself.
+		w.check(f.Type(), fieldPath, pos)
+	}
+}
+
+// sortableJSONKey reports whether encoding/json emits map entries with this
+// key type in a deterministic (sorted) order: strings and integer kinds.
+// Types implementing encoding.TextMarshaler also serialize as (sorted)
+// strings.
+func sortableJSONKey(t types.Type) bool {
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		switch {
+		case b.Info()&types.IsString != 0, b.Info()&types.IsInteger != 0:
+			return true
+		}
+	}
+	return hasMethodNamed(t, "MarshalText")
+}
+
+// hasJSONMarshaler reports whether t (or *t) implements json.Marshaler —
+// such a type owns its encoding, so the walker trusts it and stops.
+func hasJSONMarshaler(t types.Type) bool {
+	return hasMethodNamed(t, "MarshalJSON")
+}
+
+func hasMethodNamed(t types.Type, name string) bool {
+	if _, ok := t.Underlying().(*types.Pointer); !ok {
+		if _, isIface := t.Underlying().(*types.Interface); !isIface {
+			t = types.NewPointer(t)
+		}
+	}
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		fn := ms.At(i).Obj()
+		if fn.Name() == name && strings.HasPrefix(fn.Type().(*types.Signature).String(), "func(") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"sort"
+	"strings"
+)
+
+// surfacePackages is the canonical exported API whose shape is pinned by
+// docs/api_surface.txt: the root package plus the engine-room packages PR 5
+// consolidated. Changing any of their exported symbols requires
+// regenerating the golden with `rubylint -fix-surface`, making breaking
+// changes a deliberate, reviewable diff.
+var surfacePackages = map[string]bool{
+	"ruby":                   true,
+	"ruby/internal/search":   true,
+	"ruby/internal/sweep":    true,
+	"ruby/internal/engine":   true,
+	"ruby/internal/nest":     true,
+	"ruby/internal/mapspace": true,
+	"ruby/internal/dist":     true,
+}
+
+// surfaceGoldenRel is the golden's path relative to the load root.
+const surfaceGoldenRel = "docs/api_surface.txt"
+
+// surfaceEntry is one rendered API line with the source position backing it.
+type surfaceEntry struct {
+	line string
+	pos  token.Pos
+}
+
+// packageSurface renders the package's exported API as sorted, stable,
+// one-line descriptions. The qualifier prints same-package types bare and
+// foreign types with their full import path, so renames anywhere in a
+// signature show up as diffs.
+func packageSurface(pkg *Package) []surfaceEntry {
+	qual := types.RelativeTo(pkg.Types)
+	var out []surfaceEntry
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		obj := scope.Lookup(name)
+		if !obj.Exported() {
+			continue
+		}
+		switch obj := obj.(type) {
+		case *types.Const:
+			out = append(out, surfaceEntry{
+				line: fmt.Sprintf("const %s %s", name, types.TypeString(obj.Type(), qual)),
+				pos:  obj.Pos(),
+			})
+		case *types.Var:
+			out = append(out, surfaceEntry{
+				line: fmt.Sprintf("var %s %s", name, types.TypeString(obj.Type(), qual)),
+				pos:  obj.Pos(),
+			})
+		case *types.Func:
+			sig := types.TypeString(obj.Type(), qual)
+			out = append(out, surfaceEntry{
+				line: "func " + name + strings.TrimPrefix(sig, "func"),
+				pos:  obj.Pos(),
+			})
+		case *types.TypeName:
+			out = append(out, typeSurface(obj, qual)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].line < out[j].line })
+	return out
+}
+
+func typeSurface(tn *types.TypeName, qual types.Qualifier) []surfaceEntry {
+	name := tn.Name()
+	if tn.IsAlias() {
+		return []surfaceEntry{{
+			line: fmt.Sprintf("type %s = %s", name, types.TypeString(tn.Type(), qual)),
+			pos:  tn.Pos(),
+		}}
+	}
+	var out []surfaceEntry
+	switch u := tn.Type().Underlying().(type) {
+	case *types.Struct:
+		out = append(out, surfaceEntry{line: "type " + name + " struct", pos: tn.Pos()})
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if !f.Exported() {
+				continue
+			}
+			out = append(out, surfaceEntry{
+				line: fmt.Sprintf("%s.%s %s", name, f.Name(), types.TypeString(f.Type(), qual)),
+				pos:  f.Pos(),
+			})
+		}
+	case *types.Interface:
+		out = append(out, surfaceEntry{line: "type " + name + " interface", pos: tn.Pos()})
+		for i := 0; i < u.NumMethods(); i++ {
+			m := u.Method(i)
+			if !m.Exported() {
+				continue
+			}
+			sig := types.TypeString(m.Type(), qual)
+			out = append(out, surfaceEntry{
+				line: name + "." + m.Name() + strings.TrimPrefix(sig, "func"),
+				pos:  m.Pos(),
+			})
+		}
+		return out // interface methods are the method set; done
+	default:
+		out = append(out, surfaceEntry{
+			line: fmt.Sprintf("type %s %s", name, types.TypeString(tn.Type().Underlying(), qual)),
+			pos:  tn.Pos(),
+		})
+	}
+	// Exported methods of the pointer method set (covers value receivers).
+	ms := types.NewMethodSet(types.NewPointer(tn.Type()))
+	for i := 0; i < ms.Len(); i++ {
+		m := ms.At(i).Obj()
+		if !m.Exported() {
+			continue
+		}
+		sig := types.TypeString(ms.At(i).Type(), qual)
+		out = append(out, surfaceEntry{
+			line: fmt.Sprintf("func (%s) %s%s", name, m.Name(), strings.TrimPrefix(sig, "func")),
+			pos:  m.Pos(),
+		})
+	}
+	return out
+}
+
+// surfaceSectionKey decides whether pkg participates in the apisurface
+// check and under which golden section header: canonical packages by import
+// path; otherwise any package whose path or name the golden already lists
+// (how fixture packages opt in). Empty key = out of scope.
+func surfaceSectionKey(pkg *Package, golden map[string]map[string]bool) string {
+	if surfacePackages[pkg.PkgPath] {
+		return pkg.PkgPath
+	}
+	if _, ok := golden[pkg.PkgPath]; ok {
+		return pkg.PkgPath
+	}
+	if _, ok := golden[pkg.Name]; ok {
+		return pkg.Name
+	}
+	return ""
+}
+
+// readSurface parses a golden file into section-keyed line sets. Missing
+// file returns an empty map and no error (the analyzer reports that case
+// itself).
+func readSurface(path string) (map[string]map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]map[string]bool{}, nil
+		}
+		return nil, err
+	}
+	sections := map[string]map[string]bool{}
+	var cur map[string]bool
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimRight(line, " \t\r")
+		switch {
+		case line == "" || strings.HasPrefix(line, "#"):
+		case strings.HasPrefix(line, "package "):
+			key := strings.TrimSpace(strings.TrimPrefix(line, "package "))
+			cur = map[string]bool{}
+			sections[key] = cur
+		default:
+			if cur != nil {
+				cur[line] = true
+			}
+		}
+	}
+	return sections, nil
+}
+
+// WriteSurface regenerates the golden for every in-scope package in pkgs
+// (rubylint -fix-surface). RenderSurface produces the exact bytes, so tests
+// can compare without touching disk.
+func WriteSurface(pkgs []*Package, path string) error {
+	return os.WriteFile(path, []byte(RenderSurface(pkgs)), 0o644)
+}
+
+// RenderSurface renders the golden's content for the in-scope packages.
+func RenderSurface(pkgs []*Package) string {
+	var b strings.Builder
+	b.WriteString("# Exported API surface pinned by the apisurface analyzer.\n")
+	b.WriteString("# Regenerate only via: go run ./tools/rubylint -fix-surface ./...\n")
+	keyed := map[string][]surfaceEntry{}
+	var keys []string
+	for _, pkg := range pkgs {
+		if !surfacePackages[pkg.PkgPath] {
+			continue
+		}
+		keyed[pkg.PkgPath] = packageSurface(pkg)
+		keys = append(keys, pkg.PkgPath)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		b.WriteString("\npackage " + key + "\n")
+		for _, e := range keyed[key] {
+			b.WriteString(e.line + "\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,31 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSurfaceGoldenUpToDate fails whenever the checked-in
+// docs/api_surface.txt no longer matches the tree's actual exported API —
+// the same condition the apisurface analyzer reports per-symbol, pinned here
+// byte-for-byte so CI catches stale goldens even if every symbol-level diff
+// happens to cancel out.
+func TestSurfaceGoldenUpToDate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module via go list")
+	}
+	root := filepath.Join("..", "..", "..")
+	pkgs, err := LoadRepo(root, "./...")
+	if err != nil {
+		t.Fatalf("LoadRepo: %v", err)
+	}
+	want := RenderSurface(pkgs)
+	got, err := os.ReadFile(filepath.Join(root, filepath.FromSlash(surfaceGoldenRel)))
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if string(got) != want {
+		t.Errorf("%s is stale; regenerate with: go run ./tools/rubylint -fix-surface ./...", surfaceGoldenRel)
+	}
+}

@@ -1,0 +1,10 @@
+// Package apisurf exercises the apisurface analyzer against the golden file
+// in this fixture's docs/api_surface.txt: one symbol matches, one was added
+// without regenerating, and one golden entry no longer exists.
+package apisurf // want `still lists "func Gone\(\)"`
+
+// Pinned is recorded in the golden surface.
+func Pinned(x int) int { return x }
+
+// Added is new and not yet in the golden surface.
+func Added() {} // want `"func Added\(\)" is not in docs/api_surface.txt`

@@ -1,0 +1,22 @@
+// Package engine (fixture "fixable") holds exactly the shapes rubylint -fix
+// can rewrite: an uncancellable goroutine (gains a //ruby:detached scaffold)
+// and an unsorted map range feeding a serializer (rewritten to iterate in
+// sorted key order, importing "sort"). TestApplyFixes asserts the fixed tree
+// compiles and re-lints clean.
+package engine
+
+import "encoding/json"
+
+func spawn() {
+	go func() {
+		println("background")
+	}()
+}
+
+func dump(m map[string]int) ([]byte, error) {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return json.Marshal(out)
+}

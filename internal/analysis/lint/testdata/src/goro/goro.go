@@ -1,0 +1,70 @@
+// Package engine (fixture "goro") exercises the goroutines analyzer: every
+// go statement in a goroutine-scoped package must observe a context or done
+// channel, or carry a //ruby:detached waiver. Functions stay unexported so
+// the ctxflow analyzer's exported-entry-point rules do not apply.
+package engine
+
+import "context"
+
+func worker(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func work(ctx context.Context, n int) int {
+	select {
+	case <-ctx.Done():
+		return 0
+	default:
+		return n
+	}
+}
+
+func leak() {}
+
+// spawnGood starts only cancellable goroutines.
+func spawnGood(ctx context.Context, done chan struct{}, in chan int) {
+	go func() {
+		<-done
+	}()
+	go func() {
+		select {
+		case <-ctx.Done():
+		case v := <-in:
+			_ = v
+		}
+	}()
+	go worker(ctx)
+	go func() {
+		_ = work(ctx, 1)
+	}()
+	go func() {
+		for range in {
+		}
+	}()
+}
+
+// spawnBad starts a goroutine that can never be told to stop.
+func spawnBad() {
+	go leak() // want `go statement is not cancellable`
+}
+
+// spawnDetached documents why its goroutine is allowed to run free.
+func spawnDetached() {
+	//ruby:detached fixture: fire-and-forget metrics flush, bounded by process exit
+	go leak()
+}
+
+// spawnWaived suppresses the finding with an allow waiver instead.
+func spawnWaived() {
+	go leak() //ruby:allow goroutines -- fixture: legacy spawn kept for comparison
+}
+
+// want+2 `unused //ruby:detached waiver`
+//
+//ruby:detached fixture: stale waiver, the go statement below it was removed
+func noSpawn() {}
+
+// want+2 `unused //ruby:allow goroutines waiver`
+//
+//ruby:allow goroutines -- fixture: stale waiver with no go statement in sight
+func alsoNoSpawn() {}

@@ -1,0 +1,115 @@
+// Package lockflow exercises the lockflow analyzer: fields listed in a
+// //ruby:guards annotation must be accessed with the guarding mutex held on
+// every path (CFG must-analysis), caller-holds-lock helpers are declared via
+// //ruby:locked or the ...Locked name suffix, and no annotated mutex may be
+// held across a blocking call.
+package lockflow
+
+import (
+	"sync"
+	"time"
+)
+
+// Table is a guarded shard table.
+type Table struct {
+	//ruby:guards jobs,count
+	mu    sync.Mutex
+	jobs  map[string]int
+	count int
+	done  chan struct{}
+}
+
+// NewTable builds a table; a fresh local is unshared, so no lock is needed.
+func NewTable() *Table {
+	t := &Table{jobs: map[string]int{}}
+	t.count = 1
+	return t
+}
+
+// Get locks on every path; approved.
+func (t *Table) Get(k string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.jobs[k]
+}
+
+// Race reads a guarded field without the lock.
+func (t *Table) Race(k string) int {
+	return t.jobs[k] // want `Table.jobs is guarded by Table.mu`
+}
+
+// Branchy holds the lock on only one of two paths, so the must-analysis
+// rejects the access.
+func (t *Table) Branchy(lock bool) {
+	if lock {
+		t.mu.Lock()
+	}
+	t.count++ // want `Table.count is guarded by Table.mu`
+	if lock {
+		t.mu.Unlock()
+	}
+}
+
+// getLocked documents caller-holds-lock via the name suffix; approved.
+func (t *Table) getLocked(k string) int {
+	return t.jobs[k]
+}
+
+// bump documents caller-holds-lock via the annotation; approved.
+//
+//ruby:locked mu
+func (t *Table) bump(k string) {
+	t.jobs[k]++
+}
+
+// Both drives the helpers with the lock held.
+func (t *Table) Both(k string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.bump(k)
+	return t.getLocked(k)
+}
+
+// Sleepy blocks while holding the annotated mutex.
+func (t *Table) Sleepy() {
+	t.mu.Lock()
+	time.Sleep(time.Millisecond) // want `blocking time.Sleep while holding t.mu`
+	t.mu.Unlock()
+}
+
+// Signal sends on a channel while holding the annotated mutex.
+func (t *Table) Signal() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.done <- struct{}{} // want `blocking channel send while holding t.mu`
+}
+
+// Waived reads without the lock under a justified waiver; the snapshot
+// consumer tolerates staleness.
+func (t *Table) Waived(k string) int {
+	return t.jobs[k] //ruby:allow lockflow -- fixture: racy snapshot read is acceptable here
+}
+
+// want+2 `unused //ruby:allow lockflow waiver`
+//
+//ruby:allow lockflow -- fixture: nothing here to waive
+func clean() {}
+
+// RW exercises sync.RWMutex recognition.
+type RW struct {
+	//ruby:guards cache
+	rmu   sync.RWMutex
+	cache map[int]int
+}
+
+// Read takes the read lock; approved.
+func (r *RW) Read(k int) int {
+	r.rmu.RLock()
+	defer r.rmu.RUnlock()
+	return r.cache[k]
+}
+
+// BadRead skips the lock.
+func (r *RW) BadRead(k int) int {
+	return r.cache[k] // want `RW.cache is guarded by RW.rmu`
+}

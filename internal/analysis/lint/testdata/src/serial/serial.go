@@ -1,0 +1,53 @@
+// Package serial exercises the serialstable analyzer: a type annotated
+// //ruby:serialstable must round-trip deterministically through
+// encoding/json — sorted map keys, no silently-dropped unexported fields,
+// no unencodable channel/func/interface fields.
+package serial
+
+import "strconv"
+
+// Inner is reached transitively from Snapshot.
+type Inner struct {
+	Depth  int `json:"depth"`
+	secret int // want `Snapshot.Nested.secret is unexported`
+}
+
+// Snapshot is the deliberately-broken serializable root.
+//
+//ruby:serialstable
+type Snapshot struct {
+	Name    string          `json:"name"`
+	BadKeys map[float64]int `json:"bad_keys"` // want `map with key type float64`
+	Signal  chan int        `json:"signal"`   // want `Snapshot.Signal is a channel`
+	Hook    func()          `json:"hook"`     // want `Snapshot.Hook is a func value`
+	Any     interface{}     `json:"any"`      // want `Snapshot.Any is an interface`
+	hidden  int             // want `Snapshot.hidden is unexported`
+	Ignored func()          `json:"-"` // excluded from encoding, so tolerated
+	Nested  Inner           `json:"nested"`
+	Stamp   Stamp           `json:"stamp"`
+}
+
+// Stamp encodes itself, so its unexported fields are its own business.
+type Stamp struct {
+	unix int64
+}
+
+// MarshalJSON renders the stamp as a plain integer.
+func (s Stamp) MarshalJSON() ([]byte, error) {
+	return []byte(strconv.FormatInt(s.unix, 10)), nil
+}
+
+// Tolerated waives one interface field with a justification.
+//
+//ruby:serialstable
+type Tolerated struct {
+	Extra interface{} `json:"extra"` //ruby:allow serialstable -- fixture: extra is always a plain string in practice
+}
+
+// want+2 `unused //ruby:allow serialstable waiver`
+//
+//ruby:allow serialstable -- fixture: stale waiver on an already-clean type
+type Clean struct {
+	ID    string         `json:"id"`
+	Count map[string]int `json:"count"`
+}

@@ -33,6 +33,8 @@ type TracePoint struct {
 // Restoring it into a fresh searcher of the same algorithm over the same
 // (workload, architecture, mapspace, options) continues the run as if it had
 // never stopped.
+//
+//ruby:serialstable
 type SearchState struct {
 	// Algo names the searcher that wrote the snapshot ("random",
 	// "hillclimb", "exhaustive", "guided"); Restore rejects a mismatch.
@@ -103,6 +105,8 @@ type LayerState struct {
 // SuiteState is the per-layer progress of a suite run (or of several: keys
 // include architecture, strategy and search budget, so one file can back a
 // whole experiment). Completed layers are skipped on resume.
+//
+//ruby:serialstable
 type SuiteState struct {
 	Layers map[string]*LayerState `json:"layers"`
 }

@@ -77,7 +77,9 @@ type Merged struct {
 // duplicate is dropped) or it was not (the re-queued run reports the
 // identical values). See TestCompleteIdempotentAfterRequeue.
 type Coordinator struct {
-	mu     sync.Mutex
+	//ruby:guards shards,requeued,leaseExpired,completed,evals
+	mu sync.Mutex
+	// plan, leaseTTL and now are immutable after construction; unguarded.
 	plan   *Plan
 	shards []*shardState
 
@@ -326,6 +328,8 @@ func compactJSON(raw json.RawMessage) json.RawMessage {
 }
 
 // state returns the shard's state or nil for an unknown index; c.mu held.
+//
+//ruby:locked mu
 func (c *Coordinator) state(index int) *shardState {
 	if index < 0 || index >= len(c.shards) {
 		return nil

@@ -47,6 +47,7 @@ type Fleet struct {
 
 	// mu guards the live worker table, which the run loop mutates and the
 	// ruby_fleet_workers gauge closure reads at exposition time.
+	//ruby:guards workers
 	mu      sync.Mutex
 	workers []*fleetWorker
 }

@@ -23,6 +23,8 @@ type ShardSnapshot struct {
 // kind "shards"): the plan, the problem spec it runs over, and per-shard
 // progress. rubycoord -resume reloads it and continues with only the
 // unfinished shards.
+//
+//ruby:serialstable
 type PlanState struct {
 	Plan  *Plan           `json:"plan"`
 	Spec  *JobSpec        `json:"spec,omitempty"`
@@ -52,6 +54,8 @@ func (c *Coordinator) State() *PlanState {
 // RestoreCoordinator rebuilds a coordinator from a persisted state.
 // Finished shards keep their results; everything else starts pending with
 // its held checkpoint. leaseTTL and now follow NewCoordinator's defaults.
+//
+//ruby:allow lockflow -- the coordinator is not yet shared; no goroutine can see it before return
 func RestoreCoordinator(st *PlanState, leaseTTL time.Duration, now func() time.Time) (*Coordinator, error) {
 	if st.Plan == nil {
 		return nil, fmt.Errorf("dist: plan state lacks a plan")

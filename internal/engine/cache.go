@@ -20,6 +20,7 @@ type memoCache struct {
 const cacheShards = 16
 
 type cacheShard struct {
+	//ruby:guards cur,prev
 	mu        sync.Mutex
 	cur, prev map[string]nest.Cost
 	cap       int // max entries per generation in this shard
@@ -71,6 +72,8 @@ func (c *memoCache) put(key string, v nest.Cost) {
 
 // insert adds to the current generation, rotating when full. Callers hold
 // the shard lock.
+//
+//ruby:locked mu
 func (s *cacheShard) insert(key string, v nest.Cost) {
 	s.cur[key] = v
 	if len(s.cur) >= s.cap {

@@ -32,6 +32,7 @@ type Instruments struct {
 	// winsMu guards wins, the per-member portfolio win counts. A win is
 	// recorded once per completed portfolio search, so a mutex (not an
 	// atomic) is fine here.
+	//ruby:guards wins
 	winsMu sync.Mutex
 	wins   map[string]int64
 }

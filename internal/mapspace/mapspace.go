@@ -149,6 +149,7 @@ type Space struct {
 
 	// divCache memoizes factor.Divisors per dimension residual: random
 	// sampling hits the same few residuals millions of times.
+	//ruby:guards divCache
 	divMu    sync.RWMutex
 	divCache map[int][]int
 }

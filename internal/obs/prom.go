@@ -35,6 +35,7 @@ type metricEntry struct {
 // pull-based: counters and gauges are closures read at exposition time,
 // histograms are read via Snapshot. Registration order is exposition order.
 type Registry struct {
+	//ruby:guards metrics,names
 	mu      sync.Mutex
 	metrics []metricEntry
 	names   map[string]bool

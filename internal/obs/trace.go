@@ -36,6 +36,7 @@ type Recorder struct {
 	ids   atomic.Uint64
 	epoch time.Time
 
+	//ruby:guards spans,next,dropped
 	mu      sync.Mutex
 	spans   []SpanRecord
 	next    int // overwrite cursor, meaningful once the ring is full

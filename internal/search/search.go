@@ -138,6 +138,7 @@ func finishSearch(met engine.Metrics, opt Options, res *Result, start time.Time)
 
 // shared is the cross-worker search state.
 type shared struct {
+	//ruby:guards best,bestCost,trace,valid
 	mu        sync.Mutex
 	best      *mapping.Mapping
 	bestCost  nest.Cost

@@ -104,6 +104,8 @@ func (s *Service) Registry() *obs.Registry { return s.svc.reg }
 func (s *Service) Shutdown(ctx context.Context) error { return s.jobs.shutdown(ctx) }
 
 // jobRecord is a job's persisted state (checkpoint kind "job").
+//
+//ruby:serialstable
 type jobRecord struct {
 	ID          string        `json:"id"`
 	Status      string        `json:"status"`
@@ -121,6 +123,7 @@ type jobManager struct {
 	dir string // "" = in-memory only
 	svc *service
 
+	//ruby:guards jobs,nextID,draining
 	mu     sync.Mutex
 	jobs   map[string]*jobRecord
 	nextID int
@@ -246,6 +249,7 @@ func (jm *jobManager) submit(req searchRequest) (*jobRecord, error) {
 func (jm *jobManager) startLocked(rec *jobRecord) {
 	jm.wg.Add(1)
 	id := rec.ID
+	//ruby:detached run derives its context from jm.baseCtx internally; jm.cancel reaches it
 	go func() {
 		defer jm.wg.Done()
 		jm.run(id)
@@ -370,6 +374,7 @@ func (jm *jobManager) shutdown(ctx context.Context) error {
 	jm.mu.Unlock()
 	jm.cancel()
 	done := make(chan struct{})
+	//ruby:detached wg.Wait watchdog; bounded by the ctx select below and jm.cancel above
 	go func() {
 		jm.wg.Wait()
 		close(done)

@@ -29,8 +29,9 @@ import (
 // search rather than silently trusting a stale file.
 type SuiteCheckpoint struct {
 	path string
-	mu   sync.Mutex
-	st   checkpoint.SuiteState
+	//ruby:guards st
+	mu sync.Mutex
+	st checkpoint.SuiteState
 }
 
 // OpenSuiteCheckpoint loads the suite checkpoint at path, or starts a fresh

@@ -1,12 +1,14 @@
 // Command rubylint runs the project's invariant analyzers (determinism,
-// hotpath, ctxflow, atomics — see internal/analysis/lint) over the module
-// and exits nonzero when any finding survives the in-source
-// //ruby:allow waivers. `make lint` (part of `make check`) runs it over
-// ./...; see tools/README.md for the analyzer and annotation reference.
+// hotpath, ctxflow, atomics, lockflow, goroutines, serialstable, apisurface
+// — see internal/analysis/lint) over the module and exits nonzero when any
+// finding survives the in-source //ruby:allow waivers. `make lint` (part of
+// `make check`) runs it over ./...; see tools/README.md for the analyzer
+// and annotation reference.
 //
 // Usage:
 //
-//	go run ./tools/rubylint [-C dir] [-run name,name] [-json] [patterns...]
+//	go run ./tools/rubylint [-C dir] [-run name,name] [-json|-sarif] \
+//	    [-fix] [-fix-surface] [patterns...]
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"ruby/internal/analysis/lint"
 )
@@ -22,6 +25,9 @@ func main() {
 	chdir := flag.String("C", ".", "module directory to analyze")
 	run := flag.String("run", "", "comma-separated analyzer subset (default: all)")
 	asJSON := flag.Bool("json", false, "emit findings as JSON")
+	asSARIF := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0 (for CI annotation)")
+	fix := flag.Bool("fix", false, "apply machine-applicable suggested fixes, then report what remains")
+	fixSurface := flag.Bool("fix-surface", false, "regenerate docs/api_surface.txt from the loaded packages and exit")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	flag.Parse()
 
@@ -45,18 +51,60 @@ func main() {
 		fail(err)
 	}
 
+	if *fixSurface {
+		if len(pkgs) == 0 {
+			fail(fmt.Errorf("no packages loaded"))
+		}
+		path := filepath.Join(pkgs[0].Root, "docs", "api_surface.txt")
+		if err := lint.WriteSurface(pkgs, path); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "rubylint: wrote %s\n", path)
+		return
+	}
+
 	// Unused waivers are only meaningful over the full suite: a waiver for
 	// an analyzer that is not running always looks unused.
 	cfg := lint.Config{ReportUnusedWaivers: *run == ""}
 	diags := lint.Run(pkgs, analyzers, cfg)
 
-	if *asJSON {
+	if *fix {
+		changed, err := lint.ApplyFixes(diags)
+		if err != nil {
+			fail(err)
+		}
+		for _, f := range changed {
+			fmt.Fprintf(os.Stderr, "rubylint: fixed %s\n", f)
+		}
+		if len(changed) > 0 {
+			// Re-run on the rewritten tree so the report reflects what is
+			// actually left (and fixes that cascade are caught next run).
+			pkgs, err = lint.LoadRepo(*chdir, patterns...)
+			if err != nil {
+				fail(err)
+			}
+			diags = lint.Run(pkgs, analyzers, cfg)
+		}
+	}
+
+	switch {
+	case *asSARIF:
+		root, err := filepath.Abs(*chdir)
+		if err != nil {
+			root = *chdir
+		}
+		out, err := lint.SARIF(diags, root)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(string(out))
+	case *asJSON:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(diags); err != nil {
 			fail(err)
 		}
-	} else {
+	default:
 		for _, d := range diags {
 			fmt.Println(d)
 		}
