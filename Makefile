@@ -32,7 +32,7 @@ race-dist:
 # guided-mapper convergence), persisted as BENCH_eval.json and appended as a
 # dated record to BENCH_history.jsonl to track the perf trajectory across
 # PRs. `bench-all` runs the full suite once.
-BENCH_PATTERN = BenchmarkEvaluate|BenchmarkEngine|BenchmarkSample|BenchmarkNeighbor|BenchmarkAttribute|BenchmarkGuidedConverge
+BENCH_PATTERN = BenchmarkEvaluate|BenchmarkEngine|BenchmarkSample|BenchmarkNeighbor|BenchmarkAttribute|BenchmarkGuidedConverge|BenchmarkFused
 bench:
 	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchtime 2s . \
 		| $(GO) run ./tools/benchjson -o BENCH_eval.json -history BENCH_history.jsonl
@@ -71,6 +71,7 @@ fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzConfigParse -fuzztime $(FUZZTIME) ./internal/config
 	$(GO) test -run xxx -fuzz FuzzMoveDelta -fuzztime $(FUZZTIME) ./internal/nest
 	$(GO) test -run xxx -fuzz FuzzAllowDirective -fuzztime $(FUZZTIME) ./internal/analysis/lint
+	$(GO) test -run xxx -fuzz FuzzNetworkEdges -fuzztime $(FUZZTIME) ./internal/workload
 
 # Documentation hygiene: every relative markdown link must resolve, and the
 # source must be gofmt-clean and vet-clean (doc drift usually rides along

@@ -214,6 +214,52 @@ func BenchmarkEvaluateCompiled(b *testing.B) {
 	}
 }
 
+// BenchmarkFusedEvaluate measures the fused-pair evaluation pipeline on a
+// ResNet-50 bottleneck edge (1x1 reduce feeding the 3x3): two compiled
+// per-layer evaluations plus the fusion validity checks and the DRAM-elision
+// tail. The per-layer kernel underneath is the same EvaluateCompiled path the
+// bench gate holds to zero allocations; the fused wrapper adds two detached
+// result Costs per call.
+func BenchmarkFusedEvaluate(b *testing.B) {
+	b.ReportAllocs()
+	net := workloads.ResNet50Network()
+	bind, err := net.Bind(0) // res2a_branch2a -> res2x_branch2b
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := arch.EyerissLike(14, 12, 128)
+	fe, err := nest.NewFusedEvaluator(bind, a, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	csp := mapspace.New(bind.Cons.Work, a, mapspace.RubyS, mapspace.Constraints{})
+	rng := rand.New(rand.NewSource(2))
+	var pm, cm *mapping.Mapping
+	for i := 0; i < 50000 && pm == nil; i++ {
+		c := csp.Sample(rng)
+		if !fe.Consumer().Evaluate(c).Valid {
+			continue
+		}
+		ft, err := mapspace.FuseTileOf(bind, a, c, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		psp := mapspace.New(bind.Prod.Work, a, mapspace.RubyS, mapspace.Constraints{
+			FuseTile: ft, FuseLevel: 1})
+		p := psp.Sample(rng)
+		if fe.Evaluate(p, c).Valid {
+			pm, cm = p, c
+		}
+	}
+	if pm == nil {
+		b.Fatal("no fused-valid pair sampled")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fe.Evaluate(pm, cm)
+	}
+}
+
 // BenchmarkSampleEvaluatePipeline measures the full steady-state search
 // inner loop — in-place sampling, lowering, and compiled evaluation with a
 // reused mapping and scratch.

@@ -6,7 +6,13 @@
 //	rubymap -workload res4x_branch2c -mapspace ruby-s
 //	rubymap -conv n=1,m=96,c=48,p=27,q=27,r=5,s=5 -arch eyeriss:14x12:128
 //	rubymap -matmul 5124x700x2048 -arch simba:15:4x4 -mapspace pfm
+//	rubymap -network deepbench-stacks -evals 20000
 //	rubymap -list
+//
+// -network switches to whole-graph mode: every node of the named network
+// graph is searched per-layer, then fusable producer→consumer segments are
+// searched across the graph's edges and kept when they strictly lower the
+// network EDP (rubysuite -fuse runs the same search across mapspaces).
 //
 // Long searches are interruptible: with -checkpoint DIR the search state is
 // snapshotted periodically and on SIGINT/SIGTERM, and -resume continues a
@@ -31,6 +37,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"ruby/internal/arch"
 	"ruby/internal/config"
@@ -45,6 +52,7 @@ import (
 	"ruby/internal/profile"
 	"ruby/internal/search"
 	"ruby/internal/sim"
+	"ruby/internal/sweep"
 	"ruby/internal/workload"
 	"ruby/internal/workloads"
 )
@@ -52,6 +60,7 @@ import (
 func main() {
 	var (
 		wlName     = flag.String("workload", "", "named layer from the built-in suites (see -list)")
+		netName    = flag.String("network", "", "fusion-aware search over a named network graph (e.g. resnet50, deepbench-stacks) instead of one workload")
 		convStr    = flag.String("conv", "", "ad-hoc convolution, e.g. n=1,m=64,c=64,p=56,q=56,r=3,s=3[,sh=1,sw=1]")
 		mmStr      = flag.String("matmul", "", "ad-hoc GEMM MxNxK, e.g. 1024x16x512")
 		wlFile     = flag.String("workload-file", "", "JSON workload file (see configs/)")
@@ -95,6 +104,12 @@ func main() {
 		fatal(err0)
 	}
 	defer stopProf()
+
+	if *netName != "" {
+		runNetwork(*netName, *archStr, *archFile, *kind, *objFlag,
+			*seed, *evals, *threads, *timeout)
+		return
+	}
 
 	var w *workload.Workload
 	var err error
@@ -233,6 +248,78 @@ func main() {
 	}
 	reportAndExit(res, w, a, k, sp, ev, lib, libKey,
 		*savePath, *tree, *verbose, *simulate)
+}
+
+// runNetwork searches a named network graph end to end: a per-layer baseline
+// over every node, then the fusion-aware segment search, reporting the fused
+// segments kept and the network EDP against the per-layer baseline.
+func runNetwork(name, archStr, archFile, kindStr, objFlag string,
+	seed, evals int64, threads int, timeout time.Duration) {
+
+	net, ok := workloads.Networks()[name]
+	if !ok {
+		layers, found := workloads.Suites()[name]
+		if !found {
+			fatal(fmt.Errorf("unknown network %q (rubysuite -list names them)", name))
+		}
+		net = workloads.NetworkFromLayers(name, layers)
+	}
+	var a *arch.Arch
+	var err error
+	if archFile != "" {
+		a, err = config.LoadArch(archFile)
+	} else {
+		a, err = resolveArch(archStr)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	k, err := resolveKind(kindStr)
+	if err != nil {
+		fatal(err)
+	}
+	obj, err := resolveObjective(objFlag)
+	if err != nil {
+		fatal(err)
+	}
+	consFn := sweep.ConstraintFn(mapspace.EyerissRowStationary)
+	if strings.HasPrefix(archStr, "simba") {
+		consFn = mapspace.SimbaDataflow
+	} else if strings.HasPrefix(archStr, "toy") || archFile != "" {
+		consFn = func(*workload.Workload) mapspace.Constraints { return mapspace.Constraints{} }
+	}
+
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	st := sweep.Strategy{Name: k.String(), Kind: k}
+	so := sweep.SuiteOptions{Search: search.Options{
+		Seed: seed, Threads: threads, MaxEvaluations: evals, Objective: obj,
+	}}
+	nr, err := sweep.SearchNetwork(ctx, net, a, st, consFn, so, true)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("network:  %s (%d nodes, %d edges)\n", net.Name, len(net.Nodes), len(net.Edges))
+	fmt.Printf("arch:     %s (%d lanes)\n", a.Name, a.TotalLanes())
+	fmt.Printf("mapspace: %s\n\n", k)
+	for _, lr := range nr.Baseline.Layers {
+		fmt.Printf("  %-24s x%-3d EDP %.4g\n", lr.Layer.Name, lr.Layer.Repeat, lr.Cost.EDP)
+	}
+	fmt.Printf("\nfused segments (%d of %d edges kept):\n", len(nr.Segments), len(net.Edges))
+	for _, sg := range nr.Segments {
+		fmt.Printf("  %s -> %s  x%d  elides %.0f DRAM words, saves %.3g pJ\n",
+			sg.From, sg.To, sg.Repeat, sg.Fused.ElidedWords, sg.GainPJ())
+	}
+	fmt.Printf("\nper-layer EDP: %.6g\nfused EDP:     %.6g (%.1f%% better)\n",
+		nr.Baseline.EDP, nr.EDP, 100*(nr.Baseline.EDP-nr.EDP)/nr.Baseline.EDP)
 }
 
 // runOneShot dispatches the non-checkpointable searchers (and the legacy

@@ -7,7 +7,12 @@
 //	rubysuite -suite resnet50
 //	rubysuite -suite mobilenetv2 -mapspaces pfm,ruby-s -evals 20000
 //	rubysuite -suite deepbench -arch eyeriss:16x16:128
+//	rubysuite -suite resnet50 -fuse
 //	rubysuite -list
+//
+// Suites resolve to network graphs (workloads.Networks) when one exists, so
+// -fuse can search fused producer→consumer segments across the network's
+// edges; suites without a graph run per-layer over an edge-free network.
 //
 // With -checkpoint DIR every finished layer is recorded on disk, keyed by
 // its full search configuration; re-running the same command (after a crash,
@@ -55,15 +60,21 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "wall-time budget for the whole run; on expiry the run aborts (0 = none)")
 		parallel = flag.Int("parallel", 0, "layers searched concurrently (0 = auto, 1 = serial)")
 		cacheN   = flag.Int("cache", 0, "per-layer evaluation memo-cache entries (0 = disabled)")
+		fuse     = flag.Bool("fuse", false, "fusion-aware network search: keep fused producer->consumer segments that strictly lower network EDP")
 		list     = flag.Bool("list", false, "list suites and exit")
 	)
 	flag.Parse()
 
 	if *list {
+		nets := workloads.Networks()
 		var names []string
 		for name, layers := range workloads.Suites() {
-			names = append(names, fmt.Sprintf("%-14s %2d unique layers, %d MACs",
-				name, len(layers), workloads.TotalMACs(layers)))
+			edges := 0
+			if net, ok := nets[name]; ok {
+				edges = len(net.Edges)
+			}
+			names = append(names, fmt.Sprintf("%-17s %2d unique layers, %2d fusable edges, %d MACs",
+				name, len(layers), edges, workloads.TotalMACs(layers)))
 		}
 		sort.Strings(names)
 		for _, n := range names {
@@ -72,13 +83,15 @@ func main() {
 		return
 	}
 
-	layers, ok := workloads.Suites()[*suite]
-	if !ok {
-		fatal(fmt.Errorf("unknown suite %q (try -list)", *suite))
+	net, layers, err := resolveSuite(*suite)
+	if err != nil {
+		fatal(err)
+	}
+	if *fuse && len(net.Edges) == 0 {
+		fmt.Fprintf(os.Stderr, "rubysuite: suite %q has no fusable edges; -fuse will match the per-layer baseline\n", *suite)
 	}
 
 	var a *arch.Arch
-	var err error
 	if *archFile != "" {
 		a, err = config.LoadArch(*archFile)
 	} else {
@@ -146,6 +159,7 @@ func main() {
 		Parallel:   *parallel,
 	}
 	var results []*sweep.SuiteResult
+	var fused []*sweep.NetworkResult
 	var names []string
 	for _, ks := range strings.Split(*kinds, ",") {
 		kind, err := parseKind(ks)
@@ -153,7 +167,17 @@ func main() {
 			fatal(err)
 		}
 		st := sweep.Strategy{Name: kind.String(), Kind: kind}
-		sr, err := sweep.RunSuite(ctx, layers, a, st, consFn, so)
+		var sr *sweep.SuiteResult
+		if *fuse {
+			nr, nerr := sweep.SearchNetwork(ctx, net, a, st, consFn, so, true)
+			err = nerr
+			if nr != nil {
+				sr = nr.Baseline
+				fused = append(fused, nr)
+			}
+		} else {
+			sr, err = sweep.RunSuite(ctx, net, a, st, consFn, so)
+		}
 		if err != nil {
 			if ctx.Err() != nil && cp != nil {
 				fmt.Fprintf(os.Stderr, "rubysuite: interrupted; %d layer searches checkpointed in %s — rerun the same command to continue\n",
@@ -198,6 +222,29 @@ func main() {
 			names[len(names)-1], names[0],
 			100*stats.Improvement(results[0].EDP, results[len(results)-1].EDP))
 	}
+
+	for i, nr := range fused {
+		fmt.Printf("\n%s fused segments (%d of %d edges kept):\n", names[i], len(nr.Segments), len(net.Edges))
+		for _, sg := range nr.Segments {
+			fmt.Printf("  %s -> %s  x%d  elides %.0f DRAM words, saves %.3g pJ\n",
+				sg.From, sg.To, sg.Repeat, sg.Fused.ElidedWords, sg.GainPJ())
+		}
+		fmt.Printf("  network EDP %.6g vs per-layer %.6g (%.1f%% better)\n",
+			nr.EDP, nr.Baseline.EDP, 100*stats.Improvement(nr.Baseline.EDP, nr.EDP))
+	}
+}
+
+// resolveSuite finds the named suite as a network graph when one exists,
+// falling back to an edge-free network over the plain layer list.
+func resolveSuite(name string) (*workload.Network, []workloads.Layer, error) {
+	if net, ok := workloads.Networks()[name]; ok {
+		return net, workloads.LayersOf(net), nil
+	}
+	layers, ok := workloads.Suites()[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown suite %q (try -list)", name)
+	}
+	return workloads.NetworkFromLayers(name, layers), layers, nil
 }
 
 func parseArchSpec(s string) (*arch.Arch, error) {

@@ -10,18 +10,21 @@ import (
 )
 
 // surfacePackages is the canonical exported API whose shape is pinned by
-// docs/api_surface.txt: the root package plus the engine-room packages PR 5
-// consolidated. Changing any of their exported symbols requires
+// docs/api_surface.txt: the root package, the engine-room packages PR 5
+// consolidated, and the network-graph workload packages. Changing any of
+// their exported symbols requires
 // regenerating the golden with `rubylint -fix-surface`, making breaking
 // changes a deliberate, reviewable diff.
 var surfacePackages = map[string]bool{
-	"ruby":                   true,
-	"ruby/internal/search":   true,
-	"ruby/internal/sweep":    true,
-	"ruby/internal/engine":   true,
-	"ruby/internal/nest":     true,
-	"ruby/internal/mapspace": true,
-	"ruby/internal/dist":     true,
+	"ruby":                    true,
+	"ruby/internal/search":    true,
+	"ruby/internal/sweep":     true,
+	"ruby/internal/engine":    true,
+	"ruby/internal/nest":      true,
+	"ruby/internal/mapspace":  true,
+	"ruby/internal/dist":      true,
+	"ruby/internal/workload":  true,
+	"ruby/internal/workloads": true,
 }
 
 // surfaceGoldenRel is the golden's path relative to the load root.

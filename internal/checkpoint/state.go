@@ -102,11 +102,36 @@ type LayerState struct {
 	PadBounds map[string]int `json:"pad_bounds,omitempty"`
 }
 
+// SegmentState is one fused-segment search outcome inside a SuiteState: the
+// producer and consumer mappings the fused evaluation won with and its
+// combined metrics, or — when Fused is false — a completed search that found
+// no pair beating the per-layer baseline, so resumed runs skip the edge
+// instead of re-searching it.
+type SegmentState struct {
+	Done  bool `json:"done"`
+	Fused bool `json:"fused,omitempty"`
+	// Producer and Consumer are the winning mappings (mapping JSON; empty
+	// when Fused is false).
+	Producer json.RawMessage `json:"producer,omitempty"`
+	Consumer json.RawMessage `json:"consumer,omitempty"`
+	// Cycles, EnergyPJ, EDP and ElidedWords mirror the recorded
+	// nest.FusedCost; the resuming run re-evaluates the mappings and rejects
+	// the entry unless they reproduce bit-for-bit.
+	Cycles      float64 `json:"cycles,omitempty"`
+	EnergyPJ    float64 `json:"energy_pj,omitempty"`
+	EDP         float64 `json:"edp,omitempty"`
+	ElidedWords float64 `json:"elided_words,omitempty"`
+	Evaluated   int64   `json:"evaluated,omitempty"`
+}
+
 // SuiteState is the per-layer progress of a suite run (or of several: keys
 // include architecture, strategy and search budget, so one file can back a
-// whole experiment). Completed layers are skipped on resume.
+// whole experiment). Completed layers are skipped on resume. Segments holds
+// fused-segment outcomes of network searches, keyed like layers plus the
+// edge's producer->consumer pair.
 //
 //ruby:serialstable
 type SuiteState struct {
-	Layers map[string]*LayerState `json:"layers"`
+	Layers   map[string]*LayerState   `json:"layers"`
+	Segments map[string]*SegmentState `json:"segments,omitempty"`
 }

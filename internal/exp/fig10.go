@@ -22,11 +22,11 @@ func layerComparison(ctx context.Context, name string, layers []workloads.Layer,
 
 	cfg = cfg.withDefaults()
 	so := cfg.suiteOptions()
-	pfm, err := sweep.RunSuite(ctx, layers, a, sweep.Strategy{Name: "PFM", Kind: mapspace.PFM}, consFn, so)
+	pfm, err := sweep.RunSuiteLayers(ctx, layers, a, sweep.Strategy{Name: "PFM", Kind: mapspace.PFM}, consFn, so)
 	if err != nil {
 		return nil, err
 	}
-	rubyS, err := sweep.RunSuite(ctx, layers, a, sweep.Strategy{Name: "Ruby-S", Kind: mapspace.RubyS}, consFn, so)
+	rubyS, err := sweep.RunSuiteLayers(ctx, layers, a, sweep.Strategy{Name: "Ruby-S", Kind: mapspace.RubyS}, consFn, so)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,189 @@
+package mapspace
+
+import (
+	"math/rand"
+	"testing"
+
+	"ruby/internal/arch"
+	"ruby/internal/factor"
+	"ruby/internal/workload"
+)
+
+// fusedToySpace constrains the toy vector's X to advance 20 at the GLB
+// (slots: T(DRAM)=0, T(GLB)=1, SX(GLB)=2; fuse slot 1).
+func fusedToySpace(kind Kind, advance int) *Space {
+	w := workload.MustVector1D("toy", 100)
+	a := arch.ToyGLB(6, 512)
+	return New(w, a, kind, Constraints{
+		FixedPerms: true,
+		FuseTile:   map[string]int{"X": advance},
+		FuseLevel:  1,
+	})
+}
+
+// fusedExtent returns the chain's tile extent at the space's fuse slot
+// (outermost-first chain layout).
+func fusedExtent(s *Space, fs []int) int {
+	e := 1
+	for i := s.fuseSlot; i < len(s.slots); i++ {
+		e *= fs[i]
+	}
+	return e
+}
+
+func allImperfect(n int) []factor.ChainSlot {
+	out := make([]factor.ChainSlot, n)
+	for i := range out {
+		out[i] = factor.ChainSlot{Kind: factor.Imperfect}
+	}
+	return out
+}
+
+// Every enumerated fused chain must have an extent dividing the advance,
+// built from a perfect inner sub-chain, and still be a valid chain over the
+// full bound; the count must match the enumeration exactly and stay below
+// the unfused count.
+func TestFusedEnumerationMatchesCount(t *testing.T) {
+	for _, kind := range Kinds {
+		s := fusedToySpace(kind, 20)
+		free := toySpace(kind)
+		bound := s.Work.Bound("X")
+		n := 0
+		rev := make([]int, len(s.slots))
+		s.EnumerateChains("X", func(fs []int) bool {
+			n++
+			e := fusedExtent(s, fs)
+			if 20%e != 0 {
+				t.Fatalf("%v: extent %d of %v does not divide advance 20", kind, e, fs)
+			}
+			if kind == PFM && bound%e != 0 {
+				t.Fatalf("%v: extent %d of %v does not divide bound %d", kind, e, fs, bound)
+			}
+			// Inner sub-chain factors e perfectly.
+			r := e
+			for i := len(fs) - 1; i >= s.fuseSlot; i-- {
+				if r%fs[i] != 0 {
+					t.Fatalf("%v: inner factor %d at slot %d imperfect for extent %d (%v)", kind, fs[i], i, e, fs)
+				}
+				r /= fs[i]
+			}
+			if r != 1 {
+				t.Fatalf("%v: inner product misses extent %d (%v)", kind, e, fs)
+			}
+			// The full chain covers the bound under ceiling semantics.
+			for i, f := range fs {
+				rev[len(fs)-1-i] = f
+			}
+			if err := factor.ValidateChain(bound, allImperfect(len(fs)), rev); err != nil {
+				t.Fatalf("%v: chain %v invalid: %v", kind, fs, err)
+			}
+			return true
+		})
+		if got := s.ChainCount("X"); got != uint64(n) {
+			t.Errorf("%v: ChainCount = %d, enumeration yields %d", kind, got, n)
+		}
+		if free.ChainCount("X") <= uint64(n) {
+			t.Errorf("%v: fused count %d not below unfused %d", kind, n, free.ChainCount("X"))
+		}
+	}
+}
+
+// Sampled mappings and mutator proposals must stay inside the fused space.
+func TestFusedSampleAndMutateHonorConstraint(t *testing.T) {
+	for _, kind := range Kinds {
+		s := fusedToySpace(kind, 20)
+		bound := s.Work.Bound("X")
+		rng := rand.New(rand.NewSource(7))
+		sm := s.NewSampler()
+		mu := s.NewMutator()
+		m := s.Sample(rng)
+		check := func(ctx string, fs []int) {
+			e := fusedExtent(s, fs)
+			if 20%e != 0 {
+				t.Fatalf("%v %s: extent %d of %v does not divide advance", kind, ctx, e, fs)
+			}
+			if kind == PFM && bound%e != 0 {
+				t.Fatalf("%v %s: extent %d does not divide bound", kind, ctx, e)
+			}
+		}
+		for i := 0; i < 200; i++ {
+			sm.SampleInto(rng, m)
+			check("sample", m.Factors["X"])
+			mv := mu.ProposeChainID(rng, 0)
+			mv.Apply(m)
+			check("mutate", m.Factors["X"])
+		}
+	}
+}
+
+// The PFM fused space must be a subset of the Ruby fused space: advance 24
+// has divisors (3, 6, 8, 12, 24) that do not divide the bound 100, so PFM
+// admits strictly fewer extents.
+func TestFusedKindOrdering(t *testing.T) {
+	pfm := fusedToySpace(PFM, 24).ChainCount("X")
+	ruby := fusedToySpace(Ruby, 24).ChainCount("X")
+	if pfm >= ruby {
+		t.Errorf("PFM fused count %d should stay below Ruby fused count %d", pfm, ruby)
+	}
+	// Advance 1 pins the fused tile to a single element: the only freedom
+	// left is the outer region.
+	one := fusedToySpace(Ruby, 1)
+	one.EnumerateChains("X", func(fs []int) bool {
+		if e := fusedExtent(one, fs); e != 1 {
+			t.Fatalf("advance 1 admitted extent %d (%v)", e, fs)
+		}
+		return true
+	})
+}
+
+// FuseTileOf must derive producer advances of stride x consumer tile extent.
+func TestFuseTileOf(t *testing.T) {
+	prod := workload.MustConv2D(workload.Conv2DParams{
+		Name: "p", N: 1, M: 8, C: 4, P: 16, Q: 16, R: 1, S: 1})
+	cons := workload.MustConv2D(workload.Conv2DParams{
+		Name: "c", N: 1, M: 4, C: 8, P: 8, Q: 8, R: 3, S: 3,
+		StrideH: 2, StrideW: 2})
+	net := workload.MustNetwork("t",
+		[]workload.Node{{Name: "p", Work: prod}, {Name: "c", Work: cons}},
+		[]workload.Edge{{From: "p", To: "c", Dims: map[string]string{
+			"N": "N", "M": "C", "P": "P", "Q": "Q"}}})
+	b, err := net.Bind(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arch.ToyGLB(6, 512)
+	cs := New(cons, a, Ruby, Constraints{FixedPerms: true})
+	rng := rand.New(rand.NewSource(3))
+	cm := cs.Sample(rng)
+	dn, err := cm.Dense(cons, a, cs.Slots())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, err := FuseTileOf(b, a, cm, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si := cs.FuseSlot()
+	if si >= 0 {
+		t.Fatal("unfused consumer space should have no fuse slot")
+	}
+	for _, pr := range b.Pairs {
+		want := pr.Stride * dn.CumAt(int(pr.ConsID), 1) // slot 1 = GLB temporal
+		if bp := prod.Bound(pr.ProdDim); want > bp {
+			want = bp
+		}
+		if ft[pr.ProdDim] != want {
+			t.Errorf("advance[%s] = %d, want %d", pr.ProdDim, ft[pr.ProdDim], want)
+		}
+	}
+	// The derived constraint must produce a non-empty producer space whose
+	// samples lower cleanly.
+	ps := New(prod, a, RubyS, Constraints{FixedPerms: true, FuseTile: ft, FuseLevel: 1})
+	if ps.TotalChainCount() == 0 {
+		t.Fatal("fused producer space is empty")
+	}
+	pm := ps.Sample(rng)
+	if _, err := pm.Dense(prod, a, ps.Slots()); err != nil {
+		t.Fatalf("fused sample does not lower: %v", err)
+	}
+}

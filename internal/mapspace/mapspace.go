@@ -93,6 +93,25 @@ type Constraints struct {
 	// fixes bypass per architecture (weights skip the Eyeriss GLB); this
 	// option explores it.
 	ExploreBypass bool
+
+	// FuseTile constrains the listed dimensions for fused multi-layer
+	// mapping: FuseTile[d] is the consumer's input-tile advance along d, and
+	// every mapping in the space gives d a tile extent at FuseLevel that
+	// divides it (a divisor-compatible refinement of the consumer's tile
+	// chain), with the sub-FuseLevel chain factoring that extent perfectly so
+	// fused tile boundaries stay aligned. Outside FuseLevel the dimension
+	// tiles by the kind's usual rules over the ceil-divided residual — which
+	// is where imperfect factorization pays off, since advances derived from
+	// a consumer rarely divide the producer's bound. Dimensions not listed
+	// are unconstrained. See FuseTileOf for deriving advances from an edge
+	// binding.
+	FuseTile map[string]int
+
+	// FuseLevel is the architecture level whose tile the FuseTile constraint
+	// pins — the shared on-chip level holding the fused intermediate. Values
+	// < 1 default to level 1 (the first on-chip level). Ignored without
+	// FuseTile.
+	FuseLevel int
 }
 
 // required reports whether dim must take a spatial factor on the axis.
@@ -147,6 +166,10 @@ type Space struct {
 	slots    []mapping.Slot
 	dimNames []string
 
+	// fuseSlot is the slot index of FuseLevel's temporal slot when the space
+	// is fused (Cons.FuseTile non-empty); -1 otherwise.
+	fuseSlot int
+
 	// divCache memoizes factor.Divisors per dimension residual: random
 	// sampling hits the same few residuals millions of times.
 	//ruby:guards divCache
@@ -156,12 +179,24 @@ type Space struct {
 
 // New builds a Space.
 func New(w *workload.Workload, a *arch.Arch, kind Kind, cons Constraints) *Space {
-	return &Space{
+	s := &Space{
 		Work: w, Arch: a, Kind: kind, Cons: cons,
 		slots:    mapping.Slots(a),
 		dimNames: w.DimNames(),
 		divCache: make(map[int][]int),
+		fuseSlot: -1,
 	}
+	if len(cons.FuseTile) > 0 {
+		lvl := cons.FuseLevel
+		if lvl < 1 {
+			lvl = 1
+		}
+		if lvl >= len(a.Levels) {
+			lvl = len(a.Levels) - 1
+		}
+		s.fuseSlot = mapping.FirstSlotOfLevel(s.slots, lvl)
+	}
+	return s
 }
 
 // divisors returns the cached sorted divisor list of n.
@@ -249,9 +284,23 @@ func (s *Space) chainSlots(dim string) []factor.ChainSlot {
 
 // ChainCount returns the number of tiling-factor chains available to the
 // named dimension (permutations and bypass choices excluded). This is the
-// quantity tabulated per formulation in Table I.
+// quantity tabulated per formulation in Table I. Fused dimensions count
+// only their constrained chains.
 func (s *Space) ChainCount(dim string) uint64 {
+	if a, ok := s.fusedAdvance(dim); ok {
+		return s.fusedChainCount(dim, a)
+	}
 	return factor.CountChains(s.Work.Bound(dim), s.chainSlots(dim))
+}
+
+// enumerateChains yields dimension d's chains innermost-first, routing fused
+// dimensions through their constrained enumeration.
+func (s *Space) enumerateChains(d string, yield func(fs []int) bool) {
+	if a, ok := s.fusedAdvance(d); ok {
+		s.enumerateFusedChains(d, a, yield)
+		return
+	}
+	factor.EnumerateChains(s.Work.Bound(d), s.chainSlots(d), yield)
 }
 
 // EnumerateChains yields every tiling chain available to the named dimension
@@ -260,7 +309,7 @@ func (s *Space) ChainCount(dim string) uint64 {
 // calls; retain with a copy. Stopping early returns false from yield.
 func (s *Space) EnumerateChains(d string, yield func(fs []int) bool) {
 	rev := make([]int, len(s.slots))
-	factor.EnumerateChains(s.Work.Bound(d), s.chainSlots(d), func(fs []int) bool {
+	s.enumerateChains(d, func(fs []int) bool {
 		// fs is innermost-first; present outermost-first.
 		for i, f := range fs {
 			rev[len(fs)-1-i] = f
@@ -440,6 +489,10 @@ func (s *Space) sampleChain(rng *rand.Rand, d string, budget []int) []int {
 //
 //ruby:hotpath
 func (s *Space) sampleChainInto(rng *rand.Rand, d string, budget, fs []int, dc *divCache) {
+	if a, ok := s.fusedAdvance(d); ok {
+		s.sampleFusedChainInto(rng, d, a, budget, fs, dc)
+		return
+	}
 	r := s.Work.Dims[s.Work.DimID(d)].Bound // d is one of the space's dim names
 	// Innermost-first; slot 0 of s.slots is outermost.
 	for i := len(s.slots) - 1; i >= 0; i-- {
@@ -690,8 +743,7 @@ func (s *Space) NewEnumerator() *Enumerator {
 	dims := s.Work.DimNames()
 	chains := make([][][]int, len(dims))
 	for di, d := range dims {
-		slots := s.chainSlots(d)
-		factor.EnumerateChains(s.Work.Bound(d), slots, func(fs []int) bool {
+		s.enumerateChains(d, func(fs []int) bool {
 			// fs is innermost-first; store outermost-first.
 			rev := make([]int, len(fs))
 			for i, f := range fs {

@@ -1,0 +1,349 @@
+package nest
+
+import (
+	"fmt"
+
+	"ruby/internal/arch"
+	"ruby/internal/mapping"
+	"ruby/internal/workload"
+)
+
+// FusedCost is the evaluation result for one fused producer/consumer pair:
+// both layers run with the intermediate tensor resident at the shared
+// on-chip level, eliding its DRAM round-trip. Producer and Consumer carry
+// the per-phase costs after elision; the combined metrics model the phases
+// running back to back on the same hardware.
+type FusedCost struct {
+	// Valid reports whether the pair of mappings admits fusion at all.
+	// Invalid results carry a Reason and no metrics.
+	Valid  bool
+	Reason string
+
+	// Producer and Consumer are the per-phase costs with the intermediate's
+	// DRAM traffic elided (bandwidth stretch and leakage recomputed).
+	Producer Cost
+	Consumer Cost
+
+	// Combined sequential-phase metrics: Cycles and EnergyPJ sum the
+	// phases; EDP is their product.
+	Cycles   float64
+	EnergyPJ float64
+	EDP      float64
+
+	// ElidedWords counts the DRAM words the fusion removed (producer
+	// writes + consumer reads of the intermediate).
+	ElidedWords float64
+}
+
+// FusedEvaluator evaluates fused mappings of one network edge: the
+// producer's output tensor feeds the consumer's input tensor, both tiled so
+// the intermediate lives at one shared on-chip level. It owns its scratch
+// memory: use one FusedEvaluator per goroutine (the per-layer Evaluators it
+// is built from stay shared).
+type FusedEvaluator struct {
+	Bind  workload.EdgeBinding
+	Arch  *arch.Arch
+	Level int // the shared level holding the intermediate
+
+	pe, ce   *Evaluator
+	pp, cp   *Plan
+	ps, cs   *Scratch
+	fuseSlot int
+}
+
+// NewFusedEvaluator builds a fused evaluator for one edge binding at the
+// given shared level (values < 1 default to level 1).
+func NewFusedEvaluator(b workload.EdgeBinding, a *arch.Arch, level int) (*FusedEvaluator, error) {
+	if level < 1 {
+		level = 1
+	}
+	if level >= len(a.Levels) {
+		return nil, fmt.Errorf("nest: fuse level %d out of range (arch has %d levels)", level, len(a.Levels))
+	}
+	pe, err := NewEvaluator(b.Prod.Work, a)
+	if err != nil {
+		return nil, fmt.Errorf("nest: fused producer %s: %w", b.Prod.Name, err)
+	}
+	ce, err := NewEvaluator(b.Cons.Work, a)
+	if err != nil {
+		return nil, fmt.Errorf("nest: fused consumer %s: %w", b.Cons.Name, err)
+	}
+	return &FusedEvaluator{
+		Bind: b, Arch: a, Level: level,
+		pe: pe, ce: ce,
+		pp: pe.plan, cp: ce.plan,
+		ps: pe.plan.NewScratch(), cs: ce.plan.NewScratch(),
+		fuseSlot: pe.firstSlot[level],
+	}, nil
+}
+
+// Producer returns the per-layer evaluator of the edge's producer.
+func (f *FusedEvaluator) Producer() *Evaluator { return f.pe }
+
+// Consumer returns the per-layer evaluator of the edge's consumer.
+func (f *FusedEvaluator) Consumer() *Evaluator { return f.ce }
+
+// fusedInvalid builds an invalid fused verdict.
+func fusedInvalid(format string, args ...any) FusedCost {
+	return FusedCost{Reason: fmt.Sprintf(format, args...)}
+}
+
+// firstKeptOnChip returns the innermost-of-DRAM level at which the tensor's
+// role is first kept (the child of its DRAM link), or -1 when nothing
+// on-chip stores it.
+func firstKeptOnChip(p *Plan, s *Scratch, ti int) int {
+	bit := mapping.RoleBit(p.tensors[ti].role)
+	for li := 1; li < p.nLevels; li++ {
+		if s.kept[li]&bit != 0 {
+			return li
+		}
+	}
+	return -1
+}
+
+// linkStats re-runs the stationarity walk of Plan.linkTraffic for one
+// (tensor, DRAM->child) link and reports its multipliers: fills and
+// readsMult/delivMult as in the kernel, and distinct (the number of distinct
+// tiles the walked loops address). The walk mirrors linkTraffic so fused
+// validity checks can reason about re-fetch and read-modify-write without
+// touching the single-layer kernel.
+func linkStats(p *Plan, dm *mapping.Dense, s *Scratch, ti, parent, child int) (fills, readsMult, delivMult, distinct float64) {
+	t := &p.tensors[ti]
+	rel := t.rel
+	inRun := true
+	fills, readsMult, delivMult, distinct = 1, 1, 1, 1
+	boundary := p.firstSlot[child]
+	for si := boundary - 1; si >= 0; si-- {
+		sl := &p.slots[si]
+		row := s.trips[si*p.nDims : si*p.nDims+p.nDims]
+		if sl.Kind == mapping.Temporal {
+			base := sl.Level * p.nDims
+			for pi := p.nDims - 1; pi >= 0; pi-- {
+				d := int(dm.Perm[base+pi])
+				tr := float64(row[d])
+				if tr == 1 {
+					continue
+				}
+				r := rel[d]
+				if r {
+					distinct *= tr
+				}
+				if inRun && !r {
+					continue
+				}
+				inRun = false
+				fills *= tr
+			}
+			continue
+		}
+		for d := 0; d < p.nDims; d++ {
+			tr := float64(row[d])
+			if tr == 1 {
+				continue
+			}
+			if rel[d] {
+				readsMult *= tr
+				delivMult *= tr
+				distinct *= tr
+				continue
+			}
+			delivMult *= tr
+			if sl.Level < parent || !sl.Multicast {
+				readsMult *= tr
+			}
+		}
+	}
+	return fills, readsMult, delivMult, distinct
+}
+
+// ConsumerFusable reports whether a consumer mapping satisfies the
+// consumer-side fusion preconditions on its own — input resident at the
+// fused level and fetched from DRAM exactly once — along with its per-layer
+// cost (detached). Segment searches use it to shortlist consumer tilings
+// before spending producer-search budget; Evaluate re-checks everything.
+func (f *FusedEvaluator) ConsumerFusable(cm *mapping.Mapping) (Cost, bool) {
+	cdm, err := cm.Dense(f.cp.work, f.cp.arch, f.cp.slots)
+	if err != nil {
+		return invalidDense(err), false
+	}
+	cc := f.cp.EvaluateInto(cdm, f.cs)
+	if !cc.Valid {
+		return cc.Clone(), false
+	}
+	cc = cc.Clone()
+	inTi := f.Bind.InIndex
+	if firstKeptOnChip(f.cp, f.cs, inTi) != f.Level {
+		return cc, false
+	}
+	cFills, cReads, _, cDistinct := linkStats(f.cp, cdm, f.cs, inTi, 0, f.Level)
+	return cc, cFills*cReads <= cDistinct
+}
+
+// Evaluate computes the fused cost of (producer mapping, consumer mapping).
+// Both mappings are first evaluated by the unchanged per-layer kernel; when
+// the pair admits fusion, the intermediate's DRAM link is subtracted from
+// both sides and latency, bandwidth stretch and leakage are recomputed.
+// The returned per-phase Costs are detached from the evaluator's scratch.
+func (f *FusedEvaluator) Evaluate(pm, cm *mapping.Mapping) FusedCost {
+	pdm, err := pm.Dense(f.pp.work, f.pp.arch, f.pp.slots)
+	if err != nil {
+		return fusedInvalid("producer %s: %s", f.Bind.Prod.Name, invalidDense(err).Reason)
+	}
+	cdm, err := cm.Dense(f.cp.work, f.cp.arch, f.cp.slots)
+	if err != nil {
+		return fusedInvalid("consumer %s: %s", f.Bind.Cons.Name, invalidDense(err).Reason)
+	}
+
+	pc := f.pp.EvaluateInto(pdm, f.ps)
+	if !pc.Valid {
+		return fusedInvalid("producer %s: %s", f.Bind.Prod.Name, pc.Reason)
+	}
+	cc := f.cp.EvaluateInto(cdm, f.cs)
+	if !cc.Valid {
+		return fusedInvalid("consumer %s: %s", f.Bind.Cons.Name, cc.Reason)
+	}
+
+	F := f.Level
+	outTi, inTi := f.Bind.OutIndex, f.Bind.InIndex
+
+	// The intermediate's home: the producer's output and the consumer's
+	// input must both live first at the shared level, so the elided DRAM
+	// link is exactly (DRAM -> F) on both sides.
+	if li := firstKeptOnChip(f.pp, f.ps, outTi); li != F {
+		return fusedInvalid("producer %s: output lives at level %d, not the fused level %d",
+			f.Bind.Prod.Name, li, F)
+	}
+	if li := firstKeptOnChip(f.cp, f.cs, inTi); li != F {
+		return fusedInvalid("consumer %s: input lives at level %d, not the fused level %d",
+			f.Bind.Cons.Name, li, F)
+	}
+
+	// Tile alignment: along every corresponded dimension the producer's
+	// extent at the fused level must divide the consumer's advance, so
+	// produced tiles compose exactly into consumed tiles.
+	si := f.fuseSlot
+	csi := f.ce.firstSlot[F]
+	for _, pr := range f.Bind.Pairs {
+		pe := pdm.CumAt(f.pp.dimIndex(pr.ProdDim), si)
+		adv := pr.Stride * cdm.CumAt(f.cp.dimIndex(pr.ConsDim), csi)
+		if bp := f.Bind.Prod.Work.Bound(pr.ProdDim); adv > bp {
+			adv = bp
+		}
+		if adv%pe != 0 {
+			return fusedInvalid("dim %s->%s: producer tile %d does not divide consumer advance %d",
+				pr.ProdDim, pr.ConsDim, pe, adv)
+		}
+	}
+
+	// Traffic-shape checks on the two links being elided. The producer must
+	// not accumulate partial outputs through DRAM (nothing to elide then:
+	// the round-trip is load-bearing), and the consumer must touch each
+	// intermediate element in DRAM exactly once (a re-fetching consumer
+	// would need the whole tensor resident, not one granule).
+	pFills, _, pDeliv, pDistinct := linkStats(f.pp, pdm, f.ps, outTi, 0, F)
+	if rmw := pFills*pDeliv - pDistinct; rmw > 0 {
+		return fusedInvalid("producer %s: output accumulates partial sums through DRAM", f.Bind.Prod.Name)
+	}
+	cFills, cReads, _, cDistinct := linkStats(f.cp, cdm, f.cs, inTi, 0, F)
+	if cFills*cReads > cDistinct {
+		return fusedInvalid("consumer %s: input is re-fetched from DRAM", f.Bind.Cons.Name)
+	}
+
+	// Joint residency at the fused level: the intermediate granule is the
+	// consumer's input tile (the producer accumulates it there before the
+	// consumer phase drains it), alongside the producer's other tensors.
+	consVol := f.cs.vols[F*f.cp.nTensors+inTi]
+	if f.pp.dedicated[F] {
+		if consVol > f.pp.roleCap[F][workload.Output] {
+			return fusedInvalid("level %d: intermediate granule %d words exceeds dedicated output capacity %d",
+				F, consVol, f.pp.roleCap[F][workload.Output])
+		}
+	} else if cap := f.pp.sharedCap[F]; cap > 0 {
+		resident := consVol
+		for ti := range f.pp.tensors {
+			if ti == outTi {
+				continue
+			}
+			if f.ps.kept[F]&mapping.RoleBit(f.pp.tensors[ti].role) != 0 {
+				resident += f.ps.vols[F*f.pp.nTensors+ti]
+			}
+		}
+		if resident > cap {
+			return fusedInvalid("level %d: intermediate granule plus producer tiles (%d words) exceed shared capacity %d",
+				F, resident, cap)
+		}
+	}
+
+	// Elide the DRAM round-trip: subtract each side's (DRAM -> F) link for
+	// the intermediate from the surviving scratch accumulators, then redo
+	// the latency/energy tail so bandwidth stretch and leakage follow the
+	// reduced traffic.
+	plc := f.pp.linkTraffic(pdm, f.ps, outTi, float64(f.ps.vols[F*f.pp.nTensors+outTi]), 0, F)
+	f.ps.writes[0] -= plc.wp
+	f.ps.reads[0] -= plc.rp
+	f.ps.reads[F] -= plc.rc
+	f.ps.writes[F] -= plc.wc
+	pCycles := 1.0
+	for d := 0; d < f.pp.nDims; d++ {
+		pCycles *= f.pp.cyclesAlong(pdm, d, f.ps)
+	}
+	fp := f.pp.finish(f.ps, pCycles, pc.NoCEnergyPJ-plc.noc).Clone()
+
+	clc := f.cp.linkTraffic(cdm, f.cs, inTi, float64(consVol), 0, F)
+	f.cs.reads[0] -= clc.rp
+	f.cs.writes[F] -= clc.wc
+	cCycles := 1.0
+	for d := 0; d < f.cp.nDims; d++ {
+		cCycles *= f.cp.cyclesAlong(cdm, d, f.cs)
+	}
+	fc := f.cp.finish(f.cs, cCycles, cc.NoCEnergyPJ-clc.noc).Clone()
+
+	cycles := fp.Cycles + fc.Cycles
+	energy := fp.EnergyPJ + fc.EnergyPJ
+	return FusedCost{
+		Valid:       true,
+		Producer:    fp,
+		Consumer:    fc,
+		Cycles:      cycles,
+		EnergyPJ:    energy,
+		EDP:         energy * cycles,
+		ElidedWords: plc.wp + clc.rp,
+	}
+}
+
+// EvaluateDisabled evaluates the pair with fusion off: both layers run
+// through the unchanged per-layer kernel and the phases are summed. This is
+// the differential baseline — its per-phase Costs are bit-identical to
+// evaluating each layer with its own Evaluator.
+func (f *FusedEvaluator) EvaluateDisabled(pm, cm *mapping.Mapping) FusedCost {
+	pc := f.pp.EvaluateMappingInto(pm, f.ps)
+	if !pc.Valid {
+		return fusedInvalid("producer %s: %s", f.Bind.Prod.Name, pc.Reason)
+	}
+	pc = pc.Clone()
+	cc := f.cp.EvaluateMappingInto(cm, f.cs)
+	if !cc.Valid {
+		return fusedInvalid("consumer %s: %s", f.Bind.Cons.Name, cc.Reason)
+	}
+	cc = cc.Clone()
+	cycles := pc.Cycles + cc.Cycles
+	energy := pc.EnergyPJ + cc.EnergyPJ
+	return FusedCost{
+		Valid:    true,
+		Producer: pc,
+		Consumer: cc,
+		Cycles:   cycles,
+		EnergyPJ: energy,
+		EDP:      energy * cycles,
+	}
+}
+
+// dimIndex returns the plan-local id of a workload dimension name.
+func (p *Plan) dimIndex(name string) int {
+	for i := range p.work.Dims {
+		if p.work.Dims[i].Name == name {
+			return i
+		}
+	}
+	panic("nest: unknown dimension " + name)
+}

@@ -1,0 +1,189 @@
+package nest
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ruby/internal/arch"
+	"ruby/internal/mapspace"
+	"ruby/internal/workload"
+)
+
+// fusedFixture is a pointwise producer feeding a 3x3 consumer (halo) on an
+// Eyeriss-like hierarchy with a shared GLB at level 1.
+func fusedFixture(t *testing.T) (workload.EdgeBinding, *arch.Arch) {
+	t.Helper()
+	prod := workload.MustConv2D(workload.Conv2DParams{
+		Name: "p", N: 1, M: 16, C: 4, P: 14, Q: 14, R: 1, S: 1})
+	cons := workload.MustConv2D(workload.Conv2DParams{
+		Name: "c", N: 1, M: 8, C: 16, P: 14, Q: 14, R: 3, S: 3})
+	net := workload.MustNetwork("fx",
+		[]workload.Node{{Name: "p", Work: prod}, {Name: "c", Work: cons}},
+		[]workload.Edge{{From: "p", To: "c", Dims: map[string]string{
+			"N": "N", "M": "C", "P": "P", "Q": "Q"}}})
+	b, err := net.Bind(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, arch.EyerissLike(4, 3, 2)
+}
+
+func costsIdentical(a, b Cost) bool {
+	if a.Valid != b.Valid || a.Reason != b.Reason {
+		return false
+	}
+	if a.Cycles != b.Cycles || a.EnergyPJ != b.EnergyPJ || a.EDP != b.EDP ||
+		a.Utilization != b.Utilization || a.MACs != b.MACs ||
+		a.NoCEnergyPJ != b.NoCEnergyPJ || a.StaticEnergyPJ != b.StaticEnergyPJ ||
+		a.BandwidthBound != b.BandwidthBound {
+		return false
+	}
+	for li := range a.LevelReads {
+		if a.LevelReads[li] != b.LevelReads[li] || a.LevelWrites[li] != b.LevelWrites[li] ||
+			a.LevelEnergyPJ[li] != b.LevelEnergyPJ[li] {
+			return false
+		}
+	}
+	return true
+}
+
+// Fusion-disabled network evaluation must be bit-identical to the existing
+// per-layer path: same mappings, same Costs, field for field.
+func TestFusedDisabledMatchesPerLayer(t *testing.T) {
+	b, a := fusedFixture(t)
+	fe, err := NewFusedEvaluator(b, a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pev := MustEvaluator(b.Prod.Work, a)
+	cev := MustEvaluator(b.Cons.Work, a)
+
+	psp := mapspace.New(b.Prod.Work, a, mapspace.RubyS, mapspace.Constraints{})
+	csp := mapspace.New(b.Cons.Work, a, mapspace.RubyS, mapspace.Constraints{})
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		pm, cm := psp.Sample(rng), csp.Sample(rng)
+		dis := fe.EvaluateDisabled(pm, cm)
+		pc := pev.Evaluate(pm)
+		cc := cev.Evaluate(cm)
+		if !pc.Valid || !cc.Valid {
+			if dis.Valid {
+				t.Fatalf("sample %d: disabled evaluation valid but per-layer invalid", i)
+			}
+			continue
+		}
+		if !dis.Valid {
+			t.Fatalf("sample %d: disabled evaluation invalid: %s", i, dis.Reason)
+		}
+		if !costsIdentical(dis.Producer, pc) {
+			t.Fatalf("sample %d: producer cost diverges from per-layer path", i)
+		}
+		if !costsIdentical(dis.Consumer, cc) {
+			t.Fatalf("sample %d: consumer cost diverges from per-layer path", i)
+		}
+		if dis.Cycles != pc.Cycles+cc.Cycles || dis.EnergyPJ != pc.EnergyPJ+cc.EnergyPJ ||
+			dis.EDP != dis.EnergyPJ*dis.Cycles {
+			t.Fatalf("sample %d: combined metrics are not the phase sums", i)
+		}
+	}
+}
+
+// A valid fused evaluation must strictly beat the fusion-disabled one: the
+// intermediate's DRAM words disappear from both phases' level-0 traffic and
+// from the energy total.
+func TestFusedEvaluateElidesDRAM(t *testing.T) {
+	b, a := fusedFixture(t)
+	fe, err := NewFusedEvaluator(b, a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csp := mapspace.New(b.Cons.Work, a, mapspace.RubyS, mapspace.Constraints{})
+	cev := MustEvaluator(b.Cons.Work, a)
+	pev := MustEvaluator(b.Prod.Work, a)
+	rng := rand.New(rand.NewSource(5))
+
+	found := 0
+	for i := 0; i < 4000 && found < 5; i++ {
+		cm := csp.Sample(rng)
+		if !cev.Evaluate(cm).Valid {
+			continue
+		}
+		ft, err := mapspace.FuseTileOf(b, a, cm, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		psp := mapspace.New(b.Prod.Work, a, mapspace.RubyS, mapspace.Constraints{
+			FuseTile: ft, FuseLevel: 1})
+		pm := psp.Sample(rng)
+		if !pev.Evaluate(pm).Valid {
+			continue
+		}
+		fc := fe.Evaluate(pm, cm)
+		if !fc.Valid {
+			continue
+		}
+		found++
+		dis := fe.EvaluateDisabled(pm, cm)
+		if !dis.Valid {
+			t.Fatal("disabled evaluation of a fused-valid pair is invalid")
+		}
+		if fc.ElidedWords <= 0 {
+			t.Fatalf("fused pair elided %v words", fc.ElidedWords)
+		}
+		if fc.EnergyPJ >= dis.EnergyPJ {
+			t.Fatalf("fused energy %v not below disabled %v", fc.EnergyPJ, dis.EnergyPJ)
+		}
+		if fc.EDP >= dis.EDP {
+			t.Fatalf("fused EDP %v not below disabled %v", fc.EDP, dis.EDP)
+		}
+		if fc.Cycles > dis.Cycles {
+			t.Fatalf("fused cycles %v above disabled %v", fc.Cycles, dis.Cycles)
+		}
+		// The level-0 traffic drop accounts exactly for the elided words.
+		drop := (dis.Producer.LevelWrites[0] - fc.Producer.LevelWrites[0]) +
+			(dis.Producer.LevelReads[0] - fc.Producer.LevelReads[0]) +
+			(dis.Consumer.LevelReads[0] - fc.Consumer.LevelReads[0])
+		if drop != fc.ElidedWords {
+			t.Fatalf("DRAM traffic drop %v != elided words %v", drop, fc.ElidedWords)
+		}
+	}
+	if found == 0 {
+		t.Fatal("no fused-valid pair found in 4000 samples")
+	}
+}
+
+// Misaligned producer tiles must be rejected with a tile-alignment reason.
+func TestFusedEvaluateRejectsMisalignment(t *testing.T) {
+	b, a := fusedFixture(t)
+	fe, err := NewFusedEvaluator(b, a, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csp := mapspace.New(b.Cons.Work, a, mapspace.RubyS, mapspace.Constraints{})
+	psp := mapspace.New(b.Prod.Work, a, mapspace.RubyS, mapspace.Constraints{})
+	cev := MustEvaluator(b.Cons.Work, a)
+	pev := MustEvaluator(b.Prod.Work, a)
+	rng := rand.New(rand.NewSource(9))
+	sawAlign := false
+	for i := 0; i < 3000 && !sawAlign; i++ {
+		pm, cm := psp.Sample(rng), csp.Sample(rng)
+		if !pev.Evaluate(pm).Valid || !cev.Evaluate(cm).Valid {
+			continue
+		}
+		fc := fe.Evaluate(pm, cm)
+		if !fc.Valid && strings.Contains(fc.Reason, "advance") {
+			sawAlign = true
+		}
+	}
+	if !sawAlign {
+		t.Fatal("no unconstrained pair tripped the tile-alignment check")
+	}
+}
+
+func TestNewFusedEvaluatorRejectsBadLevel(t *testing.T) {
+	b, a := fusedFixture(t)
+	if _, err := NewFusedEvaluator(b, a, len(a.Levels)); err == nil {
+		t.Fatal("fuse level beyond the hierarchy accepted")
+	}
+}

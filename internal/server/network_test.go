@@ -1,0 +1,88 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+)
+
+// eyerissArchJSON mirrors configs/eyeriss_like.json (arch.EyerissLike(14,12,128)).
+const eyerissArchJSON = `{
+  "name": "eyeriss-like-14x12",
+  "levels": [
+    {"name": "DRAM"},
+    {"name": "GLB", "capacity_kib": 128,
+     "keeps": ["input", "output"],
+     "fanout": {"x": 14, "y": 12, "multicast": true}},
+    {"name": "PE",
+     "per_role_words": {"input": 12, "output": 16, "weight": 224}}
+  ]
+}`
+
+func TestNetworkEndpointRejectsUnknowns(t *testing.T) {
+	h := New()
+	rec, out := do(t, h, "POST", "/v1/network", `{"network": "nope", "arch": `+eyerissArchJSON+`}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown network: status %d: %v", rec.Code, out)
+	}
+	rec, out = do(t, h, "POST", "/v1/network", `{"network": "deepbench-stacks"}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("missing arch: status %d: %v", rec.Code, out)
+	}
+}
+
+// The fused network search over the DeepBench stacks must keep the vision
+// segment (the same pinned configuration the sweep acceptance test uses) and
+// report a strictly lower network EDP than its per-layer baseline.
+func TestNetworkEndpointFusesDeepBenchStacks(t *testing.T) {
+	h := New()
+	body := `{
+	  "network": "deepbench-stacks",
+	  "arch": ` + eyerissArchJSON + `,
+	  "mapspace": "ruby-s",
+	  "seed": 7, "threads": 1, "max_evaluations": 4000
+	}`
+	rec, out := do(t, h, "POST", "/v1/network", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %v", rec.Code, out)
+	}
+	base := out["baseline"].(map[string]any)["edp"].(float64)
+	fused := out["fused"].(map[string]any)["edp"].(float64)
+	segs := out["segments"].([]any)
+	if len(segs) == 0 {
+		t.Fatal("no fused segments kept")
+	}
+	if fused >= base {
+		t.Fatalf("fused EDP %g not below baseline %g", fused, base)
+	}
+	if out["improvement_pct"].(float64) <= 0 {
+		t.Fatal("improvement_pct missing")
+	}
+	for _, s := range segs {
+		sg := s.(map[string]any)
+		if sg["elided_words"].(float64) <= 0 {
+			t.Fatalf("segment %v elides no DRAM words", sg["from"])
+		}
+		if sg["fused_edp"].(float64) >= sg["baseline_edp"].(float64) {
+			t.Fatalf("segment %v does not beat its pair baseline", sg["from"])
+		}
+	}
+
+	// Fusion off: totals must match the baseline exactly, with no segments.
+	rec, out = do(t, h, "POST", "/v1/network", `{
+	  "network": "deepbench-stacks",
+	  "arch": `+eyerissArchJSON+`,
+	  "mapspace": "ruby-s", "fuse": false,
+	  "seed": 7, "threads": 1, "max_evaluations": 4000
+	}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("fuse=false: status %d: %v", rec.Code, out)
+	}
+	if len(out["segments"].([]any)) != 0 {
+		t.Fatal("fuse=false kept segments")
+	}
+	b := out["baseline"].(map[string]any)["edp"].(float64)
+	f := out["fused"].(map[string]any)["edp"].(float64)
+	if b != f {
+		t.Fatalf("fuse=false totals diverge: %g vs %g", b, f)
+	}
+}

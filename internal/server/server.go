@@ -11,6 +11,8 @@
 //	POST /v1/evaluate     -> evaluate one explicit mapping
 //	POST /v1/search       -> random-search a mapspace (synchronous)
 //	POST /v1/construct    -> one-shot heuristic mapping
+//	POST /v1/network      -> whole-network search over a named network graph:
+//	                         per-layer baseline plus fusion-aware segments
 //	POST /v1/jobs         -> submit an asynchronous search job -> {"id": ...}
 //	GET  /v1/jobs         -> list jobs (survives restarts with a state dir)
 //	GET  /v1/jobs/{id}    -> one job's status and, when done, its result
@@ -94,6 +96,7 @@ func (s *service) mux() http.Handler {
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	mux.HandleFunc("POST /v1/search", s.handleSearch)
 	mux.HandleFunc("POST /v1/construct", handleConstruct)
+	mux.HandleFunc("POST /v1/network", s.handleNetwork)
 	mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)

@@ -45,6 +45,9 @@ func OpenSuiteCheckpoint(path string) (*SuiteCheckpoint, error) {
 	if sc.st.Layers == nil {
 		sc.st.Layers = make(map[string]*checkpoint.LayerState)
 	}
+	if sc.st.Segments == nil {
+		sc.st.Segments = make(map[string]*checkpoint.SegmentState)
+	}
 	return sc, nil
 }
 
@@ -141,6 +144,97 @@ func boundsEqual(w *workload.Workload, bounds map[string]int) bool {
 		}
 	}
 	return true
+}
+
+// segmentKey identifies one fused-segment search: the layer-key prefix (the
+// search configuration) plus the edge's producer->consumer pair.
+func segmentKey(a *arch.Arch, st Strategy, opt search.Options, b workload.EdgeBinding) string {
+	algo := ""
+	if opt.Algo != "" {
+		algo = "|algo=" + opt.Algo
+	}
+	return fmt.Sprintf("%s|%s|seed=%d|max=%d|noimp=%d|obj=%d%s|fuse=%s->%s",
+		a.Name, st.Name, opt.Seed, opt.MaxEvaluations, opt.ConsecutiveNoImprove, opt.Objective, algo,
+		b.Prod.Name, b.Cons.Name)
+}
+
+// resumeSegment returns the recorded fused-segment outcome for one edge if
+// present and verifiable. The second result mirrors searchSegment's: whether
+// a fused pair beating the baseline exists. Positive entries are re-evaluated
+// and must reproduce the recorded metrics bit-for-bit (so a checkpoint
+// written against a different cost model, or against different baseline
+// layer mappings, falls back to a fresh search via the model's determinism).
+func (sc *SuiteCheckpoint) resumeSegment(b workload.EdgeBinding, a *arch.Arch, st Strategy,
+	opt search.Options, bp, bc LayerResult) (SegmentResult, bool, bool) {
+
+	key := segmentKey(a, st, opt, b)
+	sc.mu.Lock()
+	ss := sc.st.Segments[key]
+	sc.mu.Unlock()
+	if ss == nil || !ss.Done {
+		return SegmentResult{}, false, false
+	}
+	sr := SegmentResult{
+		From: b.Prod.Name, To: b.Cons.Name, EdgeIndex: b.EdgeIndex,
+		Repeat:           minInt(b.Prod.Repeats(), b.Cons.Repeats()),
+		BaselineEnergyPJ: bp.Cost.EnergyPJ + bc.Cost.EnergyPJ,
+		BaselineCycles:   bp.Cost.Cycles + bc.Cost.Cycles,
+	}
+	if !ss.Fused {
+		return sr, false, true
+	}
+	slots := mapping.Slots(a)
+	pm, err := mapping.Decode(ss.Producer, b.Prod.Work, slots)
+	if err != nil {
+		return SegmentResult{}, false, false
+	}
+	cm, err := mapping.Decode(ss.Consumer, b.Cons.Work, slots)
+	if err != nil {
+		return SegmentResult{}, false, false
+	}
+	fe, err := nest.NewFusedEvaluator(b, a, FuseLevel)
+	if err != nil {
+		return SegmentResult{}, false, false
+	}
+	fc := fe.Evaluate(pm, cm)
+	if !fc.Valid || fc.EDP != ss.EDP || fc.Cycles != ss.Cycles ||
+		fc.EnergyPJ != ss.EnergyPJ || fc.ElidedWords != ss.ElidedWords {
+		return SegmentResult{}, false, false
+	}
+	// The recorded pair must still beat the current baseline: resuming
+	// against improved layer results re-searches instead of keeping a
+	// segment that no longer wins.
+	if fc.EDP >= sr.BaselineEnergyPJ*sr.BaselineCycles {
+		return SegmentResult{}, false, false
+	}
+	sr.Fused, sr.Producer, sr.Consumer = fc, pm, cm
+	return sr, true, true
+}
+
+// recordSegment stores one completed fused-segment search (fused or not) and
+// persists the file.
+func (sc *SuiteCheckpoint) recordSegment(b workload.EdgeBinding, a *arch.Arch, st Strategy,
+	opt search.Options, sr SegmentResult, fused bool) error {
+
+	ss := &checkpoint.SegmentState{Done: true, Fused: fused, Evaluated: sr.Evaluated}
+	if fused {
+		var err error
+		if ss.Producer, err = sr.Producer.Encode(); err != nil {
+			return fmt.Errorf("sweep: checkpoint segment %s->%s: %w", sr.From, sr.To, err)
+		}
+		if ss.Consumer, err = sr.Consumer.Encode(); err != nil {
+			return fmt.Errorf("sweep: checkpoint segment %s->%s: %w", sr.From, sr.To, err)
+		}
+		ss.Cycles, ss.EnergyPJ, ss.EDP, ss.ElidedWords =
+			sr.Fused.Cycles, sr.Fused.EnergyPJ, sr.Fused.EDP, sr.Fused.ElidedWords
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.st.Segments == nil {
+		sc.st.Segments = make(map[string]*checkpoint.SegmentState)
+	}
+	sc.st.Segments[segmentKey(a, st, opt, b)] = ss
+	return checkpoint.Save(sc.path, checkpoint.KindSuite, &sc.st)
 }
 
 // record stores one completed layer search and persists the file.

@@ -22,7 +22,7 @@ func TestSuiteCheckpointResumeSkipsCompletedLayers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	first, err := RunSuite(context.Background(), layers, a, st, mapspace.EyerissRowStationary,
+	first, err := RunSuiteLayers(context.Background(), layers, a, st, mapspace.EyerissRowStationary,
 		SuiteOptions{Search: quickOpt, Checkpoint: cp, Parallel: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -37,7 +37,7 @@ func TestSuiteCheckpointResumeSkipsCompletedLayers(t *testing.T) {
 		t.Fatal(err)
 	}
 	met := &engine.Counters{}
-	second, err := RunSuite(context.Background(), layers, a, st, mapspace.EyerissRowStationary,
+	second, err := RunSuiteLayers(context.Background(), layers, a, st, mapspace.EyerissRowStationary,
 		SuiteOptions{Search: quickOpt, Engine: engine.Config{Metrics: met}, Checkpoint: cp2, Parallel: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -73,7 +73,7 @@ func TestSuiteCheckpointPartialResume(t *testing.T) {
 	opt := quickOpt
 	opt.Threads = 1
 
-	want, err := RunSuite(context.Background(), layers, a, st, mapspace.EyerissRowStationary,
+	want, err := RunSuiteLayers(context.Background(), layers, a, st, mapspace.EyerissRowStationary,
 		SuiteOptions{Search: opt})
 	if err != nil {
 		t.Fatal(err)
@@ -85,7 +85,7 @@ func TestSuiteCheckpointPartialResume(t *testing.T) {
 		t.Fatal(err)
 	}
 	// "First process" dies after completing only the first layer.
-	if _, err := RunSuite(context.Background(), layers[:1], a, st, mapspace.EyerissRowStationary,
+	if _, err := RunSuiteLayers(context.Background(), layers[:1], a, st, mapspace.EyerissRowStationary,
 		SuiteOptions{Search: opt, Checkpoint: cp}); err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestSuiteCheckpointPartialResume(t *testing.T) {
 	if cp2.Len() != 1 {
 		t.Fatalf("checkpoint holds %d layers, want 1", cp2.Len())
 	}
-	got, err := RunSuite(context.Background(), layers, a, st, mapspace.EyerissRowStationary,
+	got, err := RunSuiteLayers(context.Background(), layers, a, st, mapspace.EyerissRowStationary,
 		SuiteOptions{Search: opt, Checkpoint: cp2})
 	if err != nil {
 		t.Fatal(err)
@@ -118,7 +118,7 @@ func TestSuiteCheckpointRoundTripsPaddedVariant(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	first, err := RunSuite(context.Background(), layers, a, st, mapspace.EyerissRowStationary,
+	first, err := RunSuiteLayers(context.Background(), layers, a, st, mapspace.EyerissRowStationary,
 		SuiteOptions{Search: quickOpt, Checkpoint: cp})
 	if err != nil {
 		t.Fatal(err)
@@ -127,7 +127,7 @@ func TestSuiteCheckpointRoundTripsPaddedVariant(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	second, err := RunSuite(context.Background(), layers, a, st, mapspace.EyerissRowStationary,
+	second, err := RunSuiteLayers(context.Background(), layers, a, st, mapspace.EyerissRowStationary,
 		SuiteOptions{Search: quickOpt, Checkpoint: cp2})
 	if err != nil {
 		t.Fatal(err)
@@ -154,7 +154,7 @@ func TestSuiteCheckpointKeyedByConfiguration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := RunSuite(context.Background(), layers, a, st, mapspace.EyerissRowStationary,
+	if _, err := RunSuiteLayers(context.Background(), layers, a, st, mapspace.EyerissRowStationary,
 		SuiteOptions{Search: quickOpt, Checkpoint: cp}); err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +162,7 @@ func TestSuiteCheckpointKeyedByConfiguration(t *testing.T) {
 	other := quickOpt
 	other.MaxEvaluations = 1500
 	met := &engine.Counters{}
-	if _, err := RunSuite(context.Background(), layers, a, st, mapspace.EyerissRowStationary,
+	if _, err := RunSuiteLayers(context.Background(), layers, a, st, mapspace.EyerissRowStationary,
 		SuiteOptions{Search: other, Engine: engine.Config{Metrics: met}, Checkpoint: cp}); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,224 @@
+package sweep
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"ruby/internal/arch"
+	"ruby/internal/mapspace"
+	"ruby/internal/search"
+	"ruby/internal/workload"
+	"ruby/internal/workloads"
+)
+
+func freeCons(*workload.Workload) mapspace.Constraints { return mapspace.Constraints{} }
+
+// pairNetwork is a pointwise producer feeding a 3x3 consumer, small enough
+// that fused pairs are found within tiny budgets (the same shape the nest
+// fused-evaluator tests pin down).
+func pairNetwork() *workload.Network {
+	prod := workload.MustConv2D(workload.Conv2DParams{
+		Name: "p", N: 1, M: 16, C: 4, P: 14, Q: 14, R: 1, S: 1})
+	cons := workload.MustConv2D(workload.Conv2DParams{
+		Name: "c", N: 1, M: 8, C: 16, P: 14, Q: 14, R: 3, S: 3})
+	return workload.MustNetwork("pair",
+		[]workload.Node{
+			{Name: "p", Repeat: 2, Work: prod},
+			{Name: "c", Repeat: 3, Work: cons},
+		},
+		[]workload.Edge{{From: "p", To: "c", Dims: map[string]string{
+			"N": "N", "M": "C", "P": "P", "Q": "Q"}}})
+}
+
+// The network entry point over an edge-free graph must reproduce the []Layer
+// path exactly.
+func TestRunSuiteNetworkMatchesLayers(t *testing.T) {
+	a := arch.EyerissLike(14, 12, 128)
+	st := Strategy{Name: "Ruby-S", Kind: mapspace.RubyS}
+	layers := smallSuite()
+	net := workloads.NetworkFromLayers("small", layers)
+	want, err := RunSuiteLayers(context.Background(), layers, a, st, mapspace.EyerissRowStationary, SuiteOptions{Search: quickOpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunSuite(context.Background(), net, a, st, mapspace.EyerissRowStationary, SuiteOptions{Search: quickOpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.EDP != want.EDP || got.TotalEnergyPJ != want.TotalEnergyPJ || got.TotalCycles != want.TotalCycles {
+		t.Fatalf("network totals %+v diverge from layer totals %+v", got, want)
+	}
+	for i := range want.Layers {
+		if got.Layers[i].Cost.EDP != want.Layers[i].Cost.EDP {
+			t.Fatalf("layer %d EDP diverges", i)
+		}
+	}
+}
+
+func TestSearchNetworkFusesPair(t *testing.T) {
+	net := pairNetwork()
+	a := arch.EyerissLike(4, 3, 2)
+	st := Strategy{Name: "Ruby-S", Kind: mapspace.RubyS}
+	so := SuiteOptions{Search: search.Options{Seed: 5, Threads: 1, MaxEvaluations: 2000}}
+
+	off, err := SearchNetwork(context.Background(), net, a, st, freeCons, so, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(off.Segments) != 0 || off.EDP != off.Baseline.EDP {
+		t.Fatalf("fusion-disabled search diverges from baseline: %+v", off)
+	}
+
+	nr, err := SearchNetwork(context.Background(), net, a, st, freeCons, so, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nr.Segments) != 1 {
+		t.Fatalf("got %d fused segments, want 1", len(nr.Segments))
+	}
+	sg := nr.Segments[0]
+	if sg.From != "p" || sg.To != "c" || sg.Repeat != 2 {
+		t.Fatalf("bad segment %+v", sg)
+	}
+	if sg.Fused.ElidedWords <= 0 {
+		t.Fatal("segment elides no DRAM words")
+	}
+	if nr.EDP >= nr.Baseline.EDP {
+		t.Fatalf("fused network EDP %g not below baseline %g", nr.EDP, nr.Baseline.EDP)
+	}
+	// The totals are the baseline with the segment's delta applied at the
+	// fused repeat; the consumer's leftover repeat stays at baseline.
+	r := float64(sg.Repeat)
+	wantE := nr.Baseline.TotalEnergyPJ + r*(sg.Fused.EnergyPJ-sg.BaselineEnergyPJ)
+	wantC := nr.Baseline.TotalCycles + r*(sg.Fused.Cycles-sg.BaselineCycles)
+	if nr.TotalEnergyPJ != wantE || nr.TotalCycles != wantC || nr.EDP != wantE*wantC {
+		t.Fatalf("totals %g/%g diverge from segment accounting %g/%g", nr.TotalEnergyPJ, nr.TotalCycles, wantE, wantC)
+	}
+}
+
+// resnetSegments builds a network of two pinned disjoint ResNet-50 fusion
+// candidates: the res2 bottleneck entry (1x1 into the 3x3 at 56x56) and the
+// res3 bottleneck exit (the 3x3 into the expanding 1x1 at 28x28).
+func resnetSegments(t *testing.T) *workload.Network {
+	t.Helper()
+	byName := make(map[string]workloads.Layer)
+	for _, l := range workloads.ResNet50() {
+		byName[l.Name] = l
+	}
+	var nodes []workload.Node
+	for _, name := range []string{"res2a_branch2a", "res2x_branch2b", "res3x_branch2b", "res3x_branch2c"} {
+		l, ok := byName[name]
+		if !ok {
+			t.Fatalf("ResNet-50 layer %s missing", name)
+		}
+		nodes = append(nodes, workload.Node{Name: l.Name, Repeat: l.Repeat, Work: l.Work})
+	}
+	return workload.MustNetwork("resnet50-segments", nodes,
+		[]workload.Edge{
+			{From: "res2a_branch2a", To: "res2x_branch2b", Dims: map[string]string{"N": "N", "M": "C", "P": "P", "Q": "Q"}},
+			{From: "res3x_branch2b", To: "res3x_branch2c", Dims: map[string]string{"N": "N", "M": "C", "P": "P", "Q": "Q"}},
+		})
+}
+
+// Acceptance: on two pinned ResNet-50 segments the fused search must report
+// strictly lower network EDP than the per-layer baseline, fusing both.
+func TestSearchNetworkFusesResNetSegments(t *testing.T) {
+	net := resnetSegments(t)
+	a := arch.EyerissLike(14, 12, 128)
+	st := Strategy{Name: "Ruby-S", Kind: mapspace.RubyS}
+	so := SuiteOptions{Search: search.Options{Seed: 1, Threads: 1, MaxEvaluations: 4000}}
+	nr, err := SearchNetwork(context.Background(), net, a, st, mapspace.EyerissRowStationary, so, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nr.Segments) < 2 {
+		t.Fatalf("fused %d ResNet-50 segments, want 2", len(nr.Segments))
+	}
+	if nr.EDP >= nr.Baseline.EDP {
+		t.Fatalf("fused network EDP %g not strictly below per-layer %g", nr.EDP, nr.Baseline.EDP)
+	}
+	for _, sg := range nr.Segments {
+		if sg.Fused.ElidedWords <= 0 {
+			t.Fatalf("segment %s->%s elides no DRAM words", sg.From, sg.To)
+		}
+	}
+}
+
+// Acceptance: the DeepBench vision stack must fuse with strictly lower
+// network EDP than its per-layer baseline.
+func TestSearchNetworkFusesDeepBenchStack(t *testing.T) {
+	full := workloads.DeepBenchStacks()
+	// The vision 3x3 stack alone: the speech GEMMs' intermediate is far
+	// beyond on-chip capacity at single-fetch, so they stay per-layer.
+	var nodes []workload.Node
+	for _, nd := range full.Nodes {
+		if nd.Name == "vision_stack_3x3_28a" || nd.Name == "vision_stack_3x3_28b" {
+			nodes = append(nodes, nd)
+		}
+	}
+	net := workload.MustNetwork("deepbench-vision", nodes,
+		[]workload.Edge{{From: "vision_stack_3x3_28a", To: "vision_stack_3x3_28b",
+			Dims: map[string]string{"N": "N", "M": "C", "P": "P", "Q": "Q"}}})
+	a := arch.EyerissLike(14, 12, 128)
+	st := Strategy{Name: "Ruby-S", Kind: mapspace.RubyS}
+	so := SuiteOptions{Search: search.Options{Seed: 7, Threads: 1, MaxEvaluations: 4000}}
+	nr, err := SearchNetwork(context.Background(), net, a, st, mapspace.EyerissRowStationary, so, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nr.Segments) != 1 {
+		t.Fatalf("fused %d DeepBench segments, want 1", len(nr.Segments))
+	}
+	if nr.EDP >= nr.Baseline.EDP {
+		t.Fatalf("fused network EDP %g not strictly below per-layer %g", nr.EDP, nr.Baseline.EDP)
+	}
+}
+
+// A checkpointed network search must resume bit-identically: the second run
+// restores both the baseline layers and the fused segments without
+// re-searching.
+func TestSearchNetworkCheckpointResume(t *testing.T) {
+	net := pairNetwork()
+	a := arch.EyerissLike(4, 3, 2)
+	st := Strategy{Name: "Ruby-S", Kind: mapspace.RubyS}
+	path := filepath.Join(t.TempDir(), "net.suite.json")
+	opt := search.Options{Seed: 5, Threads: 1, MaxEvaluations: 2000}
+
+	cp, err := OpenSuiteCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := SearchNetwork(context.Background(), net, a, st, freeCons,
+		SuiteOptions{Search: opt, Checkpoint: cp}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Segments) != 1 {
+		t.Fatalf("got %d fused segments, want 1", len(first.Segments))
+	}
+
+	cp2, err := OpenSuiteCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := SearchNetwork(context.Background(), net, a, st, freeCons,
+		SuiteOptions{Search: opt, Checkpoint: cp2}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.EDP != first.EDP || second.TotalEnergyPJ != first.TotalEnergyPJ ||
+		second.TotalCycles != first.TotalCycles {
+		t.Fatalf("resumed totals diverge: %g vs %g", second.EDP, first.EDP)
+	}
+	if len(second.Segments) != 1 {
+		t.Fatalf("resumed run lost the fused segment")
+	}
+	sg1, sg2 := first.Segments[0], second.Segments[0]
+	if sg2.Fused.EDP != sg1.Fused.EDP || sg2.Fused.ElidedWords != sg1.Fused.ElidedWords {
+		t.Fatalf("resumed segment cost diverges: %+v vs %+v", sg2.Fused, sg1.Fused)
+	}
+	if sg2.Evaluated != 0 {
+		t.Fatalf("resumed segment re-searched (%d evaluations)", sg2.Evaluated)
+	}
+}

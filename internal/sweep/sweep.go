@@ -191,12 +191,15 @@ type SuiteResult struct {
 	EDP           float64
 }
 
-// RunSuite searches every layer of a suite and aggregates network totals.
-// Layer searches run so.Parallel at a time (deterministic — each layer's
-// search is independent and explicitly seeded, and aggregation preserves
-// layer order), evaluations route through engines built from so.Engine, and
-// cancellation aborts the whole run with ctx's error.
-func RunSuite(ctx context.Context, layers []workloads.Layer, a *arch.Arch, st Strategy,
+// RunSuiteLayers searches every layer of a suite and aggregates network
+// totals. Layer searches run so.Parallel at a time (deterministic — each
+// layer's search is independent and explicitly seeded, and aggregation
+// preserves layer order), evaluations route through engines built from
+// so.Engine, and cancellation aborts the whole run with ctx's error.
+//
+// This is the per-layer core; RunSuite is the network-graph entry point that
+// feeds it, and SearchNetwork layers fusion on top.
+func RunSuiteLayers(ctx context.Context, layers []workloads.Layer, a *arch.Arch, st Strategy,
 	consFn ConstraintFn, so SuiteOptions) (*SuiteResult, error) {
 
 	ctx, span := obs.StartSpan(ctx, "suite:"+st.Name)
@@ -349,7 +352,7 @@ func Explore(ctx context.Context, layers []workloads.Layer, configs []ArrayConfi
 		a := arch.EyerissLike(cfg.Cols, cfg.Rows, glbKiB)
 		dp := DesignPoint{Config: cfg, AreaMM2: a.AreaMM2(), EDP: make(map[string]float64, len(sts))}
 		for _, st := range sts {
-			sr, err := RunSuite(ctx, layers, a, st, consFn, so)
+			sr, err := RunSuiteLayers(ctx, layers, a, st, consFn, so)
 			if err != nil {
 				return nil, err
 			}

@@ -61,7 +61,7 @@ func TestPaddingMayChangeWorkload(t *testing.T) {
 
 func TestRunSuiteAggregates(t *testing.T) {
 	a := arch.EyerissLike(14, 12, 128)
-	sr, err := RunSuite(context.Background(), smallSuite(), a, Strategy{Name: "Ruby-S", Kind: mapspace.RubyS}, mapspace.EyerissRowStationary, SuiteOptions{Search: quickOpt})
+	sr, err := RunSuiteLayers(context.Background(), smallSuite(), a, Strategy{Name: "Ruby-S", Kind: mapspace.RubyS}, mapspace.EyerissRowStationary, SuiteOptions{Search: quickOpt})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +128,7 @@ func TestRunSuiteCached(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := Strategy{Name: "Ruby-S", Kind: mapspace.RubyS}
-	first, err := RunSuite(context.Background(), smallSuite(), a, st, mapspace.EyerissRowStationary, SuiteOptions{Search: quickOpt, Library: lib})
+	first, err := RunSuiteLayers(context.Background(), smallSuite(), a, st, mapspace.EyerissRowStationary, SuiteOptions{Search: quickOpt, Library: lib})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +136,7 @@ func TestRunSuiteCached(t *testing.T) {
 		t.Fatalf("library entries = %d, want 2", n)
 	}
 	// Second run hits the cache: each layer costs exactly one evaluation.
-	second, err := RunSuite(context.Background(), smallSuite(), a, st, mapspace.EyerissRowStationary, SuiteOptions{Search: quickOpt, Library: lib})
+	second, err := RunSuiteLayers(context.Background(), smallSuite(), a, st, mapspace.EyerissRowStationary, SuiteOptions{Search: quickOpt, Library: lib})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +150,7 @@ func TestRunSuiteCached(t *testing.T) {
 	}
 	// Padding strategies bypass the cache.
 	pad := Strategy{Name: "PFM+pad", Kind: mapspace.PFM, Pad: true}
-	if _, err := RunSuite(context.Background(), smallSuite(), a, pad, mapspace.EyerissRowStationary, SuiteOptions{Search: quickOpt, Library: lib}); err != nil {
+	if _, err := RunSuiteLayers(context.Background(), smallSuite(), a, pad, mapspace.EyerissRowStationary, SuiteOptions{Search: quickOpt, Library: lib}); err != nil {
 		t.Fatal(err)
 	}
 	if n, _ := lib.Len(); n != 2 {

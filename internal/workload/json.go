@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// The JSON form of a Workload spells the operand roles as strings and omits
+// the derived lookup state, so checkpoint and wire payloads embedding
+// workloads (Network nodes in particular) are stable, human-readable and
+// rebuild their indices on decode.
+
+type termJSON struct {
+	Dim    string `json:"dim"`
+	Stride int    `json:"stride"`
+}
+
+type coordJSON struct {
+	Terms []termJSON `json:"terms"`
+}
+
+type tensorJSON struct {
+	Name   string      `json:"name"`
+	Role   string      `json:"role"`
+	Coords []coordJSON `json:"coords"`
+}
+
+type workloadJSON struct {
+	Name    string       `json:"name"`
+	Dims    []Dim        `json:"dims"`
+	Tensors []tensorJSON `json:"tensors"`
+}
+
+// MarshalJSON encodes the workload's declarative fields (name, dims,
+// tensors) with string roles, omitting the memoized indices.
+func (w *Workload) MarshalJSON() ([]byte, error) {
+	out := workloadJSON{Name: w.Name, Dims: w.Dims}
+	for i := range w.Tensors {
+		t := &w.Tensors[i]
+		tj := tensorJSON{Name: t.Name, Role: strings.ToLower(t.Role.String())}
+		for _, c := range t.Coords {
+			cj := coordJSON{Terms: make([]termJSON, len(c.Terms))}
+			for k, tm := range c.Terms {
+				cj.Terms[k] = termJSON{Dim: tm.Dim, Stride: tm.Stride}
+			}
+			tj.Coords = append(tj.Coords, cj)
+		}
+		out.Tensors = append(out.Tensors, tj)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes, validates and re-indexes the workload; a payload
+// that does not form a valid workload is rejected.
+func (w *Workload) UnmarshalJSON(b []byte) error {
+	var in workloadJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	nw := Workload{Name: in.Name, Dims: in.Dims}
+	for _, tj := range in.Tensors {
+		role, err := ParseRole(tj.Role)
+		if err != nil {
+			return fmt.Errorf("workload %q: tensor %q: %w", in.Name, tj.Name, err)
+		}
+		t := Tensor{Name: tj.Name, Role: role}
+		for _, cj := range tj.Coords {
+			c := Coord{Terms: make([]CoordTerm, len(cj.Terms))}
+			for k, tm := range cj.Terms {
+				c.Terms[k] = CoordTerm{Dim: tm.Dim, Stride: tm.Stride}
+			}
+			t.Coords = append(t.Coords, c)
+		}
+		nw.Tensors = append(nw.Tensors, t)
+	}
+	if err := nw.Validate(); err != nil {
+		return err
+	}
+	nw.index()
+	*w = nw
+	return nil
+}
+
+// Dim's JSON form.
+type dimJSON struct {
+	Name  string `json:"name"`
+	Bound int    `json:"bound"`
+}
+
+// MarshalJSON encodes a dimension with lowercase keys.
+func (d Dim) MarshalJSON() ([]byte, error) {
+	return json.Marshal(dimJSON{Name: d.Name, Bound: d.Bound})
+}
+
+// UnmarshalJSON decodes a dimension from its lowercase-key form.
+func (d *Dim) UnmarshalJSON(b []byte) error {
+	var in dimJSON
+	if err := json.Unmarshal(b, &in); err != nil {
+		return err
+	}
+	d.Name, d.Bound = in.Name, in.Bound
+	return nil
+}

@@ -1,0 +1,352 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Node is one layer of a Network: a workload plus the structural repeat
+// count of suite accounting (how many instances of this layer the real
+// network executes).
+//
+//ruby:serialstable
+type Node struct {
+	Name string `json:"name"`
+	// Repeat is the instance count for whole-network totals; 0 means 1.
+	Repeat int       `json:"repeat,omitempty"`
+	Work   *Workload `json:"work"`
+}
+
+// Repeats returns the node's instance count, treating the zero value as 1.
+func (nd *Node) Repeats() int {
+	if nd.Repeat < 1 {
+		return 1
+	}
+	return nd.Repeat
+}
+
+// Edge declares that one node's output tensor feeds another node's input
+// tensor, with an explicit dimension correspondence: Dims maps each producer
+// dimension indexing the output tensor to the consumer dimension that
+// addresses the same data in the input tensor (M→C for conv stacks, M→M and
+// N→K for GEMM stacks).
+//
+// The correspondence is validated against the consumer's coordinate strides:
+// for every pair (dp → dc) the producer bound must equal stride(dc)·bound(dc),
+// where stride(dc) is dc's coefficient in the input tensor's coordinate
+// (2 for a stride-2 consumer's spatial dims, 1 otherwise). Halo overhang from
+// sliding-window coordinates (dilation·(R−1) extra input rows) is treated as
+// zero padding: the producer never materializes it, matching the usual
+// same-padding convolution stacking.
+//
+//ruby:serialstable
+type Edge struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Tensor names the producer's output tensor; empty selects its sole
+	// output.
+	Tensor string `json:"tensor,omitempty"`
+	// Input names the consumer's fed tensor; empty selects its first
+	// Input-role tensor.
+	Input string `json:"input,omitempty"`
+	// Dims maps producer dimension → consumer dimension.
+	Dims map[string]string `json:"dims"`
+}
+
+// Network is a workload graph: layers as nodes, producer→consumer tensor
+// flows as edges. An edge-free Network degenerates to a plain layer list
+// (per-layer mapping); edges are what make fused multi-layer mapping
+// expressible at all.
+//
+//ruby:serialstable
+type Network struct {
+	Name  string `json:"name"`
+	Nodes []Node `json:"nodes"`
+	Edges []Edge `json:"edges,omitempty"`
+}
+
+// NewNetwork builds a Network and validates it.
+func NewNetwork(name string, nodes []Node, edges []Edge) (*Network, error) {
+	n := &Network{Name: name, Nodes: nodes, Edges: edges}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// MustNetwork is NewNetwork, panicking on error. Intended for package-level
+// presets.
+func MustNetwork(name string, nodes []Node, edges []Edge) *Network {
+	n, err := NewNetwork(name, nodes, edges)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// NodeIndex returns the index of the named node, or -1.
+func (n *Network) NodeIndex(name string) int {
+	for i := range n.Nodes {
+		if n.Nodes[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// NodeByName returns the named node, or nil.
+func (n *Network) NodeByName(name string) *Node {
+	if i := n.NodeIndex(name); i >= 0 {
+		return &n.Nodes[i]
+	}
+	return nil
+}
+
+// EdgesFrom returns the indices of edges leaving the named node.
+func (n *Network) EdgesFrom(name string) []int {
+	var out []int
+	for i := range n.Edges {
+		if n.Edges[i].From == name {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// EdgesInto returns the indices of edges arriving at the named node.
+func (n *Network) EdgesInto(name string) []int {
+	var out []int
+	for i := range n.Edges {
+		if n.Edges[i].To == name {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// DimPair is one resolved dimension correspondence of an edge binding:
+// producer dimension ProdDim feeds consumer dimension ConsDim, whose
+// coordinate stride in the consumer's input tensor is Stride.
+type DimPair struct {
+	ProdDim, ConsDim string
+	ProdID, ConsID   int16
+	Stride           int
+}
+
+// EdgeBinding is an Edge resolved against its endpoint workloads: tensors
+// and dimensions looked up and the correspondence expanded into ordered
+// pairs. Pairs are sorted by producer dimension name, so binding order is
+// deterministic regardless of the Dims map.
+type EdgeBinding struct {
+	EdgeIndex            int
+	Prod, Cons           *Node
+	ProdIndex, ConsIndex int
+	Out, In              *Tensor
+	OutIndex, InIndex    int
+	Pairs                []DimPair
+}
+
+// Validate checks the graph invariants: unique non-empty node names, valid
+// workloads, and — per edge — resolvable endpoints, a complete and
+// stride-consistent dimension correspondence, and at most one producer per
+// consumer input tensor.
+func (n *Network) Validate() error {
+	if len(n.Nodes) == 0 {
+		return fmt.Errorf("network %q: no nodes", n.Name)
+	}
+	seen := make(map[string]bool, len(n.Nodes))
+	for i := range n.Nodes {
+		nd := &n.Nodes[i]
+		if nd.Name == "" {
+			return fmt.Errorf("network %q: node %d has an empty name", n.Name, i)
+		}
+		if seen[nd.Name] {
+			return fmt.Errorf("network %q: duplicate node %q", n.Name, nd.Name)
+		}
+		seen[nd.Name] = true
+		if nd.Repeat < 0 {
+			return fmt.Errorf("network %q: node %q repeat %d < 0", n.Name, nd.Name, nd.Repeat)
+		}
+		if nd.Work == nil {
+			return fmt.Errorf("network %q: node %q has no workload", n.Name, nd.Name)
+		}
+		if err := nd.Work.Validate(); err != nil {
+			return fmt.Errorf("network %q: node %q: %w", n.Name, nd.Name, err)
+		}
+	}
+	fed := make(map[string]string, len(n.Edges)) // consumer "node/tensor" -> producer
+	for ei := range n.Edges {
+		b, err := n.Bind(ei)
+		if err != nil {
+			return err
+		}
+		key := b.Cons.Name + "/" + b.In.Name
+		if prev, ok := fed[key]; ok {
+			return fmt.Errorf("network %q: edge %s->%s: input %q already fed by %s",
+				n.Name, b.Prod.Name, b.Cons.Name, b.In.Name, prev)
+		}
+		fed[key] = b.Prod.Name
+	}
+	return nil
+}
+
+// Bind resolves edge ei against its endpoint workloads, validating the
+// dimension correspondence as it goes.
+func (n *Network) Bind(ei int) (EdgeBinding, error) {
+	if ei < 0 || ei >= len(n.Edges) {
+		return EdgeBinding{}, fmt.Errorf("network %q: edge index %d out of range", n.Name, ei)
+	}
+	e := &n.Edges[ei]
+	fail := func(format string, args ...interface{}) (EdgeBinding, error) {
+		return EdgeBinding{}, fmt.Errorf("network %q: edge %s->%s: %s",
+			n.Name, e.From, e.To, fmt.Sprintf(format, args...))
+	}
+
+	pi, ci := n.NodeIndex(e.From), n.NodeIndex(e.To)
+	if pi < 0 {
+		return fail("unknown producer node %q", e.From)
+	}
+	if ci < 0 {
+		return fail("unknown consumer node %q", e.To)
+	}
+	if pi == ci {
+		return fail("self edge")
+	}
+	prod, cons := &n.Nodes[pi], &n.Nodes[ci]
+
+	out := prod.Work.Output()
+	if e.Tensor != "" {
+		out = prod.Work.Tensor(e.Tensor)
+		if out == nil {
+			return fail("producer has no tensor %q", e.Tensor)
+		}
+	}
+	if out == nil || out.Role != Output {
+		return fail("producer tensor is not an output")
+	}
+	in := cons.Work.TensorByRole(Input)
+	if e.Input != "" {
+		in = cons.Work.Tensor(e.Input)
+		if in == nil {
+			return fail("consumer has no tensor %q", e.Input)
+		}
+	}
+	if in == nil || in.Role != Input {
+		return fail("consumer tensor is not an input")
+	}
+
+	if len(e.Dims) == 0 {
+		return fail("no dimension correspondence")
+	}
+	// Deterministic order: producer dimension names sorted.
+	pds := make([]string, 0, len(e.Dims))
+	for dp := range e.Dims {
+		pds = append(pds, dp)
+	}
+	sort.Strings(pds)
+
+	b := EdgeBinding{
+		EdgeIndex: ei,
+		Prod:      prod, Cons: cons,
+		ProdIndex: pi, ConsIndex: ci,
+		Out: out, In: in,
+		OutIndex: tensorIndex(prod.Work, out),
+		InIndex:  tensorIndex(cons.Work, in),
+		Pairs:    make([]DimPair, 0, len(e.Dims)),
+	}
+	consSeen := make(map[string]bool, len(e.Dims))
+	for _, dp := range pds {
+		dc := e.Dims[dp]
+		pid := prod.Work.DimID(dp)
+		if pid < 0 {
+			return fail("unknown producer dim %q", dp)
+		}
+		cid := cons.Work.DimID(dc)
+		if cid < 0 {
+			return fail("unknown consumer dim %q", dc)
+		}
+		if consSeen[dc] {
+			return fail("consumer dim %q mapped twice", dc)
+		}
+		consSeen[dc] = true
+		ps, err := coordStride(out, dp)
+		if err != nil {
+			return fail("producer output: %v", err)
+		}
+		if ps != 1 {
+			return fail("producer output indexes %q with stride %d; only direct indexing is supported", dp, ps)
+		}
+		cs, err := coordStride(in, dc)
+		if err != nil {
+			return fail("consumer input: %v", err)
+		}
+		// The size rule: each consumer iteration along dc advances the
+		// input by cs elements, so the producer's extent must tile the
+		// consumer's full sweep exactly. Sliding-window halo beyond the
+		// sweep is zero padding and not produced.
+		bp, bc := prod.Work.Bound(dp), cons.Work.Bound(dc)
+		if bp != cs*bc {
+			return fail("dim %s->%s: producer bound %d != consumer stride %d x bound %d",
+				dp, dc, bp, cs, bc)
+		}
+		b.Pairs = append(b.Pairs, DimPair{
+			ProdDim: dp, ConsDim: dc, ProdID: pid, ConsID: cid, Stride: cs,
+		})
+	}
+
+	// Completeness: every producer dimension that shapes the output tensor
+	// (bound > 1) must be mapped, or the correspondence underdetermines
+	// where the produced data lands in the consumer's input.
+	for _, d := range prod.Work.Dims {
+		if d.Bound > 1 && out.Relevant(d.Name) && e.Dims[d.Name] == "" {
+			return fail("producer dim %q indexes the output but is not mapped", d.Name)
+		}
+	}
+	return b, nil
+}
+
+// Bindings resolves every edge (the Validate checks included).
+func (n *Network) Bindings() ([]EdgeBinding, error) {
+	out := make([]EdgeBinding, len(n.Edges))
+	for ei := range n.Edges {
+		b, err := n.Bind(ei)
+		if err != nil {
+			return nil, err
+		}
+		out[ei] = b
+	}
+	return out, nil
+}
+
+// coordStride returns the coordinate stride with which tensor t indexes dim:
+// the Stride of dim's unique coordinate term. Dims appearing in no term or in
+// more than one term are errors (the correspondence would be ambiguous).
+func coordStride(t *Tensor, dim string) (int, error) {
+	stride, hits := 0, 0
+	for _, c := range t.Coords {
+		for _, term := range c.Terms {
+			if term.Dim == dim {
+				stride = term.Stride
+				hits++
+			}
+		}
+	}
+	switch hits {
+	case 0:
+		return 0, fmt.Errorf("tensor %q is not indexed by dim %q", t.Name, dim)
+	case 1:
+		return stride, nil
+	default:
+		return 0, fmt.Errorf("tensor %q indexes dim %q in %d terms; correspondence is ambiguous", t.Name, dim, hits)
+	}
+}
+
+// tensorIndex returns t's index within w.Tensors (t must point into it).
+func tensorIndex(w *Workload, t *Tensor) int {
+	for i := range w.Tensors {
+		if &w.Tensors[i] == t {
+			return i
+		}
+	}
+	return -1
+}

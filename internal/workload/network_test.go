@@ -1,0 +1,293 @@
+package workload
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// convStackNodes builds the canonical test pair: a 1x1 producer whose 64
+// output channels feed a 3x3 consumer's 64 input channels on a 56x56 map.
+func convStackNodes(t testing.TB) []Node {
+	t.Helper()
+	prod := MustConv2D(Conv2DParams{Name: "a", N: 1, M: 64, C: 64, P: 56, Q: 56, R: 1, S: 1})
+	cons := MustConv2D(Conv2DParams{Name: "b", N: 1, M: 64, C: 64, P: 56, Q: 56, R: 3, S: 3})
+	return []Node{{Name: "a", Work: prod}, {Name: "b", Work: cons, Repeat: 3}}
+}
+
+func convEdge() Edge {
+	return Edge{From: "a", To: "b", Dims: map[string]string{"N": "N", "M": "C", "P": "P", "Q": "Q"}}
+}
+
+func TestNetworkValidConvChain(t *testing.T) {
+	net, err := NewNetwork("stack", convStackNodes(t), []Edge{convEdge()})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	b, err := net.Bind(0)
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if b.Prod.Name != "a" || b.Cons.Name != "b" {
+		t.Fatalf("binding endpoints %s->%s", b.Prod.Name, b.Cons.Name)
+	}
+	if b.Out.Name != "O" || b.In.Name != "I" {
+		t.Fatalf("binding tensors %s->%s", b.Out.Name, b.In.Name)
+	}
+	// Pairs sorted by producer dim: M, N, P, Q.
+	var got []string
+	for _, p := range b.Pairs {
+		got = append(got, p.ProdDim+">"+p.ConsDim)
+		if p.Stride != 1 {
+			t.Errorf("pair %s->%s stride %d, want 1", p.ProdDim, p.ConsDim, p.Stride)
+		}
+		if p.ProdID < 0 || p.ConsID < 0 {
+			t.Errorf("pair %s->%s has unresolved ids", p.ProdDim, p.ConsDim)
+		}
+	}
+	want := []string{"M>C", "N>N", "P>P", "Q>Q"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("pairs %v, want %v", got, want)
+	}
+	if r := net.Nodes[1].Repeats(); r != 3 {
+		t.Fatalf("Repeats = %d, want 3", r)
+	}
+	if r := net.Nodes[0].Repeats(); r != 1 {
+		t.Fatalf("zero Repeat treated as %d, want 1", r)
+	}
+}
+
+func TestNetworkStride2Chain(t *testing.T) {
+	// A 56x56x256 producer feeding a stride-2 consumer with a 28x28 output:
+	// the consumer's input coordinate advances 2 per P iteration, so the
+	// size rule is 56 == 2*28.
+	prod := MustConv2D(Conv2DParams{Name: "p", N: 1, M: 256, C: 64, P: 56, Q: 56, R: 1, S: 1})
+	cons := MustConv2D(Conv2DParams{Name: "c", N: 1, M: 128, C: 256, P: 28, Q: 28, R: 1, S: 1,
+		StrideH: 2, StrideW: 2})
+	net, err := NewNetwork("strided",
+		[]Node{{Name: "p", Work: prod}, {Name: "c", Work: cons}},
+		[]Edge{{From: "p", To: "c", Dims: map[string]string{"N": "N", "M": "C", "P": "P", "Q": "Q"}}})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	b, err := net.Bind(0)
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	for _, pair := range b.Pairs {
+		want := 1
+		if pair.ProdDim == "P" || pair.ProdDim == "Q" {
+			want = 2
+		}
+		if pair.Stride != want {
+			t.Errorf("pair %s stride %d, want %d", pair.ProdDim, pair.Stride, want)
+		}
+	}
+}
+
+func TestNetworkGEMMChain(t *testing.T) {
+	// Back-to-back GEMMs: Z1[M][N] feeds A2[M][K], so M->M and N->K.
+	g1 := MustMatmul("g1", 512, 128, 256)
+	g2 := MustMatmul("g2", 512, 64, 128)
+	net, err := NewNetwork("gemm",
+		[]Node{{Name: "g1", Work: g1}, {Name: "g2", Work: g2}},
+		[]Edge{{From: "g1", To: "g2", Dims: map[string]string{"M": "M", "N": "K"}}})
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	if _, err := net.Bindings(); err != nil {
+		t.Fatalf("Bindings: %v", err)
+	}
+}
+
+func TestNetworkEdgeErrors(t *testing.T) {
+	nodes := convStackNodes(t)
+	cases := []struct {
+		name string
+		edge Edge
+		want string
+	}{
+		{"unknown producer", Edge{From: "zz", To: "b", Dims: map[string]string{"M": "C"}}, "unknown producer"},
+		{"unknown consumer", Edge{From: "a", To: "zz", Dims: map[string]string{"M": "C"}}, "unknown consumer"},
+		{"self edge", Edge{From: "a", To: "a", Dims: map[string]string{"M": "C"}}, "self edge"},
+		{"no dims", Edge{From: "a", To: "b"}, "no dimension correspondence"},
+		{"unknown producer dim", Edge{From: "a", To: "b",
+			Dims: map[string]string{"Z": "C", "N": "N", "M": "C", "P": "P", "Q": "Q"}}, "unknown producer dim"},
+		{"unknown consumer dim", Edge{From: "a", To: "b",
+			Dims: map[string]string{"N": "N", "M": "Z", "P": "P", "Q": "Q"}}, "unknown consumer dim"},
+		{"duplicate consumer dim", Edge{From: "a", To: "b",
+			Dims: map[string]string{"N": "C", "M": "C", "P": "P", "Q": "Q"}}, "mapped twice"},
+		{"size mismatch", Edge{From: "a", To: "b",
+			Dims: map[string]string{"N": "N", "M": "C", "P": "R", "Q": "Q"}}, "producer bound 56 != consumer stride 1 x bound 3"},
+		{"incomplete", Edge{From: "a", To: "b",
+			Dims: map[string]string{"N": "N", "M": "C", "P": "P"}}, "not mapped"},
+		{"weight tensor as input", Edge{From: "a", To: "b", Input: "W",
+			Dims: map[string]string{"N": "N", "M": "C", "P": "P", "Q": "Q"}}, "not an input"},
+		{"input tensor as output", Edge{From: "a", To: "b", Tensor: "I",
+			Dims: map[string]string{"N": "N", "M": "C", "P": "P", "Q": "Q"}}, "not an output"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewNetwork("bad", nodes, []Edge{tc.edge})
+			if err == nil {
+				t.Fatalf("NewNetwork accepted %+v", tc.edge)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+
+	// Mismatched sizes across layers: a 64-channel output feeding a
+	// 128-channel input must be rejected with the size rule spelled out.
+	wide := MustConv2D(Conv2DParams{Name: "wide", N: 1, M: 64, C: 128, P: 56, Q: 56, R: 1, S: 1})
+	_, err := NewNetwork("bad",
+		append(nodes, Node{Name: "wide", Work: wide}),
+		[]Edge{{From: "a", To: "wide", Dims: map[string]string{"N": "N", "M": "C", "P": "P", "Q": "Q"}}})
+	if err == nil || !strings.Contains(err.Error(), "producer bound 64 != consumer stride 1 x bound 128") {
+		t.Fatalf("channel mismatch error = %v", err)
+	}
+
+	// Two producers feeding the same input tensor.
+	_, err = NewNetwork("bad",
+		append(convStackNodes(t), Node{Name: "a2", Work: nodes[0].Work}),
+		[]Edge{convEdge(), {From: "a2", To: "b", Dims: convEdge().Dims}})
+	if err == nil || !strings.Contains(err.Error(), "already fed") {
+		t.Fatalf("double-feed error = %v", err)
+	}
+}
+
+func TestNetworkNodeErrors(t *testing.T) {
+	good := convStackNodes(t)
+	if _, err := NewNetwork("n", nil, nil); err == nil {
+		t.Fatal("empty network accepted")
+	}
+	if _, err := NewNetwork("n", []Node{{Name: "", Work: good[0].Work}}, nil); err == nil {
+		t.Fatal("empty node name accepted")
+	}
+	if _, err := NewNetwork("n", []Node{good[0], good[0]}, nil); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	if _, err := NewNetwork("n", []Node{{Name: "x", Work: nil}}, nil); err == nil {
+		t.Fatal("nil workload accepted")
+	}
+	if _, err := NewNetwork("n", []Node{{Name: "x", Work: good[0].Work, Repeat: -1}}, nil); err == nil {
+		t.Fatal("negative repeat accepted")
+	}
+}
+
+func TestNetworkLookups(t *testing.T) {
+	net := MustNetwork("stack", convStackNodes(t), []Edge{convEdge()})
+	if net.NodeIndex("b") != 1 || net.NodeIndex("zz") != -1 {
+		t.Fatal("NodeIndex")
+	}
+	if net.NodeByName("a") == nil || net.NodeByName("zz") != nil {
+		t.Fatal("NodeByName")
+	}
+	if got := net.EdgesFrom("a"); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("EdgesFrom = %v", got)
+	}
+	if got := net.EdgesInto("b"); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("EdgesInto = %v", got)
+	}
+	if got := net.EdgesInto("a"); got != nil {
+		t.Fatalf("EdgesInto(a) = %v", got)
+	}
+}
+
+func TestNetworkJSONRoundTrip(t *testing.T) {
+	net := MustNetwork("stack", convStackNodes(t), []Edge{convEdge()})
+	raw, err := json.Marshal(net)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Network
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped network invalid: %v", err)
+	}
+	raw2, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatalf("re-marshal: %v", err)
+	}
+	if string(raw) != string(raw2) {
+		t.Fatalf("round trip not stable:\n%s\n%s", raw, raw2)
+	}
+	// The decoded workloads must have working indices.
+	if back.Nodes[0].Work.Bound("M") != 64 {
+		t.Fatal("decoded workload lost its index")
+	}
+	if _, err := back.Bind(0); err != nil {
+		t.Fatalf("Bind after round trip: %v", err)
+	}
+}
+
+func TestWorkloadJSONRejectsInvalid(t *testing.T) {
+	var w Workload
+	if err := json.Unmarshal([]byte(`{"name":"x","dims":[],"tensors":[]}`), &w); err == nil {
+		t.Fatal("invalid workload decoded")
+	}
+	if err := json.Unmarshal([]byte(`{"name":"x","dims":[{"name":"M","bound":2}],`+
+		`"tensors":[{"name":"Z","role":"psum","coords":[{"terms":[{"dim":"M","stride":1}]}]}]}`), &w); err == nil {
+		t.Fatal("unknown role decoded")
+	}
+}
+
+// FuzzNetworkEdges drives edge construction with arbitrary endpoint and
+// correspondence strings over a fixed node set: validation must never panic,
+// and every network it accepts must bind with the size rule holding.
+func FuzzNetworkEdges(f *testing.F) {
+	f.Add("a", "b", "", "", "M", "C", "P", "P", 1)
+	f.Add("a", "b", "O", "I", "N", "N", "Q", "Q", 3)
+	f.Add("b", "a", "I", "W", "C", "M", "R", "S", 0)
+	f.Add("g1", "g2", "Z", "A", "M", "M", "N", "K", -1)
+	f.Fuzz(func(t *testing.T, from, to, tensor, input, d1p, d1c, d2p, d2c string, rep int) {
+		nodes := []Node{
+			{Name: "a", Work: MustConv2D(Conv2DParams{Name: "a", N: 1, M: 64, C: 64, P: 56, Q: 56, R: 1, S: 1})},
+			{Name: "b", Work: MustConv2D(Conv2DParams{Name: "b", N: 1, M: 64, C: 64, P: 56, Q: 56, R: 3, S: 3}), Repeat: rep},
+			{Name: "g1", Work: MustMatmul("g1", 512, 128, 256)},
+			{Name: "g2", Work: MustMatmul("g2", 512, 64, 128)},
+		}
+		if rep < 0 {
+			nodes[1].Repeat = 0
+		}
+		dims := map[string]string{d1p: d1c}
+		if d2p != d1p {
+			dims[d2p] = d2c
+		}
+		edge := Edge{From: from, To: to, Tensor: tensor, Input: input, Dims: dims}
+		net, err := NewNetwork("fuzz", nodes, []Edge{edge})
+		if err != nil {
+			return
+		}
+		bs, err := net.Bindings()
+		if err != nil {
+			t.Fatalf("validated network failed to bind: %v", err)
+		}
+		for _, b := range bs {
+			for _, p := range b.Pairs {
+				if p.Stride < 1 {
+					t.Fatalf("pair %s->%s stride %d", p.ProdDim, p.ConsDim, p.Stride)
+				}
+				if b.Prod.Work.Bound(p.ProdDim) != p.Stride*b.Cons.Work.Bound(p.ConsDim) {
+					t.Fatalf("size rule violated for %s->%s", p.ProdDim, p.ConsDim)
+				}
+			}
+		}
+		// Accepted networks must survive a JSON round trip.
+		raw, err := json.Marshal(net)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var back Network
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		if err := back.Validate(); err != nil {
+			t.Fatalf("round trip invalid: %v", err)
+		}
+	})
+}

@@ -75,10 +75,11 @@ func TransformerEncoder(seq, hidden, heads int) []Layer {
 // discovery.
 func Suites() map[string][]Layer {
 	return map[string][]Layer{
-		"resnet50":    ResNet50(),
-		"deepbench":   DeepBench(),
-		"vgg16":       VGG16(),
-		"transformer": TransformerEncoder(384, 768, 12),
-		"mobilenetv2": MobileNetV2(),
+		"resnet50":         ResNet50(),
+		"deepbench":        DeepBench(),
+		"deepbench-stacks": LayersOf(DeepBenchStacks()),
+		"vgg16":            VGG16(),
+		"transformer":      TransformerEncoder(384, 768, 12),
+		"mobilenetv2":      MobileNetV2(),
 	}
 }

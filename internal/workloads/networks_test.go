@@ -1,0 +1,150 @@
+package workloads
+
+import (
+	"testing"
+
+	"ruby/internal/workload"
+)
+
+// Every built-in network must validate and bind all of its edges with the
+// size rule intact.
+func TestNetworksValidateAndBind(t *testing.T) {
+	for name, net := range Networks() {
+		if err := net.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		bs, err := net.Bindings()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, b := range bs {
+			for _, pr := range b.Pairs {
+				bp := b.Prod.Work.Bound(pr.ProdDim)
+				bc := b.Cons.Work.Bound(pr.ConsDim)
+				if bp != pr.Stride*bc {
+					t.Fatalf("%s: edge %s->%s: %s->%s: %d != %d x %d",
+						name, b.Prod.Name, b.Cons.Name, pr.ProdDim, pr.ConsDim, bp, pr.Stride, bc)
+				}
+			}
+		}
+	}
+}
+
+func TestResNet50NetworkEdges(t *testing.T) {
+	net := ResNet50Network()
+	if len(net.Edges) != 11 {
+		t.Fatalf("edges = %d, want 11", len(net.Edges))
+	}
+	// The stage transitions must bind with stride-2 spatial pairs.
+	strided := 0
+	bs, err := net.Bindings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bs {
+		for _, pr := range b.Pairs {
+			if pr.Stride == 2 {
+				strided++
+			}
+		}
+	}
+	if strided != 6 { // three stage transitions x (P, Q)
+		t.Fatalf("stride-2 pairs = %d, want 6", strided)
+	}
+	// The graph must not connect the pooling-separated endpoints.
+	if n := len(net.EdgesFrom("conv1")); n != 0 {
+		t.Fatalf("conv1 has %d outgoing edges, want 0 (maxpool)", n)
+	}
+	if n := len(net.EdgesInto("fc1000")); n != 0 {
+		t.Fatalf("fc1000 has %d incoming edges, want 0 (avgpool)", n)
+	}
+}
+
+func TestDeepBenchNetworks(t *testing.T) {
+	if n := len(DeepBenchNetwork().Edges); n != 0 {
+		t.Fatalf("deepbench edges = %d, want 0", n)
+	}
+	st := DeepBenchStacks()
+	if len(st.Edges) != 2 {
+		t.Fatalf("stack edges = %d, want 2", len(st.Edges))
+	}
+	b, err := st.Bind(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Prod.Name != "speech_gemm_5124x700x2048" || b.Cons.Name != "speech_gemm2_5124x2048x700" {
+		t.Fatalf("gemm stack endpoints %s->%s", b.Prod.Name, b.Cons.Name)
+	}
+}
+
+// LayersOf(NetworkFromLayers(...)) must round-trip names, repeats, workloads
+// and layer types for the real suites.
+func TestLayersOfRoundTrip(t *testing.T) {
+	for name, layers := range map[string][]Layer{
+		"resnet50":  ResNet50(),
+		"deepbench": DeepBench(),
+		"vgg16":     VGG16(),
+	} {
+		got := LayersOf(NetworkFromLayers(name, layers))
+		if len(got) != len(layers) {
+			t.Fatalf("%s: %d layers, want %d", name, len(got), len(layers))
+		}
+		for i, l := range layers {
+			g := got[i]
+			if g.Name != l.Name || g.Repeat != l.Repeat || g.Work != l.Work {
+				t.Fatalf("%s[%d]: got %+v, want %+v", name, i, g, l)
+			}
+			// DeepBench groups convs by domain (ConvOther), which shape
+			// classification cannot recover; types must match elsewhere.
+			if name != "deepbench" && g.Type != l.Type {
+				t.Fatalf("%s[%d] %s: type %v, want %v", name, i, l.Name, g.Type, l.Type)
+			}
+		}
+	}
+}
+
+func TestSuitesNetworksAgree(t *testing.T) {
+	suites, nets := Suites(), Networks()
+	if len(suites) != len(nets) {
+		t.Fatalf("suites = %d entries, networks = %d", len(suites), len(nets))
+	}
+	for name, layers := range suites {
+		net, ok := nets[name]
+		if !ok {
+			t.Fatalf("no network for suite %q", name)
+		}
+		if len(net.Nodes) != len(layers) {
+			t.Fatalf("%s: %d nodes vs %d layers", name, len(net.Nodes), len(layers))
+		}
+		for i, l := range layers {
+			if net.Nodes[i].Name != l.Name {
+				t.Fatalf("%s[%d]: node %q vs layer %q", name, i, net.Nodes[i].Name, l.Name)
+			}
+			if net.Nodes[i].Repeats() != maxInt(l.Repeat, 1) {
+				t.Fatalf("%s[%d]: repeat %d vs %d", name, i, net.Nodes[i].Repeats(), l.Repeat)
+			}
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// The classifier must keep labelling stock builder shapes the way the layer
+// tables do.
+func TestClassify(t *testing.T) {
+	if ty := classify(workload.MustMatmul("g", 8, 8, 8)); ty != GEMM {
+		t.Fatalf("gemm classified %v", ty)
+	}
+	d, err := workload.Dense("d", 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ty := classify(d); ty != DenseFC {
+		t.Fatalf("dense classified %v", ty)
+	}
+}

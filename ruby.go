@@ -409,17 +409,31 @@ var (
 // MappingLibrary is the file-backed cache of best-known mappings.
 type MappingLibrary = library.Store
 
-// Benchmark suites.
+// Benchmark suites and network graphs.
 type (
 	// SuiteLayer is one benchmark layer with metadata.
 	SuiteLayer = workloads.Layer
+	// WorkloadNetwork is a layer graph: workloads as nodes,
+	// producer->consumer tensor edges with dimension correspondences
+	// (arch.Network, the spatial interconnect, already owns the bare name).
+	WorkloadNetwork = workload.Network
+	// NetworkNode is one layer of a Network.
+	NetworkNode = workload.Node
+	// NetworkEdge is one producer->consumer correspondence of a Network.
+	NetworkEdge = workload.Edge
 )
 
 var (
 	// ResNet50 returns the unique ResNet-50 layers with repeat counts.
 	ResNet50 = workloads.ResNet50
+	// ResNet50Network returns ResNet-50 as a network graph whose bottleneck
+	// chains carry fusable producer->consumer edges.
+	ResNet50Network = workloads.ResNet50Network
 	// DeepBench returns the DeepBench selection.
 	DeepBench = workloads.DeepBench
+	// DeepBenchStacks returns the DeepBench back-to-back stacks (GEMM chain
+	// and 3x3 vision stack) as a network graph.
+	DeepBenchStacks = workloads.DeepBenchStacks
 	// AlexNetConv2 returns layer 2 of AlexNet (the Fig. 9 study).
 	AlexNetConv2 = workloads.AlexNetConv2
 	// VGG16 returns the VGG-16 extension suite (a PFM-friendly control).
@@ -431,6 +445,14 @@ var (
 	MobileNetV2 = workloads.MobileNetV2
 	// Suites returns every built-in workload suite by name.
 	Suites = workloads.Suites
+	// Networks returns every built-in suite as a network graph by name.
+	Networks = workloads.Networks
+	// NewNetwork builds and validates a layer graph.
+	NewNetwork = workload.NewNetwork
+	// NetworkFromLayers wraps a layer list in an edge-free Network.
+	NetworkFromLayers = workloads.NetworkFromLayers
+	// LayersOf flattens a Network back into a suite layer list.
+	LayersOf = workloads.LayersOf
 )
 
 // Design-space exploration.
@@ -444,6 +466,15 @@ type (
 	DesignPoint = sweep.DesignPoint
 	// SuiteResult aggregates a suite search on one architecture.
 	SuiteResult = sweep.SuiteResult
+	// NetworkResult is a network search's outcome: per-layer baseline,
+	// selected fused segments, and fused network totals.
+	NetworkResult = sweep.NetworkResult
+	// SegmentResult is one fused producer->consumer segment.
+	SegmentResult = sweep.SegmentResult
+	// FusedCost is the fused evaluation of one producer/consumer pair.
+	FusedCost = nest.FusedCost
+	// FusedEvaluator evaluates fused mappings of one network edge.
+	FusedEvaluator = nest.FusedEvaluator
 	// ParetoPoint is one point of an area-EDP frontier.
 	ParetoPoint = stats.Point
 )
@@ -462,9 +493,17 @@ var (
 	Explore = sweep.Explore
 	// Frontier extracts one strategy's area-EDP Pareto frontier.
 	Frontier = sweep.Frontier
-	// RunSuite searches a whole suite on one architecture with parallel
-	// layer searches; a mapping library rides in SuiteOptions.Library.
+	// RunSuite searches a network's nodes per-layer on one architecture with
+	// parallel layer searches; a mapping library rides in
+	// SuiteOptions.Library.
 	RunSuite = sweep.RunSuite
+	// RunSuiteLayers is the []Layer suite entry point RunSuite wraps.
+	RunSuiteLayers = sweep.RunSuiteLayers
+	// SearchNetwork searches a network with optional fusion across its
+	// edges, reporting fused segments and network totals.
+	SearchNetwork = sweep.SearchNetwork
+	// NewFusedEvaluator builds a fused evaluator for one network edge.
+	NewFusedEvaluator = nest.NewFusedEvaluator
 	// SearchLayer searches one layer under one strategy through the
 	// evaluation pipeline.
 	SearchLayer = sweep.SearchLayer
